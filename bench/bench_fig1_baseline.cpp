@@ -1,0 +1,77 @@
+/// \file bench_fig1_baseline.cpp
+/// \brief Figure 1: the 4-stage Baseline network and its MI-digraph.
+///
+/// Regenerates the figure as ASCII art plus the adjacency listing, checks
+/// the left-recursive construction, and benchmarks baseline construction
+/// and structural verification across sizes.
+
+#include <iostream>
+
+#include "graph/render.hpp"
+#include "min/banyan.hpp"
+#include "min/baseline.hpp"
+#include "min/labels.hpp"
+#include "util/format.hpp"
+
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace mineq;
+
+constexpr int kFigureStages = 4;
+
+}  // namespace
+
+void print_report() {
+  const min::MIDigraph g = min::baseline_network(kFigureStages);
+  std::cout << "=== Figure 1: " << kFigureStages
+            << "-stage Baseline MI-digraph ===\n\n";
+  graph::AsciiOptions options;
+  for (int s = 0; s < kFigureStages; ++s) {
+    options.labels.push_back(min::stage_label_strings(kFigureStages));
+  }
+  std::cout << graph::render_ascii(g.to_layered(), options) << '\n';
+  std::cout << "Adjacency (stage:cell -> children):\n"
+            << graph::render_adjacency(g.to_layered()) << '\n';
+  std::cout << "left-recursive construction verified: "
+            << (min::is_left_recursive_baseline(g) ? "yes" : "no") << "\n";
+  std::cout << "banyan: " << (min::is_banyan(g) ? "yes" : "no") << "\n\n";
+}
+
+static void BM_BaselineClosedForm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min::baseline_network(n));
+  }
+  state.SetComplexityN(state.range(0));
+  state.counters["cells"] =
+      static_cast<double>(min::cells_per_stage(n));
+}
+BENCHMARK(BM_BaselineClosedForm)->DenseRange(4, 18, 2)->Complexity();
+
+static void BM_BaselineRecursive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min::baseline_network_recursive(n));
+  }
+}
+BENCHMARK(BM_BaselineRecursive)->DenseRange(4, 18, 2);
+
+static void BM_LeftRecursiveVerify(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const min::MIDigraph g = min::baseline_network(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min::is_left_recursive_baseline(g));
+  }
+}
+BENCHMARK(BM_LeftRecursiveVerify)->DenseRange(4, 10, 2);
+
+static void BM_BaselineReverse(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const min::MIDigraph g = min::baseline_network(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.reverse());
+  }
+}
+BENCHMARK(BM_BaselineReverse)->DenseRange(4, 16, 4);

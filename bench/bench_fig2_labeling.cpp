@@ -1,0 +1,75 @@
+/// \file bench_fig2_labeling.cpp
+/// \brief Figure 2: the binary labeling of an MI-digraph's cells.
+///
+/// Regenerates the per-stage label tuples for the figure's 4-stage
+/// network and benchmarks the label machinery (tuple formatting, BitVec
+/// group operations, parsing) that underlies every connection-level
+/// algorithm.
+
+#include <iostream>
+
+#include "gf2/bitvec.hpp"
+#include "min/labels.hpp"
+#include "util/format.hpp"
+
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace mineq;
+
+constexpr int kFigureStages = 4;
+
+}  // namespace
+
+void print_report() {
+  std::cout << "=== Figure 2: labeling of an MI-digraph (n="
+            << kFigureStages << ") ===\n\n";
+  const auto labels = min::stage_label_strings(kFigureStages);
+  util::TablePrinter table({"cell", "label (x3,x2,x1)"});
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    table.add_row({std::to_string(i), labels[i]});
+  }
+  std::cout << table.str() << '\n';
+  std::cout << "Each stage carries the same labels 0.."
+            << min::cells_per_stage(kFigureStages) - 1
+            << "; arcs go left to right.\n\n";
+}
+
+static void BM_TupleFormatting(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mineq::util::bit_tuple(x, width));
+    x = (x + 1) & mask;
+  }
+}
+BENCHMARK(BM_TupleFormatting)->DenseRange(3, 23, 5);
+
+static void BM_BitVecXor(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const gf2::BitVec a((std::uint64_t{1} << width) - 1, width);
+  gf2::BitVec acc = gf2::BitVec::zero(width);
+  for (auto _ : state) {
+    acc ^= a;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_BitVecXor)->DenseRange(3, 23, 5);
+
+static void BM_BitVecParse(benchmark::State& state) {
+  const std::string text = "(1,0,1,1,0,1,0,1)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gf2::BitVec::parse(text));
+  }
+}
+BENCHMARK(BM_BitVecParse);
+
+static void BM_StageLabelStrings(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min::stage_label_strings(n));
+  }
+}
+BENCHMARK(BM_StageLabelStrings)->DenseRange(4, 16, 4);

@@ -1,0 +1,90 @@
+/// \file bench_fig3_components.cpp
+/// \brief Figure 3 / Lemma 2: component structure of stage-suffix
+/// subgraphs.
+///
+/// Regenerates the quantity the figure illustrates — every connected
+/// component of (G)_{j..n} intersects each covered stage in the same
+/// number of cells, and the component count is exactly 2^{j} (0-based) —
+/// and benchmarks the incremental-DSU property checks that make the
+/// paper's characterization "easy".
+
+#include <iostream>
+
+#include "min/networks.hpp"
+#include "min/properties.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace mineq;
+
+constexpr int kFigureStages = 5;
+
+}  // namespace
+
+void print_report() {
+  const min::MIDigraph g =
+      min::build_network(min::NetworkKind::kOmega, kFigureStages);
+  std::cout << "=== Figure 3 / Lemma 2: suffix components of the Omega("
+            << kFigureStages << ") MI-digraph ===\n\n";
+  util::TablePrinter table({"suffix (G)_{j..n-1}", "components",
+                            "expected", "cells per stage per component"});
+  for (int j = 0; j < kFigureStages; ++j) {
+    const min::SuffixStructure s = min::suffix_component_structure(g, j);
+    bool uniform = true;
+    const std::size_t per_stage = s.intersections.empty()
+                                      ? 0
+                                      : s.intersections.front().front();
+    for (const auto& component : s.intersections) {
+      for (std::size_t count : component) {
+        uniform = uniform && count == per_stage;
+      }
+    }
+    table.add_row({"j=" + std::to_string(j),
+                   std::to_string(s.component_count),
+                   std::to_string(std::size_t{1} << j),
+                   uniform ? std::to_string(per_stage) + " (uniform)"
+                           : "NON-UNIFORM"});
+  }
+  std::cout << table.str() << '\n';
+}
+
+static void BM_SuffixProfile(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const min::MIDigraph g = min::build_network(min::NetworkKind::kOmega, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min::suffix_component_profile(g));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(g.num_nodes()));
+}
+BENCHMARK(BM_SuffixProfile)->DenseRange(4, 18, 2)->Complexity();
+
+static void BM_PrefixProfile(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const min::MIDigraph g = min::build_network(min::NetworkKind::kOmega, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min::prefix_component_profile(g));
+  }
+}
+BENCHMARK(BM_PrefixProfile)->DenseRange(4, 18, 2);
+
+static void BM_SingleRangeCount(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const min::MIDigraph g = min::build_network(min::NetworkKind::kOmega, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min::component_count_range(g, 1, n - 2));
+  }
+}
+BENCHMARK(BM_SingleRangeCount)->DenseRange(4, 18, 2);
+
+static void BM_SuffixStructureFull(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const min::MIDigraph g = min::build_network(min::NetworkKind::kOmega, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min::suffix_component_structure(g, 1));
+  }
+}
+BENCHMARK(BM_SuffixStructureFull)->DenseRange(4, 14, 2);

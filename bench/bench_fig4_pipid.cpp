@@ -1,0 +1,98 @@
+/// \file bench_fig4_pipid.cpp
+/// \brief Figure 4: link labels and a PIPID permutation between stages.
+///
+/// Regenerates the figure's content — the n-bit link labels, a PIPID
+/// (perfect shuffle) applied to them, and the induced cell-level
+/// connection (f, g) — and benchmarks both derivations of the connection
+/// (the paper's closed bit formula versus materializing the link
+/// permutation).
+
+#include <iostream>
+
+#include "min/independence.hpp"
+#include "min/labels.hpp"
+#include "min/pipid.hpp"
+#include "perm/standard.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace mineq;
+
+constexpr int kFigureStages = 4;
+
+}  // namespace
+
+void print_report() {
+  const perm::IndexPermutation sigma = perm::perfect_shuffle(kFigureStages);
+  std::cout << "=== Figure 4: link labels under the perfect shuffle (n="
+            << kFigureStages << ") ===\n\n";
+  util::TablePrinter links({"out-link y", "Lambda(y)", "target cell"});
+  const std::uint64_t count = std::uint64_t{1} << kFigureStages;
+  for (std::uint64_t y = 0; y < count; ++y) {
+    const std::uint64_t z = sigma.apply(y);
+    links.add_row({util::bit_tuple(y, kFigureStages),
+                   util::bit_tuple(z, kFigureStages),
+                   util::bit_tuple(z >> 1, kFigureStages - 1)});
+  }
+  std::cout << links.str() << '\n';
+
+  const min::Connection conn = min::connection_from_pipid_formula(sigma);
+  const auto info = min::pipid_stage_info(sigma);
+  std::cout << "k = theta^{-1}(0) = " << info.k
+            << " (port bit lands in link bit " << info.k
+            << "); dropped cell bit: theta(0)-1 = "
+            << info.dropped_input_bit - 1 << "\n";
+  std::cout << "derived connection is independent: "
+            << (min::is_independent(conn) ? "yes" : "no") << "\n\n";
+  util::TablePrinter fg({"cell x", "f(x)", "g(x)"});
+  for (std::uint32_t x = 0; x < conn.cells(); ++x) {
+    fg.add_row({util::bit_tuple(x, kFigureStages - 1),
+                util::bit_tuple(conn.f(x), kFigureStages - 1),
+                util::bit_tuple(conn.g(x), kFigureStages - 1)});
+  }
+  std::cout << fg.str() << '\n';
+}
+
+static void BM_ConnectionFromFormula(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const perm::IndexPermutation sigma = perm::perfect_shuffle(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min::connection_from_pipid_formula(sigma));
+  }
+  state.SetComplexityN(std::int64_t{1} << (n - 1));
+}
+BENCHMARK(BM_ConnectionFromFormula)->DenseRange(4, 18, 2)->Complexity();
+
+static void BM_ConnectionFromLinkPermutation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const perm::IndexPermutation sigma = perm::perfect_shuffle(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min::connection_from_pipid(sigma));
+  }
+}
+BENCHMARK(BM_ConnectionFromLinkPermutation)->DenseRange(4, 18, 2);
+
+static void BM_PipidRecognition(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::SplitMix64 rng(5);
+  const perm::Permutation p =
+      perm::IndexPermutation::random(n, rng).induced();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perm::IndexPermutation::recognize(p));
+  }
+}
+BENCHMARK(BM_PipidRecognition)->DenseRange(4, 16, 4);
+
+static void BM_NetworkFromPipids(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<perm::IndexPermutation> seq(
+      static_cast<std::size_t>(n - 1), perm::perfect_shuffle(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min::network_from_pipids(seq));
+  }
+}
+BENCHMARK(BM_NetworkFromPipids)->DenseRange(4, 16, 4);

@@ -1,0 +1,107 @@
+/// \file bench_fig5_degenerate.cpp
+/// \brief Figure 5: a stage whose PIPID has theta^{-1}(0) = 0.
+///
+/// Regenerates the degenerate stage (double links between cells), shows
+/// that the Banyan property fails, and benchmarks the detection paths:
+/// the O(n) stage-info check versus the full Banyan path-count sweep.
+
+#include <iostream>
+
+#include "graph/render.hpp"
+#include "min/banyan.hpp"
+#include "min/equivalence.hpp"
+#include "min/labels.hpp"
+#include "min/pipid.hpp"
+#include "perm/standard.hpp"
+#include "util/format.hpp"
+
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace mineq;
+
+constexpr int kFigureStages = 4;
+
+/// A PIPID fixing index 0 (hence degenerate): swap bits 1 and 2 only.
+perm::IndexPermutation degenerate_pipid(int n) {
+  return perm::IndexPermutation(
+      perm::Permutation::from_cycles(static_cast<std::size_t>(n), {{1, 2}}));
+}
+
+min::MIDigraph network_with_degenerate_stage(int n) {
+  std::vector<perm::IndexPermutation> seq;
+  for (int s = 0; s < n - 1; ++s) {
+    seq.push_back(s == (n - 1) / 2 ? degenerate_pipid(n)
+                                   : perm::perfect_shuffle(n));
+  }
+  return min::network_from_pipids(seq);
+}
+
+}  // namespace
+
+void print_report() {
+  const perm::IndexPermutation degen = degenerate_pipid(kFigureStages);
+  const min::Connection conn = min::connection_from_pipid_formula(degen);
+  const auto info = min::pipid_stage_info(degen);
+
+  std::cout << "=== Figure 5: stage with theta^{-1}(0) = 0 ===\n\n";
+  std::cout << "theta = " << degen.theta().str()
+            << ", k = " << info.k << " (degenerate)\n\n";
+  util::TablePrinter table({"cell x", "f(x)", "g(x)", "double link"});
+  for (std::uint32_t x = 0; x < conn.cells(); ++x) {
+    table.add_row({util::bit_tuple(x, kFigureStages - 1),
+                   util::bit_tuple(conn.f(x), kFigureStages - 1),
+                   util::bit_tuple(conn.g(x), kFigureStages - 1),
+                   conn.f(x) == conn.g(x) ? "yes" : "no"});
+  }
+  std::cout << table.str() << '\n';
+
+  const min::MIDigraph g = network_with_degenerate_stage(kFigureStages);
+  const auto failure = min::banyan_failure(g);
+  std::cout << "network with this stage embedded: banyan="
+            << (min::is_banyan(g) ? "yes" : "no");
+  if (failure.has_value()) {
+    std::cout << "  (witness: " << failure->path_count << " paths from cell "
+              << failure->source << " to cell " << failure->sink << ")";
+  }
+  std::cout << "\nbaseline-equivalent: "
+            << (min::is_baseline_equivalent(g) ? "yes" : "no") << "\n\n";
+}
+
+static void BM_DegenerateStageInfo(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const perm::IndexPermutation degen = degenerate_pipid(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min::pipid_stage_info(degen));
+  }
+}
+BENCHMARK(BM_DegenerateStageInfo)->DenseRange(4, 20, 4);
+
+static void BM_ParallelArcScan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const min::Connection conn =
+      min::connection_from_pipid_formula(degenerate_pipid(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conn.has_parallel_arcs());
+  }
+}
+BENCHMARK(BM_ParallelArcScan)->DenseRange(4, 18, 2);
+
+static void BM_BanyanRejectsDegenerate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const min::MIDigraph g = network_with_degenerate_stage(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min::is_banyan(g));
+  }
+}
+BENCHMARK(BM_BanyanRejectsDegenerate)->DenseRange(4, 12, 2);
+
+static void BM_BanyanDoublingRejectsDegenerate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const min::MIDigraph g = network_with_degenerate_stage(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min::is_banyan_doubling(g));
+  }
+}
+BENCHMARK(BM_BanyanDoublingRejectsDegenerate)->DenseRange(4, 12, 2);

@@ -1,0 +1,105 @@
+/// \file bench_iso_synthesis.cpp
+/// \brief Explicit isomorphism construction: the affine synthesizer
+/// (GF(2) elimination, polynomial time) versus backtracking search.
+
+#include <iostream>
+
+#include "graph/isomorphism.hpp"
+#include "min/affine_iso.hpp"
+#include "min/baseline.hpp"
+#include "min/networks.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+#include "bench_main.hpp"
+
+void print_report() {
+  using namespace mineq;
+  std::cout << "=== Affine isomorphism synthesis across sizes ===\n\n";
+  util::TablePrinter table({"n", "unknowns", "found", "verified"});
+  util::SplitMix64 rng(51);
+  for (int n = 3; n <= 10; ++n) {
+    const min::MIDigraph omega =
+        min::build_network(min::NetworkKind::kOmega, n);
+    const min::MIDigraph base = min::baseline_network(n);
+    const auto iso = min::synthesize_affine_isomorphism(omega, base, rng);
+    const int w = n - 1;
+    table.add_row(
+        {std::to_string(n),
+         std::to_string(w * w + (n - 1) * (w + 1)),
+         iso.has_value() ? "yes" : "no",
+         iso.has_value() && min::verify_affine_isomorphism(omega, base, *iso)
+             ? "yes"
+             : "no"});
+  }
+  std::cout << table.str() << '\n';
+}
+
+static void BM_AffineSynthesisOmegaBaseline(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto omega =
+      mineq::min::build_network(mineq::min::NetworkKind::kOmega, n);
+  const auto base = mineq::min::baseline_network(n);
+  mineq::util::SplitMix64 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mineq::min::synthesize_affine_isomorphism(omega, base, rng));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_AffineSynthesisOmegaBaseline)->DenseRange(3, 13, 2);
+
+static void BM_AffineSynthesisRandomPair(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  mineq::util::SplitMix64 rng(9);
+  const auto g = mineq::min::random_pipid_network(n, rng);
+  const auto h = mineq::min::random_pipid_network(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mineq::min::synthesize_affine_isomorphism(g, h, rng));
+  }
+}
+BENCHMARK(BM_AffineSynthesisRandomPair)->DenseRange(3, 13, 2);
+
+static void BM_BacktrackingSearchSameTask(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto omega =
+      mineq::min::build_network(mineq::min::NetworkKind::kOmega, n)
+          .to_layered();
+  const auto base = mineq::min::baseline_network(n).to_layered();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mineq::graph::find_layered_isomorphism(omega, base));
+  }
+}
+BENCHMARK(BM_BacktrackingSearchSameTask)->DenseRange(3, 8, 1);
+
+static void BM_VerifyAffineIso(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto omega =
+      mineq::min::build_network(mineq::min::NetworkKind::kOmega, n);
+  const auto base = mineq::min::baseline_network(n);
+  mineq::util::SplitMix64 rng(3);
+  const auto iso = mineq::min::synthesize_affine_isomorphism(omega, base, rng);
+  if (!iso.has_value()) {
+    state.SkipWithError("synthesis failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mineq::min::verify_affine_isomorphism(omega, base, *iso));
+  }
+}
+BENCHMARK(BM_VerifyAffineIso)->DenseRange(3, 13, 2);
+
+static void BM_WlRefinement(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto omega =
+      mineq::min::build_network(mineq::min::NetworkKind::kOmega, n)
+          .to_layered();
+  const auto base = mineq::min::baseline_network(n).to_layered();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mineq::graph::wl_refine(omega, base));
+  }
+}
+BENCHMARK(BM_WlRefinement)->DenseRange(3, 9, 2);

@@ -1,0 +1,104 @@
+/// \file bench_kary.cpp
+/// \brief Extension ablation: the generalized characterization over
+/// r x r cells (the paper's closing remark), including the cost of the
+/// checks as the radix grows.
+
+#include <iostream>
+
+#include "min/kary.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+#include "bench_main.hpp"
+
+void print_report() {
+  using namespace mineq;
+  std::cout << "=== Radix-r baseline networks and the generalized "
+               "characterization ===\n\n";
+  util::TablePrinter table({"radix", "stages", "cells", "banyan", "P(1,*)",
+                            "P(*,n)", "equivalent"});
+  for (int radix : {2, 3, 4, 5}) {
+    for (int stages : {2, 3, 4}) {
+      double cells = 1;
+      for (int i = 0; i + 1 < stages; ++i) cells *= radix;
+      if (cells > 4096) continue;
+      const min::KaryMIDigraph g = min::kary_baseline(stages, radix);
+      table.add_row({std::to_string(radix), std::to_string(stages),
+                     std::to_string(g.cells_per_stage()),
+                     min::kary_is_banyan(g) ? "yes" : "no",
+                     min::kary_satisfies_p1_star(g) ? "yes" : "no",
+                     min::kary_satisfies_p_star_n(g) ? "yes" : "no",
+                     min::kary_is_baseline_equivalent(g) ? "yes" : "no"});
+    }
+  }
+  std::cout << table.str() << '\n';
+
+  // The FINDING: unaligned independent connections break equivalence at
+  // r >= 3 even when Banyan.
+  util::SplitMix64 rng(97);
+  int banyan = 0;
+  int equivalent = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<min::KaryConnection> conns;
+    conns.push_back(min::KaryConnection::random_independent(3, 2, rng));
+    conns.push_back(min::KaryConnection::random_independent(3, 2, rng));
+    const min::KaryMIDigraph g(3, 3, std::move(conns));
+    if (!min::kary_is_banyan(g)) continue;
+    ++banyan;
+    if (min::kary_is_baseline_equivalent(g)) ++equivalent;
+  }
+  std::cout << "radix-3 Banyan networks from UNALIGNED independent "
+               "connections: "
+            << equivalent << "/" << banyan
+            << " baseline-equivalent (verbatim Theorem-3 generalization "
+               "fails)\n";
+  int aligned_banyan = 0;
+  int aligned_equivalent = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<min::KaryConnection> conns;
+    conns.push_back(
+        min::KaryConnection::random_independent_aligned(3, 2, rng));
+    conns.push_back(
+        min::KaryConnection::random_independent_aligned(3, 2, rng));
+    const min::KaryMIDigraph g(3, 3, std::move(conns));
+    if (!min::kary_is_banyan(g)) continue;
+    ++aligned_banyan;
+    if (min::kary_is_baseline_equivalent(g)) ++aligned_equivalent;
+  }
+  std::cout << "radix-3 Banyan networks from ALIGNED independent "
+               "connections:   "
+            << aligned_equivalent << "/" << aligned_banyan
+            << " baseline-equivalent (restriction restores the theorem)\n\n";
+}
+
+static void BM_KaryBaselineConstruction(benchmark::State& state) {
+  const int radix = static_cast<int>(state.range(0));
+  const int stages = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mineq::min::kary_baseline(stages, radix));
+  }
+}
+BENCHMARK(BM_KaryBaselineConstruction)
+    ->ArgsProduct({{2, 3, 4, 8}, {3, 4, 5}});
+
+static void BM_KaryEquivalenceCheck(benchmark::State& state) {
+  const int radix = static_cast<int>(state.range(0));
+  const int stages = static_cast<int>(state.range(1));
+  const auto g = mineq::min::kary_omega(stages, radix);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mineq::min::kary_is_baseline_equivalent(g));
+  }
+}
+BENCHMARK(BM_KaryEquivalenceCheck)->ArgsProduct({{2, 3, 4}, {3, 4, 5}});
+
+static void BM_KaryIndependenceTest(benchmark::State& state) {
+  const int radix = static_cast<int>(state.range(0));
+  const int digits = static_cast<int>(state.range(1));
+  mineq::util::SplitMix64 rng(5);
+  const auto conn = mineq::min::KaryConnection::random_independent_aligned(
+      radix, digits, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conn.is_independent());
+  }
+}
+BENCHMARK(BM_KaryIndependenceTest)->ArgsProduct({{2, 3, 4}, {2, 3, 4}});

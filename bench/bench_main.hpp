@@ -1,0 +1,21 @@
+/// \file bench_main.hpp
+/// \brief Shared main() for the mineq benchmarks: print the regenerated
+/// paper artifact first, then run the google-benchmark suite.
+///
+/// Each bench translation unit defines `void print_report();` and includes
+/// this header once.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+void print_report();
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

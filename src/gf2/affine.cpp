@@ -1,0 +1,127 @@
+#include "gf2/affine.hpp"
+
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+#include "util/format.hpp"
+
+namespace mineq::gf2 {
+
+AffineMap::AffineMap(Matrix linear, std::uint64_t constant)
+    : linear_(std::move(linear)), constant_(constant) {
+  if (linear_.rows() < 64 && (constant >> linear_.rows()) != 0) {
+    throw std::invalid_argument("AffineMap: constant wider than codomain");
+  }
+}
+
+AffineMap AffineMap::identity(int width) {
+  return AffineMap(Matrix::identity(width), 0);
+}
+
+AffineMap AffineMap::translation(std::uint64_t c, int width) {
+  return AffineMap(Matrix::identity(width), c);
+}
+
+AffineMap AffineMap::random_bijection(int width, util::SplitMix64& rng) {
+  const Matrix m = Matrix::random_invertible(width, rng);
+  const std::uint64_t mask = (width >= 64)
+                                 ? ~std::uint64_t{0}
+                                 : ((std::uint64_t{1} << width) - 1);
+  return AffineMap(m, rng.next() & mask);
+}
+
+BitVec AffineMap::apply(const BitVec& x) const {
+  if (x.width() != in_width()) {
+    throw std::invalid_argument("AffineMap::apply: width mismatch");
+  }
+  return BitVec(apply(x.bits()), out_width());
+}
+
+AffineMap AffineMap::after(const AffineMap& other) const {
+  if (in_width() != other.out_width()) {
+    throw std::invalid_argument("AffineMap::after: width mismatch");
+  }
+  // this(other(x)) = M (M' x xor c') xor c = (M M') x xor (M c' xor c).
+  return AffineMap(linear_ * other.linear_,
+                   linear_.apply(other.constant_) ^ constant_);
+}
+
+std::optional<AffineMap> AffineMap::inverse() const {
+  const auto inv = linear_.inverse();
+  if (!inv.has_value()) return std::nullopt;
+  // y = Mx xor c  =>  x = M^-1 y xor M^-1 c.
+  return AffineMap(*inv, inv->apply(constant_));
+}
+
+std::vector<std::uint32_t> AffineMap::to_table() const {
+  if (in_width() > util::kMaxBits) {
+    throw std::invalid_argument("AffineMap::to_table: domain too large");
+  }
+  const std::size_t size = std::size_t{1} << in_width();
+  std::vector<std::uint32_t> table(size);
+  // Incremental evaluation: apply(x) differs from apply(x ^ e_b) by column b.
+  std::vector<std::uint32_t> column(static_cast<std::size_t>(in_width()));
+  for (int b = 0; b < in_width(); ++b) {
+    column[static_cast<std::size_t>(b)] =
+        static_cast<std::uint32_t>(linear_.apply(std::uint64_t{1} << b));
+  }
+  table[0] = static_cast<std::uint32_t>(constant_);
+  for (std::size_t x = 1; x < size; ++x) {
+    const int b = util::lowest_set_bit(x);
+    table[x] = table[x ^ (std::size_t{1} << b)] ^
+               column[static_cast<std::size_t>(b)];
+  }
+  return table;
+}
+
+std::string AffineMap::str() const {
+  std::string out = "x -> Mx ^ ";
+  out += util::bit_string(constant_, out_width());
+  out += "\nM =\n";
+  out += linear_.str();
+  return out;
+}
+
+std::optional<AffineMap> fit_affine(const std::vector<std::uint32_t>& table,
+                                    int in_width, int out_width) {
+  if (in_width < 0 || in_width > util::kMaxBits || out_width < 0 ||
+      out_width > util::kMaxBits) {
+    throw std::invalid_argument("fit_affine: width out of range");
+  }
+  const std::size_t size = std::size_t{1} << in_width;
+  if (table.size() != size) {
+    throw std::invalid_argument("fit_affine: table size != 2^in_width");
+  }
+  const std::uint32_t out_mask =
+      static_cast<std::uint32_t>(util::low_mask(out_width));
+
+  const std::uint32_t c = table[0];
+  if ((c & ~out_mask) != 0) return std::nullopt;
+
+  // Candidate columns: M e_b = table[e_b] xor c.
+  std::vector<std::uint64_t> columns(static_cast<std::size_t>(in_width));
+  for (int b = 0; b < in_width; ++b) {
+    const std::uint32_t col = table[std::size_t{1} << b] ^ c;
+    if ((col & ~out_mask) != 0) return std::nullopt;
+    columns[static_cast<std::size_t>(b)] = col;
+  }
+
+  // Verify the whole table against the xor recurrence.
+  for (std::size_t x = 1; x < size; ++x) {
+    if ((table[x] & ~out_mask) != 0) return std::nullopt;
+    const int b = util::lowest_set_bit(x);
+    const std::uint32_t expected =
+        table[x ^ (std::size_t{1} << b)] ^
+        static_cast<std::uint32_t>(columns[static_cast<std::size_t>(b)]);
+    if (table[x] != expected) return std::nullopt;
+  }
+
+  return AffineMap(Matrix::from_cols(columns, out_width), c);
+}
+
+bool is_affine(const std::vector<std::uint32_t>& table, int in_width,
+               int out_width) {
+  return fit_affine(table, in_width, out_width).has_value();
+}
+
+}  // namespace mineq::gf2

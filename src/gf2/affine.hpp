@@ -1,0 +1,85 @@
+/// \file affine.hpp
+/// \brief Affine maps x -> Mx xor c over GF(2), and affine-fitting of tables.
+///
+/// The structural form of an independent connection is a pair of affine maps
+/// sharing one linear part (f = Lx xor c_f, g = Lx xor c_g); the
+/// explicit isomorphisms synthesized between baseline-equivalent networks
+/// are stage-wise affine bijections. fit_affine() recovers the (M, c)
+/// decomposition of a function given as a value table in O(2^w) — this is
+/// the engine behind the fast independence test.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gf2/matrix.hpp"
+
+namespace mineq::gf2 {
+
+/// An affine map Z_2^in -> Z_2^out, x -> Mx xor c.
+class AffineMap {
+ public:
+  /// Identity on Z_2^0.
+  AffineMap() : linear_(Matrix::identity(0)), constant_(0) {}
+
+  /// \throws std::invalid_argument if \p constant has bits above M's rows.
+  AffineMap(Matrix linear, std::uint64_t constant);
+
+  [[nodiscard]] static AffineMap identity(int width);
+
+  /// Pure translation x -> x xor c.
+  [[nodiscard]] static AffineMap translation(std::uint64_t c, int width);
+
+  /// Uniformly random affine bijection on Z_2^width.
+  [[nodiscard]] static AffineMap random_bijection(int width,
+                                                  util::SplitMix64& rng);
+
+  [[nodiscard]] const Matrix& linear() const noexcept { return linear_; }
+  [[nodiscard]] std::uint64_t constant() const noexcept { return constant_; }
+  [[nodiscard]] int in_width() const noexcept { return linear_.cols(); }
+  [[nodiscard]] int out_width() const noexcept { return linear_.rows(); }
+
+  [[nodiscard]] std::uint64_t apply(std::uint64_t x) const {
+    return linear_.apply(x) ^ constant_;
+  }
+
+  [[nodiscard]] BitVec apply(const BitVec& x) const;
+
+  /// Composition: (this after other)(x) = this(other(x)).
+  [[nodiscard]] AffineMap after(const AffineMap& other) const;
+
+  [[nodiscard]] bool is_bijection() const { return linear_.is_invertible(); }
+
+  [[nodiscard]] bool is_linear() const noexcept { return constant_ == 0; }
+
+  /// Inverse map, if bijective.
+  [[nodiscard]] std::optional<AffineMap> inverse() const;
+
+  /// Evaluate over the whole domain into a table (size 2^in_width).
+  [[nodiscard]] std::vector<std::uint32_t> to_table() const;
+
+  friend bool operator==(const AffineMap&, const AffineMap&) = default;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  Matrix linear_;
+  std::uint64_t constant_;
+};
+
+/// Recover (M, c) such that table[x] == Mx xor c for all x, if possible.
+/// \p table must have size 2^in_width and entries below 2^out_width.
+/// Runs in O(2^in_width) using the xor-difference recurrence
+/// D(x) = D(x without lowest bit) xor D(lowest bit of x).
+[[nodiscard]] std::optional<AffineMap> fit_affine(
+    const std::vector<std::uint32_t>& table, int in_width, int out_width);
+
+/// \returns true iff the table is an affine function of x (cheaper wrapper
+/// when the decomposition itself is not needed).
+[[nodiscard]] bool is_affine(const std::vector<std::uint32_t>& table,
+                             int in_width, int out_width);
+
+}  // namespace mineq::gf2

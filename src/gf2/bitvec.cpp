@@ -1,0 +1,58 @@
+#include "gf2/bitvec.hpp"
+
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace mineq::gf2 {
+
+std::string BitVec::to_tuple() const {
+  return util::bit_tuple(bits_, width_);
+}
+
+std::string BitVec::to_binary() const {
+  return util::bit_string(bits_, width_);
+}
+
+BitVec BitVec::parse(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("BitVec::parse: empty input");
+
+  std::uint64_t bits = 0;
+  int width = 0;
+  if (text.front() == '(') {
+    if (text.back() != ')') {
+      throw std::invalid_argument("BitVec::parse: unbalanced parentheses");
+    }
+    const std::string_view body = text.substr(1, text.size() - 2);
+    bool expect_digit = true;
+    for (char ch : body) {
+      if (expect_digit) {
+        if (ch != '0' && ch != '1') {
+          throw std::invalid_argument("BitVec::parse: expected 0 or 1");
+        }
+        bits = (bits << 1) | static_cast<std::uint64_t>(ch - '0');
+        ++width;
+        expect_digit = false;
+      } else {
+        if (ch != ',') {
+          throw std::invalid_argument("BitVec::parse: expected comma");
+        }
+        expect_digit = true;
+      }
+    }
+    if (expect_digit && width > 0) {
+      throw std::invalid_argument("BitVec::parse: trailing comma");
+    }
+  } else {
+    for (char ch : text) {
+      if (ch != '0' && ch != '1') {
+        throw std::invalid_argument("BitVec::parse: expected 0 or 1");
+      }
+      bits = (bits << 1) | static_cast<std::uint64_t>(ch - '0');
+      ++width;
+    }
+  }
+  return BitVec(bits, width);
+}
+
+}  // namespace mineq::gf2

@@ -1,0 +1,143 @@
+/// \file bitvec.hpp
+/// \brief Fixed-width vectors over GF(2) — the node labels of the paper.
+///
+/// The paper labels the 2^(n-1) cells of each stage with (n-1)-tuples of
+/// bits and works in the group (Z_2^(n-1), xor). BitVec is that label type:
+/// a width-carrying wrapper over an unsigned integer with checked,
+/// width-respecting operations. Hot loops use raw integers; BitVec is the
+/// safe API surface and the formatting/parsing point.
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/bitops.hpp"
+
+namespace mineq::gf2 {
+
+/// A vector in Z_2^width, width in [0, util::kMaxBits].
+class BitVec {
+ public:
+  /// The zero vector of dimension 0.
+  constexpr BitVec() noexcept : bits_(0), width_(0) {}
+
+  /// Construct from raw bits; bits above \p width must be clear.
+  /// \throws std::invalid_argument on width out of range or stray bits.
+  constexpr BitVec(std::uint64_t bits, int width) : bits_(bits), width_(width) {
+    if (width < 0 || width > util::kMaxBits) {
+      throw std::invalid_argument("BitVec: width out of range");
+    }
+    if ((bits & ~util::low_mask(width)) != 0) {
+      throw std::invalid_argument("BitVec: value wider than declared width");
+    }
+  }
+
+  /// The zero vector of dimension \p width.
+  [[nodiscard]] static constexpr BitVec zero(int width) {
+    return BitVec(0, width);
+  }
+
+  /// The standard basis vector e_pos of dimension \p width.
+  [[nodiscard]] static constexpr BitVec unit(int pos, int width) {
+    if (pos < 0 || pos >= width) {
+      throw std::invalid_argument("BitVec::unit: position out of range");
+    }
+    return BitVec(std::uint64_t{1} << pos, width);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t bits() const noexcept { return bits_; }
+  [[nodiscard]] constexpr int width() const noexcept { return width_; }
+
+  /// Bit at position \p pos (0 = least significant = x_1 in the paper's
+  /// (x_{n-1},...,x_1) notation for cell labels).
+  [[nodiscard]] constexpr unsigned bit(int pos) const {
+    if (pos < 0 || pos >= width_) {
+      throw std::invalid_argument("BitVec::bit: position out of range");
+    }
+    return util::get_bit(bits_, pos);
+  }
+
+  /// \returns a copy with bit \p pos set to \p value.
+  [[nodiscard]] constexpr BitVec with_bit(int pos, unsigned value) const {
+    if (pos < 0 || pos >= width_) {
+      throw std::invalid_argument("BitVec::with_bit: position out of range");
+    }
+    return BitVec(util::set_bit(bits_, pos, value), width_);
+  }
+
+  /// Bitwise addition in Z_2^width (exclusive or).
+  /// \throws std::invalid_argument on width mismatch.
+  [[nodiscard]] constexpr BitVec operator^(const BitVec& other) const {
+    if (width_ != other.width_) {
+      throw std::invalid_argument("BitVec::operator^: width mismatch");
+    }
+    return BitVec(bits_ ^ other.bits_, width_);
+  }
+
+  constexpr BitVec& operator^=(const BitVec& other) {
+    *this = *this ^ other;
+    return *this;
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] constexpr int weight() const noexcept {
+    return util::popcount(bits_);
+  }
+
+  /// True iff this is the zero vector.
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return bits_ == 0; }
+
+  /// Dot product over GF(2): parity of the AND.
+  [[nodiscard]] constexpr unsigned dot(const BitVec& other) const {
+    if (width_ != other.width_) {
+      throw std::invalid_argument("BitVec::dot: width mismatch");
+    }
+    return util::parity(bits_ & other.bits_);
+  }
+
+  /// Concatenate: the result has this vector in the high bits and \p low in
+  /// the low bits — used to build link labels (cell, port) from cell labels.
+  [[nodiscard]] constexpr BitVec concat(const BitVec& low) const {
+    return BitVec((bits_ << low.width_) | low.bits_, width_ + low.width_);
+  }
+
+  /// Drop the lowest \p count bits (used to read a cell label off a link
+  /// label, as in Section 4 of the paper).
+  [[nodiscard]] constexpr BitVec drop_low(int count) const {
+    if (count < 0 || count > width_) {
+      throw std::invalid_argument("BitVec::drop_low: count out of range");
+    }
+    return BitVec(bits_ >> count, width_ - count);
+  }
+
+  friend constexpr bool operator==(const BitVec&, const BitVec&) = default;
+  friend constexpr auto operator<=>(const BitVec&, const BitVec&) = default;
+
+  /// Render as the paper's tuple notation, e.g. "(0,1,1)".
+  [[nodiscard]] std::string to_tuple() const;
+
+  /// Render as a plain MSB-first binary string, e.g. "011".
+  [[nodiscard]] std::string to_binary() const;
+
+  /// Parse either tuple "(0,1,1)" or binary "011" notation.
+  /// \throws std::invalid_argument on malformed input.
+  [[nodiscard]] static BitVec parse(std::string_view text);
+
+ private:
+  std::uint64_t bits_;
+  int width_;
+};
+
+}  // namespace mineq::gf2
+
+template <>
+struct std::hash<mineq::gf2::BitVec> {
+  std::size_t operator()(const mineq::gf2::BitVec& v) const noexcept {
+    return std::hash<std::uint64_t>{}(v.bits() * 31 +
+                                      static_cast<std::uint64_t>(v.width()));
+  }
+};

@@ -1,0 +1,335 @@
+#include "gf2/matrix.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/bitops.hpp"
+#include "util/format.hpp"
+
+namespace mineq::gf2 {
+
+namespace {
+
+/// Gaussian elimination to row echelon form, in place.
+/// \returns pivot column per reduced row, in order.
+std::vector<int> echelonize(std::vector<std::uint64_t>& rows, int cols) {
+  std::vector<int> pivots;
+  std::size_t next_row = 0;
+  for (int col = cols - 1; col >= 0 && next_row < rows.size(); --col) {
+    std::size_t pivot = next_row;
+    while (pivot < rows.size() && util::get_bit(rows[pivot], col) == 0) {
+      ++pivot;
+    }
+    if (pivot == rows.size()) continue;
+    std::swap(rows[next_row], rows[pivot]);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r != next_row && util::get_bit(rows[r], col) != 0) {
+        rows[r] ^= rows[next_row];
+      }
+    }
+    pivots.push_back(col);
+    ++next_row;
+  }
+  return pivots;
+}
+
+}  // namespace
+
+Matrix::Matrix(int rows, int cols) : rows_(rows), cols_(cols) {
+  if (rows < 0 || cols < 0 || rows > util::kMaxBits * 2 ||
+      cols > util::kMaxBits * 2) {
+    throw std::invalid_argument("Matrix: dimension out of range");
+  }
+  data_.assign(static_cast<std::size_t>(rows), 0);
+}
+
+Matrix Matrix::from_rows(std::vector<std::uint64_t> rows, int cols) {
+  Matrix m(static_cast<int>(rows.size()), cols);
+  const std::uint64_t mask = (cols >= 64) ? ~std::uint64_t{0}
+                                          : ((std::uint64_t{1} << cols) - 1);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if ((rows[i] & ~mask) != 0) {
+      throw std::invalid_argument("Matrix::from_rows: row wider than cols");
+    }
+    m.data_[i] = rows[i];
+  }
+  return m;
+}
+
+Matrix Matrix::from_cols(const std::vector<std::uint64_t>& cols_in, int rows) {
+  Matrix m(rows, static_cast<int>(cols_in.size()));
+  for (std::size_t j = 0; j < cols_in.size(); ++j) {
+    for (int i = 0; i < rows; ++i) {
+      if (util::get_bit(cols_in[j], i) != 0) {
+        m.set(i, static_cast<int>(j), 1);
+      }
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.data_[static_cast<std::size_t>(i)] =
+      std::uint64_t{1} << i;
+  return m;
+}
+
+Matrix Matrix::bit_selector(const std::vector<int>& theta_of, int cols) {
+  Matrix m(static_cast<int>(theta_of.size()), cols);
+  for (std::size_t i = 0; i < theta_of.size(); ++i) {
+    if (theta_of[i] < 0 || theta_of[i] >= cols) {
+      throw std::invalid_argument("Matrix::bit_selector: index out of range");
+    }
+    m.data_[i] = std::uint64_t{1} << theta_of[i];
+  }
+  return m;
+}
+
+Matrix Matrix::random(int rows, int cols, util::SplitMix64& rng) {
+  Matrix m(rows, cols);
+  const std::uint64_t mask = (cols >= 64) ? ~std::uint64_t{0}
+                                          : ((std::uint64_t{1} << cols) - 1);
+  for (auto& row : m.data_) row = rng.next() & mask;
+  return m;
+}
+
+Matrix Matrix::random_invertible(int n, util::SplitMix64& rng) {
+  for (;;) {
+    Matrix m = random(n, n, rng);
+    if (m.is_invertible()) return m;
+  }
+}
+
+void Matrix::check_entry(int row, int col) const {
+  if (row < 0 || row >= rows_ || col < 0 || col >= cols_) {
+    throw std::invalid_argument("Matrix: entry out of range");
+  }
+}
+
+unsigned Matrix::at(int row, int col) const {
+  check_entry(row, col);
+  return util::get_bit(data_[static_cast<std::size_t>(row)], col);
+}
+
+void Matrix::set(int row, int col, unsigned value) {
+  check_entry(row, col);
+  data_[static_cast<std::size_t>(row)] =
+      util::set_bit(data_[static_cast<std::size_t>(row)], col, value);
+}
+
+std::uint64_t Matrix::row(int i) const {
+  if (i < 0 || i >= rows_) throw std::invalid_argument("Matrix::row: range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+void Matrix::set_row(int i, std::uint64_t bits) {
+  if (i < 0 || i >= rows_) {
+    throw std::invalid_argument("Matrix::set_row: range");
+  }
+  const std::uint64_t mask = (cols_ >= 64) ? ~std::uint64_t{0}
+                                           : ((std::uint64_t{1} << cols_) - 1);
+  if ((bits & ~mask) != 0) {
+    throw std::invalid_argument("Matrix::set_row: row wider than cols");
+  }
+  data_[static_cast<std::size_t>(i)] = bits;
+}
+
+std::uint64_t Matrix::apply(std::uint64_t x) const {
+  std::uint64_t y = 0;
+  for (int i = 0; i < rows_; ++i) {
+    y |= static_cast<std::uint64_t>(
+             util::parity(data_[static_cast<std::size_t>(i)] & x))
+         << i;
+  }
+  return y;
+}
+
+BitVec Matrix::apply(const BitVec& x) const {
+  if (x.width() != cols_) {
+    throw std::invalid_argument("Matrix::apply: width mismatch");
+  }
+  return BitVec(apply(x.bits()), rows_);
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("Matrix::operator*: shape mismatch");
+  }
+  // (AB) row i = sum over j with A(i,j)=1 of B row j.
+  Matrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    std::uint64_t acc = 0;
+    std::uint64_t a = data_[static_cast<std::size_t>(i)];
+    while (a != 0) {
+      const int j = util::lowest_set_bit(a);
+      a &= a - 1;
+      acc ^= other.data_[static_cast<std::size_t>(j)];
+    }
+    out.data_[static_cast<std::size_t>(i)] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix::operator+: shape mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] ^= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) {
+      if (at(i, j) != 0) out.set(j, i, 1);
+    }
+  }
+  return out;
+}
+
+int Matrix::rank() const {
+  std::vector<std::uint64_t> work = data_;
+  return static_cast<int>(echelonize(work, cols_).size());
+}
+
+bool Matrix::is_identity() const {
+  if (!is_square()) return false;
+  for (int i = 0; i < rows_; ++i) {
+    if (data_[static_cast<std::size_t>(i)] != (std::uint64_t{1} << i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Matrix::is_invertible() const { return is_square() && rank() == rows_; }
+
+std::optional<Matrix> Matrix::inverse() const {
+  if (!is_square()) return std::nullopt;
+  // Augment each row with the identity in the high bits, eliminate, read off.
+  const int n = rows_;
+  std::vector<std::uint64_t> work(data_.size());
+  for (int i = 0; i < n; ++i) {
+    work[static_cast<std::size_t>(i)] =
+        data_[static_cast<std::size_t>(i)] |
+        (std::uint64_t{1} << (n + i));
+  }
+  // Eliminate on the low n columns only.
+  std::size_t next_row = 0;
+  for (int col = n - 1; col >= 0 && next_row < work.size(); --col) {
+    std::size_t pivot = next_row;
+    while (pivot < work.size() && util::get_bit(work[pivot], col) == 0) {
+      ++pivot;
+    }
+    if (pivot == work.size()) return std::nullopt;  // singular
+    std::swap(work[next_row], work[pivot]);
+    for (std::size_t r = 0; r < work.size(); ++r) {
+      if (r != next_row && util::get_bit(work[r], col) != 0) {
+        work[r] ^= work[next_row];
+      }
+    }
+    ++next_row;
+  }
+  if (next_row != static_cast<std::size_t>(n)) return std::nullopt;
+  // After full elimination row k has single low bit at column (n-1-k).
+  const std::uint64_t low_mask_n =
+      (n >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+  Matrix inv(n, n);
+  for (std::size_t r = 0; r < work.size(); ++r) {
+    const std::uint64_t low = work[r] & low_mask_n;
+    const int col = util::lowest_set_bit(low);
+    inv.data_[static_cast<std::size_t>(col)] = work[r] >> n;
+  }
+  return inv;
+}
+
+std::optional<std::uint64_t> Matrix::solve(std::uint64_t b) const {
+  // Solve M x = b: eliminate rows of [M | b-bit] where the b bit is carried
+  // in bit position cols_.
+  std::vector<std::uint64_t> work(data_.size());
+  for (int i = 0; i < rows_; ++i) {
+    work[static_cast<std::size_t>(i)] =
+        data_[static_cast<std::size_t>(i)] |
+        (static_cast<std::uint64_t>(util::get_bit(b, i)) << cols_);
+  }
+  std::vector<int> pivots;
+  std::size_t next_row = 0;
+  for (int col = cols_ - 1; col >= 0 && next_row < work.size(); --col) {
+    std::size_t pivot = next_row;
+    while (pivot < work.size() && util::get_bit(work[pivot], col) == 0) {
+      ++pivot;
+    }
+    if (pivot == work.size()) continue;
+    std::swap(work[next_row], work[pivot]);
+    for (std::size_t r = 0; r < work.size(); ++r) {
+      if (r != next_row && util::get_bit(work[r], col) != 0) {
+        work[r] ^= work[next_row];
+      }
+    }
+    pivots.push_back(col);
+    ++next_row;
+  }
+  // Inconsistent iff some fully-eliminated row still has the b bit set.
+  for (std::size_t r = next_row; r < work.size(); ++r) {
+    if (work[r] != 0) return std::nullopt;
+  }
+  std::uint64_t x = 0;
+  for (std::size_t r = 0; r < pivots.size(); ++r) {
+    if (util::get_bit(work[r], cols_) != 0) {
+      x |= std::uint64_t{1} << pivots[r];
+    }
+  }
+  return x;
+}
+
+std::vector<std::uint64_t> Matrix::kernel_basis() const {
+  // Reduce M; free columns parameterize the kernel.
+  std::vector<std::uint64_t> work = data_;
+  const std::vector<int> pivots = echelonize(work, cols_);
+  std::vector<bool> is_pivot(static_cast<std::size_t>(cols_), false);
+  for (int p : pivots) is_pivot[static_cast<std::size_t>(p)] = true;
+
+  std::vector<std::uint64_t> basis;
+  for (int free = 0; free < cols_; ++free) {
+    if (is_pivot[static_cast<std::size_t>(free)]) continue;
+    std::uint64_t v = std::uint64_t{1} << free;
+    // Back-substitute: pivot row r forces the pivot variable to match the
+    // parity contributed by the free columns.
+    for (std::size_t r = 0; r < pivots.size(); ++r) {
+      if (util::get_bit(work[r], free) != 0) {
+        v |= std::uint64_t{1} << pivots[r];
+      }
+    }
+    basis.push_back(v);
+  }
+  return basis;
+}
+
+std::vector<std::uint64_t> Matrix::image_basis() const {
+  // Image is spanned by the columns; echelonize the transpose's rows.
+  std::vector<std::uint64_t> cols(static_cast<std::size_t>(cols_), 0);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) {
+      if (at(i, j) != 0) {
+        cols[static_cast<std::size_t>(j)] |= std::uint64_t{1} << i;
+      }
+    }
+  }
+  const std::vector<int> pivots = echelonize(cols, rows_);
+  cols.resize(pivots.size());
+  return cols;
+}
+
+std::string Matrix::str() const {
+  std::string out;
+  for (int i = 0; i < rows_; ++i) {
+    out += util::bit_string(data_[static_cast<std::size_t>(i)], cols_);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mineq::gf2

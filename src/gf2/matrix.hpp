@@ -1,0 +1,113 @@
+/// \file matrix.hpp
+/// \brief Dense matrices over GF(2), rows packed into 64-bit words.
+///
+/// The structural analysis of independent connections reduces to GF(2)
+/// linear algebra: an independent connection is exactly f = L(x) xor c_f,
+/// g = L(x) xor c_g for a single linear map L (see min/independence.hpp),
+/// and the explicit-isomorphism synthesizer (min/affine_iso.hpp) solves
+/// systems whose unknowns are matrix entries. Dimensions are bounded by
+/// util::kMaxBits, so one word per row suffices.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gf2/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace mineq::gf2 {
+
+/// A rows x cols matrix over GF(2). Row i is stored LSB-first in a word:
+/// entry (i, j) is bit j of row word i. Vectors multiply on the right:
+/// (M * x)_i = <row_i, x>.
+class Matrix {
+ public:
+  /// The 0 x 0 matrix.
+  Matrix() = default;
+
+  /// Zero matrix of the given shape.
+  /// \throws std::invalid_argument if a dimension is negative or > kMaxBits.
+  Matrix(int rows, int cols);
+
+  /// Build from explicit row words; \p cols bounds the meaningful bits.
+  static Matrix from_rows(std::vector<std::uint64_t> rows, int cols);
+
+  /// Build from columns: column j of the result is \p cols_in[j].
+  static Matrix from_cols(const std::vector<std::uint64_t>& cols_in, int rows);
+
+  /// Identity of size n.
+  [[nodiscard]] static Matrix identity(int n);
+
+  /// The matrix of the linear map x -> permuted bits, out bit i = in bit
+  /// theta_of[i]. Each theta_of[i] must lie in [0, cols).
+  [[nodiscard]] static Matrix bit_selector(const std::vector<int>& theta_of,
+                                           int cols);
+
+  /// Uniformly random matrix (each entry an independent fair bit).
+  [[nodiscard]] static Matrix random(int rows, int cols, util::SplitMix64& rng);
+
+  /// Uniformly random invertible matrix (rejection sampling; the density of
+  /// GL(n,2) in all matrices is > 0.288, so this terminates quickly).
+  [[nodiscard]] static Matrix random_invertible(int n, util::SplitMix64& rng);
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+
+  /// Entry access.
+  [[nodiscard]] unsigned at(int row, int col) const;
+  void set(int row, int col, unsigned value);
+
+  /// Raw row word (bits above cols() are zero).
+  [[nodiscard]] std::uint64_t row(int i) const;
+  void set_row(int i, std::uint64_t bits);
+
+  /// Matrix-vector product over GF(2); \p x uses the low cols() bits.
+  [[nodiscard]] std::uint64_t apply(std::uint64_t x) const;
+
+  /// Matrix-vector product with width checking.
+  [[nodiscard]] BitVec apply(const BitVec& x) const;
+
+  /// Matrix product this * other (requires cols() == other.rows()).
+  [[nodiscard]] Matrix operator*(const Matrix& other) const;
+
+  /// Entry-wise sum (GF(2): xor).
+  [[nodiscard]] Matrix operator+(const Matrix& other) const;
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Rank via Gaussian elimination (does not modify this).
+  [[nodiscard]] int rank() const;
+
+  [[nodiscard]] bool is_identity() const;
+  [[nodiscard]] bool is_square() const noexcept { return rows_ == cols_; }
+  [[nodiscard]] bool is_invertible() const;
+
+  /// Inverse, if square and invertible.
+  [[nodiscard]] std::optional<Matrix> inverse() const;
+
+  /// One solution x of (this) * x = b, if any exists.
+  [[nodiscard]] std::optional<std::uint64_t> solve(std::uint64_t b) const;
+
+  /// Basis of the kernel {x : Mx = 0}, as raw words of width cols().
+  [[nodiscard]] std::vector<std::uint64_t> kernel_basis() const;
+
+  /// Basis of the image {Mx}, as raw words of width rows().
+  [[nodiscard]] std::vector<std::uint64_t> image_basis() const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+  /// Multi-line rendering, one row per line, MSB-first within each row.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  void check_entry(int row, int col) const;
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<std::uint64_t> data_;
+};
+
+}  // namespace mineq::gf2

@@ -1,0 +1,129 @@
+#include "gf2/subspace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/bitops.hpp"
+
+namespace mineq::gf2 {
+
+Subspace::Subspace(int width) : width_(width) {
+  if (width < 0 || width > util::kMaxBits * 2) {
+    throw std::invalid_argument("Subspace: width out of range");
+  }
+}
+
+Subspace Subspace::span(const std::vector<std::uint64_t>& vectors, int width) {
+  Subspace s(width);
+  for (std::uint64_t v : vectors) s.insert(v);
+  return s;
+}
+
+Subspace Subspace::full(int width) {
+  Subspace s(width);
+  for (int i = 0; i < width; ++i) s.insert(std::uint64_t{1} << i);
+  return s;
+}
+
+bool Subspace::insert(std::uint64_t v) {
+  if (width_ < 64 && (v >> width_) != 0) {
+    throw std::invalid_argument("Subspace::insert: vector wider than space");
+  }
+  v = reduce(v);
+  if (v == 0) return false;
+  const int lead = util::highest_set_bit(v);
+  // Keep the reduced-echelon invariant: clear this leading bit from every
+  // existing basis vector, then insert in decreasing-leading-bit order.
+  for (auto& b : basis_) {
+    if (util::get_bit(b, lead) != 0) b ^= v;
+  }
+  const auto pos = std::find_if(basis_.begin(), basis_.end(),
+                                [lead](std::uint64_t b) {
+                                  return util::highest_set_bit(b) < lead;
+                                });
+  basis_.insert(pos, v);
+  return true;
+}
+
+bool Subspace::contains(std::uint64_t v) const { return reduce(v) == 0; }
+
+std::uint64_t Subspace::reduce(std::uint64_t v) const {
+  for (std::uint64_t b : basis_) {
+    const int lead = util::highest_set_bit(b);
+    if (util::get_bit(v, lead) != 0) v ^= b;
+  }
+  return v;
+}
+
+std::vector<std::uint64_t> Subspace::elements() const {
+  if (dim() > 24) {
+    throw std::invalid_argument("Subspace::elements: subspace too large");
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(size()));
+  out.push_back(0);
+  for (std::uint64_t b : basis_) {
+    const std::size_t count = out.size();
+    for (std::size_t i = 0; i < count; ++i) out.push_back(out[i] ^ b);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint64_t> Subspace::complement_basis() const {
+  Subspace grown = *this;
+  std::vector<std::uint64_t> added;
+  for (int i = 0; i < width_; ++i) {
+    const std::uint64_t e = std::uint64_t{1} << i;
+    if (grown.insert(e)) added.push_back(e);
+  }
+  return added;
+}
+
+Coset::Coset(std::uint64_t representative, Subspace subspace)
+    : rep_(subspace.reduce(representative)), subspace_(std::move(subspace)) {}
+
+bool Coset::contains(std::uint64_t v) const {
+  return subspace_.reduce(v) == rep_;
+}
+
+std::vector<std::uint64_t> Coset::elements() const {
+  std::vector<std::uint64_t> out = subspace_.elements();
+  for (auto& v : out) v ^= rep_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool is_translated_set(const std::vector<std::uint64_t>& a,
+                       const std::vector<std::uint64_t>& b,
+                       std::uint64_t* translation) {
+  const std::unordered_set<std::uint64_t> set_a(a.begin(), a.end());
+  const std::unordered_set<std::uint64_t> set_b(b.begin(), b.end());
+  if (set_a.size() != set_b.size()) return false;
+  if (set_a.empty()) {
+    if (translation != nullptr) *translation = 0;
+    return true;
+  }
+  // If b = t xor a then t = (any element of b) xor (any fixed element of a)
+  // for the *right* pairing; trying every b-element against one fixed
+  // a-element covers all candidates.
+  const std::uint64_t a0 = *set_a.begin();
+  for (std::uint64_t b0 : set_b) {
+    const std::uint64_t t = a0 ^ b0;
+    bool ok = true;
+    for (std::uint64_t v : set_a) {
+      if (set_b.find(v ^ t) == set_b.end()) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      if (translation != nullptr) *translation = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mineq::gf2

@@ -1,0 +1,107 @@
+/// \file subspace.hpp
+/// \brief Linear subspaces and cosets (translated sets) of Z_2^w.
+///
+/// The paper's Lemma 2 argues with "translated sets" — cosets v xor A of a
+/// set A — and Proposition 1 constructs a basis (alpha_1, ..., alpha_{n-1})
+/// adapted to the kernel of a connection. Subspace maintains a reduced
+/// GF(2) basis supporting exactly those operations; Coset adds the
+/// translation part.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gf2/matrix.hpp"
+
+namespace mineq::gf2 {
+
+/// A linear subspace of Z_2^width, kept as a reduced row-echelon basis
+/// (each basis vector has a distinct leading bit, and that bit is clear in
+/// every other basis vector), so membership tests are O(dim) word ops.
+class Subspace {
+ public:
+  /// The zero subspace of Z_2^width.
+  explicit Subspace(int width);
+
+  /// Span of the given vectors.
+  [[nodiscard]] static Subspace span(const std::vector<std::uint64_t>& vectors,
+                                     int width);
+
+  /// The full space Z_2^width.
+  [[nodiscard]] static Subspace full(int width);
+
+  /// Ambient dimension w.
+  [[nodiscard]] int width() const noexcept { return width_; }
+
+  /// Dimension of the subspace.
+  [[nodiscard]] int dim() const noexcept {
+    return static_cast<int>(basis_.size());
+  }
+
+  /// Number of elements (2^dim).
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << dim();
+  }
+
+  /// Add \p v to the spanning set. \returns true iff the dimension grew.
+  bool insert(std::uint64_t v);
+
+  /// \returns true iff \p v lies in the subspace.
+  [[nodiscard]] bool contains(std::uint64_t v) const;
+
+  /// Reduce \p v modulo the subspace (canonical coset representative).
+  [[nodiscard]] std::uint64_t reduce(std::uint64_t v) const;
+
+  /// The reduced basis, ordered by decreasing leading bit.
+  [[nodiscard]] const std::vector<std::uint64_t>& basis() const noexcept {
+    return basis_;
+  }
+
+  /// Enumerate all 2^dim elements (intended for small subspaces).
+  [[nodiscard]] std::vector<std::uint64_t> elements() const;
+
+  /// Extend the basis of this subspace to a basis of the full space;
+  /// returns only the added vectors (a complement basis).
+  [[nodiscard]] std::vector<std::uint64_t> complement_basis() const;
+
+  /// Two subspaces are equal iff they have identical reduced bases.
+  friend bool operator==(const Subspace&, const Subspace&) = default;
+
+ private:
+  int width_;
+  std::vector<std::uint64_t> basis_;
+};
+
+/// A coset v xor S — the paper's "v-translated set" of a subspace S.
+class Coset {
+ public:
+  Coset(std::uint64_t representative, Subspace subspace);
+
+  [[nodiscard]] const Subspace& subspace() const noexcept { return subspace_; }
+
+  /// Canonical representative (reduced modulo the subspace).
+  [[nodiscard]] std::uint64_t representative() const noexcept { return rep_; }
+
+  [[nodiscard]] bool contains(std::uint64_t v) const;
+
+  /// All elements (intended for small cosets).
+  [[nodiscard]] std::vector<std::uint64_t> elements() const;
+
+  /// Cosets are equal iff same subspace and same canonical representative.
+  friend bool operator==(const Coset&, const Coset&) = default;
+
+ private:
+  std::uint64_t rep_;
+  Subspace subspace_;
+};
+
+/// \returns true iff \p b is a translated set of \p a, i.e. b = t xor a for
+/// some t; if so and \p translation is non-null, stores one valid t.
+/// Both sets are treated as unordered; duplicates are ignored.
+[[nodiscard]] bool is_translated_set(const std::vector<std::uint64_t>& a,
+                                     const std::vector<std::uint64_t>& b,
+                                     std::uint64_t* translation = nullptr);
+
+}  // namespace mineq::gf2

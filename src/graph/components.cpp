@@ -1,0 +1,45 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/dsu.hpp"
+
+namespace mineq::graph {
+
+ComponentLabeling connected_components(const Digraph& g) {
+  DSU dsu(g.num_nodes());
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    for (std::uint32_t w : g.out(v)) dsu.unite(v, w);
+  }
+  ComponentLabeling out;
+  out.labels.assign(g.num_nodes(), 0);
+  std::unordered_map<std::uint32_t, std::uint32_t> root_to_label;
+  root_to_label.reserve(dsu.components());
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    const std::uint32_t root = dsu.find(v);
+    const auto [it, inserted] = root_to_label.emplace(
+        root, static_cast<std::uint32_t>(root_to_label.size()));
+    out.labels[v] = it->second;
+  }
+  out.count = root_to_label.size();
+  return out;
+}
+
+std::size_t component_count(const Digraph& g) {
+  DSU dsu(g.num_nodes());
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    for (std::uint32_t w : g.out(v)) dsu.unite(v, w);
+  }
+  return dsu.components();
+}
+
+std::vector<std::size_t> component_sizes(const Digraph& g) {
+  const ComponentLabeling labeling = connected_components(g);
+  std::vector<std::size_t> sizes(labeling.count, 0);
+  for (std::uint32_t label : labeling.labels) ++sizes[label];
+  std::sort(sizes.rbegin(), sizes.rend());
+  return sizes;
+}
+
+}  // namespace mineq::graph

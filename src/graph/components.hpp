@@ -1,0 +1,33 @@
+/// \file components.hpp
+/// \brief Connected components of the undirected underlying graph.
+///
+/// Per the paper's definition: "The connected components of an MI-digraph
+/// are those of the undirected underlying graph, obtained from the digraph
+/// by deleting the orientation of the arcs."
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace mineq::graph {
+
+/// Component labeling: labels[v] in [0, count), assigned in order of the
+/// smallest node id in each component.
+struct ComponentLabeling {
+  std::vector<std::uint32_t> labels;
+  std::size_t count = 0;
+};
+
+/// Components of the undirected underlying graph of \p g.
+[[nodiscard]] ComponentLabeling connected_components(const Digraph& g);
+
+/// Just the number of components (cheaper: single DSU pass).
+[[nodiscard]] std::size_t component_count(const Digraph& g);
+
+/// Sizes of all components, sorted descending.
+[[nodiscard]] std::vector<std::size_t> component_sizes(const Digraph& g);
+
+}  // namespace mineq::graph

@@ -1,0 +1,97 @@
+#include "graph/digraph.hpp"
+
+#include <stdexcept>
+
+namespace mineq::graph {
+
+Digraph::Digraph(std::size_t nodes) : out_(nodes), in_(nodes) {}
+
+std::uint32_t Digraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<std::uint32_t>(out_.size() - 1);
+}
+
+void Digraph::check_node(std::uint32_t v) const {
+  if (v >= out_.size()) {
+    throw std::invalid_argument("Digraph: node out of range");
+  }
+}
+
+void Digraph::add_arc(std::uint32_t from, std::uint32_t to) {
+  check_node(from);
+  check_node(to);
+  out_[from].push_back(to);
+  in_[to].push_back(from);
+  ++num_arcs_;
+}
+
+const std::vector<std::uint32_t>& Digraph::out(std::uint32_t v) const {
+  check_node(v);
+  return out_[v];
+}
+
+const std::vector<std::uint32_t>& Digraph::in(std::uint32_t v) const {
+  check_node(v);
+  return in_[v];
+}
+
+Digraph Digraph::reversed() const {
+  Digraph rev(num_nodes());
+  for (std::uint32_t v = 0; v < num_nodes(); ++v) {
+    for (std::uint32_t w : out_[v]) rev.add_arc(w, v);
+  }
+  return rev;
+}
+
+std::size_t LayeredDigraph::num_nodes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& layer : adj) total += layer.size();
+  return total;
+}
+
+std::size_t LayeredDigraph::num_arcs() const noexcept {
+  std::size_t total = 0;
+  for (const auto& layer : adj) {
+    for (const auto& children : layer) total += children.size();
+  }
+  return total;
+}
+
+Digraph LayeredDigraph::flatten() const {
+  Digraph g(num_nodes());
+  std::size_t offset = 0;
+  for (std::size_t s = 0; s + 1 < adj.size(); ++s) {
+    const std::size_t next_offset = offset + adj[s].size();
+    for (std::size_t v = 0; v < adj[s].size(); ++v) {
+      for (std::uint32_t child : adj[s][v]) {
+        g.add_arc(static_cast<std::uint32_t>(offset + v),
+                  static_cast<std::uint32_t>(next_offset + child));
+      }
+    }
+    offset = next_offset;
+  }
+  return g;
+}
+
+void LayeredDigraph::validate() const {
+  for (std::size_t s = 0; s < adj.size(); ++s) {
+    for (const auto& children : adj[s]) {
+      if (s + 1 == adj.size()) {
+        if (!children.empty()) {
+          throw std::invalid_argument(
+              "LayeredDigraph: arcs out of the last layer");
+        }
+        continue;
+      }
+      for (std::uint32_t child : children) {
+        if (child >= adj[s + 1].size()) {
+          throw std::invalid_argument(
+              "LayeredDigraph: child index out of range");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mineq::graph

@@ -1,0 +1,81 @@
+/// \file digraph.hpp
+/// \brief A general directed multigraph over dense node ids.
+///
+/// Generic substrate for the graph algorithms (components, BFS, rendering).
+/// Multistage interconnection digraphs are a structured special case
+/// (min/mi_digraph.hpp) that converts to this representation for the
+/// generic algorithms and to LayeredDigraph for the staged ones.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mineq::graph {
+
+/// Directed multigraph: parallel arcs are allowed and preserved.
+class Digraph {
+ public:
+  /// Graph with \p nodes nodes and no arcs.
+  explicit Digraph(std::size_t nodes = 0);
+
+  /// Add a node, returning its id.
+  std::uint32_t add_node();
+
+  /// Add an arc from \p from to \p to (parallel arcs allowed).
+  /// \throws std::invalid_argument if an endpoint is out of range.
+  void add_arc(std::uint32_t from, std::uint32_t to);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return out_.size();
+  }
+  [[nodiscard]] std::size_t num_arcs() const noexcept { return num_arcs_; }
+
+  /// Out-neighbors of \p v (with multiplicity, in insertion order).
+  [[nodiscard]] const std::vector<std::uint32_t>& out(std::uint32_t v) const;
+
+  /// In-neighbors of \p v (with multiplicity).
+  [[nodiscard]] const std::vector<std::uint32_t>& in(std::uint32_t v) const;
+
+  [[nodiscard]] std::size_t out_degree(std::uint32_t v) const {
+    return out(v).size();
+  }
+  [[nodiscard]] std::size_t in_degree(std::uint32_t v) const {
+    return in(v).size();
+  }
+
+  /// The digraph with every arc reversed.
+  [[nodiscard]] Digraph reversed() const;
+
+ private:
+  void check_node(std::uint32_t v) const;
+
+  std::vector<std::vector<std::uint32_t>> out_;
+  std::vector<std::vector<std::uint32_t>> in_;
+  std::size_t num_arcs_ = 0;
+};
+
+/// A digraph whose nodes are partitioned into consecutive layers with arcs
+/// only from layer s to layer s+1 — the shape shared by every MI-digraph.
+/// adj[s][v] lists the children (indices into layer s+1) of node v of
+/// layer s, with multiplicity. The final layer has an empty adjacency list
+/// per node (kept so layer sizes are explicit).
+struct LayeredDigraph {
+  std::vector<std::vector<std::vector<std::uint32_t>>> adj;
+
+  [[nodiscard]] std::size_t layers() const noexcept { return adj.size(); }
+  [[nodiscard]] std::size_t layer_size(std::size_t s) const {
+    return adj[s].size();
+  }
+  [[nodiscard]] std::size_t num_nodes() const noexcept;
+  [[nodiscard]] std::size_t num_arcs() const noexcept;
+
+  /// Flatten to a Digraph; node id = layer offset + index.
+  [[nodiscard]] Digraph flatten() const;
+
+  /// Validate the layered invariants (children in range of the next layer,
+  /// no arcs out of the last layer). \throws std::invalid_argument.
+  void validate() const;
+};
+
+}  // namespace mineq::graph

@@ -1,0 +1,44 @@
+#include "graph/dsu.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace mineq::graph {
+
+DSU::DSU(std::size_t size)
+    : parent_(size), size_(size, 1), components_(size) {
+  std::iota(parent_.begin(), parent_.end(), 0U);
+}
+
+std::uint32_t DSU::find(std::uint32_t x) {
+  if (x >= parent_.size()) throw std::invalid_argument("DSU::find: range");
+  // Path halving: every node on the path points to its grandparent.
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool DSU::unite(std::uint32_t a, std::uint32_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --components_;
+  return true;
+}
+
+bool DSU::same(std::uint32_t a, std::uint32_t b) { return find(a) == find(b); }
+
+std::size_t DSU::component_size(std::uint32_t x) { return size_[find(x)]; }
+
+void DSU::reset() {
+  std::iota(parent_.begin(), parent_.end(), 0U);
+  size_.assign(parent_.size(), 1);
+  components_ = parent_.size();
+}
+
+}  // namespace mineq::graph

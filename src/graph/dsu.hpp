@@ -1,0 +1,49 @@
+/// \file dsu.hpp
+/// \brief Disjoint-set union (union-find) with size heuristic and path
+/// compression.
+///
+/// The paper's P(i,j) properties count connected components of stage-range
+/// subgraphs; the equivalence decision procedure runs incremental DSU
+/// passes over the stages, so this structure is on the hot path.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mineq::graph {
+
+/// Union-find over {0, ..., size-1}.
+class DSU {
+ public:
+  explicit DSU(std::size_t size);
+
+  /// Representative of \p x's component.
+  [[nodiscard]] std::uint32_t find(std::uint32_t x);
+
+  /// Merge the components of \p a and \p b.
+  /// \returns true iff they were previously distinct.
+  bool unite(std::uint32_t a, std::uint32_t b);
+
+  /// True iff \p a and \p b are in the same component.
+  [[nodiscard]] bool same(std::uint32_t a, std::uint32_t b);
+
+  /// Current number of components.
+  [[nodiscard]] std::size_t components() const noexcept { return components_; }
+
+  /// Size of the component containing \p x.
+  [[nodiscard]] std::size_t component_size(std::uint32_t x);
+
+  /// Total number of elements.
+  [[nodiscard]] std::size_t size() const noexcept { return parent_.size(); }
+
+  /// Reset to all-singletons.
+  void reset();
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t components_;
+};
+
+}  // namespace mineq::graph

@@ -1,0 +1,403 @@
+#include "graph/isomorphism.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace mineq::graph {
+
+namespace {
+
+/// Flattened, parent-augmented view of a LayeredDigraph used by the search.
+struct FlatGraph {
+  std::vector<std::size_t> layer_offset;            // per layer
+  std::vector<std::uint32_t> layer_of;              // per flat node
+  std::vector<std::vector<std::uint32_t>> children;  // flat ids
+  std::vector<std::vector<std::uint32_t>> parents;   // flat ids
+  std::size_t nodes = 0;
+
+  explicit FlatGraph(const LayeredDigraph& g) {
+    layer_offset.resize(g.layers() + 1, 0);
+    for (std::size_t s = 0; s < g.layers(); ++s) {
+      layer_offset[s + 1] = layer_offset[s] + g.layer_size(s);
+    }
+    nodes = layer_offset.back();
+    layer_of.resize(nodes);
+    children.resize(nodes);
+    parents.resize(nodes);
+    for (std::size_t s = 0; s < g.layers(); ++s) {
+      for (std::size_t v = 0; v < g.layer_size(s); ++v) {
+        const auto flat = static_cast<std::uint32_t>(layer_offset[s] + v);
+        layer_of[flat] = static_cast<std::uint32_t>(s);
+        for (std::uint32_t c : g.adj[s][v]) {
+          const auto flat_c =
+              static_cast<std::uint32_t>(layer_offset[s + 1] + c);
+          children[flat].push_back(flat_c);
+          parents[flat_c].push_back(flat);
+        }
+      }
+    }
+  }
+};
+
+/// One WL round: new color = canonical id of (old color, sorted child
+/// colors, sorted parent colors). The dictionary is shared between both
+/// graphs so colors remain comparable.
+using Signature = std::vector<std::uint32_t>;
+
+std::vector<std::uint32_t> initial_colors(const FlatGraph& g) {
+  std::vector<std::uint32_t> colors(g.nodes);
+  for (std::size_t v = 0; v < g.nodes; ++v) {
+    colors[v] = g.layer_of[v];
+  }
+  return colors;
+}
+
+Signature node_signature(const FlatGraph& g,
+                         const std::vector<std::uint32_t>& colors,
+                         std::size_t v) {
+  Signature sig;
+  sig.push_back(colors[v]);
+  std::vector<std::uint32_t> child_colors;
+  for (std::uint32_t c : g.children[v]) child_colors.push_back(colors[c]);
+  std::sort(child_colors.begin(), child_colors.end());
+  sig.push_back(0xFFFFFFFFu);  // separator
+  sig.insert(sig.end(), child_colors.begin(), child_colors.end());
+  std::vector<std::uint32_t> parent_colors;
+  for (std::uint32_t p : g.parents[v]) parent_colors.push_back(colors[p]);
+  std::sort(parent_colors.begin(), parent_colors.end());
+  sig.push_back(0xFFFFFFFEu);  // separator
+  sig.insert(sig.end(), parent_colors.begin(), parent_colors.end());
+  return sig;
+}
+
+struct RefineResult {
+  std::vector<std::uint32_t> colors_a;
+  std::vector<std::uint32_t> colors_b;
+  std::size_t color_count = 0;
+  bool histograms_match = false;
+};
+
+RefineResult refine(const FlatGraph& a, const FlatGraph& b, int max_rounds) {
+  RefineResult r;
+  r.colors_a = initial_colors(a);
+  r.colors_b = initial_colors(b);
+  std::size_t prev_count = 0;
+  for (int round = 0; round < max_rounds; ++round) {
+    std::map<Signature, std::uint32_t> dictionary;
+    auto relabel = [&dictionary](const FlatGraph& g,
+                                 const std::vector<std::uint32_t>& colors) {
+      std::vector<std::uint32_t> next(g.nodes);
+      for (std::size_t v = 0; v < g.nodes; ++v) {
+        const Signature sig = node_signature(g, colors, v);
+        const auto [it, inserted] = dictionary.emplace(
+            sig, static_cast<std::uint32_t>(dictionary.size()));
+        next[v] = it->second;
+      }
+      return next;
+    };
+    auto next_a = relabel(a, r.colors_a);
+    auto next_b = relabel(b, r.colors_b);
+    const std::size_t count = dictionary.size();
+    r.colors_a = std::move(next_a);
+    r.colors_b = std::move(next_b);
+    r.color_count = count;
+    if (count == prev_count) break;  // stable
+    prev_count = count;
+  }
+  // Compare color histograms.
+  std::vector<std::size_t> hist_a(r.color_count, 0);
+  std::vector<std::size_t> hist_b(r.color_count, 0);
+  for (std::uint32_t c : r.colors_a) ++hist_a[c];
+  for (std::uint32_t c : r.colors_b) ++hist_b[c];
+  r.histograms_match = hist_a == hist_b;
+  return r;
+}
+
+/// Multiplicity-respecting comparison of the already-mapped neighborhood.
+/// For each mapped parent p of u, arcs(p, u) in A must equal
+/// arcs(map(p), v) in B; symmetrically for mapped children, and the counts
+/// of mapped neighbors must agree so no B-arc is left unaccounted.
+class Matcher {
+ public:
+  Matcher(const FlatGraph& a, const FlatGraph& b,
+          std::vector<std::uint32_t> colors_a,
+          std::vector<std::uint32_t> colors_b, std::uint64_t budget)
+      : a_(a),
+        b_(b),
+        colors_a_(std::move(colors_a)),
+        colors_b_(std::move(colors_b)),
+        budget_(budget),
+        map_a2b_(a.nodes, kUnset),
+        map_b2a_(b.nodes, kUnset) {
+    build_order();
+    build_candidates();
+  }
+
+  /// Runs the search. If count_all is false, stops at the first complete
+  /// mapping. Returns number of complete mappings found (saturating at
+  /// cap when counting).
+  std::uint64_t run(bool count_all, std::uint64_t cap) {
+    count_all_ = count_all;
+    cap_ = cap;
+    found_ = 0;
+    search(0);
+    return found_;
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& mapping() const {
+    return map_a2b_;
+  }
+  [[nodiscard]] std::uint64_t nodes_expanded() const {
+    return nodes_expanded_;
+  }
+  [[nodiscard]] bool budget_exhausted() const { return budget_exhausted_; }
+
+ private:
+  static constexpr std::uint32_t kUnset = 0xFFFFFFFFu;
+
+  /// DFS-preorder interleaved order: whenever a node is placed in the
+  /// order, its children follow soon after, so contradictions surface
+  /// within a few assignments instead of a full layer later.
+  void build_order() {
+    std::vector<bool> queued(a_.nodes, false);
+    order_.reserve(a_.nodes);
+    std::vector<std::uint32_t> stack;
+    for (std::uint32_t v = 0; v < a_.nodes; ++v) {
+      if (queued[v]) continue;
+      stack.push_back(v);
+      queued[v] = true;
+      while (!stack.empty()) {
+        const std::uint32_t u = stack.back();
+        stack.pop_back();
+        order_.push_back(u);
+        for (std::uint32_t c : a_.children[u]) {
+          if (!queued[c]) {
+            queued[c] = true;
+            stack.push_back(c);
+          }
+        }
+      }
+    }
+  }
+
+  void build_candidates() {
+    // candidates_[color] = B nodes of that color.
+    std::size_t max_color = 0;
+    for (std::uint32_t c : colors_b_) {
+      max_color = std::max<std::size_t>(max_color, c + 1);
+    }
+    for (std::uint32_t c : colors_a_) {
+      max_color = std::max<std::size_t>(max_color, c + 1);
+    }
+    candidates_.assign(max_color, {});
+    for (std::uint32_t v = 0; v < b_.nodes; ++v) {
+      candidates_[colors_b_[v]].push_back(v);
+    }
+  }
+
+  [[nodiscard]] static std::size_t multiplicity(
+      const std::vector<std::uint32_t>& list, std::uint32_t target) {
+    return static_cast<std::size_t>(
+        std::count(list.begin(), list.end(), target));
+  }
+
+  [[nodiscard]] bool feasible(std::uint32_t u, std::uint32_t v) const {
+    if (a_.layer_of[u] != b_.layer_of[v]) return false;
+    if (a_.children[u].size() != b_.children[v].size()) return false;
+    if (a_.parents[u].size() != b_.parents[v].size()) return false;
+    // Mapped parents must correspond with multiplicity.
+    std::size_t mapped_parents = 0;
+    for (std::uint32_t p : a_.parents[u]) {
+      const std::uint32_t mp = map_a2b_[p];
+      if (mp == kUnset) continue;
+      ++mapped_parents;
+      if (multiplicity(a_.parents[u], p) !=
+          multiplicity(b_.parents[v], mp)) {
+        return false;
+      }
+    }
+    std::size_t mapped_parents_b = 0;
+    for (std::uint32_t p : b_.parents[v]) {
+      if (map_b2a_[p] != kUnset) ++mapped_parents_b;
+    }
+    if (mapped_parents != mapped_parents_b) return false;
+    // Mapped children likewise.
+    std::size_t mapped_children = 0;
+    for (std::uint32_t c : a_.children[u]) {
+      const std::uint32_t mc = map_a2b_[c];
+      if (mc == kUnset) continue;
+      ++mapped_children;
+      if (multiplicity(a_.children[u], c) !=
+          multiplicity(b_.children[v], mc)) {
+        return false;
+      }
+    }
+    std::size_t mapped_children_b = 0;
+    for (std::uint32_t c : b_.children[v]) {
+      if (map_b2a_[c] != kUnset) ++mapped_children_b;
+    }
+    if (mapped_children != mapped_children_b) return false;
+    return true;
+  }
+
+  /// \returns true if the search should stop entirely.
+  bool search(std::size_t depth) {
+    if (budget_exhausted_) return true;
+    if (depth == order_.size()) {
+      ++found_;
+      return !count_all_ || found_ >= cap_;
+    }
+    const std::uint32_t u = order_[depth];
+    for (std::uint32_t v : candidates_[colors_a_[u]]) {
+      if (map_b2a_[v] != kUnset) continue;
+      if (++nodes_expanded_ > budget_) {
+        budget_exhausted_ = true;
+        return true;
+      }
+      if (!feasible(u, v)) continue;
+      map_a2b_[u] = v;
+      map_b2a_[v] = u;
+      const bool stop = search(depth + 1);
+      if (stop && (!count_all_ || found_ >= cap_ || budget_exhausted_)) {
+        if (!count_all_) return true;  // keep mapping intact for extraction
+        map_a2b_[u] = kUnset;
+        map_b2a_[v] = kUnset;
+        return true;
+      }
+      map_a2b_[u] = kUnset;
+      map_b2a_[v] = kUnset;
+    }
+    return false;
+  }
+
+  const FlatGraph& a_;
+  const FlatGraph& b_;
+  std::vector<std::uint32_t> colors_a_;
+  std::vector<std::uint32_t> colors_b_;
+  std::uint64_t budget_;
+  std::vector<std::uint32_t> map_a2b_;
+  std::vector<std::uint32_t> map_b2a_;
+  std::vector<std::uint32_t> order_;
+  std::vector<std::vector<std::uint32_t>> candidates_;
+  std::uint64_t nodes_expanded_ = 0;
+  std::uint64_t found_ = 0;
+  std::uint64_t cap_ = 1;
+  bool count_all_ = false;
+  bool budget_exhausted_ = false;
+};
+
+bool shape_compatible(const LayeredDigraph& a, const LayeredDigraph& b) {
+  if (a.layers() != b.layers()) return false;
+  for (std::size_t s = 0; s < a.layers(); ++s) {
+    if (a.layer_size(s) != b.layer_size(s)) return false;
+  }
+  return a.num_arcs() == b.num_arcs();
+}
+
+}  // namespace
+
+WLColoring wl_refine(const LayeredDigraph& a, const LayeredDigraph& b,
+                     int max_rounds) {
+  const FlatGraph fa(a);
+  const FlatGraph fb(b);
+  const RefineResult r = refine(fa, fb, max_rounds);
+
+  WLColoring out;
+  out.color_count = r.color_count;
+  out.histograms_match = r.histograms_match;
+  out.colors_a.resize(a.layers());
+  out.colors_b.resize(b.layers());
+  for (std::size_t s = 0; s < a.layers(); ++s) {
+    out.colors_a[s].assign(
+        r.colors_a.begin() + static_cast<std::ptrdiff_t>(fa.layer_offset[s]),
+        r.colors_a.begin() +
+            static_cast<std::ptrdiff_t>(fa.layer_offset[s + 1]));
+  }
+  for (std::size_t s = 0; s < b.layers(); ++s) {
+    out.colors_b[s].assign(
+        r.colors_b.begin() + static_cast<std::ptrdiff_t>(fb.layer_offset[s]),
+        r.colors_b.begin() +
+            static_cast<std::ptrdiff_t>(fb.layer_offset[s + 1]));
+  }
+  return out;
+}
+
+std::optional<LayeredMapping> find_layered_isomorphism(const LayeredDigraph& a,
+                                                       const LayeredDigraph& b,
+                                                       SearchStats* stats,
+                                                       std::uint64_t budget) {
+  if (!shape_compatible(a, b)) return std::nullopt;
+  const FlatGraph fa(a);
+  const FlatGraph fb(b);
+  RefineResult r = refine(fa, fb, 64);
+  if (!r.histograms_match) {
+    if (stats != nullptr) *stats = SearchStats{};
+    return std::nullopt;
+  }
+  Matcher matcher(fa, fb, std::move(r.colors_a), std::move(r.colors_b),
+                  budget);
+  const std::uint64_t found = matcher.run(/*count_all=*/false, /*cap=*/1);
+  if (stats != nullptr) {
+    stats->nodes_expanded = matcher.nodes_expanded();
+    stats->budget_exhausted = matcher.budget_exhausted();
+  }
+  if (found == 0) return std::nullopt;
+
+  LayeredMapping mapping(a.layers());
+  for (std::size_t s = 0; s < a.layers(); ++s) {
+    mapping[s].resize(a.layer_size(s));
+    for (std::size_t v = 0; v < a.layer_size(s); ++v) {
+      const std::uint32_t flat_image =
+          matcher.mapping()[fa.layer_offset[s] + v];
+      mapping[s][v] = static_cast<std::uint32_t>(
+          flat_image - fb.layer_offset[s]);
+    }
+  }
+  return mapping;
+}
+
+bool verify_layered_isomorphism(const LayeredDigraph& a,
+                                const LayeredDigraph& b,
+                                const LayeredMapping& mapping) {
+  if (a.layers() != b.layers() || mapping.size() != a.layers()) return false;
+  for (std::size_t s = 0; s < a.layers(); ++s) {
+    if (a.layer_size(s) != b.layer_size(s)) return false;
+    if (mapping[s].size() != a.layer_size(s)) return false;
+    std::vector<bool> hit(b.layer_size(s), false);
+    for (std::uint32_t image : mapping[s]) {
+      if (image >= b.layer_size(s) || hit[image]) return false;
+      hit[image] = true;
+    }
+  }
+  // Arcs preserved with multiplicity: compare the sorted mapped child list
+  // of every node against the image node's sorted child list.
+  for (std::size_t s = 0; s + 1 < a.layers(); ++s) {
+    for (std::size_t v = 0; v < a.layer_size(s); ++v) {
+      std::vector<std::uint32_t> mapped;
+      mapped.reserve(a.adj[s][v].size());
+      for (std::uint32_t c : a.adj[s][v]) mapped.push_back(mapping[s + 1][c]);
+      std::sort(mapped.begin(), mapped.end());
+      std::vector<std::uint32_t> target = b.adj[s][mapping[s][v]];
+      std::sort(target.begin(), target.end());
+      if (mapped != target) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t count_layered_automorphisms(const LayeredDigraph& a,
+                                          std::uint64_t cap) {
+  const FlatGraph fa(a);
+  const FlatGraph fb(a);
+  RefineResult r = refine(fa, fb, 64);
+  if (!r.histograms_match) {
+    throw std::logic_error(
+        "count_layered_automorphisms: self-refinement mismatch");
+  }
+  Matcher matcher(fa, fb, std::move(r.colors_a), std::move(r.colors_b),
+                  UINT64_MAX);
+  return matcher.run(/*count_all=*/true, cap);
+}
+
+}  // namespace mineq::graph

@@ -1,0 +1,184 @@
+#include "graph/render.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace mineq::graph {
+
+namespace {
+
+/// Character canvas with last-writer-wins cells and line drawing.
+class Canvas {
+ public:
+  Canvas(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        cells_(static_cast<std::size_t>(rows) *
+                   static_cast<std::size_t>(cols),
+               ' ') {}
+
+  void put(int row, int col, char ch) {
+    if (row < 0 || row >= rows_ || col < 0 || col >= cols_) return;
+    cells_[static_cast<std::size_t>(row) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(col)] = ch;
+  }
+
+  void text(int row, int col, const std::string& s) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      put(row, col + static_cast<int>(i), s[i]);
+    }
+  }
+
+  /// Draw a straight arc between two anchors with slash/backslash/dash
+  /// shading chosen from the local slope.
+  void line(int row0, int col0, int row1, int col1) {
+    const int steps = std::max(std::abs(row1 - row0), std::abs(col1 - col0));
+    if (steps == 0) return;
+    double prev_r = row0;
+    for (int s = 1; s < steps; ++s) {
+      const double t = static_cast<double>(s) / steps;
+      const double r = row0 + (row1 - row0) * t;
+      const double c = col0 + (col1 - col0) * t;
+      char ch = '-';
+      if (r > prev_r + 0.01) ch = '\\';
+      else if (r < prev_r - 0.01) ch = '/';
+      const int ri = static_cast<int>(r + 0.5);
+      const int ci = static_cast<int>(c + 0.5);
+      // Do not overwrite node labels; arcs may cross each other freely.
+      if (at(ri, ci) == ' ' || at(ri, ci) == '-' || at(ri, ci) == '/' ||
+          at(ri, ci) == '\\') {
+        put(ri, ci, at(ri, ci) == ' ' ? ch : (at(ri, ci) == ch ? ch : 'X'));
+      }
+      prev_r = r;
+    }
+  }
+
+  [[nodiscard]] char at(int row, int col) const {
+    if (row < 0 || row >= rows_ || col < 0 || col >= cols_) return ' ';
+    return cells_[static_cast<std::size_t>(row) *
+                      static_cast<std::size_t>(cols_) +
+                  static_cast<std::size_t>(col)];
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string out;
+    for (int r = 0; r < rows_; ++r) {
+      std::string row(cells_.begin() + static_cast<std::ptrdiff_t>(r) * cols_,
+                      cells_.begin() +
+                          static_cast<std::ptrdiff_t>(r + 1) * cols_);
+      while (!row.empty() && row.back() == ' ') row.pop_back();
+      out += row;
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<char> cells_;
+};
+
+std::string default_label(std::size_t layer, std::size_t v,
+                          const AsciiOptions& options) {
+  if (layer < options.labels.size() && v < options.labels[layer].size()) {
+    return options.labels[layer][v];
+  }
+  return "[" + std::to_string(v) + "]";
+}
+
+}  // namespace
+
+std::string render_ascii(const LayeredDigraph& g, const AsciiOptions& options) {
+  if (g.layers() == 0) return "";
+  std::size_t max_layer = 0;
+  std::size_t max_label = 1;
+  for (std::size_t s = 0; s < g.layers(); ++s) {
+    max_layer = std::max(max_layer, g.layer_size(s));
+    for (std::size_t v = 0; v < g.layer_size(s); ++v) {
+      max_label = std::max(max_label, default_label(s, v, options).size());
+    }
+  }
+  if (max_layer > 64) {
+    throw std::invalid_argument("render_ascii: graph too large to draw");
+  }
+  const int col_stride = static_cast<int>(max_label) + options.column_gap;
+  const int row_stride = options.row_gap + 1;
+  const int rows = static_cast<int>(max_layer) * row_stride;
+  const int cols = static_cast<int>(g.layers()) * col_stride;
+  Canvas canvas(rows, cols);
+
+  auto node_row = [&](std::size_t v) {
+    return static_cast<int>(v) * row_stride;
+  };
+  auto node_col = [&](std::size_t s) {
+    return static_cast<int>(s) * col_stride;
+  };
+
+  // Arcs first so labels overwrite their endpoints cleanly.
+  for (std::size_t s = 0; s + 1 < g.layers(); ++s) {
+    for (std::size_t v = 0; v < g.layer_size(s); ++v) {
+      const std::string label = default_label(s, v, options);
+      for (std::uint32_t c : g.adj[s][v]) {
+        canvas.line(node_row(v),
+                    node_col(s) + static_cast<int>(label.size()),
+                    node_row(c), node_col(s + 1) - 1);
+      }
+    }
+  }
+  for (std::size_t s = 0; s < g.layers(); ++s) {
+    for (std::size_t v = 0; v < g.layer_size(s); ++v) {
+      canvas.text(node_row(v), node_col(s), default_label(s, v, options));
+    }
+  }
+  return canvas.str();
+}
+
+std::string render_dot(const LayeredDigraph& g,
+                       const std::vector<std::vector<std::string>>& labels) {
+  std::ostringstream out;
+  out << "digraph MIN {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (std::size_t s = 0; s < g.layers(); ++s) {
+    out << "  { rank=same;";
+    for (std::size_t v = 0; v < g.layer_size(s); ++v) {
+      out << " s" << s << "_" << v << ";";
+    }
+    out << " }\n";
+  }
+  for (std::size_t s = 0; s < g.layers(); ++s) {
+    for (std::size_t v = 0; v < g.layer_size(s); ++v) {
+      out << "  s" << s << "_" << v << " [label=\"";
+      if (s < labels.size() && v < labels[s].size()) {
+        out << labels[s][v];
+      } else {
+        out << s << ":" << v;
+      }
+      out << "\"];\n";
+    }
+  }
+  for (std::size_t s = 0; s + 1 < g.layers(); ++s) {
+    for (std::size_t v = 0; v < g.layer_size(s); ++v) {
+      for (std::uint32_t c : g.adj[s][v]) {
+        out << "  s" << s << "_" << v << " -> s" << s + 1 << "_" << c
+            << ";\n";
+      }
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string render_adjacency(const LayeredDigraph& g) {
+  std::ostringstream out;
+  for (std::size_t s = 0; s + 1 < g.layers(); ++s) {
+    for (std::size_t v = 0; v < g.layer_size(s); ++v) {
+      out << s + 1 << ":" << v << " ->";
+      for (std::uint32_t c : g.adj[s][v]) out << ' ' << c;
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mineq::graph

@@ -1,0 +1,42 @@
+/// \file render.hpp
+/// \brief Text renderings of layered digraphs: ASCII art and Graphviz DOT.
+///
+/// The paper's figures are structural drawings of small MI-digraphs; the
+/// benchmark binaries regenerate them through these renderers so the
+/// reproduction is diffable text rather than hand-drawn pictures.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace mineq::graph {
+
+/// Options for the ASCII renderer.
+struct AsciiOptions {
+  /// Per-layer node labels; empty means use decimal indices.
+  std::vector<std::vector<std::string>> labels;
+  /// Horizontal gap between stage columns, in characters.
+  int column_gap = 12;
+  /// Vertical gap between consecutive nodes of a stage, in rows.
+  int row_gap = 2;
+};
+
+/// Render the layered digraph as ASCII art: stages as columns (left to
+/// right, matching the paper's "arcs all directed from left to right"
+/// convention), arcs as line segments. Intended for small graphs
+/// (layer size <= 16).
+[[nodiscard]] std::string render_ascii(const LayeredDigraph& g,
+                                       const AsciiOptions& options = {});
+
+/// Render as Graphviz DOT (rankdir=LR, one rank per stage).
+[[nodiscard]] std::string render_dot(
+    const LayeredDigraph& g,
+    const std::vector<std::vector<std::string>>& labels = {});
+
+/// Plain adjacency listing, one line per node: "s:v -> c1 c2".
+[[nodiscard]] std::string render_adjacency(const LayeredDigraph& g);
+
+}  // namespace mineq::graph

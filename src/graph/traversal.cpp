@@ -1,0 +1,104 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace mineq::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Digraph& g,
+                                         std::uint32_t source) {
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::queue<std::uint32_t> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const std::uint32_t v = frontier.front();
+    frontier.pop();
+    for (std::uint32_t w : g.out(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> bfs_distances_undirected(const Digraph& g,
+                                                    std::uint32_t source) {
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::queue<std::uint32_t> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  auto visit = [&](std::uint32_t from, std::uint32_t to) {
+    if (dist[to] == kUnreachable) {
+      dist[to] = dist[from] + 1;
+      frontier.push(to);
+    }
+  };
+  while (!frontier.empty()) {
+    const std::uint32_t v = frontier.front();
+    frontier.pop();
+    for (std::uint32_t w : g.out(v)) visit(v, w);
+    for (std::uint32_t w : g.in(v)) visit(v, w);
+  }
+  return dist;
+}
+
+std::vector<std::size_t> distance_profile(const Digraph& g,
+                                          std::uint32_t source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t max_dist = 0;
+  for (std::uint32_t d : dist) {
+    if (d != kUnreachable) max_dist = std::max(max_dist, d);
+  }
+  std::vector<std::size_t> profile(max_dist + 1, 0);
+  for (std::uint32_t d : dist) {
+    if (d != kUnreachable) ++profile[d];
+  }
+  return profile;
+}
+
+std::vector<std::uint32_t> reachable_set(const Digraph& g,
+                                         std::uint32_t source) {
+  const auto dist = bfs_distances(g, source);
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t v = 0; v < dist.size(); ++v) {
+    if (dist[v] != kUnreachable) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> count_paths_saturating(const Digraph& g,
+                                                  std::uint32_t source,
+                                                  std::uint64_t cap) {
+  if (cap == 0) throw std::invalid_argument("count_paths_saturating: cap 0");
+  // Kahn topological order; throws on cycles since the DP would be invalid.
+  std::vector<std::size_t> indeg(g.num_nodes(), 0);
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    indeg[v] = g.in_degree(v);
+  }
+  std::queue<std::uint32_t> ready;
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    if (indeg[v] == 0) ready.push(v);
+  }
+  std::vector<std::uint64_t> count(g.num_nodes(), 0);
+  count[source] = 1;
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const std::uint32_t v = ready.front();
+    ready.pop();
+    ++processed;
+    for (std::uint32_t w : g.out(v)) {
+      count[w] = std::min(cap, count[w] + count[v]);
+      if (--indeg[w] == 0) ready.push(w);
+    }
+  }
+  if (processed != g.num_nodes()) {
+    throw std::invalid_argument("count_paths_saturating: graph has a cycle");
+  }
+  return count;
+}
+
+}  // namespace mineq::graph

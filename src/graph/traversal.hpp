@@ -1,0 +1,45 @@
+/// \file traversal.hpp
+/// \brief BFS utilities and saturating path counting.
+///
+/// The paper notes that its equivalence conditions "are very easy to check
+/// using a breadth first search algorithm to compute the number of
+/// connected components and the number of nodes at distance k" — these are
+/// those routines, plus the path-counting DP behind the Banyan check.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace mineq::graph {
+
+/// Sentinel distance for unreachable nodes.
+inline constexpr std::uint32_t kUnreachable = 0xFFFFFFFFu;
+
+/// Directed BFS distances from \p source (arc direction respected).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Digraph& g,
+                                                       std::uint32_t source);
+
+/// Undirected BFS distances (arcs traversable both ways).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances_undirected(
+    const Digraph& g, std::uint32_t source);
+
+/// Number of nodes at each distance from \p source (directed); index d
+/// holds the count at distance d. Unreachable nodes are not counted.
+[[nodiscard]] std::vector<std::size_t> distance_profile(const Digraph& g,
+                                                        std::uint32_t source);
+
+/// Nodes reachable from \p source (directed), including the source.
+[[nodiscard]] std::vector<std::uint32_t> reachable_set(const Digraph& g,
+                                                       std::uint32_t source);
+
+/// Count directed paths from \p source to every node, saturating at \p cap
+/// (so the result is min(#paths, cap) — enough to detect "exactly one").
+/// Requires an acyclic graph; layered digraphs always qualify. Counting is
+/// by a DP in topological order (Kahn).
+[[nodiscard]] std::vector<std::uint64_t> count_paths_saturating(
+    const Digraph& g, std::uint32_t source, std::uint64_t cap);
+
+}  // namespace mineq::graph

@@ -1,0 +1,587 @@
+#include "min/affine_iso.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "min/independence.hpp"
+#include "util/bitops.hpp"
+
+namespace mineq::min {
+
+namespace {
+
+/// An affine GF(2) expression in the unknowns: xor of a subset of
+/// unknowns, plus a constant bit.
+struct SymExpr {
+  std::vector<std::uint64_t> coeffs;  // bitset over unknowns
+  unsigned constant = 0;
+
+  explicit SymExpr(std::size_t words) : coeffs(words, 0) {}
+
+  void operator^=(const SymExpr& other) {
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+      coeffs[i] ^= other.coeffs[i];
+    }
+    constant ^= other.constant;
+  }
+
+  [[nodiscard]] bool is_const_zero() const {
+    if (constant != 0) return false;
+    return std::all_of(coeffs.begin(), coeffs.end(),
+                       [](std::uint64_t word) { return word == 0; });
+  }
+};
+
+/// Symbolic vector in Z_2^w: one expression per component.
+using SymVec = std::vector<SymExpr>;
+/// Symbolic w x w matrix: rows of expressions.
+using SymMatrix = std::vector<std::vector<SymExpr>>;
+
+/// Synthesizes per-stage affine bijections A_s(x) = M_s x ^ a_s with the
+/// general pairing: for each stage a GF(2) affine functional h_s decides,
+/// per cell, whether (f, g) maps straight or swapped onto (f*, g*):
+///
+///   A_{s+1}(f_s(x)) = f*_s(A_s x) ^ t*_s h_s(x),
+///   A_{s+1}(g_s(x)) = g*_s(A_s x) ^ t*_s h_s(x),    t*_s = c*_s ^ d*_s.
+///
+/// Unknowns: entries of M_1 (w^2) plus, per stage, the functional's w
+/// linear coefficients and constant. Every propagation step and every
+/// constraint is linear in these unknowns, so one GF(2) elimination
+/// produces the whole solution space; invertibility of the M-chain is
+/// established per sampled solution and the result is verified arc-by-arc.
+class Synthesizer {
+ public:
+  Synthesizer(const MIDigraph& g, const MIDigraph& h, util::SplitMix64& rng,
+              int attempts)
+      : g_(g),
+        h_(h),
+        rng_(rng),
+        attempts_(attempts),
+        w_(g.width()),
+        stages_(g.stages()),
+        unknowns_(static_cast<std::size_t>(w_) * static_cast<std::size_t>(w_) +
+                  static_cast<std::size_t>(stages_ - 1) *
+                      static_cast<std::size_t>(w_ + 1)),
+        words_((unknowns_ + 63) / 64) {}
+
+  std::optional<AffineIso> run() {
+    if (g_.stages() != h_.stages()) return std::nullopt;
+    if (w_ == 0) {
+      AffineIso iso;
+      iso.stage_maps.assign(static_cast<std::size_t>(g_.stages()),
+                            gf2::AffineMap::identity(0));
+      return verify_affine_isomorphism(g_, h_, iso)
+                 ? std::optional<AffineIso>(std::move(iso))
+                 : std::nullopt;
+    }
+    if (!decompose()) return std::nullopt;
+    propagate();
+    const auto space = solve_constraints();
+    if (!space.has_value()) return std::nullopt;
+    // Search the affine solution space for an assignment with invertible
+    // M_1 (which makes the whole chain invertible). Uniform sampling
+    // alone degrades with size — the space contains large singular
+    // subfamilies — so each random start is followed by greedy GF(2)
+    // rank augmentation over the nullspace basis.
+    std::vector<std::uint64_t> assignment = space->particular;
+    for (int attempt = 0; attempt < attempts_; ++attempt) {
+      greedy_rank_augment(*space, assignment);
+      if (m1_rank(assignment) == w_) {
+        auto iso = try_assignment(assignment);
+        if (iso.has_value()) return iso;
+      }
+      assignment = space->particular;
+      for (const auto& basis_vec : space->nullspace) {
+        if (rng_.chance(1, 2)) {
+          for (std::size_t i = 0; i < words_; ++i) {
+            assignment[i] ^= basis_vec[i];
+          }
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  // --- unknown layout -------------------------------------------------
+  // [0, w^2):                     entries of M_1, index r*w + c
+  // w^2 + s*(w+1) + b, b < w:     linear coefficient b of h_s
+  // w^2 + s*(w+1) + w:            constant bit of h_s
+
+  [[nodiscard]] std::size_t m1_index(int r, int c) const {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(w_) +
+           static_cast<std::size_t>(c);
+  }
+  [[nodiscard]] std::size_t h_index(int stage, int slot) const {
+    return static_cast<std::size_t>(w_) * static_cast<std::size_t>(w_) +
+           static_cast<std::size_t>(stage) *
+               static_cast<std::size_t>(w_ + 1) +
+           static_cast<std::size_t>(slot);
+  }
+
+  [[nodiscard]] SymExpr zero_expr() const { return SymExpr(words_); }
+
+  [[nodiscard]] SymExpr unknown_expr(std::size_t u) const {
+    SymExpr e(words_);
+    e.coeffs[u / 64] |= std::uint64_t{1} << (u % 64);
+    return e;
+  }
+
+  [[nodiscard]] SymExpr const_expr(unsigned bit) const {
+    SymExpr e(words_);
+    e.constant = bit & 1U;
+    return e;
+  }
+
+  /// h_s's linear part applied to a constant vector: xor of the
+  /// coefficient unknowns selected by the set bits.
+  [[nodiscard]] SymExpr h_lin_expr(int stage, std::uint64_t x) const {
+    SymExpr e(words_);
+    while (x != 0) {
+      const int b = util::lowest_set_bit(x);
+      x &= x - 1;
+      e ^= unknown_expr(h_index(stage, b));
+    }
+    return e;
+  }
+
+  [[nodiscard]] SymMatrix symbolic_m1() const {
+    SymMatrix m(static_cast<std::size_t>(w_),
+                std::vector<SymExpr>(static_cast<std::size_t>(w_),
+                                     zero_expr()));
+    for (int r = 0; r < w_; ++r) {
+      for (int c = 0; c < w_; ++c) {
+        m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+            unknown_expr(m1_index(r, c));
+      }
+    }
+    return m;
+  }
+
+  /// (symbolic matrix) * (constant vector).
+  [[nodiscard]] SymVec mat_vec(const SymMatrix& m, std::uint64_t x) const {
+    SymVec out(static_cast<std::size_t>(w_), zero_expr());
+    for (int r = 0; r < w_; ++r) {
+      for (int c = 0; c < w_; ++c) {
+        if (util::get_bit(x, c) != 0) {
+          out[static_cast<std::size_t>(r)] ^=
+              m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+        }
+      }
+    }
+    return out;
+  }
+
+  /// (constant matrix) * (symbolic vector).
+  [[nodiscard]] SymVec const_mat_vec(const gf2::Matrix& c,
+                                     const SymVec& v) const {
+    SymVec out(static_cast<std::size_t>(w_), zero_expr());
+    for (int r = 0; r < w_; ++r) {
+      std::uint64_t row = c.row(r);
+      while (row != 0) {
+        const int k = util::lowest_set_bit(row);
+        row &= row - 1;
+        out[static_cast<std::size_t>(r)] ^= v[static_cast<std::size_t>(k)];
+      }
+    }
+    return out;
+  }
+
+  /// scalar-expression times constant vector: component r is the scalar
+  /// when bit r of \p vec is set.
+  [[nodiscard]] SymVec scaled_vec(const SymExpr& scalar,
+                                  std::uint64_t vec) const {
+    SymVec out(static_cast<std::size_t>(w_), zero_expr());
+    for (int r = 0; r < w_; ++r) {
+      if (util::get_bit(vec, r) != 0) {
+        out[static_cast<std::size_t>(r)] = scalar;
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] SymVec xor_vec(SymVec a, const SymVec& b) const {
+    for (int r = 0; r < w_; ++r) {
+      a[static_cast<std::size_t>(r)] ^= b[static_cast<std::size_t>(r)];
+    }
+    return a;
+  }
+
+  /// (symbolic matrix) * (constant matrix).
+  [[nodiscard]] SymMatrix mat_const_mat(const SymMatrix& m,
+                                        const gf2::Matrix& c) const {
+    SymMatrix out(static_cast<std::size_t>(w_),
+                  std::vector<SymExpr>(static_cast<std::size_t>(w_),
+                                       zero_expr()));
+    for (int r = 0; r < w_; ++r) {
+      for (int j = 0; j < w_; ++j) {
+        for (int k = 0; k < w_; ++k) {
+          if (c.at(k, j) != 0) {
+            out[static_cast<std::size_t>(r)][static_cast<std::size_t>(j)] ^=
+                m[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)];
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] SymMatrix from_sym_cols(
+      const std::vector<SymVec>& cols) const {
+    SymMatrix out(static_cast<std::size_t>(w_),
+                  std::vector<SymExpr>(static_cast<std::size_t>(w_),
+                                       zero_expr()));
+    for (int j = 0; j < w_; ++j) {
+      for (int r = 0; r < w_; ++r) {
+        out[static_cast<std::size_t>(r)][static_cast<std::size_t>(j)] =
+            cols[static_cast<std::size_t>(j)][static_cast<std::size_t>(r)];
+      }
+    }
+    return out;
+  }
+
+  /// Record the w equations of (symbolic vec == 0).
+  void add_zero_constraint(const SymVec& v) {
+    for (int r = 0; r < w_; ++r) {
+      SymExpr eq = v[static_cast<std::size_t>(r)];
+      if (!eq.is_const_zero()) constraints_.push_back(std::move(eq));
+    }
+  }
+
+  void add_vec_constraint(const SymVec& v, std::uint64_t target) {
+    SymVec shifted = v;
+    for (int r = 0; r < w_; ++r) {
+      shifted[static_cast<std::size_t>(r)].constant ^=
+          util::get_bit(target, r);
+    }
+    add_zero_constraint(shifted);
+  }
+
+  // --- pipeline ---------------------------------------------------------
+
+  bool decompose() {
+    for (int s = 0; s + 1 < g_.stages(); ++s) {
+      auto lg = linear_form(g_.connection(s));
+      auto lh = linear_form(h_.connection(s));
+      if (!lg.has_value() || !lh.has_value()) return false;
+      lf_g_.push_back(std::move(*lg));
+      lf_h_.push_back(std::move(*lh));
+    }
+    return true;
+  }
+
+  void propagate() {
+    SymMatrix m = symbolic_m1();
+    sym_chain_.push_back(m);
+    for (int s = 0; s + 1 < stages_; ++s) {
+      const auto idx = static_cast<std::size_t>(s);
+      const gf2::Matrix& lg = lf_g_[idx].linear;
+      const gf2::Matrix& lh = lf_h_[idx].linear;
+      const std::uint64_t tg =
+          static_cast<std::uint64_t>(lf_g_[idx].c_f ^ lf_g_[idx].c_g);
+      const std::uint64_t th =
+          static_cast<std::uint64_t>(lf_h_[idx].c_f ^ lf_h_[idx].c_g);
+      SymMatrix next;
+      const auto lg_inverse = lg.inverse();
+      if (lg_inverse.has_value()) {
+        // M_{s+1} = (L* M ^ t* (x) h_lin) L^{-1}: build the bracket by
+        // columns (its action on e_c), then change basis.
+        std::vector<SymVec> bracket_cols;
+        bracket_cols.reserve(static_cast<std::size_t>(w_));
+        for (int c = 0; c < w_; ++c) {
+          const std::uint64_t e_c = std::uint64_t{1} << c;
+          bracket_cols.push_back(
+              xor_vec(const_mat_vec(lh, mat_vec(m, e_c)),
+                      scaled_vec(h_lin_expr(s, e_c), th)));
+        }
+        next = mat_const_mat(from_sym_cols(bracket_cols), *lg_inverse);
+        // Constraint: M_{s+1} t_g = t_h.
+        add_vec_constraint(mat_vec_sym(next, tg), th);
+      } else {
+        const auto kernel = lg.kernel_basis();
+        if (kernel.size() != 1) {
+          // rank deficit >= 2: cannot be a valid stage; unsatisfiable.
+          constraints_.push_back(const_expr(1));
+          return;
+        }
+        const std::uint64_t alpha = kernel.front();
+        // Well-definedness: L* M alpha ^ t* h_lin(alpha) = 0.
+        add_zero_constraint(
+            xor_vec(const_mat_vec(lh, mat_vec(m, alpha)),
+                    scaled_vec(h_lin_expr(s, alpha), th)));
+        // Pin M_{s+1} on the basis (L x_1, ..., L x_{w-1}, t_g).
+        const auto image = lg.image_basis();
+        std::vector<std::uint64_t> basis_cols;
+        std::vector<SymVec> image_cols;
+        for (std::uint64_t b : image) {
+          const auto x = lg.solve(b);
+          if (!x.has_value()) {
+            throw std::logic_error("affine_iso: image vector unsolvable");
+          }
+          basis_cols.push_back(b);
+          image_cols.push_back(
+              xor_vec(const_mat_vec(lh, mat_vec(m, *x)),
+                      scaled_vec(h_lin_expr(s, *x), th)));
+        }
+        basis_cols.push_back(tg);
+        {
+          SymVec th_col(static_cast<std::size_t>(w_), zero_expr());
+          for (int r = 0; r < w_; ++r) {
+            th_col[static_cast<std::size_t>(r)] =
+                const_expr(util::get_bit(th, r));
+          }
+          image_cols.push_back(std::move(th_col));
+        }
+        const gf2::Matrix basis = gf2::Matrix::from_cols(basis_cols, w_);
+        const auto basis_inverse = basis.inverse();
+        if (!basis_inverse.has_value()) {
+          // t_g inside Im(L_g): not a valid case-2 stage on the G side.
+          constraints_.push_back(const_expr(1));
+          return;
+        }
+        next = mat_const_mat(from_sym_cols(image_cols), *basis_inverse);
+      }
+      m = std::move(next);
+      sym_chain_.push_back(m);
+    }
+  }
+
+  /// mat_vec over an already-symbolic matrix (alias clarity).
+  [[nodiscard]] SymVec mat_vec_sym(const SymMatrix& m,
+                                   std::uint64_t x) const {
+    return mat_vec(m, x);
+  }
+
+  struct SolutionSpace {
+    std::vector<std::uint64_t> particular;
+    std::vector<std::vector<std::uint64_t>> nullspace;
+  };
+
+  [[nodiscard]] std::optional<SolutionSpace> solve_constraints() const {
+    struct Row {
+      std::vector<std::uint64_t> coeffs;
+      unsigned rhs;
+    };
+    std::vector<Row> rows;
+    rows.reserve(constraints_.size());
+    for (const SymExpr& e : constraints_) {
+      rows.push_back(Row{e.coeffs, e.constant});
+    }
+    std::vector<std::size_t> pivot_of_row;
+    std::vector<bool> is_pivot(unknowns_, false);
+    std::size_t next_row = 0;
+    for (std::size_t col = 0; col < unknowns_ && next_row < rows.size();
+         ++col) {
+      const std::size_t word = col / 64;
+      const std::uint64_t bit = std::uint64_t{1} << (col % 64);
+      std::size_t pivot = next_row;
+      while (pivot < rows.size() && (rows[pivot].coeffs[word] & bit) == 0) {
+        ++pivot;
+      }
+      if (pivot == rows.size()) continue;
+      std::swap(rows[next_row], rows[pivot]);
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (r != next_row && (rows[r].coeffs[word] & bit) != 0) {
+          for (std::size_t i = 0; i < words_; ++i) {
+            rows[r].coeffs[i] ^= rows[next_row].coeffs[i];
+          }
+          rows[r].rhs ^= rows[next_row].rhs;
+        }
+      }
+      pivot_of_row.push_back(col);
+      is_pivot[col] = true;
+      ++next_row;
+    }
+    for (std::size_t r = next_row; r < rows.size(); ++r) {
+      if (rows[r].rhs != 0) return std::nullopt;  // inconsistent
+    }
+
+    SolutionSpace space;
+    space.particular.assign(words_, 0);
+    for (std::size_t r = 0; r < pivot_of_row.size(); ++r) {
+      if (rows[r].rhs != 0) {
+        const std::size_t col = pivot_of_row[r];
+        space.particular[col / 64] |= std::uint64_t{1} << (col % 64);
+      }
+    }
+    for (std::size_t free = 0; free < unknowns_; ++free) {
+      if (is_pivot[free]) continue;
+      std::vector<std::uint64_t> v(words_, 0);
+      v[free / 64] |= std::uint64_t{1} << (free % 64);
+      for (std::size_t r = 0; r < pivot_of_row.size(); ++r) {
+        const std::size_t fw = free / 64;
+        const std::uint64_t fb = std::uint64_t{1} << (free % 64);
+        if ((rows[r].coeffs[fw] & fb) != 0) {
+          const std::size_t col = pivot_of_row[r];
+          v[col / 64] |= std::uint64_t{1} << (col % 64);
+        }
+      }
+      space.nullspace.push_back(std::move(v));
+    }
+    return space;
+  }
+
+  [[nodiscard]] gf2::Matrix m1_of(
+      const std::vector<std::uint64_t>& assignment) const {
+    gf2::Matrix m(w_, w_);
+    for (int r = 0; r < w_; ++r) {
+      for (int c = 0; c < w_; ++c) {
+        const std::size_t u = m1_index(r, c);
+        if ((assignment[u / 64] >> (u % 64)) & 1U) m.set(r, c, 1);
+      }
+    }
+    return m;
+  }
+
+  [[nodiscard]] int m1_rank(
+      const std::vector<std::uint64_t>& assignment) const {
+    return m1_of(assignment).rank();
+  }
+
+  /// Hill-climb on rank(M_1): repeatedly xor in any nullspace basis
+  /// vector that strictly increases the rank. Cheap and effective at
+  /// escaping the singular bulk of the solution space.
+  void greedy_rank_augment(const SolutionSpace& space,
+                           std::vector<std::uint64_t>& assignment) const {
+    int rank = m1_rank(assignment);
+    bool improved = true;
+    while (rank < w_ && improved) {
+      improved = false;
+      for (const auto& basis_vec : space.nullspace) {
+        for (std::size_t i = 0; i < words_; ++i) {
+          assignment[i] ^= basis_vec[i];
+        }
+        const int candidate = m1_rank(assignment);
+        if (candidate > rank) {
+          rank = candidate;
+          improved = true;
+          if (rank == w_) return;
+        } else {
+          for (std::size_t i = 0; i < words_; ++i) {
+            assignment[i] ^= basis_vec[i];
+          }
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] unsigned eval(const SymExpr& e,
+                              const std::vector<std::uint64_t>& a) const {
+    unsigned bit = e.constant;
+    for (std::size_t i = 0; i < words_; ++i) {
+      bit ^= static_cast<unsigned>(util::parity(e.coeffs[i] & a[i]));
+    }
+    return bit & 1U;
+  }
+
+  /// Evaluate the chain at one assignment; nullopt unless every stage map
+  /// is invertible and the final arc-by-arc verification passes.
+  [[nodiscard]] std::optional<AffineIso> try_assignment(
+      const std::vector<std::uint64_t>& assignment) const {
+    std::vector<gf2::Matrix> chain;
+    chain.reserve(sym_chain_.size());
+    for (const SymMatrix& sym : sym_chain_) {
+      gf2::Matrix m(w_, w_);
+      for (int r = 0; r < w_; ++r) {
+        for (int c = 0; c < w_; ++c) {
+          m.set(r, c,
+                eval(sym[static_cast<std::size_t>(r)]
+                        [static_cast<std::size_t>(c)],
+                     assignment));
+        }
+      }
+      if (!m.is_invertible()) return std::nullopt;
+      chain.push_back(std::move(m));
+    }
+
+    AffineIso iso;
+    std::uint64_t a = 0;
+    for (std::size_t s = 0; s < chain.size(); ++s) {
+      iso.stage_maps.emplace_back(chain[s], a);
+      if (s + 1 < chain.size()) {
+        const std::uint64_t th = static_cast<std::uint64_t>(
+            lf_h_[s].c_f ^ lf_h_[s].c_g);
+        const unsigned h_const =
+            eval(unknown_expr(h_index(static_cast<int>(s), w_)), assignment);
+        a = chain[s + 1].apply(lf_g_[s].c_f) ^ lf_h_[s].linear.apply(a) ^
+            lf_h_[s].c_f ^ (h_const != 0 ? th : 0);
+      }
+    }
+    if (!verify_affine_isomorphism(g_, h_, iso)) return std::nullopt;
+    return iso;
+  }
+
+  const MIDigraph& g_;
+  const MIDigraph& h_;
+  util::SplitMix64& rng_;
+  int attempts_;
+  int w_;
+  int stages_;
+  std::size_t unknowns_;
+  std::size_t words_;
+  std::vector<LinearForm> lf_g_;
+  std::vector<LinearForm> lf_h_;
+  std::vector<SymMatrix> sym_chain_;
+  std::vector<SymExpr> constraints_;
+};
+
+}  // namespace
+
+graph::LayeredMapping AffineIso::to_layered_mapping() const {
+  graph::LayeredMapping mapping(stage_maps.size());
+  for (std::size_t s = 0; s < stage_maps.size(); ++s) {
+    mapping[s] = stage_maps[s].to_table();
+  }
+  return mapping;
+}
+
+std::optional<AffineIso> synthesize_affine_isomorphism(const MIDigraph& g,
+                                                       const MIDigraph& h,
+                                                       util::SplitMix64& rng,
+                                                       int attempts) {
+  Synthesizer synth(g, h, rng, attempts);
+  return synth.run();
+}
+
+bool verify_affine_isomorphism(const MIDigraph& g, const MIDigraph& h,
+                               const AffineIso& iso) {
+  if (g.stages() != h.stages()) return false;
+  if (iso.stage_maps.size() != static_cast<std::size_t>(g.stages())) {
+    return false;
+  }
+  for (const auto& map : iso.stage_maps) {
+    if (map.in_width() != g.width() || !map.is_bijection()) return false;
+  }
+  const std::uint32_t cells = g.cells_per_stage();
+  for (int s = 0; s + 1 < g.stages(); ++s) {
+    const Connection& cg = g.connection(s);
+    const Connection& ch = h.connection(s);
+    const auto& map_s = iso.stage_maps[static_cast<std::size_t>(s)];
+    const auto& map_next = iso.stage_maps[static_cast<std::size_t>(s + 1)];
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      const std::uint64_t image = map_s.apply(x);
+      std::array<std::uint64_t, 2> lhs = {
+          map_next.apply(cg.f_table()[x]),
+          map_next.apply(cg.g_table()[x])};
+      std::array<std::uint64_t, 2> rhs = {
+          ch.f_table()[static_cast<std::uint32_t>(image)],
+          ch.g_table()[static_cast<std::uint32_t>(image)]};
+      if (lhs[0] > lhs[1]) std::swap(lhs[0], lhs[1]);
+      if (rhs[0] > rhs[1]) std::swap(rhs[0], rhs[1]);
+      if (lhs != rhs) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<graph::LayeredMapping> find_explicit_isomorphism(
+    const MIDigraph& g, const MIDigraph& h, util::SplitMix64& rng,
+    std::uint64_t fallback_budget) {
+  const auto affine = synthesize_affine_isomorphism(g, h, rng);
+  if (affine.has_value()) return affine->to_layered_mapping();
+  graph::SearchStats stats;
+  return graph::find_layered_isomorphism(g.to_layered(), h.to_layered(),
+                                         &stats, fallback_budget);
+}
+
+}  // namespace mineq::min

@@ -1,0 +1,84 @@
+/// \file affine_iso.hpp
+/// \brief Explicit isomorphisms between networks built from independent
+/// connections, synthesized by GF(2) linear algebra.
+///
+/// Theorem 3 guarantees that Banyan networks built from independent
+/// connections are isomorphic, but its proof (via the component
+/// characterization) is not constructive. This module *constructs* the
+/// isomorphism for the linear case: since every independent connection is
+/// f = Lx ^ c, g = Lx ^ d, we look for per-stage affine bijections
+/// A_s(x) = M_s x ^ a_s intertwining the two networks as unordered
+/// child-set maps:
+///
+///     { A_{s+1}(f_s(x)), A_{s+1}(g_s(x)) } = { f*_s(A_s(x)), g*_s(A_s(x)) }.
+///
+/// Because each per-cell match is either straight or swapped, and the
+/// difference between the two targets is the constant t*_s = c*_s ^ d*_s,
+/// the matching is captured by one affine functional h_s per stage:
+///
+///     A_{s+1}(f_s(x)) = f*_s(A_s x) ^ t*_s h_s(x)     (same h for g).
+///
+/// Chaining these relations makes every later M_{s+1} a *linear* function
+/// of the unknowns (the w^2 entries of M_1 and the w+1 coefficients of
+/// each h_s):
+///   - L_s invertible:  M_{s+1} = (L*_s M_s ^ t*_s (x) h_lin) L_s^{-1},
+///     plus the constraint M_{s+1}(c_s ^ d_s) = t*_s;
+///   - rank L_s = w-1 (kernel alpha): M_{s+1} is pinned on the basis
+///     (L_s x_1, ..., L_s x_{w-1}, c_s ^ d_s), plus the well-definedness
+///     constraint L*_s M_s alpha = t*_s h_lin(alpha).
+/// One GF(2) elimination yields the whole solution space; solutions are
+/// sampled until the entire M-chain is invertible, and the winner is
+/// verified arc-by-arc before being returned. The translation parts a_s
+/// propagate from a_1 = 0 and the h constants.
+///
+/// The family covers mixed stage shapes (case 1 against case 2) thanks to
+/// the rank-one h-correction. It is still a *family*: if no affine
+/// solution exists the function returns nullopt and callers fall back to
+/// the general search (find_explicit_isomorphism does this automatically).
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gf2/affine.hpp"
+#include "graph/isomorphism.hpp"
+#include "min/mi_digraph.hpp"
+#include "util/rng.hpp"
+
+namespace mineq::min {
+
+/// A per-stage affine isomorphism between two MI-digraphs.
+struct AffineIso {
+  /// One bijective affine map per stage; stage_maps[s] sends cells of
+  /// stage s of the source network to cells of stage s of the target.
+  std::vector<gf2::AffineMap> stage_maps;
+
+  /// Flatten into index tables (the graph-level mapping format).
+  [[nodiscard]] graph::LayeredMapping to_layered_mapping() const;
+};
+
+/// Synthesize an affine isomorphism from \p g to \p h, or nullopt when
+/// (a) some connection is not independent, (b) the stage cases (case 1 vs
+/// case 2) mismatch — which rules out the straight-pairing affine family,
+/// though NOT general isomorphism (a Banyan case-1 network is still
+/// baseline-equivalent by Theorem 3) — or (c) the family contains no
+/// solution. \p attempts bounds the random search for an invertible
+/// element of the solution space.
+[[nodiscard]] std::optional<AffineIso> synthesize_affine_isomorphism(
+    const MIDigraph& g, const MIDigraph& h, util::SplitMix64& rng,
+    int attempts = 512);
+
+/// Check an AffineIso arc-by-arc (unordered child sets). O(stages*cells).
+[[nodiscard]] bool verify_affine_isomorphism(const MIDigraph& g,
+                                             const MIDigraph& h,
+                                             const AffineIso& iso);
+
+/// Best-effort explicit isomorphism: try the affine synthesizer, fall back
+/// to the general layered search within \p fallback_budget node
+/// expansions. Returns nullopt if neither finds one.
+[[nodiscard]] std::optional<graph::LayeredMapping> find_explicit_isomorphism(
+    const MIDigraph& g, const MIDigraph& h, util::SplitMix64& rng,
+    std::uint64_t fallback_budget = 50'000'000);
+
+}  // namespace mineq::min

@@ -1,0 +1,120 @@
+#include "min/banyan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace mineq::min {
+
+std::vector<std::uint64_t> path_counts_from(const MIDigraph& g,
+                                            std::uint32_t source,
+                                            std::uint64_t cap) {
+  const std::uint32_t cells = g.cells_per_stage();
+  if (source >= cells) {
+    throw std::invalid_argument("path_counts_from: source out of range");
+  }
+  std::vector<std::uint64_t> counts(cells, 0);
+  std::vector<std::uint64_t> next(cells, 0);
+  counts[source] = 1;
+  for (int s = 0; s + 1 < g.stages(); ++s) {
+    const Connection& conn = g.connection(s);
+    std::fill(next.begin(), next.end(), 0);
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      const std::uint64_t c = counts[x];
+      if (c == 0) continue;
+      auto& nf = next[conn.f_table()[x]];
+      nf = std::min(cap, nf + c);
+      auto& ng = next[conn.g_table()[x]];
+      ng = std::min(cap, ng + c);
+    }
+    counts.swap(next);
+  }
+  return counts;
+}
+
+namespace {
+
+bool source_is_banyan(const MIDigraph& g, std::uint32_t source) {
+  const auto counts = path_counts_from(g, source, /*cap=*/2);
+  return std::all_of(counts.begin(), counts.end(),
+                     [](std::uint64_t c) { return c == 1; });
+}
+
+}  // namespace
+
+bool is_banyan(const MIDigraph& g, std::size_t threads) {
+  const std::uint32_t cells = g.cells_per_stage();
+  if (threads == 1 || cells < 64) {
+    for (std::uint32_t u = 0; u < cells; ++u) {
+      if (!source_is_banyan(g, u)) return false;
+    }
+    return true;
+  }
+  std::atomic<bool> ok(true);
+  util::parallel_for(
+      0, cells,
+      [&](std::size_t u) {
+        if (!ok.load(std::memory_order_relaxed)) return;
+        if (!source_is_banyan(g, static_cast<std::uint32_t>(u))) {
+          ok.store(false, std::memory_order_relaxed);
+        }
+      },
+      threads);
+  return ok.load();
+}
+
+std::optional<BanyanFailure> banyan_failure(const MIDigraph& g) {
+  const std::uint32_t cells = g.cells_per_stage();
+  for (std::uint32_t u = 0; u < cells; ++u) {
+    const auto counts = path_counts_from(g, u, /*cap=*/1000000);
+    for (std::uint32_t v = 0; v < cells; ++v) {
+      if (counts[v] != 1) {
+        return BanyanFailure{u, v, counts[v]};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_banyan_doubling(const MIDigraph& g) {
+  const std::uint32_t cells = g.cells_per_stage();
+  // Parallel arcs already break uniqueness.
+  for (const Connection& conn : g.connections()) {
+    if (conn.has_parallel_arcs()) return false;
+  }
+  // From each source the reachable set must exactly double per stage:
+  // 2^s nodes after s connections (capped by construction at cells).
+  // With out-degree 2 and 2^{stages-1} last-stage cells, doubling all the
+  // way is exactly "2^{n-1} paths reach 2^{n-1} distinct cells", i.e.
+  // unique paths everywhere.
+  std::vector<char> reach(cells);
+  std::vector<char> next(cells);
+  for (std::uint32_t u = 0; u < cells; ++u) {
+    std::fill(reach.begin(), reach.end(), 0);
+    reach[u] = 1;
+    std::size_t size = 1;
+    for (int s = 0; s + 1 < g.stages(); ++s) {
+      const Connection& conn = g.connection(s);
+      std::fill(next.begin(), next.end(), 0);
+      std::size_t next_size = 0;
+      for (std::uint32_t x = 0; x < cells; ++x) {
+        if (reach[x] == 0) continue;
+        for (std::uint32_t child : conn.children(x)) {
+          if (next[child] == 0) {
+            next[child] = 1;
+            ++next_size;
+          }
+        }
+      }
+      reach.swap(next);
+      if (next_size != 2 * size) return false;
+      size = next_size;
+    }
+  }
+  return true;
+}
+
+}  // namespace mineq::min

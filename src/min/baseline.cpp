@@ -1,0 +1,196 @@
+#include "min/baseline.hpp"
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/components.hpp"
+#include "util/bitops.hpp"
+
+namespace mineq::min {
+
+MIDigraph baseline_network(int stages) {
+  if (stages < 1 || stages > util::kMaxBits) {
+    throw std::invalid_argument("baseline_network: stages out of range");
+  }
+  const int w = stages - 1;
+  std::vector<Connection> connections;
+  connections.reserve(static_cast<std::size_t>(w));
+  for (int s = 0; s < w; ++s) {
+    const std::uint32_t m = (std::uint32_t{1} << (w - s)) - 1;
+    const std::uint32_t half = std::uint32_t{1} << (w - s - 1);
+    connections.push_back(Connection::from_functions(
+        w,
+        [&](std::uint32_t y) { return (y & ~m) | ((y & m) >> 1); },
+        [&](std::uint32_t y) {
+          return ((y & ~m) | ((y & m) >> 1)) ^ half;
+        }));
+  }
+  return MIDigraph(stages, std::move(connections));
+}
+
+MIDigraph baseline_network_recursive(int stages) {
+  if (stages < 1 || stages > util::kMaxBits) {
+    throw std::invalid_argument(
+        "baseline_network_recursive: stages out of range");
+  }
+  if (stages == 1) return MIDigraph(1, {});
+
+  const MIDigraph sub = baseline_network_recursive(stages - 1);
+  const int w = stages - 1;
+  const std::uint32_t sub_cells = std::uint32_t{1} << (w - 1);
+
+  std::vector<Connection> connections;
+  connections.reserve(static_cast<std::size_t>(w));
+  // First stage: cells 2i and 2i+1 both feed cell i of sub-network 0
+  // (low half) and cell i of sub-network 1 (high half).
+  connections.push_back(Connection::from_functions(
+      w, [&](std::uint32_t y) { return y >> 1; },
+      [&](std::uint32_t y) { return (y >> 1) | sub_cells; }));
+  // Remaining stages: the two sub-baselines run in parallel, one on the
+  // low half of the cells and one on the high half.
+  for (int s = 0; s + 1 < sub.stages(); ++s) {
+    const Connection& inner = sub.connection(s);
+    connections.push_back(Connection::from_functions(
+        w,
+        [&](std::uint32_t y) {
+          const std::uint32_t high = y & sub_cells;
+          return high | inner.f_table()[y & (sub_cells - 1)];
+        },
+        [&](std::uint32_t y) {
+          const std::uint32_t high = y & sub_cells;
+          return high | inner.g_table()[y & (sub_cells - 1)];
+        }));
+  }
+  return MIDigraph(stages, std::move(connections));
+}
+
+MIDigraph reverse_baseline_network(int stages) {
+  return baseline_network(stages).reverse();
+}
+
+namespace {
+
+/// Extract the sub-MIDigraph induced by one component of (G)_{1..n-1}.
+/// \p member[s][x] says whether cell x of stage 1+s belongs to the
+/// component. Returns nullopt if the component does not meet every stage
+/// in the same power-of-two cell count.
+std::optional<MIDigraph> extract_component(
+    const MIDigraph& g, const std::vector<std::vector<bool>>& member) {
+  const int sub_stages = g.stages() - 1;
+  const std::uint32_t cells = g.cells_per_stage();
+  // Build per-stage dense reindexing of member cells.
+  std::vector<std::vector<std::uint32_t>> to_local(
+      static_cast<std::size_t>(sub_stages),
+      std::vector<std::uint32_t>(cells, 0xFFFFFFFFu));
+  std::size_t per_stage = 0;
+  for (int s = 0; s < sub_stages; ++s) {
+    std::uint32_t next = 0;
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      if (member[static_cast<std::size_t>(s)][x]) {
+        to_local[static_cast<std::size_t>(s)][x] = next++;
+      }
+    }
+    if (s == 0) {
+      per_stage = next;
+    } else if (per_stage != next) {
+      return std::nullopt;
+    }
+  }
+  if (per_stage == 0 || (per_stage & (per_stage - 1)) != 0) {
+    return std::nullopt;
+  }
+  if (per_stage != cells / 2) return std::nullopt;
+  const int sub_width = util::ilog2(per_stage);
+  if (sub_width != sub_stages - 1) return std::nullopt;
+
+  std::vector<Connection> connections;
+  for (int s = 0; s + 1 < sub_stages; ++s) {
+    std::vector<std::uint32_t> f(per_stage);
+    std::vector<std::uint32_t> gg(per_stage);
+    const Connection& conn = g.connection(s + 1);
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      const std::uint32_t local = to_local[static_cast<std::size_t>(s)][x];
+      if (local == 0xFFFFFFFFu) continue;
+      const std::uint32_t cf =
+          to_local[static_cast<std::size_t>(s + 1)][conn.f_table()[x]];
+      const std::uint32_t cg =
+          to_local[static_cast<std::size_t>(s + 1)][conn.g_table()[x]];
+      if (cf == 0xFFFFFFFFu || cg == 0xFFFFFFFFu) {
+        return std::nullopt;  // arc leaves the component: impossible
+      }
+      f[local] = cf;
+      gg[local] = cg;
+    }
+    connections.emplace_back(std::move(f), std::move(gg), sub_width);
+  }
+  return MIDigraph(sub_stages, std::move(connections));
+}
+
+}  // namespace
+
+bool is_left_recursive_baseline(const MIDigraph& g) {
+  if (g.stages() == 1) return true;
+  if (!g.is_valid()) return false;
+  const std::uint32_t cells = g.cells_per_stage();
+
+  // Stages 1..n-1 must split into exactly two components.
+  const graph::LayeredDigraph tail = g.layered_range(1, g.stages() - 1);
+  const graph::ComponentLabeling comps =
+      graph::connected_components(tail.flatten());
+  if (comps.count != 2) return false;
+
+  const int sub_stages = g.stages() - 1;
+  std::array<std::vector<std::vector<bool>>, 2> member;
+  for (auto& m : member) {
+    m.assign(static_cast<std::size_t>(sub_stages),
+             std::vector<bool>(cells, false));
+  }
+  for (int s = 0; s < sub_stages; ++s) {
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      const std::uint32_t flat =
+          static_cast<std::uint32_t>(s) * cells + x;
+      member[comps.labels[flat]][static_cast<std::size_t>(s)][x] = true;
+    }
+  }
+
+  // Every first-stage cell must have one child in each component, and the
+  // K_{2,2} pairing must hold: both parents of a stage-1 cell agree on
+  // their pair of children.
+  const Connection& first = g.connection(0);
+  std::vector<std::array<std::uint32_t, 2>> pair_of(cells);
+  for (std::uint32_t y = 0; y < cells; ++y) {
+    const std::uint32_t cf = first.f_table()[y];
+    const std::uint32_t cg = first.g_table()[y];
+    const bool f_in_0 = member[0][0][cf];
+    const bool g_in_0 = member[0][0][cg];
+    if (f_in_0 == g_in_0) return false;  // both children in one component
+    pair_of[y] = f_in_0 ? std::array<std::uint32_t, 2>{cf, cg}
+                        : std::array<std::uint32_t, 2>{cg, cf};
+  }
+  // Each (component-0 cell, component-1 cell) pair must be hit by exactly
+  // two stage-0 cells ("nodes 2i and 2i+1 ... to the ith nodes").
+  std::unordered_map<std::uint64_t, std::uint32_t> pair_count;
+  pair_count.reserve(cells);
+  for (std::uint32_t y = 0; y < cells; ++y) {
+    const std::uint64_t index =
+        static_cast<std::uint64_t>(pair_of[y][0]) * cells + pair_of[y][1];
+    if (++pair_count[index] > 2) return false;
+  }
+  for (const auto& [index, count] : pair_count) {
+    if (count != 2) return false;
+  }
+
+  // Recurse into both sub-networks.
+  for (const auto& m : member) {
+    const auto sub = extract_component(g, m);
+    if (!sub.has_value()) return false;
+    if (!is_left_recursive_baseline(*sub)) return false;
+  }
+  return true;
+}
+
+}  // namespace mineq::min

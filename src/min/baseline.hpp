@@ -1,0 +1,41 @@
+/// \file baseline.hpp
+/// \brief The Baseline network and its left-recursive construction.
+///
+/// Paper: "The n-stage Baseline network is built in a recursive manner.
+/// The subnetwork between stages 2 and n consists of two (n-1)-stage
+/// Baseline networks. These components are connected via the first stage
+/// such that nodes 2i and 2i+1 of stage 1 are connected to the ith nodes
+/// of the two subnetworks." (Fig. 1.)
+///
+/// Two constructions are provided: the literal recursion and a closed
+/// form; they produce identical digraphs (asserted in the tests). The
+/// closed form of connection s (0-based): with w = stages-1 and block mask
+/// m = 2^{w-s} - 1, a cell y splits into block = y & ~m (frozen high bits
+/// = which sub-network the cell belongs to) and position p = y & m, and
+///
+///     f(y) = block | (p >> 1),      g(y) = f(y) ^ 2^{w-s-1}.
+
+#pragma once
+
+#include "min/mi_digraph.hpp"
+
+namespace mineq::min {
+
+/// The n-stage Baseline MI-digraph (closed form).
+[[nodiscard]] MIDigraph baseline_network(int stages);
+
+/// The same digraph built by the paper's literal recursion (two
+/// (n-1)-stage sub-baselines embedded behind a new first stage).
+[[nodiscard]] MIDigraph baseline_network_recursive(int stages);
+
+/// The Reverse Baseline MI-digraph (the reverse digraph of Baseline).
+[[nodiscard]] MIDigraph reverse_baseline_network(int stages);
+
+/// Structural check of the left-recursive property: stages 1..n-1 split
+/// into exactly two components, cells 2i and 2i+1 of stage 0 connect to
+/// the "same position" cell of each component, and both components are
+/// recursively left-recursive. (This is the defining property, so it holds
+/// for baseline_network and for nothing that differs structurally.)
+[[nodiscard]] bool is_left_recursive_baseline(const MIDigraph& g);
+
+}  // namespace mineq::min

@@ -1,0 +1,47 @@
+#include "min/buddy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mineq::min {
+
+std::optional<std::uint32_t> buddy_partner(const Connection& conn,
+                                           std::uint32_t x) {
+  if (x >= conn.cells()) {
+    throw std::invalid_argument("buddy_partner: cell out of range");
+  }
+  std::array<std::uint32_t, 2> mine = conn.children(x);
+  std::sort(mine.begin(), mine.end());
+  if (mine[0] == mine[1]) return std::nullopt;  // parallel arcs
+  std::optional<std::uint32_t> partner;
+  // Partner = the other parent of f(x); then its children must equal ours.
+  for (std::uint32_t parent : conn.parents(mine[0])) {
+    if (parent != x) {
+      partner = parent;
+      break;
+    }
+  }
+  if (!partner.has_value()) return std::nullopt;
+  std::array<std::uint32_t, 2> theirs = conn.children(*partner);
+  std::sort(theirs.begin(), theirs.end());
+  if (theirs != mine) return std::nullopt;
+  return partner;
+}
+
+bool has_buddy_property(const Connection& conn) {
+  if (!conn.is_valid_stage()) return false;
+  for (std::uint32_t x = 0; x < conn.cells(); ++x) {
+    const auto partner = buddy_partner(conn, x);
+    if (!partner.has_value() || *partner == x) return false;
+  }
+  return true;
+}
+
+bool has_buddy_property(const MIDigraph& g) {
+  for (const Connection& conn : g.connections()) {
+    if (!has_buddy_property(conn)) return false;
+  }
+  return true;
+}
+
+}  // namespace mineq::min

@@ -1,0 +1,43 @@
+/// \file buddy.hpp
+/// \brief Agrawal's buddy property and its relation to P(i, i+1).
+///
+/// Following [8] (cited by the paper): "two nodes y and y' are buddy if
+/// they have the same father". The buddy *property* of a stage requires
+/// the cells to pair up into K_{2,2} blocks: every two cells sharing one
+/// parent share both parents. The paper points out (via [10]) that the
+/// buddy conditions of Agrawal's Theorem 1 are *not* sufficient for
+/// baseline equivalence; our library exposes the check so the tests and
+/// benches can demonstrate exactly that gap (buddy holds for all our
+/// equivalent networks, and satisfying buddy at every stage does not imply
+/// P(1,*) / P(*,n)).
+///
+/// Relation to the P properties: the buddy property of stage s *implies*
+/// P(s, s+1) (K_{2,2} blocks give exactly cells/2 components), but the
+/// converse fails — e.g. a stage wired as one 6-cycle plus one double-link
+/// pair also has cells/2 components without any buddy structure. The
+/// buddy_test suite pins both directions.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "min/connection.hpp"
+#include "min/mi_digraph.hpp"
+
+namespace mineq::min {
+
+/// Does this connection's bipartite graph decompose into K_{2,2} blocks?
+/// (Equivalently: its stage-pair subgraph has exactly cells/2 components.)
+[[nodiscard]] bool has_buddy_property(const Connection& conn);
+
+/// Buddy property at every stage of the digraph.
+[[nodiscard]] bool has_buddy_property(const MIDigraph& g);
+
+/// The buddy partner of cell \p x under \p conn: the unique other cell
+/// with the same pair of children, or nullopt if the buddy property fails
+/// at \p x (or \p x has parallel children making the notion degenerate).
+[[nodiscard]] std::optional<std::uint32_t> buddy_partner(
+    const Connection& conn, std::uint32_t x);
+
+}  // namespace mineq::min

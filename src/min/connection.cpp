@@ -1,0 +1,317 @@
+#include "min/connection.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "gf2/subspace.hpp"
+#include "util/bitops.hpp"
+
+namespace mineq::min {
+
+namespace {
+
+void check_width(int width) {
+  if (width < 0 || width > util::kMaxBits - 1) {
+    throw std::invalid_argument("Connection: width out of range");
+  }
+}
+
+void check_table(const std::vector<std::uint32_t>& table, int width,
+                 const char* name) {
+  const std::size_t cells = std::size_t{1} << width;
+  if (table.size() != cells) {
+    throw std::invalid_argument(std::string("Connection: ") + name +
+                                " table has wrong size");
+  }
+  for (std::uint32_t v : table) {
+    if (v >= cells) {
+      throw std::invalid_argument(std::string("Connection: ") + name +
+                                  " table entry out of range");
+    }
+  }
+}
+
+}  // namespace
+
+Connection::Connection() : width_(0), f_{0}, g_{0} {}
+
+Connection::Connection(std::vector<std::uint32_t> f,
+                       std::vector<std::uint32_t> g, int width)
+    : width_(width), f_(std::move(f)), g_(std::move(g)) {
+  check_width(width);
+  check_table(f_, width, "f");
+  check_table(g_, width, "g");
+}
+
+Connection Connection::from_functions(
+    int width, const std::function<std::uint32_t(std::uint32_t)>& f,
+    const std::function<std::uint32_t(std::uint32_t)>& g) {
+  check_width(width);
+  const std::uint32_t cells = std::uint32_t{1} << width;
+  std::vector<std::uint32_t> tf(cells);
+  std::vector<std::uint32_t> tg(cells);
+  for (std::uint32_t x = 0; x < cells; ++x) {
+    tf[x] = f(x);
+    tg[x] = g(x);
+  }
+  return Connection(std::move(tf), std::move(tg), width);
+}
+
+Connection Connection::from_affine(const gf2::AffineMap& f,
+                                   const gf2::AffineMap& g) {
+  if (f.in_width() != f.out_width() || g.in_width() != g.out_width() ||
+      f.in_width() != g.in_width()) {
+    throw std::invalid_argument(
+        "Connection::from_affine: maps must be square and same width");
+  }
+  return Connection(f.to_table(), g.to_table(), f.in_width());
+}
+
+Connection Connection::from_link_permutation(
+    const perm::Permutation& link_perm) {
+  if (link_perm.size() < 2 || !util::is_pow2(link_perm.size())) {
+    throw std::invalid_argument(
+        "Connection::from_link_permutation: size must be a power of two >= 2");
+  }
+  const int width = util::ilog2(link_perm.size()) - 1;
+  check_width(width);
+  const std::uint32_t cells = std::uint32_t{1} << width;
+  std::vector<std::uint32_t> tf(cells);
+  std::vector<std::uint32_t> tg(cells);
+  for (std::uint32_t x = 0; x < cells; ++x) {
+    tf[x] = link_perm(2 * x) >> 1;
+    tg[x] = link_perm(2 * x + 1) >> 1;
+  }
+  return Connection(std::move(tf), std::move(tg), width);
+}
+
+Connection Connection::random_valid(int width, util::SplitMix64& rng) {
+  check_width(width);
+  const std::size_t cells = std::size_t{1} << width;
+  const perm::Permutation pf = perm::Permutation::random(cells, rng);
+  const perm::Permutation pg = perm::Permutation::random(cells, rng);
+  return Connection(pf.image(), pg.image(), width);
+}
+
+Connection Connection::random_independent_case1(int width,
+                                                util::SplitMix64& rng) {
+  check_width(width);
+  const gf2::Matrix l = gf2::Matrix::random_invertible(width, rng);
+  const std::uint64_t mask = util::low_mask(width);
+  const std::uint64_t cf = rng.next() & mask;
+  std::uint64_t cg = rng.next() & mask;
+  if (width > 0) {
+    while (cg == cf) cg = rng.next() & mask;
+  }
+  return from_affine(gf2::AffineMap(l, cf), gf2::AffineMap(l, cg));
+}
+
+Connection Connection::random_independent_case2(int width,
+                                                util::SplitMix64& rng) {
+  check_width(width);
+  if (width < 1) {
+    throw std::invalid_argument(
+        "random_independent_case2: width must be >= 1");
+  }
+  const gf2::Matrix m = gf2::Matrix::random_invertible(width, rng);
+  const int dropped = static_cast<int>(rng.below(static_cast<std::uint64_t>(width)));
+  // L = M composed with the projection that zeroes coordinate `dropped`:
+  // rank width-1, kernel span(e_dropped), image misses M(e_dropped).
+  gf2::Matrix projection = gf2::Matrix::identity(width);
+  projection.set(dropped, dropped, 0);
+  const gf2::Matrix l = m * projection;
+  const std::uint64_t mask = util::low_mask(width);
+  const std::uint64_t cf = rng.next() & mask;
+  // t = M(e_dropped xor r) with r in the complement of e_dropped lies
+  // outside Im(L) (its M(e_dropped) component cannot be cancelled).
+  const std::uint64_t r =
+      rng.next() & mask & ~(std::uint64_t{1} << dropped);
+  const std::uint64_t t =
+      m.apply((std::uint64_t{1} << dropped) ^ r);
+  return from_affine(gf2::AffineMap(l, cf), gf2::AffineMap(l, cf ^ t));
+}
+
+std::uint32_t Connection::f(std::uint32_t x) const {
+  if (x >= cells()) throw std::invalid_argument("Connection::f: range");
+  return f_[x];
+}
+
+std::uint32_t Connection::g(std::uint32_t x) const {
+  if (x >= cells()) throw std::invalid_argument("Connection::g: range");
+  return g_[x];
+}
+
+std::array<std::uint32_t, 2> Connection::children(std::uint32_t x) const {
+  return {f(x), g(x)};
+}
+
+Connection Connection::swapped() const {
+  Connection out = *this;
+  out.f_.swap(out.g_);
+  return out;
+}
+
+bool Connection::is_valid_stage() const {
+  std::vector<std::uint32_t> indeg(cells(), 0);
+  for (std::uint32_t x = 0; x < cells(); ++x) {
+    ++indeg[f_[x]];
+    ++indeg[g_[x]];
+  }
+  for (std::uint32_t d : indeg) {
+    if (d != 2) return false;
+  }
+  return true;
+}
+
+bool Connection::has_parallel_arcs() const {
+  for (std::uint32_t x = 0; x < cells(); ++x) {
+    if (f_[x] == g_[x]) return true;
+  }
+  return false;
+}
+
+std::uint32_t Connection::in_degree(std::uint32_t y) const {
+  if (y >= cells()) throw std::invalid_argument("Connection::in_degree");
+  std::uint32_t count = 0;
+  for (std::uint32_t x = 0; x < cells(); ++x) {
+    if (f_[x] == y) ++count;
+    if (g_[x] == y) ++count;
+  }
+  return count;
+}
+
+std::vector<std::uint32_t> Connection::parents(std::uint32_t y) const {
+  if (y >= cells()) throw std::invalid_argument("Connection::parents");
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t x = 0; x < cells(); ++x) {
+    if (f_[x] == y) out.push_back(x);
+    if (g_[x] == y) out.push_back(x);
+  }
+  return out;
+}
+
+std::vector<VertexType> Connection::vertex_types() const {
+  std::vector<std::uint32_t> f_arcs(cells(), 0);
+  std::vector<std::uint32_t> g_arcs(cells(), 0);
+  for (std::uint32_t x = 0; x < cells(); ++x) {
+    ++f_arcs[f_[x]];
+    ++g_arcs[g_[x]];
+  }
+  std::vector<VertexType> types(cells());
+  for (std::uint32_t y = 0; y < cells(); ++y) {
+    if (f_arcs[y] + g_arcs[y] != 2) {
+      types[y] = VertexType::kBad;
+    } else if (f_arcs[y] == 2) {
+      types[y] = VertexType::kFF;
+    } else if (g_arcs[y] == 2) {
+      types[y] = VertexType::kGG;
+    } else {
+      types[y] = VertexType::kFG;
+    }
+  }
+  return types;
+}
+
+std::array<std::size_t, 4> Connection::vertex_type_counts() const {
+  std::array<std::size_t, 4> counts{0, 0, 0, 0};
+  for (VertexType t : vertex_types()) {
+    ++counts[static_cast<std::size_t>(t)];
+  }
+  // Order: kFF, kFG, kGG, kBad matches the enum declaration order.
+  return counts;
+}
+
+Connection Connection::reverse_independent() const {
+  if (!is_valid_stage()) {
+    throw std::invalid_argument(
+        "reverse_independent: not a valid MI-digraph stage");
+  }
+  // Recover the shared linear part L; independence <=> both tables are
+  // affine with equal linear parts (see min/independence.hpp).
+  const auto af = gf2::fit_affine(f_, width_, width_);
+  const auto ag = gf2::fit_affine(g_, width_, width_);
+  if (!af.has_value() || !ag.has_value() ||
+      !(af->linear() == ag->linear())) {
+    throw std::invalid_argument(
+        "reverse_independent: connection is not independent");
+  }
+  const gf2::Matrix& l = af->linear();
+  const std::vector<std::uint64_t> kernel = l.kernel_basis();
+
+  if (kernel.empty()) {
+    // Case 1 of Proposition 1: f and g are bijections; (phi, psi) =
+    // (f^{-1}, g^{-1}).
+    std::vector<std::uint32_t> phi(cells());
+    std::vector<std::uint32_t> psi(cells());
+    for (std::uint32_t x = 0; x < cells(); ++x) {
+      phi[f_[x]] = x;
+      psi[g_[x]] = x;
+    }
+    return Connection(std::move(phi), std::move(psi), width_);
+  }
+
+  if (kernel.size() != 1) {
+    // rank(L) < width-1 cannot give in-degree 2 everywhere; is_valid_stage
+    // should have rejected it, so reaching here is a logic error.
+    throw std::logic_error("reverse_independent: unexpected kernel dimension");
+  }
+
+  // Case 2: alpha_1 spans the kernel; A = span(complement basis of
+  // alpha_1), B = alpha_1 xor A. phi takes the parent in A, psi the parent
+  // in B (each vertex has one of each, since its two parents differ by
+  // alpha_1, which is not in A).
+  const std::uint64_t alpha1 = kernel.front();
+  const gf2::Subspace alpha_line =
+      gf2::Subspace::span({alpha1}, width_);
+  const gf2::Subspace a_set =
+      gf2::Subspace::span(alpha_line.complement_basis(), width_);
+
+  std::vector<std::uint32_t> phi(cells(), 0);
+  std::vector<std::uint32_t> psi(cells(), 0);
+  for (std::uint32_t x = 0; x < cells(); ++x) {
+    const bool x_in_a = a_set.contains(x);
+    // x is a parent of both f_[x] and g_[x].
+    if (x_in_a) {
+      phi[f_[x]] = x;
+      phi[g_[x]] = x;
+    } else {
+      psi[f_[x]] = x;
+      psi[g_[x]] = x;
+    }
+  }
+  return Connection(std::move(phi), std::move(psi), width_);
+}
+
+Connection Connection::reverse_generic() const {
+  if (!is_valid_stage()) {
+    throw std::invalid_argument(
+        "reverse_generic: not a valid MI-digraph stage");
+  }
+  std::vector<std::uint32_t> phi(cells());
+  std::vector<std::uint32_t> psi(cells());
+  std::vector<std::uint32_t> seen(cells(), 0);
+  auto record = [&](std::uint32_t y, std::uint32_t parent) {
+    if (seen[y] == 0) {
+      phi[y] = parent;
+    } else {
+      psi[y] = parent;
+      if (phi[y] > psi[y]) std::swap(phi[y], psi[y]);
+    }
+    ++seen[y];
+  };
+  for (std::uint32_t x = 0; x < cells(); ++x) {
+    record(f_[x], x);
+    record(g_[x], x);
+  }
+  return Connection(std::move(phi), std::move(psi), width_);
+}
+
+std::string Connection::str() const {
+  std::ostringstream out;
+  for (std::uint32_t x = 0; x < cells(); ++x) {
+    out << x << ": f -> " << f_[x] << ", g -> " << g_[x] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace mineq::min

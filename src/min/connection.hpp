@@ -1,0 +1,157 @@
+/// \file connection.hpp
+/// \brief The paper's inter-stage connections: pairs of functions (f, g).
+///
+/// "For all i != n, a connection (f, g) between the ith stage and the
+/// (i+1)st stage ... is a pair of functions f and g defined on Z_2^{n-1}
+/// such that, if x is a node of the ith stage then the two children of x
+/// are f(x) and g(x)."
+///
+/// A Connection stores the two image tables explicitly, so arbitrary (also
+/// non-independent, non-valid) connections can be represented and analyzed.
+/// The independence test and the structural (L, c_f, c_g) decomposition
+/// live in min/independence.hpp; this header owns the combinatorial side:
+/// degree validity, vertex types, and the Proposition 1 reverse
+/// construction.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gf2/affine.hpp"
+#include "perm/permutation.hpp"
+#include "util/rng.hpp"
+
+namespace mineq::min {
+
+/// Incoming-arc type of a next-stage vertex, per the proof of
+/// Proposition 1: a vertex y is of type (h1, h2) if its two incoming arcs
+/// are h1(x) = y and h2(x') = y.
+enum class VertexType : std::uint8_t {
+  kFF,  ///< both parents reach y through f
+  kFG,  ///< one f-arc and one g-arc
+  kGG,  ///< both parents reach y through g
+  kBad  ///< in-degree != 2 (connection is not a valid MI-digraph stage)
+};
+
+/// A connection (f, g) on Z_2^width.
+class Connection {
+ public:
+  /// The unique width-0 connection (single cell, both children = it).
+  Connection();
+
+  /// From explicit image tables (each of size 2^width, entries < 2^width).
+  Connection(std::vector<std::uint32_t> f, std::vector<std::uint32_t> g,
+             int width);
+
+  /// From callables evaluated over the whole domain.
+  [[nodiscard]] static Connection from_functions(
+      int width, const std::function<std::uint32_t(std::uint32_t)>& f,
+      const std::function<std::uint32_t(std::uint32_t)>& g);
+
+  /// From a pair of affine maps (the shape every independent connection
+  /// has; see min/independence.hpp).
+  [[nodiscard]] static Connection from_affine(const gf2::AffineMap& f,
+                                              const gf2::AffineMap& g);
+
+  /// From a permutation of the 2^(width+1) link labels: link (x, p) of the
+  /// left stage is wired to link P(2x+p) of the right stage, and the child
+  /// cell is the top bits of that label. Port 0 defines f, port 1 defines
+  /// g — for PIPID permutations this matches the paper's Section 4 choice
+  /// (f forces the k-th bit to 0, g to 1).
+  [[nodiscard]] static Connection from_link_permutation(
+      const perm::Permutation& link_perm);
+
+  /// Random valid stage: f and g are independent uniform permutations of
+  /// the cells (every next-stage cell then has in-degree exactly 2).
+  /// The result is almost surely *not* an independent connection.
+  [[nodiscard]] static Connection random_valid(int width,
+                                               util::SplitMix64& rng);
+
+  /// Random independent connection of case 1: f = Lx ^ c_f, g = Lx ^ c_g
+  /// with L invertible and c_f != c_g (all next-stage vertices type (f,g)).
+  [[nodiscard]] static Connection random_independent_case1(
+      int width, util::SplitMix64& rng);
+
+  /// Random independent connection of case 2: rank(L) = width-1 and
+  /// c_f ^ c_g outside Im(L) (vertex types split half (f,f), half (g,g)).
+  /// Requires width >= 1.
+  [[nodiscard]] static Connection random_independent_case2(
+      int width, util::SplitMix64& rng);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+
+  /// Number of cells 2^width on each side.
+  [[nodiscard]] std::uint32_t cells() const noexcept {
+    return std::uint32_t{1} << width_;
+  }
+
+  [[nodiscard]] std::uint32_t f(std::uint32_t x) const;
+  [[nodiscard]] std::uint32_t g(std::uint32_t x) const;
+
+  /// Both children of \p x, in (f, g) order.
+  [[nodiscard]] std::array<std::uint32_t, 2> children(std::uint32_t x) const;
+
+  [[nodiscard]] const std::vector<std::uint32_t>& f_table() const noexcept {
+    return f_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& g_table() const noexcept {
+    return g_;
+  }
+
+  /// Swap the roles of f and g globally.
+  [[nodiscard]] Connection swapped() const;
+
+  /// True iff every next-stage vertex has in-degree exactly 2 — the degree
+  /// requirement for an MI-digraph stage. Parallel arcs (f(x) == g(x))
+  /// are allowed by this check (cf. the paper's Fig. 5).
+  [[nodiscard]] bool is_valid_stage() const;
+
+  /// True iff some cell has both children equal (double links, Fig. 5).
+  [[nodiscard]] bool has_parallel_arcs() const;
+
+  /// In-degree of next-stage vertex \p y.
+  [[nodiscard]] std::uint32_t in_degree(std::uint32_t y) const;
+
+  /// The parents of next-stage vertex \p y (each listed once per arc).
+  [[nodiscard]] std::vector<std::uint32_t> parents(std::uint32_t y) const;
+
+  /// Vertex types of all next-stage vertices.
+  [[nodiscard]] std::vector<VertexType> vertex_types() const;
+
+  /// Counts of (f,f) / (f,g) / (g,g) / bad vertices, in that order.
+  [[nodiscard]] std::array<std::size_t, 4> vertex_type_counts() const;
+
+  /// Proposition 1: the reverse of an *independent* connection, as an
+  /// independent connection (phi, psi) from stage i+1 back to stage i.
+  /// Implements both cases of the proof:
+  ///   - all vertices (f,g): phi = f^{-1}, psi = g^{-1};
+  ///   - half (f,f), half (g,g): phi(y) = parent of y in A, psi(y) =
+  ///     parent in B, where A is spanned by a complement of the kernel
+  ///     vector alpha_1 and B is its alpha_1-translate.
+  /// \throws std::invalid_argument if the connection is not independent or
+  /// not a valid stage.
+  [[nodiscard]] Connection reverse_independent() const;
+
+  /// Reverse of any valid stage, splitting each vertex's two parents
+  /// arbitrarily (smaller parent into the first function). Adequate when
+  /// only the reversed *digraph* matters, not the (phi, psi) structure.
+  /// \throws std::invalid_argument if not a valid stage.
+  [[nodiscard]] Connection reverse_generic() const;
+
+  friend bool operator==(const Connection&, const Connection&) = default;
+
+  /// "x: f -> a, g -> b" listing, one cell per line (for small widths).
+  [[nodiscard]] std::string str() const;
+
+ private:
+  int width_ = 0;
+  std::vector<std::uint32_t> f_;
+  std::vector<std::uint32_t> g_;
+};
+
+}  // namespace mineq::min

@@ -1,0 +1,68 @@
+#include "min/equivalence.hpp"
+
+#include <stdexcept>
+
+#include "graph/isomorphism.hpp"
+#include "min/banyan.hpp"
+#include "min/independence.hpp"
+#include "min/properties.hpp"
+
+namespace mineq::min {
+
+EquivalenceReport check_baseline_equivalence(const MIDigraph& g) {
+  EquivalenceReport report;
+  report.valid_degrees = g.is_valid();
+  if (!report.valid_degrees) {
+    report.failure = "degrees";
+    return report;
+  }
+  report.banyan = is_banyan(g);
+  if (!report.banyan) {
+    report.failure = "banyan";
+    return report;
+  }
+  report.p1_star = satisfies_p1_star(g);
+  if (!report.p1_star) {
+    report.failure = "P(1,*)";
+    return report;
+  }
+  report.p_star_n = satisfies_p_star_n(g);
+  if (!report.p_star_n) {
+    report.failure = "P(*,n)";
+    return report;
+  }
+  report.equivalent = true;
+  return report;
+}
+
+bool is_baseline_equivalent(const MIDigraph& g) {
+  return check_baseline_equivalence(g).equivalent;
+}
+
+bool is_baseline_equivalent_via_independence(const MIDigraph& g) {
+  for (const Connection& conn : g.connections()) {
+    if (!conn.is_valid_stage()) return false;
+    if (!is_independent(conn)) return false;
+  }
+  return is_banyan(g);
+}
+
+bool are_topologically_equivalent(const MIDigraph& a, const MIDigraph& b,
+                                  std::uint64_t fallback_budget) {
+  if (a.stages() != b.stages()) return false;
+  const bool a_base = is_baseline_equivalent(a);
+  const bool b_base = is_baseline_equivalent(b);
+  if (a_base || b_base) return a_base && b_base;
+  // Neither is baseline-equivalent: they may still be isomorphic to each
+  // other (e.g. two scrambled copies of the same non-Banyan digraph).
+  graph::SearchStats stats;
+  const auto mapping = graph::find_layered_isomorphism(
+      a.to_layered(), b.to_layered(), &stats, fallback_budget);
+  if (!mapping.has_value() && stats.budget_exhausted) {
+    throw std::runtime_error(
+        "are_topologically_equivalent: isomorphism search budget exhausted");
+  }
+  return mapping.has_value();
+}
+
+}  // namespace mineq::min

@@ -1,0 +1,60 @@
+/// \file equivalence.hpp
+/// \brief The paper's "easy characterization": deciding Baseline
+/// equivalence in near-linear time.
+///
+/// Theorem (Section 2, from [12]): all n-stage MI-digraphs satisfying the
+/// Banyan property, P(*, n) and P(1, *) are isomorphic — and the Baseline
+/// network satisfies all three, so satisfying them is equivalent to being
+/// topologically equivalent to Baseline.
+///
+/// Theorem 3 (main): a Banyan MI-digraph built with independent
+/// connections is isomorphic to the Baseline MI-digraph. The decision
+/// procedure here also exposes the Theorem-3 fast path: if every stage is
+/// an independent connection and the digraph is Banyan, equivalence holds
+/// with no component counting at all.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "min/mi_digraph.hpp"
+
+namespace mineq::min {
+
+/// Full decision transcript for one network.
+struct EquivalenceReport {
+  bool valid_degrees = false;  ///< every stage has all in-degrees == 2
+  bool banyan = false;         ///< unique first-to-last paths
+  bool p1_star = false;        ///< P(1, j) for every j
+  bool p_star_n = false;       ///< P(i, n) for every i
+  bool equivalent = false;     ///< all of the above
+  /// First failed check, or "" when equivalent ("degrees", "banyan",
+  /// "P(1,*)", "P(*,n)").
+  std::string failure;
+};
+
+/// Run the full characterization check (degree validity, Banyan, both
+/// component profiles). O(stages * cells^2) dominated by the Banyan DP.
+[[nodiscard]] EquivalenceReport check_baseline_equivalence(const MIDigraph& g);
+
+/// Short-circuit decision.
+[[nodiscard]] bool is_baseline_equivalent(const MIDigraph& g);
+
+/// Theorem-3 fast path: every connection independent + Banyan. Sound
+/// (implies is_baseline_equivalent) but not complete: a Banyan digraph can
+/// be baseline-equivalent without any stage being independent (relabel a
+/// baseline with arbitrary per-stage permutations). Exposed separately so
+/// benchmarks can compare the costs.
+[[nodiscard]] bool is_baseline_equivalent_via_independence(const MIDigraph& g);
+
+/// Are two MI-digraphs topologically equivalent? Decided without search
+/// when at least one is baseline-equivalent; otherwise falls back to the
+/// general isomorphism search with the given node-expansion budget.
+/// \throws std::runtime_error if the fallback search exhausts its budget
+/// (answer unknown).
+[[nodiscard]] bool are_topologically_equivalent(
+    const MIDigraph& a, const MIDigraph& b,
+    std::uint64_t fallback_budget = 50'000'000);
+
+}  // namespace mineq::min

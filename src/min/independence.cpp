@@ -1,0 +1,147 @@
+#include "min/independence.hpp"
+
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+
+namespace mineq::min {
+
+bool is_independent_definition(const Connection& conn) {
+  const std::uint32_t cells = conn.cells();
+  const auto& f = conn.f_table();
+  const auto& g = conn.g_table();
+  for (std::uint32_t alpha = 1; alpha < cells; ++alpha) {
+    // If any beta works, then in particular beta = f(alpha) ^ f(0)
+    // (take x = 0), so only that candidate needs checking.
+    const std::uint32_t beta = f[alpha] ^ f[0];
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      if (f[x ^ alpha] != (beta ^ f[x])) return false;
+      if (g[x ^ alpha] != (beta ^ g[x])) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<LinearForm> linear_form(const Connection& conn) {
+  const int w = conn.width();
+  const auto af = gf2::fit_affine(conn.f_table(), w, w);
+  if (!af.has_value()) return std::nullopt;
+  const auto ag = gf2::fit_affine(conn.g_table(), w, w);
+  if (!ag.has_value()) return std::nullopt;
+  if (!(af->linear() == ag->linear())) return std::nullopt;
+  LinearForm lf{af->linear(), static_cast<std::uint32_t>(af->constant()),
+                static_cast<std::uint32_t>(ag->constant())};
+  return lf;
+}
+
+bool is_independent(const Connection& conn) {
+  return linear_form(conn).has_value();
+}
+
+std::optional<std::vector<std::uint32_t>> beta_map(const Connection& conn) {
+  const auto lf = linear_form(conn);
+  if (!lf.has_value()) return std::nullopt;
+  return gf2::AffineMap(lf->linear, 0).to_table();
+}
+
+StageCase classify_stage(const Connection& conn) {
+  const auto lf = linear_form(conn);
+  if (!lf.has_value()) return StageCase::kNotIndependent;
+  if (!conn.is_valid_stage()) return StageCase::kInvalidDegrees;
+  const int rank = lf->linear.rank();
+  if (rank == conn.width()) return StageCase::kCase1;
+  if (rank == conn.width() - 1) return StageCase::kCase2;
+  // Rank deficit >= 2 implies some vertex has in-degree > 2, contradicting
+  // is_valid_stage(); reaching here would be a logic error.
+  throw std::logic_error("classify_stage: valid stage with rank deficit >= 2");
+}
+
+namespace {
+
+/// Recursive column-choice search for orient_independent. At depth k the
+/// columns for bits 0..k-1 are fixed, which determines the candidate
+/// affine f on [0, 2^k); each level verifies the fresh half-range
+/// [2^k, 2^{k+1}) so dead branches die early.
+class OrientSearch {
+ public:
+  OrientSearch(const Connection& conn, std::uint32_t c_f, std::uint32_t c_g)
+      : conn_(conn),
+        c_f_(c_f),
+        c_g_(c_g),
+        width_(conn.width()),
+        candidate_f_(conn.cells(), 0) {
+    candidate_f_[0] = c_f_;
+  }
+
+  [[nodiscard]] std::optional<Connection> run() {
+    if (!consistent_at(0)) return std::nullopt;
+    if (search(0)) {
+      std::vector<std::uint32_t> g_table(conn_.cells());
+      const std::uint32_t t = c_f_ ^ c_g_;
+      for (std::uint32_t x = 0; x < conn_.cells(); ++x) {
+        g_table[x] = candidate_f_[x] ^ t;
+      }
+      return Connection(candidate_f_, std::move(g_table), width_);
+    }
+    return std::nullopt;
+  }
+
+ private:
+  /// Does {cand_f(x), cand_f(x) ^ (c_f^c_g)} equal the given child set?
+  [[nodiscard]] bool consistent_at(std::uint32_t x) const {
+    const std::uint32_t cf = candidate_f_[x];
+    const std::uint32_t cg = cf ^ c_f_ ^ c_g_;
+    const std::uint32_t a = conn_.f_table()[x];
+    const std::uint32_t b = conn_.g_table()[x];
+    return (cf == a && cg == b) || (cf == b && cg == a);
+  }
+
+  [[nodiscard]] bool search(int bit) {
+    if (bit == width_) return true;
+    const std::uint32_t lo = std::uint32_t{1} << bit;
+    const std::uint32_t a_col = conn_.f_table()[lo] ^ c_f_;
+    const std::uint32_t b_col = conn_.g_table()[lo] ^ c_f_;
+    for (int choice = 0; choice < 2; ++choice) {
+      const std::uint32_t column = choice == 0 ? a_col : b_col;
+      if (choice == 1 && b_col == a_col) break;  // same candidate twice
+      // Fill the fresh half-range via the xor recurrence and verify it.
+      bool ok = true;
+      for (std::uint32_t x = lo; x < 2 * lo; ++x) {
+        candidate_f_[x] = candidate_f_[x ^ lo] ^ column;
+        if (!consistent_at(x)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && search(bit + 1)) return true;
+    }
+    return false;
+  }
+
+  const Connection& conn_;
+  std::uint32_t c_f_;
+  std::uint32_t c_g_;
+  int width_;
+  std::vector<std::uint32_t> candidate_f_;
+};
+
+}  // namespace
+
+std::optional<Connection> orient_independent(const Connection& conn) {
+  const std::uint32_t a0 = conn.f_table()[0];
+  const std::uint32_t b0 = conn.g_table()[0];
+  // c_f must be one of the children of 0; the other child is then c_g.
+  {
+    OrientSearch search(conn, a0, b0);
+    auto result = search.run();
+    if (result.has_value()) return result;
+  }
+  if (a0 != b0) {
+    OrientSearch search(conn, b0, a0);
+    auto result = search.run();
+    if (result.has_value()) return result;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mineq::min

@@ -1,0 +1,71 @@
+#include "min/labels.hpp"
+
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+#include "util/format.hpp"
+
+namespace mineq::min {
+
+namespace {
+
+void check_stages(int stages) {
+  if (stages < 1 || stages > util::kMaxBits) {
+    throw std::invalid_argument("labels: stage count out of range");
+  }
+}
+
+}  // namespace
+
+int cell_width(int stages) {
+  check_stages(stages);
+  return stages - 1;
+}
+
+std::uint32_t cells_per_stage(int stages) {
+  check_stages(stages);
+  return std::uint32_t{1} << (stages - 1);
+}
+
+std::uint64_t terminal_count(int stages) {
+  check_stages(stages);
+  return std::uint64_t{1} << stages;
+}
+
+std::uint32_t link_label(std::uint32_t cell, unsigned port) {
+  if (port > 1) throw std::invalid_argument("link_label: port must be 0/1");
+  return (cell << 1) | port;
+}
+
+std::uint32_t link_cell(std::uint32_t link) { return link >> 1; }
+
+unsigned link_port(std::uint32_t link) {
+  return static_cast<unsigned>(link & 1U);
+}
+
+gf2::BitVec cell_vec(std::uint32_t cell, int stages) {
+  return gf2::BitVec(cell, cell_width(stages));
+}
+
+std::vector<std::string> stage_label_strings(int stages) {
+  const std::uint32_t cells = cells_per_stage(stages);
+  std::vector<std::string> out;
+  out.reserve(cells);
+  for (std::uint32_t c = 0; c < cells; ++c) {
+    out.push_back(util::bit_tuple(c, stages - 1));
+  }
+  return out;
+}
+
+std::vector<std::string> link_label_strings(int stages) {
+  check_stages(stages);
+  const std::uint64_t links = std::uint64_t{1} << stages;
+  std::vector<std::string> out;
+  out.reserve(links);
+  for (std::uint64_t y = 0; y < links; ++y) {
+    out.push_back(util::bit_tuple(y, stages));
+  }
+  return out;
+}
+
+}  // namespace mineq::min

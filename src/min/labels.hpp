@@ -1,0 +1,54 @@
+/// \file labels.hpp
+/// \brief Label conventions for cells and links of an n-stage MIN.
+///
+/// Following the paper (Section 3 and 4):
+///   - An n-stage network over N = 2^n terminals has 2^(n-1) cells per
+///     stage, labelled 0 .. 2^(n-1)-1, read as (n-1)-bit tuples
+///     (x_{n-1}, ..., x_1).
+///   - The two links leaving a cell x carry n-bit labels: y = (x, p) with
+///     port bit p in {0,1}, i.e. y = 2x + p. The n-1 high bits of a link
+///     label are exactly the label of the incident cell.
+///
+/// Stage indices in this codebase are 0-based (0 .. n-1); the paper's
+/// stage i is our stage i-1.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gf2/bitvec.hpp"
+
+namespace mineq::min {
+
+/// Cell-label width for an n-stage network: n-1 bits.
+[[nodiscard]] int cell_width(int stages);
+
+/// Number of cells per stage: 2^(n-1).
+[[nodiscard]] std::uint32_t cells_per_stage(int stages);
+
+/// Number of terminals N = 2^n.
+[[nodiscard]] std::uint64_t terminal_count(int stages);
+
+/// Compose a link label from a cell label and a port bit.
+[[nodiscard]] std::uint32_t link_label(std::uint32_t cell, unsigned port);
+
+/// The cell incident to a link (drop the port bit).
+[[nodiscard]] std::uint32_t link_cell(std::uint32_t link);
+
+/// The port bit of a link label.
+[[nodiscard]] unsigned link_port(std::uint32_t link);
+
+/// Cell label as a BitVec of the right width.
+[[nodiscard]] gf2::BitVec cell_vec(std::uint32_t cell, int stages);
+
+/// The paper's Figure-2 style labels for one stage: "(0,0,0)", "(0,0,1)",
+/// ... in natural order.
+[[nodiscard]] std::vector<std::string> stage_label_strings(int stages);
+
+/// Link labels for one stage, as n-bit tuples in natural order:
+/// "(0,0,0,0)", "(0,0,0,1)", ...
+[[nodiscard]] std::vector<std::string> link_label_strings(int stages);
+
+}  // namespace mineq::min

@@ -1,0 +1,112 @@
+#include "min/mi_digraph.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+
+namespace mineq::min {
+
+MIDigraph::MIDigraph(int stages, std::vector<Connection> connections)
+    : stages_(stages), connections_(std::move(connections)) {
+  if (stages < 1 || stages > util::kMaxBits) {
+    throw std::invalid_argument("MIDigraph: stage count out of range");
+  }
+  if (connections_.size() != static_cast<std::size_t>(stages - 1)) {
+    throw std::invalid_argument(
+        "MIDigraph: need exactly stages-1 connections");
+  }
+  for (const Connection& c : connections_) {
+    if (c.width() != stages - 1) {
+      throw std::invalid_argument("MIDigraph: connection width mismatch");
+    }
+  }
+}
+
+const Connection& MIDigraph::connection(int index) const {
+  if (index < 0 || index >= stages_ - 1) {
+    throw std::invalid_argument("MIDigraph::connection: index out of range");
+  }
+  return connections_[static_cast<std::size_t>(index)];
+}
+
+std::array<std::uint32_t, 2> MIDigraph::children(int stage,
+                                                 std::uint32_t x) const {
+  return connection(stage).children(x);
+}
+
+bool MIDigraph::is_valid() const {
+  for (const Connection& c : connections_) {
+    if (!c.is_valid_stage()) return false;
+  }
+  return true;
+}
+
+MIDigraph MIDigraph::reverse() const {
+  std::vector<Connection> reversed;
+  reversed.reserve(connections_.size());
+  for (auto it = connections_.rbegin(); it != connections_.rend(); ++it) {
+    reversed.push_back(it->reverse_generic());
+  }
+  return MIDigraph(stages_, std::move(reversed));
+}
+
+MIDigraph MIDigraph::relabelled(
+    const std::vector<perm::Permutation>& maps) const {
+  if (maps.size() != static_cast<std::size_t>(stages_)) {
+    throw std::invalid_argument("relabelled: need one map per stage");
+  }
+  for (const auto& p : maps) {
+    if (p.size() != cells_per_stage()) {
+      throw std::invalid_argument("relabelled: map size mismatch");
+    }
+  }
+  std::vector<Connection> remapped;
+  remapped.reserve(connections_.size());
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    const perm::Permutation inv = maps[i].inverse();
+    const perm::Permutation& next = maps[i + 1];
+    const Connection& conn = connections_[i];
+    remapped.push_back(Connection::from_functions(
+        width(),
+        [&](std::uint32_t x) { return next(conn.f_table()[inv(x)]); },
+        [&](std::uint32_t x) { return next(conn.g_table()[inv(x)]); }));
+  }
+  return MIDigraph(stages_, std::move(remapped));
+}
+
+graph::LayeredDigraph MIDigraph::to_layered() const {
+  return layered_range(0, stages_ - 1);
+}
+
+graph::LayeredDigraph MIDigraph::layered_range(int lo, int hi) const {
+  if (lo < 0 || hi >= stages_ || lo > hi) {
+    throw std::invalid_argument("layered_range: bad stage range");
+  }
+  graph::LayeredDigraph g;
+  g.adj.resize(static_cast<std::size_t>(hi - lo + 1));
+  const std::uint32_t cells = cells_per_stage();
+  for (int s = lo; s <= hi; ++s) {
+    auto& layer = g.adj[static_cast<std::size_t>(s - lo)];
+    layer.resize(cells);
+    if (s == hi) continue;
+    const Connection& conn = connections_[static_cast<std::size_t>(s)];
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      layer[x] = {conn.f_table()[x], conn.g_table()[x]};
+    }
+  }
+  return g;
+}
+
+std::string MIDigraph::str() const {
+  std::ostringstream out;
+  out << stages_ << "-stage MI-digraph, " << cells_per_stage()
+      << " cells/stage\n";
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    out << "connection " << i << " (stage " << i << " -> " << i + 1 << "):\n"
+        << connections_[i].str();
+  }
+  return out.str();
+}
+
+}  // namespace mineq::min

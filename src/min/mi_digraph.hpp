@@ -1,0 +1,103 @@
+/// \file mi_digraph.hpp
+/// \brief Multistage interconnection digraphs (Section 2 of the paper).
+///
+/// "A multistage interconnection digraph (MI-digraph) with n stages is a
+/// digraph whose nodes are partitioned into n ordered stages ... arcs only
+/// from nodes of the ith stage to nodes of the (i+1)th ... nodes are of
+/// indegree 2 and outdegree 2 except the nodes from the first and last
+/// stage. Every stage has N/2 nodes where N = 2^n."
+///
+/// An MIDigraph is stored as its sequence of connections (f_i, g_i); the
+/// out-degree-2 requirement is structural, the in-degree-2 requirement is
+/// checked by is_valid(). Stage indices are 0-based.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "min/connection.hpp"
+#include "perm/permutation.hpp"
+
+namespace mineq::min {
+
+/// An n-stage MI-digraph over 2^(n-1) cells per stage.
+class MIDigraph {
+ public:
+  /// Build from \p stages and the \p stages - 1 inter-stage connections,
+  /// each of width stages-1.
+  /// \throws std::invalid_argument on arity or width mismatch. Degree
+  /// validity is *not* enforced here (use is_valid()), so degenerate
+  /// networks like Fig. 5's can be represented and analyzed.
+  MIDigraph(int stages, std::vector<Connection> connections);
+
+  [[nodiscard]] int stages() const noexcept { return stages_; }
+
+  /// Cell-label width (stages - 1 bits).
+  [[nodiscard]] int width() const noexcept { return stages_ - 1; }
+
+  /// Cells per stage (2^(stages-1)).
+  [[nodiscard]] std::uint32_t cells_per_stage() const noexcept {
+    return std::uint32_t{1} << width();
+  }
+
+  /// Total node count (stages * cells_per_stage).
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return static_cast<std::size_t>(stages_) * cells_per_stage();
+  }
+
+  /// Total arc count.
+  [[nodiscard]] std::size_t num_arcs() const noexcept {
+    return static_cast<std::size_t>(stages_ - 1) * cells_per_stage() * 2;
+  }
+
+  /// The connection between stage \p index and stage \p index + 1.
+  [[nodiscard]] const Connection& connection(int index) const;
+
+  [[nodiscard]] const std::vector<Connection>& connections() const noexcept {
+    return connections_;
+  }
+
+  /// Children of cell \p x of stage \p stage, in (f, g) order.
+  /// \p stage must be < stages()-1.
+  [[nodiscard]] std::array<std::uint32_t, 2> children(int stage,
+                                                      std::uint32_t x) const;
+
+  /// True iff every connection is a valid stage (all in-degrees exactly 2).
+  [[nodiscard]] bool is_valid() const;
+
+  /// The reverse MI-digraph G^{-1} (paper, Section 3): all arcs reversed,
+  /// stages renumbered right-to-left. Requires a valid digraph.
+  [[nodiscard]] MIDigraph reverse() const;
+
+  /// Per-stage relabelling: cell x of stage s becomes maps[s](x). The
+  /// result is isomorphic to this digraph by construction (used to
+  /// generate scrambled twins in tests and benchmarks).
+  /// \throws std::invalid_argument unless exactly stages() permutations of
+  /// size cells_per_stage() are given.
+  [[nodiscard]] MIDigraph relabelled(
+      const std::vector<perm::Permutation>& maps) const;
+
+  /// The full digraph as a generic layered digraph.
+  [[nodiscard]] graph::LayeredDigraph to_layered() const;
+
+  /// The sub-digraph (G)_{lo..hi} spanned by stages lo..hi inclusive
+  /// (paper notation (G)_{i,j} with 1-based i = lo+1, j = hi+1).
+  [[nodiscard]] graph::LayeredDigraph layered_range(int lo, int hi) const;
+
+  /// Structural equality (same connections in the same order). Note this
+  /// is finer than isomorphism.
+  friend bool operator==(const MIDigraph&, const MIDigraph&) = default;
+
+  /// Multi-line adjacency dump.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  int stages_;
+  std::vector<Connection> connections_;
+};
+
+}  // namespace mineq::min

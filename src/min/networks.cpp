@@ -1,0 +1,116 @@
+#include "min/networks.hpp"
+
+#include <stdexcept>
+
+#include "min/pipid.hpp"
+#include "perm/standard.hpp"
+
+namespace mineq::min {
+
+const std::vector<NetworkKind>& all_network_kinds() {
+  static const std::vector<NetworkKind> kinds = {
+      NetworkKind::kOmega,
+      NetworkKind::kFlip,
+      NetworkKind::kIndirectBinaryCube,
+      NetworkKind::kModifiedDataManipulator,
+      NetworkKind::kBaseline,
+      NetworkKind::kReverseBaseline,
+  };
+  return kinds;
+}
+
+std::string network_name(NetworkKind kind) {
+  switch (kind) {
+    case NetworkKind::kOmega:
+      return "Omega";
+    case NetworkKind::kFlip:
+      return "Flip";
+    case NetworkKind::kIndirectBinaryCube:
+      return "IndirectBinaryCube";
+    case NetworkKind::kModifiedDataManipulator:
+      return "ModifiedDataManipulator";
+    case NetworkKind::kBaseline:
+      return "Baseline";
+    case NetworkKind::kReverseBaseline:
+      return "ReverseBaseline";
+  }
+  throw std::invalid_argument("network_name: unknown kind");
+}
+
+std::vector<perm::IndexPermutation> network_pipid_sequence(NetworkKind kind,
+                                                           int stages) {
+  if (stages < 2) {
+    throw std::invalid_argument(
+        "network_pipid_sequence: need at least 2 stages");
+  }
+  const int n = stages;
+  std::vector<perm::IndexPermutation> seq;
+  seq.reserve(static_cast<std::size_t>(n - 1));
+  for (int s = 0; s < n - 1; ++s) {
+    switch (kind) {
+      case NetworkKind::kOmega:
+        seq.push_back(perm::perfect_shuffle(n));
+        break;
+      case NetworkKind::kFlip:
+        seq.push_back(perm::inverse_shuffle(n));
+        break;
+      case NetworkKind::kIndirectBinaryCube:
+        seq.push_back(perm::butterfly(n, s + 1));
+        break;
+      case NetworkKind::kModifiedDataManipulator:
+        seq.push_back(perm::butterfly(n, n - 1 - s));
+        break;
+      case NetworkKind::kBaseline:
+        seq.push_back(perm::inverse_subshuffle(n, n - s));
+        break;
+      case NetworkKind::kReverseBaseline:
+        seq.push_back(perm::subshuffle(n, s + 2));
+        break;
+    }
+  }
+  return seq;
+}
+
+MIDigraph build_network(NetworkKind kind, int stages) {
+  return network_from_pipids(network_pipid_sequence(kind, stages));
+}
+
+MIDigraph random_pipid_network(int stages, util::SplitMix64& rng) {
+  if (stages < 2) {
+    throw std::invalid_argument("random_pipid_network: need >= 2 stages");
+  }
+  std::vector<perm::IndexPermutation> seq;
+  seq.reserve(static_cast<std::size_t>(stages - 1));
+  for (int s = 0; s < stages - 1; ++s) {
+    for (;;) {
+      perm::IndexPermutation ip = perm::IndexPermutation::random(stages, rng);
+      if (!pipid_stage_info(ip).degenerate) {
+        seq.push_back(std::move(ip));
+        break;
+      }
+    }
+  }
+  return network_from_pipids(seq);
+}
+
+MIDigraph random_independent_network(int stages, util::SplitMix64& rng) {
+  if (stages < 2) {
+    throw std::invalid_argument(
+        "random_independent_network: need >= 2 stages");
+  }
+  const int w = stages - 1;
+  std::vector<Connection> connections;
+  connections.reserve(static_cast<std::size_t>(w));
+  for (int s = 0; s < w; ++s) {
+    // Case 2 stages are the PIPID-like shape; case 1 stages (two
+    // bijections) are also legal MI-digraph stages. Mix them.
+    if (w >= 1 && rng.chance(1, 2)) {
+      connections.push_back(Connection::random_independent_case2(w, rng));
+    } else {
+      connections.push_back(Connection::random_independent_case1(w, rng));
+    }
+  }
+  return MIDigraph(stages, std::move(connections));
+}
+
+}  // namespace mineq::min

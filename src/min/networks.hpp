@@ -1,0 +1,70 @@
+/// \file networks.hpp
+/// \brief The six "classical" networks of Wu & Feng, built from PIPIDs.
+///
+/// The paper's closing corollary: "As Omega, Baseline, Reverse Baseline,
+/// Flip, Indirect Binary Cube and Modified Data Manipulator networks are
+/// designed using PIPID permutations, they are all equivalent."
+///
+/// Inter-stage wiring sequences used here (connection index s = 0..n-2,
+/// PIPIDs on n bits; see perm/standard.hpp for the permutation zoo):
+///
+///   Omega                      sigma, sigma, ..., sigma
+///   Flip                       sigma^-1, ..., sigma^-1
+///   Indirect Binary Cube       beta_1, beta_2, ..., beta_{n-1}
+///   Modified Data Manipulator  beta_{n-1}, ..., beta_2, beta_1
+///   Baseline                   sigma_n^-1, sigma_{n-1}^-1, ..., sigma_2^-1
+///   Reverse Baseline           sigma_2, sigma_3, ..., sigma_n
+///
+/// The Baseline PIPID sequence reproduces min/baseline.hpp's recursive
+/// construction *exactly* (same tables, not merely isomorphic), which the
+/// tests assert; every other pair is proved topologically equivalent via
+/// Theorem 3 and cross-checked against explicit isomorphisms.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "min/mi_digraph.hpp"
+#include "perm/index_perm.hpp"
+
+namespace mineq::min {
+
+/// The six classical network topologies.
+enum class NetworkKind : std::uint8_t {
+  kOmega,
+  kFlip,
+  kIndirectBinaryCube,
+  kModifiedDataManipulator,
+  kBaseline,
+  kReverseBaseline,
+};
+
+/// All six kinds, in a stable order.
+[[nodiscard]] const std::vector<NetworkKind>& all_network_kinds();
+
+/// Human-readable name ("Omega", "Flip", ...).
+[[nodiscard]] std::string network_name(NetworkKind kind);
+
+/// The PIPID wiring sequence defining \p kind at \p stages stages.
+[[nodiscard]] std::vector<perm::IndexPermutation> network_pipid_sequence(
+    NetworkKind kind, int stages);
+
+/// Build the MI-digraph of \p kind with \p stages stages.
+[[nodiscard]] MIDigraph build_network(NetworkKind kind, int stages);
+
+/// A uniformly random PIPID-wired network: every stage gets an
+/// independent random theta, resampled until non-degenerate
+/// (theta^{-1}(0) != 0) so the result has a chance to be Banyan.
+/// Note: non-degenerate stages do NOT guarantee the Banyan property;
+/// callers that need Banyan instances should filter with is_banyan.
+[[nodiscard]] MIDigraph random_pipid_network(int stages,
+                                             util::SplitMix64& rng);
+
+/// A random network whose stages are random *independent connections*
+/// (mixing case 1 and case 2 as sampled), filtered to valid stages.
+/// Again not necessarily Banyan.
+[[nodiscard]] MIDigraph random_independent_network(int stages,
+                                                   util::SplitMix64& rng);
+
+}  // namespace mineq::min

@@ -1,0 +1,90 @@
+#include "min/pipid.hpp"
+
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+
+namespace mineq::min {
+
+PipidStageInfo pipid_stage_info(const perm::IndexPermutation& ip) {
+  if (ip.width() < 1) {
+    throw std::invalid_argument("pipid_stage_info: empty permutation");
+  }
+  PipidStageInfo info;
+  info.k = ip.theta_inv_of(0);
+  info.degenerate = info.k == 0;
+  info.dropped_input_bit = ip.theta_of(0);
+  return info;
+}
+
+Connection connection_from_pipid(const perm::IndexPermutation& ip) {
+  return Connection::from_link_permutation(ip.induced());
+}
+
+Connection connection_from_pipid_formula(const perm::IndexPermutation& ip) {
+  const int n = ip.width();
+  if (n < 1) {
+    throw std::invalid_argument("connection_from_pipid_formula: width 0");
+  }
+  const int w = n - 1;
+  // Precompute, per child bit b, which cell bit feeds it (or the port).
+  constexpr int kPort = -1;
+  std::vector<int> source(static_cast<std::size_t>(w));
+  for (int b = 0; b < w; ++b) {
+    const int t = ip.theta_of(b + 1);
+    source[static_cast<std::size_t>(b)] = (t == 0) ? kPort : t - 1;
+  }
+  auto child = [&](std::uint32_t x, unsigned port) {
+    std::uint32_t c = 0;
+    for (int b = 0; b < w; ++b) {
+      const int s = source[static_cast<std::size_t>(b)];
+      const unsigned bit =
+          (s == kPort) ? port : util::get_bit(x, s);
+      c |= static_cast<std::uint32_t>(bit) << b;
+    }
+    return c;
+  };
+  return Connection::from_functions(
+      w, [&](std::uint32_t x) { return child(x, 0); },
+      [&](std::uint32_t x) { return child(x, 1); });
+}
+
+MIDigraph network_from_pipids(
+    const std::vector<perm::IndexPermutation>& pipids) {
+  if (pipids.empty()) {
+    throw std::invalid_argument("network_from_pipids: need >= 1 wiring");
+  }
+  const int stages = static_cast<int>(pipids.size()) + 1;
+  std::vector<Connection> connections;
+  connections.reserve(pipids.size());
+  for (const auto& ip : pipids) {
+    if (ip.width() != stages) {
+      throw std::invalid_argument(
+          "network_from_pipids: PIPID width must equal stage count");
+    }
+    connections.push_back(connection_from_pipid_formula(ip));
+  }
+  return MIDigraph(stages, std::move(connections));
+}
+
+MIDigraph network_from_link_permutations(
+    const std::vector<perm::Permutation>& perms) {
+  if (perms.empty()) {
+    throw std::invalid_argument(
+        "network_from_link_permutations: need >= 1 wiring");
+  }
+  const int stages = static_cast<int>(perms.size()) + 1;
+  const std::size_t links = std::size_t{1} << stages;
+  std::vector<Connection> connections;
+  connections.reserve(perms.size());
+  for (const auto& p : perms) {
+    if (p.size() != links) {
+      throw std::invalid_argument(
+          "network_from_link_permutations: permutation size mismatch");
+    }
+    connections.push_back(Connection::from_link_permutation(p));
+  }
+  return MIDigraph(stages, std::move(connections));
+}
+
+}  // namespace mineq::min

@@ -1,0 +1,63 @@
+/// \file pipid.hpp
+/// \brief Section 4: from PIPID link permutations to cell connections.
+///
+/// Link labels between two stages carry n bits; the n-1 high bits are the
+/// cell label and bit 0 is the out-port. Wiring a stage with a PIPID
+/// Lambda_theta gives cell x the children
+///
+///     f(x) = top bits of Lambda(2x),     g(x) = top bits of Lambda(2x+1),
+///
+/// and the paper shows (with k = theta^{-1}(0), the output position that
+/// receives the port bit):
+///   - k != 0: f forces bit k-1 of the child cell to 0 and g to 1, the
+///     other child bits are a fixed selection of x's bits, and (f, g) is
+///     an *independent* connection — hence Theorem 3 applies;
+///   - k == 0: the port bit is dropped, f == g, the stage has double links
+///     and the network cannot be Banyan (Fig. 5).
+///
+/// Both the link-permutation derivation and the paper's explicit bit
+/// formula are implemented; the tests assert they coincide.
+
+#pragma once
+
+#include <vector>
+
+#include "min/connection.hpp"
+#include "min/mi_digraph.hpp"
+#include "perm/index_perm.hpp"
+
+namespace mineq::min {
+
+/// Stage-level facts about a PIPID used as an inter-stage wiring.
+struct PipidStageInfo {
+  int k = 0;                  ///< theta^{-1}(0): where the port bit lands
+  bool degenerate = false;    ///< k == 0: double links (Fig. 5)
+  int dropped_input_bit = 0;  ///< theta(0): the cell bit that is discarded
+};
+
+/// Analyze a PIPID of width n (n = stages of the target network).
+[[nodiscard]] PipidStageInfo pipid_stage_info(const perm::IndexPermutation& ip);
+
+/// Derive the cell connection from the PIPID by materializing the link
+/// permutation and projecting out the port bit.
+[[nodiscard]] Connection connection_from_pipid(
+    const perm::IndexPermutation& ip);
+
+/// Same connection via the paper's closed bit formula (child bit b =
+/// port if theta(b+1) == 0, else x bit theta(b+1)-1) — O(n) per cell and
+/// no 2^n table for the link permutation.
+[[nodiscard]] Connection connection_from_pipid_formula(
+    const perm::IndexPermutation& ip);
+
+/// Assemble an MI-digraph from a sequence of PIPID inter-stage wirings;
+/// the network has pipids.size() + 1 stages and every PIPID must have
+/// width equal to that stage count.
+[[nodiscard]] MIDigraph network_from_pipids(
+    const std::vector<perm::IndexPermutation>& pipids);
+
+/// Assemble an MI-digraph from arbitrary link permutations (each on
+/// 2^stages labels) — the general, not-necessarily-PIPID construction.
+[[nodiscard]] MIDigraph network_from_link_permutations(
+    const std::vector<perm::Permutation>& perms);
+
+}  // namespace mineq::min

@@ -1,0 +1,139 @@
+#include "min/properties.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/dsu.hpp"
+
+namespace mineq::min {
+
+namespace {
+
+void check_range(const MIDigraph& g, int lo, int hi) {
+  if (lo < 0 || hi >= g.stages() || lo > hi) {
+    throw std::invalid_argument("P(i,j): bad stage range");
+  }
+}
+
+}  // namespace
+
+std::size_t component_count_range(const MIDigraph& g, int lo, int hi) {
+  check_range(g, lo, hi);
+  const std::uint32_t cells = g.cells_per_stage();
+  const std::size_t span = static_cast<std::size_t>(hi - lo + 1);
+  graph::DSU dsu(span * cells);
+  for (int s = lo; s < hi; ++s) {
+    const Connection& conn = g.connection(s);
+    const std::uint32_t base = static_cast<std::uint32_t>(s - lo) * cells;
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      dsu.unite(base + x, base + cells + conn.f_table()[x]);
+      dsu.unite(base + x, base + cells + conn.g_table()[x]);
+    }
+  }
+  return dsu.components();
+}
+
+std::size_t expected_components(const MIDigraph& g, int lo, int hi) {
+  check_range(g, lo, hi);
+  return std::size_t{1} << (g.width() - (hi - lo));
+}
+
+bool satisfies_p(const MIDigraph& g, int lo, int hi) {
+  return component_count_range(g, lo, hi) == expected_components(g, lo, hi);
+}
+
+std::vector<std::size_t> prefix_component_profile(const MIDigraph& g) {
+  const std::uint32_t cells = g.cells_per_stage();
+  // One DSU over the whole digraph; after wiring stage s-1 -> s, the
+  // component count over stages 0..s equals the full-DSU count minus the
+  // (stages-1-s) * cells untouched singleton nodes.
+  graph::DSU dsu(static_cast<std::size_t>(g.stages()) * cells);
+  std::vector<std::size_t> profile;
+  profile.reserve(static_cast<std::size_t>(g.stages()));
+  profile.push_back(cells);  // (G)_{0..0}: isolated cells
+  for (int s = 0; s + 1 < g.stages(); ++s) {
+    const Connection& conn = g.connection(s);
+    const std::uint32_t base = static_cast<std::uint32_t>(s) * cells;
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      dsu.unite(base + x, base + cells + conn.f_table()[x]);
+      dsu.unite(base + x, base + cells + conn.g_table()[x]);
+    }
+    const std::size_t untouched =
+        static_cast<std::size_t>(g.stages() - 2 - s) * cells;
+    profile.push_back(dsu.components() - untouched);
+  }
+  return profile;
+}
+
+std::vector<std::size_t> suffix_component_profile(const MIDigraph& g) {
+  const std::uint32_t cells = g.cells_per_stage();
+  graph::DSU dsu(static_cast<std::size_t>(g.stages()) * cells);
+  std::vector<std::size_t> profile(static_cast<std::size_t>(g.stages()));
+  profile[static_cast<std::size_t>(g.stages() - 1)] = cells;
+  for (int s = g.stages() - 2; s >= 0; --s) {
+    const Connection& conn = g.connection(s);
+    const std::uint32_t base = static_cast<std::uint32_t>(s) * cells;
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      dsu.unite(base + x, base + cells + conn.f_table()[x]);
+      dsu.unite(base + x, base + cells + conn.g_table()[x]);
+    }
+    const std::size_t untouched = static_cast<std::size_t>(s) * cells;
+    profile[static_cast<std::size_t>(s)] = dsu.components() - untouched;
+  }
+  return profile;
+}
+
+bool satisfies_p1_star(const MIDigraph& g) {
+  const auto profile = prefix_component_profile(g);
+  for (int j = 0; j < g.stages(); ++j) {
+    if (profile[static_cast<std::size_t>(j)] !=
+        (std::size_t{1} << (g.width() - j))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool satisfies_p_star_n(const MIDigraph& g) {
+  const auto profile = suffix_component_profile(g);
+  for (int i = 0; i < g.stages(); ++i) {
+    if (profile[static_cast<std::size_t>(i)] !=
+        (std::size_t{1} << i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SuffixStructure suffix_component_structure(const MIDigraph& g, int from) {
+  check_range(g, from, g.stages() - 1);
+  const std::uint32_t cells = g.cells_per_stage();
+  const int span = g.stages() - from;
+  graph::DSU dsu(static_cast<std::size_t>(span) * cells);
+  for (int s = from; s + 1 < g.stages(); ++s) {
+    const Connection& conn = g.connection(s);
+    const std::uint32_t base = static_cast<std::uint32_t>(s - from) * cells;
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      dsu.unite(base + x, base + cells + conn.f_table()[x]);
+      dsu.unite(base + x, base + cells + conn.g_table()[x]);
+    }
+  }
+  SuffixStructure out;
+  std::unordered_map<std::uint32_t, std::size_t> root_index;
+  for (int s = 0; s < span; ++s) {
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      const std::uint32_t node = static_cast<std::uint32_t>(s) * cells + x;
+      const std::uint32_t root = dsu.find(node);
+      const auto [it, inserted] =
+          root_index.emplace(root, root_index.size());
+      if (inserted) {
+        out.intersections.emplace_back(static_cast<std::size_t>(span), 0);
+      }
+      ++out.intersections[it->second][static_cast<std::size_t>(s)];
+    }
+  }
+  out.component_count = root_index.size();
+  return out;
+}
+
+}  // namespace mineq::min

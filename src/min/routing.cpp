@@ -1,0 +1,128 @@
+#include "min/routing.hpp"
+
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+
+namespace mineq::min {
+
+std::optional<Route> find_route(const MIDigraph& g, std::uint32_t source,
+                                std::uint32_t sink) {
+  const std::uint32_t cells = g.cells_per_stage();
+  if (source >= cells || sink >= cells) {
+    throw std::invalid_argument("find_route: endpoint out of range");
+  }
+  const int n = g.stages();
+  // Backward sweep: can_reach[s][x] = does x at stage s reach sink?
+  std::vector<std::vector<char>> can_reach(
+      static_cast<std::size_t>(n), std::vector<char>(cells, 0));
+  can_reach[static_cast<std::size_t>(n - 1)][sink] = 1;
+  for (int s = n - 2; s >= 0; --s) {
+    const Connection& conn = g.connection(s);
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      can_reach[static_cast<std::size_t>(s)][x] =
+          can_reach[static_cast<std::size_t>(s + 1)][conn.f_table()[x]] ||
+          can_reach[static_cast<std::size_t>(s + 1)][conn.g_table()[x]];
+    }
+  }
+  if (!can_reach[0][source]) return std::nullopt;
+
+  Route route;
+  route.cells.push_back(source);
+  std::uint32_t x = source;
+  for (int s = 0; s + 1 < n; ++s) {
+    const Connection& conn = g.connection(s);
+    const std::uint32_t via_f = conn.f_table()[x];
+    if (can_reach[static_cast<std::size_t>(s + 1)][via_f]) {
+      route.ports.push_back(0);
+      x = via_f;
+    } else {
+      route.ports.push_back(1);
+      x = conn.g_table()[x];
+    }
+    route.cells.push_back(x);
+  }
+  return route;
+}
+
+std::optional<BitSchedule> find_bit_schedule(const MIDigraph& g) {
+  const std::uint32_t cells = g.cells_per_stage();
+  const int n = g.stages();
+  const int w = g.width();
+  if (n < 2) return BitSchedule{};
+
+  // Candidate (bit, invert) per stage: start with all and intersect over
+  // observed routes.
+  std::vector<std::vector<char>> alive(
+      static_cast<std::size_t>(n - 1),
+      std::vector<char>(static_cast<std::size_t>(2 * std::max(w, 1)), 1));
+
+  for (std::uint32_t src = 0; src < cells; ++src) {
+    for (std::uint32_t dst = 0; dst < cells; ++dst) {
+      const auto route = find_route(g, src, dst);
+      if (!route.has_value()) return std::nullopt;
+      for (int s = 0; s + 1 < n; ++s) {
+        auto& stage_alive = alive[static_cast<std::size_t>(s)];
+        const unsigned port = route->ports[static_cast<std::size_t>(s)];
+        for (int b = 0; b < w; ++b) {
+          const unsigned bit = util::get_bit(dst, b);
+          if (bit != port) stage_alive[static_cast<std::size_t>(2 * b)] = 0;
+          if ((bit ^ 1U) != port) {
+            stage_alive[static_cast<std::size_t>(2 * b + 1)] = 0;
+          }
+        }
+      }
+    }
+  }
+
+  BitSchedule schedule;
+  for (int s = 0; s + 1 < n; ++s) {
+    const auto& stage_alive = alive[static_cast<std::size_t>(s)];
+    int chosen = -1;
+    for (int b = 0; b < w && chosen < 0; ++b) {
+      if (stage_alive[static_cast<std::size_t>(2 * b)] != 0) chosen = 2 * b;
+      else if (stage_alive[static_cast<std::size_t>(2 * b + 1)] != 0) {
+        chosen = 2 * b + 1;
+      }
+    }
+    if (chosen < 0) return std::nullopt;
+    schedule.bit.push_back(chosen / 2);
+    schedule.invert.push_back(static_cast<unsigned>(chosen & 1));
+  }
+  return schedule;
+}
+
+Route route_with_schedule(const MIDigraph& g, const BitSchedule& schedule,
+                          std::uint32_t source, std::uint32_t sink) {
+  const int n = g.stages();
+  if (schedule.bit.size() != static_cast<std::size_t>(n - 1) ||
+      schedule.invert.size() != static_cast<std::size_t>(n - 1)) {
+    throw std::invalid_argument("route_with_schedule: schedule arity");
+  }
+  Route route;
+  route.cells.push_back(source);
+  std::uint32_t x = source;
+  for (int s = 0; s + 1 < n; ++s) {
+    const unsigned port =
+        util::get_bit(sink, schedule.bit[static_cast<std::size_t>(s)]) ^
+        schedule.invert[static_cast<std::size_t>(s)];
+    route.ports.push_back(port);
+    const Connection& conn = g.connection(s);
+    x = port == 0 ? conn.f_table()[x] : conn.g_table()[x];
+    route.cells.push_back(x);
+  }
+  return route;
+}
+
+bool verify_bit_schedule(const MIDigraph& g, const BitSchedule& schedule) {
+  const std::uint32_t cells = g.cells_per_stage();
+  for (std::uint32_t src = 0; src < cells; ++src) {
+    for (std::uint32_t dst = 0; dst < cells; ++dst) {
+      const Route route = route_with_schedule(g, schedule, src, dst);
+      if (route.cells.back() != dst) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mineq::min

@@ -1,0 +1,60 @@
+/// \file routing.hpp
+/// \brief Path extraction and bit-directed routing on Banyan MI-digraphs.
+///
+/// The paper's closing remark motivates PIPID designs: "these permutations
+/// are associated to a very simple bit directed routing". In a Banyan
+/// network the path from a first-stage cell to a last-stage cell is
+/// unique; for PIPID-built networks the out-port taken at stage s is a
+/// fixed bit of the destination cell label (possibly a different bit per
+/// stage). This module extracts unique paths generically and recovers the
+/// per-stage destination-bit schedule when one exists.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "min/mi_digraph.hpp"
+
+namespace mineq::min {
+
+/// A source-to-sink route: the cell visited at every stage plus the
+/// out-port (0 = f, 1 = g) taken at every hop.
+struct Route {
+  std::vector<std::uint32_t> cells;   ///< stages() entries
+  std::vector<unsigned> ports;        ///< stages()-1 entries
+};
+
+/// The unique route from first-stage cell \p source to last-stage cell
+/// \p sink, or nullopt if none exists. O(stages * cells) via one backward
+/// reachability sweep. (If multiple paths exist — non-Banyan graphs — the
+/// lexicographically first by port choice is returned.)
+[[nodiscard]] std::optional<Route> find_route(const MIDigraph& g,
+                                              std::uint32_t source,
+                                              std::uint32_t sink);
+
+/// A destination-bit routing schedule: at stage s, take the port equal to
+/// bit `bit[s]` of the destination cell label, xor `invert[s]`.
+struct BitSchedule {
+  std::vector<int> bit;         ///< stages()-1 entries
+  std::vector<unsigned> invert; ///< stages()-1 entries
+};
+
+/// Recover a destination-bit schedule valid for *all* (source, sink)
+/// pairs, or nullopt if the network has none. Exhaustive over pairs:
+/// O(cells^2 * stages) — intended for n up to ~10 in tests/benches.
+[[nodiscard]] std::optional<BitSchedule> find_bit_schedule(const MIDigraph& g);
+
+/// Apply a schedule: route from \p source to \p sink by reading ports off
+/// the destination bits. Returns the cells visited.
+[[nodiscard]] Route route_with_schedule(const MIDigraph& g,
+                                        const BitSchedule& schedule,
+                                        std::uint32_t source,
+                                        std::uint32_t sink);
+
+/// Check a schedule delivers every pair (exhaustive).
+[[nodiscard]] bool verify_bit_schedule(const MIDigraph& g,
+                                       const BitSchedule& schedule);
+
+}  // namespace mineq::min

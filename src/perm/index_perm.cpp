@@ -1,0 +1,118 @@
+#include "perm/index_perm.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/bitops.hpp"
+
+namespace mineq::perm {
+
+IndexPermutation::IndexPermutation(Permutation theta)
+    : theta_(std::move(theta)) {
+  if (theta_.size() > static_cast<std::size_t>(util::kMaxBits)) {
+    throw std::invalid_argument("IndexPermutation: width out of range");
+  }
+}
+
+IndexPermutation IndexPermutation::identity(int n) {
+  if (n < 0) throw std::invalid_argument("IndexPermutation: negative width");
+  return IndexPermutation(Permutation(static_cast<std::size_t>(n)));
+}
+
+IndexPermutation IndexPermutation::random(int n, util::SplitMix64& rng) {
+  if (n < 0) throw std::invalid_argument("IndexPermutation: negative width");
+  return IndexPermutation(
+      Permutation::random(static_cast<std::size_t>(n), rng));
+}
+
+int IndexPermutation::theta_of(int i) const {
+  return static_cast<int>(theta_.apply(static_cast<std::uint32_t>(i)));
+}
+
+int IndexPermutation::theta_inv_of(int j) const {
+  // Linear scan is fine at n <= kMaxBits; callers needing bulk inversion
+  // compose with inverse() instead.
+  for (int i = 0; i < width(); ++i) {
+    if (theta_of(i) == j) return i;
+  }
+  throw std::invalid_argument("IndexPermutation::theta_inv_of: out of range");
+}
+
+std::uint64_t IndexPermutation::apply(std::uint64_t value) const {
+  const int n = width();
+  if (n < 64 && (value >> n) != 0) {
+    throw std::invalid_argument("IndexPermutation::apply: value too wide");
+  }
+  std::uint64_t out = 0;
+  for (int i = 0; i < n; ++i) {
+    out |= static_cast<std::uint64_t>(
+               util::get_bit(value, theta_of(i)))
+           << i;
+  }
+  return out;
+}
+
+Permutation IndexPermutation::induced() const {
+  const std::size_t size = std::size_t{1} << width();
+  std::vector<std::uint32_t> image(size);
+  for (std::size_t y = 0; y < size; ++y) {
+    image[y] = static_cast<std::uint32_t>(apply(y));
+  }
+  return Permutation(std::move(image));
+}
+
+gf2::Matrix IndexPermutation::matrix() const {
+  std::vector<int> rows(static_cast<std::size_t>(width()));
+  for (int i = 0; i < width(); ++i) {
+    rows[static_cast<std::size_t>(i)] = theta_of(i);
+  }
+  return gf2::Matrix::bit_selector(rows, width());
+}
+
+IndexPermutation IndexPermutation::after(const IndexPermutation& other) const {
+  if (width() != other.width()) {
+    throw std::invalid_argument("IndexPermutation::after: width mismatch");
+  }
+  // Lambda_a(Lambda_b(y)) bit i = Lambda_b(y) bit a(i) = y bit b(a(i)),
+  // so the combined index permutation is b ∘ a.
+  return IndexPermutation(other.theta_.compose(theta_));
+}
+
+IndexPermutation IndexPermutation::inverse() const {
+  return IndexPermutation(theta_.inverse());
+}
+
+std::string IndexPermutation::str() const {
+  return "theta=" + theta_.str();
+}
+
+std::optional<IndexPermutation> IndexPermutation::recognize(
+    const Permutation& p) {
+  if (p.size() == 0 || !util::is_pow2(p.size())) return std::nullopt;
+  const int n = util::ilog2(p.size());
+  if (n > util::kMaxBits) return std::nullopt;
+
+  // A PIPID is linear, so it must fix 0 and send unit vectors to unit
+  // vectors: Lambda(e_j) = e_{theta^{-1}(j)}.
+  if (p(0) != 0) return std::nullopt;
+  std::vector<std::uint32_t> theta_inv(static_cast<std::size_t>(n));
+  std::vector<bool> hit(static_cast<std::size_t>(n), false);
+  for (int j = 0; j < n; ++j) {
+    const std::uint32_t img = p(std::uint32_t{1} << j);
+    if (!util::is_pow2(img)) return std::nullopt;
+    const int i = util::ilog2(img);
+    if (hit[static_cast<std::size_t>(i)]) return std::nullopt;
+    hit[static_cast<std::size_t>(i)] = true;
+    theta_inv[static_cast<std::size_t>(j)] = static_cast<std::uint32_t>(i);
+  }
+  IndexPermutation candidate(Permutation(std::move(theta_inv)).inverse());
+
+  // Unit images determine a linear map; verify p agrees everywhere (p might
+  // agree on units but be non-linear elsewhere).
+  for (std::uint32_t y = 0; y < p.size(); ++y) {
+    if (candidate.apply(y) != p(y)) return std::nullopt;
+  }
+  return candidate;
+}
+
+}  // namespace mineq::perm

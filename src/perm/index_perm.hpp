@@ -1,0 +1,96 @@
+/// \file index_perm.hpp
+/// \brief PIPID permutations: Permutations Induced by a Permutation on the
+/// Index Digits (Section 4 of the paper).
+///
+/// A PIPID on 2^n symbols is defined by a permutation theta of the n bit
+/// positions of the symbol's binary representation:
+///
+///     Lambda(x_{n-1}, ..., x_1, x_0) = (x_{theta(n-1)}, ..., x_{theta(0)})
+///
+/// i.e. output bit i equals input bit theta(i). Perfect shuffle, k-sub-
+/// shuffle, k-butterfly and bit reversal are all PIPID; the paper's main
+/// corollary is that every Banyan MIN wired with PIPID permutations is
+/// topologically equivalent to the Baseline network.
+///
+/// Composition note: induced permutations compose contravariantly,
+///     Lambda_a ∘ Lambda_b == Lambda_{b ∘ a},
+/// because output bit i of Lambda_a(Lambda_b(y)) is bit b(a(i)) of y.
+/// IndexPermutation::then() takes care of the reversal.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "gf2/matrix.hpp"
+#include "perm/permutation.hpp"
+
+namespace mineq::perm {
+
+/// A permutation theta of bit positions {0, ..., n-1}, together with the
+/// PIPID permutation Lambda_theta it induces on {0, ..., 2^n - 1}.
+class IndexPermutation {
+ public:
+  /// Identity on 0 bit positions.
+  IndexPermutation() = default;
+
+  /// Wrap a position permutation; \p theta.size() is the word width n.
+  /// \throws std::invalid_argument if n exceeds util::kMaxBits.
+  explicit IndexPermutation(Permutation theta);
+
+  /// Identity on n bit positions.
+  [[nodiscard]] static IndexPermutation identity(int n);
+
+  /// Uniformly random theta on n positions.
+  [[nodiscard]] static IndexPermutation random(int n, util::SplitMix64& rng);
+
+  /// Number of bit positions (the symbol width n).
+  [[nodiscard]] int width() const noexcept {
+    return static_cast<int>(theta_.size());
+  }
+
+  /// The underlying position permutation theta.
+  [[nodiscard]] const Permutation& theta() const noexcept { return theta_; }
+
+  /// theta(i): which input bit feeds output bit i.
+  [[nodiscard]] int theta_of(int i) const;
+
+  /// theta^{-1}(j): which output bit receives input bit j. The paper's
+  /// k = theta^{-1}(0) decides whether a stage built from this PIPID is
+  /// degenerate (k == 0 means double links, Fig. 5).
+  [[nodiscard]] int theta_inv_of(int j) const;
+
+  /// Apply Lambda_theta to one value (O(n), no table).
+  [[nodiscard]] std::uint64_t apply(std::uint64_t value) const;
+
+  /// Materialize Lambda_theta as a Permutation on 2^n symbols.
+  [[nodiscard]] Permutation induced() const;
+
+  /// Lambda_theta as a GF(2) linear map (PIPIDs are exactly the
+  /// bit-permutation matrices).
+  [[nodiscard]] gf2::Matrix matrix() const;
+
+  /// The index permutation whose induced map is Lambda_this ∘ Lambda_other,
+  /// i.e. apply \p other's PIPID first, then this one's.
+  [[nodiscard]] IndexPermutation after(const IndexPermutation& other) const;
+
+  [[nodiscard]] IndexPermutation inverse() const;
+
+  friend bool operator==(const IndexPermutation&,
+                         const IndexPermutation&) = default;
+
+  /// e.g. "theta=(0 2 1)" (cycle notation on bit positions).
+  [[nodiscard]] std::string str() const;
+
+  /// Decide whether \p p is a PIPID; if so return the inducing
+  /// IndexPermutation. \p p.size() must be a power of two.
+  /// Runs in O(n * 2^n).
+  [[nodiscard]] static std::optional<IndexPermutation> recognize(
+      const Permutation& p);
+
+ private:
+  Permutation theta_;
+};
+
+}  // namespace mineq::perm

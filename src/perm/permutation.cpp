@@ -1,0 +1,153 @@
+#include "perm/permutation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mineq::perm {
+
+namespace {
+
+std::uint64_t lcm_u64(std::uint64_t a, std::uint64_t b) {
+  return a / std::gcd(a, b) * b;
+}
+
+}  // namespace
+
+Permutation::Permutation(std::size_t size) : image_(size) {
+  std::iota(image_.begin(), image_.end(), 0U);
+}
+
+Permutation::Permutation(std::vector<std::uint32_t> image)
+    : image_(std::move(image)) {
+  std::vector<bool> seen(image_.size(), false);
+  for (std::uint32_t v : image_) {
+    if (v >= image_.size() || seen[v]) {
+      throw std::invalid_argument("Permutation: image is not a bijection");
+    }
+    seen[v] = true;
+  }
+}
+
+Permutation Permutation::random(std::size_t size, util::SplitMix64& rng) {
+  Permutation p(size);
+  for (std::size_t i = size; i > 1; --i) {
+    const std::size_t j = rng.below(i);
+    std::swap(p.image_[i - 1], p.image_[j]);
+  }
+  return p;
+}
+
+Permutation Permutation::from_cycles(
+    std::size_t size, const std::vector<std::vector<std::uint32_t>>& cycles) {
+  Permutation p(size);
+  std::vector<bool> used(size, false);
+  for (const auto& cycle : cycles) {
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      const std::uint32_t from = cycle[i];
+      const std::uint32_t to = cycle[(i + 1) % cycle.size()];
+      if (from >= size || to >= size) {
+        throw std::invalid_argument("from_cycles: element out of range");
+      }
+      if (used[from]) {
+        throw std::invalid_argument("from_cycles: cycles not disjoint");
+      }
+      used[from] = true;
+      p.image_[from] = to;
+    }
+  }
+  return p;
+}
+
+std::uint32_t Permutation::apply(std::uint32_t x) const {
+  if (x >= image_.size()) {
+    throw std::invalid_argument("Permutation::apply: out of range");
+  }
+  return image_[x];
+}
+
+Permutation Permutation::compose(const Permutation& other) const {
+  if (size() != other.size()) {
+    throw std::invalid_argument("Permutation::compose: size mismatch");
+  }
+  std::vector<std::uint32_t> result(size());
+  for (std::size_t x = 0; x < size(); ++x) {
+    result[x] = image_[other.image_[x]];
+  }
+  Permutation p;
+  p.image_ = std::move(result);
+  return p;
+}
+
+Permutation Permutation::inverse() const {
+  std::vector<std::uint32_t> inv(size());
+  for (std::size_t x = 0; x < size(); ++x) {
+    inv[image_[x]] = static_cast<std::uint32_t>(x);
+  }
+  Permutation p;
+  p.image_ = std::move(inv);
+  return p;
+}
+
+bool Permutation::is_identity() const {
+  for (std::size_t x = 0; x < size(); ++x) {
+    if (image_[x] != x) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<std::uint32_t>> Permutation::cycles() const {
+  std::vector<std::vector<std::uint32_t>> out;
+  std::vector<bool> seen(size(), false);
+  for (std::size_t start = 0; start < size(); ++start) {
+    if (seen[start]) continue;
+    std::vector<std::uint32_t> cycle;
+    std::uint32_t x = static_cast<std::uint32_t>(start);
+    do {
+      cycle.push_back(x);
+      seen[x] = true;
+      x = image_[x];
+    } while (x != start);
+    out.push_back(std::move(cycle));
+  }
+  return out;
+}
+
+std::uint64_t Permutation::order() const {
+  std::uint64_t result = 1;
+  for (const auto& cycle : cycles()) {
+    result = lcm_u64(result, cycle.size());
+  }
+  return result;
+}
+
+bool Permutation::is_even() const {
+  std::size_t transpositions = 0;
+  for (const auto& cycle : cycles()) {
+    transpositions += cycle.size() - 1;
+  }
+  return transpositions % 2 == 0;
+}
+
+std::size_t Permutation::fixed_points() const {
+  std::size_t count = 0;
+  for (std::size_t x = 0; x < size(); ++x) {
+    if (image_[x] == x) ++count;
+  }
+  return count;
+}
+
+std::string Permutation::str() const {
+  std::string out;
+  for (const auto& cycle : cycles()) {
+    out += '(';
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      if (i != 0) out += ' ';
+      out += std::to_string(cycle[i]);
+    }
+    out += ')';
+  }
+  return out;
+}
+
+}  // namespace mineq::perm

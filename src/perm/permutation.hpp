@@ -1,0 +1,85 @@
+/// \file permutation.hpp
+/// \brief Permutations of {0, ..., M-1}: the inter-stage wirings of a MIN.
+///
+/// Multistage interconnection networks are classically specified by the
+/// permutation each inter-stage wiring realizes on link labels (Section 4
+/// of the paper). This class is the general representation; PIPID
+/// permutations (perm/index_perm.hpp) are the special subclass the paper
+/// characterizes.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mineq::perm {
+
+/// A bijection of {0, ..., size-1} stored as an image table.
+class Permutation {
+ public:
+  /// The empty permutation (size 0).
+  Permutation() = default;
+
+  /// Identity on {0, ..., size-1}.
+  explicit Permutation(std::size_t size);
+
+  /// From an image table: element i maps to image[i].
+  /// \throws std::invalid_argument if \p image is not a bijection.
+  explicit Permutation(std::vector<std::uint32_t> image);
+
+  /// Uniformly random permutation (Fisher-Yates).
+  [[nodiscard]] static Permutation random(std::size_t size,
+                                          util::SplitMix64& rng);
+
+  /// From disjoint cycles over {0,...,size-1}; elements not mentioned are
+  /// fixed. E.g. from_cycles(8, {{0,1,2}}) maps 0->1->2->0.
+  [[nodiscard]] static Permutation from_cycles(
+      std::size_t size, const std::vector<std::vector<std::uint32_t>>& cycles);
+
+  [[nodiscard]] std::size_t size() const noexcept { return image_.size(); }
+
+  /// Image of \p x. \throws std::invalid_argument if out of range.
+  [[nodiscard]] std::uint32_t apply(std::uint32_t x) const;
+
+  /// Unchecked image access for hot loops.
+  [[nodiscard]] std::uint32_t operator()(std::uint32_t x) const noexcept {
+    return image_[x];
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& image() const noexcept {
+    return image_;
+  }
+
+  /// Composition: (this->compose(other))(x) == this(other(x)).
+  [[nodiscard]] Permutation compose(const Permutation& other) const;
+
+  [[nodiscard]] Permutation inverse() const;
+
+  [[nodiscard]] bool is_identity() const;
+
+  /// Disjoint cycle decomposition; fixed points are included as 1-cycles.
+  /// Cycles are rotated to start at their minimum element and sorted by it.
+  [[nodiscard]] std::vector<std::vector<std::uint32_t>> cycles() const;
+
+  /// Multiplicative order (lcm of cycle lengths).
+  [[nodiscard]] std::uint64_t order() const;
+
+  /// Parity: true if the permutation is even.
+  [[nodiscard]] bool is_even() const;
+
+  /// Number of fixed points.
+  [[nodiscard]] std::size_t fixed_points() const;
+
+  friend bool operator==(const Permutation&, const Permutation&) = default;
+
+  /// Cycle notation, e.g. "(0 1 2)(3)(4 5)".
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::uint32_t> image_;
+};
+
+}  // namespace mineq::perm

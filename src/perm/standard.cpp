@@ -1,0 +1,103 @@
+#include "perm/standard.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/bitops.hpp"
+
+namespace mineq::perm {
+
+namespace {
+
+void check_width(int n) {
+  if (n < 1 || n > util::kMaxBits) {
+    throw std::invalid_argument("standard permutation: width out of range");
+  }
+}
+
+}  // namespace
+
+IndexPermutation perfect_shuffle(int n) {
+  check_width(n);
+  // Output bit i takes input bit i-1 (mod n): left rotation of the digits.
+  std::vector<std::uint32_t> theta(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    theta[static_cast<std::size_t>(i)] =
+        static_cast<std::uint32_t>((i + n - 1) % n);
+  }
+  return IndexPermutation(Permutation(std::move(theta)));
+}
+
+IndexPermutation inverse_shuffle(int n) { return perfect_shuffle(n).inverse(); }
+
+IndexPermutation subshuffle(int n, int k) {
+  check_width(n);
+  if (k < 1 || k > n) {
+    throw std::invalid_argument("subshuffle: k out of range");
+  }
+  std::vector<std::uint32_t> theta(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    theta[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(
+        i < k ? (i + k - 1) % k : i);
+  }
+  return IndexPermutation(Permutation(std::move(theta)));
+}
+
+IndexPermutation inverse_subshuffle(int n, int k) {
+  return subshuffle(n, k).inverse();
+}
+
+IndexPermutation butterfly(int n, int k) {
+  check_width(n);
+  if (k < 0 || k >= n) {
+    throw std::invalid_argument("butterfly: k out of range");
+  }
+  if (k == 0) return IndexPermutation::identity(n);
+  return IndexPermutation(Permutation::from_cycles(
+      static_cast<std::size_t>(n), {{0, static_cast<std::uint32_t>(k)}}));
+}
+
+IndexPermutation bit_reversal(int n) {
+  check_width(n);
+  std::vector<std::uint32_t> theta(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    theta[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(n - 1 - i);
+  }
+  return IndexPermutation(Permutation(std::move(theta)));
+}
+
+Permutation exchange(int n) { return xor_translation(n, 1); }
+
+Permutation xor_translation(int n, std::uint64_t t) {
+  check_width(n);
+  if ((t >> n) != 0) {
+    throw std::invalid_argument("xor_translation: t wider than 2^n domain");
+  }
+  const std::size_t size = std::size_t{1} << n;
+  std::vector<std::uint32_t> image(size);
+  for (std::size_t y = 0; y < size; ++y) {
+    image[y] = static_cast<std::uint32_t>(y ^ t);
+  }
+  return Permutation(std::move(image));
+}
+
+std::string describe(const IndexPermutation& ip) {
+  const int n = ip.width();
+  if (n == 0) return "identity";
+  if (ip == IndexPermutation::identity(n)) return "identity";
+  if (ip == perfect_shuffle(n)) return "sigma";
+  if (ip == inverse_shuffle(n)) return "sigma^-1";
+  if (ip == bit_reversal(n)) return "rho";
+  for (int k = 2; k < n; ++k) {
+    if (ip == subshuffle(n, k)) return "sigma_" + std::to_string(k);
+    if (ip == inverse_subshuffle(n, k)) {
+      return "sigma_" + std::to_string(k) + "^-1";
+    }
+  }
+  for (int k = 1; k < n; ++k) {
+    if (ip == butterfly(n, k)) return "beta_" + std::to_string(k);
+  }
+  return ip.str();
+}
+
+}  // namespace mineq::perm

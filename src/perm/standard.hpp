@@ -1,0 +1,62 @@
+/// \file standard.hpp
+/// \brief The standard interconnection permutations of the MIN literature.
+///
+/// These are the permutations used to define the six "classical" networks
+/// studied by Wu & Feng and revisited in Section 4 of the paper: perfect
+/// shuffle sigma, k-sub-shuffle sigma_k, k-butterfly beta_k, bit reversal
+/// rho (all PIPID), plus the exchange permutation (an xor-translation,
+/// deliberately *not* a PIPID — useful as a negative test case).
+///
+/// Conventions (following Hockney & Jesshope, and Parker's notes):
+///   - sigma on n bits is the circular LEFT shift of the binary
+///     representation: sigma(x_{n-1},...,x_0) = (x_{n-2},...,x_0,x_{n-1}).
+///   - sigma_k shuffles only the k low-order bits and fixes the rest;
+///     sigma_n == sigma.
+///   - beta_k exchanges bit k and bit 0; beta_0 is the identity.
+///   - rho reverses all n bits.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "perm/index_perm.hpp"
+#include "perm/permutation.hpp"
+
+namespace mineq::perm {
+
+/// Perfect shuffle sigma on n bits (circular left shift of the digits).
+[[nodiscard]] IndexPermutation perfect_shuffle(int n);
+
+/// Inverse perfect shuffle sigma^{-1} (circular right shift of the digits).
+[[nodiscard]] IndexPermutation inverse_shuffle(int n);
+
+/// k-sub-shuffle sigma_k: perfect shuffle of the k low-order bits, upper
+/// n-k bits fixed. Requires 1 <= k <= n; sigma_1 is the identity.
+[[nodiscard]] IndexPermutation subshuffle(int n, int k);
+
+/// Inverse k-sub-shuffle sigma_k^{-1}.
+[[nodiscard]] IndexPermutation inverse_subshuffle(int n, int k);
+
+/// k-butterfly beta_k: exchange bit k with bit 0. Requires 0 <= k < n;
+/// beta_0 is the identity.
+[[nodiscard]] IndexPermutation butterfly(int n, int k);
+
+/// Bit reversal rho on n bits.
+[[nodiscard]] IndexPermutation bit_reversal(int n);
+
+/// Exchange permutation on 2^n symbols: y -> y xor 1. This is an affine
+/// translation, not a PIPID (IndexPermutation::recognize rejects it for
+/// n >= 2); provided as the canonical non-PIPID wiring for tests and
+/// counterexample constructions.
+[[nodiscard]] Permutation exchange(int n);
+
+/// XOR-translation y -> y xor t on 2^n symbols (generalizes exchange).
+[[nodiscard]] Permutation xor_translation(int n, std::uint64_t t);
+
+/// Human-readable identification of an index permutation: returns
+/// "sigma", "sigma^-1", "sigma_k", "sigma_k^-1", "beta_k", "rho",
+/// "identity", or cycle notation when it is none of the named families.
+[[nodiscard]] std::string describe(const IndexPermutation& ip);
+
+}  // namespace mineq::perm

@@ -1,0 +1,173 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+
+namespace mineq::sim {
+
+Engine::Engine(min::MIDigraph network, min::BitSchedule schedule)
+    : network_(std::move(network)), schedule_(std::move(schedule)) {
+  if (!network_.is_valid()) {
+    throw std::invalid_argument("Engine: network has invalid degrees");
+  }
+  if (!min::verify_bit_schedule(network_, schedule_)) {
+    throw std::invalid_argument("Engine: schedule does not route network");
+  }
+  // Assign each incoming arc of every cell to an input slot (0 or 1), in
+  // deterministic (source cell, port) order.
+  const std::uint32_t cells = network_.cells_per_stage();
+  slot_of_.resize(static_cast<std::size_t>(network_.stages() - 1));
+  for (int s = 0; s + 1 < network_.stages(); ++s) {
+    auto& stage_slots = slot_of_[static_cast<std::size_t>(s)];
+    stage_slots.assign(cells, {0, 0});
+    std::vector<std::uint8_t> filled(cells, 0);
+    const min::Connection& conn = network_.connection(s);
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      for (unsigned p = 0; p < 2; ++p) {
+        const std::uint32_t child =
+            p == 0 ? conn.f_table()[x] : conn.g_table()[x];
+        stage_slots[x][p] = filled[child]++;
+      }
+    }
+    for (std::uint32_t y = 0; y < cells; ++y) {
+      if (filled[y] != 2) {
+        throw std::logic_error("Engine: slot assignment inconsistency");
+      }
+    }
+  }
+}
+
+namespace {
+
+min::BitSchedule derive_schedule(const min::MIDigraph& network) {
+  auto schedule = min::find_bit_schedule(network);
+  if (!schedule.has_value()) {
+    throw std::invalid_argument(
+        "Engine: network has no destination-bit schedule");
+  }
+  return *schedule;
+}
+
+}  // namespace
+
+Engine::Engine(min::MIDigraph network)
+    : Engine(network, derive_schedule(network)) {}
+
+SimResult Engine::run(Pattern pattern, const SimConfig& config) const {
+  if (config.injection_rate < 0.0 || config.injection_rate > 1.0) {
+    throw std::invalid_argument("Engine::run: injection rate outside [0,1]");
+  }
+  const int n = network_.stages();
+  const std::uint32_t cells = network_.cells_per_stage();
+  const std::uint64_t terminals = std::uint64_t{2} * cells;
+
+  util::SplitMix64 rng(config.seed);
+  TrafficSource source(pattern, n, rng.split(0));
+  util::SplitMix64 inject_rng = rng.split(1);
+  // Injection gate: inject with probability rate (16-bit fixed point).
+  const auto rate_num =
+      static_cast<std::uint64_t>(config.injection_rate * 65536.0);
+
+  // queues[s][2*cell + slot]: input FIFOs of cell at stage s.
+  std::vector<std::vector<std::deque<Packet>>> queues(
+      static_cast<std::size_t>(n));
+  for (auto& stage : queues) {
+    stage.assign(std::size_t{2} * cells, {});
+  }
+  // Round-robin pointers per (stage, cell, output port).
+  std::vector<std::vector<std::uint8_t>> rr(
+      static_cast<std::size_t>(n),
+      std::vector<std::uint8_t>(std::size_t{2} * cells, 0));
+
+  SimResult result;
+  const std::uint64_t total_cycles =
+      config.warmup_cycles + config.measure_cycles;
+
+  for (std::uint64_t cycle = 0; cycle < total_cycles; ++cycle) {
+    const bool measuring = cycle >= config.warmup_cycles;
+
+    // 1. Eject at the last stage: every queued head leaves (output links
+    // to the terminals are never blocked).
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      for (unsigned slot = 0; slot < 2; ++slot) {
+        auto& q = queues[static_cast<std::size_t>(n - 1)][2 * x + slot];
+        if (q.empty()) continue;
+        const Packet pkt = q.front();
+        q.pop_front();
+        if (measuring && pkt.inject_cycle >= config.warmup_cycles) {
+          ++result.delivered;
+          const auto cycles_in_flight =
+              static_cast<double>(cycle - pkt.inject_cycle + 1);
+          result.latency.add(cycles_in_flight);
+          result.latency_histogram.add(cycles_in_flight);
+        }
+      }
+    }
+
+    // 2. Switch stages from last-1 down to 0 so a packet moves at most one
+    // hop per cycle.
+    for (int s = n - 2; s >= 0; --s) {
+      const min::Connection& conn = network_.connection(s);
+      const int sched_bit = schedule_.bit[static_cast<std::size_t>(s)];
+      const unsigned sched_inv =
+          schedule_.invert[static_cast<std::size_t>(s)];
+      for (std::uint32_t x = 0; x < cells; ++x) {
+        for (unsigned port = 0; port < 2; ++port) {
+          // Round-robin between the two input slots for this output port.
+          auto& start = rr[static_cast<std::size_t>(s)][2 * x + port];
+          bool moved = false;
+          for (unsigned probe = 0; probe < 2 && !moved; ++probe) {
+            const unsigned slot = (start + probe) & 1U;
+            auto& q = queues[static_cast<std::size_t>(s)][2 * x + slot];
+            if (q.empty()) continue;
+            const Packet& pkt = q.front();
+            const std::uint32_t dest_cell = pkt.dest_terminal >> 1;
+            const unsigned want =
+                util::get_bit(dest_cell, sched_bit) ^ sched_inv;
+            if (want != port) continue;
+            const std::uint32_t child =
+                port == 0 ? conn.f_table()[x] : conn.g_table()[x];
+            const unsigned child_slot =
+                slot_of_[static_cast<std::size_t>(s)][x][port];
+            auto& target =
+                queues[static_cast<std::size_t>(s + 1)]
+                      [2 * child + child_slot];
+            if (target.size() >= config.queue_capacity) continue;
+            target.push_back(pkt);
+            q.pop_front();
+            start = static_cast<std::uint8_t>((slot + 1) & 1U);
+            moved = true;
+          }
+        }
+      }
+    }
+
+    // 3. Inject at the first stage: terminal t feeds slot t&1 of cell t>>1.
+    for (std::uint64_t t = 0; t < terminals; ++t) {
+      if ((inject_rng.next() & 0xFFFF) >= rate_num) continue;
+      if (measuring) ++result.offered;
+      auto& q = queues[0][t];
+      if (q.size() >= config.queue_capacity) continue;  // dropped at source
+      Packet pkt;
+      pkt.dest_terminal =
+          source.destination(static_cast<std::uint32_t>(t));
+      pkt.inject_cycle = cycle;
+      q.push_back(pkt);
+      if (measuring) ++result.injected;
+    }
+  }
+
+  result.throughput =
+      static_cast<double>(result.delivered) /
+      (static_cast<double>(config.measure_cycles) *
+       static_cast<double>(terminals));
+  result.acceptance =
+      result.offered == 0
+          ? 1.0
+          : static_cast<double>(result.injected) /
+                static_cast<double>(result.offered);
+  return result;
+}
+
+}  // namespace mineq::sim

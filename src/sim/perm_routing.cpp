@@ -1,0 +1,213 @@
+#include "sim/perm_routing.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "min/routing.hpp"
+
+namespace mineq::sim {
+
+namespace {
+
+/// slot_map[s][x][p] = input slot of the child cell fed by the port-p
+/// out-link of cell x at stage s (same deterministic assignment as the
+/// packet engine).
+std::vector<std::vector<std::array<std::uint8_t, 2>>> compute_slot_map(
+    const min::MIDigraph& g) {
+  const std::uint32_t cells = g.cells_per_stage();
+  std::vector<std::vector<std::array<std::uint8_t, 2>>> slot_map(
+      static_cast<std::size_t>(g.stages() - 1));
+  for (int s = 0; s + 1 < g.stages(); ++s) {
+    auto& stage = slot_map[static_cast<std::size_t>(s)];
+    stage.assign(cells, {0, 0});
+    std::vector<std::uint8_t> filled(cells, 0);
+    const min::Connection& conn = g.connection(s);
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      for (unsigned p = 0; p < 2; ++p) {
+        const std::uint32_t child =
+            p == 0 ? conn.f_table()[x] : conn.g_table()[x];
+        stage[x][p] = filled[child]++;
+      }
+    }
+  }
+  return slot_map;
+}
+
+void check_terminal_permutation(const min::MIDigraph& g,
+                                const perm::Permutation& pi) {
+  const std::size_t terminals = std::size_t{2} * g.cells_per_stage();
+  if (pi.size() != terminals) {
+    throw std::invalid_argument(
+        "permutation size must equal the terminal count 2^stages");
+  }
+}
+
+}  // namespace
+
+bool is_admissible(const min::MIDigraph& g, const perm::Permutation& pi) {
+  check_terminal_permutation(g, pi);
+  const std::uint32_t cells = g.cells_per_stage();
+  const std::size_t terminals = std::size_t{2} * cells;
+  // used[s][2*x + p]: the port-p out-link of cell x at stage s is taken.
+  std::vector<std::vector<char>> used(
+      static_cast<std::size_t>(g.stages() - 1),
+      std::vector<char>(std::size_t{2} * cells, 0));
+  for (std::size_t t = 0; t < terminals; ++t) {
+    const auto src_cell = static_cast<std::uint32_t>(t >> 1);
+    const std::uint32_t dst_cell = pi(static_cast<std::uint32_t>(t)) >> 1;
+    const auto route = min::find_route(g, src_cell, dst_cell);
+    if (!route.has_value()) return false;
+    for (int s = 0; s + 1 < g.stages(); ++s) {
+      auto& flag =
+          used[static_cast<std::size_t>(s)]
+              [std::size_t{2} * route->cells[static_cast<std::size_t>(s)] +
+               route->ports[static_cast<std::size_t>(s)]];
+      if (flag != 0) return false;
+      flag = 1;
+    }
+  }
+  return true;
+}
+
+bool omega_window_admissible(const perm::Permutation& pi, int stages) {
+  if (stages < 2) {
+    throw std::invalid_argument("omega_window_admissible: stages >= 2");
+  }
+  const std::uint32_t terminals = std::uint32_t{1} << stages;
+  if (pi.size() != terminals) {
+    throw std::invalid_argument(
+        "omega_window_admissible: permutation size mismatch");
+  }
+  const int w = stages - 1;
+  std::vector<std::uint32_t> window(terminals);
+  for (int k = 1; k <= stages - 1; ++k) {
+    for (std::uint32_t t = 0; t < terminals; ++t) {
+      const std::uint32_t source_cell = t >> 1;
+      const std::uint32_t dest_cell = pi(t) >> 1;
+      window[t] =
+          ((source_cell << k) | (dest_cell >> (w - k))) & (terminals - 1);
+    }
+    std::sort(window.begin(), window.end());
+    for (std::uint32_t i = 0; i + 1 < terminals; ++i) {
+      if (window[i] == window[i + 1]) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t count_admissible_exhaustive(const min::MIDigraph& g) {
+  const std::size_t terminals = std::size_t{2} * g.cells_per_stage();
+  if (terminals > 8) {
+    throw std::invalid_argument(
+        "count_admissible_exhaustive: more than 8 terminals");
+  }
+  std::vector<std::uint32_t> image(terminals);
+  std::iota(image.begin(), image.end(), 0U);
+  std::uint64_t count = 0;
+  do {
+    if (is_admissible(g, perm::Permutation(image))) ++count;
+  } while (std::next_permutation(image.begin(), image.end()));
+  return count;
+}
+
+std::uint64_t admissible_count_theoretical(const min::MIDigraph& g) {
+  const std::uint64_t switches =
+      static_cast<std::uint64_t>(g.stages()) * g.cells_per_stage();
+  if (switches >= 64) {
+    throw std::invalid_argument(
+        "admissible_count_theoretical: count exceeds 64 bits");
+  }
+  return std::uint64_t{1} << switches;
+}
+
+double admissible_fraction_estimate(const min::MIDigraph& g,
+                                    std::size_t samples,
+                                    util::SplitMix64& rng) {
+  if (samples == 0) {
+    throw std::invalid_argument("admissible_fraction_estimate: 0 samples");
+  }
+  const std::size_t terminals = std::size_t{2} * g.cells_per_stage();
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const perm::Permutation pi = perm::Permutation::random(terminals, rng);
+    if (is_admissible(g, pi)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+perm::Permutation settings_permutation(const min::MIDigraph& g,
+                                       const SwitchSettings& settings) {
+  const std::uint32_t cells = g.cells_per_stage();
+  if (settings.size() != static_cast<std::size_t>(g.stages())) {
+    throw std::invalid_argument("settings_permutation: stage count");
+  }
+  for (const auto& stage : settings) {
+    if (stage.size() != cells) {
+      throw std::invalid_argument("settings_permutation: cell count");
+    }
+  }
+  const auto slot_map = compute_slot_map(g);
+  const std::size_t terminals = std::size_t{2} * cells;
+  std::vector<std::uint32_t> image(terminals);
+  for (std::size_t t = 0; t < terminals; ++t) {
+    std::uint32_t cell = static_cast<std::uint32_t>(t) >> 1;
+    unsigned slot = static_cast<unsigned>(t & 1);
+    for (int s = 0; s < g.stages(); ++s) {
+      const unsigned port =
+          slot ^ settings[static_cast<std::size_t>(s)][cell];
+      if (s + 1 == g.stages()) {
+        image[t] = 2 * cell + port;
+        break;
+      }
+      const min::Connection& conn = g.connection(s);
+      const std::uint32_t next_cell =
+          port == 0 ? conn.f_table()[cell] : conn.g_table()[cell];
+      slot = slot_map[static_cast<std::size_t>(s)][cell][port];
+      cell = next_cell;
+    }
+  }
+  return perm::Permutation(std::move(image));
+}
+
+std::optional<SwitchSettings> settings_for_permutation(
+    const min::MIDigraph& g, const perm::Permutation& pi) {
+  check_terminal_permutation(g, pi);
+  const std::uint32_t cells = g.cells_per_stage();
+  const std::size_t terminals = std::size_t{2} * cells;
+  const auto slot_map = compute_slot_map(g);
+
+  SwitchSettings settings(static_cast<std::size_t>(g.stages()),
+                          std::vector<std::uint8_t>(cells, 0));
+  std::vector<std::vector<std::uint8_t>> constrained(
+      static_cast<std::size_t>(g.stages()),
+      std::vector<std::uint8_t>(cells, 0));
+
+  for (std::size_t t = 0; t < terminals; ++t) {
+    const std::uint32_t dest = pi(static_cast<std::uint32_t>(t));
+    const auto route =
+        min::find_route(g, static_cast<std::uint32_t>(t >> 1), dest >> 1);
+    if (!route.has_value()) return std::nullopt;
+    unsigned slot = static_cast<unsigned>(t & 1);
+    for (int s = 0; s < g.stages(); ++s) {
+      const std::uint32_t cell = route->cells[static_cast<std::size_t>(s)];
+      // Last hop exits through the port encoded in the destination.
+      const unsigned port =
+          (s + 1 == g.stages())
+              ? static_cast<unsigned>(dest & 1)
+              : route->ports[static_cast<std::size_t>(s)];
+      const std::uint8_t needed = static_cast<std::uint8_t>(slot ^ port);
+      auto& flag = constrained[static_cast<std::size_t>(s)][cell];
+      auto& setting = settings[static_cast<std::size_t>(s)][cell];
+      if (flag != 0 && setting != needed) return std::nullopt;
+      setting = needed;
+      flag = 1;
+      if (s + 1 < g.stages()) {
+        slot = slot_map[static_cast<std::size_t>(s)][cell][port];
+      }
+    }
+  }
+  return settings;
+}
+
+}  // namespace mineq::sim

@@ -1,0 +1,73 @@
+/// \file perm_routing.hpp
+/// \brief Circuit-switched permutation admissibility on Banyan networks.
+///
+/// In a Banyan network each (input, output) pair has a unique path, so a
+/// terminal permutation pi is realizable in one pass ("admissible") iff
+/// the N routed paths are pairwise link-disjoint. Classic facts exercised
+/// by the tests and benches:
+///   - switch settings and admissible permutations are in bijection, so a
+///     Banyan network with S switches admits exactly 2^S of the N!
+///     permutations;
+///   - the six classical networks, being isomorphic, admit equally many
+///     permutations — but *which* permutations differ per network (e.g.
+///     bit reversal passes Omega for some sizes and blocks others).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "min/mi_digraph.hpp"
+#include "perm/permutation.hpp"
+#include "util/rng.hpp"
+
+namespace mineq::sim {
+
+/// Is \p pi (a permutation of the 2^n terminals) routable with
+/// link-disjoint paths? General, via unique-path extraction:
+/// O(N^2 * stages / 4) overall.
+[[nodiscard]] bool is_admissible(const min::MIDigraph& g,
+                                 const perm::Permutation& pi);
+
+/// Lawrie-style window criterion specialized to this library's Omega
+/// MI-digraph (shuffle-wired stages, destination-tag routing MSB-first):
+/// pi is admissible iff for every stage k = 1..n-1 the link words
+///     v_k(t) = ((t>>1) << k | (pi(t)>>1) >> (n-1-k)) mod 2^n
+/// are pairwise distinct. O(N * stages) — an ablation against the
+/// general test; proven equal to is_admissible(omega, pi) exhaustively at
+/// n = 3 and on 20k random permutations at n = 4 (see perm_routing_test).
+[[nodiscard]] bool omega_window_admissible(const perm::Permutation& pi,
+                                           int stages);
+
+/// Count admissible permutations by exhaustive enumeration of all N!
+/// candidates. Intended for stages <= 3 (N <= 8).
+[[nodiscard]] std::uint64_t count_admissible_exhaustive(
+    const min::MIDigraph& g);
+
+/// The theoretical admissible count for a Banyan network:
+/// 2^(switch count) = 2^(stages * 2^(stages-1)).
+[[nodiscard]] std::uint64_t admissible_count_theoretical(
+    const min::MIDigraph& g);
+
+/// Monte-Carlo estimate of the admissible fraction among uniform random
+/// permutations.
+[[nodiscard]] double admissible_fraction_estimate(const min::MIDigraph& g,
+                                                  std::size_t samples,
+                                                  util::SplitMix64& rng);
+
+/// One bit per switch: settings[s][x] = 0 routes input slot i to output
+/// port i ("straight"), 1 crosses. Stage count rows, cells columns.
+using SwitchSettings = std::vector<std::vector<std::uint8_t>>;
+
+/// The terminal permutation realized by fixed switch settings.
+/// (For Banyan networks this map is injective — tested.)
+[[nodiscard]] perm::Permutation settings_permutation(
+    const min::MIDigraph& g, const SwitchSettings& settings);
+
+/// Recover the switch settings realizing \p pi, or nullopt if \p pi is not
+/// admissible. Inverse of settings_permutation.
+[[nodiscard]] std::optional<SwitchSettings> settings_for_permutation(
+    const min::MIDigraph& g, const perm::Permutation& pi);
+
+}  // namespace mineq::sim

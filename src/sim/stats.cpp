@@ -1,0 +1,101 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace mineq::sim {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto total = static_cast<double>(count_ + other.count_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+}
+
+std::string RunningStats::str() const {
+  std::ostringstream out;
+  out << "n=" << count_ << " mean=" << mean_ << " sd=" << stddev()
+      << " min=" << min_ << " max=" << max_;
+  return out.str();
+}
+
+Histogram::Histogram(double bucket_width, std::size_t buckets)
+    : bucket_width_(bucket_width), counts_(buckets, 0) {
+  if (bucket_width <= 0.0 || buckets == 0) {
+    throw std::invalid_argument("Histogram: bad shape");
+  }
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < 0.0) {
+    throw std::invalid_argument("Histogram::add: negative value");
+  }
+  const auto bucket = static_cast<std::size_t>(x / bucket_width_);
+  if (bucket >= counts_.size()) {
+    ++overflow_;
+  } else {
+    ++counts_[bucket];
+  }
+}
+
+double Histogram::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("Histogram::quantile: q outside [0,1]");
+  }
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    cumulative += static_cast<double>(counts_[b]);
+    if (cumulative >= target) {
+      return bucket_width_ * static_cast<double>(b + 1);
+    }
+  }
+  return bucket_width_ * static_cast<double>(counts_.size() + 1);
+}
+
+std::string Histogram::str() const {
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    out << "[" << bucket_width_ * static_cast<double>(b) << ","
+        << bucket_width_ * static_cast<double>(b + 1) << ") " << counts_[b]
+        << '\n';
+  }
+  if (overflow_ != 0) out << "overflow " << overflow_ << '\n';
+  return out.str();
+}
+
+}  // namespace mineq::sim

@@ -1,0 +1,63 @@
+/// \file stats.hpp
+/// \brief Accumulators for the packet simulator: running moments and
+/// fixed-width histograms.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mineq::sim {
+
+/// Streaming count/mean/min/max/stddev accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merge another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Histogram over [0, bucket_width * buckets) with an overflow bucket.
+class Histogram {
+ public:
+  Histogram(double bucket_width, std::size_t buckets);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+
+  /// Smallest x with cumulative fraction >= q (bucket upper edge).
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  double bucket_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mineq::sim

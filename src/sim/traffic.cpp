@@ -1,0 +1,96 @@
+#include "sim/traffic.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/bitops.hpp"
+
+namespace mineq::sim {
+
+std::string pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::kUniform:
+      return "uniform";
+    case Pattern::kBitReversal:
+      return "bitrev";
+    case Pattern::kShuffle:
+      return "shuffle";
+    case Pattern::kTranspose:
+      return "transpose";
+    case Pattern::kComplement:
+      return "complement";
+    case Pattern::kHotSpot:
+      return "hotspot";
+  }
+  throw std::invalid_argument("pattern_name: unknown pattern");
+}
+
+namespace {
+
+std::uint32_t transform(Pattern p, std::uint32_t src, int n) {
+  const auto mask = static_cast<std::uint32_t>(util::low_mask(n));
+  switch (p) {
+    case Pattern::kBitReversal:
+      return static_cast<std::uint32_t>(util::reverse_bits(src, n));
+    case Pattern::kShuffle:
+      return static_cast<std::uint32_t>(util::rotl1(src, n));
+    case Pattern::kTranspose: {
+      if (n % 2 != 0) {
+        throw std::invalid_argument("transpose traffic needs even n");
+      }
+      const int half = n / 2;
+      const std::uint32_t low = src & static_cast<std::uint32_t>(
+                                          util::low_mask(half));
+      const std::uint32_t high = src >> half;
+      return (low << half) | high;
+    }
+    case Pattern::kComplement:
+      return ~src & mask;
+    case Pattern::kUniform:
+    case Pattern::kHotSpot:
+      throw std::invalid_argument(
+          "transform: pattern is not deterministic");
+  }
+  throw std::invalid_argument("transform: unknown pattern");
+}
+
+}  // namespace
+
+perm::Permutation pattern_permutation(Pattern p, int n) {
+  if (p == Pattern::kUniform || p == Pattern::kHotSpot) {
+    throw std::invalid_argument(
+        "pattern_permutation: pattern is not a permutation");
+  }
+  const std::size_t size = std::size_t{1} << n;
+  std::vector<std::uint32_t> image(size);
+  for (std::size_t t = 0; t < size; ++t) {
+    image[t] = transform(p, static_cast<std::uint32_t>(t), n);
+  }
+  return perm::Permutation(std::move(image));
+}
+
+TrafficSource::TrafficSource(Pattern pattern, int n, util::SplitMix64 rng)
+    : pattern_(pattern), n_(n), rng_(rng) {
+  if (n < 1 || n > util::kMaxBits) {
+    throw std::invalid_argument("TrafficSource: address bits out of range");
+  }
+  if (pattern == Pattern::kTranspose && n % 2 != 0) {
+    throw std::invalid_argument("TrafficSource: transpose needs even n");
+  }
+}
+
+std::uint32_t TrafficSource::destination(std::uint32_t source) {
+  const std::uint64_t terminals = std::uint64_t{1} << n_;
+  switch (pattern_) {
+    case Pattern::kUniform:
+      return static_cast<std::uint32_t>(rng_.below(terminals));
+    case Pattern::kHotSpot:
+      // 25% of packets to terminal 0, the rest uniform.
+      if (rng_.chance(1, 4)) return 0;
+      return static_cast<std::uint32_t>(rng_.below(terminals));
+    default:
+      return transform(pattern_, source, n_);
+  }
+}
+
+}  // namespace mineq::sim

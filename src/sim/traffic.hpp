@@ -1,0 +1,58 @@
+/// \file traffic.hpp
+/// \brief Traffic patterns over the 2^n terminals of an n-stage MIN.
+///
+/// The standard synthetic workloads of the interconnection-network
+/// literature, expressed on n-bit terminal addresses. Terminal t attaches
+/// to first-stage cell t >> 1; destination terminal d detaches from
+/// last-stage cell d >> 1 through port d & 1.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "perm/permutation.hpp"
+#include "util/rng.hpp"
+
+namespace mineq::sim {
+
+/// Deterministic address-transform patterns (all permutations of the
+/// terminal space), plus random modes handled by TrafficSource.
+enum class Pattern : std::uint8_t {
+  kUniform,      ///< independent uniform destination per packet
+  kBitReversal,  ///< d = reverse of the n address bits
+  kShuffle,      ///< d = rotate-left(src)
+  kTranspose,    ///< d = swap high/low halves (n must be even)
+  kComplement,   ///< d = ~src
+  kHotSpot,      ///< biased toward terminal 0 (kHotSpotNumerator/Denominator)
+};
+
+/// Parse/emit pattern names ("uniform", "bitrev", "shuffle", "transpose",
+/// "complement", "hotspot").
+[[nodiscard]] std::string pattern_name(Pattern p);
+
+/// The deterministic patterns as explicit terminal permutations.
+/// \throws std::invalid_argument for kUniform/kHotSpot (not permutations)
+/// or kTranspose with odd n.
+[[nodiscard]] perm::Permutation pattern_permutation(Pattern p, int n);
+
+/// Per-packet destination generator. Deterministic patterns ignore the
+/// RNG; kUniform draws uniformly; kHotSpot sends 25% of traffic to
+/// terminal 0 and the rest uniformly.
+class TrafficSource {
+ public:
+  TrafficSource(Pattern pattern, int n, util::SplitMix64 rng);
+
+  /// Destination terminal for a packet injected at \p source.
+  [[nodiscard]] std::uint32_t destination(std::uint32_t source);
+
+  [[nodiscard]] Pattern pattern() const noexcept { return pattern_; }
+  [[nodiscard]] int address_bits() const noexcept { return n_; }
+
+ private:
+  Pattern pattern_;
+  int n_;
+  util::SplitMix64 rng_;
+};
+
+}  // namespace mineq::sim

@@ -1,0 +1,131 @@
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace mineq::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TablePrinter: need at least one column");
+  }
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void TablePrinter::set_align(std::size_t col, Align align) {
+  if (col >= aligns_.size()) {
+    throw std::invalid_argument("TablePrinter::set_align: column out of range");
+  }
+  aligns_[col] = align;
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter::add_row: arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << "  ";
+      const auto pad = width[c] - row[c].size();
+      if (aligns_[c] == Align::kRight) out << std::string(pad, ' ');
+      out << row[c];
+      if (aligns_[c] == Align::kLeft && c + 1 != row.size()) {
+        out << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TablePrinter::csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += "\"\"";
+      else q += ch;
+    }
+    q += '"';
+    return q;
+  };
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << quote(row[c]);
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i + 3 - lead) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string fixed(double x, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, x);
+  return buf;
+}
+
+std::string bit_tuple(std::uint64_t value, int width) {
+  if (width < 0) throw std::invalid_argument("bit_tuple: negative width");
+  std::string out = "(";
+  for (int i = width - 1; i >= 0; --i) {
+    out += ((value >> i) & 1U) != 0 ? '1' : '0';
+    if (i != 0) out += ',';
+  }
+  out += ')';
+  return out;
+}
+
+std::string bit_string(std::uint64_t value, int width) {
+  if (width < 0) throw std::invalid_argument("bit_string: negative width");
+  std::string out;
+  out.reserve(static_cast<std::size_t>(width));
+  for (int i = width - 1; i >= 0; --i) {
+    out += ((value >> i) & 1U) != 0 ? '1' : '0';
+  }
+  return out;
+}
+
+}  // namespace mineq::util

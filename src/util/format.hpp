@@ -1,0 +1,69 @@
+/// \file format.hpp
+/// \brief Aligned text tables and CSV emission for benchmark/report output.
+///
+/// The benchmark harness regenerates the paper's figures as structured text;
+/// TablePrinter produces the aligned, human-diffable layout used throughout
+/// bench/ and examples/.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mineq::util {
+
+/// Column alignment for TablePrinter.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of strings and renders them with aligned columns.
+///
+/// Usage:
+///   TablePrinter t({"n", "stages", "components"});
+///   t.add_row({"4", "4", "1"});
+///   std::cout << t.str();
+class TablePrinter {
+ public:
+  /// Construct with column headers; all columns default to right alignment
+  /// except the first, which is left-aligned (typical "name, numbers" shape).
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Override the alignment of column \p col.
+  void set_align(std::size_t col, Align align);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  /// \throws std::invalid_argument on arity mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render the table with a header underline and two-space column gaps.
+  [[nodiscard]] std::string str() const;
+
+  /// Render as CSV (no alignment, comma-separated, quoted when needed).
+  [[nodiscard]] std::string csv() const;
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format \p value with thousands separators ("1234567" -> "1,234,567").
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+
+/// Format \p x with \p digits digits after the decimal point.
+[[nodiscard]] std::string fixed(double x, int digits);
+
+/// Render an unsigned value as an \p width-bit binary tuple,
+/// e.g. bits(5, 4) == "(0,1,0,1)" — the label style used in the paper's
+/// Figure 2.
+[[nodiscard]] std::string bit_tuple(std::uint64_t value, int width);
+
+/// Render an unsigned value as a plain binary string, MSB first.
+[[nodiscard]] std::string bit_string(std::uint64_t value, int width);
+
+}  // namespace mineq::util

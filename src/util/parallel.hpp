@@ -1,0 +1,66 @@
+/// \file parallel.hpp
+/// \brief Explicit, standard-library parallelism for bulk verification sweeps.
+///
+/// Following the HPC house style (parallelism is explicit, portable and
+/// standard-based), this is a small fixed thread pool plus a blocking
+/// parallel_for. Randomized sweeps pass a task index to the body so each
+/// task can derive a deterministic RNG stream — results are identical
+/// regardless of thread count.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mineq::util {
+
+/// A fixed-size pool of worker threads executing queued tasks.
+///
+/// The pool is created once and joined on destruction (RAII); tasks must not
+/// throw — exceptions escaping a task terminate the process by design, since
+/// the verification sweeps treat any failure as fatal.
+class ThreadPool {
+ public:
+  /// Create \p threads workers. 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Blocks until all queued tasks have finished, then joins the workers.
+  ~ThreadPool();
+
+  /// Enqueue a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has completed.
+  void wait_idle();
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run body(i) for i in [begin, end) across \p threads workers
+/// (0 = hardware concurrency). Blocks until all iterations complete.
+/// Iterations are distributed in contiguous chunks to limit contention.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace mineq::util

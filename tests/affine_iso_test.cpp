@@ -1,0 +1,178 @@
+#include "min/affine_iso.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/isomorphism.hpp"
+#include "min/banyan.hpp"
+#include "min/baseline.hpp"
+#include "min/equivalence.hpp"
+#include "min/networks.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace mineq::min {
+namespace {
+
+TEST(AffineIsoTest, IdentityOnSameNetwork) {
+  util::SplitMix64 rng(1);
+  for (int n = 1; n <= 6; ++n) {
+    const MIDigraph g = baseline_network(n);
+    const auto iso = synthesize_affine_isomorphism(g, g, rng);
+    ASSERT_TRUE(iso.has_value()) << "n=" << n;
+    EXPECT_TRUE(verify_affine_isomorphism(g, g, *iso));
+  }
+}
+
+TEST(AffineIsoTest, AllClassicalPairsSynthesize) {
+  // The constructive counterpart of the paper's corollary: explicit
+  // stage-wise affine isomorphisms between all pairs of the six networks.
+  util::SplitMix64 rng(3);
+  for (int n = 2; n <= 6; ++n) {
+    for (NetworkKind a : all_network_kinds()) {
+      for (NetworkKind b : all_network_kinds()) {
+        const MIDigraph ga = build_network(a, n);
+        const MIDigraph gb = build_network(b, n);
+        const auto iso = synthesize_affine_isomorphism(ga, gb, rng);
+        ASSERT_TRUE(iso.has_value())
+            << network_name(a) << " -> " << network_name(b) << " n=" << n;
+        EXPECT_TRUE(verify_affine_isomorphism(ga, gb, *iso));
+        // The layered mapping agrees with the graph-level verifier too.
+        EXPECT_TRUE(graph::verify_layered_isomorphism(
+            ga.to_layered(), gb.to_layered(), iso->to_layered_mapping()));
+      }
+    }
+  }
+}
+
+TEST(AffineIsoTest, RandomIndependentBanyanPairsMatchedCases) {
+  // Theorem 3 made constructive on random instances. The straight-pairing
+  // affine family needs the two networks to agree on each stage's case
+  // (an f/g-orientation artifact, not a topological restriction), so the
+  // pairs are generated with matching case patterns.
+  util::SplitMix64 rng(5);
+  for (int n = 2; n <= 6; ++n) {
+    for (int trial = 0; trial < 5; ++trial) {
+      std::vector<bool> pattern;
+      for (int s = 0; s + 1 < n; ++s) pattern.push_back(rng.chance(1, 2));
+      const MIDigraph g =
+          test::random_banyan_independent_cases(n, pattern, rng);
+      const MIDigraph h =
+          test::random_banyan_independent_cases(n, pattern, rng);
+      const auto iso = synthesize_affine_isomorphism(g, h, rng);
+      ASSERT_TRUE(iso.has_value()) << "n=" << n << " trial=" << trial;
+      EXPECT_TRUE(verify_affine_isomorphism(g, h, *iso));
+    }
+  }
+}
+
+TEST(AffineIsoTest, MixedCasePairsHandled) {
+  // The h-functional extension lets the affine family cross stage-shape
+  // boundaries (case 1 against case 2). Either way, an explicit verified
+  // isomorphism must come out of the pipeline (Theorem 3 guarantees one
+  // exists).
+  util::SplitMix64 rng(23);
+  const int n = 3;
+  for (int trial = 0; trial < 5; ++trial) {
+    const MIDigraph g = test::random_banyan_independent_cases(
+        n, std::vector<bool>{false, false}, rng);
+    const MIDigraph h = test::random_banyan_independent_cases(
+        n, std::vector<bool>{true, true}, rng);
+    const auto affine = synthesize_affine_isomorphism(g, h, rng);
+    if (affine.has_value()) {
+      EXPECT_TRUE(verify_affine_isomorphism(g, h, *affine));
+    }
+    const auto mapping = find_explicit_isomorphism(g, h, rng);
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_TRUE(graph::verify_layered_isomorphism(g.to_layered(),
+                                                  h.to_layered(), *mapping));
+  }
+}
+
+TEST(AffineIsoTest, RejectsNonIndependentNetworks) {
+  util::SplitMix64 rng(7);
+  const MIDigraph g = test::scrambled_copy(baseline_network(4), rng);
+  const MIDigraph h = baseline_network(4);
+  // Scrambled stages are generically not independent: the affine family
+  // does not apply (find_explicit_isomorphism falls back instead).
+  const auto iso = synthesize_affine_isomorphism(g, h, rng);
+  EXPECT_FALSE(iso.has_value());
+}
+
+TEST(AffineIsoTest, Case1BanyanAgainstBaseline) {
+  // A Banyan network whose stages are all case 1 (pairs of bijections) is
+  // baseline-equivalent by Theorem 3 even though Baseline's stages are
+  // all case 2. The h-extended affine family can cross that shape
+  // boundary; whether or not it does on a given instance, the pipeline
+  // must deliver a verified explicit isomorphism.
+  util::SplitMix64 rng(9);
+  const int n = 3;
+  const MIDigraph g = test::random_banyan_independent_cases(
+      n, std::vector<bool>{false, false}, rng);
+  const MIDigraph h = baseline_network(n);
+  EXPECT_TRUE(is_baseline_equivalent(g));
+  const auto affine = synthesize_affine_isomorphism(g, h, rng);
+  if (affine.has_value()) {
+    EXPECT_TRUE(verify_affine_isomorphism(g, h, *affine));
+  }
+  const auto mapping = find_explicit_isomorphism(g, h, rng);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_TRUE(graph::verify_layered_isomorphism(g.to_layered(),
+                                                h.to_layered(), *mapping));
+}
+
+TEST(AffineIsoTest, VerifyRejectsWrongMaps) {
+  util::SplitMix64 rng(11);
+  const MIDigraph g = baseline_network(3);
+  auto iso = synthesize_affine_isomorphism(g, g, rng);
+  ASSERT_TRUE(iso.has_value());
+  // Corrupt one stage map with a translation that breaks adjacency.
+  AffineIso bad = *iso;
+  bad.stage_maps[1] =
+      gf2::AffineMap::translation(1, g.width()).after(bad.stage_maps[1]);
+  EXPECT_FALSE(verify_affine_isomorphism(g, g, bad));
+  // Wrong arity rejected.
+  AffineIso short_iso = *iso;
+  short_iso.stage_maps.pop_back();
+  EXPECT_FALSE(verify_affine_isomorphism(g, g, short_iso));
+}
+
+TEST(AffineIsoTest, FindExplicitFallsBackToSearch) {
+  // Scrambled baseline vs baseline: affine synthesis fails, the general
+  // search still produces a verified mapping.
+  util::SplitMix64 rng(13);
+  const MIDigraph g = test::scrambled_copy(baseline_network(4), rng);
+  const MIDigraph h = baseline_network(4);
+  const auto mapping = find_explicit_isomorphism(g, h, rng);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_TRUE(graph::verify_layered_isomorphism(g.to_layered(),
+                                                h.to_layered(), *mapping));
+}
+
+TEST(AffineIsoTest, SingleStageNetworks) {
+  util::SplitMix64 rng(17);
+  const MIDigraph g(1, {});
+  const auto iso = synthesize_affine_isomorphism(g, g, rng);
+  ASSERT_TRUE(iso.has_value());
+  EXPECT_EQ(iso->stage_maps.size(), 1U);
+}
+
+TEST(AffineIsoTest, MappingTablesAreBijective) {
+  util::SplitMix64 rng(19);
+  const MIDigraph a = build_network(NetworkKind::kOmega, 5);
+  const MIDigraph b = build_network(NetworkKind::kIndirectBinaryCube, 5);
+  const auto iso = synthesize_affine_isomorphism(a, b, rng);
+  ASSERT_TRUE(iso.has_value());
+  for (const auto& layer : iso->to_layered_mapping()) {
+    std::vector<bool> hit(layer.size(), false);
+    for (std::uint32_t image : layer) {
+      ASSERT_LT(image, layer.size());
+      EXPECT_FALSE(hit[image]);
+      hit[image] = true;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mineq::min

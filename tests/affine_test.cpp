@@ -1,0 +1,125 @@
+#include "gf2/affine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mineq::gf2 {
+namespace {
+
+TEST(AffineMapTest, IdentityAndTranslation) {
+  const AffineMap id = AffineMap::identity(3);
+  const AffineMap tr = AffineMap::translation(0b101, 3);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    EXPECT_EQ(id.apply(x), x);
+    EXPECT_EQ(tr.apply(x), x ^ 0b101);
+  }
+  EXPECT_TRUE(id.is_linear());
+  EXPECT_FALSE(tr.is_linear());
+  EXPECT_TRUE(tr.is_bijection());
+}
+
+TEST(AffineMapTest, ConstantWidthValidation) {
+  EXPECT_THROW((void)AffineMap(Matrix::identity(2), 0b100), std::invalid_argument);
+}
+
+TEST(AffineMapTest, CompositionMatchesPointwise) {
+  util::SplitMix64 rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const AffineMap a = AffineMap::random_bijection(4, rng);
+    const AffineMap b = AffineMap::random_bijection(4, rng);
+    const AffineMap ab = a.after(b);
+    for (std::uint64_t x = 0; x < 16; ++x) {
+      EXPECT_EQ(ab.apply(x), a.apply(b.apply(x)));
+    }
+  }
+}
+
+TEST(AffineMapTest, InverseRoundTrip) {
+  util::SplitMix64 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const AffineMap a = AffineMap::random_bijection(5, rng);
+    const auto inv = a.inverse();
+    ASSERT_TRUE(inv.has_value());
+    for (std::uint64_t x = 0; x < 32; ++x) {
+      EXPECT_EQ(inv->apply(a.apply(x)), x);
+      EXPECT_EQ(a.apply(inv->apply(x)), x);
+    }
+  }
+}
+
+TEST(AffineMapTest, NonBijectiveHasNoInverse) {
+  const AffineMap zero(Matrix(3, 3), 0b010);
+  EXPECT_FALSE(zero.is_bijection());
+  EXPECT_FALSE(zero.inverse().has_value());
+}
+
+TEST(AffineMapTest, ToTableMatchesApply) {
+  util::SplitMix64 rng(7);
+  const AffineMap a = AffineMap::random_bijection(6, rng);
+  const auto table = a.to_table();
+  ASSERT_EQ(table.size(), 64U);
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    EXPECT_EQ(table[x], a.apply(x));
+  }
+}
+
+TEST(FitAffineTest, RecoversRandomAffineMaps) {
+  util::SplitMix64 rng(11);
+  for (int w = 0; w <= 7; ++w) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const Matrix m = Matrix::random(w, w, rng);
+      const std::uint64_t c = rng.next() & ((std::uint64_t{1} << w) - 1);
+      const AffineMap original(m, c);
+      const auto fitted = fit_affine(original.to_table(), w, w);
+      ASSERT_TRUE(fitted.has_value()) << "w=" << w;
+      EXPECT_EQ(*fitted, original);
+    }
+  }
+}
+
+TEST(FitAffineTest, RejectsNonAffine) {
+  // AND is not affine over GF(2)^2 -> GF(2).
+  const std::vector<std::uint32_t> and_table = {0, 0, 0, 1};
+  EXPECT_FALSE(fit_affine(and_table, 2, 1).has_value());
+  EXPECT_FALSE(is_affine(and_table, 2, 1));
+  // OR is not affine either.
+  const std::vector<std::uint32_t> or_table = {0, 1, 1, 1};
+  EXPECT_FALSE(is_affine(or_table, 2, 1));
+  // XOR is affine (linear).
+  const std::vector<std::uint32_t> xor_table = {0, 1, 1, 0};
+  EXPECT_TRUE(is_affine(xor_table, 2, 1));
+}
+
+TEST(FitAffineTest, RejectsOutOfRangeValues) {
+  const std::vector<std::uint32_t> wide = {0, 2};  // 2 needs out_width 2
+  EXPECT_FALSE(fit_affine(wide, 1, 1).has_value());
+}
+
+TEST(FitAffineTest, ValidatesShape) {
+  EXPECT_THROW((void)fit_affine({0, 0, 0}, 2, 2), std::invalid_argument);
+  EXPECT_THROW((void)fit_affine({0}, -1, 2), std::invalid_argument);
+}
+
+TEST(FitAffineTest, DifferentInOutWidths) {
+  // Projection (drop high bit): 3 bits -> 2 bits, linear.
+  std::vector<std::uint32_t> proj(8);
+  for (std::uint32_t x = 0; x < 8; ++x) proj[x] = x & 0b11;
+  const auto fitted = fit_affine(proj, 3, 2);
+  ASSERT_TRUE(fitted.has_value());
+  EXPECT_EQ(fitted->in_width(), 3);
+  EXPECT_EQ(fitted->out_width(), 2);
+  for (std::uint32_t x = 0; x < 8; ++x) {
+    EXPECT_EQ(fitted->apply(x), x & 0b11U);
+  }
+}
+
+TEST(AffineMapTest, StrMentionsConstant) {
+  const AffineMap tr = AffineMap::translation(0b1, 2);
+  EXPECT_NE(tr.str().find("01"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mineq::gf2

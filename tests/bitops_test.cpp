@@ -1,0 +1,74 @@
+#include "util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mineq::util {
+namespace {
+
+TEST(BitopsTest, LowMask) {
+  EXPECT_EQ(low_mask(0), 0U);
+  EXPECT_EQ(low_mask(1), 1U);
+  EXPECT_EQ(low_mask(4), 0xFU);
+  EXPECT_EQ(low_mask(kMaxBits), (std::uint64_t{1} << kMaxBits) - 1);
+  EXPECT_THROW((void)low_mask(-1), std::invalid_argument);
+  EXPECT_THROW((void)low_mask(kMaxBits + 1), std::invalid_argument);
+}
+
+TEST(BitopsTest, GetSetFlipBit) {
+  EXPECT_EQ(get_bit(0b1010, 1), 1U);
+  EXPECT_EQ(get_bit(0b1010, 0), 0U);
+  EXPECT_EQ(set_bit(0b1010, 0, 1), 0b1011U);
+  EXPECT_EQ(set_bit(0b1010, 1, 0), 0b1000U);
+  EXPECT_EQ(set_bit(0b1010, 1, 1), 0b1010U);
+  EXPECT_EQ(flip_bit(0b1010, 3), 0b0010U);
+  EXPECT_EQ(flip_bit(0b1010, 0), 0b1011U);
+}
+
+TEST(BitopsTest, PopcountParity) {
+  EXPECT_EQ(popcount(0), 0);
+  EXPECT_EQ(popcount(0b1011), 3);
+  EXPECT_EQ(parity(0b1011), 1U);
+  EXPECT_EQ(parity(0b1001), 0U);
+}
+
+TEST(BitopsTest, BitScans) {
+  EXPECT_EQ(lowest_set_bit(0b1000), 3);
+  EXPECT_EQ(lowest_set_bit(0b1010), 1);
+  EXPECT_EQ(highest_set_bit(0b1010), 3);
+  EXPECT_EQ(highest_set_bit(1), 0);
+}
+
+TEST(BitopsTest, Pow2AndLog) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(64), 6);
+  EXPECT_EQ(ilog2(65), 6);
+}
+
+TEST(BitopsTest, Rotations) {
+  // rotl1 is the perfect shuffle of the digit string.
+  EXPECT_EQ(rotl1(0b100, 3), 0b001U);
+  EXPECT_EQ(rotl1(0b011, 3), 0b110U);
+  EXPECT_EQ(rotr1(0b001, 3), 0b100U);
+  EXPECT_EQ(rotr1(0b110, 3), 0b011U);
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(rotr1(rotl1(v, 5), 5), v);
+  }
+}
+
+TEST(BitopsTest, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b100, 3), 0b001U);
+  EXPECT_EQ(reverse_bits(0b110, 3), 0b011U);
+  EXPECT_EQ(reverse_bits(0b1011, 4), 0b1101U);
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(reverse_bits(reverse_bits(v, 6), 6), v);
+  }
+}
+
+}  // namespace
+}  // namespace mineq::util

@@ -1,0 +1,101 @@
+#include "gf2/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mineq::gf2 {
+namespace {
+
+TEST(BitVecTest, ConstructionValidation) {
+  EXPECT_NO_THROW(BitVec(0b101, 3));
+  EXPECT_THROW((void)BitVec(0b101, 2), std::invalid_argument);  // stray bit
+  EXPECT_THROW((void)BitVec(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)BitVec(0, -1), std::invalid_argument);
+  EXPECT_THROW((void)BitVec(0, 60), std::invalid_argument);
+}
+
+TEST(BitVecTest, ZeroAndUnit) {
+  EXPECT_TRUE(BitVec::zero(4).is_zero());
+  EXPECT_EQ(BitVec::unit(2, 4).bits(), 0b100U);
+  EXPECT_THROW((void)BitVec::unit(4, 4), std::invalid_argument);
+  EXPECT_THROW((void)BitVec::unit(-1, 4), std::invalid_argument);
+}
+
+TEST(BitVecTest, XorGroupLaws) {
+  const BitVec a(0b1010, 4);
+  const BitVec b(0b0110, 4);
+  const BitVec zero = BitVec::zero(4);
+  EXPECT_EQ((a ^ b).bits(), 0b1100U);
+  EXPECT_EQ(a ^ zero, a);
+  EXPECT_EQ(a ^ a, zero);        // every element is its own inverse
+  EXPECT_EQ(a ^ b, b ^ a);       // commutativity
+  EXPECT_THROW((void)(a ^ BitVec(0, 3)), std::invalid_argument);
+}
+
+TEST(BitVecTest, BitAccess) {
+  const BitVec v(0b0110, 4);
+  EXPECT_EQ(v.bit(0), 0U);
+  EXPECT_EQ(v.bit(1), 1U);
+  EXPECT_EQ(v.bit(2), 1U);
+  EXPECT_EQ(v.bit(3), 0U);
+  EXPECT_THROW((void)v.bit(4), std::invalid_argument);
+  EXPECT_EQ(v.with_bit(0, 1).bits(), 0b0111U);
+  EXPECT_EQ(v.with_bit(2, 0).bits(), 0b0010U);
+}
+
+TEST(BitVecTest, WeightAndDot) {
+  EXPECT_EQ(BitVec(0b1011, 4).weight(), 3);
+  EXPECT_EQ(BitVec::zero(4).weight(), 0);
+  EXPECT_EQ(BitVec(0b1010, 4).dot(BitVec(0b0010, 4)), 1U);
+  EXPECT_EQ(BitVec(0b1010, 4).dot(BitVec(0b1010, 4)), 0U);
+}
+
+TEST(BitVecTest, ConcatAndDrop) {
+  const BitVec cell(0b101, 3);
+  const BitVec port(1, 1);
+  const BitVec link = cell.concat(port);
+  EXPECT_EQ(link.width(), 4);
+  EXPECT_EQ(link.bits(), 0b1011U);
+  EXPECT_EQ(link.drop_low(1), cell);
+  EXPECT_THROW((void)link.drop_low(5), std::invalid_argument);
+}
+
+TEST(BitVecTest, TupleFormatting) {
+  EXPECT_EQ(BitVec(0b011, 3).to_tuple(), "(0,1,1)");
+  EXPECT_EQ(BitVec(0b011, 3).to_binary(), "011");
+  EXPECT_EQ(BitVec::zero(0).to_tuple(), "()");
+}
+
+TEST(BitVecTest, ParseRoundTrip) {
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    const BitVec original(v, 4);
+    EXPECT_EQ(BitVec::parse(original.to_tuple()), original);
+    EXPECT_EQ(BitVec::parse(original.to_binary()), original);
+  }
+}
+
+TEST(BitVecTest, ParseRejectsMalformed) {
+  EXPECT_THROW((void)BitVec::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)BitVec::parse("(1,2)"), std::invalid_argument);
+  EXPECT_THROW((void)BitVec::parse("(1,"), std::invalid_argument);
+  EXPECT_THROW((void)BitVec::parse("10a"), std::invalid_argument);
+  EXPECT_THROW((void)BitVec::parse("(1,1,)"), std::invalid_argument);
+}
+
+TEST(BitVecTest, Ordering) {
+  EXPECT_LT(BitVec(1, 3), BitVec(2, 3));
+  EXPECT_NE(BitVec(1, 3), BitVec(1, 4));
+}
+
+TEST(BitVecTest, Hashable) {
+  std::unordered_set<BitVec> set;
+  set.insert(BitVec(1, 3));
+  set.insert(BitVec(1, 3));
+  set.insert(BitVec(1, 4));
+  EXPECT_EQ(set.size(), 2U);
+}
+
+}  // namespace
+}  // namespace mineq::gf2

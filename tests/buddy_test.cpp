@@ -1,0 +1,98 @@
+#include "min/buddy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "min/baseline.hpp"
+#include "min/independence.hpp"
+#include "min/networks.hpp"
+#include "min/properties.hpp"
+#include "util/rng.hpp"
+
+namespace mineq::min {
+namespace {
+
+TEST(BuddyTest, BaselineStagesAreBuddy) {
+  const MIDigraph g = baseline_network(5);
+  EXPECT_TRUE(has_buddy_property(g));
+  // In baseline's first stage, 2i and 2i+1 are buddies.
+  const Connection& first = g.connection(0);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const auto partner = buddy_partner(first, 2 * i);
+    ASSERT_TRUE(partner.has_value());
+    EXPECT_EQ(*partner, 2 * i + 1);
+  }
+}
+
+TEST(BuddyTest, AllClassicalNetworksAreBuddy) {
+  for (int n = 2; n <= 7; ++n) {
+    for (NetworkKind kind : all_network_kinds()) {
+      EXPECT_TRUE(has_buddy_property(build_network(kind, n)))
+          << network_name(kind) << " n=" << n;
+    }
+  }
+}
+
+TEST(BuddyTest, IndependentConnectionsAreBuddy) {
+  // Both case-1 and case-2 independent stages decompose into K_{2,2}
+  // blocks (x pairs with x ^ L^{-1}(c^d) or x ^ alpha_1 respectively).
+  util::SplitMix64 rng(151);
+  for (int w = 1; w <= 6; ++w) {
+    EXPECT_TRUE(
+        has_buddy_property(Connection::random_independent_case1(w, rng)));
+    EXPECT_TRUE(
+        has_buddy_property(Connection::random_independent_case2(w, rng)));
+  }
+}
+
+TEST(BuddyTest, BuddyImpliesP_i_iplus1) {
+  // Buddy (K_{2,2} decomposition) forces exactly cells/2 components on
+  // the two-stage subgraph.
+  util::SplitMix64 rng(157);
+  for (int trial = 0; trial < 60; ++trial) {
+    const MIDigraph g = MIDigraph(
+        3, {Connection::random_valid(2, rng),
+            Connection::random_valid(2, rng)});
+    for (int s = 0; s < 2; ++s) {
+      if (has_buddy_property(g.connection(s))) {
+        EXPECT_TRUE(satisfies_p(g, s, s + 1))
+            << "trial=" << trial << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(BuddyTest, P_i_iplus1DoesNotImplyBuddy) {
+  // Counterexample: a 6-cycle on cells {0,1,2} plus a double link on cell
+  // 3 has 2 = cells/2 components but no buddy structure anywhere.
+  const Connection sixcycle({0, 1, 2, 3}, {1, 2, 0, 3}, 2);
+  ASSERT_TRUE(sixcycle.is_valid_stage());
+  util::SplitMix64 rng(1);
+  const MIDigraph g(3, {sixcycle, Connection::random_valid(2, rng)});
+  EXPECT_TRUE(satisfies_p(g, 0, 1));
+  EXPECT_FALSE(has_buddy_property(sixcycle));
+}
+
+TEST(BuddyTest, RandomConnectionsUsuallyNotBuddy) {
+  util::SplitMix64 rng(163);
+  int buddy = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    if (has_buddy_property(Connection::random_valid(5, rng))) ++buddy;
+  }
+  EXPECT_LE(buddy, 2);
+}
+
+TEST(BuddyTest, ParallelArcsHaveNoPartner) {
+  const Connection c = Connection::from_functions(
+      1, [](std::uint32_t x) { return x; },
+      [](std::uint32_t x) { return x; });
+  EXPECT_FALSE(buddy_partner(c, 0).has_value());
+  EXPECT_FALSE(has_buddy_property(c));
+}
+
+TEST(BuddyTest, RangeChecked) {
+  const Connection c({0, 1}, {1, 0}, 1);
+  EXPECT_THROW((void)buddy_partner(c, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mineq::min

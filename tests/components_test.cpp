@@ -1,0 +1,54 @@
+#include "graph/components.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mineq::graph {
+namespace {
+
+TEST(ComponentsTest, IsolatedNodes) {
+  const Digraph g(4);
+  EXPECT_EQ(component_count(g), 4U);
+  const auto labeling = connected_components(g);
+  EXPECT_EQ(labeling.count, 4U);
+  // Labels assigned in node order.
+  for (std::uint32_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(labeling.labels[v], v);
+  }
+}
+
+TEST(ComponentsTest, DirectionIgnored) {
+  Digraph g(3);
+  g.add_arc(2, 0);  // undirected connectivity: {0,2}, {1}
+  EXPECT_EQ(component_count(g), 2U);
+  const auto labeling = connected_components(g);
+  EXPECT_EQ(labeling.labels[0], labeling.labels[2]);
+  EXPECT_NE(labeling.labels[0], labeling.labels[1]);
+}
+
+TEST(ComponentsTest, Sizes) {
+  Digraph g(6);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(3, 4);
+  const auto sizes = component_sizes(g);
+  ASSERT_EQ(sizes.size(), 3U);
+  EXPECT_EQ(sizes[0], 3U);
+  EXPECT_EQ(sizes[1], 2U);
+  EXPECT_EQ(sizes[2], 1U);
+}
+
+TEST(ComponentsTest, ParallelArcsDoNotDouble) {
+  Digraph g(2);
+  g.add_arc(0, 1);
+  g.add_arc(0, 1);
+  EXPECT_EQ(component_count(g), 1U);
+}
+
+TEST(ComponentsTest, EmptyGraph) {
+  const Digraph g(0);
+  EXPECT_EQ(component_count(g), 0U);
+  EXPECT_TRUE(component_sizes(g).empty());
+}
+
+}  // namespace
+}  // namespace mineq::graph

@@ -1,0 +1,182 @@
+#include "min/connection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "min/independence.hpp"
+#include "perm/standard.hpp"
+#include "util/rng.hpp"
+
+namespace mineq::min {
+namespace {
+
+TEST(ConnectionTest, WidthZeroDefault) {
+  const Connection c;
+  EXPECT_EQ(c.width(), 0);
+  EXPECT_EQ(c.cells(), 1U);
+  EXPECT_EQ(c.f(0), 0U);
+  EXPECT_EQ(c.g(0), 0U);
+  EXPECT_TRUE(c.is_valid_stage());
+  EXPECT_TRUE(c.has_parallel_arcs());
+}
+
+TEST(ConnectionTest, TableValidation) {
+  EXPECT_NO_THROW(Connection({0, 1}, {1, 0}, 1));
+  EXPECT_THROW((void)Connection({0}, {0, 1}, 1), std::invalid_argument);
+  EXPECT_THROW((void)Connection({0, 2}, {0, 1}, 1), std::invalid_argument);
+  EXPECT_THROW((void)Connection({0, 1}, {0, 1}, -1), std::invalid_argument);
+}
+
+TEST(ConnectionTest, FromFunctionsAndAccessors) {
+  const Connection c = Connection::from_functions(
+      2, [](std::uint32_t x) { return x; },
+      [](std::uint32_t x) { return x ^ 1U; });
+  EXPECT_EQ(c.f(2), 2U);
+  EXPECT_EQ(c.g(2), 3U);
+  EXPECT_EQ(c.children(1), (std::array<std::uint32_t, 2>{1, 0}));
+  EXPECT_THROW((void)c.f(4), std::invalid_argument);
+  EXPECT_TRUE(c.is_valid_stage());
+  EXPECT_FALSE(c.has_parallel_arcs());
+}
+
+TEST(ConnectionTest, FromAffineValidatesShape) {
+  const gf2::AffineMap square(gf2::Matrix::identity(2), 0);
+  const gf2::AffineMap rect(gf2::Matrix(2, 3), 0);
+  EXPECT_NO_THROW(Connection::from_affine(square, square));
+  EXPECT_THROW((void)Connection::from_affine(square, rect), std::invalid_argument);
+}
+
+TEST(ConnectionTest, FromLinkPermutationIdentity) {
+  // Identity wiring: cell x's links go straight to cell x.
+  const Connection c =
+      Connection::from_link_permutation(perm::Permutation(8));
+  EXPECT_EQ(c.width(), 2);
+  for (std::uint32_t x = 0; x < 4; ++x) {
+    EXPECT_EQ(c.f(x), x);
+    EXPECT_EQ(c.g(x), x);  // both ports land on the same cell
+  }
+  EXPECT_TRUE(c.has_parallel_arcs());
+  EXPECT_TRUE(c.is_valid_stage());
+}
+
+TEST(ConnectionTest, FromLinkPermutationShuffle) {
+  const Connection c = Connection::from_link_permutation(
+      perm::perfect_shuffle(3).induced());
+  // Shuffle: link (x1 x0 p) -> (x0 p x1); child cell = (x0, p).
+  for (std::uint32_t x = 0; x < 4; ++x) {
+    EXPECT_EQ(c.f(x), (x & 1U) << 1);
+    EXPECT_EQ(c.g(x), ((x & 1U) << 1) | 1U);
+  }
+  EXPECT_TRUE(c.is_valid_stage());
+  EXPECT_FALSE(c.has_parallel_arcs());
+}
+
+TEST(ConnectionTest, FromLinkPermutationValidation) {
+  EXPECT_THROW((void)Connection::from_link_permutation(perm::Permutation(6)),
+               std::invalid_argument);
+  EXPECT_THROW((void)Connection::from_link_permutation(perm::Permutation(1)),
+               std::invalid_argument);
+}
+
+TEST(ConnectionTest, InDegreeAndParents) {
+  const Connection c({0, 0}, {1, 1}, 1);
+  EXPECT_EQ(c.in_degree(0), 2U);
+  EXPECT_EQ(c.in_degree(1), 2U);
+  EXPECT_EQ(c.parents(0), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_TRUE(c.is_valid_stage());
+  const Connection bad({0, 0}, {0, 1}, 1);
+  EXPECT_FALSE(bad.is_valid_stage());
+  EXPECT_EQ(bad.in_degree(0), 3U);
+}
+
+TEST(ConnectionTest, VertexTypes) {
+  // f constant 0, g constant 1: vertex 0 is (f,f), vertex 1 is (g,g).
+  const Connection case2({0, 0}, {1, 1}, 1);
+  const auto types2 = case2.vertex_types();
+  EXPECT_EQ(types2[0], VertexType::kFF);
+  EXPECT_EQ(types2[1], VertexType::kGG);
+  const auto counts2 = case2.vertex_type_counts();
+  EXPECT_EQ(counts2[0], 1U);  // FF
+  EXPECT_EQ(counts2[1], 0U);  // FG
+  EXPECT_EQ(counts2[2], 1U);  // GG
+  EXPECT_EQ(counts2[3], 0U);  // bad
+
+  // f identity, g = x^1: every vertex has one f-arc and one g-arc.
+  const Connection case1({0, 1}, {1, 0}, 1);
+  const auto counts1 = case1.vertex_type_counts();
+  EXPECT_EQ(counts1[1], 2U);
+
+  const Connection bad({0, 0}, {0, 1}, 1);
+  EXPECT_EQ(bad.vertex_type_counts()[3], 2U);
+}
+
+TEST(ConnectionTest, SwappedExchangesRoles) {
+  const Connection c({0, 1}, {1, 0}, 1);
+  const Connection s = c.swapped();
+  EXPECT_EQ(s.f_table(), c.g_table());
+  EXPECT_EQ(s.g_table(), c.f_table());
+}
+
+TEST(ConnectionTest, RandomValidIsValid) {
+  util::SplitMix64 rng(5);
+  for (int w = 0; w <= 6; ++w) {
+    const Connection c = Connection::random_valid(w, rng);
+    EXPECT_TRUE(c.is_valid_stage()) << "w=" << w;
+  }
+}
+
+TEST(ConnectionTest, RandomIndependentCase1Structure) {
+  util::SplitMix64 rng(7);
+  for (int w = 1; w <= 6; ++w) {
+    const Connection c = Connection::random_independent_case1(w, rng);
+    EXPECT_TRUE(c.is_valid_stage());
+    EXPECT_EQ(classify_stage(c), StageCase::kCase1) << "w=" << w;
+    // All vertices type (f,g).
+    EXPECT_EQ(c.vertex_type_counts()[1], c.cells());
+  }
+}
+
+TEST(ConnectionTest, RandomIndependentCase2Structure) {
+  util::SplitMix64 rng(9);
+  for (int w = 1; w <= 6; ++w) {
+    const Connection c = Connection::random_independent_case2(w, rng);
+    EXPECT_TRUE(c.is_valid_stage());
+    EXPECT_EQ(classify_stage(c), StageCase::kCase2) << "w=" << w;
+    const auto counts = c.vertex_type_counts();
+    EXPECT_EQ(counts[0], c.cells() / 2);  // half (f,f)
+    EXPECT_EQ(counts[2], c.cells() / 2);  // half (g,g)
+  }
+}
+
+TEST(ConnectionTest, ReverseGenericInvertsArcs) {
+  util::SplitMix64 rng(11);
+  const Connection c = Connection::random_valid(4, rng);
+  const Connection rev = c.reverse_generic();
+  EXPECT_TRUE(rev.is_valid_stage());
+  // y's parents in c == y's children in rev.
+  for (std::uint32_t y = 0; y < c.cells(); ++y) {
+    auto parents = c.parents(y);
+    std::sort(parents.begin(), parents.end());
+    std::array<std::uint32_t, 2> children = rev.children(y);
+    std::sort(children.begin(), children.end());
+    EXPECT_TRUE(std::equal(parents.begin(), parents.end(),
+                           children.begin()));
+  }
+}
+
+TEST(ConnectionTest, ReverseGenericRequiresValidStage) {
+  const Connection bad({0, 0}, {0, 1}, 1);
+  EXPECT_THROW((void)bad.reverse_generic(), std::invalid_argument);
+}
+
+TEST(ConnectionTest, StrListsAllCells) {
+  const Connection c({0, 1}, {1, 0}, 1);
+  const std::string s = c.str();
+  EXPECT_NE(s.find("0: f -> 0, g -> 1"), std::string::npos);
+  EXPECT_NE(s.find("1: f -> 1, g -> 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mineq::min

@@ -1,0 +1,127 @@
+/// \file crosscheck_test.cpp
+/// \brief The paper's "easy characterization" validated against the
+/// expensive general-purpose oracle (VF2-style isomorphism search) on
+/// randomized positive and negative instances.
+
+#include <gtest/gtest.h>
+
+#include "graph/isomorphism.hpp"
+#include "min/baseline.hpp"
+#include "min/equivalence.hpp"
+#include "min/networks.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace mineq::min {
+namespace {
+
+class CrosscheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrosscheckTest, DecisionAgreesWithOracleOnRandomNetworks) {
+  const int n = GetParam();
+  util::SplitMix64 rng(5000 + static_cast<std::uint64_t>(n));
+  const MIDigraph base = baseline_network(n);
+  int positives = 0;
+  int negatives = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const MIDigraph g = random_independent_network(n, rng);
+    const bool fast = is_baseline_equivalent(g);
+    graph::SearchStats stats;
+    const auto mapping = graph::find_layered_isomorphism(
+        g.to_layered(), base.to_layered(), &stats, /*budget=*/5'000'000);
+    ASSERT_FALSE(stats.budget_exhausted)
+        << "oracle ran out of budget at n=" << n;
+    EXPECT_EQ(fast, mapping.has_value()) << "n=" << n << " trial=" << trial;
+    if (fast) {
+      ++positives;
+      EXPECT_TRUE(graph::verify_layered_isomorphism(
+          g.to_layered(), base.to_layered(), *mapping));
+    } else {
+      ++negatives;
+    }
+  }
+  // Sanity: random independent networks at these sizes produce a mix.
+  EXPECT_GT(positives + negatives, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stages, CrosscheckTest, ::testing::Values(2, 3, 4));
+
+TEST(CrosscheckScrambledTest, ScrambledClassicsAgreeWithOracle) {
+  util::SplitMix64 rng(5100);
+  const int n = 4;
+  const MIDigraph base = baseline_network(n);
+  for (NetworkKind kind : all_network_kinds()) {
+    const MIDigraph g = test::scrambled_copy(build_network(kind, n), rng);
+    EXPECT_TRUE(is_baseline_equivalent(g)) << network_name(kind);
+    const auto mapping =
+        graph::find_layered_isomorphism(g.to_layered(), base.to_layered());
+    EXPECT_TRUE(mapping.has_value()) << network_name(kind);
+  }
+}
+
+TEST(CrosscheckNegativeTest, PerturbedBaselineDetectedByBoth) {
+  // Swap two arcs of one stage so degrees stay valid but the topology
+  // breaks: both deciders must reject (or both accept if the perturbation
+  // happens to preserve equivalence — the deciders just have to agree).
+  util::SplitMix64 rng(5200);
+  const int n = 4;
+  const MIDigraph base = baseline_network(n);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Connection> connections = base.connections();
+    const std::size_t stage = rng.below(connections.size());
+    std::vector<std::uint32_t> f = connections[stage].f_table();
+    std::vector<std::uint32_t> g = connections[stage].g_table();
+    const std::uint32_t a = static_cast<std::uint32_t>(rng.below(f.size()));
+    const std::uint32_t b = static_cast<std::uint32_t>(rng.below(f.size()));
+    std::swap(f[a], f[b]);
+    connections[stage] = Connection(std::move(f), std::move(g), n - 1);
+    const MIDigraph perturbed(n, std::move(connections));
+    ASSERT_TRUE(perturbed.is_valid());
+    const bool fast = is_baseline_equivalent(perturbed);
+    const auto mapping = graph::find_layered_isomorphism(
+        perturbed.to_layered(), base.to_layered());
+    EXPECT_EQ(fast, mapping.has_value()) << "trial=" << trial;
+  }
+}
+
+TEST(CrosscheckAutomorphismTest, BaselineAutomorphismCountClosedForm) {
+  // Measured by exhaustive search and pinned: |Aut(Baseline_n)| =
+  // 2^(2^n - 2) for n = 1..4 (1, 4, 64, 16384). Each K_{2,2} block
+  // contributes independent swap freedom, reduced by the recursive
+  // consistency constraints.
+  for (int n = 1; n <= 4; ++n) {
+    const std::uint64_t expected =
+        std::uint64_t{1} << ((std::uint64_t{1} << n) - 2);
+    EXPECT_EQ(graph::count_layered_automorphisms(
+                  baseline_network(n).to_layered()),
+              expected)
+        << "n=" << n;
+  }
+}
+
+TEST(CrosscheckAutomorphismTest, IsomorphicNetworksShareAutCount) {
+  // Automorphism count is an isomorphism invariant: Omega matches
+  // Baseline at every size checked.
+  for (int n = 2; n <= 4; ++n) {
+    EXPECT_EQ(graph::count_layered_automorphisms(
+                  build_network(NetworkKind::kOmega, n).to_layered()),
+              graph::count_layered_automorphisms(
+                  baseline_network(n).to_layered()))
+        << "n=" << n;
+  }
+}
+
+TEST(CrosscheckAutomorphismTest, NonEquivalentNetworkDiffersInAutCount) {
+  // The all-identity (double-link chain) network has a much larger
+  // automorphism group than Baseline: each chain is interchangeable.
+  std::vector<Connection> conns(
+      2, Connection::from_functions(
+             2, [](std::uint32_t x) { return x; },
+             [](std::uint32_t x) { return x; }));
+  const MIDigraph chains(3, std::move(conns));
+  // 4 disjoint double-link chains: 4! orderings = 24 automorphisms.
+  EXPECT_EQ(graph::count_layered_automorphisms(chains.to_layered()), 24U);
+}
+
+}  // namespace
+}  // namespace mineq::min

@@ -1,0 +1,75 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mineq::graph {
+namespace {
+
+TEST(DigraphTest, AddNodesAndArcs) {
+  Digraph g(2);
+  EXPECT_EQ(g.num_nodes(), 2U);
+  const std::uint32_t v = g.add_node();
+  EXPECT_EQ(v, 2U);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  g.add_arc(0, 1);  // parallel arc
+  EXPECT_EQ(g.num_arcs(), 3U);
+  EXPECT_EQ(g.out_degree(0), 3U);
+  EXPECT_EQ(g.in_degree(1), 2U);
+  EXPECT_EQ(g.in_degree(2), 1U);
+  EXPECT_THROW((void)g.add_arc(0, 3), std::invalid_argument);
+  EXPECT_THROW((void)g.out(5), std::invalid_argument);
+}
+
+TEST(DigraphTest, ReversedSwapsDirections) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(0, 1);
+  const Digraph rev = g.reversed();
+  EXPECT_EQ(rev.num_arcs(), 3U);
+  EXPECT_EQ(rev.out_degree(1), 2U);  // two parallel arcs back to 0
+  EXPECT_EQ(rev.out_degree(2), 1U);
+  EXPECT_EQ(rev.in_degree(0), 2U);
+}
+
+TEST(LayeredDigraphTest, CountsAndValidation) {
+  LayeredDigraph g;
+  g.adj = {{{0, 1}, {0, 1}}, {{}, {}}};
+  EXPECT_EQ(g.layers(), 2U);
+  EXPECT_EQ(g.layer_size(0), 2U);
+  EXPECT_EQ(g.num_nodes(), 4U);
+  EXPECT_EQ(g.num_arcs(), 4U);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(LayeredDigraphTest, ValidateRejectsOutOfRangeChild) {
+  LayeredDigraph g;
+  g.adj = {{{2}}, {{}}};  // child index 2 but next layer has 1 node
+  EXPECT_THROW((void)g.validate(), std::invalid_argument);
+}
+
+TEST(LayeredDigraphTest, ValidateRejectsArcsFromLastLayer) {
+  LayeredDigraph g;
+  g.adj = {{{0}}, {{0}}};
+  EXPECT_THROW((void)g.validate(), std::invalid_argument);
+}
+
+TEST(LayeredDigraphTest, FlattenPreservesStructure) {
+  LayeredDigraph g;
+  g.adj = {{{1}, {0}}, {{0}, {0}}, {{}}};
+  const Digraph flat = g.flatten();
+  EXPECT_EQ(flat.num_nodes(), 5U);
+  EXPECT_EQ(flat.num_arcs(), 4U);
+  // Node ids: layer0 = {0,1}, layer1 = {2,3}, layer2 = {4}.
+  EXPECT_EQ(flat.out(0).front(), 3U);
+  EXPECT_EQ(flat.out(1).front(), 2U);
+  EXPECT_EQ(flat.out(2).front(), 4U);
+  EXPECT_EQ(flat.out(3).front(), 4U);
+  EXPECT_EQ(flat.in_degree(4), 2U);
+}
+
+}  // namespace
+}  // namespace mineq::graph

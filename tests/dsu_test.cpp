@@ -1,0 +1,65 @@
+#include "graph/dsu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mineq::graph {
+namespace {
+
+TEST(DSUTest, StartsAsSingletons) {
+  DSU dsu(5);
+  EXPECT_EQ(dsu.components(), 5U);
+  EXPECT_EQ(dsu.size(), 5U);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(dsu.find(i), i);
+    EXPECT_EQ(dsu.component_size(i), 1U);
+  }
+}
+
+TEST(DSUTest, UniteMergesComponents) {
+  DSU dsu(6);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.unite(2, 3));
+  EXPECT_FALSE(dsu.unite(0, 1));  // already merged
+  EXPECT_EQ(dsu.components(), 4U);
+  EXPECT_TRUE(dsu.same(0, 1));
+  EXPECT_FALSE(dsu.same(0, 2));
+  EXPECT_TRUE(dsu.unite(1, 2));
+  EXPECT_TRUE(dsu.same(0, 3));
+  EXPECT_EQ(dsu.component_size(3), 4U);
+  EXPECT_EQ(dsu.components(), 3U);
+}
+
+TEST(DSUTest, TransitiveChains) {
+  DSU dsu(100);
+  for (std::uint32_t i = 0; i + 1 < 100; ++i) {
+    dsu.unite(i, i + 1);
+  }
+  EXPECT_EQ(dsu.components(), 1U);
+  EXPECT_TRUE(dsu.same(0, 99));
+  EXPECT_EQ(dsu.component_size(50), 100U);
+}
+
+TEST(DSUTest, RangeChecked) {
+  DSU dsu(3);
+  EXPECT_THROW((void)dsu.find(3), std::invalid_argument);
+}
+
+TEST(DSUTest, ResetRestoresSingletons) {
+  DSU dsu(4);
+  dsu.unite(0, 1);
+  dsu.unite(2, 3);
+  dsu.reset();
+  EXPECT_EQ(dsu.components(), 4U);
+  EXPECT_FALSE(dsu.same(0, 1));
+}
+
+TEST(DSUTest, SelfUniteIsNoop) {
+  DSU dsu(3);
+  EXPECT_FALSE(dsu.unite(1, 1));
+  EXPECT_EQ(dsu.components(), 3U);
+}
+
+}  // namespace
+}  // namespace mineq::graph

@@ -1,0 +1,158 @@
+#include "min/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "min/baseline.hpp"
+#include "min/networks.hpp"
+#include "min/pipid.hpp"
+#include "perm/standard.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace mineq::min {
+namespace {
+
+TEST(EquivalenceTest, BaselinePassesItsOwnCharacterization) {
+  for (int n = 1; n <= 8; ++n) {
+    const EquivalenceReport report =
+        check_baseline_equivalence(baseline_network(n));
+    EXPECT_TRUE(report.valid_degrees);
+    EXPECT_TRUE(report.banyan);
+    EXPECT_TRUE(report.p1_star);
+    EXPECT_TRUE(report.p_star_n);
+    EXPECT_TRUE(report.equivalent);
+    EXPECT_EQ(report.failure, "");
+  }
+}
+
+TEST(EquivalenceTest, AllClassicalNetworksEquivalent) {
+  // The paper's corollary: the six classical networks are all baseline-
+  // equivalent at every size.
+  for (int n = 2; n <= 8; ++n) {
+    for (NetworkKind kind : all_network_kinds()) {
+      EXPECT_TRUE(is_baseline_equivalent(build_network(kind, n)))
+          << network_name(kind) << " n=" << n;
+    }
+  }
+}
+
+TEST(EquivalenceTest, InvalidDegreesReported) {
+  // A stage where some cell has in-degree 3.
+  std::vector<Connection> connections;
+  connections.emplace_back(std::vector<std::uint32_t>{0, 0},
+                           std::vector<std::uint32_t>{0, 1}, 1);
+  const MIDigraph g(2, std::move(connections));
+  const EquivalenceReport report = check_baseline_equivalence(g);
+  EXPECT_FALSE(report.valid_degrees);
+  EXPECT_EQ(report.failure, "degrees");
+  EXPECT_FALSE(report.equivalent);
+}
+
+TEST(EquivalenceTest, NonBanyanReported) {
+  // Degenerate double-link stage (Fig. 5).
+  std::vector<perm::IndexPermutation> seq = {
+      perm::IndexPermutation::identity(3), perm::perfect_shuffle(3)};
+  const MIDigraph g = network_from_pipids(seq);
+  const EquivalenceReport report = check_baseline_equivalence(g);
+  EXPECT_TRUE(report.valid_degrees);
+  EXPECT_FALSE(report.banyan);
+  EXPECT_EQ(report.failure, "banyan");
+}
+
+TEST(EquivalenceTest, ScrambledBaselineStillEquivalent) {
+  // Per-stage relabelling destroys the linear structure but not the
+  // topology; the characterization sees through it.
+  util::SplitMix64 rng(127);
+  for (int trial = 0; trial < 5; ++trial) {
+    const MIDigraph g = test::scrambled_copy(baseline_network(5), rng);
+    EXPECT_TRUE(is_baseline_equivalent(g));
+  }
+}
+
+TEST(EquivalenceTest, IndependenceFastPathAgrees) {
+  util::SplitMix64 rng(131);
+  // Sound on independent-connection networks:
+  for (int trial = 0; trial < 10; ++trial) {
+    const MIDigraph g = random_independent_network(5, rng);
+    if (is_baseline_equivalent_via_independence(g)) {
+      EXPECT_TRUE(is_baseline_equivalent(g));
+    }
+  }
+  // Not complete: a scrambled baseline is equivalent but its stages are
+  // (generically) not independent.
+  const MIDigraph scrambled = test::scrambled_copy(baseline_network(5), rng);
+  EXPECT_TRUE(is_baseline_equivalent(scrambled));
+  // (No assertion on the fast path here — it may legitimately return
+  // false.)
+}
+
+TEST(EquivalenceTest, TopologicalEquivalenceViaCharacterization) {
+  const MIDigraph omega = build_network(NetworkKind::kOmega, 5);
+  const MIDigraph flip = build_network(NetworkKind::kFlip, 5);
+  EXPECT_TRUE(are_topologically_equivalent(omega, flip));
+}
+
+TEST(EquivalenceTest, EquivalentVsNonEquivalentMixed) {
+  const MIDigraph omega = build_network(NetworkKind::kOmega, 4);
+  std::vector<perm::IndexPermutation> seq(
+      3, perm::IndexPermutation::identity(4));
+  const MIDigraph identity_net = network_from_pipids(seq);
+  EXPECT_FALSE(are_topologically_equivalent(omega, identity_net));
+}
+
+TEST(EquivalenceTest, NonEquivalentPairFallsBackToSearch) {
+  // Two scrambled copies of the same non-Banyan network: neither is
+  // baseline-equivalent, but they are isomorphic to each other.
+  util::SplitMix64 rng(137);
+  std::vector<perm::IndexPermutation> seq(
+      2, perm::IndexPermutation::identity(3));
+  const MIDigraph g = network_from_pipids(seq);
+  const MIDigraph h = test::scrambled_copy(g, rng);
+  EXPECT_FALSE(is_baseline_equivalent(g));
+  EXPECT_TRUE(are_topologically_equivalent(g, h));
+  // And a genuinely different non-equivalent pair:
+  std::vector<perm::IndexPermutation> seq2 = {
+      perm::IndexPermutation::identity(3), perm::perfect_shuffle(3)};
+  const MIDigraph k = network_from_pipids(seq2);
+  EXPECT_FALSE(are_topologically_equivalent(g, k));
+}
+
+TEST(EquivalenceTest, DifferentStageCountsNeverEquivalent) {
+  EXPECT_FALSE(are_topologically_equivalent(baseline_network(3),
+                                            baseline_network(4)));
+}
+
+TEST(EquivalenceTest, ReversalPreservesEquivalence) {
+  // Baseline-equivalence is closed under digraph reversal (the reverse of
+  // Baseline is Reverse Baseline, which is in the class) — a network-level
+  // echo of Proposition 1.
+  util::SplitMix64 rng(141);
+  for (NetworkKind kind : all_network_kinds()) {
+    const MIDigraph g = build_network(kind, 5);
+    EXPECT_TRUE(is_baseline_equivalent(g.reverse())) << network_name(kind);
+  }
+  for (int trial = 0; trial < 5; ++trial) {
+    const MIDigraph g = test::random_banyan_pipid(4, rng);
+    EXPECT_EQ(is_baseline_equivalent(g), is_baseline_equivalent(g.reverse()));
+  }
+  // And non-equivalent networks stay non-equivalent under reversal.
+  std::vector<perm::IndexPermutation> seq(
+      3, perm::IndexPermutation::identity(4));
+  const MIDigraph chains = network_from_pipids(seq);
+  EXPECT_FALSE(is_baseline_equivalent(chains.reverse()));
+}
+
+TEST(EquivalenceTest, RandomPipidBanyanNetworksAreEquivalent) {
+  // Theorem 3 via Section 4, on random instances.
+  util::SplitMix64 rng(139);
+  for (int n = 2; n <= 6; ++n) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const MIDigraph g = test::random_banyan_pipid(n, rng);
+      EXPECT_TRUE(is_baseline_equivalent(g)) << "n=" << n;
+      EXPECT_TRUE(is_baseline_equivalent_via_independence(g));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mineq::min

@@ -1,0 +1,75 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mineq::util {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "12345"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2U);
+}
+
+TEST(TablePrinterTest, RejectsArityMismatch) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW((void)t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW((void)t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TablePrinterTest, RejectsEmptyHeader) {
+  EXPECT_THROW((void)TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinterTest, CsvEscapes) {
+  TablePrinter t({"k", "v"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TablePrinterTest, SetAlignValidation) {
+  TablePrinter t({"a", "b"});
+  t.set_align(1, Align::kLeft);
+  EXPECT_THROW((void)t.set_align(2, Align::kLeft), std::invalid_argument);
+}
+
+TEST(FormatTest, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(1000000000), "1,000,000,000");
+}
+
+TEST(FormatTest, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+  EXPECT_EQ(fixed(0.5, 3), "0.500");
+}
+
+TEST(FormatTest, BitTuple) {
+  EXPECT_EQ(bit_tuple(0b101, 3), "(1,0,1)");
+  EXPECT_EQ(bit_tuple(0, 3), "(0,0,0)");
+  EXPECT_EQ(bit_tuple(0, 0), "()");
+  EXPECT_THROW((void)bit_tuple(1, -1), std::invalid_argument);
+}
+
+TEST(FormatTest, BitString) {
+  EXPECT_EQ(bit_string(0b101, 3), "101");
+  EXPECT_EQ(bit_string(0b101, 5), "00101");
+  EXPECT_EQ(bit_string(0, 0), "");
+}
+
+}  // namespace
+}  // namespace mineq::util

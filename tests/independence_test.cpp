@@ -1,0 +1,220 @@
+#include "min/independence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "perm/standard.hpp"
+#include "util/rng.hpp"
+
+namespace mineq::min {
+namespace {
+
+TEST(IndependenceTest, Width0And1Basics) {
+  EXPECT_TRUE(is_independent(Connection()));
+  EXPECT_TRUE(is_independent_definition(Connection()));
+  // Every width-1 connection is independent: beta = f(x^1)^f(x) is forced
+  // by the single nonzero alpha... but only when f and g shift by the SAME
+  // beta. Constant-vs-swap mix is not independent:
+  const Connection mixed({0, 0}, {0, 1}, 1);  // f const, g identity
+  EXPECT_FALSE(is_independent(mixed));
+  EXPECT_FALSE(is_independent_definition(mixed));
+  const Connection both_const({0, 0}, {1, 1}, 1);
+  EXPECT_TRUE(is_independent(both_const));
+}
+
+TEST(IndependenceTest, FastEqualsDefinitionExhaustivelyWidth2) {
+  // All 256 * 256 width-2 connections: the structural O(N) test and the
+  // paper's definition agree everywhere.
+  std::size_t independent_count = 0;
+  for (std::uint32_t f_code = 0; f_code < 256; ++f_code) {
+    std::vector<std::uint32_t> f(4);
+    for (int i = 0; i < 4; ++i) f[static_cast<std::size_t>(i)] = (f_code >> (2 * i)) & 3U;
+    for (std::uint32_t g_code = 0; g_code < 256; ++g_code) {
+      std::vector<std::uint32_t> g(4);
+      for (int i = 0; i < 4; ++i) {
+        g[static_cast<std::size_t>(i)] = (g_code >> (2 * i)) & 3U;
+      }
+      const Connection conn(f, g, 2);
+      const bool fast = is_independent(conn);
+      ASSERT_EQ(fast, is_independent_definition(conn))
+          << "f_code=" << f_code << " g_code=" << g_code;
+      if (fast) ++independent_count;
+    }
+  }
+  // Independent connections = pairs (L, c_f, c_g): 16 linear maps * 4 * 4.
+  EXPECT_EQ(independent_count, 16U * 4U * 4U);
+}
+
+TEST(IndependenceTest, FastEqualsDefinitionRandomWidth3To5) {
+  util::SplitMix64 rng(21);
+  for (int w = 3; w <= 5; ++w) {
+    for (int trial = 0; trial < 50; ++trial) {
+      // Mix of random junk and genuine independent connections.
+      const Connection conn =
+          trial % 3 == 0
+              ? Connection::random_valid(w, rng)
+              : (trial % 3 == 1
+                     ? Connection::random_independent_case1(w, rng)
+                     : Connection::random_independent_case2(w, rng));
+      EXPECT_EQ(is_independent(conn), is_independent_definition(conn))
+          << "w=" << w << " trial=" << trial;
+    }
+  }
+}
+
+TEST(IndependenceTest, LinearFormRecoversConstruction) {
+  util::SplitMix64 rng(23);
+  for (int w = 1; w <= 6; ++w) {
+    const gf2::Matrix l = gf2::Matrix::random(w, w, rng);
+    const std::uint64_t mask = (std::uint64_t{1} << w) - 1;
+    const std::uint64_t cf = rng.next() & mask;
+    const std::uint64_t cg = rng.next() & mask;
+    const Connection conn = Connection::from_affine(gf2::AffineMap(l, cf),
+                                                    gf2::AffineMap(l, cg));
+    const auto lf = linear_form(conn);
+    ASSERT_TRUE(lf.has_value());
+    EXPECT_EQ(lf->linear, l);
+    EXPECT_EQ(lf->c_f, cf);
+    EXPECT_EQ(lf->c_g, cg);
+  }
+}
+
+TEST(IndependenceTest, LinearFormRejectsDifferentLinearParts) {
+  util::SplitMix64 rng(29);
+  const gf2::Matrix l1 = gf2::Matrix::random_invertible(3, rng);
+  gf2::Matrix l2 = l1;
+  l2.set(0, 0, l2.at(0, 0) ^ 1U);
+  const Connection conn = Connection::from_affine(gf2::AffineMap(l1, 0),
+                                                  gf2::AffineMap(l2, 0));
+  EXPECT_FALSE(linear_form(conn).has_value());
+  EXPECT_FALSE(is_independent_definition(conn));
+}
+
+TEST(IndependenceTest, BetaMapIsTheLinearImage) {
+  // Paper: f(x ^ alpha) = beta ^ f(x) with beta = L(alpha).
+  util::SplitMix64 rng(31);
+  const Connection conn = Connection::random_independent_case2(4, rng);
+  const auto beta = beta_map(conn);
+  ASSERT_TRUE(beta.has_value());
+  EXPECT_EQ((*beta)[0], 0U);
+  const auto& f = conn.f_table();
+  const auto& g = conn.g_table();
+  for (std::uint32_t alpha = 1; alpha < 16; ++alpha) {
+    for (std::uint32_t x = 0; x < 16; ++x) {
+      EXPECT_EQ(f[x ^ alpha], (*beta)[alpha] ^ f[x]);
+      EXPECT_EQ(g[x ^ alpha], (*beta)[alpha] ^ g[x]);
+    }
+  }
+}
+
+TEST(IndependenceTest, ClassifyStageCases) {
+  util::SplitMix64 rng(37);
+  EXPECT_EQ(classify_stage(Connection::random_independent_case1(4, rng)),
+            StageCase::kCase1);
+  EXPECT_EQ(classify_stage(Connection::random_independent_case2(4, rng)),
+            StageCase::kCase2);
+  EXPECT_EQ(classify_stage(Connection::random_valid(4, rng)),
+            StageCase::kNotIndependent);
+  // Independent but rank-deficient by 2: some vertex gets in-degree 4.
+  const Connection degenerate = Connection::from_affine(
+      gf2::AffineMap(gf2::Matrix(2, 2), 0b00),
+      gf2::AffineMap(gf2::Matrix(2, 2), 0b01));
+  EXPECT_EQ(classify_stage(degenerate), StageCase::kInvalidDegrees);
+}
+
+TEST(IndependenceTest, ReverseIndependentIsIndependentCase1) {
+  // Proposition 1, first case: f and g bijections.
+  util::SplitMix64 rng(41);
+  for (int w = 1; w <= 6; ++w) {
+    const Connection conn = Connection::random_independent_case1(w, rng);
+    const Connection rev = conn.reverse_independent();
+    EXPECT_TRUE(is_independent(rev)) << "w=" << w;
+    EXPECT_TRUE(rev.is_valid_stage());
+    // phi = f^{-1}: f(phi(y)) == y.
+    for (std::uint32_t y = 0; y < conn.cells(); ++y) {
+      EXPECT_EQ(conn.f(rev.f(y)), y);
+      EXPECT_EQ(conn.g(rev.g(y)), y);
+    }
+  }
+}
+
+TEST(IndependenceTest, ReverseIndependentIsIndependentCase2) {
+  // Proposition 1, second case: the A/B translated-set construction.
+  util::SplitMix64 rng(43);
+  for (int w = 1; w <= 6; ++w) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const Connection conn = Connection::random_independent_case2(w, rng);
+      const Connection rev = conn.reverse_independent();
+      EXPECT_TRUE(is_independent(rev)) << "w=" << w;
+      EXPECT_TRUE(rev.is_valid_stage());
+      // (phi, psi) must reverse the arcs: x is a parent of y iff y is a
+      // child of x in the reverse.
+      for (std::uint32_t y = 0; y < conn.cells(); ++y) {
+        for (std::uint32_t parent : {rev.f(y), rev.g(y)}) {
+          EXPECT_TRUE(conn.f(parent) == y || conn.g(parent) == y);
+        }
+      }
+    }
+  }
+}
+
+TEST(IndependenceTest, ReverseIndependentRejectsNonIndependent) {
+  util::SplitMix64 rng(47);
+  Connection conn = Connection::random_valid(4, rng);
+  while (is_independent(conn)) {
+    conn = Connection::random_valid(4, rng);
+  }
+  EXPECT_THROW((void)conn.reverse_independent(), std::invalid_argument);
+}
+
+TEST(IndependenceTest, OrientRecoversScrambledIndependent) {
+  // Swap f/g on a random subset of cells; the unordered child sets still
+  // admit an independent orientation and orient_independent finds it.
+  util::SplitMix64 rng(53);
+  for (int w = 1; w <= 5; ++w) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const Connection original =
+          trial % 2 == 0 ? Connection::random_independent_case1(w, rng)
+                         : Connection::random_independent_case2(w, rng);
+      std::vector<std::uint32_t> f = original.f_table();
+      std::vector<std::uint32_t> g = original.g_table();
+      for (std::uint32_t x = 0; x < original.cells(); ++x) {
+        if (rng.chance(1, 2)) std::swap(f[x], g[x]);
+      }
+      const Connection scrambled(f, g, w);
+      const auto oriented = orient_independent(scrambled);
+      ASSERT_TRUE(oriented.has_value()) << "w=" << w;
+      EXPECT_TRUE(is_independent(*oriented));
+      // Same unordered child sets.
+      for (std::uint32_t x = 0; x < original.cells(); ++x) {
+        std::array<std::uint32_t, 2> a = oriented->children(x);
+        std::array<std::uint32_t, 2> b = scrambled.children(x);
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        EXPECT_EQ(a, b);
+      }
+    }
+  }
+}
+
+TEST(IndependenceTest, OrientRejectsHopelessConnections) {
+  util::SplitMix64 rng(59);
+  int rejected = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Connection conn = Connection::random_valid(4, rng);
+    const auto oriented = orient_independent(conn);
+    if (!oriented.has_value()) {
+      ++rejected;
+    } else {
+      EXPECT_TRUE(is_independent(*oriented));
+    }
+  }
+  // Random width-4 connections are essentially never orientable.
+  EXPECT_GE(rejected, 18);
+}
+
+}  // namespace
+}  // namespace mineq::min

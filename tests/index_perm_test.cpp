@@ -1,0 +1,127 @@
+#include "perm/index_perm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "perm/standard.hpp"
+#include "util/rng.hpp"
+
+namespace mineq::perm {
+namespace {
+
+TEST(IndexPermutationTest, IdentityInducesIdentity) {
+  const IndexPermutation ip = IndexPermutation::identity(3);
+  EXPECT_TRUE(ip.induced().is_identity());
+  for (std::uint64_t y = 0; y < 8; ++y) {
+    EXPECT_EQ(ip.apply(y), y);
+  }
+}
+
+TEST(IndexPermutationTest, ApplyMatchesDefinition) {
+  // theta = (0 1 2) as a cycle: theta(0)=1, theta(1)=2, theta(2)=0.
+  const IndexPermutation ip(Permutation::from_cycles(3, {{0, 1, 2}}));
+  // Output bit i = input bit theta(i).
+  for (std::uint64_t y = 0; y < 8; ++y) {
+    std::uint64_t expected = 0;
+    expected |= ((y >> 1) & 1) << 0;  // theta(0) = 1
+    expected |= ((y >> 2) & 1) << 1;  // theta(1) = 2
+    expected |= ((y >> 0) & 1) << 2;  // theta(2) = 0
+    EXPECT_EQ(ip.apply(y), expected);
+  }
+}
+
+TEST(IndexPermutationTest, ThetaInv) {
+  const IndexPermutation ip(Permutation::from_cycles(4, {{0, 2}, {1, 3}}));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(ip.theta_inv_of(ip.theta_of(i)), i);
+  }
+}
+
+TEST(IndexPermutationTest, InducedIsBijective) {
+  util::SplitMix64 rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    const IndexPermutation ip = IndexPermutation::random(5, rng);
+    const Permutation induced = ip.induced();  // ctor validates bijection
+    EXPECT_EQ(induced.size(), 32U);
+  }
+}
+
+TEST(IndexPermutationTest, MatrixAgreesWithApply) {
+  util::SplitMix64 rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const IndexPermutation ip = IndexPermutation::random(6, rng);
+    const gf2::Matrix m = ip.matrix();
+    EXPECT_TRUE(m.is_invertible());
+    for (std::uint64_t y = 0; y < 64; ++y) {
+      EXPECT_EQ(m.apply(y), ip.apply(y));
+    }
+  }
+}
+
+TEST(IndexPermutationTest, AfterComposesInduced) {
+  util::SplitMix64 rng(19);
+  for (int trial = 0; trial < 10; ++trial) {
+    const IndexPermutation a = IndexPermutation::random(4, rng);
+    const IndexPermutation b = IndexPermutation::random(4, rng);
+    const IndexPermutation ab = a.after(b);
+    for (std::uint64_t y = 0; y < 16; ++y) {
+      EXPECT_EQ(ab.apply(y), a.apply(b.apply(y)));
+    }
+  }
+}
+
+TEST(IndexPermutationTest, InverseInvertsInduced) {
+  util::SplitMix64 rng(23);
+  const IndexPermutation ip = IndexPermutation::random(5, rng);
+  const IndexPermutation inv = ip.inverse();
+  for (std::uint64_t y = 0; y < 32; ++y) {
+    EXPECT_EQ(inv.apply(ip.apply(y)), y);
+  }
+}
+
+TEST(IndexPermutationTest, RecognizeRoundTrip) {
+  util::SplitMix64 rng(29);
+  for (int n = 1; n <= 6; ++n) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const IndexPermutation original = IndexPermutation::random(n, rng);
+      const auto recognized = IndexPermutation::recognize(original.induced());
+      ASSERT_TRUE(recognized.has_value()) << "n=" << n;
+      EXPECT_EQ(*recognized, original);
+    }
+  }
+}
+
+TEST(IndexPermutationTest, RecognizeRejectsTranslations) {
+  // y -> y ^ 1 fixes no unit structure: not a PIPID for n >= 2.
+  EXPECT_FALSE(IndexPermutation::recognize(exchange(3)).has_value());
+  EXPECT_FALSE(
+      IndexPermutation::recognize(xor_translation(4, 0b1010)).has_value());
+}
+
+TEST(IndexPermutationTest, RecognizeRejectsNonLinear) {
+  // Swap 5 and 6 only: fixes 0 and all units for n=3 but is not linear.
+  std::vector<std::uint32_t> image = {0, 1, 2, 3, 4, 6, 5, 7};
+  EXPECT_FALSE(IndexPermutation::recognize(Permutation(image)).has_value());
+}
+
+TEST(IndexPermutationTest, RecognizeRejectsNonPowerOfTwo) {
+  EXPECT_FALSE(IndexPermutation::recognize(Permutation(6)).has_value());
+}
+
+TEST(IndexPermutationTest, RecognizeAcceptsAllWidth2Pipids) {
+  // n=2: only two PIPIDs exist (identity and bit swap); both recognized,
+  // and the remaining 22 permutations of S_4 rejected.
+  int recognized = 0;
+  std::vector<std::uint32_t> image = {0, 1, 2, 3};
+  do {
+    if (IndexPermutation::recognize(Permutation(image)).has_value()) {
+      ++recognized;
+    }
+  } while (std::next_permutation(image.begin(), image.end()));
+  EXPECT_EQ(recognized, 2);
+}
+
+}  // namespace
+}  // namespace mineq::perm

@@ -1,0 +1,113 @@
+#include "graph/isomorphism.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.hpp"
+
+namespace mineq::graph {
+namespace {
+
+LayeredDigraph two_by_two_block() {
+  // One K_{2,2}: both layer-0 nodes point at both layer-1 nodes.
+  LayeredDigraph g;
+  g.adj = {{{0, 1}, {0, 1}}, {{}, {}}};
+  return g;
+}
+
+LayeredDigraph parallel_pair() {
+  // Each layer-0 node double-links its own layer-1 node.
+  LayeredDigraph g;
+  g.adj = {{{0, 0}, {1, 1}}, {{}, {}}};
+  return g;
+}
+
+TEST(IsomorphismTest, IdenticalGraphsMatch) {
+  const LayeredDigraph g = two_by_two_block();
+  const auto mapping = find_layered_isomorphism(g, g);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_TRUE(verify_layered_isomorphism(g, g, *mapping));
+}
+
+TEST(IsomorphismTest, MultiplicityDistinguishes) {
+  // K_{2,2} vs parallel double links: same degrees, different multigraphs.
+  EXPECT_FALSE(
+      find_layered_isomorphism(two_by_two_block(), parallel_pair())
+          .has_value());
+}
+
+TEST(IsomorphismTest, RelabeledCopiesMatch) {
+  LayeredDigraph a;
+  a.adj = {{{0, 1}, {2, 3}, {0, 2}, {1, 3}},
+           {{0}, {0}, {1}, {1}},
+           {{}, {}}};
+  // Permute layer-1 nodes: 0<->3, 1<->2; rebuild consistently.
+  LayeredDigraph b;
+  b.adj = {{{3, 2}, {1, 0}, {3, 1}, {2, 0}},
+           {{1}, {1}, {0}, {0}},
+           {{}, {}}};
+  SearchStats stats;
+  const auto mapping = find_layered_isomorphism(a, b, &stats);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_TRUE(verify_layered_isomorphism(a, b, *mapping));
+  EXPECT_GT(stats.nodes_expanded, 0U);
+}
+
+TEST(IsomorphismTest, ShapeMismatchFastReject) {
+  LayeredDigraph a = two_by_two_block();
+  LayeredDigraph b;
+  b.adj = {{{0}, {0}}, {{}}};
+  EXPECT_FALSE(find_layered_isomorphism(a, b).has_value());
+}
+
+TEST(IsomorphismTest, VerifyRejectsWrongMapping) {
+  LayeredDigraph a;
+  a.adj = {{{0}, {1}}, {{}, {}}};
+  LayeredDigraph b;
+  b.adj = {{{1}, {0}}, {{}, {}}};
+  // Correct: layer0 identity + layer1 swap, or layer0 swap + layer1 id.
+  EXPECT_TRUE(verify_layered_isomorphism(a, b, {{0, 1}, {1, 0}}));
+  EXPECT_FALSE(verify_layered_isomorphism(a, b, {{0, 1}, {0, 1}}));
+  // Non-bijective per layer:
+  EXPECT_FALSE(verify_layered_isomorphism(a, b, {{0, 0}, {1, 0}}));
+  // Wrong arity:
+  EXPECT_FALSE(verify_layered_isomorphism(a, b, {{0, 1}}));
+}
+
+TEST(IsomorphismTest, BudgetExhaustionReported) {
+  LayeredDigraph a;
+  a.adj = {{{0, 1}, {0, 1}, {2, 3}, {2, 3}}, {{}, {}, {}, {}}};
+  SearchStats stats;
+  const auto mapping = find_layered_isomorphism(a, a, &stats, /*budget=*/1);
+  EXPECT_FALSE(mapping.has_value());
+  EXPECT_TRUE(stats.budget_exhausted);
+}
+
+TEST(IsomorphismTest, AutomorphismCountsSmall) {
+  // Single K_{2,2}: swap sources independently of sinks: 2 * 2 = 4.
+  EXPECT_EQ(count_layered_automorphisms(two_by_two_block()), 4U);
+  // Two parallel double-links: can swap the two chains: 2. Each chain is
+  // rigid (single arc pair).
+  EXPECT_EQ(count_layered_automorphisms(parallel_pair()), 2U);
+}
+
+TEST(IsomorphismTest, AutomorphismCapRespected) {
+  EXPECT_EQ(count_layered_automorphisms(two_by_two_block(), 3), 3U);
+}
+
+TEST(IsomorphismTest, WlRefineSeparatesObviousNonIso) {
+  LayeredDigraph a;
+  a.adj = {{{0}, {1}}, {{}, {}}};  // matching
+  LayeredDigraph b;
+  b.adj = {{{0}, {0}}, {{}, {}}};  // both into node 0
+  const WLColoring wl = wl_refine(a, b);
+  EXPECT_FALSE(wl.histograms_match);
+}
+
+TEST(IsomorphismTest, WlRefineMatchesIsomorphicPair) {
+  const WLColoring wl = wl_refine(two_by_two_block(), two_by_two_block());
+  EXPECT_TRUE(wl.histograms_match);
+  EXPECT_EQ(wl.colors_a.size(), 2U);
+}
+
+}  // namespace
+}  // namespace mineq::graph

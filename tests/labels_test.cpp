@@ -1,0 +1,58 @@
+#include "min/labels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mineq::min {
+namespace {
+
+TEST(LabelsTest, CountsMatchPaperParameters) {
+  // n stages, N = 2^n terminals, N/2 cells per stage, (n-1)-bit labels.
+  EXPECT_EQ(cell_width(4), 3);
+  EXPECT_EQ(cells_per_stage(4), 8U);
+  EXPECT_EQ(terminal_count(4), 16U);
+  EXPECT_EQ(cell_width(1), 0);
+  EXPECT_EQ(cells_per_stage(1), 1U);
+  EXPECT_THROW((void)cell_width(0), std::invalid_argument);
+  EXPECT_THROW((void)cells_per_stage(27), std::invalid_argument);
+}
+
+TEST(LabelsTest, LinkLabelComposition) {
+  EXPECT_EQ(link_label(0b101, 0), 0b1010U);
+  EXPECT_EQ(link_label(0b101, 1), 0b1011U);
+  EXPECT_THROW((void)link_label(0, 2), std::invalid_argument);
+  for (std::uint32_t cell = 0; cell < 8; ++cell) {
+    for (unsigned port = 0; port < 2; ++port) {
+      const std::uint32_t link = link_label(cell, port);
+      EXPECT_EQ(link_cell(link), cell);
+      EXPECT_EQ(link_port(link), port);
+    }
+  }
+}
+
+TEST(LabelsTest, CellVec) {
+  const gf2::BitVec v = cell_vec(5, 4);
+  EXPECT_EQ(v.width(), 3);
+  EXPECT_EQ(v.bits(), 5U);
+}
+
+TEST(LabelsTest, StageLabelStringsMatchFigure2) {
+  // Figure 2 labels a 4-stage network's cells (0,0,0) .. (1,1,1).
+  const auto labels = stage_label_strings(4);
+  ASSERT_EQ(labels.size(), 8U);
+  EXPECT_EQ(labels.front(), "(0,0,0)");
+  EXPECT_EQ(labels[1], "(0,0,1)");
+  EXPECT_EQ(labels.back(), "(1,1,1)");
+}
+
+TEST(LabelsTest, LinkLabelStringsMatchFigure4) {
+  // Figure 4 labels links with n-bit tuples (0,0,0,0) .. (1,1,1,1).
+  const auto labels = link_label_strings(4);
+  ASSERT_EQ(labels.size(), 16U);
+  EXPECT_EQ(labels.front(), "(0,0,0,0)");
+  EXPECT_EQ(labels.back(), "(1,1,1,1)");
+}
+
+}  // namespace
+}  // namespace mineq::min

@@ -1,0 +1,181 @@
+#include "gf2/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mineq::gf2 {
+namespace {
+
+TEST(MatrixTest, IdentityBasics) {
+  const Matrix id = Matrix::identity(4);
+  EXPECT_TRUE(id.is_identity());
+  EXPECT_TRUE(id.is_invertible());
+  EXPECT_EQ(id.rank(), 4);
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    EXPECT_EQ(id.apply(x), x);
+  }
+}
+
+TEST(MatrixTest, EntryAccess) {
+  Matrix m(2, 3);
+  m.set(0, 2, 1);
+  m.set(1, 0, 1);
+  EXPECT_EQ(m.at(0, 2), 1U);
+  EXPECT_EQ(m.at(0, 0), 0U);
+  EXPECT_EQ(m.row(0), 0b100U);
+  EXPECT_EQ(m.row(1), 0b001U);
+  EXPECT_THROW((void)m.at(2, 0), std::invalid_argument);
+  EXPECT_THROW((void)m.set(0, 3, 1), std::invalid_argument);
+}
+
+TEST(MatrixTest, FromRowsValidation) {
+  EXPECT_NO_THROW(Matrix::from_rows({0b11, 0b01}, 2));
+  EXPECT_THROW((void)Matrix::from_rows({0b100}, 2), std::invalid_argument);
+}
+
+TEST(MatrixTest, FromColsTransposeConsistency) {
+  // Columns (1,0), (1,1): matrix rows should be (1,1), (0,1).
+  const Matrix m = Matrix::from_cols({0b01, 0b11}, 2);
+  EXPECT_EQ(m.at(0, 0), 1U);
+  EXPECT_EQ(m.at(0, 1), 1U);
+  EXPECT_EQ(m.at(1, 0), 0U);
+  EXPECT_EQ(m.at(1, 1), 1U);
+  EXPECT_EQ(m.transposed().transposed(), m);
+}
+
+TEST(MatrixTest, BitSelector) {
+  // out bit 0 <- in bit 2, out bit 1 <- in bit 0, out bit 2 <- in bit 1.
+  const Matrix m = Matrix::bit_selector({2, 0, 1}, 3);
+  EXPECT_EQ(m.apply(0b100), 0b001U);
+  EXPECT_EQ(m.apply(0b001), 0b010U);
+  EXPECT_EQ(m.apply(0b010), 0b100U);
+  EXPECT_TRUE(m.is_invertible());
+  EXPECT_THROW((void)Matrix::bit_selector({3}, 3), std::invalid_argument);
+}
+
+TEST(MatrixTest, MultiplyAssociatesWithApply) {
+  util::SplitMix64 rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Matrix a = Matrix::random(5, 5, rng);
+    const Matrix b = Matrix::random(5, 5, rng);
+    const Matrix ab = a * b;
+    for (std::uint64_t x = 0; x < 32; ++x) {
+      EXPECT_EQ(ab.apply(x), a.apply(b.apply(x)));
+    }
+  }
+}
+
+TEST(MatrixTest, AdditionIsXor) {
+  util::SplitMix64 rng(23);
+  const Matrix a = Matrix::random(4, 4, rng);
+  const Matrix b = Matrix::random(4, 4, rng);
+  const Matrix sum = a + b;
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    EXPECT_EQ(sum.apply(x), a.apply(x) ^ b.apply(x));
+  }
+  EXPECT_EQ(a + a, Matrix(4, 4));  // char 2
+}
+
+TEST(MatrixTest, RankExamples) {
+  EXPECT_EQ(Matrix(3, 3).rank(), 0);
+  EXPECT_EQ(Matrix::from_rows({0b11, 0b11}, 2).rank(), 1);
+  EXPECT_EQ(Matrix::from_rows({0b01, 0b10, 0b11}, 2).rank(), 2);
+}
+
+TEST(MatrixTest, InverseRoundTrip) {
+  util::SplitMix64 rng(31);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Matrix m = Matrix::random_invertible(6, rng);
+    const auto inv = m.inverse();
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_TRUE((m * *inv).is_identity());
+    EXPECT_TRUE((*inv * m).is_identity());
+  }
+}
+
+TEST(MatrixTest, SingularHasNoInverse) {
+  EXPECT_FALSE(Matrix(3, 3).inverse().has_value());
+  EXPECT_FALSE(Matrix::from_rows({0b11, 0b11}, 2).inverse().has_value());
+  EXPECT_FALSE(Matrix(2, 3).inverse().has_value());
+}
+
+TEST(MatrixTest, SolveConsistentSystems) {
+  util::SplitMix64 rng(37);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Matrix m = Matrix::random(5, 5, rng);
+    const std::uint64_t x = rng.below(32);
+    const std::uint64_t b = m.apply(x);
+    const auto solved = m.solve(b);
+    ASSERT_TRUE(solved.has_value());
+    EXPECT_EQ(m.apply(*solved), b);
+  }
+}
+
+TEST(MatrixTest, SolveDetectsInconsistency) {
+  // Row space = span{(1,1)}: b = (1,0) is unreachable.
+  const Matrix m = Matrix::from_rows({0b11, 0b11}, 2);
+  EXPECT_FALSE(m.solve(0b01).has_value());
+  EXPECT_TRUE(m.solve(0b11).has_value());
+}
+
+TEST(MatrixTest, KernelBasisSpansKernel) {
+  util::SplitMix64 rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Matrix m = Matrix::random(4, 6, rng);
+    const auto kernel = m.kernel_basis();
+    EXPECT_EQ(static_cast<int>(kernel.size()), 6 - m.rank());
+    for (std::uint64_t v : kernel) {
+      EXPECT_EQ(m.apply(v), 0U);
+      EXPECT_NE(v, 0U);
+    }
+    // Kernel vectors are independent: pairwise xor is nonzero and also in
+    // the kernel.
+    for (std::size_t i = 0; i < kernel.size(); ++i) {
+      for (std::size_t j = i + 1; j < kernel.size(); ++j) {
+        EXPECT_NE(kernel[i], kernel[j]);
+        EXPECT_EQ(m.apply(kernel[i] ^ kernel[j]), 0U);
+      }
+    }
+  }
+}
+
+TEST(MatrixTest, ImageBasisSpansImage) {
+  util::SplitMix64 rng(43);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Matrix m = Matrix::random(5, 4, rng);
+    const auto image = m.image_basis();
+    EXPECT_EQ(static_cast<int>(image.size()), m.rank());
+    // Every image vector reachable: solve must succeed for random
+    // combinations of the basis.
+    std::uint64_t combo = 0;
+    for (std::uint64_t b : image) {
+      if (rng.chance(1, 2)) combo ^= b;
+    }
+    EXPECT_TRUE(m.solve(combo).has_value());
+  }
+}
+
+TEST(MatrixTest, RandomInvertibleIsInvertible) {
+  util::SplitMix64 rng(47);
+  for (int n = 1; n <= 8; ++n) {
+    const Matrix m = Matrix::random_invertible(n, rng);
+    EXPECT_TRUE(m.is_invertible()) << "n=" << n;
+  }
+}
+
+TEST(MatrixTest, ApplyBitVecChecksWidth) {
+  const Matrix m = Matrix::identity(3);
+  EXPECT_EQ(m.apply(BitVec(0b101, 3)).bits(), 0b101U);
+  EXPECT_THROW((void)m.apply(BitVec(0b01, 2)), std::invalid_argument);
+}
+
+TEST(MatrixTest, StrRendersRows) {
+  const Matrix m = Matrix::from_rows({0b01, 0b10}, 2);
+  EXPECT_EQ(m.str(), "01\n10\n");
+}
+
+}  // namespace
+}  // namespace mineq::gf2

@@ -1,0 +1,168 @@
+#include "min/mi_digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "graph/isomorphism.hpp"
+#include "min/baseline.hpp"
+#include "min/networks.hpp"
+#include "perm/permutation.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace mineq::min {
+namespace {
+
+TEST(MIDigraphTest, ConstructionValidation) {
+  EXPECT_NO_THROW(MIDigraph(1, {}));
+  EXPECT_THROW((void)MIDigraph(0, {}), std::invalid_argument);
+  EXPECT_THROW((void)MIDigraph(2, {}), std::invalid_argument);
+  // Width mismatch: stage count 3 needs width-2 connections.
+  util::SplitMix64 rng(1);
+  std::vector<Connection> wrong = {Connection::random_valid(1, rng),
+                                   Connection::random_valid(1, rng)};
+  EXPECT_THROW((void)MIDigraph(3, std::move(wrong)), std::invalid_argument);
+}
+
+TEST(MIDigraphTest, BasicCounts) {
+  const MIDigraph g = baseline_network(5);
+  EXPECT_EQ(g.stages(), 5);
+  EXPECT_EQ(g.width(), 4);
+  EXPECT_EQ(g.cells_per_stage(), 16U);
+  EXPECT_EQ(g.num_nodes(), 80U);
+  EXPECT_EQ(g.num_arcs(), 4U * 16U * 2U);
+  EXPECT_THROW((void)g.connection(4), std::invalid_argument);
+  EXPECT_THROW((void)g.connection(-1), std::invalid_argument);
+}
+
+TEST(MIDigraphTest, ChildrenMatchConnections) {
+  const MIDigraph g = baseline_network(4);
+  for (int s = 0; s + 1 < 4; ++s) {
+    for (std::uint32_t x = 0; x < 8; ++x) {
+      const auto kids = g.children(s, x);
+      EXPECT_EQ(kids[0], g.connection(s).f(x));
+      EXPECT_EQ(kids[1], g.connection(s).g(x));
+    }
+  }
+}
+
+TEST(MIDigraphTest, SingleStageGraph) {
+  const MIDigraph g(1, {});
+  EXPECT_EQ(g.cells_per_stage(), 1U);
+  EXPECT_EQ(g.num_arcs(), 0U);
+  EXPECT_TRUE(g.is_valid());
+  const auto layered = g.to_layered();
+  EXPECT_EQ(layered.layers(), 1U);
+}
+
+TEST(MIDigraphTest, ReverseSwapsStages) {
+  const MIDigraph g = build_network(NetworkKind::kOmega, 4);
+  const MIDigraph rev = g.reverse();
+  EXPECT_EQ(rev.stages(), 4);
+  // Arc x->y in connection s corresponds to arc y->x in reversed
+  // connection (stages-2-s).
+  for (int s = 0; s + 1 < 4; ++s) {
+    const Connection& fwd = g.connection(s);
+    const Connection& bwd = rev.connection(4 - 2 - s);
+    for (std::uint32_t x = 0; x < 8; ++x) {
+      for (std::uint32_t child : fwd.children(x)) {
+        const auto parents = bwd.children(child);
+        EXPECT_TRUE(parents[0] == x || parents[1] == x)
+            << "s=" << s << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(MIDigraphTest, ReverseRequiresValidDegrees) {
+  std::vector<Connection> bad = {
+      Connection({0, 0}, {0, 1}, 1)};  // in-degree 3 at cell 0
+  const MIDigraph g(2, std::move(bad));
+  EXPECT_FALSE(g.is_valid());
+  EXPECT_THROW((void)g.reverse(), std::invalid_argument);
+}
+
+TEST(MIDigraphTest, RelabelledIsIsomorphic) {
+  util::SplitMix64 rng(7);
+  const MIDigraph g = build_network(NetworkKind::kFlip, 4);
+  const MIDigraph h = test::scrambled_copy(g, rng);
+  EXPECT_FALSE(g == h);  // almost surely different labels
+  const auto mapping =
+      graph::find_layered_isomorphism(g.to_layered(), h.to_layered());
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_TRUE(graph::verify_layered_isomorphism(g.to_layered(),
+                                                h.to_layered(), *mapping));
+}
+
+TEST(MIDigraphTest, RelabelledWithIdentityIsSame) {
+  const MIDigraph g = baseline_network(4);
+  std::vector<perm::Permutation> identity(4, perm::Permutation(8));
+  EXPECT_EQ(g.relabelled(identity), g);
+}
+
+TEST(MIDigraphTest, RelabelledValidation) {
+  const MIDigraph g = baseline_network(3);
+  EXPECT_THROW((void)g.relabelled({}), std::invalid_argument);
+  std::vector<perm::Permutation> wrong_size(3, perm::Permutation(2));
+  EXPECT_THROW((void)g.relabelled(wrong_size), std::invalid_argument);
+}
+
+TEST(MIDigraphTest, RelabelComposition) {
+  // Relabelling twice composes: relabel(p).relabel(q) == relabel(q∘p).
+  util::SplitMix64 rng(11);
+  const MIDigraph g = baseline_network(3);
+  std::vector<perm::Permutation> p;
+  std::vector<perm::Permutation> q;
+  std::vector<perm::Permutation> qp;
+  for (int s = 0; s < 3; ++s) {
+    p.push_back(perm::Permutation::random(4, rng));
+    q.push_back(perm::Permutation::random(4, rng));
+    qp.push_back(q.back().compose(p.back()));
+  }
+  EXPECT_EQ(g.relabelled(p).relabelled(q), g.relabelled(qp));
+}
+
+TEST(MIDigraphTest, LayeredRangeShape) {
+  const MIDigraph g = baseline_network(5);
+  const auto range = g.layered_range(1, 3);
+  EXPECT_EQ(range.layers(), 3U);
+  EXPECT_EQ(range.layer_size(0), 16U);
+  EXPECT_EQ(range.num_arcs(), 2U * 16U * 2U);
+  EXPECT_NO_THROW(range.validate());
+  EXPECT_THROW((void)g.layered_range(3, 1), std::invalid_argument);
+  EXPECT_THROW((void)g.layered_range(0, 5), std::invalid_argument);
+}
+
+TEST(MIDigraphTest, ToLayeredRoundTripArcs) {
+  const MIDigraph g = build_network(NetworkKind::kIndirectBinaryCube, 4);
+  const auto layered = g.to_layered();
+  EXPECT_EQ(layered.num_arcs(), g.num_arcs());
+  for (int s = 0; s + 1 < 4; ++s) {
+    for (std::uint32_t x = 0; x < 8; ++x) {
+      const auto& kids = layered.adj[static_cast<std::size_t>(s)][x];
+      ASSERT_EQ(kids.size(), 2U);
+      EXPECT_EQ(kids[0], g.connection(s).f(x));
+      EXPECT_EQ(kids[1], g.connection(s).g(x));
+    }
+  }
+}
+
+TEST(MIDigraphTest, StrMentionsShape) {
+  const MIDigraph g = baseline_network(3);
+  const std::string s = g.str();
+  EXPECT_NE(s.find("3-stage"), std::string::npos);
+  EXPECT_NE(s.find("4 cells/stage"), std::string::npos);
+  EXPECT_NE(s.find("connection 0"), std::string::npos);
+}
+
+TEST(MIDigraphTest, EqualityIsStructural) {
+  EXPECT_EQ(baseline_network(4), baseline_network(4));
+  EXPECT_FALSE(baseline_network(4) ==
+               build_network(NetworkKind::kOmega, 4));
+}
+
+}  // namespace
+}  // namespace mineq::min

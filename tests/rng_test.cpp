@@ -1,0 +1,78 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace mineq::util {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  SplitMix64 rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BelowCoversRange) {
+  SplitMix64 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) {
+    seen.insert(rng.below(7));
+  }
+  EXPECT_EQ(seen.size(), 7U);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  SplitMix64 rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0, 10));
+    EXPECT_TRUE(rng.chance(10, 10));
+  }
+}
+
+TEST(RngTest, SplitIndependentAndDeterministic) {
+  const SplitMix64 root(5);
+  SplitMix64 s0 = root.split(0);
+  SplitMix64 s0_again = root.split(0);
+  SplitMix64 s1 = root.split(1);
+  std::vector<std::uint64_t> a, b, c;
+  for (int i = 0; i < 32; ++i) {
+    a.push_back(s0.next());
+    b.push_back(s0_again.next());
+    c.push_back(s1.next());
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(RngTest, UsableWithStdShuffleInterface) {
+  EXPECT_EQ(SplitMix64::min(), 0U);
+  EXPECT_EQ(SplitMix64::max(), ~std::uint64_t{0});
+  SplitMix64 rng(3);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace mineq::util

@@ -1,0 +1,133 @@
+#include "perm/standard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+
+namespace mineq::perm {
+namespace {
+
+TEST(StandardPermsTest, PerfectShuffleIsLeftRotation) {
+  const IndexPermutation sigma = perfect_shuffle(4);
+  for (std::uint64_t y = 0; y < 16; ++y) {
+    EXPECT_EQ(sigma.apply(y), util::rotl1(y, 4));
+  }
+}
+
+TEST(StandardPermsTest, InverseShuffleIsRightRotation) {
+  const IndexPermutation inv = inverse_shuffle(4);
+  for (std::uint64_t y = 0; y < 16; ++y) {
+    EXPECT_EQ(inv.apply(y), util::rotr1(y, 4));
+  }
+}
+
+TEST(StandardPermsTest, ShuffleTimesInverseIsIdentity) {
+  for (int n = 1; n <= 8; ++n) {
+    EXPECT_EQ(perfect_shuffle(n).after(inverse_shuffle(n)),
+              IndexPermutation::identity(n));
+  }
+}
+
+TEST(StandardPermsTest, ShuffleOrderIsN) {
+  // sigma^n = identity and no smaller power is.
+  for (int n = 2; n <= 8; ++n) {
+    IndexPermutation power = IndexPermutation::identity(n);
+    for (int i = 0; i < n; ++i) {
+      power = perfect_shuffle(n).after(power);
+      if (i + 1 < n) {
+        EXPECT_NE(power, IndexPermutation::identity(n)) << "n=" << n;
+      }
+    }
+    EXPECT_EQ(power, IndexPermutation::identity(n));
+  }
+}
+
+TEST(StandardPermsTest, SubshuffleFixesHighBits) {
+  const IndexPermutation s3 = subshuffle(5, 3);
+  for (std::uint64_t y = 0; y < 32; ++y) {
+    const std::uint64_t image = s3.apply(y);
+    EXPECT_EQ(image >> 3, y >> 3);                       // high bits fixed
+    EXPECT_EQ(image & 0b111, util::rotl1(y & 0b111, 3));  // low rotated
+  }
+}
+
+TEST(StandardPermsTest, SubshuffleFullWidthIsShuffle) {
+  for (int n = 1; n <= 6; ++n) {
+    EXPECT_EQ(subshuffle(n, n), perfect_shuffle(n));
+    EXPECT_EQ(inverse_subshuffle(n, n), inverse_shuffle(n));
+  }
+}
+
+TEST(StandardPermsTest, Subshuffle1IsIdentity) {
+  EXPECT_EQ(subshuffle(4, 1), IndexPermutation::identity(4));
+}
+
+TEST(StandardPermsTest, SubshuffleValidation) {
+  EXPECT_THROW((void)subshuffle(4, 0), std::invalid_argument);
+  EXPECT_THROW((void)subshuffle(4, 5), std::invalid_argument);
+}
+
+TEST(StandardPermsTest, ButterflySwapsBits) {
+  const IndexPermutation b2 = butterfly(4, 2);
+  for (std::uint64_t y = 0; y < 16; ++y) {
+    std::uint64_t expected = y;
+    const unsigned bit0 = util::get_bit(y, 0);
+    const unsigned bit2 = util::get_bit(y, 2);
+    expected = util::set_bit(expected, 0, bit2);
+    expected = util::set_bit(expected, 2, bit0);
+    EXPECT_EQ(b2.apply(y), expected);
+  }
+  EXPECT_EQ(butterfly(4, 0), IndexPermutation::identity(4));
+  EXPECT_THROW((void)butterfly(4, 4), std::invalid_argument);
+}
+
+TEST(StandardPermsTest, ButterflyIsInvolution) {
+  for (int k = 1; k < 5; ++k) {
+    EXPECT_EQ(butterfly(5, k).after(butterfly(5, k)),
+              IndexPermutation::identity(5));
+  }
+}
+
+TEST(StandardPermsTest, BitReversal) {
+  const IndexPermutation rho = bit_reversal(4);
+  for (std::uint64_t y = 0; y < 16; ++y) {
+    EXPECT_EQ(rho.apply(y), util::reverse_bits(y, 4));
+  }
+  EXPECT_EQ(rho.after(rho), IndexPermutation::identity(4));
+}
+
+TEST(StandardPermsTest, ExchangeIsXor1) {
+  const Permutation ex = exchange(3);
+  for (std::uint32_t y = 0; y < 8; ++y) {
+    EXPECT_EQ(ex(y), y ^ 1U);
+  }
+}
+
+TEST(StandardPermsTest, XorTranslationValidation) {
+  EXPECT_THROW((void)xor_translation(3, 0b1000), std::invalid_argument);
+  const Permutation t = xor_translation(3, 0b101);
+  for (std::uint32_t y = 0; y < 8; ++y) {
+    EXPECT_EQ(t(y), y ^ 0b101U);
+  }
+}
+
+TEST(StandardPermsTest, DescribeNamesTheZoo) {
+  EXPECT_EQ(describe(perfect_shuffle(5)), "sigma");
+  EXPECT_EQ(describe(inverse_shuffle(5)), "sigma^-1");
+  EXPECT_EQ(describe(bit_reversal(5)), "rho");
+  EXPECT_EQ(describe(subshuffle(5, 3)), "sigma_3");
+  EXPECT_EQ(describe(inverse_subshuffle(5, 4)), "sigma_4^-1");
+  EXPECT_EQ(describe(butterfly(5, 2)), "beta_2");
+  EXPECT_EQ(describe(IndexPermutation::identity(5)), "identity");
+}
+
+TEST(StandardPermsTest, WidthValidation) {
+  EXPECT_THROW((void)perfect_shuffle(0), std::invalid_argument);
+  EXPECT_THROW((void)bit_reversal(-1), std::invalid_argument);
+  EXPECT_THROW((void)exchange(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mineq::perm

@@ -1,0 +1,95 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mineq::sim {
+namespace {
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8U);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1U);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1U);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h(1.0, 4);
+  for (double x : {0.5, 1.5, 1.9, 3.0, 10.0}) h.add(x);
+  EXPECT_EQ(h.total(), 5U);
+  EXPECT_EQ(h.buckets()[0], 1U);
+  EXPECT_EQ(h.buckets()[1], 2U);
+  EXPECT_EQ(h.buckets()[2], 0U);
+  EXPECT_EQ(h.buckets()[3], 1U);
+  EXPECT_EQ(h.overflow(), 1U);
+}
+
+TEST(HistogramTest, Quantile) {
+  Histogram h(1.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  EXPECT_THROW((void)h.quantile(1.5), std::invalid_argument);
+}
+
+TEST(HistogramTest, Validation) {
+  EXPECT_THROW((void)Histogram(0.0, 4), std::invalid_argument);
+  EXPECT_THROW((void)Histogram(1.0, 0), std::invalid_argument);
+  Histogram h(1.0, 2);
+  EXPECT_THROW((void)h.add(-1.0), std::invalid_argument);
+}
+
+TEST(HistogramTest, StrSkipsEmptyBuckets) {
+  Histogram h(2.0, 3);
+  h.add(1.0);
+  h.add(100.0);
+  const std::string s = h.str();
+  EXPECT_NE(s.find("[0,2) 1"), std::string::npos);
+  EXPECT_NE(s.find("overflow 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mineq::sim

@@ -1,0 +1,145 @@
+#include "gf2/subspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mineq::gf2 {
+namespace {
+
+TEST(SubspaceTest, ZeroSubspace) {
+  Subspace s(4);
+  EXPECT_EQ(s.dim(), 0);
+  EXPECT_EQ(s.size(), 1U);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_FALSE(s.contains(1));
+}
+
+TEST(SubspaceTest, InsertGrowsDimension) {
+  Subspace s(4);
+  EXPECT_TRUE(s.insert(0b0001));
+  EXPECT_TRUE(s.insert(0b0010));
+  EXPECT_FALSE(s.insert(0b0011));  // dependent
+  EXPECT_FALSE(s.insert(0));
+  EXPECT_EQ(s.dim(), 2);
+  EXPECT_TRUE(s.contains(0b0011));
+  EXPECT_FALSE(s.contains(0b0100));
+}
+
+TEST(SubspaceTest, InsertRejectsWideVectors) {
+  Subspace s(3);
+  EXPECT_THROW((void)s.insert(0b1000), std::invalid_argument);
+}
+
+TEST(SubspaceTest, SpanAndFull) {
+  const Subspace s = Subspace::span({0b110, 0b011}, 3);
+  EXPECT_EQ(s.dim(), 2);
+  EXPECT_TRUE(s.contains(0b101));  // 110 ^ 011
+  const Subspace full = Subspace::full(3);
+  EXPECT_EQ(full.dim(), 3);
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_TRUE(full.contains(v));
+  }
+}
+
+TEST(SubspaceTest, ReduceIsCanonical) {
+  const Subspace s = Subspace::span({0b110, 0b011}, 3);
+  // Vectors in the same coset reduce to the same representative.
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    for (std::uint64_t w = 0; w < 8; ++w) {
+      if (s.contains(v ^ w)) {
+        EXPECT_EQ(s.reduce(v), s.reduce(w));
+      } else {
+        EXPECT_NE(s.reduce(v), s.reduce(w));
+      }
+    }
+  }
+}
+
+TEST(SubspaceTest, ElementsEnumeration) {
+  const Subspace s = Subspace::span({0b01, 0b10}, 2);
+  const auto elements = s.elements();
+  EXPECT_EQ(elements.size(), 4U);
+  EXPECT_TRUE(std::is_sorted(elements.begin(), elements.end()));
+  for (std::uint64_t v : elements) {
+    EXPECT_TRUE(s.contains(v));
+  }
+}
+
+TEST(SubspaceTest, ComplementBasisCompletes) {
+  util::SplitMix64 rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    Subspace s(6);
+    for (int i = 0; i < 3; ++i) s.insert(rng.below(64));
+    const auto complement = s.complement_basis();
+    EXPECT_EQ(static_cast<int>(complement.size()), 6 - s.dim());
+    Subspace grown = s;
+    for (std::uint64_t v : complement) {
+      EXPECT_TRUE(grown.insert(v));
+    }
+    EXPECT_EQ(grown.dim(), 6);
+  }
+}
+
+TEST(SubspaceTest, EqualityIsCanonical) {
+  // Same subspace from different generating sets.
+  const Subspace a = Subspace::span({0b110, 0b011}, 3);
+  const Subspace b = Subspace::span({0b101, 0b011}, 3);
+  EXPECT_EQ(a, b);
+  const Subspace c = Subspace::span({0b100}, 3);
+  EXPECT_NE(a, c);
+}
+
+TEST(CosetTest, RepresentativeCanonicalized) {
+  const Subspace s = Subspace::span({0b011}, 3);
+  const Coset c1(0b100, s);
+  const Coset c2(0b111, s);  // 100 ^ 011: same coset
+  EXPECT_EQ(c1, c2);
+  EXPECT_TRUE(c1.contains(0b100));
+  EXPECT_TRUE(c1.contains(0b111));
+  EXPECT_FALSE(c1.contains(0b000));
+}
+
+TEST(CosetTest, ElementsAreTranslatedSubspace) {
+  const Subspace s = Subspace::span({0b011}, 3);
+  const Coset c(0b100, s);
+  const auto elements = c.elements();
+  EXPECT_EQ(elements.size(), 2U);
+  for (std::uint64_t v : elements) {
+    EXPECT_TRUE(c.contains(v));
+  }
+}
+
+TEST(TranslatedSetTest, DetectsTranslation) {
+  const std::vector<std::uint64_t> a = {0b000, 0b011, 0b101, 0b110};
+  std::vector<std::uint64_t> b;
+  for (std::uint64_t v : a) b.push_back(v ^ 0b010);
+  std::uint64_t t = 0;
+  EXPECT_TRUE(is_translated_set(a, b, &t));
+  // Verify the reported translation actually works.
+  for (std::uint64_t v : a) {
+    EXPECT_NE(std::find(b.begin(), b.end(), v ^ t), b.end());
+  }
+}
+
+TEST(TranslatedSetTest, RejectsNonTranslates) {
+  const std::vector<std::uint64_t> a = {0, 1, 2, 3};
+  const std::vector<std::uint64_t> b = {0, 1, 2, 4};
+  EXPECT_FALSE(is_translated_set(a, b));
+  const std::vector<std::uint64_t> c = {0, 1};
+  EXPECT_FALSE(is_translated_set(a, c));
+}
+
+TEST(TranslatedSetTest, EmptyAndSelf) {
+  EXPECT_TRUE(is_translated_set({}, {}));
+  const std::vector<std::uint64_t> a = {5, 9};
+  std::uint64_t t = 1;
+  EXPECT_TRUE(is_translated_set(a, a, &t));
+  EXPECT_TRUE(t == 0 || t == (5 ^ 9));
+}
+
+}  // namespace
+}  // namespace mineq::gf2

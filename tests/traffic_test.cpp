@@ -1,0 +1,92 @@
+#include "sim/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+
+namespace mineq::sim {
+namespace {
+
+TEST(TrafficTest, PatternNames) {
+  EXPECT_EQ(pattern_name(Pattern::kUniform), "uniform");
+  EXPECT_EQ(pattern_name(Pattern::kBitReversal), "bitrev");
+  EXPECT_EQ(pattern_name(Pattern::kShuffle), "shuffle");
+  EXPECT_EQ(pattern_name(Pattern::kTranspose), "transpose");
+  EXPECT_EQ(pattern_name(Pattern::kComplement), "complement");
+  EXPECT_EQ(pattern_name(Pattern::kHotSpot), "hotspot");
+}
+
+TEST(TrafficTest, DeterministicPatternsAsPermutations) {
+  const auto bitrev = pattern_permutation(Pattern::kBitReversal, 4);
+  EXPECT_EQ(bitrev(0b0001), 0b1000U);
+  const auto shuffle = pattern_permutation(Pattern::kShuffle, 4);
+  EXPECT_EQ(shuffle(0b1000), 0b0001U);
+  const auto complement = pattern_permutation(Pattern::kComplement, 4);
+  EXPECT_EQ(complement(0b1010), 0b0101U);
+  const auto transpose = pattern_permutation(Pattern::kTranspose, 4);
+  EXPECT_EQ(transpose(0b1101), 0b0111U);
+}
+
+TEST(TrafficTest, TransposeSwapsHalves) {
+  const auto t = pattern_permutation(Pattern::kTranspose, 6);
+  for (std::uint32_t s = 0; s < 64; ++s) {
+    const std::uint32_t low = s & 0b111;
+    const std::uint32_t high = s >> 3;
+    EXPECT_EQ(t(s), (low << 3) | high);
+  }
+  EXPECT_THROW((void)pattern_permutation(Pattern::kTranspose, 5),
+               std::invalid_argument);
+}
+
+TEST(TrafficTest, RandomPatternsRejectedAsPermutations) {
+  EXPECT_THROW((void)pattern_permutation(Pattern::kUniform, 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)pattern_permutation(Pattern::kHotSpot, 4),
+               std::invalid_argument);
+}
+
+TEST(TrafficTest, SourceDeterministicPatternsIgnoreRng) {
+  TrafficSource a(Pattern::kBitReversal, 4, util::SplitMix64(1));
+  TrafficSource b(Pattern::kBitReversal, 4, util::SplitMix64(999));
+  for (std::uint32_t s = 0; s < 16; ++s) {
+    EXPECT_EQ(a.destination(s), b.destination(s));
+    EXPECT_EQ(a.destination(s),
+              static_cast<std::uint32_t>(util::reverse_bits(s, 4)));
+  }
+}
+
+TEST(TrafficTest, UniformCoversSpace) {
+  TrafficSource src(Pattern::kUniform, 3, util::SplitMix64(5));
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 400; ++i) {
+    const std::uint32_t d = src.destination(0);
+    EXPECT_LT(d, 8U);
+    seen.insert(d);
+  }
+  EXPECT_EQ(seen.size(), 8U);
+}
+
+TEST(TrafficTest, HotSpotBiasesTowardZero) {
+  TrafficSource src(Pattern::kHotSpot, 4, util::SplitMix64(7));
+  int zeros = 0;
+  const int draws = 4000;
+  for (int i = 0; i < draws; ++i) {
+    if (src.destination(3) == 0) ++zeros;
+  }
+  // Expected fraction ~ 0.25 + 0.75/16 ~ 0.297; uniform would be 1/16.
+  EXPECT_GT(zeros, draws / 5);
+  EXPECT_LT(zeros, draws / 2);
+}
+
+TEST(TrafficTest, ConstructionValidation) {
+  EXPECT_THROW((void)TrafficSource(Pattern::kUniform, 0, util::SplitMix64(1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)TrafficSource(Pattern::kTranspose, 3, util::SplitMix64(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mineq::sim

@@ -1,0 +1,102 @@
+#include "graph/traversal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mineq::graph {
+namespace {
+
+Digraph diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+  Digraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  g.add_arc(1, 3);
+  g.add_arc(2, 3);
+  return g;
+}
+
+TEST(TraversalTest, BfsDistancesDirected) {
+  const Digraph g = diamond();
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[0], 0U);
+  EXPECT_EQ(dist[1], 1U);
+  EXPECT_EQ(dist[2], 1U);
+  EXPECT_EQ(dist[3], 2U);
+  // From node 1 the direction matters.
+  const auto from1 = bfs_distances(g, 1);
+  EXPECT_EQ(from1[0], kUnreachable);
+  EXPECT_EQ(from1[3], 1U);
+}
+
+TEST(TraversalTest, BfsDistancesUndirected) {
+  const Digraph g = diamond();
+  const auto dist = bfs_distances_undirected(g, 3);
+  EXPECT_EQ(dist[3], 0U);
+  EXPECT_EQ(dist[1], 1U);
+  EXPECT_EQ(dist[2], 1U);
+  EXPECT_EQ(dist[0], 2U);
+}
+
+TEST(TraversalTest, DistanceProfile) {
+  const Digraph g = diamond();
+  const auto profile = distance_profile(g, 0);
+  ASSERT_EQ(profile.size(), 3U);
+  EXPECT_EQ(profile[0], 1U);
+  EXPECT_EQ(profile[1], 2U);
+  EXPECT_EQ(profile[2], 1U);
+}
+
+TEST(TraversalTest, ReachableSet) {
+  Digraph g(5);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(3, 4);
+  const auto reach = reachable_set(g, 0);
+  EXPECT_EQ(reach, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(TraversalTest, CountPathsDiamond) {
+  const Digraph g = diamond();
+  const auto counts = count_paths_saturating(g, 0, 100);
+  EXPECT_EQ(counts[0], 1U);
+  EXPECT_EQ(counts[1], 1U);
+  EXPECT_EQ(counts[2], 1U);
+  EXPECT_EQ(counts[3], 2U);  // two paths through the diamond
+}
+
+TEST(TraversalTest, CountPathsSaturates) {
+  // Chain of diamonds: path count doubles each diamond; cap at 4.
+  Digraph g(7);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  g.add_arc(1, 3);
+  g.add_arc(2, 3);
+  g.add_arc(3, 4);
+  g.add_arc(3, 5);
+  g.add_arc(4, 6);
+  g.add_arc(5, 6);
+  const auto counts = count_paths_saturating(g, 0, 3);
+  EXPECT_EQ(counts[6], 3U);  // true count 4, saturated at 3
+}
+
+TEST(TraversalTest, CountPathsParallelArcs) {
+  Digraph g(2);
+  g.add_arc(0, 1);
+  g.add_arc(0, 1);
+  const auto counts = count_paths_saturating(g, 0, 10);
+  EXPECT_EQ(counts[1], 2U);  // parallel arcs are distinct paths
+}
+
+TEST(TraversalTest, CountPathsRejectsCycles) {
+  Digraph g(2);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  EXPECT_THROW((void)count_paths_saturating(g, 0, 10), std::invalid_argument);
+  EXPECT_THROW((void)count_paths_saturating(diamond(), 0, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mineq::graph
