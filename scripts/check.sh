@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full mineq test suite in one command —
+# the tier-1 verify from ROADMAP.md.
+#
+# Usage: scripts/check.sh [build-dir] [extra cmake args...]
+# Env:   MINEQ_TEST_SEED  base seed for randomized suites (default: fixed)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+# First argument is the build dir only if it isn't a cmake flag;
+# everything else passes through to the configure step.
+build_dir="build"
+if [[ $# -gt 0 && $1 != -* ]]; then
+  build_dir="$1"
+  shift
+fi
+case "${build_dir}" in
+  /*) ;;
+  *) build_dir="${repo_root}/${build_dir}" ;;
+esac
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "${build_dir}" -S "${repo_root}" "$@"
+cmake --build "${build_dir}" -j "${jobs}"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"

@@ -85,7 +85,10 @@ std::string default_label(std::size_t layer, std::size_t v,
   if (layer < options.labels.size() && v < options.labels[layer].size()) {
     return options.labels[layer][v];
   }
-  return "[" + std::to_string(v) + "]";
+  std::string label = "[";
+  label += std::to_string(v);
+  label += ']';
+  return label;
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "min/baseline.hpp"
 #include "min/equivalence.hpp"
 #include "min/networks.hpp"
+#include "test_seed.hpp"
 #include "test_support.hpp"
 #include "util/rng.hpp"
 
@@ -16,7 +17,7 @@ namespace mineq::min {
 namespace {
 
 TEST(AffineIsoTest, IdentityOnSameNetwork) {
-  util::SplitMix64 rng(1);
+  MINEQ_SEEDED_RNG(rng, 1);
   for (int n = 1; n <= 6; ++n) {
     const MIDigraph g = baseline_network(n);
     const auto iso = synthesize_affine_isomorphism(g, g, rng);
@@ -28,7 +29,7 @@ TEST(AffineIsoTest, IdentityOnSameNetwork) {
 TEST(AffineIsoTest, AllClassicalPairsSynthesize) {
   // The constructive counterpart of the paper's corollary: explicit
   // stage-wise affine isomorphisms between all pairs of the six networks.
-  util::SplitMix64 rng(3);
+  MINEQ_SEEDED_RNG(rng, 3);
   for (int n = 2; n <= 6; ++n) {
     for (NetworkKind a : all_network_kinds()) {
       for (NetworkKind b : all_network_kinds()) {
@@ -51,7 +52,7 @@ TEST(AffineIsoTest, RandomIndependentBanyanPairsMatchedCases) {
   // affine family needs the two networks to agree on each stage's case
   // (an f/g-orientation artifact, not a topological restriction), so the
   // pairs are generated with matching case patterns.
-  util::SplitMix64 rng(5);
+  MINEQ_SEEDED_RNG(rng, 5);
   for (int n = 2; n <= 6; ++n) {
     for (int trial = 0; trial < 5; ++trial) {
       std::vector<bool> pattern;
@@ -72,7 +73,7 @@ TEST(AffineIsoTest, MixedCasePairsHandled) {
   // boundaries (case 1 against case 2). Either way, an explicit verified
   // isomorphism must come out of the pipeline (Theorem 3 guarantees one
   // exists).
-  util::SplitMix64 rng(23);
+  MINEQ_SEEDED_RNG(rng, 23);
   const int n = 3;
   for (int trial = 0; trial < 5; ++trial) {
     const MIDigraph g = test::random_banyan_independent_cases(
@@ -91,7 +92,7 @@ TEST(AffineIsoTest, MixedCasePairsHandled) {
 }
 
 TEST(AffineIsoTest, RejectsNonIndependentNetworks) {
-  util::SplitMix64 rng(7);
+  MINEQ_SEEDED_RNG(rng, 7);
   const MIDigraph g = test::scrambled_copy(baseline_network(4), rng);
   const MIDigraph h = baseline_network(4);
   // Scrambled stages are generically not independent: the affine family
@@ -106,7 +107,7 @@ TEST(AffineIsoTest, Case1BanyanAgainstBaseline) {
   // all case 2. The h-extended affine family can cross that shape
   // boundary; whether or not it does on a given instance, the pipeline
   // must deliver a verified explicit isomorphism.
-  util::SplitMix64 rng(9);
+  MINEQ_SEEDED_RNG(rng, 9);
   const int n = 3;
   const MIDigraph g = test::random_banyan_independent_cases(
       n, std::vector<bool>{false, false}, rng);
@@ -123,7 +124,7 @@ TEST(AffineIsoTest, Case1BanyanAgainstBaseline) {
 }
 
 TEST(AffineIsoTest, VerifyRejectsWrongMaps) {
-  util::SplitMix64 rng(11);
+  MINEQ_SEEDED_RNG(rng, 11);
   const MIDigraph g = baseline_network(3);
   auto iso = synthesize_affine_isomorphism(g, g, rng);
   ASSERT_TRUE(iso.has_value());
@@ -141,7 +142,7 @@ TEST(AffineIsoTest, VerifyRejectsWrongMaps) {
 TEST(AffineIsoTest, FindExplicitFallsBackToSearch) {
   // Scrambled baseline vs baseline: affine synthesis fails, the general
   // search still produces a verified mapping.
-  util::SplitMix64 rng(13);
+  MINEQ_SEEDED_RNG(rng, 13);
   const MIDigraph g = test::scrambled_copy(baseline_network(4), rng);
   const MIDigraph h = baseline_network(4);
   const auto mapping = find_explicit_isomorphism(g, h, rng);
@@ -151,7 +152,7 @@ TEST(AffineIsoTest, FindExplicitFallsBackToSearch) {
 }
 
 TEST(AffineIsoTest, SingleStageNetworks) {
-  util::SplitMix64 rng(17);
+  MINEQ_SEEDED_RNG(rng, 17);
   const MIDigraph g(1, {});
   const auto iso = synthesize_affine_isomorphism(g, g, rng);
   ASSERT_TRUE(iso.has_value());
@@ -159,7 +160,7 @@ TEST(AffineIsoTest, SingleStageNetworks) {
 }
 
 TEST(AffineIsoTest, MappingTablesAreBijective) {
-  util::SplitMix64 rng(19);
+  MINEQ_SEEDED_RNG(rng, 19);
   const MIDigraph a = build_network(NetworkKind::kOmega, 5);
   const MIDigraph b = build_network(NetworkKind::kIndirectBinaryCube, 5);
   const auto iso = synthesize_affine_isomorphism(a, b, rng);

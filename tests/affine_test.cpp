@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace mineq::gf2 {
@@ -26,7 +27,7 @@ TEST(AffineMapTest, ConstantWidthValidation) {
 }
 
 TEST(AffineMapTest, CompositionMatchesPointwise) {
-  util::SplitMix64 rng(3);
+  MINEQ_SEEDED_RNG(rng, 3);
   for (int trial = 0; trial < 20; ++trial) {
     const AffineMap a = AffineMap::random_bijection(4, rng);
     const AffineMap b = AffineMap::random_bijection(4, rng);
@@ -38,7 +39,7 @@ TEST(AffineMapTest, CompositionMatchesPointwise) {
 }
 
 TEST(AffineMapTest, InverseRoundTrip) {
-  util::SplitMix64 rng(5);
+  MINEQ_SEEDED_RNG(rng, 5);
   for (int trial = 0; trial < 20; ++trial) {
     const AffineMap a = AffineMap::random_bijection(5, rng);
     const auto inv = a.inverse();
@@ -57,7 +58,7 @@ TEST(AffineMapTest, NonBijectiveHasNoInverse) {
 }
 
 TEST(AffineMapTest, ToTableMatchesApply) {
-  util::SplitMix64 rng(7);
+  MINEQ_SEEDED_RNG(rng, 7);
   const AffineMap a = AffineMap::random_bijection(6, rng);
   const auto table = a.to_table();
   ASSERT_EQ(table.size(), 64U);
@@ -67,7 +68,7 @@ TEST(AffineMapTest, ToTableMatchesApply) {
 }
 
 TEST(FitAffineTest, RecoversRandomAffineMaps) {
-  util::SplitMix64 rng(11);
+  MINEQ_SEEDED_RNG(rng, 11);
   for (int w = 0; w <= 7; ++w) {
     for (int trial = 0; trial < 10; ++trial) {
       const Matrix m = Matrix::random(w, w, rng);

@@ -6,6 +6,7 @@
 #include "min/networks.hpp"
 #include "min/pipid.hpp"
 #include "perm/standard.hpp"
+#include "test_seed.hpp"
 #include "test_support.hpp"
 #include "util/rng.hpp"
 
@@ -57,7 +58,7 @@ TEST(BanyanTest, DisconnectedPairsDetected) {
 }
 
 TEST(BanyanTest, DoublingAgreesWithCountingOnRandomNetworks) {
-  util::SplitMix64 rng(61);
+  MINEQ_SEEDED_RNG(rng, 61);
   for (int n = 2; n <= 6; ++n) {
     for (int trial = 0; trial < 20; ++trial) {
       const MIDigraph g = random_independent_network(n, rng);
@@ -78,7 +79,7 @@ TEST(BanyanTest, DoublingAgreesOnClassicalNetworks) {
 }
 
 TEST(BanyanTest, ParallelCheckMatchesSequential) {
-  util::SplitMix64 rng(67);
+  MINEQ_SEEDED_RNG(rng, 67);
   for (int trial = 0; trial < 5; ++trial) {
     const MIDigraph g = test::random_banyan_pipid(7, rng);
     EXPECT_TRUE(is_banyan(g, /*threads=*/2));

@@ -9,6 +9,7 @@
 #include "min/banyan.hpp"
 #include "min/independence.hpp"
 #include "min/networks.hpp"
+#include "test_seed.hpp"
 #include "test_support.hpp"
 #include "util/rng.hpp"
 
@@ -81,7 +82,7 @@ TEST(BaselineTest, LeftRecursiveVerifierAcceptsBaseline) {
 
 TEST(BaselineTest, LeftRecursiveVerifierAcceptsScrambledBaseline) {
   // The property is isomorphism-invariant.
-  util::SplitMix64 rng(89);
+  MINEQ_SEEDED_RNG(rng, 89);
   const MIDigraph g = test::scrambled_copy(baseline_network(5), rng);
   EXPECT_TRUE(is_left_recursive_baseline(g));
 }
@@ -108,7 +109,7 @@ TEST(BaselineTest, BaselinePipidSequenceReproducesClosedForm) {
 }
 
 TEST(BaselineTest, ScrambledBaselineIsIsomorphic) {
-  util::SplitMix64 rng(97);
+  MINEQ_SEEDED_RNG(rng, 97);
   const MIDigraph g = baseline_network(4);
   const MIDigraph h = test::scrambled_copy(g, rng);
   const auto mapping =

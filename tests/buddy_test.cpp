@@ -6,6 +6,7 @@
 #include "min/independence.hpp"
 #include "min/networks.hpp"
 #include "min/properties.hpp"
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace mineq::min {
@@ -35,7 +36,7 @@ TEST(BuddyTest, AllClassicalNetworksAreBuddy) {
 TEST(BuddyTest, IndependentConnectionsAreBuddy) {
   // Both case-1 and case-2 independent stages decompose into K_{2,2}
   // blocks (x pairs with x ^ L^{-1}(c^d) or x ^ alpha_1 respectively).
-  util::SplitMix64 rng(151);
+  MINEQ_SEEDED_RNG(rng, 151);
   for (int w = 1; w <= 6; ++w) {
     EXPECT_TRUE(
         has_buddy_property(Connection::random_independent_case1(w, rng)));
@@ -47,7 +48,7 @@ TEST(BuddyTest, IndependentConnectionsAreBuddy) {
 TEST(BuddyTest, BuddyImpliesP_i_iplus1) {
   // Buddy (K_{2,2} decomposition) forces exactly cells/2 components on
   // the two-stage subgraph.
-  util::SplitMix64 rng(157);
+  MINEQ_SEEDED_RNG(rng, 157);
   for (int trial = 0; trial < 60; ++trial) {
     const MIDigraph g = MIDigraph(
         3, {Connection::random_valid(2, rng),
@@ -66,14 +67,14 @@ TEST(BuddyTest, P_i_iplus1DoesNotImplyBuddy) {
   // 3 has 2 = cells/2 components but no buddy structure anywhere.
   const Connection sixcycle({0, 1, 2, 3}, {1, 2, 0, 3}, 2);
   ASSERT_TRUE(sixcycle.is_valid_stage());
-  util::SplitMix64 rng(1);
+  MINEQ_SEEDED_RNG(rng, 1);
   const MIDigraph g(3, {sixcycle, Connection::random_valid(2, rng)});
   EXPECT_TRUE(satisfies_p(g, 0, 1));
   EXPECT_FALSE(has_buddy_property(sixcycle));
 }
 
 TEST(BuddyTest, RandomConnectionsUsuallyNotBuddy) {
-  util::SplitMix64 rng(163);
+  MINEQ_SEEDED_RNG(rng, 163);
   int buddy = 0;
   for (int trial = 0; trial < 20; ++trial) {
     if (has_buddy_property(Connection::random_valid(5, rng))) ++buddy;

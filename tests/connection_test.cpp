@@ -7,6 +7,7 @@
 
 #include "min/independence.hpp"
 #include "perm/standard.hpp"
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace mineq::min {
@@ -120,7 +121,7 @@ TEST(ConnectionTest, SwappedExchangesRoles) {
 }
 
 TEST(ConnectionTest, RandomValidIsValid) {
-  util::SplitMix64 rng(5);
+  MINEQ_SEEDED_RNG(rng, 5);
   for (int w = 0; w <= 6; ++w) {
     const Connection c = Connection::random_valid(w, rng);
     EXPECT_TRUE(c.is_valid_stage()) << "w=" << w;
@@ -128,7 +129,7 @@ TEST(ConnectionTest, RandomValidIsValid) {
 }
 
 TEST(ConnectionTest, RandomIndependentCase1Structure) {
-  util::SplitMix64 rng(7);
+  MINEQ_SEEDED_RNG(rng, 7);
   for (int w = 1; w <= 6; ++w) {
     const Connection c = Connection::random_independent_case1(w, rng);
     EXPECT_TRUE(c.is_valid_stage());
@@ -139,7 +140,7 @@ TEST(ConnectionTest, RandomIndependentCase1Structure) {
 }
 
 TEST(ConnectionTest, RandomIndependentCase2Structure) {
-  util::SplitMix64 rng(9);
+  MINEQ_SEEDED_RNG(rng, 9);
   for (int w = 1; w <= 6; ++w) {
     const Connection c = Connection::random_independent_case2(w, rng);
     EXPECT_TRUE(c.is_valid_stage());
@@ -151,7 +152,7 @@ TEST(ConnectionTest, RandomIndependentCase2Structure) {
 }
 
 TEST(ConnectionTest, ReverseGenericInvertsArcs) {
-  util::SplitMix64 rng(11);
+  MINEQ_SEEDED_RNG(rng, 11);
   const Connection c = Connection::random_valid(4, rng);
   const Connection rev = c.reverse_generic();
   EXPECT_TRUE(rev.is_valid_stage());

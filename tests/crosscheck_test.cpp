@@ -9,6 +9,7 @@
 #include "min/baseline.hpp"
 #include "min/equivalence.hpp"
 #include "min/networks.hpp"
+#include "test_seed.hpp"
 #include "test_support.hpp"
 #include "util/rng.hpp"
 
@@ -19,7 +20,7 @@ class CrosscheckTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(CrosscheckTest, DecisionAgreesWithOracleOnRandomNetworks) {
   const int n = GetParam();
-  util::SplitMix64 rng(5000 + static_cast<std::uint64_t>(n));
+  MINEQ_SEEDED_RNG(rng, 5000 + static_cast<std::uint64_t>(n));
   const MIDigraph base = baseline_network(n);
   int positives = 0;
   int negatives = 0;
@@ -47,7 +48,7 @@ TEST_P(CrosscheckTest, DecisionAgreesWithOracleOnRandomNetworks) {
 INSTANTIATE_TEST_SUITE_P(Stages, CrosscheckTest, ::testing::Values(2, 3, 4));
 
 TEST(CrosscheckScrambledTest, ScrambledClassicsAgreeWithOracle) {
-  util::SplitMix64 rng(5100);
+  MINEQ_SEEDED_RNG(rng, 5100);
   const int n = 4;
   const MIDigraph base = baseline_network(n);
   for (NetworkKind kind : all_network_kinds()) {
@@ -63,7 +64,7 @@ TEST(CrosscheckNegativeTest, PerturbedBaselineDetectedByBoth) {
   // Swap two arcs of one stage so degrees stay valid but the topology
   // breaks: both deciders must reject (or both accept if the perturbation
   // happens to preserve equivalence — the deciders just have to agree).
-  util::SplitMix64 rng(5200);
+  MINEQ_SEEDED_RNG(rng, 5200);
   const int n = 4;
   const MIDigraph base = baseline_network(n);
   for (int trial = 0; trial < 10; ++trial) {

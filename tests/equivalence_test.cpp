@@ -6,6 +6,7 @@
 #include "min/networks.hpp"
 #include "min/pipid.hpp"
 #include "perm/standard.hpp"
+#include "test_seed.hpp"
 #include "test_support.hpp"
 #include "util/rng.hpp"
 
@@ -62,7 +63,7 @@ TEST(EquivalenceTest, NonBanyanReported) {
 TEST(EquivalenceTest, ScrambledBaselineStillEquivalent) {
   // Per-stage relabelling destroys the linear structure but not the
   // topology; the characterization sees through it.
-  util::SplitMix64 rng(127);
+  MINEQ_SEEDED_RNG(rng, 127);
   for (int trial = 0; trial < 5; ++trial) {
     const MIDigraph g = test::scrambled_copy(baseline_network(5), rng);
     EXPECT_TRUE(is_baseline_equivalent(g));
@@ -70,7 +71,7 @@ TEST(EquivalenceTest, ScrambledBaselineStillEquivalent) {
 }
 
 TEST(EquivalenceTest, IndependenceFastPathAgrees) {
-  util::SplitMix64 rng(131);
+  MINEQ_SEEDED_RNG(rng, 131);
   // Sound on independent-connection networks:
   for (int trial = 0; trial < 10; ++trial) {
     const MIDigraph g = random_independent_network(5, rng);
@@ -103,7 +104,7 @@ TEST(EquivalenceTest, EquivalentVsNonEquivalentMixed) {
 TEST(EquivalenceTest, NonEquivalentPairFallsBackToSearch) {
   // Two scrambled copies of the same non-Banyan network: neither is
   // baseline-equivalent, but they are isomorphic to each other.
-  util::SplitMix64 rng(137);
+  MINEQ_SEEDED_RNG(rng, 137);
   std::vector<perm::IndexPermutation> seq(
       2, perm::IndexPermutation::identity(3));
   const MIDigraph g = network_from_pipids(seq);
@@ -126,7 +127,7 @@ TEST(EquivalenceTest, ReversalPreservesEquivalence) {
   // Baseline-equivalence is closed under digraph reversal (the reverse of
   // Baseline is Reverse Baseline, which is in the class) — a network-level
   // echo of Proposition 1.
-  util::SplitMix64 rng(141);
+  MINEQ_SEEDED_RNG(rng, 141);
   for (NetworkKind kind : all_network_kinds()) {
     const MIDigraph g = build_network(kind, 5);
     EXPECT_TRUE(is_baseline_equivalent(g.reverse())) << network_name(kind);
@@ -144,7 +145,7 @@ TEST(EquivalenceTest, ReversalPreservesEquivalence) {
 
 TEST(EquivalenceTest, RandomPipidBanyanNetworksAreEquivalent) {
   // Theorem 3 via Section 4, on random instances.
-  util::SplitMix64 rng(139);
+  MINEQ_SEEDED_RNG(rng, 139);
   for (int n = 2; n <= 6; ++n) {
     for (int trial = 0; trial < 5; ++trial) {
       const MIDigraph g = test::random_banyan_pipid(n, rng);

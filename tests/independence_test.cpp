@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "perm/standard.hpp"
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace mineq::min {
@@ -49,7 +50,7 @@ TEST(IndependenceTest, FastEqualsDefinitionExhaustivelyWidth2) {
 }
 
 TEST(IndependenceTest, FastEqualsDefinitionRandomWidth3To5) {
-  util::SplitMix64 rng(21);
+  MINEQ_SEEDED_RNG(rng, 21);
   for (int w = 3; w <= 5; ++w) {
     for (int trial = 0; trial < 50; ++trial) {
       // Mix of random junk and genuine independent connections.
@@ -66,7 +67,7 @@ TEST(IndependenceTest, FastEqualsDefinitionRandomWidth3To5) {
 }
 
 TEST(IndependenceTest, LinearFormRecoversConstruction) {
-  util::SplitMix64 rng(23);
+  MINEQ_SEEDED_RNG(rng, 23);
   for (int w = 1; w <= 6; ++w) {
     const gf2::Matrix l = gf2::Matrix::random(w, w, rng);
     const std::uint64_t mask = (std::uint64_t{1} << w) - 1;
@@ -83,7 +84,7 @@ TEST(IndependenceTest, LinearFormRecoversConstruction) {
 }
 
 TEST(IndependenceTest, LinearFormRejectsDifferentLinearParts) {
-  util::SplitMix64 rng(29);
+  MINEQ_SEEDED_RNG(rng, 29);
   const gf2::Matrix l1 = gf2::Matrix::random_invertible(3, rng);
   gf2::Matrix l2 = l1;
   l2.set(0, 0, l2.at(0, 0) ^ 1U);
@@ -95,7 +96,7 @@ TEST(IndependenceTest, LinearFormRejectsDifferentLinearParts) {
 
 TEST(IndependenceTest, BetaMapIsTheLinearImage) {
   // Paper: f(x ^ alpha) = beta ^ f(x) with beta = L(alpha).
-  util::SplitMix64 rng(31);
+  MINEQ_SEEDED_RNG(rng, 31);
   const Connection conn = Connection::random_independent_case2(4, rng);
   const auto beta = beta_map(conn);
   ASSERT_TRUE(beta.has_value());
@@ -111,7 +112,7 @@ TEST(IndependenceTest, BetaMapIsTheLinearImage) {
 }
 
 TEST(IndependenceTest, ClassifyStageCases) {
-  util::SplitMix64 rng(37);
+  MINEQ_SEEDED_RNG(rng, 37);
   EXPECT_EQ(classify_stage(Connection::random_independent_case1(4, rng)),
             StageCase::kCase1);
   EXPECT_EQ(classify_stage(Connection::random_independent_case2(4, rng)),
@@ -127,7 +128,7 @@ TEST(IndependenceTest, ClassifyStageCases) {
 
 TEST(IndependenceTest, ReverseIndependentIsIndependentCase1) {
   // Proposition 1, first case: f and g bijections.
-  util::SplitMix64 rng(41);
+  MINEQ_SEEDED_RNG(rng, 41);
   for (int w = 1; w <= 6; ++w) {
     const Connection conn = Connection::random_independent_case1(w, rng);
     const Connection rev = conn.reverse_independent();
@@ -143,7 +144,7 @@ TEST(IndependenceTest, ReverseIndependentIsIndependentCase1) {
 
 TEST(IndependenceTest, ReverseIndependentIsIndependentCase2) {
   // Proposition 1, second case: the A/B translated-set construction.
-  util::SplitMix64 rng(43);
+  MINEQ_SEEDED_RNG(rng, 43);
   for (int w = 1; w <= 6; ++w) {
     for (int trial = 0; trial < 10; ++trial) {
       const Connection conn = Connection::random_independent_case2(w, rng);
@@ -162,7 +163,7 @@ TEST(IndependenceTest, ReverseIndependentIsIndependentCase2) {
 }
 
 TEST(IndependenceTest, ReverseIndependentRejectsNonIndependent) {
-  util::SplitMix64 rng(47);
+  MINEQ_SEEDED_RNG(rng, 47);
   Connection conn = Connection::random_valid(4, rng);
   while (is_independent(conn)) {
     conn = Connection::random_valid(4, rng);
@@ -173,7 +174,7 @@ TEST(IndependenceTest, ReverseIndependentRejectsNonIndependent) {
 TEST(IndependenceTest, OrientRecoversScrambledIndependent) {
   // Swap f/g on a random subset of cells; the unordered child sets still
   // admit an independent orientation and orient_independent finds it.
-  util::SplitMix64 rng(53);
+  MINEQ_SEEDED_RNG(rng, 53);
   for (int w = 1; w <= 5; ++w) {
     for (int trial = 0; trial < 10; ++trial) {
       const Connection original =
@@ -201,7 +202,7 @@ TEST(IndependenceTest, OrientRecoversScrambledIndependent) {
 }
 
 TEST(IndependenceTest, OrientRejectsHopelessConnections) {
-  util::SplitMix64 rng(59);
+  MINEQ_SEEDED_RNG(rng, 59);
   int rejected = 0;
   for (int trial = 0; trial < 20; ++trial) {
     const Connection conn = Connection::random_valid(4, rng);

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "perm/standard.hpp"
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace mineq::perm {
@@ -40,7 +41,7 @@ TEST(IndexPermutationTest, ThetaInv) {
 }
 
 TEST(IndexPermutationTest, InducedIsBijective) {
-  util::SplitMix64 rng(13);
+  MINEQ_SEEDED_RNG(rng, 13);
   for (int trial = 0; trial < 5; ++trial) {
     const IndexPermutation ip = IndexPermutation::random(5, rng);
     const Permutation induced = ip.induced();  // ctor validates bijection
@@ -49,7 +50,7 @@ TEST(IndexPermutationTest, InducedIsBijective) {
 }
 
 TEST(IndexPermutationTest, MatrixAgreesWithApply) {
-  util::SplitMix64 rng(17);
+  MINEQ_SEEDED_RNG(rng, 17);
   for (int trial = 0; trial < 10; ++trial) {
     const IndexPermutation ip = IndexPermutation::random(6, rng);
     const gf2::Matrix m = ip.matrix();
@@ -61,7 +62,7 @@ TEST(IndexPermutationTest, MatrixAgreesWithApply) {
 }
 
 TEST(IndexPermutationTest, AfterComposesInduced) {
-  util::SplitMix64 rng(19);
+  MINEQ_SEEDED_RNG(rng, 19);
   for (int trial = 0; trial < 10; ++trial) {
     const IndexPermutation a = IndexPermutation::random(4, rng);
     const IndexPermutation b = IndexPermutation::random(4, rng);
@@ -73,7 +74,7 @@ TEST(IndexPermutationTest, AfterComposesInduced) {
 }
 
 TEST(IndexPermutationTest, InverseInvertsInduced) {
-  util::SplitMix64 rng(23);
+  MINEQ_SEEDED_RNG(rng, 23);
   const IndexPermutation ip = IndexPermutation::random(5, rng);
   const IndexPermutation inv = ip.inverse();
   for (std::uint64_t y = 0; y < 32; ++y) {
@@ -82,7 +83,7 @@ TEST(IndexPermutationTest, InverseInvertsInduced) {
 }
 
 TEST(IndexPermutationTest, RecognizeRoundTrip) {
-  util::SplitMix64 rng(29);
+  MINEQ_SEEDED_RNG(rng, 29);
   for (int n = 1; n <= 6; ++n) {
     for (int trial = 0; trial < 5; ++trial) {
       const IndexPermutation original = IndexPermutation::random(n, rng);

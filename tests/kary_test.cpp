@@ -13,6 +13,7 @@
 #include "min/baseline.hpp"
 #include "min/banyan.hpp"
 #include "min/properties.hpp"
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace mineq::min {
@@ -55,7 +56,7 @@ TEST(KaryConnectionTest, ValidationAndAccess) {
 }
 
 TEST(KaryConnectionTest, RandomIndependentIsIndependent) {
-  util::SplitMix64 rng(211);
+  MINEQ_SEEDED_RNG(rng, 211);
   for (int radix : {2, 3, 4, 5}) {
     for (int digits = 1; digits <= 3; ++digits) {
       const KaryConnection conn =
@@ -69,7 +70,7 @@ TEST(KaryConnectionTest, RandomIndependentIsIndependent) {
 }
 
 TEST(KaryConnectionTest, FastIndependenceAgreesWithDefinition) {
-  util::SplitMix64 rng(223);
+  MINEQ_SEEDED_RNG(rng, 223);
   for (int radix : {2, 3, 4}) {
     for (int trial = 0; trial < 30; ++trial) {
       const KaryConnection conn =
@@ -136,7 +137,7 @@ TEST(KaryTheorem3Test, AlignedBanyanIndependentImpliesEquivalent) {
   // network assembled from *aligned* independent connections (translation
   // sets = cosets of an order-r subgroup) satisfies the generalized
   // characterization.
-  util::SplitMix64 rng(227);
+  MINEQ_SEEDED_RNG(rng, 227);
   for (int radix : {2, 3, 4, 5}) {
     for (int stages : {2, 3}) {
       int banyan_seen = 0;
@@ -163,7 +164,7 @@ TEST(KaryTheorem3Test, VerbatimGeneralizationFailsForRadix3) {
   // baseline-equivalent — the verbatim Theorem 3 generalization is false
   // for r >= 3. We exhibit at least one Banyan + independent +
   // non-equivalent instance.
-  util::SplitMix64 rng(227);
+  MINEQ_SEEDED_RNG(rng, 227);
   const int radix = 3;
   const int stages = 3;
   bool counterexample = false;
@@ -192,7 +193,7 @@ TEST(KaryTheorem3Test, VerbatimGeneralizationFailsForRadix3) {
 TEST(KaryTheorem3Test, AlignedTranslationsFormCoset) {
   // Structural sanity of the aligned generator: the translation set
   // (children of cell 0) is a coset of an order-r subgroup.
-  util::SplitMix64 rng(239);
+  MINEQ_SEEDED_RNG(rng, 239);
   for (int radix : {2, 3, 4, 5}) {
     const int digits = 2;
     const RadixLabel label(radix, digits);
@@ -218,7 +219,7 @@ TEST(KaryTheorem3Test, AlignedTranslationsFormCoset) {
 }
 
 TEST(KaryTest, RandomNetworksMostlyNotEquivalent) {
-  util::SplitMix64 rng(229);
+  MINEQ_SEEDED_RNG(rng, 229);
   int equivalent = 0;
   for (int trial = 0; trial < 20; ++trial) {
     std::vector<KaryConnection> connections;
@@ -244,7 +245,7 @@ TEST(KaryTest, ComponentCountsOnBaseline) {
 TEST(KaryTest, DigraphValidation) {
   EXPECT_THROW(
       (void)KaryMIDigraph(3, 3, {}), std::invalid_argument);
-  util::SplitMix64 rng(233);
+  MINEQ_SEEDED_RNG(rng, 233);
   std::vector<KaryConnection> wrong = {
       KaryConnection::random_valid(3, 1, rng)};
   EXPECT_THROW((void)KaryMIDigraph(3, 3, std::move(wrong)),

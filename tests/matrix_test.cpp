@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace mineq::gf2 {
@@ -57,7 +58,7 @@ TEST(MatrixTest, BitSelector) {
 }
 
 TEST(MatrixTest, MultiplyAssociatesWithApply) {
-  util::SplitMix64 rng(17);
+  MINEQ_SEEDED_RNG(rng, 17);
   for (int trial = 0; trial < 20; ++trial) {
     const Matrix a = Matrix::random(5, 5, rng);
     const Matrix b = Matrix::random(5, 5, rng);
@@ -69,7 +70,7 @@ TEST(MatrixTest, MultiplyAssociatesWithApply) {
 }
 
 TEST(MatrixTest, AdditionIsXor) {
-  util::SplitMix64 rng(23);
+  MINEQ_SEEDED_RNG(rng, 23);
   const Matrix a = Matrix::random(4, 4, rng);
   const Matrix b = Matrix::random(4, 4, rng);
   const Matrix sum = a + b;
@@ -86,7 +87,7 @@ TEST(MatrixTest, RankExamples) {
 }
 
 TEST(MatrixTest, InverseRoundTrip) {
-  util::SplitMix64 rng(31);
+  MINEQ_SEEDED_RNG(rng, 31);
   for (int trial = 0; trial < 25; ++trial) {
     const Matrix m = Matrix::random_invertible(6, rng);
     const auto inv = m.inverse();
@@ -103,7 +104,7 @@ TEST(MatrixTest, SingularHasNoInverse) {
 }
 
 TEST(MatrixTest, SolveConsistentSystems) {
-  util::SplitMix64 rng(37);
+  MINEQ_SEEDED_RNG(rng, 37);
   for (int trial = 0; trial < 25; ++trial) {
     const Matrix m = Matrix::random(5, 5, rng);
     const std::uint64_t x = rng.below(32);
@@ -122,7 +123,7 @@ TEST(MatrixTest, SolveDetectsInconsistency) {
 }
 
 TEST(MatrixTest, KernelBasisSpansKernel) {
-  util::SplitMix64 rng(41);
+  MINEQ_SEEDED_RNG(rng, 41);
   for (int trial = 0; trial < 20; ++trial) {
     const Matrix m = Matrix::random(4, 6, rng);
     const auto kernel = m.kernel_basis();
@@ -143,7 +144,7 @@ TEST(MatrixTest, KernelBasisSpansKernel) {
 }
 
 TEST(MatrixTest, ImageBasisSpansImage) {
-  util::SplitMix64 rng(43);
+  MINEQ_SEEDED_RNG(rng, 43);
   for (int trial = 0; trial < 20; ++trial) {
     const Matrix m = Matrix::random(5, 4, rng);
     const auto image = m.image_basis();
@@ -159,7 +160,7 @@ TEST(MatrixTest, ImageBasisSpansImage) {
 }
 
 TEST(MatrixTest, RandomInvertibleIsInvertible) {
-  util::SplitMix64 rng(47);
+  MINEQ_SEEDED_RNG(rng, 47);
   for (int n = 1; n <= 8; ++n) {
     const Matrix m = Matrix::random_invertible(n, rng);
     EXPECT_TRUE(m.is_invertible()) << "n=" << n;

@@ -10,6 +10,7 @@
 #include "min/baseline.hpp"
 #include "min/networks.hpp"
 #include "perm/permutation.hpp"
+#include "test_seed.hpp"
 #include "test_support.hpp"
 #include "util/rng.hpp"
 
@@ -21,7 +22,7 @@ TEST(MIDigraphTest, ConstructionValidation) {
   EXPECT_THROW((void)MIDigraph(0, {}), std::invalid_argument);
   EXPECT_THROW((void)MIDigraph(2, {}), std::invalid_argument);
   // Width mismatch: stage count 3 needs width-2 connections.
-  util::SplitMix64 rng(1);
+  MINEQ_SEEDED_RNG(rng, 1);
   std::vector<Connection> wrong = {Connection::random_valid(1, rng),
                                    Connection::random_valid(1, rng)};
   EXPECT_THROW((void)MIDigraph(3, std::move(wrong)), std::invalid_argument);
@@ -86,7 +87,7 @@ TEST(MIDigraphTest, ReverseRequiresValidDegrees) {
 }
 
 TEST(MIDigraphTest, RelabelledIsIsomorphic) {
-  util::SplitMix64 rng(7);
+  MINEQ_SEEDED_RNG(rng, 7);
   const MIDigraph g = build_network(NetworkKind::kFlip, 4);
   const MIDigraph h = test::scrambled_copy(g, rng);
   EXPECT_FALSE(g == h);  // almost surely different labels
@@ -112,7 +113,7 @@ TEST(MIDigraphTest, RelabelledValidation) {
 
 TEST(MIDigraphTest, RelabelComposition) {
   // Relabelling twice composes: relabel(p).relabel(q) == relabel(q∘p).
-  util::SplitMix64 rng(11);
+  MINEQ_SEEDED_RNG(rng, 11);
   const MIDigraph g = baseline_network(3);
   std::vector<perm::Permutation> p;
   std::vector<perm::Permutation> q;

@@ -8,6 +8,7 @@
 #include "min/independence.hpp"
 #include "min/pipid.hpp"
 #include "perm/standard.hpp"
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace mineq::min {
@@ -102,7 +103,7 @@ TEST(NetworksTest, DistinctTopologiesDiffer) {
 }
 
 TEST(NetworksTest, RandomPipidNetworkIsValidAndIndependent) {
-  util::SplitMix64 rng(107);
+  MINEQ_SEEDED_RNG(rng, 107);
   for (int trial = 0; trial < 10; ++trial) {
     const MIDigraph g = random_pipid_network(5, rng);
     EXPECT_TRUE(g.is_valid());
@@ -114,7 +115,7 @@ TEST(NetworksTest, RandomPipidNetworkIsValidAndIndependent) {
 }
 
 TEST(NetworksTest, RandomIndependentNetworkStagesAreIndependent) {
-  util::SplitMix64 rng(109);
+  MINEQ_SEEDED_RNG(rng, 109);
   for (int trial = 0; trial < 10; ++trial) {
     const MIDigraph g = random_independent_network(5, rng);
     EXPECT_TRUE(g.is_valid());
@@ -126,7 +127,7 @@ TEST(NetworksTest, RandomIndependentNetworkStagesAreIndependent) {
 
 TEST(NetworksTest, StageCountValidation) {
   EXPECT_THROW((void)build_network(NetworkKind::kOmega, 1), std::invalid_argument);
-  util::SplitMix64 rng(113);
+  MINEQ_SEEDED_RNG(rng, 113);
   EXPECT_THROW((void)random_pipid_network(1, rng), std::invalid_argument);
   EXPECT_THROW((void)random_independent_network(0, rng), std::invalid_argument);
 }

@@ -11,6 +11,7 @@
 #include "min/baseline.hpp"
 #include "min/networks.hpp"
 #include "sim/traffic.hpp"
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace mineq::sim {
@@ -71,7 +72,7 @@ TEST(PermRoutingTest, ExhaustiveGuard) {
 TEST(PermRoutingTest, FractionEstimateMatchesTheory) {
   // n=3: 4096 admissible of 40320 ~ 0.1016.
   const min::MIDigraph g = min::baseline_network(3);
-  util::SplitMix64 rng(167);
+  MINEQ_SEEDED_RNG(rng, 167);
   const double fraction = admissible_fraction_estimate(g, 4000, rng);
   EXPECT_NEAR(fraction, 4096.0 / 40320.0, 0.03);
   EXPECT_THROW((void)admissible_fraction_estimate(g, 0, rng),
@@ -106,7 +107,7 @@ TEST(PermRoutingTest, SettingsPermutationValidation) {
 
 TEST(PermRoutingTest, SettingsRoundTrip) {
   // settings -> permutation -> settings -> same permutation.
-  util::SplitMix64 rng(173);
+  MINEQ_SEEDED_RNG(rng, 173);
   const min::MIDigraph g = min::baseline_network(3);
   for (int trial = 0; trial < 20; ++trial) {
     SwitchSettings settings(3, std::vector<std::uint8_t>(4, 0));
@@ -125,7 +126,7 @@ TEST(PermRoutingTest, SettingsForInadmissibleIsNull) {
   // Find an inadmissible permutation for n=3 (most are) and check both
   // deciders agree.
   const min::MIDigraph g = min::baseline_network(3);
-  util::SplitMix64 rng(179);
+  MINEQ_SEEDED_RNG(rng, 179);
   int checked = 0;
   while (checked < 10) {
     const perm::Permutation pi = perm::Permutation::random(8, rng);
@@ -148,7 +149,7 @@ TEST(PermRoutingTest, OmegaWindowCriterionExhaustiveN3) {
 }
 
 TEST(PermRoutingTest, OmegaWindowCriterionRandomN4N5) {
-  util::SplitMix64 rng(181);
+  MINEQ_SEEDED_RNG(rng, 181);
   for (int n : {4, 5}) {
     const min::MIDigraph omega =
         min::build_network(min::NetworkKind::kOmega, n);

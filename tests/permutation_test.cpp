@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace mineq::perm {
@@ -40,7 +41,7 @@ TEST(PermutationTest, ComposeOrder) {
 }
 
 TEST(PermutationTest, InverseRoundTrip) {
-  util::SplitMix64 rng(3);
+  MINEQ_SEEDED_RNG(rng, 3);
   for (int trial = 0; trial < 10; ++trial) {
     const Permutation p = Permutation::random(20, rng);
     const Permutation inv = p.inverse();
@@ -61,7 +62,7 @@ TEST(PermutationTest, FromCyclesValidation) {
 }
 
 TEST(PermutationTest, CyclesRoundTrip) {
-  util::SplitMix64 rng(7);
+  MINEQ_SEEDED_RNG(rng, 7);
   for (int trial = 0; trial < 10; ++trial) {
     const Permutation p = Permutation::random(12, rng);
     const auto cycles = p.cycles();
@@ -77,7 +78,7 @@ TEST(PermutationTest, OrderExamples) {
 }
 
 TEST(PermutationTest, OrderIsConsistentWithIteration) {
-  util::SplitMix64 rng(9);
+  MINEQ_SEEDED_RNG(rng, 9);
   const Permutation p = Permutation::random(10, rng);
   const std::uint64_t order = p.order();
   Permutation power(10);
@@ -105,7 +106,7 @@ TEST(PermutationTest, FixedPoints) {
 TEST(PermutationTest, RandomIsUniformish) {
   // Not a statistical test: just check we see several distinct
   // permutations across draws.
-  util::SplitMix64 rng(11);
+  MINEQ_SEEDED_RNG(rng, 11);
   const Permutation first = Permutation::random(6, rng);
   int distinct = 0;
   for (int i = 0; i < 10; ++i) {

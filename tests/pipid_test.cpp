@@ -5,6 +5,7 @@
 #include "min/banyan.hpp"
 #include "min/independence.hpp"
 #include "perm/standard.hpp"
+#include "test_seed.hpp"
 #include "util/bitops.hpp"
 #include "util/rng.hpp"
 
@@ -38,7 +39,7 @@ TEST(PipidTest, StageInfoButterfly) {
 TEST(PipidTest, FormulaMatchesLinkPermutationDerivation) {
   // The paper's closed bit formula (Section 4) and the literal
   // "apply Lambda to the link labels" derivation coincide.
-  util::SplitMix64 rng(101);
+  MINEQ_SEEDED_RNG(rng, 101);
   for (int n = 1; n <= 8; ++n) {
     for (int trial = 0; trial < 10; ++trial) {
       const perm::IndexPermutation ip = perm::IndexPermutation::random(n, rng);
@@ -50,7 +51,7 @@ TEST(PipidTest, FormulaMatchesLinkPermutationDerivation) {
 
 TEST(PipidTest, NonDegeneratePipidConnectionsAreIndependent) {
   // The paper's central Section-4 claim at stage granularity.
-  util::SplitMix64 rng(103);
+  MINEQ_SEEDED_RNG(rng, 103);
   for (int n = 2; n <= 8; ++n) {
     for (int trial = 0; trial < 20; ++trial) {
       const perm::IndexPermutation ip = perm::IndexPermutation::random(n, rng);

@@ -6,6 +6,7 @@
 #include "min/networks.hpp"
 #include "min/pipid.hpp"
 #include "perm/standard.hpp"
+#include "test_seed.hpp"
 #include "test_support.hpp"
 #include "util/rng.hpp"
 
@@ -38,7 +39,7 @@ TEST(PropertiesTest, BaselineSatisfiesEverything) {
 }
 
 TEST(PropertiesTest, PrefixProfileMatchesDirectCounts) {
-  util::SplitMix64 rng(71);
+  MINEQ_SEEDED_RNG(rng, 71);
   const MIDigraph g = random_independent_network(6, rng);
   const auto profile = prefix_component_profile(g);
   ASSERT_EQ(profile.size(), 6U);
@@ -50,7 +51,7 @@ TEST(PropertiesTest, PrefixProfileMatchesDirectCounts) {
 }
 
 TEST(PropertiesTest, SuffixProfileMatchesDirectCounts) {
-  util::SplitMix64 rng(73);
+  MINEQ_SEEDED_RNG(rng, 73);
   const MIDigraph g = random_independent_network(6, rng);
   const auto profile = suffix_component_profile(g);
   ASSERT_EQ(profile.size(), 6U);
@@ -93,7 +94,7 @@ TEST(PropertiesTest, ClassicalNetworksSatisfyBothStars) {
 TEST(PropertiesTest, SuffixStructureLemma2Counts) {
   // Lemma 2: on a Banyan independent-connection network, each component
   // of (G)_{j..n-1} meets each covered stage in the same number of cells.
-  util::SplitMix64 rng(79);
+  MINEQ_SEEDED_RNG(rng, 79);
   const MIDigraph g = test::random_banyan_independent(5, rng);
   for (int from = 0; from < 5; ++from) {
     const SuffixStructure s = suffix_component_structure(g, from);
@@ -109,7 +110,7 @@ TEST(PropertiesTest, SuffixStructureLemma2Counts) {
 }
 
 TEST(PropertiesTest, SuffixStructureCountsNodesExactly) {
-  util::SplitMix64 rng(83);
+  MINEQ_SEEDED_RNG(rng, 83);
   const MIDigraph g = random_independent_network(4, rng);
   const SuffixStructure s = suffix_component_structure(g, 1);
   std::size_t total = 0;

@@ -7,6 +7,7 @@
 #include "min/networks.hpp"
 #include "min/pipid.hpp"
 #include "perm/standard.hpp"
+#include "test_seed.hpp"
 #include "test_support.hpp"
 #include "util/rng.hpp"
 
@@ -85,7 +86,7 @@ TEST(RoutingTest, ScheduleMatchesUniquePaths) {
 }
 
 TEST(RoutingTest, RandomPipidNetworksHaveSchedules) {
-  util::SplitMix64 rng(149);
+  MINEQ_SEEDED_RNG(rng, 149);
   for (int trial = 0; trial < 5; ++trial) {
     const MIDigraph g = test::random_banyan_pipid(5, rng);
     const auto schedule = find_bit_schedule(g);

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace mineq::gf2 {
@@ -70,7 +71,7 @@ TEST(SubspaceTest, ElementsEnumeration) {
 }
 
 TEST(SubspaceTest, ComplementBasisCompletes) {
-  util::SplitMix64 rng(13);
+  MINEQ_SEEDED_RNG(rng, 13);
   for (int trial = 0; trial < 20; ++trial) {
     Subspace s(6);
     for (int i = 0; i < 3; ++i) s.insert(rng.below(64));

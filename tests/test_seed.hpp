@@ -1,0 +1,55 @@
+/// \file test_seed.hpp
+/// \brief Reproducible seeding for randomized test suites.
+///
+/// Every randomized suite derives its generators from one base seed, read
+/// from the MINEQ_TEST_SEED environment variable when set (ctest forwards
+/// it, and the MINEQ_TEST_SEED cache variable pins it as a test property)
+/// and a fixed default otherwise. MINEQ_SEEDED_RNG records the base seed
+/// via SCOPED_TRACE, so any failure in its scope prints the exact
+/// MINEQ_TEST_SEED value needed to reproduce the red run.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace mineq::test {
+
+/// Base seed for randomized suites: MINEQ_TEST_SEED if it parses fully as
+/// an unsigned integer (decimal, 0x-hex, or 0-octal), else a fixed default.
+inline std::uint64_t test_seed() {
+  static const std::uint64_t seed = [] {
+    if (const char* env = std::getenv("MINEQ_TEST_SEED")) {
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(env, &end, 0);
+      if (end != env && *end == '\0') return std::uint64_t{value};
+    }
+    return std::uint64_t{0x1CC1988};
+  }();
+  return seed;
+}
+
+/// An independent generator for one call site. Distinct \p stream values
+/// give decorrelated streams; the same (base seed, stream) pair always
+/// yields the same sequence.
+inline util::SplitMix64 seeded_rng(std::uint64_t stream) {
+  return util::SplitMix64(test_seed()).split(stream);
+}
+
+/// The trace message attached to every seeded scope.
+inline std::string seed_trace() {
+  return "MINEQ_TEST_SEED=" + std::to_string(test_seed());
+}
+
+}  // namespace mineq::test
+
+/// Declare a SplitMix64 named \p name drawing from stream \p stream of the
+/// suite-wide base seed, and log that seed on any failure in this scope.
+#define MINEQ_SEEDED_RNG(name, stream)       \
+  SCOPED_TRACE(::mineq::test::seed_trace()); \
+  ::mineq::util::SplitMix64 name = ::mineq::test::seeded_rng(stream)

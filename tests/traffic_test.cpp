@@ -5,6 +5,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "test_seed.hpp"
 #include "util/bitops.hpp"
 
 namespace mineq::sim {
@@ -59,7 +60,8 @@ TEST(TrafficTest, SourceDeterministicPatternsIgnoreRng) {
 }
 
 TEST(TrafficTest, UniformCoversSpace) {
-  TrafficSource src(Pattern::kUniform, 3, util::SplitMix64(5));
+  SCOPED_TRACE(mineq::test::seed_trace());
+  TrafficSource src(Pattern::kUniform, 3, mineq::test::seeded_rng(5));
   std::set<std::uint32_t> seen;
   for (int i = 0; i < 400; ++i) {
     const std::uint32_t d = src.destination(0);
@@ -70,7 +72,8 @@ TEST(TrafficTest, UniformCoversSpace) {
 }
 
 TEST(TrafficTest, HotSpotBiasesTowardZero) {
-  TrafficSource src(Pattern::kHotSpot, 4, util::SplitMix64(7));
+  SCOPED_TRACE(mineq::test::seed_trace());
+  TrafficSource src(Pattern::kHotSpot, 4, mineq::test::seeded_rng(7));
   int zeros = 0;
   const int draws = 4000;
   for (int i = 0; i < draws; ++i) {
