@@ -1,0 +1,94 @@
+/// \file saturation_sweep.cpp
+/// \brief Reproduce the classic MIN saturation curve with the experiment
+/// sweep subsystem: throughput and latency vs offered load, wormhole
+/// against store-and-forward across lane counts.
+///
+/// Usage: saturation_sweep [stages] [csv-path]    (default 6 stages)
+///
+/// The table pivots one column per (mode, lanes) configuration; pass a
+/// csv-path to also dump the full per-point sweep for plotting.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/report.hpp"
+#include "exp/sweep.hpp"
+#include "util/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mineq;
+
+  const int stages = argc > 1 ? std::atoi(argv[1]) : 6;
+  if (stages < 2 || stages > 12) {
+    std::cerr << "stages must be in [2, 12]\n";
+    return 1;
+  }
+
+  exp::SweepGrid grid;
+  grid.networks = {min::NetworkKind::kOmega};
+  grid.patterns = {sim::Pattern::kUniform};
+  grid.modes = {sim::SwitchingMode::kStoreAndForward,
+                sim::SwitchingMode::kWormhole};
+  grid.lane_counts = {1, 2, 4};
+  for (int step = 1; step <= 20; ++step) {
+    grid.rates.push_back(0.05 * step);
+  }
+  grid.stages = stages;
+  grid.base.packet_length = 4;
+  grid.base.lane_depth = 4;
+  grid.base.warmup_cycles = 200;
+  grid.base.measure_cycles = 1500;
+  grid.base.seed = 2024;
+
+  std::cout << "Saturation sweep: Omega, " << stages << " stages, "
+            << (std::uint64_t{1} << stages) << " terminals, 4-flit packets, "
+            << grid.size() << " grid points\n\n";
+  const exp::SweepResult sweep = exp::run_sweep(grid);
+
+  // Pivot: one throughput/latency column pair per (mode, lanes) series
+  // (store-and-forward runs once; the sweep collapses its lane axis).
+  struct Series {
+    sim::SwitchingMode mode;
+    std::size_t lanes;
+    std::string label;
+  };
+  std::vector<Series> series = {
+      {sim::SwitchingMode::kStoreAndForward, 1, "saf"},
+      {sim::SwitchingMode::kWormhole, 1, "wh/1"},
+      {sim::SwitchingMode::kWormhole, 2, "wh/2"},
+      {sim::SwitchingMode::kWormhole, 4, "wh/4"},
+  };
+  std::vector<std::string> headers = {"rate"};
+  for (const Series& s : series) {
+    headers.push_back(s.label + " thr");
+    headers.push_back(s.label + " lat");
+  }
+  util::TablePrinter table(headers);
+  for (const double rate : grid.rates) {
+    std::vector<std::string> row = {util::fixed(rate, 2)};
+    for (const Series& s : series) {
+      for (const exp::SweepPoint& p : sweep.points) {
+        if (p.mode == s.mode && p.lanes == s.lanes &&
+            p.rate == rate) {
+          row.push_back(util::fixed(p.result.throughput, 3));
+          row.push_back(util::fixed(p.result.latency.mean(), 1));
+          break;
+        }
+      }
+    }
+    table.add_row(row);
+  }
+  std::cout << table.str()
+            << "\n(thr = delivered packets per terminal-cycle; lat = mean "
+               "packet latency in cycles.\n Wormhole saturates by "
+               "head-of-line blocking; extra lanes push the knee right.)\n";
+
+  if (argc > 2) {
+    const std::string path = argv[2];
+    exp::write_text_file(path, exp::sweep_csv(sweep));
+    std::cout << "\nFull sweep written to " << path << '\n';
+  }
+  return 0;
+}

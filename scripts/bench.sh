@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Run every bench_* binary and capture its google-benchmark results as
+# JSON (BENCH_<name>.json), keeping the human-readable report + console
+# table on stdout. The JSON goes through --benchmark_out so it is never
+# mixed with the report text.
+#
+# Usage: scripts/bench.sh [build-dir] [extra benchmark args...]
+#        scripts/bench.sh build --benchmark_min_time=0.01   # quick pass
+# Env:   BENCH_OUT_DIR   where the BENCH_*.json files land (default: .)
+#        BENCH_FILTER    glob over binary names (default: bench_*)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+build_dir="build"
+if [[ $# -gt 0 && $1 != -* ]]; then
+  build_dir="$1"
+  shift
+fi
+case "${build_dir}" in
+  /*) ;;
+  *) build_dir="${repo_root}/${build_dir}" ;;
+esac
+
+out_dir="${BENCH_OUT_DIR:-${repo_root}}"
+mkdir -p "${out_dir}"
+filter="${BENCH_FILTER:-bench_*}"
+
+found=0
+for bin in "${build_dir}"/${filter}; do
+  [[ -x ${bin} && -f ${bin} ]] || continue
+  found=1
+  name="$(basename "${bin}")"
+  json="${out_dir}/BENCH_${name#bench_}.json"
+  echo "=== ${name} -> ${json}"
+  "${bin}" --benchmark_out="${json}" --benchmark_out_format=json "$@"
+done
+
+if [[ ${found} -eq 0 ]]; then
+  echo "scripts/bench.sh: no ${filter} binaries in ${build_dir} — build first:" >&2
+  echo "  cmake -B ${build_dir} -S ${repo_root} && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi

@@ -1,0 +1,113 @@
+#include "exp/report.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "util/format.hpp"
+
+namespace mineq::exp {
+
+namespace {
+
+/// The per-point scalar fields shared by both emitters, as (name, value)
+/// strings with deterministic formatting.
+std::vector<std::pair<std::string, std::string>> point_fields(
+    const SweepPoint& p) {
+  const sim::SimResult& r = p.result;
+  return {
+      {"network", min::network_token(p.network)},
+      {"pattern", sim::pattern_name(p.pattern)},
+      {"mode", sim::switching_mode_name(p.mode)},
+      {"lanes", std::to_string(p.lanes)},
+      {"rate", util::fixed(p.rate, 4)},
+      {"stages", std::to_string(p.stages)},
+      {"seed", std::to_string(p.seed)},
+      {"offered", std::to_string(r.offered)},
+      {"injected", std::to_string(r.injected)},
+      {"delivered", std::to_string(r.delivered)},
+      {"throughput", util::fixed(r.throughput, 6)},
+      {"acceptance", util::fixed(r.acceptance, 6)},
+      {"latency_mean", util::fixed(r.latency.mean(), 4)},
+      {"latency_p50", util::fixed(r.latency_histogram.quantile(0.5), 1)},
+      {"latency_p99", util::fixed(r.latency_histogram.quantile(0.99), 1)},
+      {"latency_max", util::fixed(r.latency.max(), 1)},
+      {"flits_injected", std::to_string(r.flits_injected)},
+      {"flits_delivered", std::to_string(r.flits_delivered)},
+      {"link_utilization", util::fixed(r.link_utilization, 6)},
+      {"lane_occupancy", util::fixed(r.lane_occupancy.mean(), 6)},
+      {"hol_blocking_cycles", std::to_string(r.hol_blocking_cycles)},
+  };
+}
+
+bool is_number(const std::string& value) {
+  if (value.empty()) return false;
+  for (const char c : value) {
+    if ((c < '0' || c > '9') && c != '.' && c != '-') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string sweep_csv(const SweepResult& sweep) {
+  std::ostringstream out;
+  bool header_done = false;
+  for (const SweepPoint& point : sweep.points) {
+    const auto fields = point_fields(point);
+    if (!header_done) {
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) out << ',';
+        out << fields[i].first;
+      }
+      out << '\n';
+      header_done = true;
+    }
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out << ',';
+      out << fields[i].second;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string sweep_json(const SweepResult& sweep) {
+  std::ostringstream out;
+  out << "{\n  \"stages\": " << sweep.grid.stages
+      << ",\n  \"points\": [\n";
+  for (std::size_t pi = 0; pi < sweep.points.size(); ++pi) {
+    const auto fields = point_fields(sweep.points[pi]);
+    out << "    {";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << '"' << fields[i].first << "\": ";
+      // Tokens contain no characters needing JSON escapes. Seeds are
+      // full 64-bit values beyond double precision, so a bare JSON
+      // number would silently round them — emit as a string.
+      if (is_number(fields[i].second) && fields[i].first != "seed") {
+        out << fields[i].second;
+      } else {
+        out << '"' << fields[i].second << '"';
+      }
+    }
+    out << (pi + 1 < sweep.points.size() ? "},\n" : "}\n");
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("write_text_file: cannot open " + path);
+  }
+  out << content;
+  if (!out) {
+    throw std::runtime_error("write_text_file: write failed for " + path);
+  }
+}
+
+}  // namespace mineq::exp

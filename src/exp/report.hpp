@@ -1,0 +1,31 @@
+/// \file report.hpp
+/// \brief Render sweep results as CSV and JSON.
+///
+/// Both emitters are pure functions of the SweepResult with fixed-width
+/// numeric formatting, so two runs producing the same results (e.g. the
+/// same sweep at different thread counts) render byte-identical text.
+
+#pragma once
+
+#include <string>
+
+#include "exp/sweep.hpp"
+
+namespace mineq::exp {
+
+/// One header line plus one row per grid point, in sweep order. Columns:
+/// network,pattern,mode,lanes,rate,stages,seed,offered,injected,delivered,
+/// throughput,acceptance,latency_mean,latency_p50,latency_p99,latency_max,
+/// flits_injected,flits_delivered,link_utilization,lane_occupancy,
+/// hol_blocking_cycles
+[[nodiscard]] std::string sweep_csv(const SweepResult& sweep);
+
+/// A JSON object {"stages": ..., "points": [...]} with one object per
+/// grid point carrying the same fields as the CSV.
+[[nodiscard]] std::string sweep_json(const SweepResult& sweep);
+
+/// Write \p content to \p path, replacing any existing file.
+/// \throws std::runtime_error if the file cannot be written.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace mineq::exp

@@ -1,0 +1,68 @@
+/// \file sweep.hpp
+/// \brief Parallel experiment sweeps over {network x pattern x mode x
+/// lanes x injection rate} grids.
+///
+/// A SweepGrid is the cartesian product of its axes; run_sweep fans the
+/// grid across util::parallel_for with one deterministic RNG stream per
+/// task (derived from the base seed and the task's grid index), so the
+/// result — and any CSV/JSON rendered from it (report.hpp) — is
+/// byte-identical regardless of thread count.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "min/networks.hpp"
+#include "sim/engine.hpp"
+
+namespace mineq::exp {
+
+/// The axes of one sweep. Fixed (non-swept) simulation parameters ride in
+/// `base`, whose injection_rate, mode, lanes and seed are overridden per
+/// grid point (the per-point seed is derived from base.seed and the grid
+/// index).
+struct SweepGrid {
+  std::vector<min::NetworkKind> networks;
+  std::vector<sim::Pattern> patterns;
+  std::vector<sim::SwitchingMode> modes;
+  std::vector<std::size_t> lane_counts;
+  std::vector<double> rates;
+  int stages = 6;
+  sim::SimConfig base;
+
+  /// Number of grid points: the product of the axis sizes, except that
+  /// a store-and-forward mode contributes one lane variant (lanes only
+  /// shape the wormhole discipline).
+  [[nodiscard]] std::size_t size() const noexcept;
+};
+
+/// One grid point with its simulation result.
+struct SweepPoint {
+  min::NetworkKind network = min::NetworkKind::kOmega;
+  sim::Pattern pattern = sim::Pattern::kUniform;
+  sim::SwitchingMode mode = sim::SwitchingMode::kStoreAndForward;
+  std::size_t lanes = 1;
+  double rate = 0.0;
+  int stages = 0;
+  std::uint64_t seed = 0;  ///< the derived per-point seed actually used
+  sim::SimResult result;
+};
+
+/// All grid points in deterministic order (network-major, then pattern,
+/// mode, lanes, rate innermost).
+struct SweepResult {
+  SweepGrid grid;
+  std::vector<SweepPoint> points;
+};
+
+/// Run every grid point, fanned across \p threads workers (0 = hardware
+/// concurrency). Engines are constructed once per network and shared;
+/// each point derives an independent seed from (grid.base.seed, index),
+/// so results are identical for any thread count.
+/// \throws std::invalid_argument on an empty axis, an out-of-range rate,
+/// or a pattern/stage-count mismatch (transpose needs even stages).
+[[nodiscard]] SweepResult run_sweep(const SweepGrid& grid,
+                                    std::size_t threads = 0);
+
+}  // namespace mineq::exp

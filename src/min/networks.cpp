@@ -37,6 +37,34 @@ std::string network_name(NetworkKind kind) {
   throw std::invalid_argument("network_name: unknown kind");
 }
 
+std::string network_token(NetworkKind kind) {
+  switch (kind) {
+    case NetworkKind::kOmega:
+      return "omega";
+    case NetworkKind::kFlip:
+      return "flip";
+    case NetworkKind::kIndirectBinaryCube:
+      return "cube";
+    case NetworkKind::kModifiedDataManipulator:
+      return "mdm";
+    case NetworkKind::kBaseline:
+      return "baseline";
+    case NetworkKind::kReverseBaseline:
+      return "revbaseline";
+  }
+  throw std::invalid_argument("network_token: unknown kind");
+}
+
+NetworkKind parse_network_kind(std::string_view name) {
+  for (NetworkKind kind : all_network_kinds()) {
+    if (network_token(kind) == name || network_name(kind) == name) {
+      return kind;
+    }
+  }
+  throw std::invalid_argument("parse_network_kind: unknown network \"" +
+                              std::string(name) + '"');
+}
+
 std::vector<perm::IndexPermutation> network_pipid_sequence(NetworkKind kind,
                                                            int stages) {
   if (stages < 2) {

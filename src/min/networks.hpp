@@ -23,6 +23,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "min/mi_digraph.hpp"
@@ -45,6 +46,14 @@ enum class NetworkKind : std::uint8_t {
 
 /// Human-readable name ("Omega", "Flip", ...).
 [[nodiscard]] std::string network_name(NetworkKind kind);
+
+/// Short lowercase token for CLIs and CSV columns ("omega", "flip",
+/// "cube", "mdm", "baseline", "revbaseline").
+[[nodiscard]] std::string network_token(NetworkKind kind);
+
+/// Inverse of network_token; also accepts the network_name spelling.
+/// \throws std::invalid_argument on an unknown name.
+[[nodiscard]] NetworkKind parse_network_kind(std::string_view name);
 
 /// The PIPID wiring sequence defining \p kind at \p stages stages.
 [[nodiscard]] std::vector<perm::IndexPermutation> network_pipid_sequence(

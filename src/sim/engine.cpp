@@ -1,28 +1,45 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <deque>
 #include <stdexcept>
 
+#include "sim/lanes.hpp"
+#include "sim/wormhole.hpp"
 #include "util/bitops.hpp"
 
 namespace mineq::sim {
 
-Engine::Engine(min::MIDigraph network, min::BitSchedule schedule)
-    : network_(std::move(network)), schedule_(std::move(schedule)) {
-  if (!network_.is_valid()) {
-    throw std::invalid_argument("Engine: network has invalid degrees");
+std::string switching_mode_name(SwitchingMode mode) {
+  switch (mode) {
+    case SwitchingMode::kStoreAndForward:
+      return "saf";
+    case SwitchingMode::kWormhole:
+      return "wormhole";
   }
-  if (!min::verify_bit_schedule(network_, schedule_)) {
-    throw std::invalid_argument("Engine: schedule does not route network");
+  throw std::invalid_argument("switching_mode_name: unknown mode");
+}
+
+SwitchingMode parse_switching_mode(std::string_view name) {
+  if (name == "saf" || name == "store-and-forward") {
+    return SwitchingMode::kStoreAndForward;
   }
+  if (name == "wormhole") return SwitchingMode::kWormhole;
+  throw std::invalid_argument("parse_switching_mode: unknown mode \"" +
+                              std::string(name) + '"');
+}
+
+SwitchWiring SwitchWiring::precompute(const min::MIDigraph& network) {
   // Assign each incoming arc of every cell to an input slot (0 or 1), in
   // deterministic (source cell, port) order.
-  const std::uint32_t cells = network_.cells_per_stage();
-  slot_of_.resize(static_cast<std::size_t>(network_.stages() - 1));
-  for (int s = 0; s + 1 < network_.stages(); ++s) {
-    auto& stage_slots = slot_of_[static_cast<std::size_t>(s)];
+  const std::uint32_t cells = network.cells_per_stage();
+  SwitchWiring wiring;
+  wiring.slot_of.resize(static_cast<std::size_t>(network.stages() - 1));
+  for (int s = 0; s + 1 < network.stages(); ++s) {
+    auto& stage_slots = wiring.slot_of[static_cast<std::size_t>(s)];
     stage_slots.assign(cells, {0, 0});
     std::vector<std::uint8_t> filled(cells, 0);
-    const min::Connection& conn = network_.connection(s);
+    const min::Connection& conn = network.connection(s);
     for (std::uint32_t x = 0; x < cells; ++x) {
       for (unsigned p = 0; p < 2; ++p) {
         const std::uint32_t child =
@@ -32,10 +49,22 @@ Engine::Engine(min::MIDigraph network, min::BitSchedule schedule)
     }
     for (std::uint32_t y = 0; y < cells; ++y) {
       if (filled[y] != 2) {
-        throw std::logic_error("Engine: slot assignment inconsistency");
+        throw std::logic_error("SwitchWiring: slot assignment inconsistency");
       }
     }
   }
+  return wiring;
+}
+
+Engine::Engine(min::MIDigraph network, min::BitSchedule schedule)
+    : network_(std::move(network)), schedule_(std::move(schedule)) {
+  if (!network_.is_valid()) {
+    throw std::invalid_argument("Engine: network has invalid degrees");
+  }
+  if (!min::verify_bit_schedule(network_, schedule_)) {
+    throw std::invalid_argument("Engine: schedule does not route network");
+  }
+  wiring_ = SwitchWiring::precompute(network_);
 }
 
 namespace {
@@ -54,13 +83,39 @@ min::BitSchedule derive_schedule(const min::MIDigraph& network) {
 Engine::Engine(min::MIDigraph network)
     : Engine(network, derive_schedule(network)) {}
 
+unsigned Engine::route_port(int stage, std::uint32_t dest_terminal) const {
+  if (stage < 0 || stage >= network_.stages()) {
+    throw std::invalid_argument("Engine::route_port: stage out of range");
+  }
+  if (stage + 1 == network_.stages()) return dest_terminal & 1U;
+  const std::uint32_t dest_cell = dest_terminal >> 1;
+  return util::get_bit(dest_cell, schedule_.bit[static_cast<std::size_t>(
+                                      stage)]) ^
+         schedule_.invert[static_cast<std::size_t>(stage)];
+}
+
 SimResult Engine::run(Pattern pattern, const SimConfig& config) const {
   if (config.injection_rate < 0.0 || config.injection_rate > 1.0) {
     throw std::invalid_argument("Engine::run: injection rate outside [0,1]");
   }
+  if (config.packet_length == 0) {
+    throw std::invalid_argument("Engine::run: packet_length must be positive");
+  }
+  if (config.mode == SwitchingMode::kWormhole) {
+    return WormholeSimulator(*this).run(pattern, config);
+  }
+  if (config.queue_capacity == 0) {
+    throw std::invalid_argument("Engine::run: queue_capacity must be positive");
+  }
+  return run_store_and_forward(pattern, config);
+}
+
+SimResult Engine::run_store_and_forward(Pattern pattern,
+                                        const SimConfig& config) const {
   const int n = network_.stages();
   const std::uint32_t cells = network_.cells_per_stage();
   const std::uint64_t terminals = std::uint64_t{2} * cells;
+  const std::uint64_t length = config.packet_length;
 
   util::SplitMix64 rng(config.seed);
   TrafficSource source(pattern, n, rng.split(0));
@@ -76,31 +131,72 @@ SimResult Engine::run(Pattern pattern, const SimConfig& config) const {
     stage.assign(std::size_t{2} * cells, {});
   }
   // Round-robin pointers per (stage, cell, output port).
-  std::vector<std::vector<std::uint8_t>> rr(
+  std::vector<std::vector<RoundRobin>> rr(
       static_cast<std::size_t>(n),
-      std::vector<std::uint8_t>(std::size_t{2} * cells, 0));
+      std::vector<RoundRobin>(std::size_t{2} * cells, RoundRobin(2)));
+  // A packet serializes over a link for packet_length cycles: per-link,
+  // per-terminal and per-ejection-port busy horizons (always the next
+  // cycle when packet_length == 1, reproducing the one-packet-per-link
+  // model exactly).
+  std::vector<std::vector<std::uint64_t>> link_busy_until(
+      static_cast<std::size_t>(n - 1),
+      std::vector<std::uint64_t>(std::size_t{2} * cells, 0));
+  std::vector<std::uint64_t> source_busy_until(terminals, 0);
+  // Indexed by (cell, terminal port d&1), not by input slot.
+  std::vector<std::uint64_t> eject_busy_until(std::size_t{2} * cells, 0);
+  // Per-stage scratch for head-of-line accounting.
+  std::vector<std::uint8_t> queue_moved(std::size_t{2} * cells, 0);
 
   SimResult result;
+  std::uint64_t busy_link_cycles = 0;
+  const double total_packet_slots =
+      static_cast<double>(n) * static_cast<double>(terminals) *
+      static_cast<double>(config.queue_capacity);
   const std::uint64_t total_cycles =
       config.warmup_cycles + config.measure_cycles;
 
   for (std::uint64_t cycle = 0; cycle < total_cycles; ++cycle) {
     const bool measuring = cycle >= config.warmup_cycles;
 
-    // 1. Eject at the last stage: every queued head leaves (output links
-    // to the terminals are never blocked).
+    // 1. Eject at the last stage: like the wormhole path, each terminal
+    // link (cell x, port d&1) carries one packet per packet_length
+    // cycles, round-robin between the two input slots.
+    std::fill(queue_moved.begin(), queue_moved.end(), 0);
     for (std::uint32_t x = 0; x < cells; ++x) {
-      for (unsigned slot = 0; slot < 2; ++slot) {
-        auto& q = queues[static_cast<std::size_t>(n - 1)][2 * x + slot];
-        if (q.empty()) continue;
-        const Packet pkt = q.front();
-        q.pop_front();
-        if (measuring && pkt.inject_cycle >= config.warmup_cycles) {
-          ++result.delivered;
-          const auto cycles_in_flight =
-              static_cast<double>(cycle - pkt.inject_cycle + 1);
-          result.latency.add(cycles_in_flight);
-          result.latency_histogram.add(cycles_in_flight);
+      for (unsigned port = 0; port < 2; ++port) {
+        if (eject_busy_until[2 * x + port] > cycle) continue;
+        RoundRobin& arb = rr[static_cast<std::size_t>(n - 1)][2 * x + port];
+        for (unsigned probe = 0; probe < 2; ++probe) {
+          const unsigned slot = arb.candidate(probe);
+          auto& q = queues[static_cast<std::size_t>(n - 1)][2 * x + slot];
+          if (q.empty()) continue;
+          const Packet pkt = q.front();
+          if (pkt.arrival_complete > cycle) continue;
+          if ((pkt.dest_terminal & 1U) != port) continue;
+          q.pop_front();
+          eject_busy_until[2 * x + port] = cycle + length;
+          arb.grant(slot);
+          queue_moved[2 * x + slot] = 1;
+          if (measuring && pkt.inject_cycle >= config.warmup_cycles) {
+            ++result.delivered;
+            result.flits_delivered += length;
+            const auto cycles_in_flight =
+                static_cast<double>(cycle - pkt.inject_cycle + length);
+            result.latency.add(cycles_in_flight);
+            result.latency_histogram.add(cycles_in_flight);
+          }
+          break;
+        }
+      }
+    }
+    if (measuring) {
+      // Last-stage head-of-line blocking, symmetric with the wormhole
+      // path's ejection accounting.
+      for (std::size_t i = 0; i < std::size_t{2} * cells; ++i) {
+        const auto& q = queues[static_cast<std::size_t>(n - 1)][i];
+        if (!q.empty() && q.front().arrival_complete <= cycle &&
+            queue_moved[i] == 0) {
+          ++result.hol_blocking_cycles;
         }
       }
     }
@@ -109,35 +205,49 @@ SimResult Engine::run(Pattern pattern, const SimConfig& config) const {
     // hop per cycle.
     for (int s = n - 2; s >= 0; --s) {
       const min::Connection& conn = network_.connection(s);
-      const int sched_bit = schedule_.bit[static_cast<std::size_t>(s)];
-      const unsigned sched_inv =
-          schedule_.invert[static_cast<std::size_t>(s)];
+      std::fill(queue_moved.begin(), queue_moved.end(), 0);
       for (std::uint32_t x = 0; x < cells; ++x) {
         for (unsigned port = 0; port < 2; ++port) {
+          if (link_busy_until[static_cast<std::size_t>(s)][2 * x + port] >
+              cycle) {
+            continue;  // still serializing the previous packet
+          }
           // Round-robin between the two input slots for this output port.
-          auto& start = rr[static_cast<std::size_t>(s)][2 * x + port];
-          bool moved = false;
-          for (unsigned probe = 0; probe < 2 && !moved; ++probe) {
-            const unsigned slot = (start + probe) & 1U;
+          RoundRobin& arb = rr[static_cast<std::size_t>(s)][2 * x + port];
+          for (unsigned probe = 0; probe < 2; ++probe) {
+            const unsigned slot = arb.candidate(probe);
             auto& q = queues[static_cast<std::size_t>(s)][2 * x + slot];
             if (q.empty()) continue;
             const Packet& pkt = q.front();
-            const std::uint32_t dest_cell = pkt.dest_terminal >> 1;
-            const unsigned want =
-                util::get_bit(dest_cell, sched_bit) ^ sched_inv;
-            if (want != port) continue;
+            if (pkt.arrival_complete > cycle) continue;
+            if (route_port(s, pkt.dest_terminal) != port) continue;
             const std::uint32_t child =
                 port == 0 ? conn.f_table()[x] : conn.g_table()[x];
             const unsigned child_slot =
-                slot_of_[static_cast<std::size_t>(s)][x][port];
+                wiring_.slot_of[static_cast<std::size_t>(s)][x][port];
             auto& target =
                 queues[static_cast<std::size_t>(s + 1)]
                       [2 * child + child_slot];
             if (target.size() >= config.queue_capacity) continue;
-            target.push_back(pkt);
+            Packet moved = pkt;
+            moved.arrival_complete = cycle + length;
+            target.push_back(moved);
             q.pop_front();
-            start = static_cast<std::uint8_t>((slot + 1) & 1U);
-            moved = true;
+            queue_moved[2 * x + slot] = 1;
+            link_busy_until[static_cast<std::size_t>(s)][2 * x + port] =
+                cycle + length;
+            arb.grant(slot);
+            break;
+          }
+        }
+      }
+      if (measuring) {
+        // Head-of-line blocking: a fully-arrived head that did not move.
+        for (std::size_t i = 0; i < std::size_t{2} * cells; ++i) {
+          const auto& q = queues[static_cast<std::size_t>(s)][i];
+          if (!q.empty() && q.front().arrival_complete <= cycle &&
+              queue_moved[i] == 0) {
+            ++result.hol_blocking_cycles;
           }
         }
       }
@@ -146,6 +256,7 @@ SimResult Engine::run(Pattern pattern, const SimConfig& config) const {
     // 3. Inject at the first stage: terminal t feeds slot t&1 of cell t>>1.
     for (std::uint64_t t = 0; t < terminals; ++t) {
       if ((inject_rng.next() & 0xFFFF) >= rate_num) continue;
+      if (source_busy_until[t] > cycle) continue;  // still serializing
       if (measuring) ++result.offered;
       auto& q = queues[0][t];
       if (q.size() >= config.queue_capacity) continue;  // dropped at source
@@ -153,15 +264,46 @@ SimResult Engine::run(Pattern pattern, const SimConfig& config) const {
       pkt.dest_terminal =
           source.destination(static_cast<std::uint32_t>(t));
       pkt.inject_cycle = cycle;
+      pkt.arrival_complete = cycle + length;
       q.push_back(pkt);
-      if (measuring) ++result.injected;
+      source_busy_until[t] = cycle + length;
+      if (measuring) {
+        ++result.injected;
+        result.flits_injected += length;
+      }
+    }
+
+    // 4. Sample link and buffer occupancy.
+    if (measuring) {
+      for (const auto& stage_links : link_busy_until) {
+        for (const std::uint64_t busy_until : stage_links) {
+          if (busy_until > cycle) ++busy_link_cycles;
+        }
+      }
+      std::size_t queued = 0;
+      for (const auto& stage : queues) {
+        for (const auto& q : stage) queued += q.size();
+      }
+      result.lane_occupancy.add(static_cast<double>(queued) /
+                                total_packet_slots);
     }
   }
 
-  result.throughput =
-      static_cast<double>(result.delivered) /
-      (static_cast<double>(config.measure_cycles) *
-       static_cast<double>(terminals));
+  for (const auto& stage : queues) {
+    for (const auto& q : stage) {
+      result.flits_in_flight += q.size() * length;
+    }
+  }
+  if (config.measure_cycles > 0) {
+    result.throughput =
+        static_cast<double>(result.delivered) /
+        (static_cast<double>(config.measure_cycles) *
+         static_cast<double>(terminals));
+    result.link_utilization =
+        static_cast<double>(busy_link_cycles) /
+        (static_cast<double>(n - 1) * static_cast<double>(terminals) *
+         static_cast<double>(config.measure_cycles));
+  }
   result.acceptance =
       result.offered == 0
           ? 1.0

@@ -1,17 +1,29 @@
 /// \file engine.hpp
-/// \brief Cycle-level packet simulation over an MI-digraph.
+/// \brief Cycle-level simulation over an MI-digraph, in two switching
+/// disciplines.
 ///
 /// The paper's networks are communication fabrics for parallel machines;
 /// this engine exercises the constructed topologies end-to-end. Model:
-/// input-buffered 2x2 switches, one packet per link per cycle,
+/// input-buffered 2x2 switches, one flit per link per cycle,
 /// destination-bit routing (min/routing.hpp schedules), round-robin
 /// arbitration on output-port conflicts, Bernoulli injection per terminal.
 /// Everything is deterministic given the seed.
+///
+/// Two switching disciplines share the wiring precomputation, the
+/// round-robin arbiter and the SimResult reporting:
+///  - store-and-forward: packets move as units; a packet of L flits
+///    occupies its link for L cycles per hop and must be fully received
+///    before it can advance (engine.cpp);
+///  - wormhole: packets are decomposed into head/body/tail flits that
+///    pipeline across stages through multi-lane (virtual-channel) input
+///    buffers (wormhole.cpp, lanes.hpp, flit.hpp).
 
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <deque>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "min/mi_digraph.hpp"
@@ -21,32 +33,79 @@
 
 namespace mineq::sim {
 
+/// How packets traverse a switch.
+enum class SwitchingMode : std::uint8_t {
+  kStoreAndForward,  ///< whole packets hop between per-port FIFOs
+  kWormhole,         ///< flits pipeline through multi-lane buffers
+};
+
+/// Short token for CLIs and CSV columns ("saf", "wormhole").
+[[nodiscard]] std::string switching_mode_name(SwitchingMode mode);
+
+/// Inverse of switching_mode_name (also accepts "store-and-forward").
+/// \throws std::invalid_argument on an unknown name.
+[[nodiscard]] SwitchingMode parse_switching_mode(std::string_view name);
+
 /// Simulation parameters.
 struct SimConfig {
-  double injection_rate = 0.5;   ///< packets per terminal per cycle
-  std::size_t queue_capacity = 4; ///< per input-port FIFO depth
+  double injection_rate = 0.5;    ///< packets per terminal per cycle
+  std::size_t queue_capacity = 4; ///< store-and-forward: per-port FIFO depth
+                                  ///< (packets)
   std::uint64_t warmup_cycles = 200;   ///< excluded from latency stats
   std::uint64_t measure_cycles = 2000; ///< measured portion of the run
   std::uint64_t seed = 1;
+  SwitchingMode mode = SwitchingMode::kStoreAndForward;
+  std::size_t packet_length = 1; ///< flits per packet (both disciplines)
+  std::size_t lanes = 1;         ///< wormhole: virtual channels per input port
+  std::size_t lane_depth = 4;    ///< wormhole: flits buffered per lane
 };
 
 /// Aggregate results of one run.
 struct SimResult {
   std::uint64_t offered = 0;    ///< injection attempts during measurement
-  std::uint64_t injected = 0;   ///< accepted into the first stage
-  std::uint64_t delivered = 0;  ///< ejected at the last stage (measured)
-  RunningStats latency;         ///< cycles from injection to delivery
+  std::uint64_t injected = 0;   ///< packets accepted into the first stage
+  std::uint64_t delivered = 0;  ///< packets ejected at the last stage
+  RunningStats latency;         ///< cycles from injection to tail delivery
   /// Latency distribution, 1-cycle buckets (overflow above 1024 cycles);
   /// use latency_histogram.quantile(0.99) for tail latency.
   Histogram latency_histogram{1.0, 1024};
   /// delivered / (measure_cycles * terminals): normalized throughput.
   double throughput = 0.0;
-  /// injected / offered: acceptance at the first-stage queues.
+  /// injected / offered: acceptance at the first-stage buffers.
   double acceptance = 0.0;
+
+  // Flit-level counters (a store-and-forward packet counts as
+  // packet_length flits moving as one unit).
+  std::uint64_t flits_injected = 0;  ///< flits accepted during measurement
+  std::uint64_t flits_delivered = 0; ///< flits ejected during measurement
+  /// Flits still buffered in the network when the run ended (whole run;
+  /// with warmup_cycles == 0, flits_injected == flits_delivered +
+  /// flits_in_flight exactly).
+  std::uint64_t flits_in_flight = 0;
+  /// (buffer, cycle) pairs where a buffered head flit / packet was ready
+  /// to advance but did not (lost arbitration, downstream full, or no
+  /// free downstream lane).
+  std::uint64_t hol_blocking_cycles = 0;
+  /// Inter-stage flit-hops / (links * measure_cycles), in [0, 1].
+  double link_utilization = 0.0;
+  /// Per-measured-cycle occupied fraction of all buffer flit slots.
+  RunningStats lane_occupancy;
+};
+
+/// Precomputed arc -> input-slot wiring shared by both disciplines:
+/// slot_of[s][x][p] is the input slot (0 or 1) of the child cell that the
+/// port-p out-link of cell x at stage s feeds.
+struct SwitchWiring {
+  std::vector<std::vector<std::array<std::uint8_t, 2>>> slot_of;
+
+  /// Derive the wiring from a valid MI-digraph.
+  /// \throws std::logic_error if some cell's in-degree is not 2.
+  [[nodiscard]] static SwitchWiring precompute(const min::MIDigraph& network);
 };
 
 /// The simulator. Construction precomputes the arc -> input-slot wiring;
-/// run() is repeatable (state resets each call).
+/// run() is repeatable (state resets each call) and thread-safe on a
+/// const Engine.
 class Engine {
  public:
   /// \p schedule must be a valid destination-bit schedule for \p network
@@ -57,27 +116,45 @@ class Engine {
   /// \throws std::invalid_argument if the network has no bit schedule.
   explicit Engine(min::MIDigraph network);
 
-  /// Run one simulation with the given traffic and parameters.
+  /// Run one simulation with the given traffic and parameters, in the
+  /// discipline selected by \p config.mode.
   [[nodiscard]] SimResult run(Pattern pattern, const SimConfig& config) const;
 
   [[nodiscard]] const min::MIDigraph& network() const noexcept {
     return network_;
   }
+  [[nodiscard]] const min::BitSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+  [[nodiscard]] const SwitchWiring& wiring() const noexcept {
+    return wiring_;
+  }
   [[nodiscard]] int terminals_log2() const noexcept {
     return network_.stages();
   }
+
+  /// The out-port a packet for \p dest_terminal takes at \p stage: the
+  /// scheduled destination bit at inner stages, the terminal's low bit at
+  /// the last (ejection) stage.
+  [[nodiscard]] unsigned route_port(int stage,
+                                    std::uint32_t dest_terminal) const;
 
  private:
   struct Packet {
     std::uint32_t dest_terminal = 0;
     std::uint64_t inject_cycle = 0;
+    /// Cycle at which the packet's tail has fully arrived in the current
+    /// buffer (a packet serializes over each link for packet_length
+    /// cycles; it may not advance before then).
+    std::uint64_t arrival_complete = 0;
   };
+
+  [[nodiscard]] SimResult run_store_and_forward(Pattern pattern,
+                                                const SimConfig& config) const;
 
   min::MIDigraph network_;
   min::BitSchedule schedule_;
-  /// slot_of_[s][x][p]: which input slot of the child cell the port-p
-  /// out-link of cell x at stage s feeds.
-  std::vector<std::vector<std::array<std::uint8_t, 2>>> slot_of_;
+  SwitchWiring wiring_;
 };
 
 }  // namespace mineq::sim

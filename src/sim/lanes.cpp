@@ -1,0 +1,65 @@
+#include "sim/lanes.hpp"
+
+#include <stdexcept>
+
+namespace mineq::sim {
+
+void Lane::accept_head(const Flit& head, unsigned out_port) {
+  if (busy_ || !head.is_head()) {
+    throw std::logic_error("Lane::accept_head: lane busy or flit not a head");
+  }
+  busy_ = true;
+  tail_in_ = head.is_tail();
+  out_port_ = out_port;
+  downstream_ = -1;
+  fifo_.push_back(head);
+}
+
+void Lane::accept(const Flit& flit) {
+  if (!busy_ || tail_in_ || flit.is_head()) {
+    throw std::logic_error("Lane::accept: flit does not continue the worm");
+  }
+  if (!has_space()) {
+    throw std::logic_error("Lane::accept: lane full");
+  }
+  tail_in_ = flit.is_tail();
+  fifo_.push_back(flit);
+}
+
+Flit Lane::pop() {
+  if (fifo_.empty()) {
+    throw std::logic_error("Lane::pop: lane empty");
+  }
+  const Flit flit = fifo_.front();
+  fifo_.pop_front();
+  moved_ = true;
+  if (flit.is_tail()) {
+    // The worm has fully left: release the lane and its allocation.
+    busy_ = false;
+    tail_in_ = false;
+    downstream_ = -1;
+  }
+  return flit;
+}
+
+LaneBuffer::LaneBuffer(std::size_t lanes, std::size_t depth)
+    : lanes_(lanes, Lane(depth)) {
+  if (lanes == 0 || depth == 0) {
+    throw std::invalid_argument("LaneBuffer: need at least one lane slot");
+  }
+}
+
+int LaneBuffer::find_idle_lane() const noexcept {
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i].idle()) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::size_t LaneBuffer::occupied_flits() const noexcept {
+  std::size_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.size();
+  return total;
+}
+
+}  // namespace mineq::sim

@@ -1,0 +1,118 @@
+/// \file lanes.hpp
+/// \brief Multi-lane (virtual-channel) input buffers for wormhole switching.
+///
+/// Every switch input port owns a LaneBuffer of `lanes` independent Lane
+/// FIFOs, each `depth` flits deep. A lane holds flits of at most one
+/// packet (one worm) at a time: a head flit claims an idle lane, body and
+/// tail flits of the same packet follow through it, and popping the tail
+/// returns the lane to idle. The RoundRobin arbiter is the shared
+/// fairness primitive of both switching disciplines.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/flit.hpp"
+
+namespace mineq::sim {
+
+/// Rotating-priority pointer over a fixed candidate ring. Callers probe
+/// candidate(0), candidate(1), ... in order and grant() the winner, which
+/// moves it to lowest priority for the next round.
+class RoundRobin {
+ public:
+  explicit RoundRobin(unsigned size = 1) : size_(size == 0 ? 1 : size) {}
+
+  /// The candidate to try at probe position \p probe (0-based).
+  [[nodiscard]] unsigned candidate(unsigned probe) const noexcept {
+    return (next_ + probe) % size_;
+  }
+
+  /// Record that \p winner was served; it now has lowest priority.
+  void grant(unsigned winner) noexcept { next_ = (winner + 1) % size_; }
+
+  [[nodiscard]] unsigned size() const noexcept { return size_; }
+
+ private:
+  unsigned size_;
+  unsigned next_ = 0;
+};
+
+/// One virtual channel: a bounded flit FIFO plus worm bookkeeping.
+class Lane {
+ public:
+  explicit Lane(std::size_t depth) : depth_(depth) {}
+
+  /// Free for a new worm: no flits buffered and no tail outstanding.
+  [[nodiscard]] bool idle() const noexcept { return !busy_; }
+
+  /// Flits currently buffered.
+  [[nodiscard]] std::size_t size() const noexcept { return fifo_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return fifo_.empty(); }
+
+  /// Room for one more flit of the current worm.
+  [[nodiscard]] bool has_space() const noexcept {
+    return fifo_.size() < depth_;
+  }
+
+  /// Claim this (idle) lane for a new worm whose head is \p head and
+  /// which leaves this buffer through \p out_port.
+  void accept_head(const Flit& head, unsigned out_port);
+
+  /// Append a body/tail flit of the current worm.
+  void accept(const Flit& flit);
+
+  /// The head-of-line flit; lane must be non-empty.
+  [[nodiscard]] const Flit& front() const { return fifo_.front(); }
+
+  /// Remove and return the head-of-line flit. Popping the tail resets the
+  /// lane to idle (the worm has fully left).
+  Flit pop();
+
+  /// Out-port of the worm currently occupying the lane.
+  [[nodiscard]] unsigned out_port() const noexcept { return out_port_; }
+
+  /// Downstream lane index allocated to the worm (-1 until the head
+  /// advances).
+  [[nodiscard]] int downstream() const noexcept { return downstream_; }
+  void set_downstream(int lane) noexcept { downstream_ = lane; }
+
+  /// Did pop() run since the last clear_moved()? Used for head-of-line
+  /// blocking accounting.
+  [[nodiscard]] bool moved() const noexcept { return moved_; }
+  void clear_moved() noexcept { moved_ = false; }
+
+ private:
+  std::deque<Flit> fifo_;
+  std::size_t depth_;
+  bool busy_ = false;     ///< a worm occupies (or still owes flits to) the lane
+  bool tail_in_ = false;  ///< the worm's tail has been enqueued
+  bool moved_ = false;
+  unsigned out_port_ = 0;
+  int downstream_ = -1;
+};
+
+/// The multi-lane buffer of one switch input port.
+class LaneBuffer {
+ public:
+  LaneBuffer(std::size_t lanes, std::size_t depth);
+
+  [[nodiscard]] std::size_t lane_count() const noexcept {
+    return lanes_.size();
+  }
+  [[nodiscard]] Lane& lane(std::size_t i) { return lanes_[i]; }
+  [[nodiscard]] const Lane& lane(std::size_t i) const { return lanes_[i]; }
+
+  /// Index of some idle lane, or -1 if every lane is claimed.
+  [[nodiscard]] int find_idle_lane() const noexcept;
+
+  /// Total flits buffered across all lanes.
+  [[nodiscard]] std::size_t occupied_flits() const noexcept;
+
+ private:
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace mineq::sim

@@ -7,6 +7,14 @@
 
 namespace mineq::sim {
 
+const std::vector<Pattern>& all_patterns() {
+  static const std::vector<Pattern> patterns = {
+      Pattern::kUniform,    Pattern::kBitReversal, Pattern::kShuffle,
+      Pattern::kTranspose,  Pattern::kComplement,  Pattern::kHotSpot,
+  };
+  return patterns;
+}
+
 std::string pattern_name(Pattern p) {
   switch (p) {
     case Pattern::kUniform:
@@ -23,6 +31,14 @@ std::string pattern_name(Pattern p) {
       return "hotspot";
   }
   throw std::invalid_argument("pattern_name: unknown pattern");
+}
+
+Pattern parse_pattern(std::string_view name) {
+  for (Pattern p : all_patterns()) {
+    if (pattern_name(p) == name) return p;
+  }
+  throw std::invalid_argument("parse_pattern: unknown pattern \"" +
+                              std::string(name) + '"');
 }
 
 namespace {

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "perm/permutation.hpp"
 #include "util/rng.hpp"
@@ -27,9 +29,16 @@ enum class Pattern : std::uint8_t {
   kHotSpot,      ///< biased toward terminal 0 (kHotSpotNumerator/Denominator)
 };
 
+/// All patterns, in declaration order (handy for sweeps and round-trips).
+[[nodiscard]] const std::vector<Pattern>& all_patterns();
+
 /// Parse/emit pattern names ("uniform", "bitrev", "shuffle", "transpose",
 /// "complement", "hotspot").
 [[nodiscard]] std::string pattern_name(Pattern p);
+
+/// Inverse of pattern_name.
+/// \throws std::invalid_argument on an unknown name.
+[[nodiscard]] Pattern parse_pattern(std::string_view name);
 
 /// The deterministic patterns as explicit terminal permutations.
 /// \throws std::invalid_argument for kUniform/kHotSpot (not permutations)

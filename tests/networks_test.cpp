@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "min/banyan.hpp"
 #include "min/baseline.hpp"
 #include "min/equivalence.hpp"
@@ -51,6 +53,14 @@ TEST(NetworksTest, NamesAreDistinct) {
       EXPECT_NE(network_name(kinds[i]), network_name(kinds[j]));
     }
   }
+}
+
+TEST(NetworksTest, TokensRoundTripThroughParse) {
+  for (const NetworkKind kind : all_network_kinds()) {
+    EXPECT_EQ(parse_network_kind(network_token(kind)), kind);
+    EXPECT_EQ(parse_network_kind(network_name(kind)), kind);
+  }
+  EXPECT_THROW((void)parse_network_kind("banyan"), std::invalid_argument);
 }
 
 TEST(NetworksTest, OmegaUsesShuffles) {

@@ -44,6 +44,55 @@ TEST(RunningStatsTest, MergeMatchesSequential) {
   EXPECT_DOUBLE_EQ(left.max(), all.max());
 }
 
+TEST(RunningStatsTest, MergeDisjointMagnitudes) {
+  // Non-trivial accumulators whose means differ by orders of magnitude:
+  // the parallel merge must reproduce the sequential moments.
+  RunningStats all;
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 40; ++i) {
+    const double x = 0.125 * i;
+    small.add(x);
+    all.add(x);
+  }
+  for (int i = 0; i < 13; ++i) {
+    const double x = 1e6 + 17.0 * i;
+    large.add(x);
+    all.add(x);
+  }
+  small.merge(large);
+  EXPECT_EQ(small.count(), all.count());
+  EXPECT_NEAR(small.mean(), all.mean(), all.mean() * 1e-12);
+  EXPECT_NEAR(small.variance(), all.variance(), all.variance() * 1e-9);
+  EXPECT_DOUBLE_EQ(small.min(), 0.0);
+  EXPECT_DOUBLE_EQ(small.max(), 1e6 + 17.0 * 12);
+}
+
+TEST(RunningStatsTest, MergeOrderInsensitive) {
+  RunningStats a;
+  RunningStats b;
+  for (double x : {1.0, 2.0, 3.0}) a.add(x);
+  for (double x : {10.0, 20.0}) b.add(x);
+  RunningStats ab = a;
+  ab.merge(b);
+  RunningStats ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_NEAR(ab.mean(), ba.mean(), 1e-12);
+  EXPECT_NEAR(ab.variance(), ba.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(ab.min(), ba.min());
+  EXPECT_DOUBLE_EQ(ab.max(), ba.max());
+}
+
+TEST(RunningStatsTest, MergeBothEmpty) {
+  RunningStats a;
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0U);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
 TEST(RunningStatsTest, MergeWithEmpty) {
   RunningStats a;
   a.add(1.0);
@@ -73,6 +122,29 @@ TEST(HistogramTest, Quantile) {
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
   EXPECT_THROW((void)h.quantile(1.5), std::invalid_argument);
+}
+
+TEST(HistogramTest, OverflowMassShiftsQuantiles) {
+  // Overflow counts toward total(), so quantiles that land in the
+  // overflow mass report the sentinel edge just past the last bucket.
+  Histogram h(1.0, 4);
+  h.add(2.5);
+  for (double x : {10.0, 20.0, 30.0}) h.add(x);
+  EXPECT_EQ(h.total(), 4U);
+  EXPECT_EQ(h.overflow(), 3U);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 3.0);  // the one in-range sample
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);   // bucket_width * (buckets + 1)
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(HistogramTest, AllOverflowQuantileBeyondLastEdge) {
+  Histogram h(2.0, 3);
+  for (int i = 0; i < 10; ++i) h.add(100.0 + i);
+  EXPECT_EQ(h.overflow(), 10U);
+  EXPECT_EQ(h.total(), 10U);
+  // Every quantile with positive mass reports past the covered range.
+  EXPECT_DOUBLE_EQ(h.quantile(0.01), 2.0 * 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0 * 4);
 }
 
 TEST(HistogramTest, Validation) {

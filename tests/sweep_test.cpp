@@ -1,0 +1,148 @@
+/// \file sweep_test.cpp
+/// \brief The experiment-sweep subsystem: grid enumeration, validation,
+/// thread-count invariance of the rendered CSV/JSON, and emitter shape.
+
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "exp/report.hpp"
+
+namespace mineq::exp {
+namespace {
+
+SweepGrid small_grid() {
+  SweepGrid grid;
+  grid.networks = {min::NetworkKind::kOmega, min::NetworkKind::kBaseline};
+  grid.patterns = {sim::Pattern::kUniform, sim::Pattern::kComplement};
+  grid.modes = {sim::SwitchingMode::kStoreAndForward,
+                sim::SwitchingMode::kWormhole};
+  grid.lane_counts = {1, 2};
+  grid.rates = {0.2, 1.0};
+  grid.stages = 4;
+  grid.base.packet_length = 3;
+  grid.base.warmup_cycles = 50;
+  grid.base.measure_cycles = 300;
+  grid.base.seed = 7;
+  return grid;
+}
+
+TEST(SweepTest, GridSizeIsAxisProduct) {
+  const SweepGrid grid = small_grid();
+  // saf contributes one lane variant, wormhole the full lane axis:
+  // 2 networks * 2 patterns * (1 + 2) mode-lane variants * 2 rates.
+  EXPECT_EQ(grid.size(), 2U * 2U * 3U * 2U);
+  const SweepResult sweep = run_sweep(grid, 2);
+  EXPECT_EQ(sweep.points.size(), grid.size());
+}
+
+TEST(SweepTest, StoreAndForwardCollapsesLaneAxis) {
+  const SweepResult sweep = run_sweep(small_grid(), 2);
+  std::size_t saf_points = 0;
+  for (const SweepPoint& point : sweep.points) {
+    if (point.mode == sim::SwitchingMode::kStoreAndForward) {
+      ++saf_points;
+      EXPECT_EQ(point.lanes, 1U);  // recorded with the first lane count
+    }
+  }
+  // One saf point per (network, pattern, rate) — the lane axis is gone.
+  EXPECT_EQ(saf_points, 2U * 2U * 2U);
+}
+
+TEST(SweepTest, EnumerationOrderIsRateInnermost) {
+  const SweepGrid grid = small_grid();
+  const SweepResult sweep = run_sweep(grid, 2);
+  // First two points: same everything except the rate axis.
+  EXPECT_EQ(sweep.points[0].network, min::NetworkKind::kOmega);
+  EXPECT_DOUBLE_EQ(sweep.points[0].rate, 0.2);
+  EXPECT_DOUBLE_EQ(sweep.points[1].rate, 1.0);
+  EXPECT_EQ(sweep.points[0].lanes, sweep.points[1].lanes);
+  // Network-major: the second half of the grid is Baseline.
+  EXPECT_EQ(sweep.points[grid.size() / 2].network,
+            min::NetworkKind::kBaseline);
+}
+
+TEST(SweepTest, ByteIdenticalAcrossThreadCounts) {
+  const SweepGrid grid = small_grid();
+  const SweepResult serial = run_sweep(grid, 1);
+  const SweepResult parallel = run_sweep(grid, 4);
+  EXPECT_EQ(sweep_csv(serial), sweep_csv(parallel));
+  EXPECT_EQ(sweep_json(serial), sweep_json(parallel));
+}
+
+TEST(SweepTest, PerPointSeedsAreDistinctAndRecorded) {
+  const SweepResult sweep = run_sweep(small_grid(), 2);
+  std::set<std::uint64_t> seeds;
+  for (const SweepPoint& point : sweep.points) {
+    seeds.insert(point.seed);
+  }
+  EXPECT_EQ(seeds.size(), sweep.points.size());
+}
+
+TEST(SweepTest, CsvShape) {
+  const SweepResult sweep = run_sweep(small_grid(), 2);
+  const std::string csv = sweep_csv(sweep);
+  EXPECT_EQ(csv.rfind("network,pattern,mode,lanes,rate,stages,seed,", 0), 0U);
+  std::size_t lines = 0;
+  for (const char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, sweep.points.size() + 1);
+  EXPECT_EQ(csv.back(), '\n');
+}
+
+TEST(SweepTest, JsonContainsTheCsvFields) {
+  const SweepResult sweep = run_sweep(small_grid(), 2);
+  const std::string json = sweep_json(sweep);
+  for (const char* field :
+       {"\"network\": ", "\"mode\": ", "\"throughput\": ",
+        "\"latency_p99\": ", "\"hol_blocking_cycles\": ",
+        "\"lane_occupancy\": "}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  // Seeds exceed double precision: they must be JSON strings, never
+  // bare numbers a reader would round.
+  EXPECT_NE(json.find("\"seed\": \""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(SweepTest, ResultsArePhysical) {
+  const SweepResult sweep = run_sweep(small_grid(), 0);
+  for (const SweepPoint& point : sweep.points) {
+    EXPECT_LE(point.result.delivered, point.result.injected);
+    EXPECT_GE(point.result.throughput, 0.0);
+    EXPECT_LE(point.result.throughput, 1.0);
+    EXPECT_GE(point.result.acceptance, 0.0);
+    EXPECT_LE(point.result.acceptance, 1.0);
+  }
+}
+
+TEST(SweepTest, ValidationErrors) {
+  SweepGrid grid = small_grid();
+  grid.patterns.clear();
+  EXPECT_THROW((void)run_sweep(grid, 1), std::invalid_argument);
+
+  grid = small_grid();
+  grid.rates = {1.5};
+  EXPECT_THROW((void)run_sweep(grid, 1), std::invalid_argument);
+
+  grid = small_grid();
+  grid.lane_counts = {0};
+  EXPECT_THROW((void)run_sweep(grid, 1), std::invalid_argument);
+
+  grid = small_grid();
+  grid.stages = 1;
+  EXPECT_THROW((void)run_sweep(grid, 1), std::invalid_argument);
+
+  grid = small_grid();
+  grid.stages = 5;  // transpose needs an even address width
+  grid.patterns = {sim::Pattern::kTranspose};
+  EXPECT_THROW((void)run_sweep(grid, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mineq::exp

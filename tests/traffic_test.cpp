@@ -20,6 +20,19 @@ TEST(TrafficTest, PatternNames) {
   EXPECT_EQ(pattern_name(Pattern::kHotSpot), "hotspot");
 }
 
+TEST(TrafficTest, ParsePatternRoundTripsEveryName) {
+  EXPECT_EQ(all_patterns().size(), 6U);
+  for (const Pattern p : all_patterns()) {
+    EXPECT_EQ(parse_pattern(pattern_name(p)), p) << pattern_name(p);
+  }
+}
+
+TEST(TrafficTest, ParsePatternRejectsUnknownNames) {
+  EXPECT_THROW((void)parse_pattern("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)parse_pattern("Uniform"), std::invalid_argument);
+  EXPECT_THROW((void)parse_pattern(""), std::invalid_argument);
+}
+
 TEST(TrafficTest, DeterministicPatternsAsPermutations) {
   const auto bitrev = pattern_permutation(Pattern::kBitReversal, 4);
   EXPECT_EQ(bitrev(0b0001), 0b1000U);

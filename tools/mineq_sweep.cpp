@@ -1,0 +1,251 @@
+/// \file mineq_sweep.cpp
+/// \brief Experiment-sweep CLI: fan a {network x pattern x mode x lanes x
+/// rate} grid across a thread pool and emit CSV/JSON.
+///
+/// Example (the saturation study from the README):
+///   mineq_sweep --networks omega,baseline --patterns uniform,bitrev,hotspot
+///     --rates 0.1:1.0:0.1 --mode wormhole --lanes 1,2,4 --csv sweep.csv
+///
+/// Output is byte-identical for any --threads value: every grid point
+/// derives its RNG stream from (seed, grid index), not from scheduling.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/report.hpp"
+#include "exp/sweep.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+using mineq::exp::SweepGrid;
+using mineq::exp::SweepPoint;
+
+constexpr std::string_view kUsage = R"(mineq_sweep — parallel MIN experiment sweeps
+
+Usage: mineq_sweep [options]
+
+Grid axes (comma-separated lists):
+  --networks LIST   omega,flip,cube,mdm,baseline,revbaseline  [omega,baseline]
+  --patterns LIST   uniform,bitrev,shuffle,transpose,complement,hotspot
+                    [uniform]
+  --mode LIST       saf,wormhole                               [saf]
+  --lanes LIST      virtual channels per input port (wormhole
+                    only — saf points collapse this axis)      [1]
+  --rates SPEC      comma list (0.2,0.5,1.0) or range start:stop:step
+                    (0.1:1.0:0.1)                              [0.1:1.0:0.1]
+
+Fixed parameters:
+  --stages N          stages (terminals = 2^N)                 [6]
+  --packet-length N   flits per packet                         [4]
+  --lane-depth N      flits buffered per lane (wormhole)       [4]
+  --queue-capacity N  packets per input FIFO (saf)             [4]
+  --warmup N          warmup cycles                            [200]
+  --measure N         measured cycles                          [2000]
+  --seed N            base seed                                [1]
+  --threads N         worker threads (0 = hardware)            [0]
+
+Output:
+  --csv FILE          write CSV ("-" = stdout, implies --quiet)
+  --json FILE         write JSON ("-" = stdout, implies --quiet)
+  --quiet             suppress the summary table
+  --help              this text
+)";
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "mineq_sweep: " << message << "\n\nRun with --help for usage.\n";
+  std::exit(1);
+}
+
+std::vector<std::string> split_list(std::string_view text, char sep) {
+  std::vector<std::string> items;
+  while (!text.empty()) {
+    const std::size_t pos = text.find(sep);
+    items.emplace_back(text.substr(0, pos));
+    if (pos == std::string_view::npos) break;
+    text.remove_prefix(pos + 1);
+  }
+  return items;
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  // strtoull silently wraps negatives; reject any sign explicitly.
+  const bool signed_input = !text.empty() && (text[0] == '-' || text[0] == '+');
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (signed_input || end == text.c_str() || *end != '\0') {
+    fail("cannot parse " + what + " \"" + text + '"');
+  }
+  return value;
+}
+
+double parse_double(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    fail("cannot parse " + what + " \"" + text + '"');
+  }
+  return value;
+}
+
+/// "0.1:1.0:0.1" (inclusive range) or "0.2,0.5,1.0" (explicit list).
+std::vector<double> parse_rates(const std::string& spec) {
+  std::vector<double> rates;
+  if (spec.find(':') != std::string::npos) {
+    const auto parts = split_list(spec, ':');
+    if (parts.size() != 3) fail("rate range must be start:stop:step");
+    const double start = parse_double(parts[0], "rate");
+    const double stop = parse_double(parts[1], "rate");
+    const double step = parse_double(parts[2], "rate step");
+    if (step <= 0.0) fail("rate step must be positive");
+    for (double rate = start; rate <= stop + 1e-9; rate += step) {
+      // Accumulated float error can overshoot stop (0:1:0.05 ends at
+      // 1.0000000000000002, which run_sweep would reject); clamp.
+      rates.push_back(std::min(rate, stop));
+    }
+  } else {
+    for (const std::string& item : split_list(spec, ',')) {
+      rates.push_back(parse_double(item, "rate"));
+    }
+  }
+  return rates;
+}
+
+void print_summary(const mineq::exp::SweepResult& sweep) {
+  using mineq::util::fixed;
+  mineq::util::TablePrinter table({"network", "pattern", "mode", "lanes",
+                                   "rate", "throughput", "accept", "lat mean",
+                                   "lat p99", "link util", "hol"});
+  for (const SweepPoint& p : sweep.points) {
+    table.add_row({mineq::min::network_token(p.network),
+                   mineq::sim::pattern_name(p.pattern),
+                   mineq::sim::switching_mode_name(p.mode),
+                   std::to_string(p.lanes), fixed(p.rate, 2),
+                   fixed(p.result.throughput, 3),
+                   fixed(p.result.acceptance, 3),
+                   fixed(p.result.latency.mean(), 1),
+                   fixed(p.result.latency_histogram.quantile(0.99), 0),
+                   fixed(p.result.link_utilization, 3),
+                   std::to_string(p.result.hol_blocking_cycles)});
+  }
+  std::cout << table.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepGrid grid;
+  grid.networks = {mineq::min::NetworkKind::kOmega,
+                   mineq::min::NetworkKind::kBaseline};
+  grid.patterns = {mineq::sim::Pattern::kUniform};
+  grid.modes = {mineq::sim::SwitchingMode::kStoreAndForward};
+  grid.lane_counts = {1};
+  grid.rates = parse_rates("0.1:1.0:0.1");
+  grid.base.packet_length = 4;
+
+  std::size_t threads = 0;
+  std::string csv_path;
+  std::string json_path;
+  bool quiet = false;
+
+  const auto next_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) fail(std::string(argv[i]) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    try {
+      if (arg == "--help" || arg == "-h") {
+        std::cout << kUsage;
+        return 0;
+      } else if (arg == "--networks") {
+        grid.networks.clear();
+        for (const std::string& item : split_list(next_value(i), ',')) {
+          grid.networks.push_back(mineq::min::parse_network_kind(item));
+        }
+      } else if (arg == "--patterns") {
+        grid.patterns.clear();
+        for (const std::string& item : split_list(next_value(i), ',')) {
+          grid.patterns.push_back(mineq::sim::parse_pattern(item));
+        }
+      } else if (arg == "--mode" || arg == "--modes") {
+        grid.modes.clear();
+        for (const std::string& item : split_list(next_value(i), ',')) {
+          grid.modes.push_back(mineq::sim::parse_switching_mode(item));
+        }
+      } else if (arg == "--lanes") {
+        grid.lane_counts.clear();
+        for (const std::string& item : split_list(next_value(i), ',')) {
+          grid.lane_counts.push_back(parse_u64(item, "lane count"));
+        }
+      } else if (arg == "--rates") {
+        grid.rates = parse_rates(next_value(i));
+      } else if (arg == "--stages") {
+        grid.stages = static_cast<int>(parse_u64(next_value(i), "stages"));
+      } else if (arg == "--packet-length") {
+        grid.base.packet_length = parse_u64(next_value(i), "packet length");
+      } else if (arg == "--lane-depth") {
+        grid.base.lane_depth = parse_u64(next_value(i), "lane depth");
+      } else if (arg == "--queue-capacity") {
+        grid.base.queue_capacity = parse_u64(next_value(i), "queue capacity");
+      } else if (arg == "--warmup") {
+        grid.base.warmup_cycles = parse_u64(next_value(i), "warmup cycles");
+      } else if (arg == "--measure") {
+        grid.base.measure_cycles = parse_u64(next_value(i), "measure cycles");
+      } else if (arg == "--seed") {
+        grid.base.seed = parse_u64(next_value(i), "seed");
+      } else if (arg == "--threads") {
+        threads = parse_u64(next_value(i), "thread count");
+      } else if (arg == "--csv") {
+        csv_path = next_value(i);
+      } else if (arg == "--json") {
+        json_path = next_value(i);
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else {
+        fail("unknown option \"" + std::string(arg) + '"');
+      }
+    } catch (const std::invalid_argument& error) {
+      fail(error.what());
+    }
+  }
+
+  // A machine-readable stream on stdout must not be polluted by the
+  // summary table.
+  if (csv_path == "-" || json_path == "-") quiet = true;
+
+  try {
+    const mineq::exp::SweepResult sweep = mineq::exp::run_sweep(grid, threads);
+    if (!quiet) {
+      print_summary(sweep);
+      std::cerr << sweep.points.size() << " grid points, "
+                << (std::uint64_t{1} << grid.stages)
+                << " terminals per network\n";
+    }
+    if (!csv_path.empty()) {
+      const std::string csv = mineq::exp::sweep_csv(sweep);
+      if (csv_path == "-") {
+        std::cout << csv;
+      } else {
+        mineq::exp::write_text_file(csv_path, csv);
+      }
+    }
+    if (!json_path.empty()) {
+      const std::string json = mineq::exp::sweep_json(sweep);
+      if (json_path == "-") {
+        std::cout << json;
+      } else {
+        mineq::exp::write_text_file(json_path, json);
+      }
+    }
+  } catch (const std::exception& error) {
+    fail(error.what());
+  }
+  return 0;
+}
