@@ -72,6 +72,29 @@ static void BM_EasyCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_EasyCheck)->DenseRange(4, 14, 2)->Complexity();
 
+static void BM_FlatWiringBuild(benchmark::State& state) {
+  // Cost of flattening the image tables into the stage-packed IR — the
+  // one-time price every FlatWiring consumer amortizes.
+  const int n = static_cast<int>(state.range(0));
+  const min::MIDigraph g = min::build_network(min::NetworkKind::kOmega, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min::FlatWiring::from_digraph(g));
+  }
+}
+BENCHMARK(BM_FlatWiringBuild)->DenseRange(4, 14, 2);
+
+static void BM_EasyCheckPrebuiltWiring(benchmark::State& state) {
+  // The characterization over an already-flattened wiring: what a sweep
+  // or repeated classification pays per check once the IR is shared.
+  const int n = static_cast<int>(state.range(0));
+  const min::FlatWiring w = min::FlatWiring::from_digraph(
+      min::build_network(min::NetworkKind::kOmega, n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min::is_baseline_equivalent(w));
+  }
+}
+BENCHMARK(BM_EasyCheckPrebuiltWiring)->DenseRange(4, 14, 2);
+
 static void BM_EasyCheckPropertiesOnly(benchmark::State& state) {
   // P(1,*) + P(*,n) without the Banyan sweep: the near-linear core.
   const int n = static_cast<int>(state.range(0));

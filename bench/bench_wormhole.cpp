@@ -116,3 +116,37 @@ static void BM_SweepGrid(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SweepGrid)->Arg(1)->Arg(4);
+
+static void BM_SweepPerPointRebuild(benchmark::State& state) {
+  // Ablation for the shared-wiring precompute: the same 20-point grid as
+  // BM_SweepGrid/1, but constructing a fresh Engine (schedule search,
+  // verification, FlatWiring flatten) for every grid point the way a
+  // naive sweep would. The gap to BM_SweepGrid/1 is what sharing one
+  // wiring per {network, stages} saves.
+  mineq::sim::SimConfig base;
+  base.packet_length = 4;
+  base.warmup_cycles = 50;
+  base.measure_cycles = 200;
+  const std::vector<mineq::min::NetworkKind> networks = {
+      mineq::min::NetworkKind::kOmega, mineq::min::NetworkKind::kBaseline};
+  const std::vector<mineq::sim::SwitchingMode> modes = {
+      mineq::sim::SwitchingMode::kStoreAndForward,
+      mineq::sim::SwitchingMode::kWormhole};
+  const std::vector<double> rates = {0.2, 0.4, 0.6, 0.8, 1.0};
+  for (auto _ : state) {
+    for (const auto kind : networks) {
+      for (const auto mode : modes) {
+        for (const double rate : rates) {
+          const mineq::sim::Engine engine(mineq::min::build_network(kind, 5));
+          mineq::sim::SimConfig config = base;
+          config.mode = mode;
+          config.lanes = 2;
+          config.injection_rate = rate;
+          benchmark::DoNotOptimize(
+              engine.run(mineq::sim::Pattern::kUniform, config));
+        }
+      }
+    }
+  }
+}
+BENCHMARK(BM_SweepPerPointRebuild);

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Merge several google-benchmark JSON files by per-benchmark minimum.
+
+Usage: bench_merge_min.py OUT.json ROUND1.json [ROUND2.json ...]
+
+Keeps, for every benchmark median (or plain sample) name, the fastest
+real_time across the input rounds, normalized to nanoseconds. Used by
+scripts/bench_ab.sh: CPU-performance drift only ever slows a round down,
+so the minimum across alternating rounds approximates the machine's true
+speed for both sides of an A/B comparison. The output carries only the
+merged medians (context is taken from the first input).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def medians(path: Path) -> dict[str, float]:
+    with path.open() as handle:
+        data = json.load(handle)
+    out: dict[str, float] = {}
+    for entry in data.get("benchmarks", []):
+        unit = _UNIT_NS.get(entry.get("time_unit", "ns"))
+        if unit is None or "real_time" not in entry:
+            continue
+        if entry.get("run_type", "iteration") == "aggregate":
+            if entry.get("aggregate_name") != "median":
+                continue
+            name = entry["name"]
+            name = name.removesuffix("_median")
+        else:
+            name = entry["name"]
+        out[name] = float(entry["real_time"]) * unit
+    return out
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    out_path = Path(sys.argv[1])
+    rounds = [Path(p) for p in sys.argv[2:]]
+    best: dict[str, float] = {}
+    for path in rounds:
+        for name, value in medians(path).items():
+            if name not in best or value < best[name]:
+                best[name] = value
+    with rounds[0].open() as handle:
+        context = json.load(handle).get("context", {})
+    merged = {
+        "context": context,
+        "benchmarks": [
+            {
+                "name": name,
+                "run_type": "aggregate",
+                "aggregate_name": "median",
+                "real_time": value,
+                "cpu_time": value,
+                "time_unit": "ns",
+            }
+            for name, value in sorted(best.items())
+        ],
+    }
+    with out_path.open("w") as handle:
+        json.dump(merged, handle, indent=1)
+        handle.write("\n")
+    print(f"{out_path}: min-merged {len(best)} benchmarks "
+          f"from {len(rounds)} rounds")
+    return 0
+
+
+if __name__ == "__main__":
+    return_code = main()
+    sys.exit(return_code)

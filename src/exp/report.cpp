@@ -36,6 +36,7 @@ std::vector<std::pair<std::string, std::string>> point_fields(
       {"latency_max", util::fixed(r.latency.max(), 1)},
       {"flits_injected", std::to_string(r.flits_injected)},
       {"flits_delivered", std::to_string(r.flits_delivered)},
+      {"flits_in_flight", std::to_string(r.flits_in_flight)},
       {"link_utilization", util::fixed(r.link_utilization, 6)},
       {"lane_occupancy", util::fixed(r.lane_occupancy.mean(), 6)},
       {"hol_blocking_cycles", std::to_string(r.hol_blocking_cycles)},

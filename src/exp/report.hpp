@@ -16,8 +16,10 @@ namespace mineq::exp {
 /// One header line plus one row per grid point, in sweep order. Columns:
 /// network,pattern,mode,lanes,rate,stages,seed,offered,injected,delivered,
 /// throughput,acceptance,latency_mean,latency_p50,latency_p99,latency_max,
-/// flits_injected,flits_delivered,link_utilization,lane_occupancy,
-/// hol_blocking_cycles
+/// flits_injected,flits_delivered,flits_in_flight,link_utilization,
+/// lane_occupancy,hol_blocking_cycles — latency_p99 and
+/// hol_blocking_cycles make tail behavior visible in sweep artifacts;
+/// flits_in_flight closes the flit conservation ledger per point.
 [[nodiscard]] std::string sweep_csv(const SweepResult& sweep);
 
 /// A JSON object {"stages": ..., "points": [...]} with one object per

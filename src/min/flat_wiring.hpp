@@ -1,0 +1,131 @@
+/// \file flat_wiring.hpp
+/// \brief The stage-packed flat wiring IR: one topology representation
+/// shared by the equivalence checks, the simulators and the sweeps.
+///
+/// The paper's point is that many differently-constructed networks are a
+/// single topology; FlatWiring is that topology flattened to two
+/// contiguous CSR-style uint32_t arrays, built once (from an MIDigraph or
+/// directly from a PIPID sequence) and consumed read-only everywhere:
+///
+///   down[s * 2C + 2x + port] = (child_cell << 1) | input_slot
+///   up  [s * 2C + 2y + slot] = (parent_cell << 1) | out_port
+///
+/// with C = cells_per_stage(). Record s spans the connection from stage s
+/// to stage s + 1; `input_slot` is the slot (0 or 1) of the child cell
+/// that the arc feeds, assigned in deterministic (source cell, port)
+/// fill order — the exact assignment both switching disciplines simulate,
+/// so a wiring built here is bit-compatible with the pre-IR simulators.
+///
+/// Only *valid* MI-digraphs (every in-degree exactly 2) are representable:
+/// slot assignment is meaningless otherwise. Degenerate double-link
+/// stages (Fig. 5) still have all in-degrees 2 — both slots of a child
+/// fed by the same parent — so they flatten fine and fail later checks
+/// (Banyan) rather than construction.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "min/mi_digraph.hpp"
+#include "perm/index_perm.hpp"
+
+namespace mineq::min {
+
+/// Flat, stage-packed wiring of a valid MI-digraph.
+class FlatWiring {
+ public:
+  /// The 1-stage wiring (no connections, a single cell column).
+  FlatWiring() = default;
+
+  /// Flatten a valid MI-digraph.
+  /// \throws std::invalid_argument if some cell's in-degree is not 2.
+  [[nodiscard]] static FlatWiring from_digraph(const MIDigraph& g);
+
+  /// Build directly from a PIPID wiring sequence (pipids.size() + 1
+  /// stages, every PIPID of width equal to that stage count), using the
+  /// paper's closed bit formula — no Connection image tables and no 2^n
+  /// link-permutation table are materialized. Identical to
+  /// from_digraph(network_from_pipids(pipids)) record for record
+  /// (including degenerate k == 0 stages, whose double links are valid
+  /// in-degree-2 wirings).
+  /// \throws std::invalid_argument on a width mismatch or an empty
+  /// sequence.
+  [[nodiscard]] static FlatWiring from_pipids(
+      const std::vector<perm::IndexPermutation>& pipids);
+
+  [[nodiscard]] int stages() const noexcept { return stages_; }
+
+  /// Cell-label width (stages - 1 bits).
+  [[nodiscard]] int width() const noexcept { return stages_ - 1; }
+
+  [[nodiscard]] std::uint32_t cells_per_stage() const noexcept {
+    return cells_;
+  }
+
+  /// Links (= records) per inter-stage connection: 2 * cells_per_stage().
+  [[nodiscard]] std::size_t links_per_stage() const noexcept {
+    return std::size_t{2} * cells_;
+  }
+
+  /// The packed down records of connection \p s: entry 2x + port is
+  /// (child << 1) | slot for the port-p out-link of cell x at stage s.
+  [[nodiscard]] std::span<const std::uint32_t> down_stage(int s) const {
+    return {down_.data() + static_cast<std::size_t>(s) * links_per_stage(),
+            links_per_stage()};
+  }
+
+  /// The packed up records of connection \p s: entry 2y + slot is
+  /// (parent << 1) | port for input slot `slot` of cell y at stage s + 1.
+  [[nodiscard]] std::span<const std::uint32_t> up_stage(int s) const {
+    return {up_.data() + static_cast<std::size_t>(s) * links_per_stage(),
+            links_per_stage()};
+  }
+
+  /// Child cell reached by the port-\p port out-link of cell \p x at
+  /// stage \p s.
+  [[nodiscard]] std::uint32_t child(int s, std::uint32_t x,
+                                    unsigned port) const {
+    return down_stage(s)[2 * x + port] >> 1;
+  }
+
+  /// Input slot (0 or 1) of that child that the arc feeds.
+  [[nodiscard]] unsigned slot(int s, std::uint32_t x, unsigned port) const {
+    return down_stage(s)[2 * x + port] & 1U;
+  }
+
+  /// Parent cell feeding input slot \p slot of cell \p y at stage s + 1.
+  [[nodiscard]] std::uint32_t parent(int s, std::uint32_t y,
+                                     unsigned slot) const {
+    return up_stage(s)[2 * y + slot] >> 1;
+  }
+
+  /// Out-port of that parent the arc leaves through.
+  [[nodiscard]] unsigned parent_port(int s, std::uint32_t y,
+                                     unsigned slot) const {
+    return up_stage(s)[2 * y + slot] & 1U;
+  }
+
+  friend bool operator==(const FlatWiring&, const FlatWiring&) = default;
+
+ private:
+  FlatWiring(int stages, std::uint32_t cells)
+      : stages_(stages),
+        cells_(cells),
+        down_(static_cast<std::size_t>(stages - 1) * 2 * cells, 0),
+        up_(static_cast<std::size_t>(stages - 1) * 2 * cells, 0) {}
+
+  /// Assign slots for one connection given its child function; used by
+  /// both constructors so the fill order is identical. \p filled is
+  /// caller-owned scratch of cells_per_stage() bytes.
+  void pack_stage(int s, const std::vector<std::uint32_t>& child_of_link,
+                  std::vector<std::uint8_t>& filled);
+
+  int stages_ = 1;
+  std::uint32_t cells_ = 1;
+  std::vector<std::uint32_t> down_;
+  std::vector<std::uint32_t> up_;
+};
+
+}  // namespace mineq::min

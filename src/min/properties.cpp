@@ -105,6 +105,83 @@ bool satisfies_p_star_n(const MIDigraph& g) {
   return true;
 }
 
+std::vector<std::size_t> prefix_component_profile(const FlatWiring& w) {
+  const std::uint32_t cells = w.cells_per_stage();
+  graph::DSU dsu(static_cast<std::size_t>(w.stages()) * cells);
+  std::vector<std::size_t> profile;
+  profile.reserve(static_cast<std::size_t>(w.stages()));
+  profile.push_back(cells);
+  for (int s = 0; s + 1 < w.stages(); ++s) {
+    const auto down = w.down_stage(s);
+    const std::uint32_t base = static_cast<std::uint32_t>(s) * cells;
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      dsu.unite(base + x, base + cells + (down[2 * x] >> 1));
+      dsu.unite(base + x, base + cells + (down[2 * x + 1] >> 1));
+    }
+    const std::size_t untouched =
+        static_cast<std::size_t>(w.stages() - 2 - s) * cells;
+    profile.push_back(dsu.components() - untouched);
+  }
+  return profile;
+}
+
+std::vector<std::size_t> suffix_component_profile(const FlatWiring& w) {
+  const std::uint32_t cells = w.cells_per_stage();
+  graph::DSU dsu(static_cast<std::size_t>(w.stages()) * cells);
+  std::vector<std::size_t> profile(static_cast<std::size_t>(w.stages()));
+  profile[static_cast<std::size_t>(w.stages() - 1)] = cells;
+  for (int s = w.stages() - 2; s >= 0; --s) {
+    const auto down = w.down_stage(s);
+    const std::uint32_t base = static_cast<std::uint32_t>(s) * cells;
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      dsu.unite(base + x, base + cells + (down[2 * x] >> 1));
+      dsu.unite(base + x, base + cells + (down[2 * x + 1] >> 1));
+    }
+    const std::size_t untouched = static_cast<std::size_t>(s) * cells;
+    profile[static_cast<std::size_t>(s)] = dsu.components() - untouched;
+  }
+  return profile;
+}
+
+bool satisfies_p1_star(const FlatWiring& w) {
+  const auto profile = prefix_component_profile(w);
+  for (int j = 0; j < w.stages(); ++j) {
+    if (profile[static_cast<std::size_t>(j)] !=
+        (std::size_t{1} << (w.width() - j))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool satisfies_p_star_n(const FlatWiring& w) {
+  const auto profile = suffix_component_profile(w);
+  for (int i = 0; i < w.stages(); ++i) {
+    if (profile[static_cast<std::size_t>(i)] != (std::size_t{1} << i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t component_count_range(const FlatWiring& w, int lo, int hi) {
+  if (lo < 0 || hi >= w.stages() || lo > hi) {
+    throw std::invalid_argument("P(i,j): bad stage range");
+  }
+  const std::uint32_t cells = w.cells_per_stage();
+  const std::size_t span = static_cast<std::size_t>(hi - lo + 1);
+  graph::DSU dsu(span * cells);
+  for (int s = lo; s < hi; ++s) {
+    const auto down = w.down_stage(s);
+    const std::uint32_t base = static_cast<std::uint32_t>(s - lo) * cells;
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      dsu.unite(base + x, base + cells + (down[2 * x] >> 1));
+      dsu.unite(base + x, base + cells + (down[2 * x + 1] >> 1));
+    }
+  }
+  return dsu.components();
+}
+
 SuffixStructure suffix_component_structure(const MIDigraph& g, int from) {
   check_range(g, from, g.stages() - 1);
   const std::uint32_t cells = g.cells_per_stage();

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "min/flat_wiring.hpp"
 #include "min/mi_digraph.hpp"
 
 namespace mineq::min {
@@ -47,6 +48,18 @@ namespace mineq::min {
 
 /// P(*,n) of the paper: every suffix has the expected component count.
 [[nodiscard]] bool satisfies_p_star_n(const MIDigraph& g);
+
+/// FlatWiring fast paths: the same incremental DSU sweeps over the
+/// stage-packed down records. check_baseline_equivalence routes through
+/// these so one IR build serves every check of the characterization.
+[[nodiscard]] std::vector<std::size_t> prefix_component_profile(
+    const FlatWiring& w);
+[[nodiscard]] std::vector<std::size_t> suffix_component_profile(
+    const FlatWiring& w);
+[[nodiscard]] bool satisfies_p1_star(const FlatWiring& w);
+[[nodiscard]] bool satisfies_p_star_n(const FlatWiring& w);
+[[nodiscard]] std::size_t component_count_range(const FlatWiring& w, int lo,
+                                                int hi);
 
 /// Lemma 2 structure report for the suffix (G)_{from..n-1}: component
 /// count plus, per component, its intersection size with every stage.

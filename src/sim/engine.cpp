@@ -1,10 +1,10 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <cmath>
 #include <stdexcept>
 
-#include "sim/lanes.hpp"
+#include "sim/fabric.hpp"
 #include "sim/wormhole.hpp"
 #include "util/bitops.hpp"
 
@@ -29,31 +29,33 @@ SwitchingMode parse_switching_mode(std::string_view name) {
                               std::string(name) + '"');
 }
 
-SwitchWiring SwitchWiring::precompute(const min::MIDigraph& network) {
-  // Assign each incoming arc of every cell to an input slot (0 or 1), in
-  // deterministic (source cell, port) order.
-  const std::uint32_t cells = network.cells_per_stage();
-  SwitchWiring wiring;
-  wiring.slot_of.resize(static_cast<std::size_t>(network.stages() - 1));
-  for (int s = 0; s + 1 < network.stages(); ++s) {
-    auto& stage_slots = wiring.slot_of[static_cast<std::size_t>(s)];
-    stage_slots.assign(cells, {0, 0});
-    std::vector<std::uint8_t> filled(cells, 0);
-    const min::Connection& conn = network.connection(s);
-    for (std::uint32_t x = 0; x < cells; ++x) {
-      for (unsigned p = 0; p < 2; ++p) {
-        const std::uint32_t child =
-            p == 0 ? conn.f_table()[x] : conn.g_table()[x];
-        stage_slots[x][p] = filled[child]++;
-      }
-    }
-    for (std::uint32_t y = 0; y < cells; ++y) {
-      if (filled[y] != 2) {
-        throw std::logic_error("SwitchWiring: slot assignment inconsistency");
-      }
-    }
+void SimConfig::validate() const {
+  if (!std::isfinite(injection_rate) || injection_rate < 0.0 ||
+      injection_rate > 1.0) {
+    throw std::invalid_argument(
+        "SimConfig: injection_rate must be finite and within [0, 1], got " +
+        std::to_string(injection_rate));
   }
-  return wiring;
+  if (packet_length == 0) {
+    throw std::invalid_argument(
+        "SimConfig: packet_length must be positive (a packet has at least "
+        "one flit)");
+  }
+  if (queue_capacity == 0) {
+    throw std::invalid_argument(
+        "SimConfig: queue_capacity must be positive (store-and-forward "
+        "FIFOs need at least one packet slot)");
+  }
+  if (lanes == 0) {
+    throw std::invalid_argument(
+        "SimConfig: lanes must be positive (wormhole ports need at least "
+        "one virtual channel)");
+  }
+  if (lane_depth == 0) {
+    throw std::invalid_argument(
+        "SimConfig: lane_depth must be positive (a lane buffers at least "
+        "one flit)");
+  }
 }
 
 Engine::Engine(min::MIDigraph network, min::BitSchedule schedule)
@@ -64,7 +66,7 @@ Engine::Engine(min::MIDigraph network, min::BitSchedule schedule)
   if (!min::verify_bit_schedule(network_, schedule_)) {
     throw std::invalid_argument("Engine: schedule does not route network");
   }
-  wiring_ = SwitchWiring::precompute(network_);
+  wiring_ = min::FlatWiring::from_digraph(network_);
 }
 
 namespace {
@@ -94,222 +96,177 @@ unsigned Engine::route_port(int stage, std::uint32_t dest_terminal) const {
          schedule_.invert[static_cast<std::size_t>(stage)];
 }
 
-SimResult Engine::run(Pattern pattern, const SimConfig& config) const {
-  if (config.injection_rate < 0.0 || config.injection_rate > 1.0) {
-    throw std::invalid_argument("Engine::run: injection rate outside [0,1]");
+namespace {
+
+/// The store-and-forward discipline as a policy over FabricCore: packets
+/// move as units between fixed-capacity per-port FIFOs (PacketRing), a
+/// packet of L flits serializes over each link for L cycles, and a packet
+/// must have fully arrived (arrival_complete) before it may advance.
+class StoreAndForwardPolicy {
+ public:
+  explicit StoreAndForwardPolicy(FabricCore& core)
+      : core_(core),
+        length_(core.config().packet_length),
+        queues_(static_cast<std::size_t>(core.stages()) * core.ports(),
+                core.config().queue_capacity),
+        link_busy_until_(
+            static_cast<std::size_t>(core.stages() - 1) * core.ports(), 0),
+        source_busy_until_(core.terminals(), 0),
+        eject_busy_until_(core.ports(), 0),
+        queue_moved_(core.ports(), 0),
+        total_packet_slots_(static_cast<double>(core.stages()) *
+                            static_cast<double>(core.terminals()) *
+                            static_cast<double>(core.config().queue_capacity)) {
   }
-  if (config.packet_length == 0) {
-    throw std::invalid_argument("Engine::run: packet_length must be positive");
-  }
-  if (config.mode == SwitchingMode::kWormhole) {
-    return WormholeSimulator(*this).run(pattern, config);
-  }
-  if (config.queue_capacity == 0) {
-    throw std::invalid_argument("Engine::run: queue_capacity must be positive");
-  }
-  return run_store_and_forward(pattern, config);
-}
 
-SimResult Engine::run_store_and_forward(Pattern pattern,
-                                        const SimConfig& config) const {
-  const int n = network_.stages();
-  const std::uint32_t cells = network_.cells_per_stage();
-  const std::uint64_t terminals = std::uint64_t{2} * cells;
-  const std::uint64_t length = config.packet_length;
-
-  util::SplitMix64 rng(config.seed);
-  TrafficSource source(pattern, n, rng.split(0));
-  util::SplitMix64 inject_rng = rng.split(1);
-  // Injection gate: inject with probability rate (16-bit fixed point).
-  const auto rate_num =
-      static_cast<std::uint64_t>(config.injection_rate * 65536.0);
-
-  // queues[s][2*cell + slot]: input FIFOs of cell at stage s.
-  std::vector<std::vector<std::deque<Packet>>> queues(
-      static_cast<std::size_t>(n));
-  for (auto& stage : queues) {
-    stage.assign(std::size_t{2} * cells, {});
-  }
-  // Round-robin pointers per (stage, cell, output port).
-  std::vector<std::vector<RoundRobin>> rr(
-      static_cast<std::size_t>(n),
-      std::vector<RoundRobin>(std::size_t{2} * cells, RoundRobin(2)));
-  // A packet serializes over a link for packet_length cycles: per-link,
-  // per-terminal and per-ejection-port busy horizons (always the next
-  // cycle when packet_length == 1, reproducing the one-packet-per-link
-  // model exactly).
-  std::vector<std::vector<std::uint64_t>> link_busy_until(
-      static_cast<std::size_t>(n - 1),
-      std::vector<std::uint64_t>(std::size_t{2} * cells, 0));
-  std::vector<std::uint64_t> source_busy_until(terminals, 0);
-  // Indexed by (cell, terminal port d&1), not by input slot.
-  std::vector<std::uint64_t> eject_busy_until(std::size_t{2} * cells, 0);
-  // Per-stage scratch for head-of-line accounting.
-  std::vector<std::uint8_t> queue_moved(std::size_t{2} * cells, 0);
-
-  SimResult result;
-  std::uint64_t busy_link_cycles = 0;
-  const double total_packet_slots =
-      static_cast<double>(n) * static_cast<double>(terminals) *
-      static_cast<double>(config.queue_capacity);
-  const std::uint64_t total_cycles =
-      config.warmup_cycles + config.measure_cycles;
-
-  for (std::uint64_t cycle = 0; cycle < total_cycles; ++cycle) {
-    const bool measuring = cycle >= config.warmup_cycles;
-
-    // 1. Eject at the last stage: like the wormhole path, each terminal
-    // link (cell x, port d&1) carries one packet per packet_length
-    // cycles, round-robin between the two input slots.
-    std::fill(queue_moved.begin(), queue_moved.end(), 0);
+  /// Eject at the last stage: each terminal link (cell x, port d&1)
+  /// carries one packet per packet_length cycles, round-robin between the
+  /// two input slots.
+  void eject(std::uint64_t cycle, bool measuring) {
+    const int last = core_.stages() - 1;
+    const std::uint32_t cells = core_.cells();
+    std::fill(queue_moved_.begin(), queue_moved_.end(), 0);
     for (std::uint32_t x = 0; x < cells; ++x) {
       for (unsigned port = 0; port < 2; ++port) {
-        if (eject_busy_until[2 * x + port] > cycle) continue;
-        RoundRobin& arb = rr[static_cast<std::size_t>(n - 1)][2 * x + port];
+        if (eject_busy_until_[2 * x + port] > cycle) continue;
+        RoundRobin& arb = core_.arbiter(last, 2 * x + port);
         for (unsigned probe = 0; probe < 2; ++probe) {
           const unsigned slot = arb.candidate(probe);
-          auto& q = queues[static_cast<std::size_t>(n - 1)][2 * x + slot];
-          if (q.empty()) continue;
-          const Packet pkt = q.front();
-          if (pkt.arrival_complete > cycle) continue;
-          if ((pkt.dest_terminal & 1U) != port) continue;
-          q.pop_front();
-          eject_busy_until[2 * x + port] = cycle + length;
+          const std::size_t q = queue_index(last, 2 * x + slot);
+          if (queues_.empty(q)) continue;
+          if (queues_.front_arrival(q) > cycle) continue;
+          if ((queues_.front_dest(q) & 1U) != port) continue;
+          const std::uint64_t inject_cycle = queues_.front_inject(q);
+          queues_.pop(q);
+          eject_busy_until_[2 * x + port] = cycle + length_;
           arb.grant(slot);
-          queue_moved[2 * x + slot] = 1;
-          if (measuring && pkt.inject_cycle >= config.warmup_cycles) {
-            ++result.delivered;
-            result.flits_delivered += length;
-            const auto cycles_in_flight =
-                static_cast<double>(cycle - pkt.inject_cycle + length);
-            result.latency.add(cycles_in_flight);
-            result.latency_histogram.add(cycles_in_flight);
+          queue_moved_[2 * x + slot] = 1;
+          if (measuring && inject_cycle >= core_.config().warmup_cycles) {
+            core_.result.flits_delivered += length_;
+            core_.record_packet_delivered(
+                static_cast<double>(cycle - inject_cycle + length_));
           }
           break;
         }
       }
     }
-    if (measuring) {
-      // Last-stage head-of-line blocking, symmetric with the wormhole
-      // path's ejection accounting.
-      for (std::size_t i = 0; i < std::size_t{2} * cells; ++i) {
-        const auto& q = queues[static_cast<std::size_t>(n - 1)][i];
-        if (!q.empty() && q.front().arrival_complete <= cycle &&
-            queue_moved[i] == 0) {
-          ++result.hol_blocking_cycles;
+    if (measuring) account_blocking(last, cycle);
+  }
+
+  /// Advance one switch stage: round-robin between the two input slots
+  /// per output port, honoring link serialization and downstream FIFO
+  /// capacity.
+  void advance_stage(int s, std::uint64_t cycle, bool measuring) {
+    const std::uint32_t cells = core_.cells();
+    const auto down = core_.wiring().down_stage(s);
+    const std::size_t link_base =
+        static_cast<std::size_t>(s) * core_.ports();
+    std::fill(queue_moved_.begin(), queue_moved_.end(), 0);
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      for (unsigned port = 0; port < 2; ++port) {
+        if (link_busy_until_[link_base + 2 * x + port] > cycle) {
+          continue;  // still serializing the previous packet
+        }
+        RoundRobin& arb = core_.arbiter(s, 2 * x + port);
+        for (unsigned probe = 0; probe < 2; ++probe) {
+          const unsigned slot = arb.candidate(probe);
+          const std::size_t q = queue_index(s, 2 * x + slot);
+          if (queues_.empty(q)) continue;
+          if (queues_.front_arrival(q) > cycle) continue;
+          const std::uint32_t dest = queues_.front_dest(q);
+          if (core_.engine().route_port(s, dest) != port) continue;
+          // One packed read gives the child cell and its input slot.
+          const std::uint32_t record = down[2 * x + port];
+          const std::size_t target =
+              queue_index(s + 1, 2 * (record >> 1) + (record & 1U));
+          if (queues_.full(target)) continue;
+          queues_.push(target, dest, queues_.front_inject(q),
+                       cycle + length_);
+          queues_.pop(q);
+          queue_moved_[2 * x + slot] = 1;
+          link_busy_until_[link_base + 2 * x + port] = cycle + length_;
+          arb.grant(slot);
+          break;
         }
       }
     }
+    if (measuring) account_blocking(s, cycle);
+  }
 
-    // 2. Switch stages from last-1 down to 0 so a packet moves at most one
-    // hop per cycle.
-    for (int s = n - 2; s >= 0; --s) {
-      const min::Connection& conn = network_.connection(s);
-      std::fill(queue_moved.begin(), queue_moved.end(), 0);
-      for (std::uint32_t x = 0; x < cells; ++x) {
-        for (unsigned port = 0; port < 2; ++port) {
-          if (link_busy_until[static_cast<std::size_t>(s)][2 * x + port] >
-              cycle) {
-            continue;  // still serializing the previous packet
-          }
-          // Round-robin between the two input slots for this output port.
-          RoundRobin& arb = rr[static_cast<std::size_t>(s)][2 * x + port];
-          for (unsigned probe = 0; probe < 2; ++probe) {
-            const unsigned slot = arb.candidate(probe);
-            auto& q = queues[static_cast<std::size_t>(s)][2 * x + slot];
-            if (q.empty()) continue;
-            const Packet& pkt = q.front();
-            if (pkt.arrival_complete > cycle) continue;
-            if (route_port(s, pkt.dest_terminal) != port) continue;
-            const std::uint32_t child =
-                port == 0 ? conn.f_table()[x] : conn.g_table()[x];
-            const unsigned child_slot =
-                wiring_.slot_of[static_cast<std::size_t>(s)][x][port];
-            auto& target =
-                queues[static_cast<std::size_t>(s + 1)]
-                      [2 * child + child_slot];
-            if (target.size() >= config.queue_capacity) continue;
-            Packet moved = pkt;
-            moved.arrival_complete = cycle + length;
-            target.push_back(moved);
-            q.pop_front();
-            queue_moved[2 * x + slot] = 1;
-            link_busy_until[static_cast<std::size_t>(s)][2 * x + port] =
-                cycle + length;
-            arb.grant(slot);
-            break;
-          }
-        }
-      }
+  /// Inject at the first stage: terminal t feeds slot t&1 of cell t>>1.
+  /// A bursty-OFF terminal makes no attempt at all.
+  void inject(std::uint64_t cycle, bool measuring) {
+    for (std::uint64_t t = 0; t < core_.terminals(); ++t) {
+      if (!core_.terminal_active(t)) continue;
+      if (!core_.gate()) continue;
+      if (source_busy_until_[t] > cycle) continue;  // still serializing
+      if (measuring) ++core_.result.offered;
+      const std::size_t q = queue_index(0, t);
+      if (queues_.full(q)) continue;  // dropped at source
+      const std::uint32_t dest =
+          core_.destination(static_cast<std::uint32_t>(t));
+      queues_.push(q, dest, cycle, cycle + length_);
+      source_busy_until_[t] = cycle + length_;
       if (measuring) {
-        // Head-of-line blocking: a fully-arrived head that did not move.
-        for (std::size_t i = 0; i < std::size_t{2} * cells; ++i) {
-          const auto& q = queues[static_cast<std::size_t>(s)][i];
-          if (!q.empty() && q.front().arrival_complete <= cycle &&
-              queue_moved[i] == 0) {
-            ++result.hol_blocking_cycles;
-          }
-        }
+        ++core_.result.injected;
+        core_.result.flits_injected += length_;
       }
-    }
-
-    // 3. Inject at the first stage: terminal t feeds slot t&1 of cell t>>1.
-    for (std::uint64_t t = 0; t < terminals; ++t) {
-      if ((inject_rng.next() & 0xFFFF) >= rate_num) continue;
-      if (source_busy_until[t] > cycle) continue;  // still serializing
-      if (measuring) ++result.offered;
-      auto& q = queues[0][t];
-      if (q.size() >= config.queue_capacity) continue;  // dropped at source
-      Packet pkt;
-      pkt.dest_terminal =
-          source.destination(static_cast<std::uint32_t>(t));
-      pkt.inject_cycle = cycle;
-      pkt.arrival_complete = cycle + length;
-      q.push_back(pkt);
-      source_busy_until[t] = cycle + length;
-      if (measuring) {
-        ++result.injected;
-        result.flits_injected += length;
-      }
-    }
-
-    // 4. Sample link and buffer occupancy.
-    if (measuring) {
-      for (const auto& stage_links : link_busy_until) {
-        for (const std::uint64_t busy_until : stage_links) {
-          if (busy_until > cycle) ++busy_link_cycles;
-        }
-      }
-      std::size_t queued = 0;
-      for (const auto& stage : queues) {
-        for (const auto& q : stage) queued += q.size();
-      }
-      result.lane_occupancy.add(static_cast<double>(queued) /
-                                total_packet_slots);
     }
   }
 
-  for (const auto& stage : queues) {
-    for (const auto& q : stage) {
-      result.flits_in_flight += q.size() * length;
+  /// Sample link business and buffer occupancy (measured cycles only).
+  void sample(std::uint64_t cycle) {
+    for (const std::uint64_t busy_until : link_busy_until_) {
+      if (busy_until > cycle) ++busy_link_cycles_;
+    }
+    core_.result.lane_occupancy.add(
+        static_cast<double>(queues_.total_packets()) / total_packet_slots_);
+  }
+
+  [[nodiscard]] std::uint64_t buffered_flits() const {
+    return queues_.total_packets() * length_;
+  }
+  [[nodiscard]] std::uint64_t link_counter() const {
+    return busy_link_cycles_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t queue_index(int s, std::size_t i) const {
+    return static_cast<std::size_t>(s) * core_.ports() + i;
+  }
+
+  /// Head-of-line blocking: a fully-arrived head that did not move.
+  void account_blocking(int s, std::uint64_t cycle) {
+    for (std::size_t i = 0; i < core_.ports(); ++i) {
+      const std::size_t q = queue_index(s, i);
+      if (!queues_.empty(q) && queues_.front_arrival(q) <= cycle &&
+          queue_moved_[i] == 0) {
+        ++core_.result.hol_blocking_cycles;
+      }
     }
   }
-  if (config.measure_cycles > 0) {
-    result.throughput =
-        static_cast<double>(result.delivered) /
-        (static_cast<double>(config.measure_cycles) *
-         static_cast<double>(terminals));
-    result.link_utilization =
-        static_cast<double>(busy_link_cycles) /
-        (static_cast<double>(n - 1) * static_cast<double>(terminals) *
-         static_cast<double>(config.measure_cycles));
+
+  FabricCore& core_;
+  std::uint64_t length_;
+  PacketRing queues_;
+  std::vector<std::uint64_t> link_busy_until_;
+  std::vector<std::uint64_t> source_busy_until_;
+  std::vector<std::uint64_t> eject_busy_until_;
+  std::vector<std::uint8_t> queue_moved_;
+  std::uint64_t busy_link_cycles_ = 0;
+  double total_packet_slots_;
+};
+
+}  // namespace
+
+SimResult Engine::run(Pattern pattern, const SimConfig& config) const {
+  config.validate();
+  if (config.mode == SwitchingMode::kWormhole) {
+    return WormholeSimulator(*this).run(pattern, config);
   }
-  result.acceptance =
-      result.offered == 0
-          ? 1.0
-          : static_cast<double>(result.injected) /
-                static_cast<double>(result.offered);
-  return result;
+  FabricCore core(*this, pattern, config, /*arbiter_candidates=*/2);
+  StoreAndForwardPolicy policy(core);
+  return run_switched(core, policy);
 }
 
 }  // namespace mineq::sim

@@ -6,26 +6,28 @@
 /// this engine exercises the constructed topologies end-to-end. Model:
 /// input-buffered 2x2 switches, one flit per link per cycle,
 /// destination-bit routing (min/routing.hpp schedules), round-robin
-/// arbitration on output-port conflicts, Bernoulli injection per terminal.
+/// arbitration on output-port conflicts, Bernoulli injection per terminal
+/// (optionally modulated by the two-state bursty on/off process).
 /// Everything is deterministic given the seed.
 ///
-/// Two switching disciplines share the wiring precomputation, the
-/// round-robin arbiter and the SimResult reporting:
+/// Both switching disciplines are policies over one shared substrate
+/// (FabricCore, fabric.hpp): the stage-packed min::FlatWiring IR, the
+/// round-robin arbiters, struct-of-arrays payload pools and the SimResult
+/// reporting are common; only the per-switch advancement rule differs:
 ///  - store-and-forward: packets move as units; a packet of L flits
 ///    occupies its link for L cycles per hop and must be fully received
 ///    before it can advance (engine.cpp);
 ///  - wormhole: packets are decomposed into head/body/tail flits that
 ///    pipeline across stages through multi-lane (virtual-channel) input
-///    buffers (wormhole.cpp, lanes.hpp, flit.hpp).
+///    buffers (wormhole.cpp, flit.hpp).
 
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <vector>
 
+#include "min/flat_wiring.hpp"
 #include "min/mi_digraph.hpp"
 #include "min/routing.hpp"
 #include "sim/stats.hpp"
@@ -58,6 +60,15 @@ struct SimConfig {
   std::size_t packet_length = 1; ///< flits per packet (both disciplines)
   std::size_t lanes = 1;         ///< wormhole: virtual channels per input port
   std::size_t lane_depth = 4;    ///< wormhole: flits buffered per lane
+
+  /// Reject unusable parameters up front, with a message naming the
+  /// offending field and value: lanes, lane_depth, packet_length and
+  /// queue_capacity must be positive (regardless of mode, so a config is
+  /// valid or not independently of the discipline that runs it), and
+  /// injection_rate must be finite and within [0, 1]. Called by both
+  /// simulators and by exp::run_sweep before any work starts.
+  /// \throws std::invalid_argument
+  void validate() const;
 };
 
 /// Aggregate results of one run.
@@ -92,20 +103,10 @@ struct SimResult {
   RunningStats lane_occupancy;
 };
 
-/// Precomputed arc -> input-slot wiring shared by both disciplines:
-/// slot_of[s][x][p] is the input slot (0 or 1) of the child cell that the
-/// port-p out-link of cell x at stage s feeds.
-struct SwitchWiring {
-  std::vector<std::vector<std::array<std::uint8_t, 2>>> slot_of;
-
-  /// Derive the wiring from a valid MI-digraph.
-  /// \throws std::logic_error if some cell's in-degree is not 2.
-  [[nodiscard]] static SwitchWiring precompute(const min::MIDigraph& network);
-};
-
-/// The simulator. Construction precomputes the arc -> input-slot wiring;
-/// run() is repeatable (state resets each call) and thread-safe on a
-/// const Engine.
+/// The simulator. Construction flattens the network into the stage-packed
+/// min::FlatWiring IR shared by both disciplines (and by the equivalence
+/// checks and sweeps); run() is repeatable (state resets each call) and
+/// thread-safe on a const Engine.
 class Engine {
  public:
   /// \p schedule must be a valid destination-bit schedule for \p network
@@ -118,6 +119,7 @@ class Engine {
 
   /// Run one simulation with the given traffic and parameters, in the
   /// discipline selected by \p config.mode.
+  /// \throws std::invalid_argument via SimConfig::validate().
   [[nodiscard]] SimResult run(Pattern pattern, const SimConfig& config) const;
 
   [[nodiscard]] const min::MIDigraph& network() const noexcept {
@@ -126,7 +128,8 @@ class Engine {
   [[nodiscard]] const min::BitSchedule& schedule() const noexcept {
     return schedule_;
   }
-  [[nodiscard]] const SwitchWiring& wiring() const noexcept {
+  /// The flat wiring IR both disciplines route over.
+  [[nodiscard]] const min::FlatWiring& wiring() const noexcept {
     return wiring_;
   }
   [[nodiscard]] int terminals_log2() const noexcept {
@@ -140,21 +143,9 @@ class Engine {
                                     std::uint32_t dest_terminal) const;
 
  private:
-  struct Packet {
-    std::uint32_t dest_terminal = 0;
-    std::uint64_t inject_cycle = 0;
-    /// Cycle at which the packet's tail has fully arrived in the current
-    /// buffer (a packet serializes over each link for packet_length
-    /// cycles; it may not advance before then).
-    std::uint64_t arrival_complete = 0;
-  };
-
-  [[nodiscard]] SimResult run_store_and_forward(Pattern pattern,
-                                                const SimConfig& config) const;
-
   min::MIDigraph network_;
   min::BitSchedule schedule_;
-  SwitchWiring wiring_;
+  min::FlatWiring wiring_;
 };
 
 }  // namespace mineq::sim

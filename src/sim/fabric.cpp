@@ -1,0 +1,151 @@
+#include "sim/fabric.hpp"
+
+#include <stdexcept>
+
+namespace mineq::sim {
+
+PacketRing::PacketRing(std::size_t queues, std::size_t capacity)
+    : capacity_(capacity),
+      head_(queues, 0),
+      count_(queues, 0),
+      dest_(queues * capacity, 0),
+      inject_(queues * capacity, 0),
+      arrival_(queues * capacity, 0) {
+  if (capacity == 0) {
+    throw std::invalid_argument("PacketRing: capacity must be positive");
+  }
+}
+
+void PacketRing::push(std::size_t q, std::uint32_t dest,
+                      std::uint64_t inject_cycle,
+                      std::uint64_t arrival_complete) {
+  if (full(q)) {
+    throw std::logic_error("PacketRing: push into a full queue");
+  }
+  const std::size_t at = q * capacity_ + wrap(head_[q] + count_[q]);
+  dest_[at] = dest;
+  inject_[at] = inject_cycle;
+  arrival_[at] = arrival_complete;
+  ++count_[q];
+  ++total_;
+}
+
+void PacketRing::pop(std::size_t q) {
+  if (empty(q)) {
+    throw std::logic_error("PacketRing: pop from an empty queue");
+  }
+  head_[q] = static_cast<std::uint32_t>(wrap(head_[q] + std::size_t{1}));
+  --count_[q];
+  --total_;
+}
+
+LanePool::LanePool(std::size_t lane_count, std::size_t depth)
+    : depth_(depth),
+      slots_(lane_count * depth),
+      head_(lane_count, 0),
+      count_(lane_count, 0),
+      busy_(lane_count, 0),
+      tail_in_(lane_count, 0),
+      moved_(lane_count, 0),
+      out_port_(lane_count, 0),
+      downstream_(lane_count, -1) {
+  if (depth == 0) {
+    throw std::invalid_argument("LanePool: depth must be positive");
+  }
+}
+
+void LanePool::accept_head(std::size_t l, const Flit& head,
+                           unsigned out_port) {
+  if (busy_[l] != 0 || !head.is_head()) {
+    throw std::logic_error(
+        "LanePool::accept_head: lane busy or flit not a head");
+  }
+  busy_[l] = 1;
+  tail_in_[l] = head.is_tail() ? 1 : 0;
+  out_port_[l] = static_cast<std::uint8_t>(out_port);
+  downstream_[l] = -1;
+  slots_[l * depth_ + wrap(head_[l] + count_[l])] = head;
+  ++count_[l];
+  ++occupied_;
+}
+
+void LanePool::accept(std::size_t l, const Flit& flit) {
+  if (busy_[l] == 0 || tail_in_[l] != 0 || flit.is_head()) {
+    throw std::logic_error(
+        "LanePool::accept: flit does not continue the worm");
+  }
+  if (!has_space(l)) {
+    throw std::logic_error("LanePool::accept: lane full");
+  }
+  tail_in_[l] = flit.is_tail() ? 1 : 0;
+  slots_[l * depth_ + wrap(head_[l] + count_[l])] = flit;
+  ++count_[l];
+  ++occupied_;
+}
+
+Flit LanePool::pop(std::size_t l) {
+  if (count_[l] == 0) {
+    throw std::logic_error("LanePool::pop: lane empty");
+  }
+  const Flit flit = slots_[l * depth_ + head_[l]];
+  head_[l] = static_cast<std::uint32_t>(wrap(head_[l] + std::size_t{1}));
+  --count_[l];
+  --occupied_;
+  moved_[l] = 1;
+  if (flit.is_tail()) {
+    // The worm has fully left: release the lane and its allocation.
+    busy_[l] = 0;
+    tail_in_[l] = 0;
+    downstream_[l] = -1;
+  }
+  return flit;
+}
+
+int LanePool::find_idle_lane(std::size_t first,
+                             std::size_t lanes) const noexcept {
+  for (std::size_t i = 0; i < lanes; ++i) {
+    if (busy_[first + i] == 0) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+FabricCore::FabricCore(const Engine& engine, Pattern pattern,
+                       const SimConfig& config, unsigned arbiter_candidates)
+    : engine_(engine),
+      config_(config),
+      stages_(engine.network().stages()),
+      cells_(engine.network().cells_per_stage()),
+      terminals_(std::uint64_t{2} * engine.network().cells_per_stage()),
+      ports_(std::size_t{2} * engine.network().cells_per_stage()),
+      // RNG stream layout (fixed across both disciplines so a discipline
+      // is a pure policy choice): split 0 feeds the traffic source,
+      // split 1 the injection gate, split 2 the bursty modulator.
+      source_(pattern, stages_, util::SplitMix64(config.seed).split(0)),
+      inject_rng_(util::SplitMix64(config.seed).split(1)),
+      rate_num_(static_cast<std::uint64_t>(config.injection_rate * 65536.0)),
+      arbiters_(static_cast<std::size_t>(stages_) * ports_,
+                RoundRobin(arbiter_candidates)) {
+  if (pattern == Pattern::kBursty) {
+    burst_.emplace(terminals_, util::SplitMix64(config.seed).split(2));
+  }
+}
+
+void FabricCore::finalize(std::uint64_t link_counter) {
+  if (config_.measure_cycles > 0) {
+    result.throughput =
+        static_cast<double>(result.delivered) /
+        (static_cast<double>(config_.measure_cycles) *
+         static_cast<double>(terminals_));
+    result.link_utilization =
+        static_cast<double>(link_counter) /
+        (static_cast<double>(stages_ - 1) * static_cast<double>(terminals_) *
+         static_cast<double>(config_.measure_cycles));
+  }
+  result.acceptance =
+      result.offered == 0
+          ? 1.0
+          : static_cast<double>(result.injected) /
+                static_cast<double>(result.offered);
+}
+
+}  // namespace mineq::sim

@@ -1,0 +1,313 @@
+/// \file fabric.hpp
+/// \brief FabricCore: the shared substrate of both switching disciplines.
+///
+/// Store-and-forward and wormhole switching differ only in how payload
+/// advances through a switch; everything else — the stage-packed wiring
+/// (min::FlatWiring), the per-output-port round-robin arbiters, the
+/// injection gate and traffic source, the bursty on/off modulator, the
+/// result counters and their finalization — is one substrate, owned by
+/// FabricCore. Each discipline is a *policy* (engine.cpp, wormhole.cpp)
+/// that implements the four per-cycle phases over the core; the driver
+/// loop run_switched() sequences them identically for both:
+///
+///   eject -> advance stages (last-1 .. 0) -> inject -> sample
+///
+/// Payload lives in struct-of-arrays pools (PacketRing for whole-packet
+/// FIFOs, LanePool for virtual-channel flit buffers): fixed-capacity
+/// rings over a few contiguous arrays instead of a deque per queue, so a
+/// run allocates O(1) blocks and the hot loops stream over flat memory.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/flit.hpp"
+#include "sim/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace mineq::sim {
+
+/// Rotating-priority pointer over a fixed candidate ring. Callers probe
+/// candidate(0), candidate(1), ... in order and grant() the winner, which
+/// moves it to lowest priority for the next round. The shared fairness
+/// primitive of both switching disciplines.
+class RoundRobin {
+ public:
+  explicit RoundRobin(unsigned size = 1) : size_(size == 0 ? 1 : size) {}
+
+  /// The candidate to try at probe position \p probe (0-based).
+  [[nodiscard]] unsigned candidate(unsigned probe) const noexcept {
+    return (next_ + probe) % size_;
+  }
+
+  /// Record that \p winner was served; it now has lowest priority.
+  void grant(unsigned winner) noexcept { next_ = (winner + 1) % size_; }
+
+  [[nodiscard]] unsigned size() const noexcept { return size_; }
+
+ private:
+  unsigned size_;
+  unsigned next_ = 0;
+};
+
+/// Every store-and-forward input FIFO of the fabric as one
+/// struct-of-arrays ring pool: queue q occupies slots [q * capacity,
+/// (q+1) * capacity) of three parallel field arrays.
+class PacketRing {
+ public:
+  PacketRing(std::size_t queues, std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty(std::size_t q) const noexcept {
+    return count_[q] == 0;
+  }
+  [[nodiscard]] bool full(std::size_t q) const noexcept {
+    return count_[q] == capacity_;
+  }
+
+  /// Append a packet; the queue must not be full.
+  void push(std::size_t q, std::uint32_t dest, std::uint64_t inject_cycle,
+            std::uint64_t arrival_complete);
+
+  /// Head-of-line packet fields; the queue must not be empty.
+  [[nodiscard]] std::uint32_t front_dest(std::size_t q) const {
+    return dest_[front_slot(q)];
+  }
+  [[nodiscard]] std::uint64_t front_inject(std::size_t q) const {
+    return inject_[front_slot(q)];
+  }
+  [[nodiscard]] std::uint64_t front_arrival(std::size_t q) const {
+    return arrival_[front_slot(q)];
+  }
+
+  /// Drop the head-of-line packet; the queue must not be empty.
+  void pop(std::size_t q);
+
+  /// Packets currently buffered across every queue (O(1)).
+  [[nodiscard]] std::size_t total_packets() const noexcept { return total_; }
+
+ private:
+  // head_[q] stays < capacity_ by construction, so ring wrap-around is a
+  // compare-and-subtract, never a (hardware-division) modulo — these run
+  // once per packet per cycle in the store-and-forward hot loop.
+  [[nodiscard]] std::size_t front_slot(std::size_t q) const {
+    return q * capacity_ + head_[q];
+  }
+  [[nodiscard]] std::size_t wrap(std::size_t i) const {
+    return i >= capacity_ ? i - capacity_ : i;
+  }
+
+  std::size_t capacity_;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint32_t> count_;
+  std::vector<std::uint32_t> dest_;
+  std::vector<std::uint64_t> inject_;
+  std::vector<std::uint64_t> arrival_;
+  std::size_t total_ = 0;
+};
+
+/// Every wormhole virtual channel of the fabric as one struct-of-arrays
+/// pool: lane l owns flit slots [l * depth, (l+1) * depth) of a
+/// contiguous ring arena, with the per-lane worm bookkeeping (busy,
+/// tail-seen, out-port, reserved downstream lane, moved-this-cycle) in
+/// parallel field arrays. A lane holds flits of at most one packet (one
+/// worm) at a time: a head claims an idle lane, body/tail flits follow
+/// through it, and popping the tail returns the lane to idle.
+class LanePool {
+ public:
+  LanePool(std::size_t lane_count, std::size_t depth);
+
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+  /// Free for a new worm: no flits buffered and no tail outstanding.
+  [[nodiscard]] bool idle(std::size_t l) const noexcept {
+    return busy_[l] == 0;
+  }
+  [[nodiscard]] bool empty(std::size_t l) const noexcept {
+    return count_[l] == 0;
+  }
+  /// Room for one more flit of the current worm.
+  [[nodiscard]] bool has_space(std::size_t l) const noexcept {
+    return count_[l] < depth_;
+  }
+
+  /// Claim idle lane \p l for a new worm whose head is \p head and which
+  /// leaves this buffer through \p out_port.
+  void accept_head(std::size_t l, const Flit& head, unsigned out_port);
+
+  /// Append a body/tail flit of the worm occupying lane \p l.
+  void accept(std::size_t l, const Flit& flit);
+
+  /// The head-of-line flit; the lane must be non-empty.
+  [[nodiscard]] const Flit& front(std::size_t l) const {
+    return slots_[l * depth_ + head_[l]];
+  }
+
+  /// Remove and return the head-of-line flit. Popping the tail resets the
+  /// lane to idle (the worm has fully left).
+  Flit pop(std::size_t l);
+
+  /// Out-port of the worm currently occupying lane \p l.
+  [[nodiscard]] unsigned out_port(std::size_t l) const noexcept {
+    return out_port_[l];
+  }
+
+  /// Downstream lane (relative index inside the next buffer) reserved by
+  /// the worm, -1 until its head advances.
+  [[nodiscard]] int downstream(std::size_t l) const noexcept {
+    return downstream_[l];
+  }
+  void set_downstream(std::size_t l, int lane) noexcept {
+    downstream_[l] = lane;
+  }
+
+  /// Did pop() run on lane \p l since the last clear_moved()? Used for
+  /// head-of-line blocking accounting.
+  [[nodiscard]] bool moved(std::size_t l) const noexcept {
+    return moved_[l] != 0;
+  }
+  void clear_moved(std::size_t l) noexcept { moved_[l] = 0; }
+
+  /// First idle lane of the \p lanes-lane buffer starting at \p first
+  /// (relative index), or -1 if every lane is claimed.
+  [[nodiscard]] int find_idle_lane(std::size_t first,
+                                   std::size_t lanes) const noexcept;
+
+  /// Flits currently buffered across every lane (O(1)).
+  [[nodiscard]] std::size_t occupied_flits() const noexcept {
+    return occupied_;
+  }
+
+ private:
+  // head_[l] stays < depth_; wrap-around is compare-and-subtract, not a
+  // hardware-division modulo (once per flit move in the hot loop).
+  [[nodiscard]] std::size_t wrap(std::size_t i) const {
+    return i >= depth_ ? i - depth_ : i;
+  }
+
+  std::size_t depth_;
+  std::vector<Flit> slots_;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint32_t> count_;
+  std::vector<std::uint8_t> busy_;
+  std::vector<std::uint8_t> tail_in_;
+  std::vector<std::uint8_t> moved_;
+  std::vector<std::uint8_t> out_port_;
+  std::vector<std::int32_t> downstream_;
+  std::size_t occupied_ = 0;
+};
+
+/// The per-run state shared by both switching policies: geometry, RNG
+/// streams, arbiters, traffic, result counters and their finalization.
+class FabricCore {
+ public:
+  /// \p arbiter_candidates is the candidate-ring size of every
+  /// output-port arbiter (2 input slots for store-and-forward,
+  /// 2 * lanes for wormhole). \p config must already be validated.
+  FabricCore(const Engine& engine, Pattern pattern, const SimConfig& config,
+             unsigned arbiter_candidates);
+
+  [[nodiscard]] const Engine& engine() const noexcept { return engine_; }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const min::FlatWiring& wiring() const noexcept {
+    return engine_.wiring();
+  }
+
+  [[nodiscard]] int stages() const noexcept { return stages_; }
+  [[nodiscard]] std::uint32_t cells() const noexcept { return cells_; }
+  [[nodiscard]] std::uint64_t terminals() const noexcept {
+    return terminals_;
+  }
+  /// Input ports (= input slots = terminal links) per stage: 2 * cells.
+  [[nodiscard]] std::size_t ports() const noexcept { return ports_; }
+  [[nodiscard]] std::uint64_t total_cycles() const noexcept {
+    return config_.warmup_cycles + config_.measure_cycles;
+  }
+
+  /// The arbiter of output port / candidate ring \p i at stage \p s.
+  [[nodiscard]] RoundRobin& arbiter(int s, std::size_t i) {
+    return arbiters_[static_cast<std::size_t>(s) * ports_ + i];
+  }
+
+  /// One Bernoulli injection draw (16-bit fixed-point gate).
+  [[nodiscard]] bool gate() {
+    return (inject_rng_.next() & 0xFFFF) < rate_num_;
+  }
+
+  /// Destination of the next packet injected at terminal \p t.
+  [[nodiscard]] std::uint32_t destination(std::uint32_t t) {
+    return source_.destination(t);
+  }
+
+  /// False only while a kBursty run has terminal \p t in its OFF state.
+  [[nodiscard]] bool terminal_active(std::size_t t) const {
+    return !burst_.has_value() || burst_->on(t);
+  }
+
+  /// Advance the bursty modulator by one cycle (no-op for other
+  /// patterns, so their RNG streams are untouched).
+  void advance_burst() {
+    if (burst_.has_value()) burst_->advance();
+  }
+
+  /// delivered += 1 plus the latency statistics, shared by both
+  /// disciplines' ejection paths.
+  void record_packet_delivered(double cycles_in_flight) {
+    ++result.delivered;
+    result.latency.add(cycles_in_flight);
+    result.latency_histogram.add(cycles_in_flight);
+  }
+
+  /// Derive throughput, acceptance and link utilization from the
+  /// accumulated counters; \p link_counter is the policy's busy-link
+  /// (store-and-forward) or flit-hop (wormhole) total.
+  void finalize(std::uint64_t link_counter);
+
+  /// Counters accumulated by the policy during the run.
+  SimResult result;
+
+ private:
+  const Engine& engine_;
+  const SimConfig& config_;
+  int stages_;
+  std::uint32_t cells_;
+  std::uint64_t terminals_;
+  std::size_t ports_;
+  TrafficSource source_;
+  util::SplitMix64 inject_rng_;
+  std::uint64_t rate_num_;
+  std::vector<RoundRobin> arbiters_;
+  std::optional<BurstModulator> burst_;
+};
+
+/// The common cycle loop. A Policy implements the four phases plus the
+/// end-of-run accessors:
+///   void eject(std::uint64_t cycle, bool measuring);
+///   void advance_stage(int s, std::uint64_t cycle, bool measuring);
+///   void inject(std::uint64_t cycle, bool measuring);
+///   void sample(std::uint64_t cycle);       // measured cycles only
+///   std::uint64_t buffered_flits() const;   // still in the network
+///   std::uint64_t link_counter() const;     // feeds link_utilization
+template <class Policy>
+SimResult run_switched(FabricCore& core, Policy& policy) {
+  const std::uint64_t warmup = core.config().warmup_cycles;
+  const std::uint64_t total = core.total_cycles();
+  for (std::uint64_t cycle = 0; cycle < total; ++cycle) {
+    const bool measuring = cycle >= warmup;
+    policy.eject(cycle, measuring);
+    for (int s = core.stages() - 2; s >= 0; --s) {
+      policy.advance_stage(s, cycle, measuring);
+    }
+    core.advance_burst();
+    policy.inject(cycle, measuring);
+    if (measuring) policy.sample(cycle);
+  }
+  core.result.flits_in_flight = policy.buffered_flits();
+  core.finalize(policy.link_counter());
+  return core.result;
+}
+
+}  // namespace mineq::sim

@@ -11,6 +11,7 @@ const std::vector<Pattern>& all_patterns() {
   static const std::vector<Pattern> patterns = {
       Pattern::kUniform,    Pattern::kBitReversal, Pattern::kShuffle,
       Pattern::kTranspose,  Pattern::kComplement,  Pattern::kHotSpot,
+      Pattern::kBursty,
   };
   return patterns;
 }
@@ -29,6 +30,8 @@ std::string pattern_name(Pattern p) {
       return "complement";
     case Pattern::kHotSpot:
       return "hotspot";
+    case Pattern::kBursty:
+      return "bursty";
   }
   throw std::invalid_argument("pattern_name: unknown pattern");
 }
@@ -64,6 +67,7 @@ std::uint32_t transform(Pattern p, std::uint32_t src, int n) {
       return ~src & mask;
     case Pattern::kUniform:
     case Pattern::kHotSpot:
+    case Pattern::kBursty:
       throw std::invalid_argument(
           "transform: pattern is not deterministic");
   }
@@ -73,7 +77,8 @@ std::uint32_t transform(Pattern p, std::uint32_t src, int n) {
 }  // namespace
 
 perm::Permutation pattern_permutation(Pattern p, int n) {
-  if (p == Pattern::kUniform || p == Pattern::kHotSpot) {
+  if (p == Pattern::kUniform || p == Pattern::kHotSpot ||
+      p == Pattern::kBursty) {
     throw std::invalid_argument(
         "pattern_permutation: pattern is not a permutation");
   }
@@ -95,10 +100,30 @@ TrafficSource::TrafficSource(Pattern pattern, int n, util::SplitMix64 rng)
   }
 }
 
+BurstModulator::BurstModulator(std::size_t terminals, util::SplitMix64 rng)
+    : on_(terminals, 0), rng_(rng) {
+  // Start from the stationary distribution so measurements need no extra
+  // modulator warmup: P(on) = p_on / (p_on + p_off) = 1/4.
+  for (std::size_t t = 0; t < terminals; ++t) {
+    on_[t] = rng_.chance(1, 4) ? 1 : 0;
+  }
+}
+
+void BurstModulator::advance() {
+  for (std::size_t t = 0; t < on_.size(); ++t) {
+    if (on_[t] != 0) {
+      if (rng_.chance(kOnToOffNum, kOnToOffDen)) on_[t] = 0;
+    } else {
+      if (rng_.chance(kOffToOnNum, kOffToOnDen)) on_[t] = 1;
+    }
+  }
+}
+
 std::uint32_t TrafficSource::destination(std::uint32_t source) {
   const std::uint64_t terminals = std::uint64_t{1} << n_;
   switch (pattern_) {
     case Pattern::kUniform:
+    case Pattern::kBursty:  // bursty shapes *when* to inject, not where
       return static_cast<std::uint32_t>(rng_.below(terminals));
     case Pattern::kHotSpot:
       // 25% of packets to terminal 0, the rest uniform.

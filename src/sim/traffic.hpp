@@ -27,13 +27,14 @@ enum class Pattern : std::uint8_t {
   kTranspose,    ///< d = swap high/low halves (n must be even)
   kComplement,   ///< d = ~src
   kHotSpot,      ///< biased toward terminal 0 (kHotSpotNumerator/Denominator)
+  kBursty,       ///< uniform destinations, two-state Markov on/off injection
 };
 
 /// All patterns, in declaration order (handy for sweeps and round-trips).
 [[nodiscard]] const std::vector<Pattern>& all_patterns();
 
 /// Parse/emit pattern names ("uniform", "bitrev", "shuffle", "transpose",
-/// "complement", "hotspot").
+/// "complement", "hotspot", "bursty").
 [[nodiscard]] std::string pattern_name(Pattern p);
 
 /// Inverse of pattern_name.
@@ -41,9 +42,38 @@ enum class Pattern : std::uint8_t {
 [[nodiscard]] Pattern parse_pattern(std::string_view name);
 
 /// The deterministic patterns as explicit terminal permutations.
-/// \throws std::invalid_argument for kUniform/kHotSpot (not permutations)
-/// or kTranspose with odd n.
+/// \throws std::invalid_argument for kUniform/kHotSpot/kBursty (not
+/// permutations) or kTranspose with odd n.
 [[nodiscard]] perm::Permutation pattern_permutation(Pattern p, int n);
+
+/// Two-state Markov (Gilbert) on/off injection modulator: each terminal
+/// is independently ON (injecting at the configured Bernoulli rate) or
+/// OFF (silent), with geometric sojourn times. Used by both switching
+/// disciplines when the pattern is kBursty; one transition draw per
+/// terminal per cycle keeps runs deterministic given the seed.
+class BurstModulator {
+ public:
+  /// ON -> OFF with probability 1/8 per cycle (mean burst 8 cycles).
+  static constexpr std::uint64_t kOnToOffNum = 1;
+  static constexpr std::uint64_t kOnToOffDen = 8;
+  /// OFF -> ON with probability 1/24 per cycle (mean idle 24 cycles);
+  /// stationary duty cycle 1/4.
+  static constexpr std::uint64_t kOffToOnNum = 1;
+  static constexpr std::uint64_t kOffToOnDen = 24;
+
+  /// Terminals start in independent stationary-distribution states.
+  BurstModulator(std::size_t terminals, util::SplitMix64 rng);
+
+  /// Advance every terminal by one cycle (one RNG draw per terminal).
+  void advance();
+
+  /// Is terminal \p t in its ON state this cycle?
+  [[nodiscard]] bool on(std::size_t t) const { return on_[t] != 0; }
+
+ private:
+  std::vector<std::uint8_t> on_;
+  util::SplitMix64 rng_;
+};
 
 /// Per-packet destination generator. Deterministic patterns ignore the
 /// RNG; kUniform draws uniformly; kHotSpot sends 25% of traffic to

@@ -1,13 +1,209 @@
 #include "sim/wormhole.hpp"
 
-#include <deque>
-#include <stdexcept>
 #include <vector>
 
-#include "sim/lanes.hpp"
-#include "util/rng.hpp"
+#include "sim/fabric.hpp"
 
 namespace mineq::sim {
+
+namespace {
+
+/// The wormhole discipline as a policy over FabricCore: packets decompose
+/// into flits that pipeline through the per-port virtual-channel lanes of
+/// a LanePool. The head flit claims an idle downstream lane and advances
+/// as soon as it wins output-port arbitration; body and tail flits follow
+/// through the reserved lane; the tail releases each lane as it passes.
+/// One flit crosses each link per cycle.
+class WormholePolicy {
+ public:
+  WormholePolicy(FabricCore& core, const EjectObserver& observer)
+      : core_(core),
+        observer_(observer),
+        lanes_(core.config().lanes),
+        length_(core.config().packet_length),
+        pool_(static_cast<std::size_t>(core.stages()) * core.ports() * lanes_,
+              core.config().lane_depth),
+        sources_(core.terminals()),
+        total_flit_slots_(static_cast<double>(core.stages()) *
+                          static_cast<double>(core.terminals()) *
+                          static_cast<double>(lanes_) *
+                          static_cast<double>(core.config().lane_depth)) {}
+
+  /// Eject at the last stage: one flit per terminal port per cycle,
+  /// round-robin over the 2*lanes candidate lanes.
+  void eject(std::uint64_t cycle, bool measuring) {
+    const int last = core_.stages() - 1;
+    const std::uint32_t cells = core_.cells();
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      for (unsigned port = 0; port < 2; ++port) {
+        RoundRobin& arb = core_.arbiter(last, 2 * x + port);
+        for (unsigned probe = 0; probe < arb.size(); ++probe) {
+          const unsigned c = arb.candidate(probe);
+          const std::size_t l =
+              lane_index(last, 2 * x + c / lanes_, c % lanes_);
+          if (pool_.empty(l) || pool_.out_port(l) != port) continue;
+          const Flit flit = pool_.pop(l);
+          arb.grant(c);
+          if (observer_) observer_(flit, cycle);
+          if (measuring &&
+              flit.inject_cycle >= core_.config().warmup_cycles) {
+            ++core_.result.flits_delivered;
+            if (flit.is_tail()) {
+              core_.record_packet_delivered(
+                  static_cast<double>(cycle - flit.inject_cycle + 1));
+            }
+          }
+          break;
+        }
+      }
+    }
+    account_stage(last, measuring);
+  }
+
+  /// Advance one switch stage: one flit per output link per cycle; heads
+  /// claim an idle downstream lane, body/tail flits follow the
+  /// reservation.
+  void advance_stage(int s, [[maybe_unused]] std::uint64_t cycle,
+                     bool measuring) {
+    const std::uint32_t cells = core_.cells();
+    const auto down = core_.wiring().down_stage(s);
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      for (unsigned port = 0; port < 2; ++port) {
+        RoundRobin& arb = core_.arbiter(s, 2 * x + port);
+        for (unsigned probe = 0; probe < arb.size(); ++probe) {
+          const unsigned c = arb.candidate(probe);
+          const std::size_t l = lane_index(s, 2 * x + c / lanes_, c % lanes_);
+          if (pool_.empty(l) || pool_.out_port(l) != port) continue;
+          // One packed read gives the child cell and its input slot.
+          const std::uint32_t record = down[2 * x + port];
+          const std::size_t target_first =
+              lane_index(s + 1, 2 * (record >> 1) + (record & 1U), 0);
+          if (pool_.front(l).is_head()) {
+            // The head claims an idle downstream lane.
+            const int down_lane = pool_.find_idle_lane(target_first, lanes_);
+            if (down_lane < 0) continue;  // blocked: no free lane
+            const Flit flit = pool_.pop(l);
+            if (!flit.is_tail()) pool_.set_downstream(l, down_lane);
+            pool_.accept_head(
+                target_first + static_cast<std::size_t>(down_lane), flit,
+                core_.engine().route_port(s + 1, flit.dest_terminal));
+          } else {
+            // Body/tail flits follow through the reserved lane.
+            const std::size_t down_l =
+                target_first + static_cast<std::size_t>(pool_.downstream(l));
+            if (!pool_.has_space(down_l)) continue;  // blocked: full
+            pool_.accept(down_l, pool_.pop(l));
+          }
+          arb.grant(c);
+          if (measuring) ++link_flit_hops_;
+          break;
+        }
+      }
+    }
+    account_stage(s, measuring);
+  }
+
+  /// Inject at the first stage: terminal t feeds slot t&1 of cell t>>1,
+  /// at most one flit per cycle. A terminal mid-packet keeps serializing
+  /// into the claimed lane; an idle terminal draws the Bernoulli gate
+  /// (bursty-OFF terminals skip the attempt) and its head needs an idle
+  /// lane or the packet is refused at the source.
+  void inject(std::uint64_t cycle, bool measuring) {
+    for (std::uint64_t t = 0; t < core_.terminals(); ++t) {
+      SourceState& src = sources_[t];
+      if (src.remaining > 0) {
+        const std::size_t l =
+            lane_index(0, t, static_cast<std::size_t>(src.lane));
+        if (pool_.has_space(l)) {
+          pool_.accept(l, make_flit(src.id, src.dest, src.inject_cycle,
+                                    src.next_index, length_));
+          ++src.next_index;
+          --src.remaining;
+          if (measuring) ++core_.result.flits_injected;
+        }
+        continue;  // the source link is busy with the current packet
+      }
+      if (!core_.terminal_active(t)) continue;
+      if (!core_.gate()) continue;
+      if (measuring) ++core_.result.offered;
+      const int lane = pool_.find_idle_lane(lane_index(0, t, 0), lanes_);
+      if (lane < 0) continue;  // refused at source
+      const std::uint32_t dest =
+          core_.destination(static_cast<std::uint32_t>(t));
+      const std::uint32_t id = next_packet_id_++;
+      pool_.accept_head(lane_index(0, t, static_cast<std::size_t>(lane)),
+                        make_flit(id, dest, cycle, 0, length_),
+                        core_.engine().route_port(0, dest));
+      src.dest = dest;
+      src.id = id;
+      src.inject_cycle = cycle;
+      src.next_index = 1;
+      src.remaining = length_ - 1;
+      src.lane = lane;
+      if (measuring) {
+        ++core_.result.injected;
+        ++core_.result.flits_injected;
+      }
+    }
+  }
+
+  /// Sample buffer occupancy (measured cycles only).
+  void sample(std::uint64_t /*cycle*/) {
+    core_.result.lane_occupancy.add(
+        static_cast<double>(pool_.occupied_flits()) / total_flit_slots_);
+  }
+
+  [[nodiscard]] std::uint64_t buffered_flits() const {
+    return pool_.occupied_flits();
+  }
+  [[nodiscard]] std::uint64_t link_counter() const { return link_flit_hops_; }
+
+ private:
+  /// Per-terminal injection state: the packet currently serializing into
+  /// the first stage (flits are materialized on the fly) and the lane
+  /// that worm claimed.
+  struct SourceState {
+    std::uint32_t dest = 0;
+    std::uint32_t id = 0;
+    std::uint64_t inject_cycle = 0;
+    std::size_t next_index = 0;
+    std::size_t remaining = 0;
+    int lane = -1;
+  };
+
+  [[nodiscard]] std::size_t lane_index(int s, std::size_t port_index,
+                                       std::size_t lane) const {
+    return (static_cast<std::size_t>(s) * core_.ports() + port_index) *
+               lanes_ +
+           lane;
+  }
+
+  /// Count stalled worms of one stage and reset per-cycle movement
+  /// flags. Called right after the stage had its switching (or ejection)
+  /// opportunity, before upstream pushes refill it.
+  void account_stage(int s, bool measuring) {
+    const std::size_t first = lane_index(s, 0, 0);
+    const std::size_t count = core_.ports() * lanes_;
+    for (std::size_t l = first; l < first + count; ++l) {
+      if (measuring && !pool_.empty(l) && !pool_.moved(l)) {
+        ++core_.result.hol_blocking_cycles;
+      }
+      pool_.clear_moved(l);
+    }
+  }
+
+  FabricCore& core_;
+  const EjectObserver& observer_;
+  std::size_t lanes_;
+  std::uint64_t length_;
+  LanePool pool_;
+  std::vector<SourceState> sources_;
+  std::uint32_t next_packet_id_ = 0;
+  std::uint64_t link_flit_hops_ = 0;
+  double total_flit_slots_;
+};
+
+}  // namespace
 
 SimResult WormholeSimulator::run(Pattern pattern,
                                  const SimConfig& config) const {
@@ -16,227 +212,11 @@ SimResult WormholeSimulator::run(Pattern pattern,
 
 SimResult WormholeSimulator::run(Pattern pattern, const SimConfig& config,
                                  const EjectObserver& observer) const {
-  if (config.injection_rate < 0.0 || config.injection_rate > 1.0) {
-    throw std::invalid_argument(
-        "WormholeSimulator::run: injection rate outside [0,1]");
-  }
-  if (config.packet_length == 0 || config.lanes == 0 ||
-      config.lane_depth == 0) {
-    throw std::invalid_argument(
-        "WormholeSimulator::run: packet_length, lanes and lane_depth must "
-        "be positive");
-  }
-  const min::MIDigraph& network = engine_.network();
-  const int n = network.stages();
-  const std::uint32_t cells = network.cells_per_stage();
-  const std::uint64_t terminals = std::uint64_t{2} * cells;
-  const std::size_t lanes = config.lanes;
-  const std::size_t length = config.packet_length;
-
-  util::SplitMix64 rng(config.seed);
-  TrafficSource source(pattern, n, rng.split(0));
-  util::SplitMix64 inject_rng = rng.split(1);
-  // Injection gate: inject with probability rate (16-bit fixed point).
-  const auto rate_num =
-      static_cast<std::uint64_t>(config.injection_rate * 65536.0);
-
-  // buffers[s][2*cell + slot]: multi-lane input buffer of that port.
-  std::vector<std::vector<LaneBuffer>> buffers(static_cast<std::size_t>(n));
-  for (auto& stage : buffers) {
-    stage.reserve(std::size_t{2} * cells);
-    for (std::size_t i = 0; i < std::size_t{2} * cells; ++i) {
-      stage.emplace_back(lanes, config.lane_depth);
-    }
-  }
-  // One arbiter per (stage, cell, output port) over the 2*lanes candidate
-  // lanes of the two input slots (candidate = slot * lanes + lane). The
-  // last stage arbitrates the two terminal ejection ports the same way.
-  std::vector<std::vector<RoundRobin>> arbiters(
-      static_cast<std::size_t>(n),
-      std::vector<RoundRobin>(std::size_t{2} * cells,
-                              RoundRobin(static_cast<unsigned>(2 * lanes))));
-
-  // Per-terminal injection state: flits of the packet currently being
-  // serialized into the first stage, and the lane that worm claimed.
-  struct SourceState {
-    std::deque<Flit> pending;
-    int lane = -1;
-  };
-  std::vector<SourceState> sources(terminals);
-  std::uint32_t next_packet_id = 0;
-
-  SimResult result;
-  std::uint64_t link_flit_hops = 0;  // inter-stage flit moves, measured
-  const double total_flit_slots =
-      static_cast<double>(n) * static_cast<double>(terminals) *
-      static_cast<double>(lanes) * static_cast<double>(config.lane_depth);
-  const std::uint64_t total_cycles =
-      config.warmup_cycles + config.measure_cycles;
-
-  // Count stalled worms of one stage and reset per-cycle movement flags.
-  // Called right after the stage had its switching (or ejection)
-  // opportunity, before upstream pushes refill it.
-  const auto account_stage = [&](int s, bool measuring) {
-    for (LaneBuffer& buffer : buffers[static_cast<std::size_t>(s)]) {
-      for (std::size_t i = 0; i < buffer.lane_count(); ++i) {
-        Lane& lane = buffer.lane(i);
-        if (measuring && !lane.empty() && !lane.moved()) {
-          ++result.hol_blocking_cycles;
-        }
-        lane.clear_moved();
-      }
-    }
-  };
-
-  for (std::uint64_t cycle = 0; cycle < total_cycles; ++cycle) {
-    const bool measuring = cycle >= config.warmup_cycles;
-
-    // 1. Eject at the last stage: one flit per terminal port per cycle,
-    // round-robin over the 2*lanes candidate lanes.
-    for (std::uint32_t x = 0; x < cells; ++x) {
-      for (unsigned port = 0; port < 2; ++port) {
-        RoundRobin& arb =
-            arbiters[static_cast<std::size_t>(n - 1)][2 * x + port];
-        for (unsigned probe = 0; probe < arb.size(); ++probe) {
-          const unsigned c = arb.candidate(probe);
-          Lane& lane = buffers[static_cast<std::size_t>(n - 1)]
-                              [2 * x + c / lanes]
-                                  .lane(c % lanes);
-          if (lane.empty() || lane.out_port() != port) continue;
-          const Flit flit = lane.pop();
-          arb.grant(c);
-          if (observer) observer(flit, cycle);
-          if (measuring && flit.inject_cycle >= config.warmup_cycles) {
-            ++result.flits_delivered;
-            if (flit.is_tail()) {
-              ++result.delivered;
-              const auto cycles_in_flight =
-                  static_cast<double>(cycle - flit.inject_cycle + 1);
-              result.latency.add(cycles_in_flight);
-              result.latency_histogram.add(cycles_in_flight);
-            }
-          }
-          break;
-        }
-      }
-    }
-    account_stage(n - 1, measuring);
-
-    // 2. Switch stages from last-1 down to 0 so a flit moves at most one
-    // hop per cycle. One flit per output link per cycle.
-    for (int s = n - 2; s >= 0; --s) {
-      const min::Connection& conn = network.connection(s);
-      for (std::uint32_t x = 0; x < cells; ++x) {
-        for (unsigned port = 0; port < 2; ++port) {
-          RoundRobin& arb = arbiters[static_cast<std::size_t>(s)][2 * x + port];
-          for (unsigned probe = 0; probe < arb.size(); ++probe) {
-            const unsigned c = arb.candidate(probe);
-            Lane& lane = buffers[static_cast<std::size_t>(s)]
-                                [2 * x + c / lanes]
-                                    .lane(c % lanes);
-            if (lane.empty() || lane.out_port() != port) continue;
-            const std::uint32_t child =
-                port == 0 ? conn.f_table()[x] : conn.g_table()[x];
-            const unsigned child_slot =
-                engine_.wiring().slot_of[static_cast<std::size_t>(s)][x][port];
-            LaneBuffer& target =
-                buffers[static_cast<std::size_t>(s + 1)]
-                       [2 * child + child_slot];
-            if (lane.front().is_head()) {
-              // The head claims an idle downstream lane.
-              const int down = target.find_idle_lane();
-              if (down < 0) continue;  // blocked: no free lane
-              const Flit flit = lane.pop();
-              if (!flit.is_tail()) lane.set_downstream(down);
-              target.lane(static_cast<std::size_t>(down))
-                  .accept_head(flit,
-                               engine_.route_port(s + 1, flit.dest_terminal));
-            } else {
-              // Body/tail flits follow through the reserved lane.
-              Lane& down = target.lane(
-                  static_cast<std::size_t>(lane.downstream()));
-              if (!down.has_space()) continue;  // blocked: downstream full
-              down.accept(lane.pop());
-            }
-            arb.grant(c);
-            if (measuring) ++link_flit_hops;
-            break;
-          }
-        }
-      }
-      account_stage(s, measuring);
-    }
-
-    // 3. Inject at the first stage: terminal t feeds slot t&1 of cell
-    // t>>1, at most one flit per cycle. A terminal mid-packet keeps
-    // serializing into the claimed lane; an idle terminal draws the
-    // Bernoulli gate and its head needs an idle lane or the packet is
-    // refused at the source.
-    for (std::uint64_t t = 0; t < terminals; ++t) {
-      SourceState& src = sources[t];
-      LaneBuffer& buffer = buffers[0][t];
-      if (!src.pending.empty()) {
-        Lane& lane = buffer.lane(static_cast<std::size_t>(src.lane));
-        if (lane.has_space()) {
-          lane.accept(src.pending.front());
-          src.pending.pop_front();
-          if (measuring) ++result.flits_injected;
-        }
-        continue;  // the source link is busy with the current packet
-      }
-      if ((inject_rng.next() & 0xFFFF) >= rate_num) continue;
-      if (measuring) ++result.offered;
-      const int lane_index = buffer.find_idle_lane();
-      if (lane_index < 0) continue;  // refused at source
-      const auto dest = source.destination(static_cast<std::uint32_t>(t));
-      const std::uint32_t id = next_packet_id++;
-      buffer.lane(static_cast<std::size_t>(lane_index))
-          .accept_head(make_flit(id, dest, cycle, 0, length),
-                       engine_.route_port(0, dest));
-      for (std::size_t i = 1; i < length; ++i) {
-        src.pending.push_back(make_flit(id, dest, cycle, i, length));
-      }
-      src.lane = lane_index;
-      if (measuring) {
-        ++result.injected;
-        ++result.flits_injected;
-      }
-    }
-
-    // 4. Sample buffer occupancy.
-    if (measuring) {
-      std::size_t occupied = 0;
-      for (const auto& stage : buffers) {
-        for (const LaneBuffer& buffer : stage) {
-          occupied += buffer.occupied_flits();
-        }
-      }
-      result.lane_occupancy.add(static_cast<double>(occupied) /
-                                total_flit_slots);
-    }
-  }
-
-  for (const auto& stage : buffers) {
-    for (const LaneBuffer& buffer : stage) {
-      result.flits_in_flight += buffer.occupied_flits();
-    }
-  }
-  if (config.measure_cycles > 0) {
-    result.throughput =
-        static_cast<double>(result.delivered) /
-        (static_cast<double>(config.measure_cycles) *
-         static_cast<double>(terminals));
-    result.link_utilization =
-        static_cast<double>(link_flit_hops) /
-        (static_cast<double>(n - 1) * static_cast<double>(terminals) *
-         static_cast<double>(config.measure_cycles));
-  }
-  result.acceptance =
-      result.offered == 0
-          ? 1.0
-          : static_cast<double>(result.injected) /
-                static_cast<double>(result.offered);
-  return result;
+  config.validate();
+  FabricCore core(engine_, pattern, config,
+                  static_cast<unsigned>(2 * config.lanes));
+  WormholePolicy policy(core, observer);
+  return run_switched(core, policy);
 }
 
 }  // namespace mineq::sim

@@ -2,12 +2,14 @@
 /// \brief Flit-level wormhole switching over an Engine's network.
 ///
 /// Packets decompose into flits (flit.hpp) that pipeline through per-port
-/// multi-lane buffers (lanes.hpp): the head flit claims an idle lane at
-/// the next switch and advances as soon as it wins output-port
-/// arbitration; body and tail flits follow through the reserved lanes;
-/// the tail releases each lane as it passes. One flit crosses each link
-/// per cycle. Deterministic given the seed, like the store-and-forward
-/// path; Engine::run dispatches here when SimConfig::mode is kWormhole.
+/// multi-lane buffers (the LanePool of fabric.hpp): the head flit claims
+/// an idle lane at the next switch and advances as soon as it wins
+/// output-port arbitration; body and tail flits follow through the
+/// reserved lanes; the tail releases each lane as it passes. One flit
+/// crosses each link per cycle. Deterministic given the seed, like the
+/// store-and-forward path; Engine::run dispatches here when
+/// SimConfig::mode is kWormhole. Both disciplines are policies over the
+/// shared FabricCore (fabric.hpp).
 
 #pragma once
 

@@ -1,0 +1,101 @@
+/// \file golden_sim_test.cpp
+/// \brief Golden-equivalence pins for the FabricCore refactor: every
+/// counter and statistic below was captured from the pre-IR simulators
+/// (PR 2's engine.cpp / wormhole.cpp, one deque-backed simulator per
+/// discipline) at a fixed seed, and the policy-over-FabricCore rebuild
+/// must reproduce them byte-for-byte. Integer counters are compared
+/// exactly; doubles via EXPECT_DOUBLE_EQ against full-precision (%.17g)
+/// literals, which round-trip exactly, so any drift in RNG stream
+/// layout, arbitration order, slot assignment or accounting shows up
+/// here as a hard failure rather than a plausible-looking number.
+
+#include <gtest/gtest.h>
+
+#include "min/networks.hpp"
+#include "sim/engine.hpp"
+
+namespace mineq::sim {
+namespace {
+
+TEST(GoldenSimTest, StoreAndForwardOmega5UniformSeed42) {
+  const Engine engine(min::build_network(min::NetworkKind::kOmega, 5));
+  SimConfig config;
+  config.mode = SwitchingMode::kStoreAndForward;
+  config.injection_rate = 0.7;
+  config.packet_length = 3;
+  config.queue_capacity = 4;
+  config.warmup_cycles = 100;
+  config.measure_cycles = 500;
+  config.seed = 42;
+  const SimResult r = engine.run(Pattern::kUniform, config);
+
+  EXPECT_EQ(r.offered, 6157U);
+  EXPECT_EQ(r.injected, 3589U);
+  EXPECT_EQ(r.delivered, 3246U);
+  EXPECT_EQ(r.flits_injected, 10767U);
+  EXPECT_EQ(r.flits_delivered, 9738U);
+  EXPECT_EQ(r.flits_in_flight, 1029U);
+  EXPECT_EQ(r.hol_blocking_cycles, 40414U);
+  EXPECT_EQ(r.latency.count(), 3246U);
+  EXPECT_DOUBLE_EQ(r.latency.mean(), 49.411275415896377);
+  EXPECT_DOUBLE_EQ(r.latency.max(), 121.0);
+  EXPECT_DOUBLE_EQ(r.latency_histogram.quantile(0.5), 48.0);
+  EXPECT_DOUBLE_EQ(r.latency_histogram.quantile(0.99), 96.0);
+  EXPECT_DOUBLE_EQ(r.throughput, 0.202875);
+  EXPECT_DOUBLE_EQ(r.acceptance, 0.58291375669969137);
+  EXPECT_DOUBLE_EQ(r.link_utilization, 0.66739062500000002);
+  EXPECT_DOUBLE_EQ(r.lane_occupancy.mean(), 0.52008124999999994);
+}
+
+TEST(GoldenSimTest, WormholeBaseline5HotspotSeed99) {
+  const Engine engine(min::build_network(min::NetworkKind::kBaseline, 5));
+  SimConfig config;
+  config.mode = SwitchingMode::kWormhole;
+  config.injection_rate = 0.8;
+  config.packet_length = 4;
+  config.lanes = 2;
+  config.lane_depth = 4;
+  config.warmup_cycles = 100;
+  config.measure_cycles = 500;
+  config.seed = 99;
+  const SimResult r = engine.run(Pattern::kHotSpot, config);
+
+  EXPECT_EQ(r.offered, 11463U);
+  EXPECT_EQ(r.injected, 546U);
+  EXPECT_EQ(r.delivered, 426U);
+  EXPECT_EQ(r.flits_injected, 2188U);
+  EXPECT_EQ(r.flits_delivered, 1707U);
+  EXPECT_EQ(r.flits_in_flight, 474U);
+  EXPECT_EQ(r.hol_blocking_cycles, 56564U);
+  EXPECT_EQ(r.latency.count(), 426U);
+  EXPECT_DOUBLE_EQ(r.latency.mean(), 81.577464788732385);
+  EXPECT_DOUBLE_EQ(r.latency.max(), 359.0);
+  EXPECT_DOUBLE_EQ(r.latency_histogram.quantile(0.5), 17.0);
+  EXPECT_DOUBLE_EQ(r.latency_histogram.quantile(0.99), 336.0);
+  EXPECT_DOUBLE_EQ(r.throughput, 0.026624999999999999);
+  EXPECT_DOUBLE_EQ(r.acceptance, 0.047631510075896361);
+  EXPECT_DOUBLE_EQ(r.link_utilization, 0.136421875);
+  EXPECT_DOUBLE_EQ(r.lane_occupancy.mean(), 0.36309531249999988);
+}
+
+/// The golden configs must also be self-consistent on repeat runs: the
+/// pins above would not catch a stateful Engine.
+TEST(GoldenSimTest, RepeatRunsAreIdentical) {
+  const Engine engine(min::build_network(min::NetworkKind::kOmega, 5));
+  SimConfig config;
+  config.injection_rate = 0.7;
+  config.packet_length = 3;
+  config.warmup_cycles = 100;
+  config.measure_cycles = 500;
+  config.seed = 42;
+  const SimResult a = engine.run(Pattern::kUniform, config);
+  const SimResult b = engine.run(Pattern::kUniform, config);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.hol_blocking_cycles, b.hol_blocking_cycles);
+  EXPECT_DOUBLE_EQ(a.latency.mean(), b.latency.mean());
+}
+
+}  // namespace
+}  // namespace mineq::sim

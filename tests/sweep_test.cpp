@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 #include <stdexcept>
 
@@ -66,11 +67,41 @@ TEST(SweepTest, EnumerationOrderIsRateInnermost) {
 }
 
 TEST(SweepTest, ByteIdenticalAcrossThreadCounts) {
+  // All thread counts share one Engine (and one min::FlatWiring) per
+  // network; the rendered text must not depend on how the grid points
+  // were scheduled over it.
   const SweepGrid grid = small_grid();
   const SweepResult serial = run_sweep(grid, 1);
-  const SweepResult parallel = run_sweep(grid, 4);
+  const SweepResult two = run_sweep(grid, 2);
+  const SweepResult parallel = run_sweep(grid, 5);
+  EXPECT_EQ(sweep_csv(serial), sweep_csv(two));
   EXPECT_EQ(sweep_csv(serial), sweep_csv(parallel));
+  EXPECT_EQ(sweep_json(serial), sweep_json(two));
   EXPECT_EQ(sweep_json(serial), sweep_json(parallel));
+}
+
+TEST(SweepTest, BurstyPatternSweepsAndInjectsLessThanUniform) {
+  SweepGrid grid = small_grid();
+  grid.patterns = {sim::Pattern::kUniform, sim::Pattern::kBursty};
+  grid.modes = {sim::SwitchingMode::kStoreAndForward,
+                sim::SwitchingMode::kWormhole};
+  grid.rates = {0.8};
+  const SweepResult sweep = run_sweep(grid, 2);
+  std::uint64_t uniform_offered = 0;
+  std::uint64_t bursty_offered = 0;
+  for (const SweepPoint& point : sweep.points) {
+    if (point.pattern == sim::Pattern::kUniform) {
+      uniform_offered += point.result.offered;
+    } else {
+      bursty_offered += point.result.offered;
+      EXPECT_GT(point.result.delivered, 0U);
+    }
+  }
+  // OFF terminals make no injection attempts: at duty 1/4 the bursty
+  // offered load must sit well below the always-on uniform load.
+  EXPECT_LT(bursty_offered, uniform_offered / 2);
+  // And byte-determinism holds for the modulated pattern too.
+  EXPECT_EQ(sweep_csv(run_sweep(grid, 1)), sweep_csv(run_sweep(grid, 4)));
 }
 
 TEST(SweepTest, PerPointSeedsAreDistinctAndRecorded) {
@@ -86,6 +117,11 @@ TEST(SweepTest, CsvShape) {
   const SweepResult sweep = run_sweep(small_grid(), 2);
   const std::string csv = sweep_csv(sweep);
   EXPECT_EQ(csv.rfind("network,pattern,mode,lanes,rate,stages,seed,", 0), 0U);
+  // Tail-behavior and conservation columns.
+  for (const char* column :
+       {",latency_p99,", ",flits_in_flight,", ",hol_blocking_cycles"}) {
+    EXPECT_NE(csv.find(column), std::string::npos) << column;
+  }
   std::size_t lines = 0;
   for (const char c : csv) {
     if (c == '\n') ++lines;
@@ -100,7 +136,7 @@ TEST(SweepTest, JsonContainsTheCsvFields) {
   for (const char* field :
        {"\"network\": ", "\"mode\": ", "\"throughput\": ",
         "\"latency_p99\": ", "\"hol_blocking_cycles\": ",
-        "\"lane_occupancy\": "}) {
+        "\"flits_in_flight\": ", "\"lane_occupancy\": "}) {
     EXPECT_NE(json.find(field), std::string::npos) << field;
   }
   // Seeds exceed double precision: they must be JSON strings, never
@@ -128,6 +164,12 @@ TEST(SweepTest, ValidationErrors) {
 
   grid = small_grid();
   grid.rates = {1.5};
+  EXPECT_THROW((void)run_sweep(grid, 1), std::invalid_argument);
+
+  // NaN passes both range comparisons; it must be rejected up front or
+  // the validate() throw would fire inside a worker thread.
+  grid = small_grid();
+  grid.rates = {std::numeric_limits<double>::quiet_NaN()};
   EXPECT_THROW((void)run_sweep(grid, 1), std::invalid_argument);
 
   grid = small_grid();

@@ -18,10 +18,11 @@ TEST(TrafficTest, PatternNames) {
   EXPECT_EQ(pattern_name(Pattern::kTranspose), "transpose");
   EXPECT_EQ(pattern_name(Pattern::kComplement), "complement");
   EXPECT_EQ(pattern_name(Pattern::kHotSpot), "hotspot");
+  EXPECT_EQ(pattern_name(Pattern::kBursty), "bursty");
 }
 
 TEST(TrafficTest, ParsePatternRoundTripsEveryName) {
-  EXPECT_EQ(all_patterns().size(), 6U);
+  EXPECT_EQ(all_patterns().size(), 7U);
   for (const Pattern p : all_patterns()) {
     EXPECT_EQ(parse_pattern(pattern_name(p)), p) << pattern_name(p);
   }
@@ -60,6 +61,60 @@ TEST(TrafficTest, RandomPatternsRejectedAsPermutations) {
                std::invalid_argument);
   EXPECT_THROW((void)pattern_permutation(Pattern::kHotSpot, 4),
                std::invalid_argument);
+  EXPECT_THROW((void)pattern_permutation(Pattern::kBursty, 4),
+               std::invalid_argument);
+}
+
+TEST(TrafficTest, BurstyDestinationsAreUniform) {
+  SCOPED_TRACE(mineq::test::seed_trace());
+  TrafficSource src(Pattern::kBursty, 3, mineq::test::seeded_rng(11));
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 400; ++i) {
+    const std::uint32_t d = src.destination(0);
+    EXPECT_LT(d, 8U);
+    seen.insert(d);
+  }
+  EXPECT_EQ(seen.size(), 8U);
+}
+
+TEST(TrafficTest, BurstModulatorDutyCycleAndBursts) {
+  SCOPED_TRACE(mineq::test::seed_trace());
+  const std::size_t terminals = 64;
+  BurstModulator mod(terminals, mineq::test::seeded_rng(13));
+  const int cycles = 2000;
+  std::uint64_t on_samples = 0;
+  std::uint64_t transitions = 0;
+  std::vector<bool> prev(terminals);
+  for (std::size_t t = 0; t < terminals; ++t) prev[t] = mod.on(t);
+  for (int c = 0; c < cycles; ++c) {
+    mod.advance();
+    for (std::size_t t = 0; t < terminals; ++t) {
+      if (mod.on(t)) ++on_samples;
+      if (mod.on(t) != prev[t]) ++transitions;
+      prev[t] = mod.on(t);
+    }
+  }
+  // Stationary duty cycle is 1/4; allow generous sampling noise.
+  const double duty = static_cast<double>(on_samples) /
+                      (static_cast<double>(cycles) * terminals);
+  EXPECT_GT(duty, 0.18);
+  EXPECT_LT(duty, 0.32);
+  // Sojourns are multi-cycle (mean burst 8, mean idle 24), so state
+  // changes must be far rarer than a per-cycle coin flip.
+  EXPECT_LT(transitions, std::uint64_t{cycles} * terminals / 5);
+  EXPECT_GT(transitions, 0U);
+}
+
+TEST(TrafficTest, BurstModulatorDeterministicGivenSeed) {
+  BurstModulator a(16, util::SplitMix64(21));
+  BurstModulator b(16, util::SplitMix64(21));
+  for (int c = 0; c < 100; ++c) {
+    a.advance();
+    b.advance();
+    for (std::size_t t = 0; t < 16; ++t) {
+      ASSERT_EQ(a.on(t), b.on(t));
+    }
+  }
 }
 
 TEST(TrafficTest, SourceDeterministicPatternsIgnoreRng) {

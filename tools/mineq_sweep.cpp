@@ -33,8 +33,8 @@ Usage: mineq_sweep [options]
 
 Grid axes (comma-separated lists):
   --networks LIST   omega,flip,cube,mdm,baseline,revbaseline  [omega,baseline]
-  --patterns LIST   uniform,bitrev,shuffle,transpose,complement,hotspot
-                    [uniform]
+  --patterns LIST   uniform,bitrev,shuffle,transpose,complement,hotspot,
+                    bursty (two-state Markov on/off sources)    [uniform]
   --mode LIST       saf,wormhole                               [saf]
   --lanes LIST      virtual channels per input port (wormhole
                     only — saf points collapse this axis)      [1]
