@@ -25,11 +25,17 @@ std::vector<std::pair<std::string, std::string>> point_fields(
       {"rate", util::fixed(p.rate, 4)},
       {"stages", std::to_string(p.stages)},
       {"seed", std::to_string(p.seed)},
+      {"fault_kind", fault::fault_kind_name(p.fault.kind)},
+      {"fault_rate", util::fixed(p.fault.rate, 4)},
+      {"fault_seed", std::to_string(p.fault.seed)},
+      {"burst_on_off", util::fixed(p.burst.on_to_off, 6)},
+      {"burst_off_on", util::fixed(p.burst.off_to_on, 6)},
       {"offered", std::to_string(r.offered)},
       {"injected", std::to_string(r.injected)},
       {"delivered", std::to_string(r.delivered)},
       {"throughput", util::fixed(r.throughput, 6)},
       {"acceptance", util::fixed(r.acceptance, 6)},
+      {"delivered_fraction", util::fixed(r.delivered_fraction(), 6)},
       {"latency_mean", util::fixed(r.latency.mean(), 4)},
       {"latency_p50", util::fixed(r.latency_histogram.quantile(0.5), 1)},
       {"latency_p99", util::fixed(r.latency_histogram.quantile(0.99), 1)},
@@ -40,6 +46,16 @@ std::vector<std::pair<std::string, std::string>> point_fields(
       {"link_utilization", util::fixed(r.link_utilization, 6)},
       {"lane_occupancy", util::fixed(r.lane_occupancy.mean(), 6)},
       {"hol_blocking_cycles", std::to_string(r.hol_blocking_cycles)},
+      {"packets_dropped_faulted", std::to_string(r.packets_dropped_faulted)},
+      {"packets_rerouted", std::to_string(r.packets_rerouted)},
+      {"packets_misdelivered", std::to_string(r.packets_misdelivered)},
+      {"flits_dropped_faulted", std::to_string(r.flits_dropped_faulted)},
+      // Survivor-topology classification, constant across the points of
+      // one {network, fault spec} pair. Booleans render as 0/1 so both
+      // emitters stay numeric.
+      {"full_access", p.survivor.full_access ? "1" : "0"},
+      {"survivor_banyan", p.survivor.banyan ? "1" : "0"},
+      {"surviving_arcs", std::to_string(p.survivor.surviving_arcs)},
   };
 }
 
@@ -88,7 +104,8 @@ std::string sweep_json(const SweepResult& sweep) {
       // Tokens contain no characters needing JSON escapes. Seeds are
       // full 64-bit values beyond double precision, so a bare JSON
       // number would silently round them — emit as a string.
-      if (is_number(fields[i].second) && fields[i].first != "seed") {
+      if (is_number(fields[i].second) && fields[i].first != "seed" &&
+          fields[i].first != "fault_seed") {
         out << fields[i].second;
       } else {
         out << '"' << fields[i].second << '"';

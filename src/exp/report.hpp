@@ -14,12 +14,20 @@
 namespace mineq::exp {
 
 /// One header line plus one row per grid point, in sweep order. Columns:
-/// network,pattern,mode,lanes,rate,stages,seed,offered,injected,delivered,
-/// throughput,acceptance,latency_mean,latency_p50,latency_p99,latency_max,
-/// flits_injected,flits_delivered,flits_in_flight,link_utilization,
-/// lane_occupancy,hol_blocking_cycles — latency_p99 and
-/// hol_blocking_cycles make tail behavior visible in sweep artifacts;
-/// flits_in_flight closes the flit conservation ledger per point.
+/// network,pattern,mode,lanes,rate,stages,seed,fault_kind,fault_rate,
+/// fault_seed,burst_on_off,burst_off_on,offered,injected,delivered,
+/// throughput,acceptance,delivered_fraction,latency_mean,latency_p50,
+/// latency_p99,latency_max,flits_injected,flits_delivered,flits_in_flight,
+/// link_utilization,lane_occupancy,hol_blocking_cycles,
+/// packets_dropped_faulted,packets_rerouted,packets_misdelivered,
+/// flits_dropped_faulted,full_access,survivor_banyan,surviving_arcs —
+/// latency_p99 and hol_blocking_cycles make tail behavior visible in
+/// sweep artifacts; flits_in_flight (+ flits_dropped_faulted under
+/// faults) closes the flit conservation ledger per point; the
+/// fault-resilience block (delivered_fraction = correctly-delivered /
+/// injected, drop/reroute/misdelivery counters, full_access and
+/// surviving_arcs from the survivor-topology classification) reports
+/// degradation next to what is structurally left of the fabric.
 [[nodiscard]] std::string sweep_csv(const SweepResult& sweep);
 
 /// A JSON object {"stages": ..., "points": [...]} with one object per

@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "sim/fabric.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -17,15 +18,23 @@ std::size_t SweepGrid::size() const noexcept {
     mode_lane_variants +=
         mode == sim::SwitchingMode::kStoreAndForward ? 1 : lane_counts.size();
   }
-  return networks.size() * patterns.size() * mode_lane_variants *
-         rates.size();
+  // Only the bursty pattern consumes the modulator, so every other
+  // pattern contributes a single burst variant.
+  std::size_t pattern_burst_variants = 0;
+  for (const sim::Pattern pattern : patterns) {
+    pattern_burst_variants +=
+        pattern == sim::Pattern::kBursty ? bursts.size() : 1;
+  }
+  return networks.size() * pattern_burst_variants * mode_lane_variants *
+         faults.size() * rates.size();
 }
 
 namespace {
 
 void validate_grid(const SweepGrid& grid) {
   if (grid.networks.empty() || grid.patterns.empty() || grid.modes.empty() ||
-      grid.lane_counts.empty() || grid.rates.empty()) {
+      grid.lane_counts.empty() || grid.faults.empty() ||
+      grid.bursts.empty() || grid.rates.empty()) {
     throw std::invalid_argument("run_sweep: every grid axis needs >= 1 value");
   }
   if (grid.stages < 2) {
@@ -33,8 +42,8 @@ void validate_grid(const SweepGrid& grid) {
   }
   // The fixed parameters are checked once up front (the simulators would
   // reject them too, but only after the grid fanned out); the swept axes
-  // override injection_rate and lanes per point, so those are checked
-  // per axis value below.
+  // override injection_rate, lanes, burst and fault per point, so those
+  // are checked per axis value below.
   grid.base.validate();
   for (const double rate : grid.rates) {
     // NaN must be caught here: it passes both comparisons below, and a
@@ -50,6 +59,12 @@ void validate_grid(const SweepGrid& grid) {
       throw std::invalid_argument("run_sweep: lane count must be positive");
     }
   }
+  for (const fault::FaultSpec& spec : grid.faults) {
+    spec.validate();
+  }
+  for (const sim::BurstParams& burst : grid.bursts) {
+    burst.validate();
+  }
   for (const sim::Pattern pattern : grid.patterns) {
     if (pattern == sim::Pattern::kTranspose && grid.stages % 2 != 0) {
       throw std::invalid_argument(
@@ -57,6 +72,14 @@ void validate_grid(const SweepGrid& grid) {
     }
   }
 }
+
+/// One fault-axis value materialized against one network: the mask the
+/// simulators consume and the survivor classification every point of the
+/// pair reports.
+struct MaterializedFault {
+  fault::FaultMask mask;
+  min::FaultedClassification survivor;
+};
 
 }  // namespace
 
@@ -75,6 +98,19 @@ SweepResult run_sweep(const SweepGrid& grid, std::size_t threads) {
         min::build_network(kind, grid.stages)));
   }
 
+  // One fault mask + survivor classification per {network, fault spec},
+  // shared read-only across the points of the pair.
+  std::vector<std::vector<MaterializedFault>> faults(grid.networks.size());
+  for (std::size_t ni = 0; ni < grid.networks.size(); ++ni) {
+    faults[ni].reserve(grid.faults.size());
+    for (const fault::FaultSpec& spec : grid.faults) {
+      MaterializedFault mf;
+      mf.mask = fault::build_fault_mask(engines[ni]->wiring(), spec);
+      mf.survivor = min::classify_faulted(engines[ni]->wiring(), mf.mask);
+      faults[ni].push_back(std::move(mf));
+    }
+  }
+
   // Enumerate the grid once, network-major with rate innermost, so the
   // output order matches the declaration order of the axes.
   SweepResult sweep;
@@ -82,6 +118,7 @@ SweepResult run_sweep(const SweepGrid& grid, std::size_t threads) {
   sweep.points.resize(grid.size());
   struct Task {
     std::size_t engine_index;
+    std::size_t fault_index;
     SweepPoint point;
   };
   std::vector<Task> tasks;
@@ -89,26 +126,37 @@ SweepResult run_sweep(const SweepGrid& grid, std::size_t threads) {
   const util::SplitMix64 seed_root(grid.base.seed);
   for (std::size_t ni = 0; ni < grid.networks.size(); ++ni) {
     for (const sim::Pattern pattern : grid.patterns) {
-      for (const sim::SwitchingMode mode : grid.modes) {
-        // Lanes only shape the wormhole discipline; store-and-forward
-        // points run once, recorded with the first lane count.
-        const std::size_t lane_variants =
-            mode == sim::SwitchingMode::kStoreAndForward
-                ? 1
-                : grid.lane_counts.size();
-        for (std::size_t li = 0; li < lane_variants; ++li) {
-          const std::size_t lanes = grid.lane_counts[li];
-          for (const double rate : grid.rates) {
-            Task task;
-            task.engine_index = ni;
-            task.point.network = grid.networks[ni];
-            task.point.pattern = pattern;
-            task.point.mode = mode;
-            task.point.lanes = lanes;
-            task.point.rate = rate;
-            task.point.stages = grid.stages;
-            task.point.seed = seed_root.split(tasks.size()).next();
-            tasks.push_back(std::move(task));
+      // Only the bursty pattern consumes the modulator parameters;
+      // other patterns run once, recorded with the first burst variant.
+      const std::size_t burst_variants =
+          pattern == sim::Pattern::kBursty ? grid.bursts.size() : 1;
+      for (std::size_t bi = 0; bi < burst_variants; ++bi) {
+        for (const sim::SwitchingMode mode : grid.modes) {
+          // Lanes only shape the wormhole discipline; store-and-forward
+          // points run once, recorded with the first lane count.
+          const std::size_t lane_variants =
+              mode == sim::SwitchingMode::kStoreAndForward
+                  ? 1
+                  : grid.lane_counts.size();
+          for (std::size_t li = 0; li < lane_variants; ++li) {
+            for (std::size_t fi = 0; fi < grid.faults.size(); ++fi) {
+              for (const double rate : grid.rates) {
+                Task task;
+                task.engine_index = ni;
+                task.fault_index = fi;
+                task.point.network = grid.networks[ni];
+                task.point.pattern = pattern;
+                task.point.mode = mode;
+                task.point.lanes = grid.lane_counts[li];
+                task.point.fault = grid.faults[fi];
+                task.point.burst = grid.bursts[bi];
+                task.point.rate = rate;
+                task.point.stages = grid.stages;
+                task.point.seed = seed_root.split(tasks.size()).next();
+                task.point.survivor = faults[ni][fi].survivor;
+                tasks.push_back(std::move(task));
+              }
+            }
           }
         }
       }
@@ -118,14 +166,21 @@ SweepResult run_sweep(const SweepGrid& grid, std::size_t threads) {
   util::parallel_for(
       0, tasks.size(),
       [&](std::size_t index) {
+        // One payload-pool arena per worker thread, reused across every
+        // point the worker runs (pools are re-shaped, not re-allocated;
+        // results are byte-identical with or without it).
+        static thread_local sim::SimWorkspace workspace;
         Task& task = tasks[index];
         sim::SimConfig config = grid.base;
         config.injection_rate = task.point.rate;
         config.mode = task.point.mode;
         config.lanes = task.point.lanes;
+        config.burst = task.point.burst;
         config.seed = task.point.seed;
+        const fault::FaultMask& mask =
+            faults[task.engine_index][task.fault_index].mask;
         task.point.result = engines[task.engine_index]->run(
-            task.point.pattern, config);
+            task.point.pattern, config, &mask, &workspace);
         sweep.points[index] = std::move(task.point);
       },
       threads);

@@ -1,39 +1,56 @@
 /// \file sweep.hpp
 /// \brief Parallel experiment sweeps over {network x pattern x mode x
-/// lanes x injection rate} grids.
+/// lanes x faults x injection rate} grids.
 ///
 /// A SweepGrid is the cartesian product of its axes; run_sweep fans the
 /// grid across util::parallel_for with one deterministic RNG stream per
 /// task (derived from the base seed and the task's grid index), so the
 /// result — and any CSV/JSON rendered from it (report.hpp) — is
 /// byte-identical regardless of thread count.
+///
+/// The fault axis (fault/fault_model.hpp) adds resilience studies: one
+/// FaultMask is built per {network, fault spec} and shared read-only by
+/// every grid point simulating that pair, and the survivor topology is
+/// classified once (full access, surviving Banyan property, surviving
+/// arc count — min::classify_faulted) so each point reports degraded
+/// performance next to what is left of the fabric's structure.
 
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_model.hpp"
+#include "min/equivalence.hpp"
 #include "min/networks.hpp"
 #include "sim/engine.hpp"
 
 namespace mineq::exp {
 
 /// The axes of one sweep. Fixed (non-swept) simulation parameters ride in
-/// `base`, whose injection_rate, mode, lanes and seed are overridden per
-/// grid point (the per-point seed is derived from base.seed and the grid
-/// index).
+/// `base`, whose injection_rate, mode, lanes, burst and seed are
+/// overridden per grid point (the per-point seed is derived from
+/// base.seed and the grid index).
 struct SweepGrid {
   std::vector<min::NetworkKind> networks;
   std::vector<sim::Pattern> patterns;
   std::vector<sim::SwitchingMode> modes;
   std::vector<std::size_t> lane_counts;
+  /// Fault-injection axis; the default single no-fault spec reproduces
+  /// the pristine sweep.
+  std::vector<fault::FaultSpec> faults = {fault::FaultSpec{}};
+  /// Bursty-modulator axis (two-state Markov on/off probabilities); only
+  /// Pattern::kBursty expands it — other patterns ignore the modulator,
+  /// so they contribute one variant.
+  std::vector<sim::BurstParams> bursts = {sim::BurstParams{}};
   std::vector<double> rates;
   int stages = 6;
   sim::SimConfig base;
 
   /// Number of grid points: the product of the axis sizes, except that
   /// a store-and-forward mode contributes one lane variant (lanes only
-  /// shape the wormhole discipline).
+  /// shape the wormhole discipline) and a non-bursty pattern contributes
+  /// one burst variant.
   [[nodiscard]] std::size_t size() const noexcept;
 };
 
@@ -43,14 +60,19 @@ struct SweepPoint {
   sim::Pattern pattern = sim::Pattern::kUniform;
   sim::SwitchingMode mode = sim::SwitchingMode::kStoreAndForward;
   std::size_t lanes = 1;
+  fault::FaultSpec fault;    ///< the fault-axis value simulated
+  sim::BurstParams burst;    ///< the burst-axis value simulated
   double rate = 0.0;
   int stages = 0;
   std::uint64_t seed = 0;  ///< the derived per-point seed actually used
+  /// Survivor-topology classification of (network, fault) — shared by
+  /// every point of the pair, computed once per mask.
+  min::FaultedClassification survivor;
   sim::SimResult result;
 };
 
 /// All grid points in deterministic order (network-major, then pattern,
-/// mode, lanes, rate innermost).
+/// burst, mode, lanes, fault, rate innermost).
 struct SweepResult {
   SweepGrid grid;
   std::vector<SweepPoint> points;
@@ -59,11 +81,15 @@ struct SweepResult {
 /// Run every grid point, fanned across \p threads workers (0 = hardware
 /// concurrency). One Engine — and with it one min::FlatWiring — is
 /// precomputed per {network, stages} and shared read-only across all
-/// grid points, so no point pays topology re-derivation; each point
+/// grid points, one FaultMask (+ survivor classification) per
+/// {network, fault spec} likewise, and each worker thread reuses one
+/// sim::SimWorkspace payload-pool arena across all its points, so no
+/// point pays topology re-derivation or pool re-allocation; each point
 /// derives an independent seed from (grid.base.seed, index), so results
 /// are identical for any thread count.
 /// \throws std::invalid_argument on an empty axis, an out-of-range rate,
-/// or a pattern/stage-count mismatch (transpose needs even stages).
+/// an invalid fault spec or burst parameter set, or a pattern/stage-count
+/// mismatch (transpose needs even stages).
 [[nodiscard]] SweepResult run_sweep(const SweepGrid& grid,
                                     std::size_t threads = 0);
 

@@ -1,0 +1,20 @@
+#include "fault/fault_mask.hpp"
+
+namespace mineq::fault {
+
+FaultMask::FaultMask(const min::FlatWiring& w)
+    : stages_(w.stages()),
+      cells_(w.cells_per_stage()),
+      arcs_(static_cast<std::size_t>(w.stages() - 1) * w.links_per_stage()),
+      words_((arcs_ + 63) / 64, 0) {}
+
+void FaultMask::set_index(std::size_t arc) {
+  std::uint64_t& word = words_[arc >> 6];
+  const std::uint64_t bit = std::uint64_t{1} << (arc & 63);
+  if ((word & bit) == 0) {
+    word |= bit;
+    ++faulted_;
+  }
+}
+
+}  // namespace mineq::fault

@@ -1,0 +1,156 @@
+#include "fault/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mineq::fault {
+
+const std::vector<FaultKind>& all_fault_kinds() {
+  static const std::vector<FaultKind> kinds = {
+      FaultKind::kNone,
+      FaultKind::kRandomLinks,
+      FaultKind::kSwitchKills,
+      FaultKind::kStageBurst,
+  };
+  return kinds;
+}
+
+std::string fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kRandomLinks:
+      return "links";
+    case FaultKind::kSwitchKills:
+      return "switches";
+    case FaultKind::kStageBurst:
+      return "burst";
+  }
+  throw std::invalid_argument("fault_kind_name: unknown kind");
+}
+
+FaultKind parse_fault_kind(std::string_view name) {
+  for (const FaultKind kind : all_fault_kinds()) {
+    if (fault_kind_name(kind) == name) return kind;
+  }
+  throw std::invalid_argument("parse_fault_kind: unknown kind \"" +
+                              std::string(name) + '"');
+}
+
+void FaultSpec::validate() const {
+  if (!std::isfinite(rate) || rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument(
+        "FaultSpec: rate must be finite and within [0, 1], got " +
+        std::to_string(rate));
+  }
+  if (kind == FaultKind::kNone && rate != 0.0) {
+    throw std::invalid_argument(
+        "FaultSpec: kind \"none\" requires rate == 0, got " +
+        std::to_string(rate));
+  }
+}
+
+namespace {
+
+void random_links(const min::FlatWiring& w, const FaultSpec& spec,
+                  util::SplitMix64& rng, FaultMask& mask) {
+  (void)w;
+  const std::uint64_t threshold = util::probability_threshold(spec.rate);
+  for (std::size_t arc = 0; arc < mask.total_arcs(); ++arc) {
+    if (rng.chance_threshold(threshold)) mask.set_index(arc);
+  }
+}
+
+/// Mask every in- and out-arc of cell \p y at stage \p s.
+void kill_switch(const min::FlatWiring& w, int s, std::uint32_t y,
+                 FaultMask& mask) {
+  if (s + 1 < w.stages()) {
+    mask.set(s, y, 0);
+    mask.set(s, y, 1);
+  }
+  if (s > 0) {
+    for (unsigned slot = 0; slot < 2; ++slot) {
+      mask.set(s - 1, w.parent(s - 1, y, slot),
+               w.parent_port(s - 1, y, slot));
+    }
+  }
+}
+
+void switch_kills(const min::FlatWiring& w, const FaultSpec& spec,
+                  util::SplitMix64& rng, FaultMask& mask) {
+  const std::size_t switches =
+      static_cast<std::size_t>(w.stages()) * w.cells_per_stage();
+  const auto kills = static_cast<std::size_t>(
+      std::llround(spec.rate * static_cast<double>(switches)));
+  // Partial Fisher-Yates: the first `kills` entries are a uniform sample
+  // of distinct switches, in a seed-determined order.
+  std::vector<std::uint32_t> nodes(switches);
+  std::iota(nodes.begin(), nodes.end(), 0U);
+  for (std::size_t i = 0; i < kills; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.below(switches - i));
+    std::swap(nodes[i], nodes[j]);
+    const int s = static_cast<int>(nodes[i] / w.cells_per_stage());
+    const std::uint32_t y = nodes[i] % w.cells_per_stage();
+    kill_switch(w, s, y, mask);
+  }
+}
+
+void stage_burst(const min::FlatWiring& w, const FaultSpec& spec,
+                 util::SplitMix64& rng, FaultMask& mask) {
+  const auto target = static_cast<std::size_t>(
+      std::llround(spec.rate * static_cast<double>(mask.total_arcs())));
+  const std::size_t links = w.links_per_stage();
+  const auto stages = static_cast<std::uint64_t>(w.stages() - 1);
+  // Random offsets make progress with high probability; the attempt cap
+  // bounds the loop deterministically when the fabric is nearly full.
+  std::size_t attempts = 64 + 16 * target;
+  while (mask.faulted_count() < target && attempts-- > 0) {
+    const std::size_t stage = rng.below(stages);
+    const std::size_t offset = rng.below(links);
+    // Geometric burst length, mean 8 (continue with probability 7/8),
+    // clamped at the stage boundary: bursts never span stages.
+    std::size_t length = 1;
+    while (rng.chance(7, 8)) ++length;
+    length = std::min(length, links - offset);
+    const std::size_t base = stage * links + offset;
+    for (std::size_t i = 0;
+         i < length && mask.faulted_count() < target; ++i) {
+      mask.set_index(base + i);
+    }
+  }
+}
+
+}  // namespace
+
+FaultMask build_fault_mask(const min::FlatWiring& w, const FaultSpec& spec) {
+  spec.validate();
+  FaultMask mask(w);
+  if (spec.kind == FaultKind::kNone || spec.rate == 0.0 ||
+      mask.total_arcs() == 0) {
+    return mask;
+  }
+  // Placement draws come from stream 0 of the spec seed, mirroring the
+  // simulators' split-stream discipline (traffic/gate/burst streams).
+  util::SplitMix64 rng = util::SplitMix64(spec.seed).split(0);
+  switch (spec.kind) {
+    case FaultKind::kRandomLinks:
+      random_links(w, spec, rng, mask);
+      break;
+    case FaultKind::kSwitchKills:
+      switch_kills(w, spec, rng, mask);
+      break;
+    case FaultKind::kStageBurst:
+      stage_burst(w, spec, rng, mask);
+      break;
+    case FaultKind::kNone:
+      break;
+  }
+  return mask;
+}
+
+}  // namespace mineq::fault

@@ -1,0 +1,72 @@
+/// \file fault_model.hpp
+/// \brief Seeded fault models producing FaultMasks over a FlatWiring.
+///
+/// Three injection models from the MIN fault-tolerance literature, all
+/// deterministic given (FaultSpec, wiring) via the repo's splittable RNG
+/// discipline (util::SplitMix64 streams derived from the spec seed):
+///
+///  - kRandomLinks:  every arc fails independently with probability
+///                   `rate` (uniform link faults);
+///  - kSwitchKills:  round(rate * switches) distinct switches chosen
+///                   uniformly are killed outright — all their in- and
+///                   out-arcs masked (targeted switch faults);
+///  - kStageBurst:   stage-correlated bursts: runs of adjacent packed
+///                   arc records inside one randomly chosen stage
+///                   (geometric length, mean 8) until ≈ rate of all arcs
+///                   are masked, modelling a damaged backplane region.
+///
+/// A FaultSpec is also the sweep-axis value type: exp::SweepGrid crosses
+/// {kind × rate × seed} and builds one mask per (network, spec), shared
+/// read-only by every grid point that simulates the pair.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/fault_mask.hpp"
+#include "min/flat_wiring.hpp"
+
+namespace mineq::fault {
+
+/// The supported fault-injection models.
+enum class FaultKind : std::uint8_t {
+  kNone,         ///< no faults (the pristine fabric)
+  kRandomLinks,  ///< i.i.d. link faults at probability `rate`
+  kSwitchKills,  ///< kill round(rate * switches) whole switches
+  kStageBurst,   ///< stage-correlated bursts of adjacent arcs
+};
+
+/// All kinds, in declaration order (handy for sweeps and round-trips).
+[[nodiscard]] const std::vector<FaultKind>& all_fault_kinds();
+
+/// Short token for CLIs and CSV columns ("none", "links", "switches",
+/// "burst").
+[[nodiscard]] std::string fault_kind_name(FaultKind kind);
+
+/// Inverse of fault_kind_name.
+/// \throws std::invalid_argument on an unknown name.
+[[nodiscard]] FaultKind parse_fault_kind(std::string_view name);
+
+/// One fault-axis value: which model, how hard, and the placement seed.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  double rate = 0.0;       ///< fraction of arcs (or switches) affected
+  std::uint64_t seed = 0;  ///< seeds the placement RNG stream
+
+  /// Reject unusable parameters: rate must be finite and within [0, 1],
+  /// and kNone requires rate == 0 (a "no faults" spec is unambiguous, so
+  /// axis products collapse cleanly).
+  /// \throws std::invalid_argument
+  void validate() const;
+};
+
+/// Build the mask \p spec describes over the arcs of \p w. Deterministic:
+/// the same (spec, wiring geometry) always yields the same mask.
+/// \throws std::invalid_argument via FaultSpec::validate().
+[[nodiscard]] FaultMask build_fault_mask(const min::FlatWiring& w,
+                                         const FaultSpec& spec);
+
+}  // namespace mineq::fault

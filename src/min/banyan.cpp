@@ -62,6 +62,38 @@ std::vector<std::uint64_t> path_counts_from(const FlatWiring& w,
   return counts;
 }
 
+std::vector<std::uint64_t> path_counts_from(const FlatWiring& w,
+                                            const fault::FaultMask& mask,
+                                            std::uint32_t source,
+                                            std::uint64_t cap) {
+  const std::uint32_t cells = w.cells_per_stage();
+  if (source >= cells) {
+    throw std::invalid_argument("path_counts_from: source out of range");
+  }
+  if (!mask.matches(w)) {
+    throw std::invalid_argument(
+        "path_counts_from: fault mask geometry does not match the wiring");
+  }
+  std::vector<std::uint64_t> counts(cells, 0);
+  std::vector<std::uint64_t> next(cells, 0);
+  counts[source] = 1;
+  for (int s = 0; s + 1 < w.stages(); ++s) {
+    const auto down = w.down_stage(s);
+    std::fill(next.begin(), next.end(), 0);
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      const std::uint64_t c = counts[x];
+      if (c == 0) continue;
+      for (unsigned port = 0; port < 2; ++port) {
+        if (mask.faulted(s, x, port)) continue;  // dead arcs carry no paths
+        auto& n = next[down[2 * x + port] >> 1];
+        n = std::min(cap, n + c);
+      }
+    }
+    counts.swap(next);
+  }
+  return counts;
+}
+
 namespace {
 
 /// Below this size the whole check lives in a cache line or two and the

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "fault/fault_mask.hpp"
 #include "min/flat_wiring.hpp"
 #include "min/mi_digraph.hpp"
 
@@ -57,5 +58,16 @@ struct BanyanFailure {
 
 [[nodiscard]] std::vector<std::uint64_t> path_counts_from(
     const FlatWiring& w, std::uint32_t source, std::uint64_t cap = 4);
+
+/// Path-count DP over the *surviving* arcs of a fault-masked wiring:
+/// arcs with a set mask bit carry no paths. The doubling criterion does
+/// not apply once out-degrees drop below 2, so faulted classification
+/// (equivalence.hpp's classify_faulted) runs on these counts directly:
+/// full access is "every count >= 1", unique surviving paths is "every
+/// count == 1".
+/// \throws std::invalid_argument if the mask geometry does not match.
+[[nodiscard]] std::vector<std::uint64_t> path_counts_from(
+    const FlatWiring& w, const fault::FaultMask& mask, std::uint32_t source,
+    std::uint64_t cap = 4);
 
 }  // namespace mineq::min

@@ -95,6 +95,56 @@ bool is_baseline_equivalent_via_independence(const MIDigraph& g) {
   return is_banyan(g);
 }
 
+FaultedClassification classify_faulted(const FlatWiring& w,
+                                       const fault::FaultMask& mask) {
+  if (!mask.matches(w)) {
+    throw std::invalid_argument(
+        "classify_faulted: fault mask geometry does not match the wiring");
+  }
+  FaultedClassification out;
+  out.total_arcs = mask.total_arcs();
+  out.surviving_arcs = mask.surviving_arcs();
+  if (mask.none()) {
+    // Pristine fast path: run_sweep classifies every {network, fault
+    // spec} pair serially before fanning the grid out, and the default
+    // no-fault spec must not pay the per-source path DP — the word-wide
+    // bitset Banyan check is the 2-3x faster route at n >= 10. A Banyan
+    // fabric has exactly one path per pair, so full access is implied.
+    const EquivalenceReport pristine = check_baseline_equivalence(w);
+    out.banyan = pristine.banyan;
+    out.baseline_equivalent = pristine.equivalent;
+    if (pristine.banyan) {
+      out.full_access = true;
+      return out;
+    }
+    // Not Banyan: fall through — the DP still decides full access
+    // (parallel paths may cover every pair).
+  }
+  bool full_access = true;
+  bool unique_paths = true;
+  const std::uint32_t cells = w.cells_per_stage();
+  for (std::uint32_t u = 0; u < cells && full_access; ++u) {
+    // Saturating at 2 is enough to separate 0 / 1 / "many" paths.
+    const auto counts = path_counts_from(w, mask, u, /*cap=*/2);
+    for (const std::uint64_t c : counts) {
+      if (c != 1) unique_paths = false;
+      if (c == 0) {
+        full_access = false;
+        break;
+      }
+    }
+  }
+  out.full_access = full_access;
+  if (!mask.none()) {
+    out.banyan = full_access && unique_paths;
+    // Removing any arc from a full-access fabric with unique paths
+    // severs at least one (source, sink) pair, so only the unmasked
+    // fabric can still be an (intact, baseline-equivalent) MI-digraph.
+    out.baseline_equivalent = false;
+  }
+  return out;
+}
+
 bool are_topologically_equivalent(const MIDigraph& a, const MIDigraph& b,
                                   std::uint64_t fallback_budget) {
   if (a.stages() != b.stages()) return false;

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/fault_mask.hpp"
 #include "min/flat_wiring.hpp"
 #include "min/mi_digraph.hpp"
 
@@ -61,6 +62,36 @@ struct EquivalenceReport {
 /// baseline with arbitrary per-stage permutations). Exposed separately so
 /// benchmarks can compare the costs.
 [[nodiscard]] bool is_baseline_equivalent_via_independence(const MIDigraph& g);
+
+/// Classification of a fault-degraded fabric: the survivor topology of
+/// (wiring minus masked arcs), decided over the same packed IR the
+/// simulators route (no explicit sub-digraph is rebuilt).
+struct FaultedClassification {
+  std::size_t total_arcs = 0;
+  std::size_t surviving_arcs = 0;
+  /// Every first-stage cell still reaches every last-stage cell through
+  /// surviving arcs — the fault literature's "full access" property.
+  bool full_access = false;
+  /// The survivor has exactly one surviving path per (source, sink)
+  /// pair: the Banyan property of the degraded fabric (implies
+  /// full_access).
+  bool banyan = false;
+  /// The fabric is still an intact baseline-equivalent MI-digraph: no
+  /// arc is masked (removing any arc from a Banyan fabric breaks full
+  /// access, so degrees must be whole) and the paper's characterization
+  /// holds on the wiring.
+  bool baseline_equivalent = false;
+};
+
+/// Classify the faulted fabric (w, mask). Runs the per-source saturating
+/// path-count DP over surviving arcs — the doubling criterion needs
+/// out-degree exactly 2, so under faults path counts are the criterion:
+/// full access is "all counts >= 1", Banyan is "all counts == 1". With an
+/// empty mask the verdicts coincide with is_banyan /
+/// check_baseline_equivalence (asserted in the tests).
+/// \throws std::invalid_argument if the mask geometry does not match.
+[[nodiscard]] FaultedClassification classify_faulted(
+    const FlatWiring& w, const fault::FaultMask& mask);
 
 /// Are two MI-digraphs topologically equivalent? Decided without search
 /// when at least one is baseline-equivalent; otherwise falls back to the

@@ -182,6 +182,32 @@ std::size_t component_count_range(const FlatWiring& w, int lo, int hi) {
   return dsu.components();
 }
 
+std::size_t component_count_range(const FlatWiring& w,
+                                  const fault::FaultMask& mask, int lo,
+                                  int hi) {
+  if (lo < 0 || hi >= w.stages() || lo > hi) {
+    throw std::invalid_argument("P(i,j): bad stage range");
+  }
+  if (!mask.matches(w)) {
+    throw std::invalid_argument(
+        "component_count_range: fault mask geometry does not match");
+  }
+  const std::uint32_t cells = w.cells_per_stage();
+  const std::size_t span = static_cast<std::size_t>(hi - lo + 1);
+  graph::DSU dsu(span * cells);
+  for (int s = lo; s < hi; ++s) {
+    const auto down = w.down_stage(s);
+    const std::uint32_t base = static_cast<std::uint32_t>(s - lo) * cells;
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      for (unsigned port = 0; port < 2; ++port) {
+        if (mask.faulted(s, x, port)) continue;  // severed by the fault
+        dsu.unite(base + x, base + cells + (down[2 * x + port] >> 1));
+      }
+    }
+  }
+  return dsu.components();
+}
+
 SuffixStructure suffix_component_structure(const MIDigraph& g, int from) {
   check_range(g, from, g.stages() - 1);
   const std::uint32_t cells = g.cells_per_stage();

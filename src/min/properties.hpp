@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_mask.hpp"
 #include "min/flat_wiring.hpp"
 #include "min/mi_digraph.hpp"
 
@@ -60,6 +61,17 @@ namespace mineq::min {
 [[nodiscard]] bool satisfies_p_star_n(const FlatWiring& w);
 [[nodiscard]] std::size_t component_count_range(const FlatWiring& w, int lo,
                                                 int hi);
+
+/// Component count of the *survivor* sub-digraph of stages lo..hi under a
+/// fault mask: masked arcs contribute no unions, so switches isolated by
+/// faults count as singleton components. With an empty mask this equals
+/// the unmasked overload (cross-checked in the tests against a DSU over
+/// the explicitly pruned arc list).
+/// \throws std::invalid_argument on a bad range or a mask geometry
+/// mismatch.
+[[nodiscard]] std::size_t component_count_range(const FlatWiring& w,
+                                                const fault::FaultMask& mask,
+                                                int lo, int hi);
 
 /// Lemma 2 structure report for the suffix (G)_{from..n-1}: component
 /// count plus, per component, its intersection size with every stage.

@@ -56,6 +56,7 @@ void SimConfig::validate() const {
         "SimConfig: lane_depth must be positive (a lane buffers at least "
         "one flit)");
   }
+  burst.validate();
 }
 
 Engine::Engine(min::MIDigraph network, min::BitSchedule schedule)
@@ -102,13 +103,23 @@ namespace {
 /// move as units between fixed-capacity per-port FIFOs (PacketRing), a
 /// packet of L flits serializes over each link for L cycles, and a packet
 /// must have fully arrived (arrival_complete) before it may advance.
+///
+/// \tparam kFaulted compile-time fault switch: the false instantiation
+/// is the byte-identical unmasked fast path (no mask probes anywhere in
+/// the hot loop); the true instantiation routes through the
+/// fault::FaultedWiring view — masked arcs accept nothing, packets
+/// reroute via the surviving sibling port, and dead switches drain their
+/// queues into packets_dropped_faulted.
+template <bool kFaulted>
 class StoreAndForwardPolicy {
  public:
-  explicit StoreAndForwardPolicy(FabricCore& core)
+  StoreAndForwardPolicy(FabricCore& core, SimWorkspace& workspace,
+                        [[maybe_unused]] const fault::FaultMask* mask)
       : core_(core),
         length_(core.config().packet_length),
-        queues_(static_cast<std::size_t>(core.stages()) * core.ports(),
-                core.config().queue_capacity),
+        queues_(workspace.packet_ring(
+            static_cast<std::size_t>(core.stages()) * core.ports(),
+            core.config().queue_capacity)),
         link_busy_until_(
             static_cast<std::size_t>(core.stages() - 1) * core.ports(), 0),
         source_busy_until_(core.terminals(), 0),
@@ -117,6 +128,17 @@ class StoreAndForwardPolicy {
         total_packet_slots_(static_cast<double>(core.stages()) *
                             static_cast<double>(core.terminals()) *
                             static_cast<double>(core.config().queue_capacity)) {
+    if constexpr (kFaulted) {
+      faulted_ = fault::FaultedWiring(core.wiring(), *mask);
+      dead_cells_.resize(static_cast<std::size_t>(core.stages() - 1));
+      for (int s = 0; s + 1 < core.stages(); ++s) {
+        for (std::uint32_t x = 0; x < core.cells(); ++x) {
+          if (faulted_.dead_switch(s, x)) {
+            dead_cells_[static_cast<std::size_t>(s)].push_back(x);
+          }
+        }
+      }
+    }
   }
 
   /// Eject at the last stage: each terminal link (cell x, port d&1)
@@ -136,6 +158,7 @@ class StoreAndForwardPolicy {
           if (queues_.empty(q)) continue;
           if (queues_.front_arrival(q) > cycle) continue;
           if ((queues_.front_dest(q) & 1U) != port) continue;
+          const std::uint32_t dest = queues_.front_dest(q);
           const std::uint64_t inject_cycle = queues_.front_inject(q);
           queues_.pop(q);
           eject_busy_until_[2 * x + port] = cycle + length_;
@@ -145,6 +168,11 @@ class StoreAndForwardPolicy {
             core_.result.flits_delivered += length_;
             core_.record_packet_delivered(
                 static_cast<double>(cycle - inject_cycle + length_));
+            if constexpr (kFaulted) {
+              // A detoured packet ejects at whatever terminal the
+              // surviving route reached; count the miss.
+              if ((dest >> 1) != x) ++core_.result.packets_misdelivered;
+            }
           }
           break;
         }
@@ -161,9 +189,13 @@ class StoreAndForwardPolicy {
     const auto down = core_.wiring().down_stage(s);
     const std::size_t link_base =
         static_cast<std::size_t>(s) * core_.ports();
+    if constexpr (kFaulted) drain_dead_switches(s, cycle, measuring);
     std::fill(queue_moved_.begin(), queue_moved_.end(), 0);
     for (std::uint32_t x = 0; x < cells; ++x) {
       for (unsigned port = 0; port < 2; ++port) {
+        if constexpr (kFaulted) {
+          if (!faulted_.arc_ok(s, x, port)) continue;  // dead link
+        }
         if (link_busy_until_[link_base + 2 * x + port] > cycle) {
           continue;  // still serializing the previous packet
         }
@@ -174,18 +206,34 @@ class StoreAndForwardPolicy {
           if (queues_.empty(q)) continue;
           if (queues_.front_arrival(q) > cycle) continue;
           const std::uint32_t dest = queues_.front_dest(q);
-          if (core_.engine().route_port(s, dest) != port) continue;
+          const unsigned desired = core_.engine().route_port(s, dest);
+          if constexpr (kFaulted) {
+            // Degraded-mode adaptive routing: follow the schedule while
+            // its arc survives, detour through the sibling otherwise.
+            if (faulted_.usable_port(s, x, desired) !=
+                static_cast<int>(port)) {
+              continue;
+            }
+          } else {
+            if (desired != port) continue;
+          }
           // One packed read gives the child cell and its input slot.
           const std::uint32_t record = down[2 * x + port];
           const std::size_t target =
               queue_index(s + 1, 2 * (record >> 1) + (record & 1U));
           if (queues_.full(target)) continue;
-          queues_.push(target, dest, queues_.front_inject(q),
-                       cycle + length_);
+          const std::uint64_t inject_cycle = queues_.front_inject(q);
+          queues_.push(target, dest, inject_cycle, cycle + length_);
           queues_.pop(q);
           queue_moved_[2 * x + slot] = 1;
           link_busy_until_[link_base + 2 * x + port] = cycle + length_;
           arb.grant(slot);
+          if constexpr (kFaulted) {
+            if (port != desired && measuring &&
+                inject_cycle >= core_.config().warmup_cycles) {
+              ++core_.result.packets_rerouted;
+            }
+          }
           break;
         }
       }
@@ -235,6 +283,25 @@ class StoreAndForwardPolicy {
     return static_cast<std::size_t>(s) * core_.ports() + i;
   }
 
+  /// Discard every fully-arrived packet queued at a dead switch of stage
+  /// \p s (both out-arcs masked: no degraded route exists). Flits still
+  /// serializing in stay buffered until their arrival completes.
+  void drain_dead_switches(int s, std::uint64_t cycle, bool measuring) {
+    for (const std::uint32_t x : dead_cells_[static_cast<std::size_t>(s)]) {
+      for (unsigned slot = 0; slot < 2; ++slot) {
+        const std::size_t q = queue_index(s, 2 * x + slot);
+        while (!queues_.empty(q) && queues_.front_arrival(q) <= cycle) {
+          const std::uint64_t inject_cycle = queues_.front_inject(q);
+          queues_.pop(q);
+          if (measuring && inject_cycle >= core_.config().warmup_cycles) {
+            ++core_.result.packets_dropped_faulted;
+            core_.result.flits_dropped_faulted += length_;
+          }
+        }
+      }
+    }
+  }
+
   /// Head-of-line blocking: a fully-arrived head that did not move.
   void account_blocking(int s, std::uint64_t cycle) {
     for (std::size_t i = 0; i < core_.ports(); ++i) {
@@ -248,24 +315,43 @@ class StoreAndForwardPolicy {
 
   FabricCore& core_;
   std::uint64_t length_;
-  PacketRing queues_;
+  PacketRing& queues_;
   std::vector<std::uint64_t> link_busy_until_;
   std::vector<std::uint64_t> source_busy_until_;
   std::vector<std::uint64_t> eject_busy_until_;
   std::vector<std::uint8_t> queue_moved_;
   std::uint64_t busy_link_cycles_ = 0;
   double total_packet_slots_;
+  fault::FaultedWiring faulted_;                     // kFaulted only
+  std::vector<std::vector<std::uint32_t>> dead_cells_;  // kFaulted only
 };
 
 }  // namespace
 
-SimResult Engine::run(Pattern pattern, const SimConfig& config) const {
+SimResult Engine::run(Pattern pattern, const SimConfig& config,
+                      const fault::FaultMask* mask,
+                      SimWorkspace* workspace) const {
   config.validate();
-  if (config.mode == SwitchingMode::kWormhole) {
-    return WormholeSimulator(*this).run(pattern, config);
+  // The fast-path test: an absent or all-clear mask runs the exact
+  // unfaulted policy instantiation, so fault support costs the pristine
+  // hot loop nothing.
+  const bool faulted = mask != nullptr && !mask->none();
+  if (faulted && !mask->matches(wiring_)) {
+    throw std::invalid_argument(
+        "Engine::run: fault mask geometry does not match this network");
   }
+  if (config.mode == SwitchingMode::kWormhole) {
+    return WormholeSimulator(*this).run(pattern, config, EjectObserver(),
+                                        mask, workspace);
+  }
+  SimWorkspace local;
+  SimWorkspace& ws = workspace != nullptr ? *workspace : local;
   FabricCore core(*this, pattern, config, /*arbiter_candidates=*/2);
-  StoreAndForwardPolicy policy(core);
+  if (faulted) {
+    StoreAndForwardPolicy<true> policy(core, ws, mask);
+    return run_switched(core, policy);
+  }
+  StoreAndForwardPolicy<false> policy(core, ws, nullptr);
   return run_switched(core, policy);
 }
 

@@ -27,6 +27,7 @@
 #include <string>
 #include <string_view>
 
+#include "fault/fault_mask.hpp"
 #include "min/flat_wiring.hpp"
 #include "min/mi_digraph.hpp"
 #include "min/routing.hpp"
@@ -34,6 +35,8 @@
 #include "sim/traffic.hpp"
 
 namespace mineq::sim {
+
+class SimWorkspace;  // fabric.hpp: reusable cross-run payload-pool arena
 
 /// How packets traverse a switch.
 enum class SwitchingMode : std::uint8_t {
@@ -60,13 +63,17 @@ struct SimConfig {
   std::size_t packet_length = 1; ///< flits per packet (both disciplines)
   std::size_t lanes = 1;         ///< wormhole: virtual channels per input port
   std::size_t lane_depth = 4;    ///< wormhole: flits buffered per lane
+  /// Two-state Markov on/off probabilities for Pattern::kBursty (other
+  /// patterns ignore it); defaults reproduce mean burst 8 / idle 24.
+  BurstParams burst;
 
   /// Reject unusable parameters up front, with a message naming the
   /// offending field and value: lanes, lane_depth, packet_length and
   /// queue_capacity must be positive (regardless of mode, so a config is
-  /// valid or not independently of the discipline that runs it), and
-  /// injection_rate must be finite and within [0, 1]. Called by both
-  /// simulators and by exp::run_sweep before any work starts.
+  /// valid or not independently of the discipline that runs it),
+  /// injection_rate must be finite and within [0, 1], and the burst
+  /// probabilities must be within (0, 1]. Called by both simulators and
+  /// by exp::run_sweep before any work starts.
   /// \throws std::invalid_argument
   void validate() const;
 };
@@ -101,6 +108,40 @@ struct SimResult {
   double link_utilization = 0.0;
   /// Per-measured-cycle occupied fraction of all buffer flit slots.
   RunningStats lane_occupancy;
+
+  // Fault-injection counters (nonzero only when a FaultMask is active;
+  // all gated like `delivered`: measured cycles, packets injected after
+  // warmup). A dropped packet left the network, so conservation reads
+  // injected == delivered + dropped + in flight — and exactly, at flit
+  // granularity with warmup_cycles == 0: flits_injected ==
+  // flits_delivered + flits_in_flight + flits_dropped_faulted.
+  /// Packets discarded at a switch whose surviving out-arcs are all
+  /// masked (no degraded route exists).
+  std::uint64_t packets_dropped_faulted = 0;
+  /// Sibling-port detours taken because the scheduled out-arc was
+  /// masked (one count per detour event, so a packet detoured twice
+  /// counts twice).
+  std::uint64_t packets_rerouted = 0;
+  /// Packets ejected at the wrong terminal. A banyan has unique paths,
+  /// so a detoured packet cannot reach its original destination; it
+  /// still ejects somewhere (and counts as delivered — it left the
+  /// network), and this counter says how many of those deliveries
+  /// missed. delivered - packets_misdelivered is the correctly-delivered
+  /// count the sweep reports as delivered_fraction.
+  std::uint64_t packets_misdelivered = 0;
+  /// Flits discarded by faulted drops (packet_length per store-and-
+  /// forward drop; per-flit for wormhole worms).
+  std::uint64_t flits_dropped_faulted = 0;
+
+  /// Correctly-delivered / injected, the fault-resilience headline
+  /// (wrong-terminal ejections of detoured packets are subtracted; an
+  /// idle point — nothing injected — lost nothing, so 1.0). Shared by
+  /// the sweep reports and the fault benches so the two never drift.
+  [[nodiscard]] double delivered_fraction() const {
+    if (injected == 0) return 1.0;
+    return static_cast<double>(delivered - packets_misdelivered) /
+           static_cast<double>(injected);
+  }
 };
 
 /// The simulator. Construction flattens the network into the stage-packed
@@ -118,9 +159,19 @@ class Engine {
   explicit Engine(min::MIDigraph network);
 
   /// Run one simulation with the given traffic and parameters, in the
-  /// discipline selected by \p config.mode.
-  /// \throws std::invalid_argument via SimConfig::validate().
-  [[nodiscard]] SimResult run(Pattern pattern, const SimConfig& config) const;
+  /// discipline selected by \p config.mode. With a non-null, non-empty
+  /// \p mask the run is fault-degraded: masked arcs accept no payload,
+  /// packets reroute through surviving sibling ports and drop at dead
+  /// switches (see fault/fault_mask.hpp). A null or all-clear mask takes
+  /// the unmasked fast path — the byte-identical policy instantiation the
+  /// two-argument form always ran. \p workspace, when given, supplies
+  /// reusable payload-pool allocations (sweep workers pass one per
+  /// thread); it never changes results.
+  /// \throws std::invalid_argument via SimConfig::validate(), or on a
+  /// mask whose geometry does not match this network.
+  [[nodiscard]] SimResult run(Pattern pattern, const SimConfig& config,
+                              const fault::FaultMask* mask = nullptr,
+                              SimWorkspace* workspace = nullptr) const;
 
   [[nodiscard]] const min::MIDigraph& network() const noexcept {
     return network_;

@@ -16,6 +16,19 @@ PacketRing::PacketRing(std::size_t queues, std::size_t capacity)
   }
 }
 
+void PacketRing::reset(std::size_t queues, std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("PacketRing: capacity must be positive");
+  }
+  capacity_ = capacity;
+  head_.assign(queues, 0);
+  count_.assign(queues, 0);
+  dest_.assign(queues * capacity, 0);
+  inject_.assign(queues * capacity, 0);
+  arrival_.assign(queues * capacity, 0);
+  total_ = 0;
+}
+
 void PacketRing::push(std::size_t q, std::uint32_t dest,
                       std::uint64_t inject_cycle,
                       std::uint64_t arrival_complete) {
@@ -52,6 +65,22 @@ LanePool::LanePool(std::size_t lane_count, std::size_t depth)
   if (depth == 0) {
     throw std::invalid_argument("LanePool: depth must be positive");
   }
+}
+
+void LanePool::reset(std::size_t lane_count, std::size_t depth) {
+  if (depth == 0) {
+    throw std::invalid_argument("LanePool: depth must be positive");
+  }
+  depth_ = depth;
+  slots_.assign(lane_count * depth, Flit{});
+  head_.assign(lane_count, 0);
+  count_.assign(lane_count, 0);
+  busy_.assign(lane_count, 0);
+  tail_in_.assign(lane_count, 0);
+  moved_.assign(lane_count, 0);
+  out_port_.assign(lane_count, 0);
+  downstream_.assign(lane_count, -1);
+  occupied_ = 0;
 }
 
 void LanePool::accept_head(std::size_t l, const Flit& head,
@@ -126,7 +155,8 @@ FabricCore::FabricCore(const Engine& engine, Pattern pattern,
       arbiters_(static_cast<std::size_t>(stages_) * ports_,
                 RoundRobin(arbiter_candidates)) {
   if (pattern == Pattern::kBursty) {
-    burst_.emplace(terminals_, util::SplitMix64(config.seed).split(2));
+    burst_.emplace(terminals_, util::SplitMix64(config.seed).split(2),
+                   config.burst);
   }
 }
 

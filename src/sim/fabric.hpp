@@ -60,6 +60,11 @@ class PacketRing {
  public:
   PacketRing(std::size_t queues, std::size_t capacity);
 
+  /// Re-shape to (queues, capacity) and clear every queue, retaining the
+  /// underlying allocations when they are large enough — the
+  /// SimWorkspace arena path for sweeps that run many points per thread.
+  void reset(std::size_t queues, std::size_t capacity);
+
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] bool empty(std::size_t q) const noexcept {
     return count_[q] == 0;
@@ -119,6 +124,10 @@ class PacketRing {
 class LanePool {
  public:
   LanePool(std::size_t lane_count, std::size_t depth);
+
+  /// Re-shape to (lane_count, depth) and reset every lane to idle,
+  /// retaining the underlying allocations when they are large enough.
+  void reset(std::size_t lane_count, std::size_t depth);
 
   [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
 
@@ -198,6 +207,33 @@ class LanePool {
   std::vector<std::uint8_t> out_port_;
   std::vector<std::int32_t> downstream_;
   std::size_t occupied_ = 0;
+};
+
+/// Reusable cross-run allocation arena for the payload pools. A sweep
+/// worker owns one workspace and passes it to every Engine::run it
+/// executes, so million-packet grids re-shape (and usually just clear)
+/// the same pool allocations instead of re-allocating them per grid
+/// point. Pools are fully re-initialized per run, so results are
+/// byte-identical with or without a workspace.
+class SimWorkspace {
+ public:
+  /// The store-and-forward FIFO pool, reset to (queues, capacity).
+  [[nodiscard]] PacketRing& packet_ring(std::size_t queues,
+                                        std::size_t capacity) {
+    ring_.reset(queues, capacity);
+    return ring_;
+  }
+
+  /// The wormhole virtual-channel pool, reset to (lane_count, depth).
+  [[nodiscard]] LanePool& lane_pool(std::size_t lane_count,
+                                    std::size_t depth) {
+    pool_.reset(lane_count, depth);
+    return pool_;
+  }
+
+ private:
+  PacketRing ring_{0, 1};
+  LanePool pool_{0, 1};
 };
 
 /// The per-run state shared by both switching policies: geometry, RNG

@@ -1,6 +1,7 @@
 #include "sim/traffic.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/bitops.hpp"
@@ -100,21 +101,43 @@ TrafficSource::TrafficSource(Pattern pattern, int n, util::SplitMix64 rng)
   }
 }
 
-BurstModulator::BurstModulator(std::size_t terminals, util::SplitMix64 rng)
+void BurstParams::validate() const {
+  const auto check = [](double p, const char* field) {
+    if (!(p > 0.0) || p > 1.0) {  // !(p > 0) also catches NaN
+      throw std::invalid_argument(
+          std::string("BurstParams: ") + field +
+          " must be within (0, 1], got " + std::to_string(p));
+    }
+  };
+  check(on_to_off, "on_to_off");
+  check(off_to_on, "off_to_on");
+}
+
+BurstModulator::BurstModulator(std::size_t terminals, util::SplitMix64 rng,
+                               BurstParams params)
     : on_(terminals, 0), rng_(rng) {
+  // Validate before any threshold cast: converting an out-of-range
+  // double (NaN, > 1) to an integer is undefined behavior.
+  params.validate();
+  on_off_threshold_ = util::probability_threshold(params.on_to_off);
+  off_on_threshold_ = util::probability_threshold(params.off_to_on);
   // Start from the stationary distribution so measurements need no extra
-  // modulator warmup: P(on) = p_on / (p_on + p_off) = 1/4.
+  // modulator warmup: P(on) = p_on / (p_on + p_off).
+  const std::uint64_t stationary_on = util::probability_threshold(
+      params.off_to_on / (params.on_to_off + params.off_to_on));
   for (std::size_t t = 0; t < terminals; ++t) {
-    on_[t] = rng_.chance(1, 4) ? 1 : 0;
+    on_[t] = rng_.chance_threshold(stationary_on) ? 1 : 0;
   }
 }
 
 void BurstModulator::advance() {
+  // One draw per terminal per cycle, compared against the threshold of
+  // the terminal's current state.
   for (std::size_t t = 0; t < on_.size(); ++t) {
     if (on_[t] != 0) {
-      if (rng_.chance(kOnToOffNum, kOnToOffDen)) on_[t] = 0;
+      if (rng_.chance_threshold(on_off_threshold_)) on_[t] = 0;
     } else {
-      if (rng_.chance(kOffToOnNum, kOffToOnDen)) on_[t] = 1;
+      if (rng_.chance_threshold(off_on_threshold_)) on_[t] = 1;
     }
   }
 }

@@ -46,23 +46,37 @@ enum class Pattern : std::uint8_t {
 /// permutations) or kTranspose with odd n.
 [[nodiscard]] perm::Permutation pattern_permutation(Pattern p, int n);
 
+/// The two-state Markov transition probabilities of the bursty on/off
+/// process. Mean burst length is 1/on_to_off cycles, mean idle length
+/// 1/off_to_on, stationary duty off_to_on / (on_to_off + off_to_on) —
+/// the defaults reproduce the classic mean burst 8 / idle 24 / duty 1/4
+/// workload. Swept through SimConfig::burst and mineq_sweep's
+/// --burst-on-off / --burst-off-on axes.
+struct BurstParams {
+  double on_to_off = 1.0 / 8.0;   ///< P(ON -> OFF) per cycle
+  double off_to_on = 1.0 / 24.0;  ///< P(OFF -> ON) per cycle
+
+  /// Both probabilities must be finite and within (0, 1]: zero would
+  /// freeze a terminal in one state forever, anything above 1 is not a
+  /// probability.
+  /// \throws std::invalid_argument
+  void validate() const;
+
+  friend bool operator==(const BurstParams&, const BurstParams&) = default;
+};
+
 /// Two-state Markov (Gilbert) on/off injection modulator: each terminal
 /// is independently ON (injecting at the configured Bernoulli rate) or
-/// OFF (silent), with geometric sojourn times. Used by both switching
-/// disciplines when the pattern is kBursty; one transition draw per
-/// terminal per cycle keeps runs deterministic given the seed.
+/// OFF (silent), with geometric sojourn times set by BurstParams. Used
+/// by both switching disciplines when the pattern is kBursty; one
+/// transition draw per terminal per cycle keeps runs deterministic given
+/// the seed.
 class BurstModulator {
  public:
-  /// ON -> OFF with probability 1/8 per cycle (mean burst 8 cycles).
-  static constexpr std::uint64_t kOnToOffNum = 1;
-  static constexpr std::uint64_t kOnToOffDen = 8;
-  /// OFF -> ON with probability 1/24 per cycle (mean idle 24 cycles);
-  /// stationary duty cycle 1/4.
-  static constexpr std::uint64_t kOffToOnNum = 1;
-  static constexpr std::uint64_t kOffToOnDen = 24;
-
   /// Terminals start in independent stationary-distribution states.
-  BurstModulator(std::size_t terminals, util::SplitMix64 rng);
+  /// \throws std::invalid_argument via BurstParams::validate().
+  BurstModulator(std::size_t terminals, util::SplitMix64 rng,
+                 BurstParams params = {});
 
   /// Advance every terminal by one cycle (one RNG draw per terminal).
   void advance();
@@ -73,6 +87,9 @@ class BurstModulator {
  private:
   std::vector<std::uint8_t> on_;
   util::SplitMix64 rng_;
+  /// 32-bit fixed-point transition gates (util::probability_threshold).
+  std::uint64_t on_off_threshold_ = 0;
+  std::uint64_t off_on_threshold_ = 0;
 };
 
 /// Per-packet destination generator. Deterministic patterns ignore the

@@ -1,5 +1,6 @@
 #include "sim/wormhole.hpp"
 
+#include <stdexcept>
 #include <vector>
 
 #include "sim/fabric.hpp"
@@ -14,23 +15,43 @@ namespace {
 /// as soon as it wins output-port arbitration; body and tail flits follow
 /// through the reserved lane; the tail releases each lane as it passes.
 /// One flit crosses each link per cycle.
+///
+/// \tparam kFaulted compile-time fault switch: the false instantiation
+/// is the byte-identical unmasked fast path; the true instantiation
+/// resolves every worm's out-port through the fault::FaultedWiring view
+/// when its head is accepted — following the schedule while its arc
+/// survives, detouring through the surviving sibling otherwise, and
+/// marking the lane *dropping* when the switch is dead so the worm (and
+/// every flit still following its reservation) drains into the
+/// dropped-at-fault counters instead of wedging the buffer.
+template <bool kFaulted>
 class WormholePolicy {
  public:
-  WormholePolicy(FabricCore& core, const EjectObserver& observer)
+  WormholePolicy(FabricCore& core, const EjectObserver& observer,
+                 SimWorkspace& workspace,
+                 [[maybe_unused]] const fault::FaultMask* mask)
       : core_(core),
         observer_(observer),
         lanes_(core.config().lanes),
         length_(core.config().packet_length),
-        pool_(static_cast<std::size_t>(core.stages()) * core.ports() * lanes_,
-              core.config().lane_depth),
+        pool_(workspace.lane_pool(
+            static_cast<std::size_t>(core.stages()) * core.ports() * lanes_,
+            core.config().lane_depth)),
         sources_(core.terminals()),
         total_flit_slots_(static_cast<double>(core.stages()) *
                           static_cast<double>(core.terminals()) *
                           static_cast<double>(lanes_) *
-                          static_cast<double>(core.config().lane_depth)) {}
+                          static_cast<double>(core.config().lane_depth)) {
+    if constexpr (kFaulted) {
+      faulted_ = fault::FaultedWiring(core.wiring(), *mask);
+      dropping_.assign(
+          static_cast<std::size_t>(core.stages()) * core.ports() * lanes_, 0);
+    }
+  }
 
   /// Eject at the last stage: one flit per terminal port per cycle,
-  /// round-robin over the 2*lanes candidate lanes.
+  /// round-robin over the 2*lanes candidate lanes. Ejection links are
+  /// terminal attachments, not wiring arcs, so they cannot fault.
   void eject(std::uint64_t cycle, bool measuring) {
     const int last = core_.stages() - 1;
     const std::uint32_t cells = core_.cells();
@@ -51,6 +72,13 @@ class WormholePolicy {
             if (flit.is_tail()) {
               core_.record_packet_delivered(
                   static_cast<double>(cycle - flit.inject_cycle + 1));
+              if constexpr (kFaulted) {
+                // A detoured worm ejects at whatever terminal the
+                // surviving route reached; count the miss.
+                if ((flit.dest_terminal >> 1) != x) {
+                  ++core_.result.packets_misdelivered;
+                }
+              }
             }
           }
           break;
@@ -67,8 +95,14 @@ class WormholePolicy {
                      bool measuring) {
     const std::uint32_t cells = core_.cells();
     const auto down = core_.wiring().down_stage(s);
+    if constexpr (kFaulted) drain_dropping(s, measuring);
     for (std::uint32_t x = 0; x < cells; ++x) {
       for (unsigned port = 0; port < 2; ++port) {
+        if constexpr (kFaulted) {
+          // A dead link transmits nothing (no worm ever resolves its
+          // out-port onto a masked arc, so this is just a fast skip).
+          if (!faulted_.arc_ok(s, x, port)) continue;
+        }
         RoundRobin& arb = core_.arbiter(s, 2 * x + port);
         for (unsigned probe = 0; probe < arb.size(); ++probe) {
           const unsigned c = arb.candidate(probe);
@@ -84,9 +118,8 @@ class WormholePolicy {
             if (down_lane < 0) continue;  // blocked: no free lane
             const Flit flit = pool_.pop(l);
             if (!flit.is_tail()) pool_.set_downstream(l, down_lane);
-            pool_.accept_head(
-                target_first + static_cast<std::size_t>(down_lane), flit,
-                core_.engine().route_port(s + 1, flit.dest_terminal));
+            accept_head(target_first + static_cast<std::size_t>(down_lane),
+                        flit, s + 1, record >> 1, measuring);
           } else {
             // Body/tail flits follow through the reserved lane.
             const std::size_t down_l =
@@ -131,9 +164,9 @@ class WormholePolicy {
       const std::uint32_t dest =
           core_.destination(static_cast<std::uint32_t>(t));
       const std::uint32_t id = next_packet_id_++;
-      pool_.accept_head(lane_index(0, t, static_cast<std::size_t>(lane)),
-                        make_flit(id, dest, cycle, 0, length_),
-                        core_.engine().route_port(0, dest));
+      accept_head(lane_index(0, t, static_cast<std::size_t>(lane)),
+                  make_flit(id, dest, cycle, 0, length_), 0,
+                  static_cast<std::uint32_t>(t >> 1), measuring);
       src.dest = dest;
       src.id = id;
       src.inject_cycle = cycle;
@@ -178,6 +211,57 @@ class WormholePolicy {
            lane;
   }
 
+  /// Accept \p head into lane \p l of cell \p y at stage \p s, resolving
+  /// its out-port. Unfaulted: the scheduled destination-bit port. Faulted
+  /// interior stages route through the FaultedWiring view — scheduled
+  /// port, surviving sibling (counted as a reroute), or a dead switch,
+  /// which puts the lane in dropping mode so the worm drains into the
+  /// fault counters. Last-stage out-ports are ejection ports and cannot
+  /// fault.
+  void accept_head(std::size_t l, const Flit& head, int s, std::uint32_t y,
+                   [[maybe_unused]] bool measuring) {
+    const unsigned desired = core_.engine().route_port(s, head.dest_terminal);
+    if constexpr (kFaulted) {
+      if (s + 1 < core_.stages()) {
+        const int port = faulted_.usable_port(s, y, desired);
+        if (port < 0) {
+          // Dead switch: park the worm in dropping mode; drain_dropping
+          // discards it (and its following flits) next cycle.
+          pool_.accept_head(l, head, 0);
+          dropping_[l] = 1;
+          return;
+        }
+        if (static_cast<unsigned>(port) != desired && measuring &&
+            head.inject_cycle >= core_.config().warmup_cycles) {
+          ++core_.result.packets_rerouted;
+        }
+        pool_.accept_head(l, head, static_cast<unsigned>(port));
+        return;
+      }
+    }
+    pool_.accept_head(l, head, desired);
+  }
+
+  /// Discard every buffered flit of the dropping-mode lanes of stage
+  /// \p s. Popping the tail resets the lane to idle (via LanePool) and
+  /// ends dropping mode; until then, flits still following the worm's
+  /// reservation keep arriving and are drained on their next turn.
+  void drain_dropping(int s, bool measuring) {
+    const std::size_t first = lane_index(s, 0, 0);
+    const std::size_t count = core_.ports() * lanes_;
+    for (std::size_t l = first; l < first + count; ++l) {
+      if (dropping_[l] == 0) continue;
+      while (!pool_.empty(l)) {
+        const Flit flit = pool_.pop(l);
+        if (measuring && flit.inject_cycle >= core_.config().warmup_cycles) {
+          ++core_.result.flits_dropped_faulted;
+          if (flit.is_head()) ++core_.result.packets_dropped_faulted;
+        }
+        if (flit.is_tail()) dropping_[l] = 0;
+      }
+    }
+  }
+
   /// Count stalled worms of one stage and reset per-cycle movement
   /// flags. Called right after the stage had its switching (or ejection)
   /// opportunity, before upstream pushes refill it.
@@ -196,11 +280,13 @@ class WormholePolicy {
   const EjectObserver& observer_;
   std::size_t lanes_;
   std::uint64_t length_;
-  LanePool pool_;
+  LanePool& pool_;
   std::vector<SourceState> sources_;
   std::uint32_t next_packet_id_ = 0;
   std::uint64_t link_flit_hops_ = 0;
   double total_flit_slots_;
+  fault::FaultedWiring faulted_;        // kFaulted only
+  std::vector<std::uint8_t> dropping_;  // kFaulted only
 };
 
 }  // namespace
@@ -212,10 +298,28 @@ SimResult WormholeSimulator::run(Pattern pattern,
 
 SimResult WormholeSimulator::run(Pattern pattern, const SimConfig& config,
                                  const EjectObserver& observer) const {
+  return run(pattern, config, observer, nullptr, nullptr);
+}
+
+SimResult WormholeSimulator::run(Pattern pattern, const SimConfig& config,
+                                 const EjectObserver& observer,
+                                 const fault::FaultMask* mask,
+                                 SimWorkspace* workspace) const {
   config.validate();
+  const bool faulted = mask != nullptr && !mask->none();
+  if (faulted && !mask->matches(engine_.wiring())) {
+    throw std::invalid_argument(
+        "WormholeSimulator::run: fault mask geometry does not match");
+  }
+  SimWorkspace local;
+  SimWorkspace& ws = workspace != nullptr ? *workspace : local;
   FabricCore core(engine_, pattern, config,
                   static_cast<unsigned>(2 * config.lanes));
-  WormholePolicy policy(core, observer);
+  if (faulted) {
+    WormholePolicy<true> policy(core, observer, ws, mask);
+    return run_switched(core, policy);
+  }
+  WormholePolicy<false> policy(core, observer, ws, nullptr);
   return run_switched(core, policy);
 }
 

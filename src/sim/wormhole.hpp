@@ -40,6 +40,14 @@ class WormholeSimulator {
   SimResult run(Pattern pattern, const SimConfig& config,
                 const EjectObserver& observer) const;
 
+  /// Full form: optional fault mask (degraded-mode routing over the
+  /// surviving arcs; null or all-clear takes the unmasked fast path) and
+  /// optional reusable payload-pool workspace. Semantics match
+  /// Engine::run's four-argument form.
+  SimResult run(Pattern pattern, const SimConfig& config,
+                const EjectObserver& observer, const fault::FaultMask* mask,
+                SimWorkspace* workspace = nullptr) const;
+
  private:
   const Engine& engine_;
 };

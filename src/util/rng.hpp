@@ -53,6 +53,13 @@ class SplitMix64 {
     return below(den) < num;
   }
 
+  /// One draw against a precomputed probability_threshold() value —
+  /// exactly one next() per decision, for hot loops that compare the
+  /// same draw semantics against per-state thresholds.
+  constexpr bool chance_threshold(std::uint64_t threshold) noexcept {
+    return (next() & 0xFFFFFFFFULL) < threshold;
+  }
+
   /// Derive an independent stream for subtask \p index.
   /// Streams for distinct indices are decorrelated by re-mixing.
   [[nodiscard]] constexpr SplitMix64 split(std::uint64_t index) const noexcept {
@@ -63,5 +70,13 @@ class SplitMix64 {
  private:
   std::uint64_t state_;
 };
+
+/// 32-bit fixed-point Bernoulli threshold for probability \p p, for use
+/// with SplitMix64::chance_threshold(). \p p must be within [0, 1]
+/// (callers validate; the cast is UB outside the representable range);
+/// p == 1 maps to 2^32, which every masked draw is below.
+constexpr std::uint64_t probability_threshold(double p) noexcept {
+  return static_cast<std::uint64_t>(p * 65536.0 * 65536.0);
+}
 
 }  // namespace mineq::util

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault_mask.hpp"
 #include "min/networks.hpp"
 #include "sim/engine.hpp"
 
@@ -76,6 +77,56 @@ TEST(GoldenSimTest, WormholeBaseline5HotspotSeed99) {
   EXPECT_DOUBLE_EQ(r.acceptance, 0.047631510075896361);
   EXPECT_DOUBLE_EQ(r.link_utilization, 0.136421875);
   EXPECT_DOUBLE_EQ(r.lane_occupancy.mean(), 0.36309531249999988);
+}
+
+/// An all-zero FaultMask must take the unmasked fast path: the exact
+/// pinned golden numbers, not merely plausible ones. (The faulted policy
+/// instantiations are compile-time separate, so this guards the
+/// dispatch, not just the policy code.)
+TEST(GoldenSimTest, AllZeroFaultMaskReproducesGoldenOutputs) {
+  {
+    const Engine engine(min::build_network(min::NetworkKind::kOmega, 5));
+    const fault::FaultMask empty(engine.wiring());
+    SimConfig config;
+    config.mode = SwitchingMode::kStoreAndForward;
+    config.injection_rate = 0.7;
+    config.packet_length = 3;
+    config.queue_capacity = 4;
+    config.warmup_cycles = 100;
+    config.measure_cycles = 500;
+    config.seed = 42;
+    const SimResult r = engine.run(Pattern::kUniform, config, &empty);
+    EXPECT_EQ(r.offered, 6157U);
+    EXPECT_EQ(r.injected, 3589U);
+    EXPECT_EQ(r.delivered, 3246U);
+    EXPECT_EQ(r.hol_blocking_cycles, 40414U);
+    EXPECT_DOUBLE_EQ(r.latency.mean(), 49.411275415896377);
+    EXPECT_DOUBLE_EQ(r.link_utilization, 0.66739062500000002);
+    EXPECT_EQ(r.packets_dropped_faulted, 0U);
+    EXPECT_EQ(r.packets_rerouted, 0U);
+  }
+  {
+    const Engine engine(min::build_network(min::NetworkKind::kBaseline, 5));
+    const fault::FaultMask empty(engine.wiring());
+    SimConfig config;
+    config.mode = SwitchingMode::kWormhole;
+    config.injection_rate = 0.8;
+    config.packet_length = 4;
+    config.lanes = 2;
+    config.lane_depth = 4;
+    config.warmup_cycles = 100;
+    config.measure_cycles = 500;
+    config.seed = 99;
+    const SimResult r = engine.run(Pattern::kHotSpot, config, &empty);
+    EXPECT_EQ(r.offered, 11463U);
+    EXPECT_EQ(r.injected, 546U);
+    EXPECT_EQ(r.delivered, 426U);
+    EXPECT_EQ(r.hol_blocking_cycles, 56564U);
+    EXPECT_DOUBLE_EQ(r.latency.mean(), 81.577464788732385);
+    EXPECT_DOUBLE_EQ(r.link_utilization, 0.136421875);
+    EXPECT_EQ(r.packets_dropped_faulted, 0U);
+    EXPECT_EQ(r.packets_rerouted, 0U);
+  }
 }
 
 /// The golden configs must also be self-consistent on repeat runs: the

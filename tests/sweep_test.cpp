@@ -104,6 +104,64 @@ TEST(SweepTest, BurstyPatternSweepsAndInjectsLessThanUniform) {
   EXPECT_EQ(sweep_csv(run_sweep(grid, 1)), sweep_csv(run_sweep(grid, 4)));
 }
 
+TEST(SweepTest, FaultAxisSweepsAndReportsSurvivorColumns) {
+  SweepGrid grid = small_grid();
+  grid.faults = {fault::FaultSpec{},
+                 fault::FaultSpec{fault::FaultKind::kRandomLinks, 0.1, 5},
+                 fault::FaultSpec{fault::FaultKind::kSwitchKills, 0.1, 5}};
+  EXPECT_EQ(grid.size(), 2U * 2U * 3U * 3U * 2U);
+  const SweepResult sweep = run_sweep(grid, 2);
+  ASSERT_EQ(sweep.points.size(), grid.size());
+  for (const SweepPoint& point : sweep.points) {
+    if (point.fault.kind == fault::FaultKind::kNone) {
+      // Pristine points: intact, baseline-equivalent survivor, and the
+      // fault counters stay untouched.
+      EXPECT_TRUE(point.survivor.full_access);
+      EXPECT_TRUE(point.survivor.baseline_equivalent);
+      EXPECT_EQ(point.survivor.surviving_arcs, point.survivor.total_arcs);
+      EXPECT_EQ(point.result.packets_dropped_faulted, 0U);
+      EXPECT_EQ(point.result.packets_rerouted, 0U);
+    } else {
+      // Any removed arc severs some pair in a banyan fabric.
+      EXPECT_LT(point.survivor.surviving_arcs, point.survivor.total_arcs);
+      EXPECT_FALSE(point.survivor.full_access);
+      EXPECT_FALSE(point.survivor.baseline_equivalent);
+    }
+  }
+  // The resilience columns reach the rendered artifacts.
+  const std::string csv = sweep_csv(sweep);
+  for (const char* column :
+       {",fault_kind,", ",fault_rate,", ",fault_seed,",
+        ",delivered_fraction,", ",packets_dropped_faulted,",
+        ",packets_misdelivered,", ",full_access,", ",surviving_arcs"}) {
+    EXPECT_NE(csv.find(column), std::string::npos) << column;
+  }
+  // And fault sweeps stay byte-identical across thread counts.
+  EXPECT_EQ(sweep_csv(run_sweep(grid, 1)), csv);
+  EXPECT_EQ(sweep_csv(run_sweep(grid, 5)), csv);
+}
+
+TEST(SweepTest, BurstAxisExpandsOnlyBurstyPatterns) {
+  SweepGrid grid = small_grid();
+  grid.patterns = {sim::Pattern::kUniform, sim::Pattern::kBursty};
+  grid.modes = {sim::SwitchingMode::kStoreAndForward};
+  grid.rates = {0.8};
+  grid.bursts = {sim::BurstParams{},               // duty 1/4
+                 sim::BurstParams{1.0 / 24, 1.0 / 8}};  // duty 3/4
+  // uniform contributes one burst variant, bursty both.
+  EXPECT_EQ(grid.size(), 2U * (1U + 2U) * 1U * 1U);
+  const SweepResult sweep = run_sweep(grid, 2);
+  std::vector<std::uint64_t> bursty_offered;
+  for (const SweepPoint& point : sweep.points) {
+    if (point.pattern == sim::Pattern::kBursty) {
+      bursty_offered.push_back(point.result.offered);
+    }
+  }
+  ASSERT_EQ(bursty_offered.size(), 2U * 2U);  // 2 networks x 2 variants
+  // The high-duty variant offers far more load than the default.
+  EXPECT_GT(bursty_offered[1], 2 * bursty_offered[0]);
+}
+
 TEST(SweepTest, PerPointSeedsAreDistinctAndRecorded) {
   const SweepResult sweep = run_sweep(small_grid(), 2);
   std::set<std::uint64_t> seeds;
@@ -183,6 +241,18 @@ TEST(SweepTest, ValidationErrors) {
   grid = small_grid();
   grid.stages = 5;  // transpose needs an even address width
   grid.patterns = {sim::Pattern::kTranspose};
+  EXPECT_THROW((void)run_sweep(grid, 1), std::invalid_argument);
+
+  grid = small_grid();
+  grid.faults = {fault::FaultSpec{fault::FaultKind::kRandomLinks, 1.5, 0}};
+  EXPECT_THROW((void)run_sweep(grid, 1), std::invalid_argument);
+
+  grid = small_grid();
+  grid.faults.clear();
+  EXPECT_THROW((void)run_sweep(grid, 1), std::invalid_argument);
+
+  grid = small_grid();
+  grid.bursts = {sim::BurstParams{0.0, 0.5}};
   EXPECT_THROW((void)run_sweep(grid, 1), std::invalid_argument);
 }
 

@@ -1,10 +1,15 @@
 /// \file mineq_sweep.cpp
 /// \brief Experiment-sweep CLI: fan a {network x pattern x mode x lanes x
-/// rate} grid across a thread pool and emit CSV/JSON.
+/// faults x rate} grid across a thread pool and emit CSV/JSON.
 ///
 /// Example (the saturation study from the README):
 ///   mineq_sweep --networks omega,baseline --patterns uniform,bitrev,hotspot
 ///     --rates 0.1:1.0:0.1 --mode wormhole --lanes 1,2,4 --csv sweep.csv
+///
+/// Resilience sweep (fault kind x fault rate x placement seed, with
+/// degraded-mode routing and survivor-topology columns in the output):
+///   mineq_sweep --networks omega --fault-kinds links,switches
+///     --fault-rates 0.01:0.10:0.01 --fault-seeds 1,2,3 --rates 0.6
 ///
 /// Output is byte-identical for any --threads value: every grid point
 /// derives its RNG stream from (seed, grid index), not from scheduling.
@@ -40,6 +45,14 @@ Grid axes (comma-separated lists):
                     only — saf points collapse this axis)      [1]
   --rates SPEC      comma list (0.2,0.5,1.0) or range start:stop:step
                     (0.1:1.0:0.1)                              [0.1:1.0:0.1]
+  --fault-kinds LIST  none,links,switches,burst ("none" collapses
+                    to a single pristine variant)              [none]
+  --fault-rates SPEC  fraction of arcs/switches faulted (comma
+                    list or range, like --rates)               [0.05]
+  --fault-seeds LIST  fault-placement seeds                    [1]
+  --burst-on-off LIST P(ON->OFF) per cycle, bursty pattern only
+                    (mean burst = 1/p cycles)                  [0.125]
+  --burst-off-on LIST P(OFF->ON) per cycle (mean idle = 1/p)   [0.041667]
 
 Fixed parameters:
   --stages N          stages (terminals = 2^N)                 [6]
@@ -120,21 +133,49 @@ std::vector<double> parse_rates(const std::string& spec) {
 void print_summary(const mineq::exp::SweepResult& sweep) {
   using mineq::util::fixed;
   mineq::util::TablePrinter table({"network", "pattern", "mode", "lanes",
-                                   "rate", "throughput", "accept", "lat mean",
-                                   "lat p99", "link util", "hol"});
+                                   "fault", "frate", "rate", "throughput",
+                                   "accept", "lat mean", "lat p99",
+                                   "dropped", "fullacc", "hol"});
   for (const SweepPoint& p : sweep.points) {
     table.add_row({mineq::min::network_token(p.network),
                    mineq::sim::pattern_name(p.pattern),
                    mineq::sim::switching_mode_name(p.mode),
-                   std::to_string(p.lanes), fixed(p.rate, 2),
+                   std::to_string(p.lanes),
+                   mineq::fault::fault_kind_name(p.fault.kind),
+                   fixed(p.fault.rate, 2), fixed(p.rate, 2),
                    fixed(p.result.throughput, 3),
                    fixed(p.result.acceptance, 3),
                    fixed(p.result.latency.mean(), 1),
                    fixed(p.result.latency_histogram.quantile(0.99), 0),
-                   fixed(p.result.link_utilization, 3),
+                   std::to_string(p.result.packets_dropped_faulted),
+                   p.survivor.full_access ? "yes" : "no",
                    std::to_string(p.result.hol_blocking_cycles)});
   }
   std::cout << table.str();
+}
+
+/// Cross {kinds x rates x seeds} into the fault axis; "none" collapses
+/// to the single pristine spec regardless of the rate/seed lists (a
+/// no-fault point is one point).
+std::vector<mineq::fault::FaultSpec> cross_fault_axis(
+    const std::vector<mineq::fault::FaultKind>& kinds,
+    const std::vector<double>& rates,
+    const std::vector<std::uint64_t>& seeds) {
+  std::vector<mineq::fault::FaultSpec> specs;
+  bool none_added = false;
+  for (const mineq::fault::FaultKind kind : kinds) {
+    if (kind == mineq::fault::FaultKind::kNone) {
+      if (!none_added) specs.push_back(mineq::fault::FaultSpec{});
+      none_added = true;
+      continue;
+    }
+    for (const double rate : rates) {
+      for (const std::uint64_t seed : seeds) {
+        specs.push_back(mineq::fault::FaultSpec{kind, rate, seed});
+      }
+    }
+  }
+  return specs;
 }
 
 }  // namespace
@@ -148,6 +189,13 @@ int main(int argc, char** argv) {
   grid.lane_counts = {1};
   grid.rates = parse_rates("0.1:1.0:0.1");
   grid.base.packet_length = 4;
+
+  std::vector<mineq::fault::FaultKind> fault_kinds = {
+      mineq::fault::FaultKind::kNone};
+  std::vector<double> fault_rates = {0.05};
+  std::vector<std::uint64_t> fault_seeds = {1};
+  std::vector<double> burst_on_off = {mineq::sim::BurstParams{}.on_to_off};
+  std::vector<double> burst_off_on = {mineq::sim::BurstParams{}.off_to_on};
 
   std::size_t threads = 0;
   std::string csv_path;
@@ -186,6 +234,28 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--rates") {
         grid.rates = parse_rates(next_value(i));
+      } else if (arg == "--fault-kinds") {
+        fault_kinds.clear();
+        for (const std::string& item : split_list(next_value(i), ',')) {
+          fault_kinds.push_back(mineq::fault::parse_fault_kind(item));
+        }
+      } else if (arg == "--fault-rates") {
+        fault_rates = parse_rates(next_value(i));
+      } else if (arg == "--fault-seeds") {
+        fault_seeds.clear();
+        for (const std::string& item : split_list(next_value(i), ',')) {
+          fault_seeds.push_back(parse_u64(item, "fault seed"));
+        }
+      } else if (arg == "--burst-on-off") {
+        burst_on_off.clear();
+        for (const std::string& item : split_list(next_value(i), ',')) {
+          burst_on_off.push_back(parse_double(item, "burst on->off"));
+        }
+      } else if (arg == "--burst-off-on") {
+        burst_off_on.clear();
+        for (const std::string& item : split_list(next_value(i), ',')) {
+          burst_off_on.push_back(parse_double(item, "burst off->on"));
+        }
       } else if (arg == "--stages") {
         grid.stages = static_cast<int>(parse_u64(next_value(i), "stages"));
       } else if (arg == "--packet-length") {
@@ -219,6 +289,14 @@ int main(int argc, char** argv) {
   // A machine-readable stream on stdout must not be polluted by the
   // summary table.
   if (csv_path == "-" || json_path == "-") quiet = true;
+
+  grid.faults = cross_fault_axis(fault_kinds, fault_rates, fault_seeds);
+  grid.bursts.clear();
+  for (const double on_off : burst_on_off) {
+    for (const double off_on : burst_off_on) {
+      grid.bursts.push_back(mineq::sim::BurstParams{on_off, off_on});
+    }
+  }
 
   try {
     const mineq::exp::SweepResult sweep = mineq::exp::run_sweep(grid, threads);
