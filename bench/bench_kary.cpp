@@ -5,7 +5,12 @@
 
 #include <iostream>
 
+#include "fault/fault_model.hpp"
+#include "min/banyan.hpp"
+#include "min/equivalence.hpp"
+#include "min/flat_wiring.hpp"
 #include "min/kary.hpp"
+#include "sim/engine.hpp"
 #include "util/format.hpp"
 #include "util/rng.hpp"
 
@@ -102,3 +107,104 @@ static void BM_KaryIndependenceTest(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KaryIndependenceTest)->ArgsProduct({{2, 3, 4}, {2, 3, 4}});
+
+// ---------------------------------------------------------------------------
+// The k-ary FlatWiring IR and simulators: radix-2 vs radix-4 pairs over
+// matched terminal counts (radix 2 at n stages vs radix 4 at n/2 + 1
+// stages keeps the fabrics comparable in size).
+// ---------------------------------------------------------------------------
+
+static void BM_KaryFlatten(benchmark::State& state) {
+  const int radix = static_cast<int>(state.range(0));
+  const int stages = static_cast<int>(state.range(1));
+  const auto g = mineq::min::kary_omega(stages, radix);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mineq::min::FlatWiring::from_kary(g));
+  }
+}
+BENCHMARK(BM_KaryFlatten)->Args({2, 9})->Args({4, 5})->Args({8, 4});
+
+static void BM_KaryWiringBanyanCheck(benchmark::State& state) {
+  const int radix = static_cast<int>(state.range(0));
+  const int stages = static_cast<int>(state.range(1));
+  const auto w =
+      mineq::min::FlatWiring::from_kary(mineq::min::kary_omega(stages, radix));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mineq::min::is_banyan(w));
+  }
+}
+// 256 cells each: 2^8 vs 4^4 vs (roughly) 8^3 = 512.
+BENCHMARK(BM_KaryWiringBanyanCheck)->Args({2, 9})->Args({4, 5})->Args({8, 4});
+
+static void BM_KaryWiringEquivalence(benchmark::State& state) {
+  const int radix = static_cast<int>(state.range(0));
+  const int stages = static_cast<int>(state.range(1));
+  const auto w = mineq::min::FlatWiring::from_kary(
+      mineq::min::kary_baseline(stages, radix));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mineq::min::check_baseline_equivalence(w));
+  }
+}
+BENCHMARK(BM_KaryWiringEquivalence)->Args({2, 9})->Args({4, 5})->Args({8, 4});
+
+namespace {
+
+mineq::sim::SimConfig kary_sim_config(mineq::sim::SwitchingMode mode) {
+  mineq::sim::SimConfig config;
+  config.mode = mode;
+  config.injection_rate = 0.6;
+  config.packet_length = 4;
+  config.lanes = 2;
+  config.warmup_cycles = 100;
+  config.measure_cycles = 500;
+  config.seed = 31;
+  return config;
+}
+
+}  // namespace
+
+/// Radix-2 (6 stages, 64 terminals) vs radix-4 (3 stages, 64 terminals):
+/// the same terminal count through fatter, shallower switches.
+static void BM_KarySimSaf(benchmark::State& state) {
+  const int radix = static_cast<int>(state.range(0));
+  const int stages = static_cast<int>(state.range(1));
+  const mineq::sim::Engine engine(mineq::min::kary_omega(stages, radix));
+  const auto config =
+      kary_sim_config(mineq::sim::SwitchingMode::kStoreAndForward);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.run(mineq::sim::Pattern::kUniform, config));
+  }
+}
+BENCHMARK(BM_KarySimSaf)->Args({2, 6})->Args({4, 3})
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_KarySimWormhole(benchmark::State& state) {
+  const int radix = static_cast<int>(state.range(0));
+  const int stages = static_cast<int>(state.range(1));
+  const mineq::sim::Engine engine(mineq::min::kary_omega(stages, radix));
+  const auto config = kary_sim_config(mineq::sim::SwitchingMode::kWormhole);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.run(mineq::sim::Pattern::kUniform, config));
+  }
+}
+BENCHMARK(BM_KarySimWormhole)->Args({2, 6})->Args({4, 3})
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_KarySimFaulted(benchmark::State& state) {
+  const int radix = static_cast<int>(state.range(0));
+  const int stages = static_cast<int>(state.range(1));
+  const mineq::sim::Engine engine(mineq::min::kary_omega(stages, radix));
+  const mineq::fault::FaultMask mask = mineq::fault::build_fault_mask(
+      engine.wiring(),
+      mineq::fault::FaultSpec{mineq::fault::FaultKind::kPartialPort, 0.2, 3});
+  const auto config =
+      kary_sim_config(mineq::sim::SwitchingMode::kStoreAndForward);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.run(mineq::sim::Pattern::kUniform, config, &mask));
+  }
+}
+BENCHMARK(BM_KarySimFaulted)->Args({2, 6})->Args({4, 3})
+    ->Unit(benchmark::kMillisecond);

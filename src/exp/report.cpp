@@ -25,6 +25,7 @@ std::vector<std::pair<std::string, std::string>> point_fields(
       {"rate", util::fixed(p.rate, 4)},
       {"stages", std::to_string(p.stages)},
       {"seed", std::to_string(p.seed)},
+      {"radix", std::to_string(p.radix)},
       {"fault_kind", fault::fault_kind_name(p.fault.kind)},
       {"fault_rate", util::fixed(p.fault.rate, 4)},
       {"fault_seed", std::to_string(p.fault.seed)},

@@ -14,7 +14,7 @@
 namespace mineq::exp {
 
 /// One header line plus one row per grid point, in sweep order. Columns:
-/// network,pattern,mode,lanes,rate,stages,seed,fault_kind,fault_rate,
+/// network,pattern,mode,lanes,rate,stages,seed,radix,fault_kind,fault_rate,
 /// fault_seed,burst_on_off,burst_off_on,offered,injected,delivered,
 /// throughput,acceptance,delivered_fraction,latency_mean,latency_p50,
 /// latency_p99,latency_max,flits_injected,flits_delivered,flits_in_flight,

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <string>
+
+#include "min/kary.hpp"
 
 #include "sim/fabric.hpp"
 #include "util/parallel.hpp"
@@ -25,20 +28,37 @@ std::size_t SweepGrid::size() const noexcept {
     pattern_burst_variants +=
         pattern == sim::Pattern::kBursty ? bursts.size() : 1;
   }
-  return networks.size() * pattern_burst_variants * mode_lane_variants *
-         faults.size() * rates.size();
+  return networks.size() * radices.size() * pattern_burst_variants *
+         mode_lane_variants * faults.size() * rates.size();
 }
 
 namespace {
 
 void validate_grid(const SweepGrid& grid) {
-  if (grid.networks.empty() || grid.patterns.empty() || grid.modes.empty() ||
+  if (grid.networks.empty() || grid.radices.empty() ||
+      grid.patterns.empty() || grid.modes.empty() ||
       grid.lane_counts.empty() || grid.faults.empty() ||
       grid.bursts.empty() || grid.rates.empty()) {
     throw std::invalid_argument("run_sweep: every grid axis needs >= 1 value");
   }
   if (grid.stages < 2) {
     throw std::invalid_argument("run_sweep: need at least 2 stages");
+  }
+  for (const int radix : grid.radices) {
+    if (radix < 2 || radix > 16) {
+      throw std::invalid_argument(
+          "run_sweep: radix must be within [2, 16], got " +
+          std::to_string(radix));
+    }
+    if (radix == 2) continue;
+    for (const min::NetworkKind kind : grid.networks) {
+      if (!min::kary_network_supported(kind)) {
+        throw std::invalid_argument(
+            "run_sweep: " + min::network_name(kind) +
+            " has no radix-" + std::to_string(radix) +
+            " construction (radix > 2 supports omega, flip, baseline)");
+      }
+    }
   }
   // The fixed parameters are checked once up front (the simulators would
   // reject them too, but only after the grid fanned out); the swept axes
@@ -87,27 +107,37 @@ SweepResult run_sweep(const SweepGrid& grid, std::size_t threads) {
   validate_grid(grid);
 
   // One engine — and with it one min::FlatWiring and one routing
-  // schedule — per {network, stages}, built once here and shared
-  // read-only by every grid point that simulates that network
+  // schedule — per {network, radix, stages}, built once here and shared
+  // read-only by every grid point that simulates that fabric
   // (Engine::run is const and thread-safe). No per-point topology work
   // remains: a point only touches its own RNG streams and payload pools.
+  // Radix 2 builds through the binary path (byte-identical to the
+  // pre-radix-axis sweep); radices > 2 flatten the k-ary constructions.
+  const std::size_t radix_count = grid.radices.size();
   std::vector<std::unique_ptr<sim::Engine>> engines;
-  engines.reserve(grid.networks.size());
+  engines.reserve(grid.networks.size() * radix_count);
   for (const min::NetworkKind kind : grid.networks) {
-    engines.push_back(std::make_unique<sim::Engine>(
-        min::build_network(kind, grid.stages)));
+    for (const int radix : grid.radices) {
+      if (radix == 2) {
+        engines.push_back(std::make_unique<sim::Engine>(
+            min::build_network(kind, grid.stages)));
+      } else {
+        engines.push_back(std::make_unique<sim::Engine>(
+            min::build_kary_network(kind, grid.stages, radix)));
+      }
+    }
   }
 
-  // One fault mask + survivor classification per {network, fault spec},
-  // shared read-only across the points of the pair.
-  std::vector<std::vector<MaterializedFault>> faults(grid.networks.size());
-  for (std::size_t ni = 0; ni < grid.networks.size(); ++ni) {
-    faults[ni].reserve(grid.faults.size());
+  // One fault mask + survivor classification per {network, radix, fault
+  // spec}, shared read-only across the points of the triple.
+  std::vector<std::vector<MaterializedFault>> faults(engines.size());
+  for (std::size_t ei = 0; ei < engines.size(); ++ei) {
+    faults[ei].reserve(grid.faults.size());
     for (const fault::FaultSpec& spec : grid.faults) {
       MaterializedFault mf;
-      mf.mask = fault::build_fault_mask(engines[ni]->wiring(), spec);
-      mf.survivor = min::classify_faulted(engines[ni]->wiring(), mf.mask);
-      faults[ni].push_back(std::move(mf));
+      mf.mask = fault::build_fault_mask(engines[ei]->wiring(), spec);
+      mf.survivor = min::classify_faulted(engines[ei]->wiring(), mf.mask);
+      faults[ei].push_back(std::move(mf));
     }
   }
 
@@ -125,36 +155,40 @@ SweepResult run_sweep(const SweepGrid& grid, std::size_t threads) {
   tasks.reserve(grid.size());
   const util::SplitMix64 seed_root(grid.base.seed);
   for (std::size_t ni = 0; ni < grid.networks.size(); ++ni) {
-    for (const sim::Pattern pattern : grid.patterns) {
-      // Only the bursty pattern consumes the modulator parameters;
-      // other patterns run once, recorded with the first burst variant.
-      const std::size_t burst_variants =
-          pattern == sim::Pattern::kBursty ? grid.bursts.size() : 1;
-      for (std::size_t bi = 0; bi < burst_variants; ++bi) {
-        for (const sim::SwitchingMode mode : grid.modes) {
-          // Lanes only shape the wormhole discipline; store-and-forward
-          // points run once, recorded with the first lane count.
-          const std::size_t lane_variants =
-              mode == sim::SwitchingMode::kStoreAndForward
-                  ? 1
-                  : grid.lane_counts.size();
-          for (std::size_t li = 0; li < lane_variants; ++li) {
-            for (std::size_t fi = 0; fi < grid.faults.size(); ++fi) {
-              for (const double rate : grid.rates) {
-                Task task;
-                task.engine_index = ni;
-                task.fault_index = fi;
-                task.point.network = grid.networks[ni];
-                task.point.pattern = pattern;
-                task.point.mode = mode;
-                task.point.lanes = grid.lane_counts[li];
-                task.point.fault = grid.faults[fi];
-                task.point.burst = grid.bursts[bi];
-                task.point.rate = rate;
-                task.point.stages = grid.stages;
-                task.point.seed = seed_root.split(tasks.size()).next();
-                task.point.survivor = faults[ni][fi].survivor;
-                tasks.push_back(std::move(task));
+    for (std::size_t ri = 0; ri < radix_count; ++ri) {
+      for (const sim::Pattern pattern : grid.patterns) {
+        // Only the bursty pattern consumes the modulator parameters;
+        // other patterns run once, recorded with the first burst variant.
+        const std::size_t burst_variants =
+            pattern == sim::Pattern::kBursty ? grid.bursts.size() : 1;
+        for (std::size_t bi = 0; bi < burst_variants; ++bi) {
+          for (const sim::SwitchingMode mode : grid.modes) {
+            // Lanes only shape the wormhole discipline; store-and-forward
+            // points run once, recorded with the first lane count.
+            const std::size_t lane_variants =
+                mode == sim::SwitchingMode::kStoreAndForward
+                    ? 1
+                    : grid.lane_counts.size();
+            for (std::size_t li = 0; li < lane_variants; ++li) {
+              for (std::size_t fi = 0; fi < grid.faults.size(); ++fi) {
+                for (const double rate : grid.rates) {
+                  Task task;
+                  task.engine_index = ni * radix_count + ri;
+                  task.fault_index = fi;
+                  task.point.network = grid.networks[ni];
+                  task.point.radix = grid.radices[ri];
+                  task.point.pattern = pattern;
+                  task.point.mode = mode;
+                  task.point.lanes = grid.lane_counts[li];
+                  task.point.fault = grid.faults[fi];
+                  task.point.burst = grid.bursts[bi];
+                  task.point.rate = rate;
+                  task.point.stages = grid.stages;
+                  task.point.seed = seed_root.split(tasks.size()).next();
+                  task.point.survivor =
+                      faults[task.engine_index][fi].survivor;
+                  tasks.push_back(std::move(task));
+                }
               }
             }
           }

@@ -1,6 +1,6 @@
 /// \file sweep.hpp
-/// \brief Parallel experiment sweeps over {network x pattern x mode x
-/// lanes x faults x injection rate} grids.
+/// \brief Parallel experiment sweeps over {network x radix x pattern x
+/// mode x lanes x faults x injection rate} grids.
 ///
 /// A SweepGrid is the cartesian product of its axes; run_sweep fans the
 /// grid across util::parallel_for with one deterministic RNG stream per
@@ -33,6 +33,11 @@ namespace mineq::exp {
 /// base.seed and the grid index).
 struct SweepGrid {
   std::vector<min::NetworkKind> networks;
+  /// Switch-radix axis; the default single radix 2 reproduces the binary
+  /// sweep bit for bit. Radices > 2 run the k-ary constructions
+  /// (min::build_kary_network — omega, flip and baseline have closed
+  /// forms; other kinds are rejected at validation).
+  std::vector<int> radices = {2};
   std::vector<sim::Pattern> patterns;
   std::vector<sim::SwitchingMode> modes;
   std::vector<std::size_t> lane_counts;
@@ -57,6 +62,7 @@ struct SweepGrid {
 /// One grid point with its simulation result.
 struct SweepPoint {
   min::NetworkKind network = min::NetworkKind::kOmega;
+  int radix = 2;  ///< the radix-axis value simulated
   sim::Pattern pattern = sim::Pattern::kUniform;
   sim::SwitchingMode mode = sim::SwitchingMode::kStoreAndForward;
   std::size_t lanes = 1;
@@ -71,8 +77,8 @@ struct SweepPoint {
   sim::SimResult result;
 };
 
-/// All grid points in deterministic order (network-major, then pattern,
-/// burst, mode, lanes, fault, rate innermost).
+/// All grid points in deterministic order (network-major, then radix,
+/// pattern, burst, mode, lanes, fault, rate innermost).
 struct SweepResult {
   SweepGrid grid;
   std::vector<SweepPoint> points;
@@ -80,9 +86,9 @@ struct SweepResult {
 
 /// Run every grid point, fanned across \p threads workers (0 = hardware
 /// concurrency). One Engine — and with it one min::FlatWiring — is
-/// precomputed per {network, stages} and shared read-only across all
-/// grid points, one FaultMask (+ survivor classification) per
-/// {network, fault spec} likewise, and each worker thread reuses one
+/// precomputed per {network, radix, stages} and shared read-only across
+/// all grid points, one FaultMask (+ survivor classification) per
+/// {network, radix, fault spec} likewise, and each worker thread reuses one
 /// sim::SimWorkspace payload-pool arena across all its points, so no
 /// point pays topology re-derivation or pool re-allocation; each point
 /// derives an independent seed from (grid.base.seed, index), so results

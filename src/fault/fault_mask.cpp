@@ -4,6 +4,7 @@ namespace mineq::fault {
 
 FaultMask::FaultMask(const min::FlatWiring& w)
     : stages_(w.stages()),
+      radix_(w.radix()),
       cells_(w.cells_per_stage()),
       arcs_(static_cast<std::size_t>(w.stages() - 1) * w.links_per_stage()),
       words_((arcs_ + 63) / 64, 0) {}

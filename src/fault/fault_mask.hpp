@@ -6,9 +6,9 @@
 /// die before the fabric loses full access, and what degradation looks
 /// like under load. Because every layer of this codebase consumes one
 /// stage-packed topology IR (min::FlatWiring), a fault is representable
-/// as a single bit per packed down record: arc index
+/// as a single bit per packed down record — at any radix r: arc index
 ///
-///   s * links_per_stage + 2 * x + port
+///   s * links_per_stage + r * x + port
 ///
 /// names the port-`port` out-link of cell `x` at stage `s` — the same
 /// index the down record occupies, so a mask built once is consistent
@@ -18,10 +18,11 @@
 ///
 /// A masked arc never accepts payload. Degraded-mode routing on top of
 /// the mask is the FaultedWiring view: a packet whose scheduled out-port
-/// is masked reroutes through the surviving sibling port when one exists
-/// (misrouting it — a banyan has unique paths, so the detour cannot reach
-/// the original destination terminal) and is dropped at a switch whose
-/// out-ports are both dead.
+/// is masked reroutes through the next surviving port of its switch when
+/// one exists (misrouting it — a banyan has unique paths, so the detour
+/// cannot reach the original destination terminal) and is dropped at a
+/// switch whose out-ports are all dead. At r = 2 "next surviving port"
+/// is exactly the historic sibling (port ^ 1), pinned in the tests.
 
 #pragma once
 
@@ -42,12 +43,13 @@ class FaultMask {
   explicit FaultMask(const min::FlatWiring& w);
 
   [[nodiscard]] int stages() const noexcept { return stages_; }
+  [[nodiscard]] int radix() const noexcept { return radix_; }
   [[nodiscard]] std::uint32_t cells_per_stage() const noexcept {
     return cells_;
   }
-  /// Arc records per inter-stage connection: 2 * cells_per_stage().
+  /// Arc records per inter-stage connection: radix * cells_per_stage().
   [[nodiscard]] std::size_t links_per_stage() const noexcept {
-    return std::size_t{2} * cells_;
+    return static_cast<std::size_t>(radix_) * cells_;
   }
   /// Total maskable arcs: (stages - 1) * links_per_stage().
   [[nodiscard]] std::size_t total_arcs() const noexcept { return arcs_; }
@@ -66,7 +68,8 @@ class FaultMask {
   /// stage \p s (the down-record index).
   [[nodiscard]] std::size_t arc_index(int s, std::uint32_t x,
                                       unsigned port) const noexcept {
-    return static_cast<std::size_t>(s) * links_per_stage() + 2 * x + port;
+    return static_cast<std::size_t>(s) * links_per_stage() +
+           static_cast<std::size_t>(radix_) * x + port;
   }
 
   /// \pre arc < total_arcs() — i.e. the stage of an (s, x, port) query
@@ -87,13 +90,15 @@ class FaultMask {
 
   /// Does this mask describe the geometry of \p w?
   [[nodiscard]] bool matches(const min::FlatWiring& w) const noexcept {
-    return stages_ == w.stages() && cells_ == w.cells_per_stage();
+    return stages_ == w.stages() && cells_ == w.cells_per_stage() &&
+           radix_ == w.radix();
   }
 
   friend bool operator==(const FaultMask&, const FaultMask&) = default;
 
  private:
   int stages_ = 1;
+  int radix_ = 2;
   std::uint32_t cells_ = 0;
   std::size_t arcs_ = 0;
   std::size_t faulted_ = 0;
@@ -122,23 +127,35 @@ class FaultedWiring {
   }
 
   /// Degraded-mode adaptive routing at switch (s, x): the scheduled
-  /// \p desired port when its arc survives, the surviving sibling port
-  /// when only the desired arc is dead, or -1 when both out-arcs are
-  /// dead and the packet must be dropped.
+  /// \p desired port when its arc survives, otherwise the *next
+  /// surviving port* scanning (desired + 1) % r, (desired + 2) % r, ...
+  /// over all r ports, or -1 when every out-arc is dead and the packet
+  /// must be dropped. At r = 2 the scan visits exactly the historic
+  /// sibling desired ^ 1 (pinned as a regression in the tests); the old
+  /// `desired ^ 1` formula is meaningless for r > 2.
   [[nodiscard]] int usable_port(int s, std::uint32_t x,
                                 unsigned desired) const noexcept {
     if (!mask_->faulted(s, x, desired)) return static_cast<int>(desired);
-    const unsigned sibling = desired ^ 1U;
-    if (!mask_->faulted(s, x, sibling)) return static_cast<int>(sibling);
+    const auto radix = static_cast<unsigned>(mask_->radix());
+    unsigned port = desired;
+    for (unsigned step = 1; step < radix; ++step) {
+      ++port;
+      if (port >= radix) port -= radix;  // wrap without a division
+      if (!mask_->faulted(s, x, port)) return static_cast<int>(port);
+    }
     return -1;
   }
 
-  /// Is switch (s, x) dead for forwarding (both out-arcs masked)?
+  /// Is switch (s, x) dead for forwarding (all out-arcs masked)?
   /// Last-stage cells have no out-arcs — they eject through terminal
   /// links, which are not maskable — so they are never dead.
   [[nodiscard]] bool dead_switch(int s, std::uint32_t x) const noexcept {
     if (s + 1 >= mask_->stages()) return false;  // no out-arcs to mask
-    return mask_->faulted(s, x, 0) && mask_->faulted(s, x, 1);
+    const auto radix = static_cast<unsigned>(mask_->radix());
+    for (unsigned port = 0; port < radix; ++port) {
+      if (!mask_->faulted(s, x, port)) return false;
+    }
+    return true;
   }
 
  private:

@@ -11,10 +11,9 @@ namespace mineq::fault {
 
 const std::vector<FaultKind>& all_fault_kinds() {
   static const std::vector<FaultKind> kinds = {
-      FaultKind::kNone,
-      FaultKind::kRandomLinks,
-      FaultKind::kSwitchKills,
-      FaultKind::kStageBurst,
+      FaultKind::kNone,         FaultKind::kRandomLinks,
+      FaultKind::kSwitchKills,  FaultKind::kStageBurst,
+      FaultKind::kPartialPort,
   };
   return kinds;
 }
@@ -29,6 +28,8 @@ std::string fault_kind_name(FaultKind kind) {
       return "switches";
     case FaultKind::kStageBurst:
       return "burst";
+    case FaultKind::kPartialPort:
+      return "partial";
   }
   throw std::invalid_argument("fault_kind_name: unknown kind");
 }
@@ -68,12 +69,14 @@ void random_links(const min::FlatWiring& w, const FaultSpec& spec,
 /// Mask every in- and out-arc of cell \p y at stage \p s.
 void kill_switch(const min::FlatWiring& w, int s, std::uint32_t y,
                  FaultMask& mask) {
+  const auto radix = static_cast<unsigned>(w.radix());
   if (s + 1 < w.stages()) {
-    mask.set(s, y, 0);
-    mask.set(s, y, 1);
+    for (unsigned port = 0; port < radix; ++port) {
+      mask.set(s, y, port);
+    }
   }
   if (s > 0) {
-    for (unsigned slot = 0; slot < 2; ++slot) {
+    for (unsigned slot = 0; slot < radix; ++slot) {
       mask.set(s - 1, w.parent(s - 1, y, slot),
                w.parent_port(s - 1, y, slot));
     }
@@ -97,6 +100,44 @@ void switch_kills(const min::FlatWiring& w, const FaultSpec& spec,
     const int s = static_cast<int>(nodes[i] / w.cells_per_stage());
     const std::uint32_t y = nodes[i] % w.cells_per_stage();
     kill_switch(w, s, y, mask);
+  }
+}
+
+/// Partial-port switch faults (the k-ary refinement of kSwitchKills): a
+/// uniform sample of round(rate * forwarding switches) distinct switches
+/// each lose j out-arcs, j uniform in [1, radix - 1] and the ports a
+/// distinct uniform sample — the switch keeps routing through its
+/// survivors, so degraded-mode routing detours instead of dropping.
+/// Only forwarding switches (stages 0 .. n-2) are drawn: last-stage
+/// cells have no out-arcs to lose.
+void partial_ports(const min::FlatWiring& w, const FaultSpec& spec,
+                   util::SplitMix64& rng, FaultMask& mask) {
+  const auto radix = static_cast<unsigned>(w.radix());
+  const std::size_t forwarding =
+      static_cast<std::size_t>(w.stages() - 1) * w.cells_per_stage();
+  const auto hits = static_cast<std::size_t>(
+      std::llround(spec.rate * static_cast<double>(forwarding)));
+  // Partial Fisher-Yates over the forwarding switches, like switch_kills.
+  std::vector<std::uint32_t> nodes(forwarding);
+  std::iota(nodes.begin(), nodes.end(), 0U);
+  std::vector<unsigned> ports(radix);
+  for (std::size_t i = 0; i < hits; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.below(forwarding - i));
+    std::swap(nodes[i], nodes[j]);
+    const int s = static_cast<int>(nodes[i] / w.cells_per_stage());
+    const std::uint32_t y = nodes[i] % w.cells_per_stage();
+    // Lose j_lost < radix distinct out-ports (partial Fisher-Yates over
+    // the port indices).
+    const auto lost =
+        1 + static_cast<unsigned>(rng.below(std::uint64_t{radix} - 1));
+    std::iota(ports.begin(), ports.end(), 0U);
+    for (unsigned k = 0; k < lost; ++k) {
+      const auto pick = k + static_cast<unsigned>(
+                                rng.below(std::uint64_t{radix} - k));
+      std::swap(ports[k], ports[pick]);
+      mask.set(s, y, ports[k]);
+    }
   }
 }
 
@@ -146,6 +187,9 @@ FaultMask build_fault_mask(const min::FlatWiring& w, const FaultSpec& spec) {
       break;
     case FaultKind::kStageBurst:
       stage_burst(w, spec, rng, mask);
+      break;
+    case FaultKind::kPartialPort:
+      partial_ports(w, spec, rng, mask);
       break;
     case FaultKind::kNone:
       break;

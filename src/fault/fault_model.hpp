@@ -13,7 +13,14 @@
 ///  - kStageBurst:   stage-correlated bursts: runs of adjacent packed
 ///                   arc records inside one randomly chosen stage
 ///                   (geometric length, mean 8) until ≈ rate of all arcs
-///                   are masked, modelling a damaged backplane region.
+///                   are masked, modelling a damaged backplane region;
+///  - kPartialPort:  round(rate * forwarding switches) distinct switches
+///                   each lose j < r of their r out-ports (j uniform in
+///                   [1, r-1], distinct ports) — a k x k switch that
+///                   keeps routing through its surviving ports instead
+///                   of dying outright. At r = 2 every hit switch loses
+///                   exactly one out-arc, so no switch ever goes dead
+///                   under this model.
 ///
 /// A FaultSpec is also the sweep-axis value type: exp::SweepGrid crosses
 /// {kind × rate × seed} and builds one mask per (network, spec), shared
@@ -37,13 +44,14 @@ enum class FaultKind : std::uint8_t {
   kRandomLinks,  ///< i.i.d. link faults at probability `rate`
   kSwitchKills,  ///< kill round(rate * switches) whole switches
   kStageBurst,   ///< stage-correlated bursts of adjacent arcs
+  kPartialPort,  ///< switches lose j < radix out-ports but keep routing
 };
 
 /// All kinds, in declaration order (handy for sweeps and round-trips).
 [[nodiscard]] const std::vector<FaultKind>& all_fault_kinds();
 
 /// Short token for CLIs and CSV columns ("none", "links", "switches",
-/// "burst").
+/// "burst", "partial").
 [[nodiscard]] std::string fault_kind_name(FaultKind kind);
 
 /// Inverse of fault_kind_name.

@@ -10,6 +10,72 @@
 
 namespace mineq::min {
 
+namespace {
+
+/// Shared saturating path-count DP over the packed records, templated on
+/// the record unpacker so the radix-2 instantiation keeps its shift/mask
+/// code generation (see flat_wiring.hpp).
+template <typename Unpack>
+std::vector<std::uint64_t> wiring_path_counts(const FlatWiring& w,
+                                              const Unpack unpack,
+                                              std::uint32_t source,
+                                              std::uint64_t cap) {
+  const std::uint32_t cells = w.cells_per_stage();
+  std::vector<std::uint64_t> counts(cells, 0);
+  std::vector<std::uint64_t> next(cells, 0);
+  counts[source] = 1;
+  for (int s = 0; s + 1 < w.stages(); ++s) {
+    const auto down = w.down_stage(s);
+    std::fill(next.begin(), next.end(), 0);
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      const std::uint64_t c = counts[x];
+      if (c == 0) continue;
+      for (unsigned port = 0; port < unpack.radix(); ++port) {
+        auto& n = next[unpack.cell(down[x * unpack.radix() + port])];
+        n = std::min(cap, n + c);
+      }
+    }
+    counts.swap(next);
+  }
+  return counts;
+}
+
+template <typename Unpack>
+std::vector<std::uint64_t> wiring_path_counts_masked(
+    const FlatWiring& w, const Unpack unpack, const fault::FaultMask& mask,
+    std::uint32_t source, std::uint64_t cap) {
+  const std::uint32_t cells = w.cells_per_stage();
+  std::vector<std::uint64_t> counts(cells, 0);
+  std::vector<std::uint64_t> next(cells, 0);
+  counts[source] = 1;
+  for (int s = 0; s + 1 < w.stages(); ++s) {
+    const auto down = w.down_stage(s);
+    // Arc bit index = stage base + the record's own array offset
+    // (FaultMask::arc_index's layout); computing it from the loop
+    // indices keeps the unpacker's compile-time radix — the binary
+    // instantiation of this per-source kernel stays shift-indexed.
+    const std::size_t stage_base =
+        static_cast<std::size_t>(s) * mask.links_per_stage();
+    std::fill(next.begin(), next.end(), 0);
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      const std::uint64_t c = counts[x];
+      if (c == 0) continue;
+      const std::size_t row = x * unpack.radix();
+      for (unsigned port = 0; port < unpack.radix(); ++port) {
+        if (mask.faulted_index(stage_base + row + port)) {
+          continue;  // dead arcs carry no paths
+        }
+        auto& n = next[unpack.cell(down[row + port])];
+        n = std::min(cap, n + c);
+      }
+    }
+    counts.swap(next);
+  }
+  return counts;
+}
+
+}  // namespace
+
 std::vector<std::uint64_t> path_counts_from(const MIDigraph& g,
                                             std::uint32_t source,
                                             std::uint64_t cap) {
@@ -39,59 +105,32 @@ std::vector<std::uint64_t> path_counts_from(const MIDigraph& g,
 std::vector<std::uint64_t> path_counts_from(const FlatWiring& w,
                                             std::uint32_t source,
                                             std::uint64_t cap) {
-  const std::uint32_t cells = w.cells_per_stage();
-  if (source >= cells) {
+  if (source >= w.cells_per_stage()) {
     throw std::invalid_argument("path_counts_from: source out of range");
   }
-  std::vector<std::uint64_t> counts(cells, 0);
-  std::vector<std::uint64_t> next(cells, 0);
-  counts[source] = 1;
-  for (int s = 0; s + 1 < w.stages(); ++s) {
-    const auto down = w.down_stage(s);
-    std::fill(next.begin(), next.end(), 0);
-    for (std::uint32_t x = 0; x < cells; ++x) {
-      const std::uint64_t c = counts[x];
-      if (c == 0) continue;
-      auto& nf = next[down[2 * x] >> 1];
-      nf = std::min(cap, nf + c);
-      auto& ng = next[down[2 * x + 1] >> 1];
-      ng = std::min(cap, ng + c);
-    }
-    counts.swap(next);
+  if (w.radix() == 2) {
+    return wiring_path_counts(w, UnpackBinary{}, source, cap);
   }
-  return counts;
+  return wiring_path_counts(
+      w, UnpackRadix{static_cast<unsigned>(w.radix())}, source, cap);
 }
 
 std::vector<std::uint64_t> path_counts_from(const FlatWiring& w,
                                             const fault::FaultMask& mask,
                                             std::uint32_t source,
                                             std::uint64_t cap) {
-  const std::uint32_t cells = w.cells_per_stage();
-  if (source >= cells) {
+  if (source >= w.cells_per_stage()) {
     throw std::invalid_argument("path_counts_from: source out of range");
   }
   if (!mask.matches(w)) {
     throw std::invalid_argument(
         "path_counts_from: fault mask geometry does not match the wiring");
   }
-  std::vector<std::uint64_t> counts(cells, 0);
-  std::vector<std::uint64_t> next(cells, 0);
-  counts[source] = 1;
-  for (int s = 0; s + 1 < w.stages(); ++s) {
-    const auto down = w.down_stage(s);
-    std::fill(next.begin(), next.end(), 0);
-    for (std::uint32_t x = 0; x < cells; ++x) {
-      const std::uint64_t c = counts[x];
-      if (c == 0) continue;
-      for (unsigned port = 0; port < 2; ++port) {
-        if (mask.faulted(s, x, port)) continue;  // dead arcs carry no paths
-        auto& n = next[down[2 * x + port] >> 1];
-        n = std::min(cap, n + c);
-      }
-    }
-    counts.swap(next);
+  if (w.radix() == 2) {
+    return wiring_path_counts_masked(w, UnpackBinary{}, mask, source, cap);
   }
-  return counts;
+  return wiring_path_counts_masked(
+      w, UnpackRadix{static_cast<unsigned>(w.radix())}, mask, source, cap);
 }
 
 namespace {
@@ -107,13 +146,16 @@ bool source_is_banyan(const MIDigraph& g, std::uint32_t source) {
                      [](std::uint64_t c) { return c == 1; });
 }
 
-/// Per-stage child accessors for the two topology representations, so
-/// the bitset doubling sweep below is written once.
+/// Per-stage child accessors for the topology representations, so the
+/// bitset growth sweep below is written once. Each accessor exposes the
+/// out-degree (the growth factor of the criterion) and the t-th child.
 struct TableChildren {
   const std::uint32_t* f;
   const std::uint32_t* g;
-  [[nodiscard]] std::uint32_t first(std::uint32_t x) const { return f[x]; }
-  [[nodiscard]] std::uint32_t second(std::uint32_t x) const { return g[x]; }
+  [[nodiscard]] static constexpr unsigned degree() noexcept { return 2; }
+  [[nodiscard]] std::uint32_t child(std::uint32_t x, unsigned t) const {
+    return t == 0 ? f[x] : g[x];
+  }
 };
 
 [[nodiscard]] inline TableChildren stage_children(const MIDigraph& g, int s) {
@@ -121,36 +163,47 @@ struct TableChildren {
   return {conn.f_table().data(), conn.g_table().data()};
 }
 
+/// Packed-record accessor over one unpacker (UnpackBinary keeps the
+/// radix-2 shift/mask code generation; UnpackRadix divides).
+template <typename Unpack>
 struct PackedChildren {
   const std::uint32_t* down;
-  [[nodiscard]] std::uint32_t first(std::uint32_t x) const {
-    return down[2 * x] >> 1;
-  }
-  [[nodiscard]] std::uint32_t second(std::uint32_t x) const {
-    return down[2 * x + 1] >> 1;
+  Unpack unpack;
+  [[nodiscard]] unsigned degree() const noexcept { return unpack.radix(); }
+  [[nodiscard]] std::uint32_t child(std::uint32_t x, unsigned t) const {
+    return unpack.cell(down[x * unpack.radix() + t]);
   }
 };
 
-[[nodiscard]] inline PackedChildren stage_children(const FlatWiring& w,
-                                                   int s) {
-  return {w.down_stage(s).data()};
+/// A FlatWiring bound to one unpacker, so the shared all-sources driver
+/// can dispatch on radix() == 2 without duplicating the sweep.
+template <typename Unpack>
+struct WiringView {
+  const FlatWiring* w;
+  Unpack unpack;
+  [[nodiscard]] int stages() const noexcept { return w->stages(); }
+};
+
+template <typename Unpack>
+[[nodiscard]] inline PackedChildren<Unpack> stage_children(
+    const WiringView<Unpack>& v, int s) {
+  return {v.w->down_stage(s).data(), v.unpack};
 }
 
-/// Both is_banyan overloads run the doubling check on word-wide
-/// reachability bitsets: with out-degree 2 there are exactly 2^s paths
-/// from a source to stage s, so (given no parallel arcs, checked by the
-/// caller) unique paths are exactly "the reachable set doubles at every
-/// stage" — 2^s paths onto 2^s distinct cells (cf. is_banyan_doubling,
+/// The growth criterion on word-wide reachability bitsets: with
+/// out-degree r there are exactly r^s paths from a source to stage s, so
+/// (given no parallel arcs, checked by the caller) unique paths are
+/// exactly "the reachable set grows r-fold at every stage" — r^s paths
+/// onto r^s distinct cells (cf. is_banyan_doubling for r = 2,
 /// cross-validated against the path-count DP in the tests). This needs
-/// two cells/64-word scratch buffers per sweep instead of two
-/// cells-word count arrays per source, fails faster on non-Banyan
-/// inputs (first non-doubling stage), and runs ~2x faster on Banyan
-/// ones. Scratch is caller-provided so a sweep over all sources reuses
-/// it.
+/// two cells/64-word scratch buffers per sweep instead of two cells-word
+/// count arrays per source, fails faster on non-Banyan inputs (first
+/// non-growing stage), and runs ~2x faster on Banyan ones. Scratch is
+/// caller-provided so a sweep over all sources reuses it.
 template <typename Network>
-bool source_doubles(const Network& net, std::uint32_t source,
-                    std::vector<std::uint64_t>& reach,
-                    std::vector<std::uint64_t>& next) {
+bool source_grows(const Network& net, std::uint32_t source,
+                  std::vector<std::uint64_t>& reach,
+                  std::vector<std::uint64_t>& next) {
   const std::size_t words = reach.size();
   std::fill(reach.begin(), reach.end(), 0);
   reach[source >> 6] = std::uint64_t{1} << (source & 63);
@@ -164,17 +217,17 @@ bool source_doubles(const Network& net, std::uint32_t source,
         const auto x = static_cast<std::uint32_t>(
             i * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
         bits &= bits - 1;
-        const std::uint32_t a = children.first(x);
-        const std::uint32_t b = children.second(x);
-        next[a >> 6] |= std::uint64_t{1} << (a & 63);
-        next[b >> 6] |= std::uint64_t{1} << (b & 63);
+        for (unsigned t = 0; t < children.degree(); ++t) {
+          const std::uint32_t c = children.child(x, t);
+          next[c >> 6] |= std::uint64_t{1} << (c & 63);
+        }
       }
     }
     std::size_t next_size = 0;
     for (const std::uint64_t word : next) {
       next_size += static_cast<std::size_t>(std::popcount(word));
     }
-    if (next_size != 2 * size) return false;
+    if (next_size != children.degree() * size) return false;
     size = next_size;
     reach.swap(next);
   }
@@ -182,10 +235,16 @@ bool source_doubles(const Network& net, std::uint32_t source,
 }
 
 bool wiring_has_parallel_arcs(const FlatWiring& w) {
+  const auto radix = static_cast<unsigned>(w.radix());
   for (int s = 0; s + 1 < w.stages(); ++s) {
     const auto down = w.down_stage(s);
-    for (std::size_t link = 0; link < down.size(); link += 2) {
-      if ((down[link] >> 1) == (down[link + 1] >> 1)) return true;
+    for (std::size_t base = 0; base < down.size(); base += radix) {
+      for (unsigned i = 1; i < radix; ++i) {
+        const std::uint32_t ci = w.unpack_cell(down[base + i]);
+        for (unsigned j = 0; j < i; ++j) {
+          if (w.unpack_cell(down[base + j]) == ci) return true;
+        }
+      }
     }
   }
   return false;
@@ -200,14 +259,14 @@ bool digraph_has_parallel_arcs(const MIDigraph& g) {
 
 /// Shared all-sources driver over either representation.
 template <typename Network>
-bool all_sources_double(const Network& g, std::uint32_t cells,
-                        std::size_t threads) {
+bool all_sources_grow(const Network& g, std::uint32_t cells,
+                      std::size_t threads) {
   const std::size_t words = (static_cast<std::size_t>(cells) + 63) / 64;
   if (threads == 1 || cells < 64) {
     std::vector<std::uint64_t> reach(words);
     std::vector<std::uint64_t> next(words);
     for (std::uint32_t u = 0; u < cells; ++u) {
-      if (!source_doubles(g, u, reach, next)) return false;
+      if (!source_grows(g, u, reach, next)) return false;
     }
     return true;
   }
@@ -218,7 +277,7 @@ bool all_sources_double(const Network& g, std::uint32_t cells,
         if (!ok.load(std::memory_order_relaxed)) return;
         std::vector<std::uint64_t> reach(words);
         std::vector<std::uint64_t> next(words);
-        if (!source_doubles(g, static_cast<std::uint32_t>(u), reach, next)) {
+        if (!source_grows(g, static_cast<std::uint32_t>(u), reach, next)) {
           ok.store(false, std::memory_order_relaxed);
         }
       },
@@ -237,14 +296,21 @@ bool is_banyan(const MIDigraph& g, std::size_t threads) {
     return true;
   }
   // Parallel arcs already break uniqueness (two u -> v paths of length
-  // one); the doubling check would not see the multiplicity.
+  // one); the growth check would not see the multiplicity.
   if (digraph_has_parallel_arcs(g)) return false;
-  return all_sources_double(g, cells, threads);
+  return all_sources_grow(g, cells, threads);
 }
 
 bool is_banyan(const FlatWiring& w, std::size_t threads) {
   if (wiring_has_parallel_arcs(w)) return false;
-  return all_sources_double(w, w.cells_per_stage(), threads);
+  if (w.radix() == 2) {
+    return all_sources_grow(WiringView<UnpackBinary>{&w, {}},
+                            w.cells_per_stage(), threads);
+  }
+  return all_sources_grow(
+      WiringView<UnpackRadix>{&w,
+                              UnpackRadix{static_cast<unsigned>(w.radix())}},
+      w.cells_per_stage(), threads);
 }
 
 std::optional<BanyanFailure> banyan_failure(const MIDigraph& g) {

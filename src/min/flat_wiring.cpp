@@ -1,44 +1,85 @@
 #include "min/flat_wiring.hpp"
 
 #include <stdexcept>
+#include <string>
 
+#include "min/kary.hpp"
 #include "util/bitops.hpp"
 
 namespace mineq::min {
+
+void FlatWiring::check_geometry(int stages, std::uint64_t cells, int radix) {
+  if (radix < 2 || radix > 64) {
+    throw std::invalid_argument(
+        "FlatWiring: radix " + std::to_string(radix) +
+        " out of range [2, 64]");
+  }
+  if (stages < 1 || cells < 1) {
+    throw std::invalid_argument(
+        "FlatWiring: need >= 1 stage and >= 1 cell, got stages=" +
+        std::to_string(stages) + " cells=" + std::to_string(cells));
+  }
+  // The largest packed record is cells * radix - 1; past 2^32 the
+  // cell * radix + slot arithmetic would wrap silently long before the
+  // record arrays themselves exhaust memory.
+  const std::uint64_t limit = std::uint64_t{1} << 32;
+  if (cells * static_cast<std::uint64_t>(radix) > limit) {
+    throw std::invalid_argument(
+        "FlatWiring: geometry stages=" + std::to_string(stages) +
+        " cells=" + std::to_string(cells) + " radix=" +
+        std::to_string(radix) +
+        " overflows the 32-bit packed records (cells * radix > 2^32)");
+  }
+}
+
+FlatWiring::FlatWiring(int stages, std::uint32_t cells, int radix) {
+  check_geometry(stages, cells, radix);
+  stages_ = stages;
+  radix_ = radix;
+  cells_ = cells;
+  const std::size_t records =
+      static_cast<std::size_t>(stages - 1) * links_per_stage();
+  down_.assign(records, 0);
+  up_.assign(records, 0);
+}
 
 void FlatWiring::pack_stage(int s,
                             const std::vector<std::uint32_t>& child_of_link,
                             std::vector<std::uint8_t>& filled) {
   // Slot assignment in deterministic (source cell, port) fill order: the
-  // first arc arriving at a child takes slot 0, the second slot 1. This is
-  // the order the simulators have always used; changing it would change
-  // arbitration outcomes. `filled` is caller-owned scratch (one
-  // allocation per build, not per stage).
+  // k-th arc arriving at a child takes slot k. This is the order the
+  // simulators have always used; changing it would change arbitration
+  // outcomes. `filled` is caller-owned scratch (one allocation per
+  // build, not per stage).
   const std::size_t links = links_per_stage();
   const std::size_t base = static_cast<std::size_t>(s) * links;
+  const auto radix = static_cast<unsigned>(radix_);
   std::fill(filled.begin(), filled.end(), 0);
   for (std::size_t link = 0; link < links; ++link) {
     const std::uint32_t child = child_of_link[link];
-    if (child >= cells_ || filled[child] >= 2) {
+    if (child >= cells_ || filled[child] >= radix) {
       throw std::invalid_argument(
-          "FlatWiring: connection is not a valid stage (in-degree != 2)");
+          "FlatWiring: connection is not a valid stage (in-degree != "
+          "radix)");
     }
     const unsigned slot = filled[child]++;
-    down_[base + link] = (child << 1) | slot;
-    // The up record (parent << 1) | port is the link index itself, since
-    // link = 2 * parent + port by construction.
-    up_[base + 2 * child + slot] = static_cast<std::uint32_t>(link);
+    down_[base + link] = pack_record(child, slot, radix);
+    // The up record pack_record(parent, port) is the link index itself,
+    // since link = radix * parent + port by construction.
+    up_[base + static_cast<std::size_t>(radix) * child + slot] =
+        static_cast<std::uint32_t>(link);
   }
   for (std::uint32_t y = 0; y < cells_; ++y) {
-    if (filled[y] != 2) {
+    if (filled[y] != radix) {
       throw std::invalid_argument(
-          "FlatWiring: connection is not a valid stage (in-degree != 2)");
+          "FlatWiring: connection is not a valid stage (in-degree != "
+          "radix)");
     }
   }
 }
 
 FlatWiring FlatWiring::from_digraph(const MIDigraph& g) {
-  FlatWiring wiring(g.stages(), g.cells_per_stage());
+  FlatWiring wiring(g.stages(), g.cells_per_stage(), /*radix=*/2);
   std::vector<std::uint32_t> child_of_link(wiring.links_per_stage());
   std::vector<std::uint8_t> filled(wiring.cells_);
   for (int s = 0; s + 1 < g.stages(); ++s) {
@@ -52,6 +93,24 @@ FlatWiring FlatWiring::from_digraph(const MIDigraph& g) {
   return wiring;
 }
 
+FlatWiring FlatWiring::from_kary(const KaryMIDigraph& g) {
+  FlatWiring wiring(g.stages(), g.cells_per_stage(), g.radix());
+  const auto radix = static_cast<unsigned>(g.radix());
+  std::vector<std::uint32_t> child_of_link(wiring.links_per_stage());
+  std::vector<std::uint8_t> filled(wiring.cells_);
+  for (int s = 0; s + 1 < g.stages(); ++s) {
+    const KaryConnection& conn = g.connection(s);
+    for (unsigned port = 0; port < radix; ++port) {
+      const std::vector<std::uint32_t>& table = conn.table(port);
+      for (std::uint32_t x = 0; x < wiring.cells_; ++x) {
+        child_of_link[static_cast<std::size_t>(radix) * x + port] = table[x];
+      }
+    }
+    wiring.pack_stage(s, child_of_link, filled);
+  }
+  return wiring;
+}
+
 FlatWiring FlatWiring::from_pipids(
     const std::vector<perm::IndexPermutation>& pipids) {
   if (pipids.empty()) {
@@ -59,7 +118,7 @@ FlatWiring FlatWiring::from_pipids(
   }
   const int stages = static_cast<int>(pipids.size()) + 1;
   const int w = stages - 1;
-  FlatWiring wiring(stages, std::uint32_t{1} << w);
+  FlatWiring wiring(stages, std::uint32_t{1} << w, /*radix=*/2);
   std::vector<std::uint32_t> child_of_link(wiring.links_per_stage());
   std::vector<std::uint8_t> filled(wiring.cells_);
   std::vector<int> source(static_cast<std::size_t>(w));

@@ -386,6 +386,45 @@ KaryMIDigraph kary_omega(int stages, int radix) {
   return KaryMIDigraph(stages, radix, std::move(connections));
 }
 
+KaryMIDigraph kary_flip(int stages, int radix) {
+  check_shape(radix, stages - 1);
+  const int digits = stages - 1;
+  const RadixLabel label(radix, digits);
+  const std::uint32_t cells = label.cells();
+  const std::uint32_t sub = cells / static_cast<std::uint32_t>(radix);
+  std::vector<KaryConnection> connections;
+  for (int s = 0; s < digits; ++s) {
+    // Digit rotate-right on the n-digit link label (x * r + t): drop the
+    // port digit into the top position, shift the cell digits down.
+    connections.push_back(KaryConnection::from_functions(
+        radix, digits, [&](unsigned t, std::uint32_t x) {
+          return x / static_cast<std::uint32_t>(radix) + t * sub;
+        }));
+  }
+  return KaryMIDigraph(stages, radix, std::move(connections));
+}
+
+bool kary_network_supported(NetworkKind kind) {
+  return kind == NetworkKind::kOmega || kind == NetworkKind::kFlip ||
+         kind == NetworkKind::kBaseline;
+}
+
+KaryMIDigraph build_kary_network(NetworkKind kind, int stages, int radix) {
+  switch (kind) {
+    case NetworkKind::kOmega:
+      return kary_omega(stages, radix);
+    case NetworkKind::kFlip:
+      return kary_flip(stages, radix);
+    case NetworkKind::kBaseline:
+      return kary_baseline(stages, radix);
+    default:
+      throw std::invalid_argument(
+          "build_kary_network: no radix-r construction for " +
+          network_name(kind) +
+          " (supported at radix > 2: omega, flip, baseline)");
+  }
+}
+
 bool kary_is_banyan(const KaryMIDigraph& g) {
   const std::uint32_t cells = g.cells_per_stage();
   std::vector<std::uint64_t> counts(cells);

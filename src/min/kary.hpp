@@ -39,6 +39,7 @@
 #include <optional>
 #include <vector>
 
+#include "min/networks.hpp"
 #include "util/rng.hpp"
 
 namespace mineq::min {
@@ -165,6 +166,22 @@ class KaryMIDigraph {
 /// The radix-r Omega-style network: every stage wired by the digit
 /// rotate-left shuffle.
 [[nodiscard]] KaryMIDigraph kary_omega(int stages, int radix);
+
+/// The radix-r Flip network: every stage wired by the digit rotate-right
+/// (inverse shuffle). Reduces to the binary Flip for r = 2 — asserted in
+/// the tests.
+[[nodiscard]] KaryMIDigraph kary_flip(int stages, int radix);
+
+/// The radix-r construction of a classical network kind, for the kinds
+/// with a closed-form k-ary analog (Omega, Flip, Baseline). Radix 2
+/// reproduces build_network(kind, stages) table for table.
+/// \throws std::invalid_argument for kinds without a k-ary construction
+/// (cube, mdm, revbaseline).
+[[nodiscard]] KaryMIDigraph build_kary_network(NetworkKind kind, int stages,
+                                               int radix);
+
+/// Does \p kind have a radix-r construction (see build_kary_network)?
+[[nodiscard]] bool kary_network_supported(NetworkKind kind);
 
 /// Banyan property (unique first-to-last paths).
 [[nodiscard]] bool kary_is_banyan(const KaryMIDigraph& g);

@@ -105,19 +105,34 @@ bool satisfies_p_star_n(const MIDigraph& g) {
   return true;
 }
 
-std::vector<std::size_t> prefix_component_profile(const FlatWiring& w) {
+namespace {
+
+/// DSU union of one packed connection, templated on the record unpacker
+/// (flat_wiring.hpp): the radix-2 instantiation keeps its historic
+/// shift/mask code generation, general radices divide.
+template <typename Unpack>
+void unite_stage(const FlatWiring& w, const Unpack unpack, int s,
+                 std::uint32_t base, graph::DSU& dsu) {
+  const std::uint32_t cells = w.cells_per_stage();
+  const auto down = w.down_stage(s);
+  for (std::uint32_t x = 0; x < cells; ++x) {
+    for (unsigned port = 0; port < unpack.radix(); ++port) {
+      dsu.unite(base + x,
+                base + cells + unpack.cell(down[x * unpack.radix() + port]));
+    }
+  }
+}
+
+template <typename Unpack>
+std::vector<std::size_t> wiring_prefix_profile(const FlatWiring& w,
+                                               const Unpack unpack) {
   const std::uint32_t cells = w.cells_per_stage();
   graph::DSU dsu(static_cast<std::size_t>(w.stages()) * cells);
   std::vector<std::size_t> profile;
   profile.reserve(static_cast<std::size_t>(w.stages()));
-  profile.push_back(cells);
+  profile.push_back(cells);  // (G)_{0..0}: isolated cells
   for (int s = 0; s + 1 < w.stages(); ++s) {
-    const auto down = w.down_stage(s);
-    const std::uint32_t base = static_cast<std::uint32_t>(s) * cells;
-    for (std::uint32_t x = 0; x < cells; ++x) {
-      dsu.unite(base + x, base + cells + (down[2 * x] >> 1));
-      dsu.unite(base + x, base + cells + (down[2 * x + 1] >> 1));
-    }
+    unite_stage(w, unpack, s, static_cast<std::uint32_t>(s) * cells, dsu);
     const std::size_t untouched =
         static_cast<std::size_t>(w.stages() - 2 - s) * cells;
     profile.push_back(dsu.components() - untouched);
@@ -125,41 +140,53 @@ std::vector<std::size_t> prefix_component_profile(const FlatWiring& w) {
   return profile;
 }
 
-std::vector<std::size_t> suffix_component_profile(const FlatWiring& w) {
+template <typename Unpack>
+std::vector<std::size_t> wiring_suffix_profile(const FlatWiring& w,
+                                               const Unpack unpack) {
   const std::uint32_t cells = w.cells_per_stage();
   graph::DSU dsu(static_cast<std::size_t>(w.stages()) * cells);
   std::vector<std::size_t> profile(static_cast<std::size_t>(w.stages()));
   profile[static_cast<std::size_t>(w.stages() - 1)] = cells;
   for (int s = w.stages() - 2; s >= 0; --s) {
-    const auto down = w.down_stage(s);
-    const std::uint32_t base = static_cast<std::uint32_t>(s) * cells;
-    for (std::uint32_t x = 0; x < cells; ++x) {
-      dsu.unite(base + x, base + cells + (down[2 * x] >> 1));
-      dsu.unite(base + x, base + cells + (down[2 * x + 1] >> 1));
-    }
+    unite_stage(w, unpack, s, static_cast<std::uint32_t>(s) * cells, dsu);
     const std::size_t untouched = static_cast<std::size_t>(s) * cells;
     profile[static_cast<std::size_t>(s)] = dsu.components() - untouched;
   }
   return profile;
 }
 
+}  // namespace
+
+std::vector<std::size_t> prefix_component_profile(const FlatWiring& w) {
+  if (w.radix() == 2) return wiring_prefix_profile(w, UnpackBinary{});
+  return wiring_prefix_profile(
+      w, UnpackRadix{static_cast<unsigned>(w.radix())});
+}
+
+std::vector<std::size_t> suffix_component_profile(const FlatWiring& w) {
+  if (w.radix() == 2) return wiring_suffix_profile(w, UnpackBinary{});
+  return wiring_suffix_profile(
+      w, UnpackRadix{static_cast<unsigned>(w.radix())});
+}
+
 bool satisfies_p1_star(const FlatWiring& w) {
   const auto profile = prefix_component_profile(w);
+  // P(1, j) demands cells / radix^j components on the prefix; cells is
+  // radix^width by construction, so the division is exact down to 1.
+  std::size_t expected = w.cells_per_stage();
   for (int j = 0; j < w.stages(); ++j) {
-    if (profile[static_cast<std::size_t>(j)] !=
-        (std::size_t{1} << (w.width() - j))) {
-      return false;
-    }
+    if (profile[static_cast<std::size_t>(j)] != expected) return false;
+    if (j + 1 < w.stages()) expected /= static_cast<std::size_t>(w.radix());
   }
   return true;
 }
 
 bool satisfies_p_star_n(const FlatWiring& w) {
   const auto profile = suffix_component_profile(w);
+  std::size_t expected = 1;
   for (int i = 0; i < w.stages(); ++i) {
-    if (profile[static_cast<std::size_t>(i)] != (std::size_t{1} << i)) {
-      return false;
-    }
+    if (profile[static_cast<std::size_t>(i)] != expected) return false;
+    expected *= static_cast<std::size_t>(w.radix());
   }
   return true;
 }
@@ -171,13 +198,16 @@ std::size_t component_count_range(const FlatWiring& w, int lo, int hi) {
   const std::uint32_t cells = w.cells_per_stage();
   const std::size_t span = static_cast<std::size_t>(hi - lo + 1);
   graph::DSU dsu(span * cells);
-  for (int s = lo; s < hi; ++s) {
-    const auto down = w.down_stage(s);
-    const std::uint32_t base = static_cast<std::uint32_t>(s - lo) * cells;
-    for (std::uint32_t x = 0; x < cells; ++x) {
-      dsu.unite(base + x, base + cells + (down[2 * x] >> 1));
-      dsu.unite(base + x, base + cells + (down[2 * x + 1] >> 1));
+  const auto unite_range = [&](const auto unpack) {
+    for (int s = lo; s < hi; ++s) {
+      unite_stage(w, unpack, s, static_cast<std::uint32_t>(s - lo) * cells,
+                  dsu);
     }
+  };
+  if (w.radix() == 2) {
+    unite_range(UnpackBinary{});
+  } else {
+    unite_range(UnpackRadix{static_cast<unsigned>(w.radix())});
   }
   return dsu.components();
 }
@@ -193,15 +223,17 @@ std::size_t component_count_range(const FlatWiring& w,
         "component_count_range: fault mask geometry does not match");
   }
   const std::uint32_t cells = w.cells_per_stage();
+  const auto radix = static_cast<unsigned>(w.radix());
   const std::size_t span = static_cast<std::size_t>(hi - lo + 1);
   graph::DSU dsu(span * cells);
   for (int s = lo; s < hi; ++s) {
     const auto down = w.down_stage(s);
     const std::uint32_t base = static_cast<std::uint32_t>(s - lo) * cells;
     for (std::uint32_t x = 0; x < cells; ++x) {
-      for (unsigned port = 0; port < 2; ++port) {
+      for (unsigned port = 0; port < radix; ++port) {
         if (mask.faulted(s, x, port)) continue;  // severed by the fault
-        dsu.unite(base + x, base + cells + (down[2 * x + port] >> 1));
+        dsu.unite(base + x,
+                  base + cells + w.unpack_cell(down[x * radix + port]));
       }
     }
   }

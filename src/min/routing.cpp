@@ -125,4 +125,140 @@ bool verify_bit_schedule(const MIDigraph& g, const BitSchedule& schedule) {
   return true;
 }
 
+std::optional<DigitSchedule> find_digit_schedule(const FlatWiring& w) {
+  const auto radix = static_cast<unsigned>(w.radix());
+  const std::uint32_t cells = w.cells_per_stage();
+  const int n = w.stages();
+  DigitSchedule schedule;
+  schedule.radix = w.radix();
+  if (n < 2) return schedule;
+  const int digits = n - 1;
+
+  // Per (stage, sink): the single out-port every on-path cell takes
+  // toward the sink, via one backward reachability sweep per sink.
+  std::vector<std::vector<unsigned>> port(
+      static_cast<std::size_t>(n - 1), std::vector<unsigned>(cells, 0));
+  std::vector<std::vector<char>> reach(
+      static_cast<std::size_t>(n), std::vector<char>(cells, 0));
+  for (std::uint32_t sink = 0; sink < cells; ++sink) {
+    for (auto& row : reach) std::fill(row.begin(), row.end(), 0);
+    reach[static_cast<std::size_t>(n - 1)][sink] = 1;
+    for (int s = n - 2; s >= 0; --s) {
+      const auto& next = reach[static_cast<std::size_t>(s + 1)];
+      auto& here = reach[static_cast<std::size_t>(s)];
+      for (std::uint32_t x = 0; x < cells; ++x) {
+        for (unsigned t = 0; t < radix; ++t) {
+          if (next[w.child(s, x, t)] != 0) {
+            here[x] = 1;
+            break;
+          }
+        }
+      }
+    }
+    for (std::uint32_t src = 0; src < cells; ++src) {
+      if (reach[0][src] == 0) return std::nullopt;  // no full access
+    }
+    // Destination-tag routing means the port toward `sink` at stage s is
+    // the same from every on-path cell; with multiple valid ports the
+    // lexicographically first is fitted (exact for unique-path fabrics).
+    for (int s = 0; s + 1 < n; ++s) {
+      const auto& here = reach[static_cast<std::size_t>(s)];
+      const auto& next = reach[static_cast<std::size_t>(s + 1)];
+      int chosen = -1;
+      for (std::uint32_t x = 0; x < cells; ++x) {
+        if (here[x] == 0) continue;
+        int first = -1;
+        for (unsigned t = 0; t < radix; ++t) {
+          if (next[w.child(s, x, t)] != 0) {
+            first = static_cast<int>(t);
+            break;
+          }
+        }
+        if (chosen < 0) {
+          chosen = first;
+        } else if (chosen != first) {
+          return std::nullopt;  // port depends on the current cell
+        }
+      }
+      port[static_cast<std::size_t>(s)][sink] =
+          static_cast<unsigned>(chosen);
+    }
+  }
+
+  // Fit one destination digit (and its value-to-port map) per stage.
+  std::vector<std::uint32_t> power(static_cast<std::size_t>(digits), 1);
+  for (int i = 1; i < digits; ++i) {
+    power[static_cast<std::size_t>(i)] =
+        power[static_cast<std::size_t>(i - 1)] * radix;
+  }
+  for (int s = 0; s + 1 < n; ++s) {
+    const auto& stage_port = port[static_cast<std::size_t>(s)];
+    bool fitted = false;
+    for (int i = 0; i < digits && !fitted; ++i) {
+      std::vector<int> map(radix, -1);
+      bool ok = true;
+      for (std::uint32_t sink = 0; sink < cells && ok; ++sink) {
+        const unsigned value =
+            (sink / power[static_cast<std::size_t>(i)]) % radix;
+        if (map[value] < 0) {
+          map[value] = static_cast<int>(stage_port[sink]);
+        } else if (map[value] != static_cast<int>(stage_port[sink])) {
+          ok = false;
+        }
+      }
+      if (!ok) continue;
+      schedule.digit.push_back(i);
+      std::vector<unsigned> values(radix, 0);
+      for (unsigned v = 0; v < radix; ++v) {
+        values[v] = static_cast<unsigned>(map[v]);
+      }
+      schedule.port_of_value.push_back(std::move(values));
+      fitted = true;
+    }
+    if (!fitted) return std::nullopt;  // not digit-routable
+  }
+  return schedule;
+}
+
+std::vector<std::uint32_t> route_with_digit_schedule(
+    const FlatWiring& w, const DigitSchedule& schedule, std::uint32_t source,
+    std::uint32_t sink) {
+  const int n = w.stages();
+  if (schedule.radix != w.radix() ||
+      schedule.digit.size() != static_cast<std::size_t>(n - 1) ||
+      schedule.port_of_value.size() != static_cast<std::size_t>(n - 1)) {
+    throw std::invalid_argument("route_with_digit_schedule: schedule arity");
+  }
+  const auto radix = static_cast<unsigned>(w.radix());
+  std::vector<std::uint32_t> cells_visited;
+  cells_visited.reserve(static_cast<std::size_t>(n));
+  cells_visited.push_back(source);
+  std::uint32_t x = source;
+  for (int s = 0; s + 1 < n; ++s) {
+    std::uint32_t scale = 1;
+    for (int i = 0; i < schedule.digit[static_cast<std::size_t>(s)]; ++i) {
+      scale *= radix;
+    }
+    const unsigned value = (sink / scale) % radix;
+    const unsigned port =
+        schedule.port_of_value[static_cast<std::size_t>(s)][value];
+    x = w.child(s, x, port);
+    cells_visited.push_back(x);
+  }
+  return cells_visited;
+}
+
+bool verify_digit_schedule(const FlatWiring& w,
+                           const DigitSchedule& schedule) {
+  const std::uint32_t cells = w.cells_per_stage();
+  for (std::uint32_t src = 0; src < cells; ++src) {
+    for (std::uint32_t dst = 0; dst < cells; ++dst) {
+      if (route_with_digit_schedule(w, schedule, src, dst).back() != dst) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace mineq::min

@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "min/flat_wiring.hpp"
 #include "min/mi_digraph.hpp"
 
 namespace mineq::min {
@@ -56,5 +57,43 @@ struct BitSchedule {
 /// Check a schedule delivers every pair (exhaustive).
 [[nodiscard]] bool verify_bit_schedule(const MIDigraph& g,
                                        const BitSchedule& schedule);
+
+/// The radix-r generalization of BitSchedule: at stage s, take the port
+/// port_of_value[s][v] where v is base-r digit `digit[s]` of the
+/// destination cell label. The binary schedule is the r = 2 special case
+/// (invert == 0 maps to the identity value map, invert == 1 to the
+/// swap). Recovered from a FlatWiring of any radix, so the k-ary
+/// simulators route with the same destination-tag discipline the binary
+/// engine always used.
+struct DigitSchedule {
+  int radix = 2;
+  std::vector<int> digit;  ///< stages()-1 entries (digit index per stage)
+  /// stages()-1 maps from digit value (0..r-1) to out-port; each is a
+  /// bijection of {0..r-1}.
+  std::vector<std::vector<unsigned>> port_of_value;
+};
+
+/// Recover a destination-digit schedule valid for *all* (source, sink)
+/// pairs of \p w, or nullopt if none exists (no full access, the port
+/// toward some sink depends on the current cell, or the per-stage port
+/// choice does not factor through a single destination digit). For
+/// Banyan digit-routable fabrics (k-ary Omega/Flip/Baseline) this is
+/// exact; with multiple paths the lexicographically-first port choice is
+/// fitted, which may reject exotic multipath fabrics that another choice
+/// would admit. O(cells^2 * stages * radix) — intended for simulator
+/// construction at n up to ~10.
+[[nodiscard]] std::optional<DigitSchedule> find_digit_schedule(
+    const FlatWiring& w);
+
+/// Apply a digit schedule over the wiring: the cells visited from
+/// \p source routing toward \p sink.
+[[nodiscard]] std::vector<std::uint32_t> route_with_digit_schedule(
+    const FlatWiring& w, const DigitSchedule& schedule, std::uint32_t source,
+    std::uint32_t sink);
+
+/// Check a digit schedule delivers every (source, sink) pair
+/// (exhaustive).
+[[nodiscard]] bool verify_digit_schedule(const FlatWiring& w,
+                                         const DigitSchedule& schedule);
 
 }  // namespace mineq::min

@@ -61,13 +61,13 @@ void SimConfig::validate() const {
 
 Engine::Engine(min::MIDigraph network, min::BitSchedule schedule)
     : network_(std::move(network)), schedule_(std::move(schedule)) {
-  if (!network_.is_valid()) {
+  if (!network_->is_valid()) {
     throw std::invalid_argument("Engine: network has invalid degrees");
   }
-  if (!min::verify_bit_schedule(network_, schedule_)) {
+  if (!min::verify_bit_schedule(*network_, schedule_)) {
     throw std::invalid_argument("Engine: schedule does not route network");
   }
-  wiring_ = min::FlatWiring::from_digraph(network_);
+  wiring_ = min::FlatWiring::from_digraph(*network_);
 }
 
 namespace {
@@ -86,15 +86,79 @@ min::BitSchedule derive_schedule(const min::MIDigraph& network) {
 Engine::Engine(min::MIDigraph network)
     : Engine(network, derive_schedule(network)) {}
 
-unsigned Engine::route_port(int stage, std::uint32_t dest_terminal) const {
-  if (stage < 0 || stage >= network_.stages()) {
+Engine::Engine(const min::KaryMIDigraph& network) {
+  if (!network.is_valid()) {
+    throw std::invalid_argument("Engine: network has invalid degrees");
+  }
+  if (network.radix() == 2) {
+    // The binary path: convert the tables so radix-2 KaryMIDigraph runs
+    // are byte-identical to the MIDigraph constructor's.
+    std::vector<min::Connection> connections;
+    connections.reserve(static_cast<std::size_t>(network.stages() - 1));
+    for (int s = 0; s + 1 < network.stages(); ++s) {
+      connections.emplace_back(network.connection(s).table(0),
+                               network.connection(s).table(1),
+                               network.stages() - 1);
+    }
+    network_.emplace(network.stages(), std::move(connections));
+    schedule_ = derive_schedule(*network_);
+    wiring_ = min::FlatWiring::from_digraph(*network_);
+    return;
+  }
+  wiring_ = min::FlatWiring::from_kary(network);
+  // Digit-schedule recovery is O(cells^2 * stages * radix) — the same
+  // all-pairs budget the binary find_bit_schedule has always spent
+  // ("intended for n up to ~10", routing.hpp). Past ~4096 cells that
+  // stops being seconds and becomes an apparent hang, so reject the
+  // geometry with advice instead of stalling (radix 8 wants stages <= 5,
+  // radix 16 stages <= 4).
+  constexpr std::uint32_t kMaxDigitScheduleCells = 4096;
+  if (wiring_.cells_per_stage() > kMaxDigitScheduleCells) {
+    throw std::invalid_argument(
+        "Engine: radix-" + std::to_string(network.radix()) + " fabric with " +
+        std::to_string(wiring_.cells_per_stage()) +
+        " cells per stage exceeds the digit-schedule recovery budget (" +
+        std::to_string(kMaxDigitScheduleCells) +
+        " cells); reduce stages or radix");
+  }
+  auto schedule = min::find_digit_schedule(wiring_);
+  if (!schedule.has_value()) {
+    throw std::invalid_argument(
+        "Engine: network has no destination-digit schedule");
+  }
+  digit_schedule_ = std::move(*schedule);
+  digit_scale_.reserve(digit_schedule_.digit.size());
+  for (const int digit : digit_schedule_.digit) {
+    std::uint32_t scale = 1;
+    for (int i = 0; i < digit; ++i) {
+      scale *= static_cast<std::uint32_t>(wiring_.radix());
+    }
+    digit_scale_.push_back(scale);
+  }
+}
+
+const min::MIDigraph& Engine::network() const {
+  if (!network_.has_value()) {
+    throw std::logic_error(
+        "Engine::network: a radix > 2 engine has no MIDigraph "
+        "representation (use wiring())");
+  }
+  return *network_;
+}
+
+unsigned Engine::route_port_general(int stage,
+                                    std::uint32_t dest_terminal) const {
+  const int stages = wiring_.stages();
+  if (stage < 0 || stage >= stages) {
     throw std::invalid_argument("Engine::route_port: stage out of range");
   }
-  if (stage + 1 == network_.stages()) return dest_terminal & 1U;
-  const std::uint32_t dest_cell = dest_terminal >> 1;
-  return util::get_bit(dest_cell, schedule_.bit[static_cast<std::size_t>(
-                                      stage)]) ^
-         schedule_.invert[static_cast<std::size_t>(stage)];
+  const auto radix = static_cast<unsigned>(wiring_.radix());
+  if (stage + 1 == stages) return dest_terminal % radix;
+  const std::uint32_t dest_cell = dest_terminal / radix;
+  const unsigned value =
+      (dest_cell / digit_scale_[static_cast<std::size_t>(stage)]) % radix;
+  return digit_schedule_
+      .port_of_value[static_cast<std::size_t>(stage)][value];
 }
 
 namespace {
@@ -108,14 +172,21 @@ namespace {
 /// is the byte-identical unmasked fast path (no mask probes anywhere in
 /// the hot loop); the true instantiation routes through the
 /// fault::FaultedWiring view — masked arcs accept nothing, packets
-/// reroute via the surviving sibling port, and dead switches drain their
+/// reroute via the next surviving port, and dead switches drain their
 /// queues into packets_dropped_faulted.
-template <bool kFaulted>
+///
+/// \tparam kBinary compile-time radix-2 switch: radix() folds to the
+/// literal 2, so every division and modulo below compiles to the historic
+/// shift/mask code — the binary instantiations are byte- and
+/// speed-identical to the pre-k-ary policy. The general instantiations
+/// divide by the runtime radix.
+template <bool kFaulted, bool kBinary>
 class StoreAndForwardPolicy {
  public:
   StoreAndForwardPolicy(FabricCore& core, SimWorkspace& workspace,
                         [[maybe_unused]] const fault::FaultMask* mask)
       : core_(core),
+        radix_(static_cast<unsigned>(core.wiring().radix())),
         length_(core.config().packet_length),
         queues_(workspace.packet_ring(
             static_cast<std::size_t>(core.stages()) * core.ports(),
@@ -141,29 +212,30 @@ class StoreAndForwardPolicy {
     }
   }
 
-  /// Eject at the last stage: each terminal link (cell x, port d&1)
+  /// Eject at the last stage: each terminal link (cell x, port d % r)
   /// carries one packet per packet_length cycles, round-robin between the
-  /// two input slots.
+  /// r input slots.
   void eject(std::uint64_t cycle, bool measuring) {
     const int last = core_.stages() - 1;
     const std::uint32_t cells = core_.cells();
+    const unsigned r = radix();
     std::fill(queue_moved_.begin(), queue_moved_.end(), 0);
     for (std::uint32_t x = 0; x < cells; ++x) {
-      for (unsigned port = 0; port < 2; ++port) {
-        if (eject_busy_until_[2 * x + port] > cycle) continue;
-        RoundRobin& arb = core_.arbiter(last, 2 * x + port);
-        for (unsigned probe = 0; probe < 2; ++probe) {
+      for (unsigned port = 0; port < r; ++port) {
+        if (eject_busy_until_[x * r + port] > cycle) continue;
+        RoundRobin& arb = core_.arbiter(last, x * r + port);
+        for (unsigned probe = 0; probe < r; ++probe) {
           const unsigned slot = arb.candidate(probe);
-          const std::size_t q = queue_index(last, 2 * x + slot);
+          const std::size_t q = queue_index(last, x * r + slot);
           if (queues_.empty(q)) continue;
           if (queues_.front_arrival(q) > cycle) continue;
-          if ((queues_.front_dest(q) & 1U) != port) continue;
+          if ((queues_.front_dest(q) % r) != port) continue;
           const std::uint32_t dest = queues_.front_dest(q);
           const std::uint64_t inject_cycle = queues_.front_inject(q);
           queues_.pop(q);
-          eject_busy_until_[2 * x + port] = cycle + length_;
+          eject_busy_until_[x * r + port] = cycle + length_;
           arb.grant(slot);
-          queue_moved_[2 * x + slot] = 1;
+          queue_moved_[x * r + slot] = 1;
           if (measuring && inject_cycle >= core_.config().warmup_cycles) {
             core_.result.flits_delivered += length_;
             core_.record_packet_delivered(
@@ -171,7 +243,7 @@ class StoreAndForwardPolicy {
             if constexpr (kFaulted) {
               // A detoured packet ejects at whatever terminal the
               // surviving route reached; count the miss.
-              if ((dest >> 1) != x) ++core_.result.packets_misdelivered;
+              if ((dest / r) != x) ++core_.result.packets_misdelivered;
             }
           }
           break;
@@ -181,52 +253,94 @@ class StoreAndForwardPolicy {
     if (measuring) account_blocking(last, cycle);
   }
 
-  /// Advance one switch stage: round-robin between the two input slots
+  /// Advance one switch stage: round-robin between the r input slots
   /// per output port, honoring link serialization and downstream FIFO
-  /// capacity.
+  /// capacity. The routing-schedule reads (and, faulted, the mask
+  /// probes) are hoisted to per-stage registers: signed/unsigned TBAA
+  /// cannot prove the queue stores below don't alias the Engine's
+  /// schedule fields, so an Engine::route_port call in the probe loop
+  /// would reload them per probe.
   void advance_stage(int s, std::uint64_t cycle, bool measuring) {
     const std::uint32_t cells = core_.cells();
+    const unsigned r = radix();
     const auto down = core_.wiring().down_stage(s);
     const std::size_t link_base =
         static_cast<std::size_t>(s) * core_.ports();
-    if constexpr (kFaulted) drain_dead_switches(s, cycle, measuring);
+    // Per-stage routing constants (interior stages only — the last
+    // stage ejects, in eject()).
+    unsigned bit_shift = 0;
+    unsigned bit_invert = 0;
+    std::uint32_t digit_scale = 1;
+    const std::uint32_t* port_of_value = nullptr;
+    if constexpr (kBinary) {
+      bit_shift = static_cast<unsigned>(
+          core_.engine().schedule().bit[static_cast<std::size_t>(s)]);
+      bit_invert =
+          core_.engine().schedule().invert[static_cast<std::size_t>(s)];
+    } else {
+      digit_scale = core_.engine().route_digit_scale(s);
+      port_of_value = core_.engine()
+                          .digit_schedule()
+                          .port_of_value[static_cast<std::size_t>(s)]
+                          .data();
+    }
+    // Faulted: arc bit index = stage base + the record's array offset
+    // (FaultMask::arc_index's layout), computed with the policy's folded
+    // radix so binary instantiations keep shift indexing.
+    [[maybe_unused]] std::size_t arc_base = 0;
+    [[maybe_unused]] const fault::FaultMask* mask = nullptr;
+    if constexpr (kFaulted) {
+      drain_dead_switches(s, cycle, measuring);
+      arc_base = static_cast<std::size_t>(s) * core_.ports();
+      mask = &faulted_.mask();
+    }
     std::fill(queue_moved_.begin(), queue_moved_.end(), 0);
     for (std::uint32_t x = 0; x < cells; ++x) {
-      for (unsigned port = 0; port < 2; ++port) {
+      for (unsigned port = 0; port < r; ++port) {
         if constexpr (kFaulted) {
-          if (!faulted_.arc_ok(s, x, port)) continue;  // dead link
+          if (mask->faulted_index(arc_base + x * r + port)) {
+            continue;  // dead link
+          }
         }
-        if (link_busy_until_[link_base + 2 * x + port] > cycle) {
+        if (link_busy_until_[link_base + x * r + port] > cycle) {
           continue;  // still serializing the previous packet
         }
-        RoundRobin& arb = core_.arbiter(s, 2 * x + port);
-        for (unsigned probe = 0; probe < 2; ++probe) {
+        RoundRobin& arb = core_.arbiter(s, x * r + port);
+        for (unsigned probe = 0; probe < r; ++probe) {
           const unsigned slot = arb.candidate(probe);
-          const std::size_t q = queue_index(s, 2 * x + slot);
+          const std::size_t q = queue_index(s, x * r + slot);
           if (queues_.empty(q)) continue;
           if (queues_.front_arrival(q) > cycle) continue;
           const std::uint32_t dest = queues_.front_dest(q);
-          const unsigned desired = core_.engine().route_port(s, dest);
+          unsigned desired;
+          if constexpr (kBinary) {
+            desired = (((dest >> 1) >> bit_shift) & 1U) ^ bit_invert;
+          } else {
+            desired = port_of_value[((dest / r) / digit_scale) % r];
+          }
           if constexpr (kFaulted) {
             // Degraded-mode adaptive routing: follow the schedule while
-            // its arc survives, detour through the sibling otherwise.
-            if (faulted_.usable_port(s, x, desired) !=
+            // its arc survives, detour through the next surviving port
+            // otherwise (the FaultedWiring::usable_port scan, with the
+            // folded radix).
+            if (usable_port(mask, arc_base + x * r, desired) !=
                 static_cast<int>(port)) {
               continue;
             }
           } else {
             if (desired != port) continue;
           }
-          // One packed read gives the child cell and its input slot.
-          const std::uint32_t record = down[2 * x + port];
-          const std::size_t target =
-              queue_index(s + 1, 2 * (record >> 1) + (record & 1U));
+          // One packed read gives the child cell and its input slot —
+          // and the record value r * child + slot IS the downstream
+          // port-slot index (the identity the packing was chosen for).
+          const std::uint32_t record = down[x * r + port];
+          const std::size_t target = queue_index(s + 1, record);
           if (queues_.full(target)) continue;
           const std::uint64_t inject_cycle = queues_.front_inject(q);
           queues_.push(target, dest, inject_cycle, cycle + length_);
           queues_.pop(q);
-          queue_moved_[2 * x + slot] = 1;
-          link_busy_until_[link_base + 2 * x + port] = cycle + length_;
+          queue_moved_[x * r + slot] = 1;
+          link_busy_until_[link_base + x * r + port] = cycle + length_;
           arb.grant(slot);
           if constexpr (kFaulted) {
             if (port != desired && measuring &&
@@ -241,8 +355,8 @@ class StoreAndForwardPolicy {
     if (measuring) account_blocking(s, cycle);
   }
 
-  /// Inject at the first stage: terminal t feeds slot t&1 of cell t>>1.
-  /// A bursty-OFF terminal makes no attempt at all.
+  /// Inject at the first stage: terminal t feeds slot t % r of cell
+  /// t / r. A bursty-OFF terminal makes no attempt at all.
   void inject(std::uint64_t cycle, bool measuring) {
     for (std::uint64_t t = 0; t < core_.terminals(); ++t) {
       if (!core_.terminal_active(t)) continue;
@@ -279,17 +393,50 @@ class StoreAndForwardPolicy {
   }
 
  private:
+  /// The radix, folded to the literal 2 in the binary instantiations so
+  /// / and % compile to the historic shift/mask code.
+  [[nodiscard]] unsigned radix() const noexcept {
+    if constexpr (kBinary) {
+      return 2U;
+    } else {
+      return radix_;
+    }
+  }
+
   [[nodiscard]] std::size_t queue_index(int s, std::size_t i) const {
     return static_cast<std::size_t>(s) * core_.ports() + i;
   }
 
+  /// fault::FaultedWiring::usable_port with the policy's folded radix:
+  /// \p arc_row is the mask bit index of the switch's port-0 out-arc
+  /// (FaultMask::arc_index layout). Returns the scheduled port while its
+  /// arc survives, else the next surviving port, else -1.
+  [[nodiscard]] int usable_port(const fault::FaultMask* mask,
+                                std::size_t arc_row,
+                                unsigned desired) const {
+    if (!mask->faulted_index(arc_row + desired)) {
+      return static_cast<int>(desired);
+    }
+    const unsigned r = radix();
+    unsigned port = desired;
+    for (unsigned step = 1; step < r; ++step) {
+      ++port;
+      if (port >= r) port -= r;
+      if (!mask->faulted_index(arc_row + port)) {
+        return static_cast<int>(port);
+      }
+    }
+    return -1;
+  }
+
   /// Discard every fully-arrived packet queued at a dead switch of stage
-  /// \p s (both out-arcs masked: no degraded route exists). Flits still
+  /// \p s (all out-arcs masked: no degraded route exists). Flits still
   /// serializing in stay buffered until their arrival completes.
   void drain_dead_switches(int s, std::uint64_t cycle, bool measuring) {
+    const unsigned r = radix();
     for (const std::uint32_t x : dead_cells_[static_cast<std::size_t>(s)]) {
-      for (unsigned slot = 0; slot < 2; ++slot) {
-        const std::size_t q = queue_index(s, 2 * x + slot);
+      for (unsigned slot = 0; slot < r; ++slot) {
+        const std::size_t q = queue_index(s, x * r + slot);
         while (!queues_.empty(q) && queues_.front_arrival(q) <= cycle) {
           const std::uint64_t inject_cycle = queues_.front_inject(q);
           queues_.pop(q);
@@ -314,6 +461,7 @@ class StoreAndForwardPolicy {
   }
 
   FabricCore& core_;
+  unsigned radix_;
   std::uint64_t length_;
   PacketRing& queues_;
   std::vector<std::uint64_t> link_busy_until_;
@@ -325,6 +473,20 @@ class StoreAndForwardPolicy {
   fault::FaultedWiring faulted_;                     // kFaulted only
   std::vector<std::vector<std::uint32_t>> dead_cells_;  // kFaulted only
 };
+
+/// Out of line on purpose: inlining all four instantiations into
+/// Engine::run lets the compiler cross-jump the twin hot loops into
+/// shared blocks, costing the binary instantiation measurable time.
+template <bool kFaulted, bool kBinary>
+#if defined(__GNUC__)
+[[gnu::noinline]]
+#endif
+SimResult
+run_saf(FabricCore& core, SimWorkspace& workspace,
+        const fault::FaultMask* mask) {
+  StoreAndForwardPolicy<kFaulted, kBinary> policy(core, workspace, mask);
+  return run_switched(core, policy);
+}
 
 }  // namespace
 
@@ -346,13 +508,15 @@ SimResult Engine::run(Pattern pattern, const SimConfig& config,
   }
   SimWorkspace local;
   SimWorkspace& ws = workspace != nullptr ? *workspace : local;
-  FabricCore core(*this, pattern, config, /*arbiter_candidates=*/2);
+  FabricCore core(*this, pattern, config,
+                  /*arbiter_candidates=*/static_cast<unsigned>(radix()));
+  const bool binary = wiring_.radix() == 2;
   if (faulted) {
-    StoreAndForwardPolicy<true> policy(core, ws, mask);
-    return run_switched(core, policy);
+    return binary ? run_saf<true, true>(core, ws, mask)
+                  : run_saf<true, false>(core, ws, mask);
   }
-  StoreAndForwardPolicy<false> policy(core, ws, nullptr);
-  return run_switched(core, policy);
+  return binary ? run_saf<false, true>(core, ws, nullptr)
+                : run_saf<false, false>(core, ws, nullptr);
 }
 
 }  // namespace mineq::sim

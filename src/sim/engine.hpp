@@ -1,14 +1,16 @@
 /// \file engine.hpp
 /// \brief Cycle-level simulation over an MI-digraph, in two switching
-/// disciplines.
+/// disciplines, at any switch radix.
 ///
 /// The paper's networks are communication fabrics for parallel machines;
 /// this engine exercises the constructed topologies end-to-end. Model:
-/// input-buffered 2x2 switches, one flit per link per cycle,
-/// destination-bit routing (min/routing.hpp schedules), round-robin
-/// arbitration on output-port conflicts, Bernoulli injection per terminal
-/// (optionally modulated by the two-state bursty on/off process).
-/// Everything is deterministic given the seed.
+/// input-buffered r x r switches, one flit per link per cycle,
+/// destination-digit routing (bit schedules for r = 2 via
+/// min/routing.hpp, base-r digit schedules via min::find_digit_schedule
+/// otherwise), round-robin arbitration on output-port conflicts,
+/// Bernoulli injection per terminal (optionally modulated by the
+/// two-state bursty on/off process). Everything is deterministic given
+/// the seed.
 ///
 /// Both switching disciplines are policies over one shared substrate
 /// (FabricCore, fabric.hpp): the stage-packed min::FlatWiring IR, the
@@ -20,15 +22,22 @@
 ///  - wormhole: packets are decomposed into head/body/tail flits that
 ///    pipeline across stages through multi-lane (virtual-channel) input
 ///    buffers (wormhole.cpp, flit.hpp).
+///
+/// Each policy is additionally instantiated per "is the radix 2" so the
+/// historic binary hot loops keep their shift/mask code generation (and
+/// stay byte- and speed-identical to the pre-k-ary engine) while the
+/// general instantiation divides by the runtime radix.
 
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "fault/fault_mask.hpp"
 #include "min/flat_wiring.hpp"
+#include "min/kary.hpp"
 #include "min/mi_digraph.hpp"
 #include "min/routing.hpp"
 #include "sim/stats.hpp"
@@ -118,7 +127,7 @@ struct SimResult {
   /// Packets discarded at a switch whose surviving out-arcs are all
   /// masked (no degraded route exists).
   std::uint64_t packets_dropped_faulted = 0;
-  /// Sibling-port detours taken because the scheduled out-arc was
+  /// Surviving-port detours taken because the scheduled out-arc was
   /// masked (one count per detour event, so a packet detoured twice
   /// counts twice).
   std::uint64_t packets_rerouted = 0;
@@ -158,10 +167,19 @@ class Engine {
   /// \throws std::invalid_argument if the network has no bit schedule.
   explicit Engine(min::MIDigraph network);
 
+  /// A radix-r engine over a KaryMIDigraph: flattens through
+  /// min::FlatWiring::from_kary and routes by the recovered
+  /// destination-digit schedule. A radix-2 KaryMIDigraph takes the
+  /// binary path (tables converted, bit schedule derived) so its runs
+  /// are byte-identical to the MIDigraph constructor's.
+  /// \throws std::invalid_argument if the network is invalid or has no
+  /// digit schedule.
+  explicit Engine(const min::KaryMIDigraph& network);
+
   /// Run one simulation with the given traffic and parameters, in the
   /// discipline selected by \p config.mode. With a non-null, non-empty
   /// \p mask the run is fault-degraded: masked arcs accept no payload,
-  /// packets reroute through surviving sibling ports and drop at dead
+  /// packets reroute through the next surviving port and drop at dead
   /// switches (see fault/fault_mask.hpp). A null or all-clear mask takes
   /// the unmasked fast path — the byte-identical policy instantiation the
   /// two-argument form always ran. \p workspace, when given, supplies
@@ -173,29 +191,76 @@ class Engine {
                               const fault::FaultMask* mask = nullptr,
                               SimWorkspace* workspace = nullptr) const;
 
-  [[nodiscard]] const min::MIDigraph& network() const noexcept {
-    return network_;
-  }
+  /// The binary MI-digraph this engine was built from. Only present on
+  /// radix-2 engines; a radix > 2 engine has no table representation.
+  /// \throws std::logic_error on a radix > 2 engine.
+  [[nodiscard]] const min::MIDigraph& network() const;
+
+  /// The binary destination-bit schedule (radix-2 engines; empty on
+  /// radix > 2 engines, which route by digit_schedule()).
   [[nodiscard]] const min::BitSchedule& schedule() const noexcept {
     return schedule_;
+  }
+  /// The destination-digit schedule (radix > 2 engines; empty otherwise).
+  [[nodiscard]] const min::DigitSchedule& digit_schedule() const noexcept {
+    return digit_schedule_;
+  }
+  /// radix^digit_schedule().digit[stage] — the divisor that extracts the
+  /// scheduled digit (radix > 2 engines; the policies hoist it per
+  /// stage).
+  [[nodiscard]] std::uint32_t route_digit_scale(int stage) const {
+    return digit_scale_[static_cast<std::size_t>(stage)];
   }
   /// The flat wiring IR both disciplines route over.
   [[nodiscard]] const min::FlatWiring& wiring() const noexcept {
     return wiring_;
   }
-  [[nodiscard]] int terminals_log2() const noexcept {
-    return network_.stages();
+  /// Switch degree r: ports and input slots per cell, and the terminal
+  /// fan per first/last-stage cell.
+  [[nodiscard]] int radix() const noexcept { return wiring_.radix(); }
+  /// Terminals: radix * cells_per_stage (= radix^stages).
+  [[nodiscard]] std::uint64_t terminals() const noexcept {
+    return static_cast<std::uint64_t>(wiring_.radix()) *
+           wiring_.cells_per_stage();
+  }
+  /// Address digits (base radix) of a terminal label: the stage count
+  /// (the accessor formerly named terminals_log2, which stopped being
+  /// log2(terminals) the moment radices other than 2 existed).
+  [[nodiscard]] int address_digits() const noexcept {
+    return wiring_.stages();
   }
 
   /// The out-port a packet for \p dest_terminal takes at \p stage: the
-  /// scheduled destination bit at inner stages, the terminal's low bit at
-  /// the last (ejection) stage.
+  /// scheduled destination bit/digit at inner stages, the terminal's low
+  /// digit at the last (ejection) stage. The radix-2 path is inline —
+  /// it sits in both policies' per-probe hot loops; digit routing and
+  /// the out-of-range throw live out of line (route_port_general).
+  /// \throws std::invalid_argument on an out-of-range stage.
   [[nodiscard]] unsigned route_port(int stage,
-                                    std::uint32_t dest_terminal) const;
+                                    std::uint32_t dest_terminal) const {
+    if (wiring_.radix() == 2 && stage >= 0 && stage < wiring_.stages())
+        [[likely]] {
+      if (stage + 1 == wiring_.stages()) return dest_terminal & 1U;
+      const std::uint32_t dest_cell = dest_terminal >> 1;
+      return static_cast<unsigned>(
+                 (dest_cell >>
+                  schedule_.bit[static_cast<std::size_t>(stage)]) &
+                 1U) ^
+             schedule_.invert[static_cast<std::size_t>(stage)];
+    }
+    return route_port_general(stage, dest_terminal);
+  }
 
  private:
-  min::MIDigraph network_;
-  min::BitSchedule schedule_;
+  /// Digit routing (radix > 2) and the out-of-range throw.
+  [[nodiscard]] unsigned route_port_general(int stage,
+                                            std::uint32_t dest_terminal) const;
+  std::optional<min::MIDigraph> network_;  ///< radix-2 engines only
+  min::BitSchedule schedule_;              ///< radix-2 engines only
+  min::DigitSchedule digit_schedule_;      ///< radix > 2 engines only
+  /// radix^digit_schedule_.digit[s] per stage, so route_port reads the
+  /// scheduled digit with one division.
+  std::vector<std::uint32_t> digit_scale_;
   min::FlatWiring wiring_;
 };
 

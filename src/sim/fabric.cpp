@@ -142,14 +142,16 @@ FabricCore::FabricCore(const Engine& engine, Pattern pattern,
                        const SimConfig& config, unsigned arbiter_candidates)
     : engine_(engine),
       config_(config),
-      stages_(engine.network().stages()),
-      cells_(engine.network().cells_per_stage()),
-      terminals_(std::uint64_t{2} * engine.network().cells_per_stage()),
-      ports_(std::size_t{2} * engine.network().cells_per_stage()),
+      stages_(engine.wiring().stages()),
+      cells_(engine.wiring().cells_per_stage()),
+      terminals_(engine.terminals()),
+      ports_(static_cast<std::size_t>(engine.wiring().radix()) *
+             engine.wiring().cells_per_stage()),
       // RNG stream layout (fixed across both disciplines so a discipline
       // is a pure policy choice): split 0 feeds the traffic source,
       // split 1 the injection gate, split 2 the bursty modulator.
-      source_(pattern, stages_, util::SplitMix64(config.seed).split(0)),
+      source_(pattern, stages_, engine.radix(),
+              util::SplitMix64(config.seed).split(0)),
       inject_rng_(util::SplitMix64(config.seed).split(1)),
       rate_num_(static_cast<std::uint64_t>(config.injection_rate * 65536.0)),
       arbiters_(static_cast<std::size_t>(stages_) * ports_,

@@ -241,8 +241,8 @@ class SimWorkspace {
 class FabricCore {
  public:
   /// \p arbiter_candidates is the candidate-ring size of every
-  /// output-port arbiter (2 input slots for store-and-forward,
-  /// 2 * lanes for wormhole). \p config must already be validated.
+  /// output-port arbiter (radix input slots for store-and-forward,
+  /// radix * lanes for wormhole). \p config must already be validated.
   FabricCore(const Engine& engine, Pattern pattern, const SimConfig& config,
              unsigned arbiter_candidates);
 
@@ -257,7 +257,8 @@ class FabricCore {
   [[nodiscard]] std::uint64_t terminals() const noexcept {
     return terminals_;
   }
-  /// Input ports (= input slots = terminal links) per stage: 2 * cells.
+  /// Input ports (= input slots = terminal links) per stage:
+  /// radix * cells.
   [[nodiscard]] std::size_t ports() const noexcept { return ports_; }
   [[nodiscard]] std::uint64_t total_cycles() const noexcept {
     return config_.warmup_cycles + config_.measure_cycles;

@@ -75,6 +75,52 @@ std::uint32_t transform(Pattern p, std::uint32_t src, int n) {
   throw std::invalid_argument("transform: unknown pattern");
 }
 
+/// The digit-wise generalization of transform() to base-r addresses of
+/// \p n digits. At r = 2 it agrees with transform() value for value (the
+/// binary TrafficSource path keeps the bit implementation).
+std::uint32_t transform_kary(Pattern p, std::uint32_t src, int n, int radix) {
+  const auto r = static_cast<std::uint32_t>(radix);
+  switch (p) {
+    case Pattern::kBitReversal: {
+      // Digit reversal.
+      std::uint32_t value = src;
+      std::uint32_t out = 0;
+      for (int i = 0; i < n; ++i) {
+        out = out * r + value % r;
+        value /= r;
+      }
+      return out;
+    }
+    case Pattern::kShuffle: {
+      // Rotate-left one digit: the top digit becomes the low digit.
+      std::uint32_t top_scale = 1;
+      for (int i = 0; i + 1 < n; ++i) top_scale *= r;
+      return (src % top_scale) * r + src / top_scale;
+    }
+    case Pattern::kTranspose: {
+      if (n % 2 != 0) {
+        throw std::invalid_argument("transpose traffic needs even n");
+      }
+      std::uint32_t half_scale = 1;
+      for (int i = 0; i < n / 2; ++i) half_scale *= r;
+      return (src % half_scale) * half_scale + src / half_scale;
+    }
+    case Pattern::kComplement: {
+      // Digit-wise (r-1)-complement: every digit is at most r - 1, so
+      // (r^n - 1) - src complements each digit without borrows.
+      std::uint32_t all = 1;
+      for (int i = 0; i < n; ++i) all *= r;
+      return (all - 1) - src;
+    }
+    case Pattern::kUniform:
+    case Pattern::kHotSpot:
+    case Pattern::kBursty:
+      throw std::invalid_argument(
+          "transform_kary: pattern is not deterministic");
+  }
+  throw std::invalid_argument("transform_kary: unknown pattern");
+}
+
 }  // namespace
 
 perm::Permutation pattern_permutation(Pattern p, int n) {
@@ -92,12 +138,26 @@ perm::Permutation pattern_permutation(Pattern p, int n) {
 }
 
 TrafficSource::TrafficSource(Pattern pattern, int n, util::SplitMix64 rng)
-    : pattern_(pattern), n_(n), rng_(rng) {
+    : TrafficSource(pattern, n, /*radix=*/2, rng) {}
+
+TrafficSource::TrafficSource(Pattern pattern, int n, int radix,
+                             util::SplitMix64 rng)
+    : pattern_(pattern), n_(n), radix_(radix), terminals_(1), rng_(rng) {
   if (n < 1 || n > util::kMaxBits) {
-    throw std::invalid_argument("TrafficSource: address bits out of range");
+    throw std::invalid_argument("TrafficSource: address digits out of range");
+  }
+  if (radix < 2) {
+    throw std::invalid_argument("TrafficSource: radix must be >= 2");
   }
   if (pattern == Pattern::kTranspose && n % 2 != 0) {
     throw std::invalid_argument("TrafficSource: transpose needs even n");
+  }
+  for (int i = 0; i < n; ++i) {
+    terminals_ *= static_cast<std::uint64_t>(radix);
+    if (terminals_ > (std::uint64_t{1} << 32)) {
+      throw std::invalid_argument(
+          "TrafficSource: radix^n exceeds the 32-bit terminal space");
+    }
   }
 }
 
@@ -143,17 +203,19 @@ void BurstModulator::advance() {
 }
 
 std::uint32_t TrafficSource::destination(std::uint32_t source) {
-  const std::uint64_t terminals = std::uint64_t{1} << n_;
   switch (pattern_) {
     case Pattern::kUniform:
     case Pattern::kBursty:  // bursty shapes *when* to inject, not where
-      return static_cast<std::uint32_t>(rng_.below(terminals));
+      return static_cast<std::uint32_t>(rng_.below(terminals_));
     case Pattern::kHotSpot:
       // 25% of packets to terminal 0, the rest uniform.
       if (rng_.chance(1, 4)) return 0;
-      return static_cast<std::uint32_t>(rng_.below(terminals));
+      return static_cast<std::uint32_t>(rng_.below(terminals_));
     default:
-      return transform(pattern_, source, n_);
+      // The binary path keeps the historic bit implementation; the
+      // digit-wise generalization agrees with it at r = 2.
+      return radix_ == 2 ? transform(pattern_, source, n_)
+                         : transform_kary(pattern_, source, n_, radix_);
   }
 }
 

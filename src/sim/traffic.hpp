@@ -1,10 +1,16 @@
 /// \file traffic.hpp
-/// \brief Traffic patterns over the 2^n terminals of an n-stage MIN.
+/// \brief Traffic patterns over the r^n terminals of an n-stage radix-r
+/// MIN.
 ///
 /// The standard synthetic workloads of the interconnection-network
-/// literature, expressed on n-bit terminal addresses. Terminal t attaches
-/// to first-stage cell t >> 1; destination terminal d detaches from
-/// last-stage cell d >> 1 through port d & 1.
+/// literature, expressed on n-digit base-r terminal addresses (n bits at
+/// the historic radix 2). Terminal t attaches to first-stage cell t / r;
+/// destination terminal d detaches from last-stage cell d / r through
+/// port d % r. The deterministic address transforms generalize
+/// digit-wise: bit reversal becomes digit reversal, shuffle a digit
+/// rotation, complement the digit-wise (r-1)-complement; at r = 2 every
+/// transform (and every RNG draw) is bit-for-bit the historic binary
+/// behavior.
 
 #pragma once
 
@@ -97,17 +103,26 @@ class BurstModulator {
 /// terminal 0 and the rest uniformly.
 class TrafficSource {
  public:
+  /// The historic binary form: n-bit addresses (radix 2).
   TrafficSource(Pattern pattern, int n, util::SplitMix64 rng);
+
+  /// General form: \p n base-\p radix address digits (r^n terminals).
+  /// \throws std::invalid_argument on an out-of-range shape or an odd
+  /// digit count with kTranspose.
+  TrafficSource(Pattern pattern, int n, int radix, util::SplitMix64 rng);
 
   /// Destination terminal for a packet injected at \p source.
   [[nodiscard]] std::uint32_t destination(std::uint32_t source);
 
   [[nodiscard]] Pattern pattern() const noexcept { return pattern_; }
   [[nodiscard]] int address_bits() const noexcept { return n_; }
+  [[nodiscard]] int radix() const noexcept { return radix_; }
 
  private:
   Pattern pattern_;
   int n_;
+  int radix_;
+  std::uint64_t terminals_;
   util::SplitMix64 rng_;
 };
 

@@ -20,11 +20,15 @@ namespace {
 /// is the byte-identical unmasked fast path; the true instantiation
 /// resolves every worm's out-port through the fault::FaultedWiring view
 /// when its head is accepted — following the schedule while its arc
-/// survives, detouring through the surviving sibling otherwise, and
+/// survives, detouring through the next surviving port otherwise, and
 /// marking the lane *dropping* when the switch is dead so the worm (and
 /// every flit still following its reservation) drains into the
 /// dropped-at-fault counters instead of wedging the buffer.
-template <bool kFaulted>
+///
+/// \tparam kBinary compile-time radix-2 switch: radix() folds to the
+/// literal 2 so the binary instantiations keep the historic shift/mask
+/// code generation (see StoreAndForwardPolicy in engine.cpp).
+template <bool kFaulted, bool kBinary>
 class WormholePolicy {
  public:
   WormholePolicy(FabricCore& core, const EjectObserver& observer,
@@ -32,6 +36,7 @@ class WormholePolicy {
                  [[maybe_unused]] const fault::FaultMask* mask)
       : core_(core),
         observer_(observer),
+        radix_(static_cast<unsigned>(core.wiring().radix())),
         lanes_(core.config().lanes),
         length_(core.config().packet_length),
         pool_(workspace.lane_pool(
@@ -50,18 +55,19 @@ class WormholePolicy {
   }
 
   /// Eject at the last stage: one flit per terminal port per cycle,
-  /// round-robin over the 2*lanes candidate lanes. Ejection links are
+  /// round-robin over the radix*lanes candidate lanes. Ejection links are
   /// terminal attachments, not wiring arcs, so they cannot fault.
   void eject(std::uint64_t cycle, bool measuring) {
     const int last = core_.stages() - 1;
     const std::uint32_t cells = core_.cells();
+    const unsigned r = radix();
     for (std::uint32_t x = 0; x < cells; ++x) {
-      for (unsigned port = 0; port < 2; ++port) {
-        RoundRobin& arb = core_.arbiter(last, 2 * x + port);
+      for (unsigned port = 0; port < r; ++port) {
+        RoundRobin& arb = core_.arbiter(last, x * r + port);
         for (unsigned probe = 0; probe < arb.size(); ++probe) {
           const unsigned c = arb.candidate(probe);
           const std::size_t l =
-              lane_index(last, 2 * x + c / lanes_, c % lanes_);
+              lane_index(last, x * r + c / lanes_, c % lanes_);
           if (pool_.empty(l) || pool_.out_port(l) != port) continue;
           const Flit flit = pool_.pop(l);
           arb.grant(c);
@@ -75,7 +81,7 @@ class WormholePolicy {
               if constexpr (kFaulted) {
                 // A detoured worm ejects at whatever terminal the
                 // surviving route reached; count the miss.
-                if ((flit.dest_terminal >> 1) != x) {
+                if ((flit.dest_terminal / r) != x) {
                   ++core_.result.packets_misdelivered;
                 }
               }
@@ -90,28 +96,71 @@ class WormholePolicy {
 
   /// Advance one switch stage: one flit per output link per cycle; heads
   /// claim an idle downstream lane, body/tail flits follow the
-  /// reservation.
+  /// reservation. The next stage's routing-schedule reads (and, faulted,
+  /// the mask probes) are hoisted to per-stage registers — see
+  /// StoreAndForwardPolicy::advance_stage for the aliasing rationale.
   void advance_stage(int s, [[maybe_unused]] std::uint64_t cycle,
                      bool measuring) {
     const std::uint32_t cells = core_.cells();
+    const unsigned r = radix();
     const auto down = core_.wiring().down_stage(s);
-    if constexpr (kFaulted) drain_dropping(s, measuring);
+    // Routing constants for the target stage s + 1, where an advancing
+    // head resolves its next out-port (ejection port when s + 1 is the
+    // last stage).
+    const bool target_ejects = s + 2 == core_.stages();
+    unsigned bit_shift = 0;
+    unsigned bit_invert = 0;
+    std::uint32_t digit_scale = 1;
+    const std::uint32_t* port_of_value = nullptr;
+    if (!target_ejects) {
+      if constexpr (kBinary) {
+        bit_shift = static_cast<unsigned>(
+            core_.engine().schedule().bit[static_cast<std::size_t>(s + 1)]);
+        bit_invert = core_.engine()
+                         .schedule()
+                         .invert[static_cast<std::size_t>(s + 1)];
+      } else {
+        digit_scale = core_.engine().route_digit_scale(s + 1);
+        port_of_value = core_.engine()
+                            .digit_schedule()
+                            .port_of_value[static_cast<std::size_t>(s + 1)]
+                            .data();
+      }
+    }
+    const auto route_next = [&](std::uint32_t dest) -> unsigned {
+      if (target_ejects) return dest % r;
+      if constexpr (kBinary) {
+        return (((dest >> 1) >> bit_shift) & 1U) ^ bit_invert;
+      } else {
+        return port_of_value[((dest / r) / digit_scale) % r];
+      }
+    };
+    // Faulted: arc bit index = stage base + the record's array offset
+    // (FaultMask::arc_index's layout), with the policy's folded radix.
+    [[maybe_unused]] std::size_t arc_base = 0;
+    [[maybe_unused]] const fault::FaultMask* mask = nullptr;
+    if constexpr (kFaulted) {
+      drain_dropping(s, measuring);
+      arc_base = static_cast<std::size_t>(s) * core_.ports();
+      mask = &faulted_.mask();
+    }
     for (std::uint32_t x = 0; x < cells; ++x) {
-      for (unsigned port = 0; port < 2; ++port) {
+      for (unsigned port = 0; port < r; ++port) {
         if constexpr (kFaulted) {
           // A dead link transmits nothing (no worm ever resolves its
           // out-port onto a masked arc, so this is just a fast skip).
-          if (!faulted_.arc_ok(s, x, port)) continue;
+          if (mask->faulted_index(arc_base + x * r + port)) continue;
         }
-        RoundRobin& arb = core_.arbiter(s, 2 * x + port);
+        RoundRobin& arb = core_.arbiter(s, x * r + port);
         for (unsigned probe = 0; probe < arb.size(); ++probe) {
           const unsigned c = arb.candidate(probe);
-          const std::size_t l = lane_index(s, 2 * x + c / lanes_, c % lanes_);
+          const std::size_t l = lane_index(s, x * r + c / lanes_, c % lanes_);
           if (pool_.empty(l) || pool_.out_port(l) != port) continue;
-          // One packed read gives the child cell and its input slot.
-          const std::uint32_t record = down[2 * x + port];
-          const std::size_t target_first =
-              lane_index(s + 1, 2 * (record >> 1) + (record & 1U), 0);
+          // One packed read gives the child cell and its input slot —
+          // the record value r * child + slot IS the downstream
+          // port-slot index.
+          const std::uint32_t record = down[x * r + port];
+          const std::size_t target_first = lane_index(s + 1, record, 0);
           if (pool_.front(l).is_head()) {
             // The head claims an idle downstream lane.
             const int down_lane = pool_.find_idle_lane(target_first, lanes_);
@@ -119,7 +168,8 @@ class WormholePolicy {
             const Flit flit = pool_.pop(l);
             if (!flit.is_tail()) pool_.set_downstream(l, down_lane);
             accept_head(target_first + static_cast<std::size_t>(down_lane),
-                        flit, s + 1, record >> 1, measuring);
+                        flit, s + 1, record / r,
+                        route_next(flit.dest_terminal), measuring);
           } else {
             // Body/tail flits follow through the reserved lane.
             const std::size_t down_l =
@@ -136,12 +186,13 @@ class WormholePolicy {
     account_stage(s, measuring);
   }
 
-  /// Inject at the first stage: terminal t feeds slot t&1 of cell t>>1,
-  /// at most one flit per cycle. A terminal mid-packet keeps serializing
-  /// into the claimed lane; an idle terminal draws the Bernoulli gate
-  /// (bursty-OFF terminals skip the attempt) and its head needs an idle
-  /// lane or the packet is refused at the source.
+  /// Inject at the first stage: terminal t feeds slot t % r of cell
+  /// t / r, at most one flit per cycle. A terminal mid-packet keeps
+  /// serializing into the claimed lane; an idle terminal draws the
+  /// Bernoulli gate (bursty-OFF terminals skip the attempt) and its head
+  /// needs an idle lane or the packet is refused at the source.
   void inject(std::uint64_t cycle, bool measuring) {
+    const unsigned r = radix();
     for (std::uint64_t t = 0; t < core_.terminals(); ++t) {
       SourceState& src = sources_[t];
       if (src.remaining > 0) {
@@ -166,7 +217,8 @@ class WormholePolicy {
       const std::uint32_t id = next_packet_id_++;
       accept_head(lane_index(0, t, static_cast<std::size_t>(lane)),
                   make_flit(id, dest, cycle, 0, length_), 0,
-                  static_cast<std::uint32_t>(t >> 1), measuring);
+                  static_cast<std::uint32_t>(t / r),
+                  core_.engine().route_port(0, dest), measuring);
       src.dest = dest;
       src.id = id;
       src.inject_cycle = cycle;
@@ -204,6 +256,15 @@ class WormholePolicy {
     int lane = -1;
   };
 
+  /// The radix, folded to the literal 2 in the binary instantiations.
+  [[nodiscard]] unsigned radix() const noexcept {
+    if constexpr (kBinary) {
+      return 2U;
+    } else {
+      return radix_;
+    }
+  }
+
   [[nodiscard]] std::size_t lane_index(int s, std::size_t port_index,
                                        std::size_t lane) const {
     return (static_cast<std::size_t>(s) * core_.ports() + port_index) *
@@ -211,16 +272,16 @@ class WormholePolicy {
            lane;
   }
 
-  /// Accept \p head into lane \p l of cell \p y at stage \p s, resolving
-  /// its out-port. Unfaulted: the scheduled destination-bit port. Faulted
-  /// interior stages route through the FaultedWiring view — scheduled
-  /// port, surviving sibling (counted as a reroute), or a dead switch,
-  /// which puts the lane in dropping mode so the worm drains into the
-  /// fault counters. Last-stage out-ports are ejection ports and cannot
-  /// fault.
+  /// Accept \p head into lane \p l of cell \p y at stage \p s with the
+  /// caller-resolved scheduled out-port \p desired (callers hoist the
+  /// schedule reads per stage). Unfaulted: the port is taken as is.
+  /// Faulted interior stages route through the FaultedWiring view —
+  /// scheduled port, next surviving port (counted as a reroute), or a
+  /// dead switch, which puts the lane in dropping mode so the worm
+  /// drains into the fault counters. Last-stage out-ports are ejection
+  /// ports and cannot fault.
   void accept_head(std::size_t l, const Flit& head, int s, std::uint32_t y,
-                   [[maybe_unused]] bool measuring) {
-    const unsigned desired = core_.engine().route_port(s, head.dest_terminal);
+                   unsigned desired, [[maybe_unused]] bool measuring) {
     if constexpr (kFaulted) {
       if (s + 1 < core_.stages()) {
         const int port = faulted_.usable_port(s, y, desired);
@@ -278,6 +339,7 @@ class WormholePolicy {
 
   FabricCore& core_;
   const EjectObserver& observer_;
+  unsigned radix_;
   std::size_t lanes_;
   std::uint64_t length_;
   LanePool& pool_;
@@ -288,6 +350,18 @@ class WormholePolicy {
   fault::FaultedWiring faulted_;        // kFaulted only
   std::vector<std::uint8_t> dropping_;  // kFaulted only
 };
+
+/// Out of line on purpose — see run_saf in engine.cpp.
+template <bool kFaulted, bool kBinary>
+#if defined(__GNUC__)
+[[gnu::noinline]]
+#endif
+SimResult
+run_wormhole(FabricCore& core, const EjectObserver& observer,
+             SimWorkspace& workspace, const fault::FaultMask* mask) {
+  WormholePolicy<kFaulted, kBinary> policy(core, observer, workspace, mask);
+  return run_switched(core, policy);
+}
 
 }  // namespace
 
@@ -313,14 +387,17 @@ SimResult WormholeSimulator::run(Pattern pattern, const SimConfig& config,
   }
   SimWorkspace local;
   SimWorkspace& ws = workspace != nullptr ? *workspace : local;
-  FabricCore core(engine_, pattern, config,
-                  static_cast<unsigned>(2 * config.lanes));
+  FabricCore core(
+      engine_, pattern, config,
+      static_cast<unsigned>(static_cast<std::size_t>(engine_.radix()) *
+                            config.lanes));
+  const bool binary = engine_.radix() == 2;
   if (faulted) {
-    WormholePolicy<true> policy(core, observer, ws, mask);
-    return run_switched(core, policy);
+    return binary ? run_wormhole<true, true>(core, observer, ws, mask)
+                  : run_wormhole<true, false>(core, observer, ws, mask);
   }
-  WormholePolicy<false> policy(core, observer, ws, nullptr);
-  return run_switched(core, policy);
+  return binary ? run_wormhole<false, true>(core, observer, ws, nullptr)
+                : run_wormhole<false, false>(core, observer, ws, nullptr);
 }
 
 }  // namespace mineq::sim

@@ -528,5 +528,125 @@ TEST(BurstParamsTest, HigherDutyRaisesOfferedLoad) {
   EXPECT_GT(high.offered, low.offered * 2);
 }
 
+// ---------------------------------------------------------------------------
+// Radix-r faults: the surviving-port scan and partial-port switch faults
+// ---------------------------------------------------------------------------
+
+TEST(FaultedWiringTest, SurvivingPortScanPicksExactlyTheOldSiblingAtRadix2) {
+  // Regression pin for the `port ^ 1` -> "next surviving port" rewrite:
+  // at r = 2 the scan must reproduce the historic sibling semantics on
+  // every mask state, so the PR 4 goldens carry over unchanged.
+  SCOPED_TRACE(test::seed_trace());
+  auto rng = test::seeded_rng(83);
+  const FlatWiring w = omega_wiring(5);
+  FaultMask mask(w);
+  for (std::size_t arc = 0; arc < mask.total_arcs(); ++arc) {
+    if (rng.chance(1, 3)) mask.set_index(arc);
+  }
+  const fault::FaultedWiring view(w, mask);
+  for (int s = 0; s + 1 < w.stages(); ++s) {
+    for (std::uint32_t x = 0; x < w.cells_per_stage(); ++x) {
+      for (unsigned desired = 0; desired < 2; ++desired) {
+        // The pre-k-ary formula, verbatim.
+        int old_semantics = -1;
+        if (!mask.faulted(s, x, desired)) {
+          old_semantics = static_cast<int>(desired);
+        } else if (!mask.faulted(s, x, desired ^ 1U)) {
+          old_semantics = static_cast<int>(desired ^ 1U);
+        }
+        EXPECT_EQ(view.usable_port(s, x, desired), old_semantics)
+            << "s=" << s << " x=" << x << " desired=" << desired;
+      }
+    }
+  }
+}
+
+TEST(FaultedWiringTest, SurvivingPortScanWalksAllPortsAtRadix4) {
+  const FlatWiring w = FlatWiring::from_kary(min::kary_omega(3, 4));
+  FaultMask mask(w);
+  // Kill ports 1 and 2 of switch (0, 5): desired 1 detours to 3 (the
+  // next survivor past dead 2), desired 2 to 3, desired 0 stays.
+  mask.set(0, 5, 1);
+  mask.set(0, 5, 2);
+  const fault::FaultedWiring view(w, mask);
+  EXPECT_EQ(view.usable_port(0, 5, 0), 0);
+  EXPECT_EQ(view.usable_port(0, 5, 1), 3);
+  EXPECT_EQ(view.usable_port(0, 5, 2), 3);
+  EXPECT_EQ(view.usable_port(0, 5, 3), 3);
+  EXPECT_FALSE(view.dead_switch(0, 5));
+  // The scan wraps: with 2 and 3 dead, desired 2 reaches 0.
+  FaultMask wrap_mask(w);
+  wrap_mask.set(0, 5, 2);
+  wrap_mask.set(0, 5, 3);
+  const fault::FaultedWiring wrap_view(w, wrap_mask);
+  EXPECT_EQ(wrap_view.usable_port(0, 5, 2), 0);
+  // All four dead: the switch is dead and no port is usable.
+  FaultMask dead_mask(w);
+  for (unsigned port = 0; port < 4; ++port) dead_mask.set(0, 5, port);
+  const fault::FaultedWiring dead_view(w, dead_mask);
+  EXPECT_TRUE(dead_view.dead_switch(0, 5));
+  EXPECT_EQ(dead_view.usable_port(0, 5, 0), -1);
+}
+
+TEST(FaultMaskTest, MasksOfDifferentRadixDoNotMatch) {
+  const FlatWiring binary = omega_wiring(3);
+  const FlatWiring kary = FlatWiring::from_kary(min::kary_omega(2, 4));
+  // Same stage count; the radix must still separate the geometries.
+  ASSERT_EQ(binary.stages(), 3);
+  const FaultMask mask(binary);
+  EXPECT_TRUE(mask.matches(binary));
+  EXPECT_FALSE(mask.matches(FlatWiring::from_kary(min::kary_omega(3, 3))));
+  EXPECT_FALSE(FaultMask(kary).matches(binary));
+}
+
+TEST(FaultModelTest, PartialPortFaultsNeverKillASwitch) {
+  // The defining property of the model: a hit k x k switch loses
+  // j < k out-ports, so degraded routing always finds a survivor.
+  for (const int radix : {2, 3, 4}) {
+    const FlatWiring w =
+        radix == 2 ? omega_wiring(5)
+                   : FlatWiring::from_kary(min::kary_omega(3, radix));
+    const FaultMask mask = fault::build_fault_mask(
+        w, FaultSpec{FaultKind::kPartialPort, 0.5, 9});
+    EXPECT_GT(mask.faulted_count(), 0U) << "radix=" << radix;
+    const fault::FaultedWiring view(w, mask);
+    for (int s = 0; s + 1 < w.stages(); ++s) {
+      for (std::uint32_t x = 0; x < w.cells_per_stage(); ++x) {
+        EXPECT_FALSE(view.dead_switch(s, x)) << "radix=" << radix;
+        for (unsigned desired = 0; desired < static_cast<unsigned>(radix);
+             ++desired) {
+          EXPECT_GE(view.usable_port(s, x, desired), 0) << "radix=" << radix;
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultModelTest, PartialPortFaultsAreSeedDeterministicAndRateScaled) {
+  const FlatWiring w = FlatWiring::from_kary(min::kary_omega(3, 3));
+  const FaultSpec spec{FaultKind::kPartialPort, 0.4, 21};
+  EXPECT_EQ(fault::build_fault_mask(w, spec),
+            fault::build_fault_mask(w, spec));
+  FaultSpec other = spec;
+  other.seed = spec.seed + 1;
+  EXPECT_NE(fault::build_fault_mask(w, other),
+            fault::build_fault_mask(w, spec));
+  // Per hit switch at least one and at most radix - 1 arcs are masked.
+  const FaultMask mask = fault::build_fault_mask(w, spec);
+  std::size_t hit_switches = 0;
+  for (int s = 0; s + 1 < w.stages(); ++s) {
+    for (std::uint32_t x = 0; x < w.cells_per_stage(); ++x) {
+      unsigned masked = 0;
+      for (unsigned port = 0; port < 3; ++port) {
+        if (mask.faulted(s, x, port)) ++masked;
+      }
+      EXPECT_LT(masked, 3U);
+      if (masked > 0) ++hit_switches;
+    }
+  }
+  // round(0.4 * 18 forwarding switches) = 7.
+  EXPECT_EQ(hit_switches, 7U);
+}
+
 }  // namespace
 }  // namespace mineq

@@ -24,6 +24,8 @@ TEST(FlatWiringTest, MatchesDigraphChildrenAndSlots) {
   const MIDigraph g = build_network(NetworkKind::kOmega, 4);
   const FlatWiring w = FlatWiring::from_digraph(g);
   ASSERT_EQ(w.stages(), g.stages());
+  ASSERT_EQ(w.radix(), 2);  // MIDigraphs always flatten at radix 2
+  ASSERT_EQ(w.links_per_stage(), 2U * g.cells_per_stage());
   ASSERT_EQ(w.cells_per_stage(), g.cells_per_stage());
   for (int s = 0; s + 1 < g.stages(); ++s) {
     for (std::uint32_t x = 0; x < g.cells_per_stage(); ++x) {

@@ -1,6 +1,6 @@
 /// \file mineq_sweep.cpp
-/// \brief Experiment-sweep CLI: fan a {network x pattern x mode x lanes x
-/// faults x rate} grid across a thread pool and emit CSV/JSON.
+/// \brief Experiment-sweep CLI: fan a {network x radix x pattern x mode x
+/// lanes x faults x rate} grid across a thread pool and emit CSV/JSON.
 ///
 /// Example (the saturation study from the README):
 ///   mineq_sweep --networks omega,baseline --patterns uniform,bitrev,hotspot
@@ -10,6 +10,11 @@
 /// degraded-mode routing and survivor-topology columns in the output):
 ///   mineq_sweep --networks omega --fault-kinds links,switches
 ///     --fault-rates 0.01:0.10:0.01 --fault-seeds 1,2,3 --rates 0.6
+///
+/// k-ary sweep (radix-r switches; omega/flip/baseline have closed-form
+/// constructions at radix > 2, incl. partial-port switch faults):
+///   mineq_sweep --networks omega,baseline --radix 2,4 --stages 4
+///     --fault-kinds none,partial --fault-rates 0.1 --rates 0.3,0.6
 ///
 /// Output is byte-identical for any --threads value: every grid point
 /// derives its RNG stream from (seed, grid index), not from scheduling.
@@ -38,6 +43,8 @@ Usage: mineq_sweep [options]
 
 Grid axes (comma-separated lists):
   --networks LIST   omega,flip,cube,mdm,baseline,revbaseline  [omega,baseline]
+  --radix LIST      switch radix r (r x r cells, r^N terminals);
+                    radix > 2 needs omega/flip/baseline         [2]
   --patterns LIST   uniform,bitrev,shuffle,transpose,complement,hotspot,
                     bursty (two-state Markov on/off sources)    [uniform]
   --mode LIST       saf,wormhole                               [saf]
@@ -45,8 +52,8 @@ Grid axes (comma-separated lists):
                     only — saf points collapse this axis)      [1]
   --rates SPEC      comma list (0.2,0.5,1.0) or range start:stop:step
                     (0.1:1.0:0.1)                              [0.1:1.0:0.1]
-  --fault-kinds LIST  none,links,switches,burst ("none" collapses
-                    to a single pristine variant)              [none]
+  --fault-kinds LIST  none,links,switches,burst,partial ("none"
+                    collapses to a single pristine variant)    [none]
   --fault-rates SPEC  fraction of arcs/switches faulted (comma
                     list or range, like --rates)               [0.05]
   --fault-seeds LIST  fault-placement seeds                    [1]
@@ -55,7 +62,7 @@ Grid axes (comma-separated lists):
   --burst-off-on LIST P(OFF->ON) per cycle (mean idle = 1/p)   [0.041667]
 
 Fixed parameters:
-  --stages N          stages (terminals = 2^N)                 [6]
+  --stages N          stages (terminals = radix^N)             [6]
   --packet-length N   flits per packet                         [4]
   --lane-depth N      flits buffered per lane (wormhole)       [4]
   --queue-capacity N  packets per input FIFO (saf)             [4]
@@ -132,12 +139,13 @@ std::vector<double> parse_rates(const std::string& spec) {
 
 void print_summary(const mineq::exp::SweepResult& sweep) {
   using mineq::util::fixed;
-  mineq::util::TablePrinter table({"network", "pattern", "mode", "lanes",
-                                   "fault", "frate", "rate", "throughput",
-                                   "accept", "lat mean", "lat p99",
-                                   "dropped", "fullacc", "hol"});
+  mineq::util::TablePrinter table({"network", "r", "pattern", "mode",
+                                   "lanes", "fault", "frate", "rate",
+                                   "throughput", "accept", "lat mean",
+                                   "lat p99", "dropped", "fullacc", "hol"});
   for (const SweepPoint& p : sweep.points) {
     table.add_row({mineq::min::network_token(p.network),
+                   std::to_string(p.radix),
                    mineq::sim::pattern_name(p.pattern),
                    mineq::sim::switching_mode_name(p.mode),
                    std::to_string(p.lanes),
@@ -216,6 +224,17 @@ int main(int argc, char** argv) {
         grid.networks.clear();
         for (const std::string& item : split_list(next_value(i), ',')) {
           grid.networks.push_back(mineq::min::parse_network_kind(item));
+        }
+      } else if (arg == "--radix" || arg == "--radices") {
+        grid.radices.clear();
+        for (const std::string& item : split_list(next_value(i), ',')) {
+          const std::uint64_t radix = parse_u64(item, "radix");
+          // Range-check before narrowing: a huge value must not wrap
+          // into the valid [2, 16] window.
+          if (radix < 2 || radix > 16) {
+            fail("radix must be within [2, 16], got " + item);
+          }
+          grid.radices.push_back(static_cast<int>(radix));
         }
       } else if (arg == "--patterns") {
         grid.patterns.clear();
@@ -302,9 +321,16 @@ int main(int argc, char** argv) {
     const mineq::exp::SweepResult sweep = mineq::exp::run_sweep(grid, threads);
     if (!quiet) {
       print_summary(sweep);
-      std::cerr << sweep.points.size() << " grid points, "
-                << (std::uint64_t{1} << grid.stages)
-                << " terminals per network\n";
+      std::cerr << sweep.points.size() << " grid points";
+      for (const int radix : grid.radices) {
+        std::uint64_t terminals = 1;
+        for (int s = 0; s < grid.stages; ++s) {
+          terminals *= static_cast<std::uint64_t>(radix);
+        }
+        std::cerr << ", " << terminals << " terminals per radix-" << radix
+                  << " network";
+      }
+      std::cerr << '\n';
     }
     if (!csv_path.empty()) {
       const std::string csv = mineq::exp::sweep_csv(sweep);
