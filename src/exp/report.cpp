@@ -12,6 +12,27 @@ namespace mineq::exp {
 
 namespace {
 
+/// Semicolon-joined decimal list (CSV cells cannot hold commas); empty
+/// vectors render as the empty string.
+std::string join_unsigned(const std::vector<unsigned>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ';';
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+std::string join_stat_means(const std::vector<sim::RunningStats>& stats,
+                            int digits) {
+  std::string out;
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    if (i > 0) out += ';';
+    out += util::fixed(stats[i].mean(), digits);
+  }
+  return out;
+}
+
 /// The per-point scalar fields shared by both emitters, as (name, value)
 /// strings with deterministic formatting.
 std::vector<std::pair<std::string, std::string>> point_fields(
@@ -31,6 +52,12 @@ std::vector<std::pair<std::string, std::string>> point_fields(
       {"fault_seed", std::to_string(p.fault.seed)},
       {"burst_on_off", util::fixed(p.burst.on_to_off, 6)},
       {"burst_off_on", util::fixed(p.burst.off_to_on, 6)},
+      {"credits", p.credits.enabled ? "1" : "0"},
+      {"credit_latency", std::to_string(p.credits.return_latency)},
+      {"arbitration",
+       std::string(sim::arbitration_policy_name(p.credits.arbitration))},
+      {"vl_weights", join_unsigned(p.credits.weights)},
+      {"sl_map", join_unsigned(p.credits.sl_map)},
       {"offered", std::to_string(r.offered)},
       {"injected", std::to_string(r.injected)},
       {"delivered", std::to_string(r.delivered)},
@@ -46,7 +73,11 @@ std::vector<std::pair<std::string, std::string>> point_fields(
       {"flits_in_flight", std::to_string(r.flits_in_flight)},
       {"link_utilization", util::fixed(r.link_utilization, 6)},
       {"lane_occupancy", util::fixed(r.lane_occupancy.mean(), 6)},
+      {"vl_occupancy", join_stat_means(r.vl_occupancy, 6)},
+      {"sl_latency_mean", join_stat_means(r.sl_latency, 4)},
       {"hol_blocking_cycles", std::to_string(r.hol_blocking_cycles)},
+      {"credit_stall_cycles", std::to_string(r.credit_stall_cycles)},
+      {"credit_violations", std::to_string(r.credit_violations)},
       {"packets_dropped_faulted", std::to_string(r.packets_dropped_faulted)},
       {"packets_rerouted", std::to_string(r.packets_rerouted)},
       {"packets_misdelivered", std::to_string(r.packets_misdelivered)},
@@ -104,9 +135,13 @@ std::string sweep_json(const SweepResult& sweep) {
       out << '"' << fields[i].first << "\": ";
       // Tokens contain no characters needing JSON escapes. Seeds are
       // full 64-bit values beyond double precision, so a bare JSON
-      // number would silently round them — emit as a string.
+      // number would silently round them — emit as a string. The
+      // semicolon-joined per-lane lists stay strings even when a single
+      // entry happens to look numeric, so their JSON type is stable.
       if (is_number(fields[i].second) && fields[i].first != "seed" &&
-          fields[i].first != "fault_seed") {
+          fields[i].first != "fault_seed" && fields[i].first != "vl_weights" &&
+          fields[i].first != "sl_map" && fields[i].first != "vl_occupancy" &&
+          fields[i].first != "sl_latency_mean") {
         out << fields[i].second;
       } else {
         out << '"' << fields[i].second << '"';

@@ -29,7 +29,7 @@ std::size_t SweepGrid::size() const noexcept {
         pattern == sim::Pattern::kBursty ? bursts.size() : 1;
   }
   return networks.size() * radices.size() * pattern_burst_variants *
-         mode_lane_variants * faults.size() * rates.size();
+         mode_lane_variants * credits.size() * faults.size() * rates.size();
 }
 
 namespace {
@@ -38,7 +38,7 @@ void validate_grid(const SweepGrid& grid) {
   if (grid.networks.empty() || grid.radices.empty() ||
       grid.patterns.empty() || grid.modes.empty() ||
       grid.lane_counts.empty() || grid.faults.empty() ||
-      grid.bursts.empty() || grid.rates.empty()) {
+      grid.bursts.empty() || grid.credits.empty() || grid.rates.empty()) {
     throw std::invalid_argument("run_sweep: every grid axis needs >= 1 value");
   }
   if (grid.stages < 2) {
@@ -84,6 +84,21 @@ void validate_grid(const SweepGrid& grid) {
   }
   for (const sim::BurstParams& burst : grid.bursts) {
     burst.validate();
+  }
+  // A credit config's validity depends on the mode/lane combination it
+  // will run under (wormhole checks the SL->VL map against the lane
+  // count), so each axis value is checked against every combination the
+  // grid will pair it with.
+  for (const sim::CreditConfig& cc : grid.credits) {
+    for (const sim::SwitchingMode mode : grid.modes) {
+      if (mode == sim::SwitchingMode::kWormhole) {
+        for (const std::size_t lanes : grid.lane_counts) {
+          cc.validate(mode, lanes);
+        }
+      } else {
+        cc.validate(mode, grid.base.lanes);
+      }
+    }
   }
   for (const sim::Pattern pattern : grid.patterns) {
     if (pattern == sim::Pattern::kTranspose && grid.stages % 2 != 0) {
@@ -170,24 +185,27 @@ SweepResult run_sweep(const SweepGrid& grid, std::size_t threads) {
                     ? 1
                     : grid.lane_counts.size();
             for (std::size_t li = 0; li < lane_variants; ++li) {
-              for (std::size_t fi = 0; fi < grid.faults.size(); ++fi) {
-                for (const double rate : grid.rates) {
-                  Task task;
-                  task.engine_index = ni * radix_count + ri;
-                  task.fault_index = fi;
-                  task.point.network = grid.networks[ni];
-                  task.point.radix = grid.radices[ri];
-                  task.point.pattern = pattern;
-                  task.point.mode = mode;
-                  task.point.lanes = grid.lane_counts[li];
-                  task.point.fault = grid.faults[fi];
-                  task.point.burst = grid.bursts[bi];
-                  task.point.rate = rate;
-                  task.point.stages = grid.stages;
-                  task.point.seed = seed_root.split(tasks.size()).next();
-                  task.point.survivor =
-                      faults[task.engine_index][fi].survivor;
-                  tasks.push_back(std::move(task));
+              for (const sim::CreditConfig& cc : grid.credits) {
+                for (std::size_t fi = 0; fi < grid.faults.size(); ++fi) {
+                  for (const double rate : grid.rates) {
+                    Task task;
+                    task.engine_index = ni * radix_count + ri;
+                    task.fault_index = fi;
+                    task.point.network = grid.networks[ni];
+                    task.point.radix = grid.radices[ri];
+                    task.point.pattern = pattern;
+                    task.point.mode = mode;
+                    task.point.lanes = grid.lane_counts[li];
+                    task.point.fault = grid.faults[fi];
+                    task.point.burst = grid.bursts[bi];
+                    task.point.credits = cc;
+                    task.point.rate = rate;
+                    task.point.stages = grid.stages;
+                    task.point.seed = seed_root.split(tasks.size()).next();
+                    task.point.survivor =
+                        faults[task.engine_index][fi].survivor;
+                    tasks.push_back(std::move(task));
+                  }
                 }
               }
             }
@@ -210,6 +228,7 @@ SweepResult run_sweep(const SweepGrid& grid, std::size_t threads) {
         config.mode = task.point.mode;
         config.lanes = task.point.lanes;
         config.burst = task.point.burst;
+        config.credits = task.point.credits;
         config.seed = task.point.seed;
         const fault::FaultMask& mask =
             faults[task.engine_index][task.fault_index].mask;

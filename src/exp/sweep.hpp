@@ -48,6 +48,10 @@ struct SweepGrid {
   /// Pattern::kBursty expands it — other patterns ignore the modulator,
   /// so they contribute one variant.
   std::vector<sim::BurstParams> bursts = {sim::BurstParams{}};
+  /// Flow-control axis (credit return latency, arbitration policy, VL
+  /// weights, SL->VL map); the default single disabled config reproduces
+  /// the idealized-handshake sweep bit for bit.
+  std::vector<sim::CreditConfig> credits = {sim::CreditConfig{}};
   std::vector<double> rates;
   int stages = 6;
   sim::SimConfig base;
@@ -66,8 +70,9 @@ struct SweepPoint {
   sim::Pattern pattern = sim::Pattern::kUniform;
   sim::SwitchingMode mode = sim::SwitchingMode::kStoreAndForward;
   std::size_t lanes = 1;
-  fault::FaultSpec fault;    ///< the fault-axis value simulated
-  sim::BurstParams burst;    ///< the burst-axis value simulated
+  fault::FaultSpec fault;     ///< the fault-axis value simulated
+  sim::BurstParams burst;     ///< the burst-axis value simulated
+  sim::CreditConfig credits;  ///< the flow-control-axis value simulated
   double rate = 0.0;
   int stages = 0;
   std::uint64_t seed = 0;  ///< the derived per-point seed actually used
@@ -78,7 +83,7 @@ struct SweepPoint {
 };
 
 /// All grid points in deterministic order (network-major, then radix,
-/// pattern, burst, mode, lanes, fault, rate innermost).
+/// pattern, burst, mode, lanes, credits, fault, rate innermost).
 struct SweepResult {
   SweepGrid grid;
   std::vector<SweepPoint> points;

@@ -348,6 +348,17 @@ bool KaryMIDigraph::is_valid() const {
                      });
 }
 
+void KaryMIDigraph::attach_schedule(DigitSchedule schedule) {
+  const auto digits = static_cast<std::size_t>(stages_ - 1);
+  if (schedule.radix != radix_ || schedule.digit.size() != digits ||
+      schedule.port_of_value.size() != digits) {
+    throw std::invalid_argument(
+        "KaryMIDigraph::attach_schedule: schedule shape does not match "
+        "this network (radix or stage count)");
+  }
+  schedule_ = std::move(schedule);
+}
+
 KaryMIDigraph kary_baseline(int stages, int radix) {
   check_shape(radix, stages - 1);
   const int digits = stages - 1;
@@ -366,7 +377,12 @@ KaryMIDigraph kary_baseline(int stages, int radix) {
           return (y - p) + p / static_cast<std::uint32_t>(radix) + t * sub;
         }));
   }
-  return KaryMIDigraph(stages, radix, std::move(connections));
+  KaryMIDigraph g(stages, radix, std::move(connections));
+  if (stages >= 2) {
+    g.attach_schedule(
+        kary_network_schedule(NetworkKind::kBaseline, stages, radix));
+  }
+  return g;
 }
 
 KaryMIDigraph kary_omega(int stages, int radix) {
@@ -383,7 +399,12 @@ KaryMIDigraph kary_omega(int stages, int radix) {
           return (x * static_cast<std::uint32_t>(radix) + t) % cells;
         }));
   }
-  return KaryMIDigraph(stages, radix, std::move(connections));
+  KaryMIDigraph g(stages, radix, std::move(connections));
+  if (stages >= 2) {
+    g.attach_schedule(
+        kary_network_schedule(NetworkKind::kOmega, stages, radix));
+  }
+  return g;
 }
 
 KaryMIDigraph kary_flip(int stages, int radix) {
@@ -401,12 +422,50 @@ KaryMIDigraph kary_flip(int stages, int radix) {
           return x / static_cast<std::uint32_t>(radix) + t * sub;
         }));
   }
-  return KaryMIDigraph(stages, radix, std::move(connections));
+  KaryMIDigraph g(stages, radix, std::move(connections));
+  if (stages >= 2) {
+    g.attach_schedule(
+        kary_network_schedule(NetworkKind::kFlip, stages, radix));
+  }
+  return g;
 }
 
 bool kary_network_supported(NetworkKind kind) {
   return kind == NetworkKind::kOmega || kind == NetworkKind::kFlip ||
          kind == NetworkKind::kBaseline;
+}
+
+DigitSchedule kary_network_schedule(NetworkKind kind, int stages, int radix) {
+  if (!kary_network_supported(kind)) {
+    throw std::invalid_argument(
+        "kary_network_schedule: no closed-form schedule for " +
+        network_name(kind));
+  }
+  if (stages < 2) {
+    throw std::invalid_argument("kary_network_schedule: stages must be >= 2");
+  }
+  check_shape(radix, stages - 1);
+  const int digits = stages - 1;
+  DigitSchedule schedule;
+  schedule.radix = radix;
+  schedule.digit.resize(static_cast<std::size_t>(digits));
+  std::vector<unsigned> identity(static_cast<std::size_t>(radix));
+  for (int v = 0; v < radix; ++v) {
+    identity[static_cast<std::size_t>(v)] = static_cast<unsigned>(v);
+  }
+  schedule.port_of_value.assign(static_cast<std::size_t>(digits), identity);
+  for (int s = 0; s < digits; ++s) {
+    // Omega: stage s rotates the link label left, so the port chosen at
+    // stage s becomes digit (digits - 1 - s) of the final cell label —
+    // consume the destination MSB first. Baseline: stage s splits into r
+    // sub-blocks by the same high digit. Flip: the rotate-right drops
+    // the port into the top digit and shifts the rest down, so stage s
+    // decides digit s — LSB first. All three take the digit value as
+    // the port unchanged (identity maps).
+    schedule.digit[static_cast<std::size_t>(s)] =
+        kind == NetworkKind::kFlip ? s : digits - 1 - s;
+  }
+  return schedule;
 }
 
 KaryMIDigraph build_kary_network(NetworkKind kind, int stages, int radix) {

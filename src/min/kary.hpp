@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "min/networks.hpp"
+#include "min/routing.hpp"
 #include "util/rng.hpp"
 
 namespace mineq::min {
@@ -150,12 +151,28 @@ class KaryMIDigraph {
 
   [[nodiscard]] bool is_valid() const;
 
+  /// Attach a known-correct digit routing schedule. The closed-form
+  /// constructions (build_kary_network) attach theirs, so sim::Engine
+  /// skips the exponential find_digit_schedule search entirely — and
+  /// with it the kMaxDigitScheduleCells cap, which only ever gated the
+  /// search, not the simulation.
+  /// \throws std::invalid_argument on radix mismatch or wrong stage
+  /// count (stages() - 1 routing digits).
+  void attach_schedule(DigitSchedule schedule);
+
+  /// The attached schedule, if any. Engine trusts it after an O(stages
+  /// * radix) shape check; correctness is the attacher's contract.
+  [[nodiscard]] const std::optional<DigitSchedule>& schedule() const noexcept {
+    return schedule_;
+  }
+
   friend bool operator==(const KaryMIDigraph&, const KaryMIDigraph&) = default;
 
  private:
   int stages_;
   int radix_;
   std::vector<KaryConnection> connections_;
+  std::optional<DigitSchedule> schedule_;
 };
 
 /// The radix-r Baseline network: the left-recursive construction with r
@@ -182,6 +199,15 @@ class KaryMIDigraph {
 
 /// Does \p kind have a radix-r construction (see build_kary_network)?
 [[nodiscard]] bool kary_network_supported(NetworkKind kind);
+
+/// The closed-form digit routing schedule of a built-in k-ary
+/// construction: Omega and Baseline consume destination digits MSB
+/// first, Flip LSB first, all with identity port maps (hand-derived
+/// from the constructions; verified against find_digit_schedule in the
+/// tests). build_kary_network attaches this automatically.
+/// \throws std::invalid_argument for unsupported kinds or stages < 2.
+[[nodiscard]] DigitSchedule kary_network_schedule(NetworkKind kind, int stages,
+                                                  int radix);
 
 /// Banyan property (unique first-to-last paths).
 [[nodiscard]] bool kary_is_banyan(const KaryMIDigraph& g);

@@ -71,6 +71,8 @@ struct DigitSchedule {
   /// stages()-1 maps from digit value (0..r-1) to out-port; each is a
   /// bijection of {0..r-1}.
   std::vector<std::vector<unsigned>> port_of_value;
+
+  friend bool operator==(const DigitSchedule&, const DigitSchedule&) = default;
 };
 
 /// Recover a destination-digit schedule valid for *all* (source, sink)

@@ -29,6 +29,75 @@ SwitchingMode parse_switching_mode(std::string_view name) {
                               std::string(name) + '"');
 }
 
+std::string arbitration_policy_name(ArbitrationPolicy policy) {
+  switch (policy) {
+    case ArbitrationPolicy::kRoundRobin:
+      return "rr";
+    case ArbitrationPolicy::kWeighted:
+      return "weighted";
+    case ArbitrationPolicy::kPriority:
+      return "priority";
+  }
+  throw std::invalid_argument("arbitration_policy_name: unknown policy");
+}
+
+ArbitrationPolicy parse_arbitration_policy(std::string_view name) {
+  if (name == "rr" || name == "round-robin") {
+    return ArbitrationPolicy::kRoundRobin;
+  }
+  if (name == "weighted") return ArbitrationPolicy::kWeighted;
+  if (name == "priority") return ArbitrationPolicy::kPriority;
+  throw std::invalid_argument(
+      "parse_arbitration_policy: unknown policy \"" + std::string(name) +
+      "\" (expected rr, weighted or priority)");
+}
+
+void CreditConfig::validate(SwitchingMode mode, std::size_t lanes) const {
+  if (!enabled) return;  // disabled leaves the remaining fields inert
+  // The in-flight ring allocates latency slots per link; cap it well
+  // above any physically meaningful round-trip.
+  constexpr std::uint64_t kMaxReturnLatency = 4096;
+  if (return_latency > kMaxReturnLatency) {
+    throw std::invalid_argument(
+        "CreditConfig: return_latency must be <= " +
+        std::to_string(kMaxReturnLatency) + ", got " +
+        std::to_string(return_latency));
+  }
+  // Flit::sl is a 6-bit field; 64 service levels / weight classes.
+  constexpr std::size_t kMaxServiceLevels = 64;
+  if (sl_map.size() > kMaxServiceLevels) {
+    throw std::invalid_argument(
+        "CreditConfig: at most " + std::to_string(kMaxServiceLevels) +
+        " service levels, got " + std::to_string(sl_map.size()));
+  }
+  if (weights.size() > kMaxServiceLevels) {
+    throw std::invalid_argument(
+        "CreditConfig: at most " + std::to_string(kMaxServiceLevels) +
+        " VL weights, got " + std::to_string(weights.size()));
+  }
+  for (const unsigned w : weights) {
+    if (w == 0 || w > (1U << 20)) {
+      throw std::invalid_argument(
+          "CreditConfig: weights must be within [1, 2^20], got " +
+          std::to_string(w));
+    }
+  }
+  for (const unsigned vl : sl_map) {
+    if (mode == SwitchingMode::kWormhole && vl >= lanes) {
+      throw std::invalid_argument(
+          "CreditConfig: sl_map entry " + std::to_string(vl) +
+          " names a virtual lane but the config has only " +
+          std::to_string(lanes) + " lanes");
+    }
+    if (vl >= kMaxServiceLevels) {
+      throw std::invalid_argument(
+          "CreditConfig: sl_map entry " + std::to_string(vl) +
+          " exceeds the VL/weight-class bound of " +
+          std::to_string(kMaxServiceLevels - 1));
+    }
+  }
+}
+
 void SimConfig::validate() const {
   if (!std::isfinite(injection_rate) || injection_rate < 0.0 ||
       injection_rate > 1.0) {
@@ -57,6 +126,7 @@ void SimConfig::validate() const {
         "one flit)");
   }
   burst.validate();
+  credits.validate(mode, lanes);
 }
 
 Engine::Engine(min::MIDigraph network, min::BitSchedule schedule)
@@ -81,6 +151,56 @@ min::BitSchedule derive_schedule(const min::MIDigraph& network) {
   return *schedule;
 }
 
+/// Structural sanity of a construction-attached digit schedule: the
+/// arity must match the fabric and every per-stage map must be a
+/// bijection of the ports. Deliberately O(stages * radix) — the whole
+/// point of attaching a closed-form schedule is skipping the
+/// O(cells^2 * stages * radix) recovery, so routing correctness is the
+/// construction's contract (pinned against min::verify_digit_schedule at
+/// small sizes in the tests), not re-proved per Engine.
+void check_attached_schedule(const min::DigitSchedule& schedule, int stages,
+                             int radix) {
+  const auto hops = static_cast<std::size_t>(stages - 1);
+  const auto r = static_cast<std::size_t>(radix);
+  if (schedule.radix != radix || schedule.digit.size() != hops ||
+      schedule.port_of_value.size() != hops) {
+    throw std::invalid_argument(
+        "Engine: attached digit schedule does not match the fabric arity");
+  }
+  for (std::size_t s = 0; s < hops; ++s) {
+    if (schedule.digit[s] < 0 || schedule.digit[s] + 1 >= stages) {
+      throw std::invalid_argument(
+          "Engine: attached digit schedule reads an out-of-range digit");
+    }
+    const std::vector<unsigned>& map = schedule.port_of_value[s];
+    if (map.size() != r) {
+      throw std::invalid_argument(
+          "Engine: attached digit schedule has a non-radix value map");
+    }
+    std::vector<bool> seen(r, false);
+    for (const unsigned port : map) {
+      if (port >= r || seen[port]) {
+        throw std::invalid_argument(
+            "Engine: attached digit schedule map is not a port bijection");
+      }
+      seen[port] = true;
+    }
+  }
+}
+
+/// The radix-2 special case of a digit schedule as a BitSchedule:
+/// bit[s] is the scheduled digit and invert[s] falls out of where the
+/// value map sends 0 (identity -> 0, swap -> 1).
+min::BitSchedule bit_schedule_from_digits(const min::DigitSchedule& digits) {
+  min::BitSchedule schedule;
+  schedule.bit.assign(digits.digit.begin(), digits.digit.end());
+  schedule.invert.reserve(digits.port_of_value.size());
+  for (const std::vector<unsigned>& map : digits.port_of_value) {
+    schedule.invert.push_back(map[0]);
+  }
+  return schedule;
+}
+
 }  // namespace
 
 Engine::Engine(min::MIDigraph network)
@@ -101,32 +221,51 @@ Engine::Engine(const min::KaryMIDigraph& network) {
                                network.stages() - 1);
     }
     network_.emplace(network.stages(), std::move(connections));
-    schedule_ = derive_schedule(*network_);
+    if (network.schedule().has_value()) {
+      // The construction attached its closed-form schedule: adopt it
+      // (as the binary special case) instead of spending the
+      // O(cells^2 * stages) recovery, so built-in fabrics construct in
+      // linear time at any size.
+      check_attached_schedule(*network.schedule(), network.stages(), 2);
+      schedule_ = bit_schedule_from_digits(*network.schedule());
+    } else {
+      schedule_ = derive_schedule(*network_);
+    }
     wiring_ = min::FlatWiring::from_digraph(*network_);
     return;
   }
   wiring_ = min::FlatWiring::from_kary(network);
-  // Digit-schedule recovery is O(cells^2 * stages * radix) — the same
-  // all-pairs budget the binary find_bit_schedule has always spent
-  // ("intended for n up to ~10", routing.hpp). Past ~4096 cells that
-  // stops being seconds and becomes an apparent hang, so reject the
-  // geometry with advice instead of stalling (radix 8 wants stages <= 5,
-  // radix 16 stages <= 4).
-  constexpr std::uint32_t kMaxDigitScheduleCells = 4096;
-  if (wiring_.cells_per_stage() > kMaxDigitScheduleCells) {
-    throw std::invalid_argument(
-        "Engine: radix-" + std::to_string(network.radix()) + " fabric with " +
-        std::to_string(wiring_.cells_per_stage()) +
-        " cells per stage exceeds the digit-schedule recovery budget (" +
-        std::to_string(kMaxDigitScheduleCells) +
-        " cells); reduce stages or radix");
+  if (network.schedule().has_value()) {
+    // Closed-form schedule attached by the construction (the built-in
+    // omega/flip/baseline kinds): no recovery needed, no size cap — the
+    // cap below only gates truly unknown wirings.
+    check_attached_schedule(*network.schedule(), network.stages(),
+                            network.radix());
+    digit_schedule_ = *network.schedule();
+  } else {
+    // Digit-schedule recovery is O(cells^2 * stages * radix) — the same
+    // all-pairs budget the binary find_bit_schedule has always spent
+    // ("intended for n up to ~10", routing.hpp). Past ~4096 cells that
+    // stops being seconds and becomes an apparent hang, so reject the
+    // geometry with advice instead of stalling (radix 8 wants stages <=
+    // 5, radix 16 stages <= 4).
+    constexpr std::uint32_t kMaxDigitScheduleCells = 4096;
+    if (wiring_.cells_per_stage() > kMaxDigitScheduleCells) {
+      throw std::invalid_argument(
+          "Engine: radix-" + std::to_string(network.radix()) +
+          " fabric with " + std::to_string(wiring_.cells_per_stage()) +
+          " cells per stage exceeds the digit-schedule recovery budget (" +
+          std::to_string(kMaxDigitScheduleCells) +
+          " cells); reduce stages or radix, or attach the construction's "
+          "digit schedule (min::KaryMIDigraph::attach_schedule)");
+    }
+    auto schedule = min::find_digit_schedule(wiring_);
+    if (!schedule.has_value()) {
+      throw std::invalid_argument(
+          "Engine: network has no destination-digit schedule");
+    }
+    digit_schedule_ = std::move(*schedule);
   }
-  auto schedule = min::find_digit_schedule(wiring_);
-  if (!schedule.has_value()) {
-    throw std::invalid_argument(
-        "Engine: network has no destination-digit schedule");
-  }
-  digit_schedule_ = std::move(*schedule);
   digit_scale_.reserve(digit_schedule_.digit.size());
   for (const int digit : digit_schedule_.digit) {
     std::uint32_t scale = 1;
@@ -180,7 +319,16 @@ namespace {
 /// shift/mask code — the binary instantiations are byte- and
 /// speed-identical to the pre-k-ary policy. The general instantiations
 /// divide by the runtime radix.
-template <bool kFaulted, bool kBinary>
+///
+/// \tparam kCredits compile-time flow-control switch: the false
+/// instantiation keeps the idealized handshake (senders probe downstream
+/// FIFO occupancy directly) byte for byte; the true instantiation runs
+/// link-level credits over a CreditLedger — one credit per downstream
+/// FIFO slot, consumed per push, returned per pop with the configured
+/// latency — plus the pluggable output-port arbitration (round-robin /
+/// quantum-weighted / strict-priority over the SL->VL classes packets
+/// carry).
+template <bool kFaulted, bool kBinary, bool kCredits>
 class StoreAndForwardPolicy {
  public:
   StoreAndForwardPolicy(FabricCore& core, SimWorkspace& workspace,
@@ -210,12 +358,30 @@ class StoreAndForwardPolicy {
         }
       }
     }
+    if constexpr (kCredits) {
+      credit_config_ = &core.config().credits;
+      service_levels_ = credit_config_->service_levels();
+      credits_ = &workspace.credit_ledger(
+          static_cast<std::size_t>(core.stages()) * core.ports(),
+          static_cast<std::uint32_t>(core.config().queue_capacity),
+          credit_config_->return_latency);
+      if (credit_config_->arbitration == ArbitrationPolicy::kWeighted) {
+        weighted_.reset(static_cast<std::size_t>(core.stages()) *
+                            core.ports(),
+                        radix());
+      }
+      core.result.sl_latency.resize(service_levels_);
+    }
   }
 
   /// Eject at the last stage: each terminal link (cell x, port d % r)
-  /// carries one packet per packet_length cycles, round-robin between the
-  /// r input slots.
+  /// carries one packet per packet_length cycles, arbitrated between the
+  /// r input slots. Ejection consumes no credits (terminals always
+  /// sink), but popping returns the slot's credit upstream; eject runs
+  /// first each cycle, so the credit ledger's start-of-cycle harvest
+  /// lives here.
   void eject(std::uint64_t cycle, bool measuring) {
+    if constexpr (kCredits) credits_->deliver(cycle);
     const int last = core_.stages() - 1;
     const std::uint32_t cells = core_.cells();
     const unsigned r = radix();
@@ -223,23 +389,53 @@ class StoreAndForwardPolicy {
     for (std::uint32_t x = 0; x < cells; ++x) {
       for (unsigned port = 0; port < r; ++port) {
         if (eject_busy_until_[x * r + port] > cycle) continue;
-        RoundRobin& arb = core_.arbiter(last, x * r + port);
+        // Strict priority scans the ready candidates first: only a
+        // head of the highest ready weight class may win this cycle.
+        [[maybe_unused]] unsigned need_weight = 0;
+        if constexpr (kCredits) {
+          if (credit_config_->arbitration == ArbitrationPolicy::kPriority) {
+            for (unsigned slot = 0; slot < r; ++slot) {
+              const std::size_t q = queue_index(last, x * r + slot);
+              if (queues_.empty(q) || queues_.front_arrival(q) > cycle ||
+                  (queues_.front_dest(q) % r) != port) {
+                continue;
+              }
+              need_weight = std::max(need_weight, front_weight(q));
+            }
+          }
+        }
         for (unsigned probe = 0; probe < r; ++probe) {
-          const unsigned slot = arb.candidate(probe);
+          const unsigned slot = arb_candidate(last, x * r + port, probe);
           const std::size_t q = queue_index(last, x * r + slot);
           if (queues_.empty(q)) continue;
           if (queues_.front_arrival(q) > cycle) continue;
           if ((queues_.front_dest(q) % r) != port) continue;
+          [[maybe_unused]] unsigned vl = 0;
+          if constexpr (kCredits) {
+            vl = credit_config_->vl_of_sl(queues_.front_sl(q));
+            if (credit_config_->arbitration ==
+                    ArbitrationPolicy::kPriority &&
+                credit_config_->weight(vl) != need_weight) {
+              continue;
+            }
+          }
           const std::uint32_t dest = queues_.front_dest(q);
           const std::uint64_t inject_cycle = queues_.front_inject(q);
+          [[maybe_unused]] unsigned sl = 0;
+          if constexpr (kCredits) sl = queues_.front_sl(q);
           queues_.pop(q);
+          if constexpr (kCredits) credits_->give_back(q, cycle);
           eject_busy_until_[x * r + port] = cycle + length_;
-          arb.grant(slot);
+          arb_grant(last, x * r + port, slot, vl);
           queue_moved_[x * r + slot] = 1;
           if (measuring && inject_cycle >= core_.config().warmup_cycles) {
             core_.result.flits_delivered += length_;
             core_.record_packet_delivered(
                 static_cast<double>(cycle - inject_cycle + length_));
+            if constexpr (kCredits) {
+              core_.result.sl_latency[sl].add(
+                  static_cast<double>(cycle - inject_cycle + length_));
+            }
             if constexpr (kFaulted) {
               // A detoured packet ejects at whatever terminal the
               // surviving route reached; count the miss.
@@ -305,9 +501,37 @@ class StoreAndForwardPolicy {
         if (link_busy_until_[link_base + x * r + port] > cycle) {
           continue;  // still serializing the previous packet
         }
-        RoundRobin& arb = core_.arbiter(s, x * r + port);
+        // Strict priority scans the ready candidates first: only a
+        // head of the highest weight class routed here may win.
+        [[maybe_unused]] unsigned need_weight = 0;
+        if constexpr (kCredits) {
+          if (credit_config_->arbitration == ArbitrationPolicy::kPriority) {
+            for (unsigned slot = 0; slot < r; ++slot) {
+              const std::size_t q = queue_index(s, x * r + slot);
+              if (queues_.empty(q) || queues_.front_arrival(q) > cycle) {
+                continue;
+              }
+              const std::uint32_t dest = queues_.front_dest(q);
+              unsigned desired;
+              if constexpr (kBinary) {
+                desired = (((dest >> 1) >> bit_shift) & 1U) ^ bit_invert;
+              } else {
+                desired = port_of_value[((dest / r) / digit_scale) % r];
+              }
+              if constexpr (kFaulted) {
+                if (usable_port(mask, arc_base + x * r, desired) !=
+                    static_cast<int>(port)) {
+                  continue;
+                }
+              } else {
+                if (desired != port) continue;
+              }
+              need_weight = std::max(need_weight, front_weight(q));
+            }
+          }
+        }
         for (unsigned probe = 0; probe < r; ++probe) {
-          const unsigned slot = arb.candidate(probe);
+          const unsigned slot = arb_candidate(s, x * r + port, probe);
           const std::size_t q = queue_index(s, x * r + slot);
           if (queues_.empty(q)) continue;
           if (queues_.front_arrival(q) > cycle) continue;
@@ -330,18 +554,47 @@ class StoreAndForwardPolicy {
           } else {
             if (desired != port) continue;
           }
+          [[maybe_unused]] unsigned vl = 0;
+          if constexpr (kCredits) {
+            vl = credit_config_->vl_of_sl(queues_.front_sl(q));
+            if (credit_config_->arbitration ==
+                    ArbitrationPolicy::kPriority &&
+                credit_config_->weight(vl) != need_weight) {
+              continue;
+            }
+          }
           // One packed read gives the child cell and its input slot —
           // and the record value r * child + slot IS the downstream
           // port-slot index (the identity the packing was chosen for).
           const std::uint32_t record = down[x * r + port];
           const std::size_t target = queue_index(s + 1, record);
-          if (queues_.full(target)) continue;
+          if constexpr (kCredits) {
+            // Credit handshake in place of the occupancy probe. Every
+            // candidate at this output port sends into the same
+            // downstream FIFO, so zero credits stalls the port outright
+            // (conservation guarantees credits <= free slots; the push
+            // below can never overflow).
+            if (!credits_->available(target)) {
+              if (measuring) ++core_.result.credit_stall_cycles;
+              break;
+            }
+          } else {
+            if (queues_.full(target)) continue;
+          }
           const std::uint64_t inject_cycle = queues_.front_inject(q);
-          queues_.push(target, dest, inject_cycle, cycle + length_);
-          queues_.pop(q);
+          if constexpr (kCredits) {
+            queues_.push(target, dest, inject_cycle, cycle + length_,
+                         queues_.front_sl(q));
+            credits_->consume(target);
+            queues_.pop(q);
+            credits_->give_back(q, cycle);
+          } else {
+            queues_.push(target, dest, inject_cycle, cycle + length_);
+            queues_.pop(q);
+          }
           queue_moved_[x * r + slot] = 1;
           link_busy_until_[link_base + x * r + port] = cycle + length_;
-          arb.grant(slot);
+          arb_grant(s, x * r + port, slot, vl);
           if constexpr (kFaulted) {
             if (port != desired && measuring &&
                 inject_cycle >= core_.config().warmup_cycles) {
@@ -364,10 +617,25 @@ class StoreAndForwardPolicy {
       if (source_busy_until_[t] > cycle) continue;  // still serializing
       if (measuring) ++core_.result.offered;
       const std::size_t q = queue_index(0, t);
-      if (queues_.full(q)) continue;  // dropped at source
+      if constexpr (kCredits) {
+        // The terminal's injection link runs the same credit handshake
+        // as the internal links: no credit, no attempt consumed.
+        if (!credits_->available(q)) {
+          if (measuring) ++core_.result.credit_stall_cycles;
+          continue;
+        }
+      } else {
+        if (queues_.full(q)) continue;  // dropped at source
+      }
       const std::uint32_t dest =
           core_.destination(static_cast<std::uint32_t>(t));
-      queues_.push(q, dest, cycle, cycle + length_);
+      if constexpr (kCredits) {
+        queues_.push(q, dest, cycle, cycle + length_,
+                     static_cast<unsigned>(t % service_levels_));
+        credits_->consume(q);
+      } else {
+        queues_.push(q, dest, cycle, cycle + length_);
+      }
       source_busy_until_[t] = cycle + length_;
       if (measuring) {
         ++core_.result.injected;
@@ -377,12 +645,36 @@ class StoreAndForwardPolicy {
   }
 
   /// Sample link business and buffer occupancy (measured cycles only).
+  /// Credit runs also audit the conservation invariant every sampled
+  /// cycle: per FIFO, credits held + credit messages in flight + packets
+  /// buffered must equal the capacity exactly, and credits may never
+  /// exceed it. Violations are counted, not thrown — a sweep reports
+  /// them as data.
   void sample(std::uint64_t cycle) {
     for (const std::uint64_t busy_until : link_busy_until_) {
       if (busy_until > cycle) ++busy_link_cycles_;
     }
     core_.result.lane_occupancy.add(
         static_cast<double>(queues_.total_packets()) / total_packet_slots_);
+    if constexpr (kCredits) {
+      const std::size_t links =
+          static_cast<std::size_t>(core_.stages()) * core_.ports();
+      const std::uint64_t capacity = credits_->capacity();
+      for (std::size_t q = 0; q < links; ++q) {
+        const std::uint64_t held = credits_->credits(q);
+        if (held > capacity ||
+            held + credits_->in_flight(q) + queues_.count(q) != capacity) {
+          ++core_.result.credit_violations;
+        }
+      }
+      // Store-and-forward has one physical buffer per link, so the
+      // per-VL view collapses to a single lane-0 occupancy series.
+      if (core_.result.vl_occupancy.empty()) {
+        core_.result.vl_occupancy.resize(1);
+      }
+      core_.result.vl_occupancy[0].add(
+          static_cast<double>(queues_.total_packets()) / total_packet_slots_);
+    }
   }
 
   [[nodiscard]] std::uint64_t buffered_flits() const {
@@ -405,6 +697,44 @@ class StoreAndForwardPolicy {
 
   [[nodiscard]] std::size_t queue_index(int s, std::size_t i) const {
     return static_cast<std::size_t>(s) * core_.ports() + i;
+  }
+
+  /// The arbitration seam (kCredits only varies it): round-robin and
+  /// strict priority keep the core's RoundRobin pointer state — priority
+  /// filters candidates before the pointer ever moves, so uniform
+  /// weights degrade to plain round-robin byte for byte — while the
+  /// weighted policy swaps in the quantum WRR state below.
+  [[nodiscard]] unsigned arb_candidate(int s, std::size_t out,
+                                       unsigned probe) {
+    if constexpr (kCredits) {
+      if (credit_config_->arbitration == ArbitrationPolicy::kWeighted) {
+        return weighted_.candidate(arb_index(s, out), probe);
+      }
+    }
+    return core_.arbiter(s, out).candidate(probe);
+  }
+
+  void arb_grant(int s, std::size_t out, unsigned winner,
+                 [[maybe_unused]] unsigned vl) {
+    if constexpr (kCredits) {
+      if (credit_config_->arbitration == ArbitrationPolicy::kWeighted) {
+        weighted_.grant(arb_index(s, out), winner,
+                        credit_config_->weight(vl));
+        return;
+      }
+    }
+    core_.arbiter(s, out).grant(winner);
+  }
+
+  [[nodiscard]] std::size_t arb_index(int s, std::size_t out) const {
+    return static_cast<std::size_t>(s) * core_.ports() + out;
+  }
+
+  /// Weight class of the packet at the head of queue \p q (kCredits
+  /// only: resolves SL -> VL -> weight through the config tables).
+  [[nodiscard]] unsigned front_weight(std::size_t q) const {
+    return credit_config_->weight(
+        credit_config_->vl_of_sl(queues_.front_sl(q)));
   }
 
   /// fault::FaultedWiring::usable_port with the policy's folded radix:
@@ -440,6 +770,9 @@ class StoreAndForwardPolicy {
         while (!queues_.empty(q) && queues_.front_arrival(q) <= cycle) {
           const std::uint64_t inject_cycle = queues_.front_inject(q);
           queues_.pop(q);
+          // A drained slot returns its credit like any other pop, so
+          // the ledger closes exactly even across dead switches.
+          if constexpr (kCredits) credits_->give_back(q, cycle);
           if (measuring && inject_cycle >= core_.config().warmup_cycles) {
             ++core_.result.packets_dropped_faulted;
             core_.result.flits_dropped_faulted += length_;
@@ -472,19 +805,24 @@ class StoreAndForwardPolicy {
   double total_packet_slots_;
   fault::FaultedWiring faulted_;                     // kFaulted only
   std::vector<std::vector<std::uint32_t>> dead_cells_;  // kFaulted only
+  const CreditConfig* credit_config_ = nullptr;      // kCredits only
+  CreditLedger* credits_ = nullptr;                  // kCredits only
+  WeightedRoundRobin weighted_;                      // kCredits only
+  std::size_t service_levels_ = 1;                   // kCredits only
 };
 
-/// Out of line on purpose: inlining all four instantiations into
+/// Out of line on purpose: inlining all eight instantiations into
 /// Engine::run lets the compiler cross-jump the twin hot loops into
 /// shared blocks, costing the binary instantiation measurable time.
-template <bool kFaulted, bool kBinary>
+template <bool kFaulted, bool kBinary, bool kCredits>
 #if defined(__GNUC__)
 [[gnu::noinline]]
 #endif
 SimResult
 run_saf(FabricCore& core, SimWorkspace& workspace,
         const fault::FaultMask* mask) {
-  StoreAndForwardPolicy<kFaulted, kBinary> policy(core, workspace, mask);
+  StoreAndForwardPolicy<kFaulted, kBinary, kCredits> policy(core, workspace,
+                                                            mask);
   return run_switched(core, policy);
 }
 
@@ -511,12 +849,21 @@ SimResult Engine::run(Pattern pattern, const SimConfig& config,
   FabricCore core(*this, pattern, config,
                   /*arbiter_candidates=*/static_cast<unsigned>(radix()));
   const bool binary = wiring_.radix() == 2;
+  const bool credits = config.credits.enabled;
   if (faulted) {
-    return binary ? run_saf<true, true>(core, ws, mask)
-                  : run_saf<true, false>(core, ws, mask);
+    if (credits) {
+      return binary ? run_saf<true, true, true>(core, ws, mask)
+                    : run_saf<true, false, true>(core, ws, mask);
+    }
+    return binary ? run_saf<true, true, false>(core, ws, mask)
+                  : run_saf<true, false, false>(core, ws, mask);
   }
-  return binary ? run_saf<false, true>(core, ws, nullptr)
-                : run_saf<false, false>(core, ws, nullptr);
+  if (credits) {
+    return binary ? run_saf<false, true, true>(core, ws, nullptr)
+                  : run_saf<false, false, true>(core, ws, nullptr);
+  }
+  return binary ? run_saf<false, true, false>(core, ws, nullptr)
+                : run_saf<false, false, false>(core, ws, nullptr);
 }
 
 }  // namespace mineq::sim

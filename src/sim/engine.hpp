@@ -34,6 +34,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "fault/fault_mask.hpp"
 #include "min/flat_wiring.hpp"
@@ -60,6 +61,73 @@ enum class SwitchingMode : std::uint8_t {
 /// \throws std::invalid_argument on an unknown name.
 [[nodiscard]] SwitchingMode parse_switching_mode(std::string_view name);
 
+/// How contending senders share an output port in a credit-mode run
+/// (credits disabled always arbitrates round-robin, the historic seam).
+enum class ArbitrationPolicy : std::uint8_t {
+  kRoundRobin,  ///< rotating priority, the historic grant sequence
+  kWeighted,    ///< quantum WRR: the winner keeps top priority for
+                ///< weight[vl] consecutive grants before rotating on
+  kPriority,    ///< strict: highest weight[vl] among ready candidates
+                ///< wins (rotating tie-break); low VLs can starve
+};
+
+/// Short token for CLIs and CSV columns ("rr", "weighted", "priority").
+[[nodiscard]] std::string arbitration_policy_name(ArbitrationPolicy policy);
+
+/// Inverse of arbitration_policy_name (also accepts "round-robin").
+/// \throws std::invalid_argument on an unknown name.
+[[nodiscard]] ArbitrationPolicy parse_arbitration_policy(
+    std::string_view name);
+
+/// Link-level credit flow control + virtual-lane arbitration parameters
+/// (InfiniBand-style). When enabled, every downstream buffer (a
+/// store-and-forward port FIFO, a wormhole lane) grants its capacity in
+/// credits up front; a sender consumes one credit per unit it pushes and
+/// stalls at zero instead of probing downstream occupancy, and each pop
+/// schedules the credit back to the sender return_latency cycles later.
+/// Packets carry a service level sl = terminal % service_levels();
+/// sl_map maps it to the virtual lane the packet contends (and, for
+/// wormhole, travels) on, and weights[vl] parameterizes the kWeighted /
+/// kPriority arbiters. With return_latency 0, uniform weights,
+/// kRoundRobin and an empty sl_map the credit handshake is provably
+/// equivalent to the direct occupancy probes (the eject -> advance ->
+/// inject phase order means every downstream pop lands before its
+/// upstream probe), and the runs are byte-identical to credits disabled.
+struct CreditConfig {
+  bool enabled = false;
+  /// Cycles a returned credit spends in flight back to the sender.
+  std::uint64_t return_latency = 0;
+  ArbitrationPolicy arbitration = ArbitrationPolicy::kRoundRobin;
+  /// Per-VL arbitration weight; empty = uniform (1). Shorter than the
+  /// lane count broadcasts its last entry to the remaining VLs.
+  std::vector<unsigned> weights;
+  /// Service level -> virtual lane. Empty = one service level pinned to
+  /// VL 0 (wormhole worms keep the historic any-idle-lane choice).
+  std::vector<unsigned> sl_map;
+
+  /// Service levels packets are tagged with (sl_map entries, or 1).
+  [[nodiscard]] std::size_t service_levels() const noexcept {
+    return sl_map.empty() ? std::size_t{1} : sl_map.size();
+  }
+  /// The virtual lane service level \p sl contends on.
+  [[nodiscard]] unsigned vl_of_sl(std::size_t sl) const {
+    return sl_map.empty() ? 0U : sl_map[sl];
+  }
+  /// The arbitration weight of virtual lane \p vl (>= 1).
+  [[nodiscard]] unsigned weight(std::size_t vl) const noexcept {
+    if (weights.empty()) return 1U;
+    return weights[vl < weights.size() ? vl : weights.size() - 1];
+  }
+
+  /// Reject unusable parameters (only checked when enabled): weights
+  /// must be positive, return_latency bounded (the in-flight ring is
+  /// allocated per link), sl_map entries must name an existing lane for
+  /// \p mode == kWormhole with \p lanes lanes, and at most 64 service
+  /// levels fit the flit's sl field.
+  /// \throws std::invalid_argument
+  void validate(SwitchingMode mode, std::size_t lanes) const;
+};
+
 /// Simulation parameters.
 struct SimConfig {
   double injection_rate = 0.5;    ///< packets per terminal per cycle
@@ -75,14 +143,20 @@ struct SimConfig {
   /// Two-state Markov on/off probabilities for Pattern::kBursty (other
   /// patterns ignore it); defaults reproduce mean burst 8 / idle 24.
   BurstParams burst;
+  /// Link-level credit flow control + VL arbitration; disabled by
+  /// default, which dispatches to the historic occupancy-probe policy
+  /// instantiations byte for byte.
+  CreditConfig credits;
 
   /// Reject unusable parameters up front, with a message naming the
   /// offending field and value: lanes, lane_depth, packet_length and
   /// queue_capacity must be positive (regardless of mode, so a config is
   /// valid or not independently of the discipline that runs it),
-  /// injection_rate must be finite and within [0, 1], and the burst
-  /// probabilities must be within (0, 1]. Called by both simulators and
-  /// by exp::run_sweep before any work starts.
+  /// injection_rate must be finite and within [0, 1], the burst
+  /// probabilities must be within (0, 1], and an enabled credit config
+  /// must pass CreditConfig::validate against this mode and lane count.
+  /// Called by both simulators and by exp::run_sweep before any work
+  /// starts.
   /// \throws std::invalid_argument
   void validate() const;
 };
@@ -98,7 +172,9 @@ struct SimResult {
   Histogram latency_histogram{1.0, 1024};
   /// delivered / (measure_cycles * terminals): normalized throughput.
   double throughput = 0.0;
-  /// injected / offered: acceptance at the first-stage buffers.
+  /// injected / offered: acceptance at the first-stage buffers (0 when
+  /// nothing was offered, so idle points never report nan or a vacuous
+  /// 1.0).
   double acceptance = 0.0;
 
   // Flit-level counters (a store-and-forward packet counts as
@@ -117,6 +193,24 @@ struct SimResult {
   double link_utilization = 0.0;
   /// Per-measured-cycle occupied fraction of all buffer flit slots.
   RunningStats lane_occupancy;
+
+  // Credit flow-control counters (nonzero only with
+  // SimConfig::credits.enabled; see CreditConfig).
+  /// Events where a ready sender could not advance solely for lack of
+  /// downstream credits: one per (output port, cycle) for
+  /// store-and-forward and per (source terminal, cycle) at injection,
+  /// one per blocked candidate per cycle for wormhole.
+  std::uint64_t credit_stall_cycles = 0;
+  /// Conservation-invariant failures sampled per measured cycle:
+  /// credits + in-flight returns + occupancy must equal capacity on
+  /// every link, every cycle. Always 0; pinned by the credit tests.
+  std::uint64_t credit_violations = 0;
+  /// Per-virtual-lane occupied fraction per measured cycle (wormhole
+  /// credit runs; size lanes, empty otherwise).
+  std::vector<RunningStats> vl_occupancy;
+  /// Per-service-level delivery latency (credit runs; size
+  /// CreditConfig::service_levels(), empty otherwise).
+  std::vector<RunningStats> sl_latency;
 
   // Fault-injection counters (nonzero only when a FaultMask is active;
   // all gated like `delivered`: measured cycles, packets injected after
@@ -143,11 +237,13 @@ struct SimResult {
   std::uint64_t flits_dropped_faulted = 0;
 
   /// Correctly-delivered / injected, the fault-resilience headline
-  /// (wrong-terminal ejections of detoured packets are subtracted; an
-  /// idle point — nothing injected — lost nothing, so 1.0). Shared by
+  /// (wrong-terminal ejections of detoured packets are subtracted).
+  /// Defined as 0 when nothing was injected — like every other ratio
+  /// field, so an idle point (rate 0, all-OFF bursty, dead fabric)
+  /// reports clean zeros instead of nan/inf or a vacuous 1.0. Shared by
   /// the sweep reports and the fault benches so the two never drift.
   [[nodiscard]] double delivered_fraction() const {
-    if (injected == 0) return 1.0;
+    if (injected == 0) return 0.0;
     return static_cast<double>(delivered - packets_misdelivered) /
            static_cast<double>(injected);
   }

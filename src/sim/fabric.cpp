@@ -4,13 +4,80 @@
 
 namespace mineq::sim {
 
+void WeightedRoundRobin::reset(std::size_t arbiters, unsigned size) {
+  if (size == 0) {
+    throw std::invalid_argument(
+        "WeightedRoundRobin: candidate ring must be non-empty");
+  }
+  size_ = size;
+  next_.assign(arbiters, 0);
+  served_.assign(arbiters, 0);
+}
+
+void WeightedRoundRobin::grant(std::size_t a, unsigned winner,
+                               unsigned weight) {
+  if (winner >= size_) {
+    throw std::logic_error("WeightedRoundRobin::grant: winner out of range");
+  }
+  if (winner != next_[a]) {
+    // A new holder starts its quantum (the old one was not ready).
+    next_[a] = winner;
+    served_[a] = 0;
+  }
+  if (++served_[a] >= weight) {
+    next_[a] = winner + 1 == size_ ? 0 : winner + 1;
+    served_[a] = 0;
+  }
+}
+
+void CreditLedger::reset(std::size_t links, std::uint32_t capacity,
+                         std::uint64_t latency) {
+  if (capacity == 0) {
+    throw std::invalid_argument("CreditLedger: capacity must be positive");
+  }
+  capacity_ = capacity;
+  latency_ = latency;
+  links_ = links;
+  credits_.assign(links, capacity);
+  pending_.assign(links, 0);
+  ring_.assign(links * static_cast<std::size_t>(latency), 0);
+}
+
+void CreditLedger::give_back(std::size_t link, std::uint64_t cycle) {
+  if (credits_[link] + pending_[link] >= capacity_) {
+    throw std::logic_error("CreditLedger: credit return exceeds capacity");
+  }
+  if (latency_ == 0) {
+    ++credits_[link];
+    return;
+  }
+  // Arrival at cycle + latency lands in slot (cycle + latency) % latency
+  // == cycle % latency — the slot deliver() just harvested this cycle,
+  // so the ring never collides with itself.
+  ++pending_[link];
+  ++ring_[(cycle % latency_) * links_ + link];
+}
+
+void CreditLedger::deliver(std::uint64_t cycle) {
+  if (latency_ == 0) return;
+  const std::size_t row = (cycle % latency_) * links_;
+  for (std::size_t link = 0; link < links_; ++link) {
+    const std::uint32_t arrived = ring_[row + link];
+    if (arrived == 0) continue;
+    credits_[link] += arrived;
+    pending_[link] -= arrived;
+    ring_[row + link] = 0;
+  }
+}
+
 PacketRing::PacketRing(std::size_t queues, std::size_t capacity)
     : capacity_(capacity),
       head_(queues, 0),
       count_(queues, 0),
       dest_(queues * capacity, 0),
       inject_(queues * capacity, 0),
-      arrival_(queues * capacity, 0) {
+      arrival_(queues * capacity, 0),
+      sl_(queues * capacity, 0) {
   if (capacity == 0) {
     throw std::invalid_argument("PacketRing: capacity must be positive");
   }
@@ -26,12 +93,13 @@ void PacketRing::reset(std::size_t queues, std::size_t capacity) {
   dest_.assign(queues * capacity, 0);
   inject_.assign(queues * capacity, 0);
   arrival_.assign(queues * capacity, 0);
+  sl_.assign(queues * capacity, 0);
   total_ = 0;
 }
 
 void PacketRing::push(std::size_t q, std::uint32_t dest,
                       std::uint64_t inject_cycle,
-                      std::uint64_t arrival_complete) {
+                      std::uint64_t arrival_complete, unsigned sl) {
   if (full(q)) {
     throw std::logic_error("PacketRing: push into a full queue");
   }
@@ -39,6 +107,7 @@ void PacketRing::push(std::size_t q, std::uint32_t dest,
   dest_[at] = dest;
   inject_[at] = inject_cycle;
   arrival_[at] = arrival_complete;
+  sl_[at] = static_cast<std::uint8_t>(sl);
   ++count_[q];
   ++total_;
 }
@@ -173,9 +242,12 @@ void FabricCore::finalize(std::uint64_t link_counter) {
         (static_cast<double>(stages_ - 1) * static_cast<double>(terminals_) *
          static_cast<double>(config_.measure_cycles));
   }
+  // An idle point (rate 0, all-OFF bursty, dead fabric) offered nothing;
+  // report 0 like every other ratio so reports never carry nan/inf or a
+  // vacuous 1.0.
   result.acceptance =
       result.offered == 0
-          ? 1.0
+          ? 0.0
           : static_cast<double>(result.injected) /
                 static_cast<double>(result.offered);
 }

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -36,7 +37,15 @@ namespace mineq::sim {
 /// primitive of both switching disciplines.
 class RoundRobin {
  public:
-  explicit RoundRobin(unsigned size = 1) : size_(size == 0 ? 1 : size) {}
+  /// \throws std::invalid_argument on an empty candidate ring — a
+  /// size-0 arbiter has nothing to grant, and silently clamping it to 1
+  /// (the historic behavior) masked the caller's geometry bug.
+  explicit RoundRobin(unsigned size = 1) : size_(size) {
+    if (size == 0) {
+      throw std::invalid_argument(
+          "RoundRobin: candidate ring must be non-empty");
+    }
+  }
 
   /// The candidate to try at probe position \p probe (0-based).
   [[nodiscard]] unsigned candidate(unsigned probe) const noexcept {
@@ -44,13 +53,98 @@ class RoundRobin {
   }
 
   /// Record that \p winner was served; it now has lowest priority.
-  void grant(unsigned winner) noexcept { next_ = (winner + 1) % size_; }
+  /// \throws std::logic_error on a winner outside the candidate ring
+  /// (granting it would desynchronize the pointer silently).
+  void grant(unsigned winner) {
+    if (winner >= size_) {
+      throw std::logic_error("RoundRobin::grant: winner out of range");
+    }
+    next_ = (winner + 1) % size_;
+  }
 
   [[nodiscard]] unsigned size() const noexcept { return size_; }
 
  private:
   unsigned size_;
   unsigned next_ = 0;
+};
+
+/// Quantum-weighted round-robin pointers, one per output port, flat over
+/// the whole fabric. Probe order matches RoundRobin (rotating from the
+/// pointer); the difference is the grant rule: a winner keeps top
+/// priority until it has taken \p weight consecutive grants (its
+/// quantum), then the pointer rotates past it. With every weight equal
+/// to 1 the grant sequence reduces to RoundRobin's exactly.
+class WeightedRoundRobin {
+ public:
+  /// Re-shape to \p arbiters pointers over \p size candidates each and
+  /// reset all quanta.
+  void reset(std::size_t arbiters, unsigned size);
+
+  [[nodiscard]] unsigned candidate(std::size_t a,
+                                   unsigned probe) const noexcept {
+    return (next_[a] + probe) % size_;
+  }
+
+  /// Record that \p winner was served with quantum \p weight (>= 1).
+  void grant(std::size_t a, unsigned winner, unsigned weight);
+
+ private:
+  unsigned size_ = 1;
+  std::vector<unsigned> next_;
+  std::vector<unsigned> served_;  ///< consecutive grants to next_[a]
+};
+
+/// Per-link credit counters with a configurable return latency — the
+/// loss-free link-level flow control both disciplines run when
+/// SimConfig::credits is enabled. The receiver end of every downstream
+/// buffer grants its capacity in credits up front; senders consume one
+/// per unit pushed and stall at zero; every pop schedules the credit
+/// back through a small ring of in-flight credit messages that delivers
+/// it \p latency cycles later (latency 0 returns it immediately, which
+/// the phase order makes byte-identical to direct occupancy probes).
+/// Conservation holds cycle for cycle:
+///   credits(l) + in_flight(l) + occupancy(l) == capacity.
+class CreditLedger {
+ public:
+  /// Re-shape to \p links counters of \p capacity credits each with
+  /// \p latency-cycle returns, retaining allocations when large enough.
+  void reset(std::size_t links, std::uint32_t capacity,
+             std::uint64_t latency);
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool available(std::size_t link) const noexcept {
+    return credits_[link] != 0;
+  }
+  [[nodiscard]] std::uint32_t credits(std::size_t link) const noexcept {
+    return credits_[link];
+  }
+  /// Credit-return messages still in flight toward \p link's sender.
+  [[nodiscard]] std::uint32_t in_flight(std::size_t link) const noexcept {
+    return pending_[link];
+  }
+
+  /// Spend one credit of \p link; it must be available().
+  void consume(std::size_t link) noexcept { --credits_[link]; }
+
+  /// Schedule one credit of \p link back to its sender, arriving at
+  /// cycle + latency (immediately for latency 0).
+  void give_back(std::size_t link, std::uint64_t cycle);
+
+  /// Start-of-cycle harvest: every credit scheduled to arrive at
+  /// \p cycle lands. Call once per cycle, before any give_back of that
+  /// cycle (the policies call it at the top of eject, the first phase).
+  void deliver(std::uint64_t cycle);
+
+ private:
+  std::uint32_t capacity_ = 0;
+  std::uint64_t latency_ = 0;
+  std::size_t links_ = 0;
+  std::vector<std::uint32_t> credits_;
+  std::vector<std::uint32_t> pending_;  ///< per-link in-flight total
+  /// Slot-major in-flight ring, slot = arrival cycle % latency:
+  /// ring_[slot * links + link] credits land together.
+  std::vector<std::uint32_t> ring_;
 };
 
 /// Every store-and-forward input FIFO of the fabric as one
@@ -72,10 +166,15 @@ class PacketRing {
   [[nodiscard]] bool full(std::size_t q) const noexcept {
     return count_[q] == capacity_;
   }
+  /// Packets currently buffered in queue \p q.
+  [[nodiscard]] std::uint32_t count(std::size_t q) const noexcept {
+    return count_[q];
+  }
 
-  /// Append a packet; the queue must not be full.
+  /// Append a packet; the queue must not be full. \p sl is the packet's
+  /// service level (0 outside credit-mode runs).
   void push(std::size_t q, std::uint32_t dest, std::uint64_t inject_cycle,
-            std::uint64_t arrival_complete);
+            std::uint64_t arrival_complete, unsigned sl = 0);
 
   /// Head-of-line packet fields; the queue must not be empty.
   [[nodiscard]] std::uint32_t front_dest(std::size_t q) const {
@@ -86,6 +185,9 @@ class PacketRing {
   }
   [[nodiscard]] std::uint64_t front_arrival(std::size_t q) const {
     return arrival_[front_slot(q)];
+  }
+  [[nodiscard]] unsigned front_sl(std::size_t q) const {
+    return sl_[front_slot(q)];
   }
 
   /// Drop the head-of-line packet; the queue must not be empty.
@@ -111,6 +213,7 @@ class PacketRing {
   std::vector<std::uint32_t> dest_;
   std::vector<std::uint64_t> inject_;
   std::vector<std::uint64_t> arrival_;
+  std::vector<std::uint8_t> sl_;
   std::size_t total_ = 0;
 };
 
@@ -141,6 +244,10 @@ class LanePool {
   /// Room for one more flit of the current worm.
   [[nodiscard]] bool has_space(std::size_t l) const noexcept {
     return count_[l] < depth_;
+  }
+  /// Flits currently buffered in lane \p l.
+  [[nodiscard]] std::uint32_t count(std::size_t l) const noexcept {
+    return count_[l];
   }
 
   /// Claim idle lane \p l for a new worm whose head is \p head and which
@@ -231,9 +338,19 @@ class SimWorkspace {
     return pool_;
   }
 
+  /// The credit-flow-control ledger, reset to (links, capacity,
+  /// latency). Like the pools, fully re-initialized per run.
+  [[nodiscard]] CreditLedger& credit_ledger(std::size_t links,
+                                            std::uint32_t capacity,
+                                            std::uint64_t latency) {
+    ledger_.reset(links, capacity, latency);
+    return ledger_;
+  }
+
  private:
   PacketRing ring_{0, 1};
   LanePool pool_{0, 1};
+  CreditLedger ledger_;
 };
 
 /// The per-run state shared by both switching policies: geometry, RNG

@@ -28,7 +28,16 @@ namespace {
 /// \tparam kBinary compile-time radix-2 switch: radix() folds to the
 /// literal 2 so the binary instantiations keep the historic shift/mask
 /// code generation (see StoreAndForwardPolicy in engine.cpp).
-template <bool kFaulted, bool kBinary>
+///
+/// \tparam kCredits compile-time flow-control switch: the false
+/// instantiation keeps the idealized handshake (senders probe downstream
+/// lane occupancy directly) byte for byte; the true instantiation runs
+/// per-lane credits over a CreditLedger — one credit per downstream lane
+/// slot, consumed per flit accepted, returned per flit popped with the
+/// configured latency — plus the pluggable output-port arbitration. With
+/// a non-empty SL->VL map, worms travel in their fixed virtual lane
+/// vl_of_sl(sl) at every hop instead of claiming the first idle lane.
+template <bool kFaulted, bool kBinary, bool kCredits>
 class WormholePolicy {
  public:
   WormholePolicy(FabricCore& core, const EjectObserver& observer,
@@ -52,25 +61,66 @@ class WormholePolicy {
       dropping_.assign(
           static_cast<std::size_t>(core.stages()) * core.ports() * lanes_, 0);
     }
+    if constexpr (kCredits) {
+      credit_config_ = &core.config().credits;
+      service_levels_ = credit_config_->service_levels();
+      credits_ = &workspace.credit_ledger(
+          static_cast<std::size_t>(core.stages()) * core.ports() * lanes_,
+          static_cast<std::uint32_t>(core.config().lane_depth),
+          credit_config_->return_latency);
+      if (credit_config_->arbitration == ArbitrationPolicy::kWeighted) {
+        weighted_.reset(
+            static_cast<std::size_t>(core.stages()) * core.ports(),
+            static_cast<unsigned>(static_cast<std::size_t>(radix()) *
+                                  lanes_));
+      }
+      core.result.sl_latency.resize(service_levels_);
+    }
   }
 
   /// Eject at the last stage: one flit per terminal port per cycle,
   /// round-robin over the radix*lanes candidate lanes. Ejection links are
   /// terminal attachments, not wiring arcs, so they cannot fault.
   void eject(std::uint64_t cycle, bool measuring) {
+    if constexpr (kCredits) credits_->deliver(cycle);
     const int last = core_.stages() - 1;
     const std::uint32_t cells = core_.cells();
     const unsigned r = radix();
+    const unsigned candidates =
+        static_cast<unsigned>(static_cast<std::size_t>(r) * lanes_);
     for (std::uint32_t x = 0; x < cells; ++x) {
       for (unsigned port = 0; port < r; ++port) {
-        RoundRobin& arb = core_.arbiter(last, x * r + port);
-        for (unsigned probe = 0; probe < arb.size(); ++probe) {
-          const unsigned c = arb.candidate(probe);
+        // Strict priority scans the ready candidates first: only a worm
+        // of the highest ready weight class may win this cycle.
+        [[maybe_unused]] unsigned need_weight = 0;
+        if constexpr (kCredits) {
+          if (credit_config_->arbitration == ArbitrationPolicy::kPriority) {
+            for (unsigned c = 0; c < candidates; ++c) {
+              const std::size_t l =
+                  lane_index(last, x * r + c / lanes_, c % lanes_);
+              if (pool_.empty(l) || pool_.out_port(l) != port) continue;
+              need_weight = std::max(need_weight, flit_weight(l));
+            }
+          }
+        }
+        for (unsigned probe = 0; probe < candidates; ++probe) {
+          const unsigned c = arb_candidate(last, x * r + port, probe);
           const std::size_t l =
               lane_index(last, x * r + c / lanes_, c % lanes_);
           if (pool_.empty(l) || pool_.out_port(l) != port) continue;
+          [[maybe_unused]] unsigned vl = 0;
+          if constexpr (kCredits) {
+            vl = credit_config_->vl_of_sl(
+                static_cast<unsigned>(pool_.front(l).sl));
+            if (credit_config_->arbitration ==
+                    ArbitrationPolicy::kPriority &&
+                credit_config_->weight(vl) != need_weight) {
+              continue;
+            }
+          }
           const Flit flit = pool_.pop(l);
-          arb.grant(c);
+          if constexpr (kCredits) credits_->give_back(l, cycle);
+          arb_grant(last, x * r + port, c, vl);
           if (observer_) observer_(flit, cycle);
           if (measuring &&
               flit.inject_cycle >= core_.config().warmup_cycles) {
@@ -78,6 +128,10 @@ class WormholePolicy {
             if (flit.is_tail()) {
               core_.record_packet_delivered(
                   static_cast<double>(cycle - flit.inject_cycle + 1));
+              if constexpr (kCredits) {
+                core_.result.sl_latency[static_cast<unsigned>(flit.sl)].add(
+                    static_cast<double>(cycle - flit.inject_cycle + 1));
+              }
               if constexpr (kFaulted) {
                 // A detoured worm ejects at whatever terminal the
                 // surviving route reached; count the miss.
@@ -140,10 +194,12 @@ class WormholePolicy {
     [[maybe_unused]] std::size_t arc_base = 0;
     [[maybe_unused]] const fault::FaultMask* mask = nullptr;
     if constexpr (kFaulted) {
-      drain_dropping(s, measuring);
+      drain_dropping(s, cycle, measuring);
       arc_base = static_cast<std::size_t>(s) * core_.ports();
       mask = &faulted_.mask();
     }
+    const unsigned candidates =
+        static_cast<unsigned>(static_cast<std::size_t>(r) * lanes_);
     for (std::uint32_t x = 0; x < cells; ++x) {
       for (unsigned port = 0; port < r; ++port) {
         if constexpr (kFaulted) {
@@ -151,33 +207,92 @@ class WormholePolicy {
           // out-port onto a masked arc, so this is just a fast skip).
           if (mask->faulted_index(arc_base + x * r + port)) continue;
         }
-        RoundRobin& arb = core_.arbiter(s, x * r + port);
-        for (unsigned probe = 0; probe < arb.size(); ++probe) {
-          const unsigned c = arb.candidate(probe);
+        // Strict priority scans the ready candidates first: only a worm
+        // of the highest ready weight class may win this cycle.
+        [[maybe_unused]] unsigned need_weight = 0;
+        if constexpr (kCredits) {
+          if (credit_config_->arbitration == ArbitrationPolicy::kPriority) {
+            for (unsigned c = 0; c < candidates; ++c) {
+              const std::size_t l =
+                  lane_index(s, x * r + c / lanes_, c % lanes_);
+              if (pool_.empty(l) || pool_.out_port(l) != port) continue;
+              need_weight = std::max(need_weight, flit_weight(l));
+            }
+          }
+        }
+        for (unsigned probe = 0; probe < candidates; ++probe) {
+          const unsigned c = arb_candidate(s, x * r + port, probe);
           const std::size_t l = lane_index(s, x * r + c / lanes_, c % lanes_);
           if (pool_.empty(l) || pool_.out_port(l) != port) continue;
+          [[maybe_unused]] unsigned vl = 0;
+          if constexpr (kCredits) {
+            vl = credit_config_->vl_of_sl(
+                static_cast<unsigned>(pool_.front(l).sl));
+            if (credit_config_->arbitration ==
+                    ArbitrationPolicy::kPriority &&
+                credit_config_->weight(vl) != need_weight) {
+              continue;
+            }
+          }
           // One packed read gives the child cell and its input slot —
           // the record value r * child + slot IS the downstream
           // port-slot index.
           const std::uint32_t record = down[x * r + port];
           const std::size_t target_first = lane_index(s + 1, record, 0);
           if (pool_.front(l).is_head()) {
-            // The head claims an idle downstream lane.
-            const int down_lane = pool_.find_idle_lane(target_first, lanes_);
-            if (down_lane < 0) continue;  // blocked: no free lane
+            // The head claims a downstream lane: its fixed virtual lane
+            // when an SL->VL map is configured, the first idle lane
+            // otherwise.
+            int down_lane;
+            if constexpr (kCredits) {
+              if (!credit_config_->sl_map.empty()) {
+                down_lane = static_cast<int>(vl);
+                if (!pool_.idle(target_first +
+                                static_cast<std::size_t>(down_lane))) {
+                  continue;  // blocked: its lane is held by another worm
+                }
+              } else {
+                down_lane = pool_.find_idle_lane(target_first, lanes_);
+                if (down_lane < 0) continue;  // blocked: no free lane
+              }
+              if (!credits_->available(
+                      target_first + static_cast<std::size_t>(down_lane))) {
+                // Lane is free but its credits have not returned yet.
+                if (measuring) ++core_.result.credit_stall_cycles;
+                continue;
+              }
+            } else {
+              down_lane = pool_.find_idle_lane(target_first, lanes_);
+              if (down_lane < 0) continue;  // blocked: no free lane
+            }
             const Flit flit = pool_.pop(l);
+            if constexpr (kCredits) credits_->give_back(l, cycle);
             if (!flit.is_tail()) pool_.set_downstream(l, down_lane);
             accept_head(target_first + static_cast<std::size_t>(down_lane),
                         flit, s + 1, record / r,
                         route_next(flit.dest_terminal), measuring);
+            if constexpr (kCredits) {
+              credits_->consume(target_first +
+                                static_cast<std::size_t>(down_lane));
+            }
           } else {
             // Body/tail flits follow through the reserved lane.
             const std::size_t down_l =
                 target_first + static_cast<std::size_t>(pool_.downstream(l));
-            if (!pool_.has_space(down_l)) continue;  // blocked: full
-            pool_.accept(down_l, pool_.pop(l));
+            if constexpr (kCredits) {
+              if (!credits_->available(down_l)) {
+                if (measuring) ++core_.result.credit_stall_cycles;
+                continue;
+              }
+              pool_.accept(down_l, pool_.pop(l));
+              credits_->give_back(l, cycle);
+              credits_->consume(down_l);
+            } else {
+              if (!pool_.has_space(down_l)) continue;  // blocked: full
+              pool_.accept(down_l, pool_.pop(l));
+            }
           }
-          arb.grant(c);
+          arb_grant(s, x * r + port, c, vl);
           if (measuring) ++link_flit_hops_;
           break;
         }
@@ -198,9 +313,17 @@ class WormholePolicy {
       if (src.remaining > 0) {
         const std::size_t l =
             lane_index(0, t, static_cast<std::size_t>(src.lane));
-        if (pool_.has_space(l)) {
+        bool room;
+        if constexpr (kCredits) {
+          room = credits_->available(l);
+          if (!room && measuring) ++core_.result.credit_stall_cycles;
+        } else {
+          room = pool_.has_space(l);
+        }
+        if (room) {
           pool_.accept(l, make_flit(src.id, src.dest, src.inject_cycle,
-                                    src.next_index, length_));
+                                    src.next_index, length_, src.sl));
+          if constexpr (kCredits) credits_->consume(l);
           ++src.next_index;
           --src.remaining;
           if (measuring) ++core_.result.flits_injected;
@@ -210,21 +333,46 @@ class WormholePolicy {
       if (!core_.terminal_active(t)) continue;
       if (!core_.gate()) continue;
       if (measuring) ++core_.result.offered;
-      const int lane = pool_.find_idle_lane(lane_index(0, t, 0), lanes_);
-      if (lane < 0) continue;  // refused at source
+      [[maybe_unused]] unsigned sl = 0;
+      int lane;
+      if constexpr (kCredits) {
+        sl = static_cast<unsigned>(t % service_levels_);
+        if (!credit_config_->sl_map.empty()) {
+          // Fixed virtual lane per service level.
+          lane = static_cast<int>(credit_config_->vl_of_sl(sl));
+          if (!pool_.idle(lane_index(0, t, static_cast<std::size_t>(lane)))) {
+            continue;  // refused at source: its lane is held
+          }
+        } else {
+          lane = pool_.find_idle_lane(lane_index(0, t, 0), lanes_);
+          if (lane < 0) continue;  // refused at source
+        }
+        if (!credits_->available(
+                lane_index(0, t, static_cast<std::size_t>(lane)))) {
+          if (measuring) ++core_.result.credit_stall_cycles;
+          continue;  // lane free, credits not returned yet
+        }
+      } else {
+        lane = pool_.find_idle_lane(lane_index(0, t, 0), lanes_);
+        if (lane < 0) continue;  // refused at source
+      }
       const std::uint32_t dest =
           core_.destination(static_cast<std::uint32_t>(t));
       const std::uint32_t id = next_packet_id_++;
       accept_head(lane_index(0, t, static_cast<std::size_t>(lane)),
-                  make_flit(id, dest, cycle, 0, length_), 0,
+                  make_flit(id, dest, cycle, 0, length_, sl), 0,
                   static_cast<std::uint32_t>(t / r),
                   core_.engine().route_port(0, dest), measuring);
+      if constexpr (kCredits) {
+        credits_->consume(lane_index(0, t, static_cast<std::size_t>(lane)));
+      }
       src.dest = dest;
       src.id = id;
       src.inject_cycle = cycle;
       src.next_index = 1;
       src.remaining = length_ - 1;
       src.lane = lane;
+      src.sl = sl;
       if (measuring) {
         ++core_.result.injected;
         ++core_.result.flits_injected;
@@ -232,10 +380,37 @@ class WormholePolicy {
     }
   }
 
-  /// Sample buffer occupancy (measured cycles only).
+  /// Sample buffer occupancy (measured cycles only). Credit runs also
+  /// audit the conservation invariant every sampled cycle — per lane,
+  /// credits held + credit messages in flight + flits buffered must
+  /// equal the lane depth exactly — and sample occupancy per virtual
+  /// lane so weighted/priority sweeps can see the VL partition directly.
   void sample(std::uint64_t /*cycle*/) {
     core_.result.lane_occupancy.add(
         static_cast<double>(pool_.occupied_flits()) / total_flit_slots_);
+    if constexpr (kCredits) {
+      const std::size_t lane_links =
+          static_cast<std::size_t>(core_.stages()) * core_.ports() * lanes_;
+      const std::uint64_t depth = credits_->capacity();
+      if (core_.result.vl_occupancy.empty()) {
+        core_.result.vl_occupancy.resize(lanes_);
+      }
+      vl_flits_.assign(lanes_, 0);
+      for (std::size_t l = 0; l < lane_links; ++l) {
+        const std::uint64_t held = credits_->credits(l);
+        if (held > depth ||
+            held + credits_->in_flight(l) + pool_.count(l) != depth) {
+          ++core_.result.credit_violations;
+        }
+        vl_flits_[l % lanes_] += pool_.count(l);
+      }
+      const double slots_per_vl = total_flit_slots_ /
+                                  static_cast<double>(lanes_);
+      for (std::size_t vl = 0; vl < lanes_; ++vl) {
+        core_.result.vl_occupancy[vl].add(
+            static_cast<double>(vl_flits_[vl]) / slots_per_vl);
+      }
+    }
   }
 
   [[nodiscard]] std::uint64_t buffered_flits() const {
@@ -254,6 +429,7 @@ class WormholePolicy {
     std::size_t next_index = 0;
     std::size_t remaining = 0;
     int lane = -1;
+    unsigned sl = 0;  // service level of the serializing packet
   };
 
   /// The radix, folded to the literal 2 in the binary instantiations.
@@ -270,6 +446,41 @@ class WormholePolicy {
     return (static_cast<std::size_t>(s) * core_.ports() + port_index) *
                lanes_ +
            lane;
+  }
+
+  /// The arbitration seam (kCredits only varies it) — see
+  /// StoreAndForwardPolicy for the policy semantics. Candidates here
+  /// index the radix * lanes input lanes of an output port.
+  [[nodiscard]] unsigned arb_candidate(int s, std::size_t out,
+                                       unsigned probe) {
+    if constexpr (kCredits) {
+      if (credit_config_->arbitration == ArbitrationPolicy::kWeighted) {
+        return weighted_.candidate(arb_index(s, out), probe);
+      }
+    }
+    return core_.arbiter(s, out).candidate(probe);
+  }
+
+  void arb_grant(int s, std::size_t out, unsigned winner,
+                 [[maybe_unused]] unsigned vl) {
+    if constexpr (kCredits) {
+      if (credit_config_->arbitration == ArbitrationPolicy::kWeighted) {
+        weighted_.grant(arb_index(s, out), winner,
+                        credit_config_->weight(vl));
+        return;
+      }
+    }
+    core_.arbiter(s, out).grant(winner);
+  }
+
+  [[nodiscard]] std::size_t arb_index(int s, std::size_t out) const {
+    return static_cast<std::size_t>(s) * core_.ports() + out;
+  }
+
+  /// Weight class of the worm at the head of lane \p l (kCredits only).
+  [[nodiscard]] unsigned flit_weight(std::size_t l) const {
+    return credit_config_->weight(credit_config_->vl_of_sl(
+        static_cast<unsigned>(pool_.front(l).sl)));
   }
 
   /// Accept \p head into lane \p l of cell \p y at stage \p s with the
@@ -307,13 +518,17 @@ class WormholePolicy {
   /// \p s. Popping the tail resets the lane to idle (via LanePool) and
   /// ends dropping mode; until then, flits still following the worm's
   /// reservation keep arriving and are drained on their next turn.
-  void drain_dropping(int s, bool measuring) {
+  void drain_dropping(int s, [[maybe_unused]] std::uint64_t cycle,
+                      bool measuring) {
     const std::size_t first = lane_index(s, 0, 0);
     const std::size_t count = core_.ports() * lanes_;
     for (std::size_t l = first; l < first + count; ++l) {
       if (dropping_[l] == 0) continue;
       while (!pool_.empty(l)) {
         const Flit flit = pool_.pop(l);
+        // A drained flit returns its credit like any other pop, so the
+        // ledger closes exactly even across dead switches.
+        if constexpr (kCredits) credits_->give_back(l, cycle);
         if (measuring && flit.inject_cycle >= core_.config().warmup_cycles) {
           ++core_.result.flits_dropped_faulted;
           if (flit.is_head()) ++core_.result.packets_dropped_faulted;
@@ -349,17 +564,23 @@ class WormholePolicy {
   double total_flit_slots_;
   fault::FaultedWiring faulted_;        // kFaulted only
   std::vector<std::uint8_t> dropping_;  // kFaulted only
+  const CreditConfig* credit_config_ = nullptr;  // kCredits only
+  CreditLedger* credits_ = nullptr;              // kCredits only
+  WeightedRoundRobin weighted_;                  // kCredits only
+  std::size_t service_levels_ = 1;               // kCredits only
+  std::vector<std::uint64_t> vl_flits_;          // kCredits only (scratch)
 };
 
 /// Out of line on purpose — see run_saf in engine.cpp.
-template <bool kFaulted, bool kBinary>
+template <bool kFaulted, bool kBinary, bool kCredits>
 #if defined(__GNUC__)
 [[gnu::noinline]]
 #endif
 SimResult
 run_wormhole(FabricCore& core, const EjectObserver& observer,
              SimWorkspace& workspace, const fault::FaultMask* mask) {
-  WormholePolicy<kFaulted, kBinary> policy(core, observer, workspace, mask);
+  WormholePolicy<kFaulted, kBinary, kCredits> policy(core, observer,
+                                                     workspace, mask);
   return run_switched(core, policy);
 }
 
@@ -392,12 +613,26 @@ SimResult WormholeSimulator::run(Pattern pattern, const SimConfig& config,
       static_cast<unsigned>(static_cast<std::size_t>(engine_.radix()) *
                             config.lanes));
   const bool binary = engine_.radix() == 2;
+  const bool credits = config.credits.enabled;
   if (faulted) {
-    return binary ? run_wormhole<true, true>(core, observer, ws, mask)
-                  : run_wormhole<true, false>(core, observer, ws, mask);
+    if (credits) {
+      return binary
+                 ? run_wormhole<true, true, true>(core, observer, ws, mask)
+                 : run_wormhole<true, false, true>(core, observer, ws, mask);
+    }
+    return binary
+               ? run_wormhole<true, true, false>(core, observer, ws, mask)
+               : run_wormhole<true, false, false>(core, observer, ws, mask);
   }
-  return binary ? run_wormhole<false, true>(core, observer, ws, nullptr)
-                : run_wormhole<false, false>(core, observer, ws, nullptr);
+  if (credits) {
+    return binary
+               ? run_wormhole<false, true, true>(core, observer, ws, nullptr)
+               : run_wormhole<false, false, true>(core, observer, ws,
+                                                  nullptr);
+  }
+  return binary
+             ? run_wormhole<false, true, false>(core, observer, ws, nullptr)
+             : run_wormhole<false, false, false>(core, observer, ws, nullptr);
 }
 
 }  // namespace mineq::sim

@@ -240,6 +240,102 @@ TEST(SweepTest, RadixAxisRejectsKindsWithoutKaryConstruction) {
   EXPECT_THROW((void)run_sweep(grid, 1), std::invalid_argument);
 }
 
+TEST(SweepTest, CreditAxisExpandsTheGridAndStaysDeterministic) {
+  SweepGrid grid = small_grid();
+  grid.patterns = {sim::Pattern::kUniform};
+  sim::CreditConfig latency0;
+  latency0.enabled = true;
+  sim::CreditConfig latency2 = latency0;
+  latency2.return_latency = 2;
+  sim::CreditConfig weighted = latency0;
+  weighted.arbitration = sim::ArbitrationPolicy::kWeighted;
+  weighted.weights = {4, 1};
+  weighted.sl_map = {0, 0};  // both SLs valid for saf (1 lane) too
+  grid.credits = {sim::CreditConfig{}, latency0, latency2, weighted};
+  // 2 networks * 1 pattern * (1 + 2) mode-lane variants * 4 credit
+  // configs * 2 rates.
+  EXPECT_EQ(grid.size(), 2U * 1U * 3U * 4U * 2U);
+  const SweepResult sweep = run_sweep(grid, 2);
+  ASSERT_EQ(sweep.points.size(), grid.size());
+  for (const SweepPoint& point : sweep.points) {
+    // The invariant audit runs on every credit-enabled point.
+    EXPECT_EQ(point.result.credit_violations, 0U);
+    if (!point.credits.enabled) {
+      EXPECT_EQ(point.result.credit_stall_cycles, 0U);
+    }
+  }
+  // The credit axis sits between lanes and faults in the enumeration:
+  // points 0..7 of the first (saf) block differ only in (credits, rate).
+  EXPECT_FALSE(sweep.points[0].credits.enabled);
+  EXPECT_TRUE(sweep.points[2].credits.enabled);
+  EXPECT_EQ(sweep.points[4].credits.return_latency, 2U);
+  EXPECT_EQ(sweep.points[6].credits.arbitration,
+            sim::ArbitrationPolicy::kWeighted);
+  // The credit columns reach the artifacts, and the 1/2/5-thread byte
+  // determinism pin holds with the credit axis in play.
+  const std::string csv = sweep_csv(sweep);
+  for (const char* column :
+       {",credits,", ",credit_latency,", ",arbitration,", ",vl_weights,",
+        ",sl_map,", ",vl_occupancy,", ",sl_latency_mean,",
+        ",credit_stall_cycles,", ",credit_violations,"}) {
+    EXPECT_NE(csv.find(column), std::string::npos) << column;
+  }
+  EXPECT_EQ(sweep_csv(run_sweep(grid, 1)), csv);
+  EXPECT_EQ(sweep_csv(run_sweep(grid, 5)), csv);
+  EXPECT_EQ(sweep_json(run_sweep(grid, 1)), sweep_json(run_sweep(grid, 5)));
+}
+
+/// A sweep over a neutral credit config (latency 0, rr, uniform weights)
+/// must reproduce the credit-disabled sweep's numbers point for point:
+/// both grids are single-value on the credit axis, so task indices — and
+/// with them the per-point seeds — line up exactly, and only the credit
+/// columns may differ.
+TEST(SweepTest, NeutralCreditSweepMatchesDisabledSweepNumerically) {
+  SweepGrid disabled_grid = small_grid();
+  disabled_grid.patterns = {sim::Pattern::kUniform};
+  SweepGrid neutral_grid = disabled_grid;
+  sim::CreditConfig neutral;
+  neutral.enabled = true;
+  neutral_grid.credits = {neutral};
+  const SweepResult disabled = run_sweep(disabled_grid, 2);
+  const SweepResult with_credits = run_sweep(neutral_grid, 2);
+  ASSERT_EQ(disabled.points.size(), with_credits.points.size());
+  for (std::size_t i = 0; i < disabled.points.size(); ++i) {
+    const sim::SimResult& a = disabled.points[i].result;
+    const sim::SimResult& b = with_credits.points[i].result;
+    ASSERT_EQ(disabled.points[i].seed, with_credits.points[i].seed);
+    EXPECT_EQ(a.offered, b.offered);
+    EXPECT_EQ(a.injected, b.injected);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.flits_injected, b.flits_injected);
+    EXPECT_EQ(a.hol_blocking_cycles, b.hol_blocking_cycles);
+    EXPECT_DOUBLE_EQ(a.latency.mean(), b.latency.mean());
+    EXPECT_DOUBLE_EQ(a.link_utilization, b.link_utilization);
+    EXPECT_EQ(b.credit_violations, 0U);
+  }
+}
+
+/// Ratio fields are defined as 0 when nothing is injected: a rate-0 axis
+/// value must never leak nan/inf into the artifacts.
+TEST(SweepTest, RateZeroPointsEmitCleanZeros) {
+  SweepGrid grid = small_grid();
+  grid.rates = {0.0};
+  const SweepResult sweep = run_sweep(grid, 2);
+  for (const SweepPoint& point : sweep.points) {
+    EXPECT_EQ(point.result.offered, 0U);
+    EXPECT_EQ(point.result.injected, 0U);
+    EXPECT_DOUBLE_EQ(point.result.acceptance, 0.0);
+    EXPECT_DOUBLE_EQ(point.result.delivered_fraction(), 0.0);
+    EXPECT_DOUBLE_EQ(point.result.throughput, 0.0);
+  }
+  const std::string csv = sweep_csv(sweep);
+  const std::string json = sweep_json(sweep);
+  for (const char* poison : {"nan", "inf", "NaN", "Inf"}) {
+    EXPECT_EQ(csv.find(poison), std::string::npos) << poison;
+    EXPECT_EQ(json.find(poison), std::string::npos) << poison;
+  }
+}
+
 TEST(SweepTest, PerPointSeedsAreDistinctAndRecorded) {
   const SweepResult sweep = run_sweep(small_grid(), 2);
   std::set<std::uint64_t> seeds;
@@ -331,6 +427,19 @@ TEST(SweepTest, ValidationErrors) {
 
   grid = small_grid();
   grid.bursts = {sim::BurstParams{0.0, 0.5}};
+  EXPECT_THROW((void)run_sweep(grid, 1), std::invalid_argument);
+
+  grid = small_grid();
+  grid.credits.clear();
+  EXPECT_THROW((void)run_sweep(grid, 1), std::invalid_argument);
+
+  // A credit config is validated against every mode/lane combination the
+  // grid pairs it with: lane 5 exists at no swept wormhole lane count.
+  grid = small_grid();
+  sim::CreditConfig bad_map;
+  bad_map.enabled = true;
+  bad_map.sl_map = {5};
+  grid.credits = {bad_map};
   EXPECT_THROW((void)run_sweep(grid, 1), std::invalid_argument);
 }
 

@@ -60,6 +60,16 @@ Grid axes (comma-separated lists):
   --burst-on-off LIST P(ON->OFF) per cycle, bursty pattern only
                     (mean burst = 1/p cycles)                  [0.125]
   --burst-off-on LIST P(OFF->ON) per cycle (mean idle = 1/p)   [0.041667]
+  --credit-latency LIST  credit-return latencies (cycles); any credit
+                    flag switches the sweep from the idealized
+                    handshake to link-level credit flow control [0]
+  --arbitration LIST  output-port arbiter: rr,weighted,priority
+                    (crossed with --credit-latency)            [rr]
+  --vl-weights LIST   per-virtual-lane arbitration weights (last
+                    entry broadcasts to higher lanes)          [uniform]
+  --sl-map LIST       service-level -> virtual-lane map; defines
+                    SL count = list length (packets carry
+                    SL = terminal % count)                     [all->0]
 
 Fixed parameters:
   --stages N          stages (terminals = radix^N)             [6]
@@ -204,6 +214,11 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> fault_seeds = {1};
   std::vector<double> burst_on_off = {mineq::sim::BurstParams{}.on_to_off};
   std::vector<double> burst_off_on = {mineq::sim::BurstParams{}.off_to_on};
+  std::vector<std::uint64_t> credit_latencies;
+  std::vector<mineq::sim::ArbitrationPolicy> arbitrations;
+  std::vector<unsigned> vl_weights;
+  std::vector<unsigned> sl_map;
+  bool credits_requested = false;
 
   std::size_t threads = 0;
   std::string csv_path;
@@ -275,6 +290,32 @@ int main(int argc, char** argv) {
         for (const std::string& item : split_list(next_value(i), ',')) {
           burst_off_on.push_back(parse_double(item, "burst off->on"));
         }
+      } else if (arg == "--credit-latency" || arg == "--credit-latencies") {
+        credits_requested = true;
+        credit_latencies.clear();
+        for (const std::string& item : split_list(next_value(i), ',')) {
+          credit_latencies.push_back(parse_u64(item, "credit latency"));
+        }
+      } else if (arg == "--arbitration" || arg == "--arbitrations") {
+        credits_requested = true;
+        arbitrations.clear();
+        for (const std::string& item : split_list(next_value(i), ',')) {
+          arbitrations.push_back(mineq::sim::parse_arbitration_policy(item));
+        }
+      } else if (arg == "--vl-weights") {
+        credits_requested = true;
+        vl_weights.clear();
+        for (const std::string& item : split_list(next_value(i), ',')) {
+          vl_weights.push_back(
+              static_cast<unsigned>(parse_u64(item, "VL weight")));
+        }
+      } else if (arg == "--sl-map") {
+        credits_requested = true;
+        sl_map.clear();
+        for (const std::string& item : split_list(next_value(i), ',')) {
+          sl_map.push_back(
+              static_cast<unsigned>(parse_u64(item, "SL->VL entry")));
+        }
       } else if (arg == "--stages") {
         grid.stages = static_cast<int>(parse_u64(next_value(i), "stages"));
       } else if (arg == "--packet-length") {
@@ -310,6 +351,26 @@ int main(int argc, char** argv) {
   if (csv_path == "-" || json_path == "-") quiet = true;
 
   grid.faults = cross_fault_axis(fault_kinds, fault_rates, fault_seeds);
+  if (credits_requested) {
+    // Cross {latency x arbitration} into the flow-control axis; the VL
+    // weights and SL->VL map are shared by every credit point.
+    if (credit_latencies.empty()) credit_latencies.push_back(0);
+    if (arbitrations.empty()) {
+      arbitrations.push_back(mineq::sim::ArbitrationPolicy::kRoundRobin);
+    }
+    grid.credits.clear();
+    for (const std::uint64_t latency : credit_latencies) {
+      for (const mineq::sim::ArbitrationPolicy arbitration : arbitrations) {
+        mineq::sim::CreditConfig cc;
+        cc.enabled = true;
+        cc.return_latency = latency;
+        cc.arbitration = arbitration;
+        cc.weights = vl_weights;
+        cc.sl_map = sl_map;
+        grid.credits.push_back(std::move(cc));
+      }
+    }
+  }
   grid.bursts.clear();
   for (const double on_off : burst_on_off) {
     for (const double off_on : burst_off_on) {
