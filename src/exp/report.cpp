@@ -47,6 +47,9 @@ std::vector<std::pair<std::string, std::string>> point_fields(
       {"stages", std::to_string(p.stages)},
       {"seed", std::to_string(p.seed)},
       {"radix", std::to_string(p.radix)},
+      {"fabric", min::multipath_kind_name(p.fabric)},
+      {"paths", std::to_string(p.paths)},
+      {"path_policy", sim::path_policy_name(p.path_policy)},
       {"fault_kind", fault::fault_kind_name(p.fault.kind)},
       {"fault_rate", util::fixed(p.fault.rate, 4)},
       {"fault_seed", std::to_string(p.fault.seed)},
@@ -82,6 +85,12 @@ std::vector<std::pair<std::string, std::string>> point_fields(
       {"packets_rerouted", std::to_string(r.packets_rerouted)},
       {"packets_misdelivered", std::to_string(r.packets_misdelivered)},
       {"flits_dropped_faulted", std::to_string(r.flits_dropped_faulted)},
+      // Multipath outputs: the fabric's path multiplicity, in-group path
+      // re-selections under faults, and the precomputed surviving-path
+      // floor (unipath points report full_access as 1/0 here).
+      {"paths_available", std::to_string(r.paths_available)},
+      {"path_reroutes", std::to_string(r.path_reroutes)},
+      {"min_path_diversity", std::to_string(p.min_path_diversity)},
       // Survivor-topology classification, constant across the points of
       // one {network, fault spec} pair. Booleans render as 0/1 so both
       // emitters stay numeric.

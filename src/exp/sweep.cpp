@@ -6,7 +6,7 @@
 #include <string>
 
 #include "min/kary.hpp"
-
+#include "multipath/diversity.hpp"
 #include "sim/fabric.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -28,15 +28,25 @@ std::size_t SweepGrid::size() const noexcept {
     pattern_burst_variants +=
         pattern == sim::Pattern::kBursty ? bursts.size() : 1;
   }
-  return networks.size() * radices.size() * pattern_burst_variants *
-         mode_lane_variants * credits.size() * faults.size() * rates.size();
+  const std::size_t unipath_points =
+      networks.size() * radices.size() * pattern_burst_variants *
+      mode_lane_variants * credits.size() * faults.size() * rates.size();
+  // The appended multipath block skips the credit axis (fabrics are
+  // credit-less) and expands the path-policy axis instead.
+  const std::size_t fabric_points =
+      fabrics.size() * radices.size() * pattern_burst_variants *
+      mode_lane_variants * path_policies.size() * faults.size() *
+      rates.size();
+  return unipath_points + fabric_points;
 }
 
 namespace {
 
 void validate_grid(const SweepGrid& grid) {
-  if (grid.networks.empty() || grid.radices.empty() ||
-      grid.patterns.empty() || grid.modes.empty() ||
+  // The networks axis may be empty when a fabric axis is present — a
+  // pure multipath sweep is legitimate.
+  if ((grid.networks.empty() && grid.fabrics.empty()) ||
+      grid.radices.empty() || grid.patterns.empty() || grid.modes.empty() ||
       grid.lane_counts.empty() || grid.faults.empty() ||
       grid.bursts.empty() || grid.credits.empty() || grid.rates.empty()) {
     throw std::invalid_argument("run_sweep: every grid axis needs >= 1 value");
@@ -106,6 +116,62 @@ void validate_grid(const SweepGrid& grid) {
           "run_sweep: transpose traffic needs an even stage count");
     }
   }
+  if (!grid.fabrics.empty()) {
+    if (grid.path_policies.empty()) {
+      throw std::invalid_argument(
+          "run_sweep: the fabric axis needs >= 1 path policy");
+    }
+    for (const sim::PathPolicy policy : grid.path_policies) {
+      if (policy == sim::PathPolicy::kLooping) {
+        throw std::invalid_argument(
+            "run_sweep: the looping policy needs a fixed permutation and "
+            "cannot be swept (use hash or adaptive)");
+      }
+    }
+    for (const FabricSpec& spec : grid.fabrics) {
+      if (spec.kind == min::MultiPathKind::kUnipath) {
+        throw std::invalid_argument(
+            "run_sweep: put single-path networks on the networks axis, "
+            "not the fabrics axis");
+      }
+      for (const int radix : grid.radices) {
+        if (spec.kind != min::MultiPathKind::kBenes && radix > 2 &&
+            !min::kary_network_supported(spec.base)) {
+          throw std::invalid_argument(
+              "run_sweep: " + min::network_name(spec.base) + " has no radix-" +
+              std::to_string(radix) + " construction to build a " +
+              min::multipath_kind_name(spec.kind) + " fabric on");
+        }
+        if (spec.kind == min::MultiPathKind::kDilated &&
+            (spec.paths < 2 || radix * spec.paths > 64)) {
+          throw std::invalid_argument(
+              "run_sweep: dilation must be >= 2 with radix * dilation <= 64");
+        }
+        if (spec.kind == min::MultiPathKind::kReplicated && spec.paths < 2) {
+          throw std::invalid_argument(
+              "run_sweep: a replicated fabric needs >= 2 planes");
+        }
+      }
+    }
+  }
+}
+
+/// Materialize one fabric-axis value at one radix.
+min::MultiPathWiring build_fabric(const FabricSpec& spec, int stages,
+                                  int radix) {
+  switch (spec.kind) {
+    case min::MultiPathKind::kBenes:
+      return min::MultiPathWiring::benes(stages, radix);
+    case min::MultiPathKind::kDilated:
+      return min::MultiPathWiring::dilated(spec.base, stages, radix,
+                                           spec.paths);
+    case min::MultiPathKind::kReplicated:
+      return min::MultiPathWiring::replicated(spec.base, stages, radix,
+                                              spec.paths);
+    case min::MultiPathKind::kUnipath:
+      break;  // rejected by validate_grid
+  }
+  throw std::invalid_argument("run_sweep: unsupported fabric kind");
 }
 
 /// One fault-axis value materialized against one network: the mask the
@@ -114,6 +180,9 @@ void validate_grid(const SweepGrid& grid) {
 struct MaterializedFault {
   fault::FaultMask mask;
   min::FaultedClassification survivor;
+  /// Worst-case surviving path count under the mask (unipath engines:
+  /// full_access ? 1 : 0).
+  std::uint64_t diversity = 1;
 };
 
 }  // namespace
@@ -142,9 +211,20 @@ SweepResult run_sweep(const SweepGrid& grid, std::size_t threads) {
       }
     }
   }
+  // Fabric-axis engines follow the unipath ones: one per {fabric spec,
+  // radix}, indexed unipath_engines + spec_index * radix_count + ri.
+  const std::size_t unipath_engines = engines.size();
+  for (const FabricSpec& spec : grid.fabrics) {
+    for (const int radix : grid.radices) {
+      engines.push_back(std::make_unique<sim::Engine>(
+          build_fabric(spec, grid.stages, radix)));
+    }
+  }
 
   // One fault mask + survivor classification per {network, radix, fault
-  // spec}, shared read-only across the points of the triple.
+  // spec}, shared read-only across the points of the triple. Multipath
+  // engines additionally precompute the surviving-path floor their
+  // points report.
   std::vector<std::vector<MaterializedFault>> faults(engines.size());
   for (std::size_t ei = 0; ei < engines.size(); ++ei) {
     faults[ei].reserve(grid.faults.size());
@@ -152,6 +232,10 @@ SweepResult run_sweep(const SweepGrid& grid, std::size_t threads) {
       MaterializedFault mf;
       mf.mask = fault::build_fault_mask(engines[ei]->wiring(), spec);
       mf.survivor = min::classify_faulted(engines[ei]->wiring(), mf.mask);
+      mf.diversity = engines[ei]->multipath()
+                         ? multipath::min_path_diversity(engines[ei]->fabric(),
+                                                         &mf.mask)
+                         : (mf.survivor.full_access ? 1 : 0);
       faults[ei].push_back(std::move(mf));
     }
   }
@@ -204,6 +288,63 @@ SweepResult run_sweep(const SweepGrid& grid, std::size_t threads) {
                     task.point.seed = seed_root.split(tasks.size()).next();
                     task.point.survivor =
                         faults[task.engine_index][fi].survivor;
+                    task.point.min_path_diversity =
+                        faults[task.engine_index][fi].diversity;
+                    tasks.push_back(std::move(task));
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  // The multipath-fabric block rides strictly after the unipath grid:
+  // unipath task indices — and with them the per-point seeds and every
+  // byte of the unipath output — are unchanged by adding fabrics.
+  for (std::size_t si = 0; si < grid.fabrics.size(); ++si) {
+    const FabricSpec& spec = grid.fabrics[si];
+    for (std::size_t ri = 0; ri < radix_count; ++ri) {
+      for (const sim::Pattern pattern : grid.patterns) {
+        const std::size_t burst_variants =
+            pattern == sim::Pattern::kBursty ? grid.bursts.size() : 1;
+        for (std::size_t bi = 0; bi < burst_variants; ++bi) {
+          for (const sim::SwitchingMode mode : grid.modes) {
+            const std::size_t lane_variants =
+                mode == sim::SwitchingMode::kStoreAndForward
+                    ? 1
+                    : grid.lane_counts.size();
+            for (std::size_t li = 0; li < lane_variants; ++li) {
+              for (const sim::PathPolicy policy : grid.path_policies) {
+                for (std::size_t fi = 0; fi < grid.faults.size(); ++fi) {
+                  for (const double rate : grid.rates) {
+                    Task task;
+                    task.engine_index =
+                        unipath_engines + si * radix_count + ri;
+                    task.fault_index = fi;
+                    // Record the base banyan the fabric composes (the
+                    // Benes' front half is the radix-r baseline).
+                    task.point.network =
+                        spec.kind == min::MultiPathKind::kBenes
+                            ? min::NetworkKind::kBaseline
+                            : spec.base;
+                    task.point.radix = grid.radices[ri];
+                    task.point.pattern = pattern;
+                    task.point.mode = mode;
+                    task.point.lanes = grid.lane_counts[li];
+                    task.point.fault = grid.faults[fi];
+                    task.point.burst = grid.bursts[bi];
+                    task.point.rate = rate;
+                    task.point.stages = grid.stages;
+                    task.point.seed = seed_root.split(tasks.size()).next();
+                    task.point.fabric = spec.kind;
+                    task.point.paths = spec.paths;
+                    task.point.path_policy = policy;
+                    task.point.survivor =
+                        faults[task.engine_index][fi].survivor;
+                    task.point.min_path_diversity =
+                        faults[task.engine_index][fi].diversity;
                     tasks.push_back(std::move(task));
                   }
                 }
@@ -229,6 +370,7 @@ SweepResult run_sweep(const SweepGrid& grid, std::size_t threads) {
         config.lanes = task.point.lanes;
         config.burst = task.point.burst;
         config.credits = task.point.credits;
+        config.path_policy = task.point.path_policy;
         config.seed = task.point.seed;
         const fault::FaultMask& mask =
             faults[task.engine_index][task.fault_index].mask;

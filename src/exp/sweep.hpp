@@ -23,9 +23,20 @@
 #include "fault/fault_model.hpp"
 #include "min/equivalence.hpp"
 #include "min/networks.hpp"
+#include "multipath/multipath_wiring.hpp"
 #include "sim/engine.hpp"
 
 namespace mineq::exp {
+
+/// One multipath-fabric axis value: a fabric family composed over a base
+/// banyan with a path-multiplicity parameter (`paths` is the dilation of
+/// a dilated fabric or the plane count of a replicated one; a Benes
+/// fixes its own multiplicity at radix^(stages-1) and ignores it).
+struct FabricSpec {
+  min::MultiPathKind kind = min::MultiPathKind::kBenes;
+  min::NetworkKind base = min::NetworkKind::kOmega;
+  int paths = 2;
+};
 
 /// The axes of one sweep. Fixed (non-swept) simulation parameters ride in
 /// `base`, whose injection_rate, mode, lanes, burst and seed are
@@ -53,13 +64,24 @@ struct SweepGrid {
   /// the idealized-handshake sweep bit for bit.
   std::vector<sim::CreditConfig> credits = {sim::CreditConfig{}};
   std::vector<double> rates;
+  /// Multipath-fabric axis; the default empty axis reproduces the
+  /// unipath sweep bit for bit. Fabric points are appended AFTER every
+  /// unipath point (task order, seeds, and output of the unipath prefix
+  /// are unchanged by adding fabrics) and expand over {radices, patterns,
+  /// bursts, modes, lanes, path_policies, faults, rates} — the credit
+  /// axis is skipped (multipath fabrics are credit-less).
+  std::vector<FabricSpec> fabrics;
+  /// Path-selection axis for the fabric points (unipath points have no
+  /// path choice and ignore it). PathPolicy::kLooping needs a fixed
+  /// permutation and is rejected here — sweeps run random patterns.
+  std::vector<sim::PathPolicy> path_policies = {sim::PathPolicy::kHash};
   int stages = 6;
   sim::SimConfig base;
 
   /// Number of grid points: the product of the axis sizes, except that
   /// a store-and-forward mode contributes one lane variant (lanes only
   /// shape the wormhole discipline) and a non-bursty pattern contributes
-  /// one burst variant.
+  /// one burst variant; plus the appended multipath-fabric block.
   [[nodiscard]] std::size_t size() const noexcept;
 };
 
@@ -76,6 +98,16 @@ struct SweepPoint {
   double rate = 0.0;
   int stages = 0;
   std::uint64_t seed = 0;  ///< the derived per-point seed actually used
+  /// Multipath-fabric family of the point (kUnipath for the classic
+  /// single-path points of the networks axis).
+  min::MultiPathKind fabric = min::MultiPathKind::kUnipath;
+  /// The FabricSpec::paths parameter simulated (1 on unipath points).
+  int paths = 1;
+  sim::PathPolicy path_policy = sim::PathPolicy::kHash;
+  /// Worst-case surviving path count over all (source, dest) pairs under
+  /// this point's fault mask (multipath::min_path_diversity). Unipath
+  /// points report full_access ? 1 : 0.
+  std::uint64_t min_path_diversity = 1;
   /// Survivor-topology classification of (network, fault) — shared by
   /// every point of the pair, computed once per mask.
   min::FaultedClassification survivor;

@@ -151,4 +151,32 @@ FlatWiring FlatWiring::from_pipids(
   return wiring;
 }
 
+FlatWiring FlatWiring::from_stage_children(
+    int stages, std::uint32_t cells, int radix,
+    const std::vector<std::vector<std::uint32_t>>& child_of_link_per_stage) {
+  if (child_of_link_per_stage.size() !=
+      static_cast<std::size_t>(stages > 0 ? stages - 1 : 0)) {
+    throw std::invalid_argument(
+        "FlatWiring::from_stage_children: need stages - 1 child tables, "
+        "got " +
+        std::to_string(child_of_link_per_stage.size()) + " for stages=" +
+        std::to_string(stages));
+  }
+  FlatWiring wiring(stages, cells, radix);
+  std::vector<std::uint8_t> filled(wiring.cells_);
+  for (int s = 0; s + 1 < stages; ++s) {
+    const std::vector<std::uint32_t>& table =
+        child_of_link_per_stage[static_cast<std::size_t>(s)];
+    if (table.size() != wiring.links_per_stage()) {
+      throw std::invalid_argument(
+          "FlatWiring::from_stage_children: child table for connection " +
+          std::to_string(s) + " has " + std::to_string(table.size()) +
+          " entries, expected radix * cells = " +
+          std::to_string(wiring.links_per_stage()));
+    }
+    wiring.pack_stage(s, table, filled);
+  }
+  return wiring;
+}
+
 }  // namespace mineq::min

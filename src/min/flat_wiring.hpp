@@ -73,6 +73,20 @@ class FlatWiring {
   [[nodiscard]] static FlatWiring from_pipids(
       const std::vector<perm::IndexPermutation>& pipids);
 
+  /// Build directly from explicit per-connection child tables:
+  /// child_of_link_per_stage[s][radix * x + port] is the child cell the
+  /// port-p out-link of cell x at stage s lands in. This is the escape
+  /// hatch for geometries KaryMIDigraph cannot represent (it pins cells =
+  /// radix^(stages-1)): the multipath fabrics (Benes, dilated, replicated
+  /// planes) compose existing stage blocks into wirings with 2n-1 stages,
+  /// radix r*d cells, or p*C cells. Slot assignment goes through the same
+  /// pack_stage fill order as every other constructor.
+  /// \throws std::invalid_argument on a geometry/table-size mismatch or if
+  /// some cell's in-degree is not radix.
+  [[nodiscard]] static FlatWiring from_stage_children(
+      int stages, std::uint32_t cells, int radix,
+      const std::vector<std::vector<std::uint32_t>>& child_of_link_per_stage);
+
   /// Reject geometries the packed records cannot represent: radix must
   /// be within [2, 64] (uint8 slot-fill counters; kary constructions cap
   /// at 16 anyway), stages >= 1, cells >= 1, and cells * radix must fit

@@ -61,8 +61,16 @@ NetworkKind parse_network_kind(std::string_view name) {
       return kind;
     }
   }
+  // Enumerate the valid tokens from the registry itself, so the message
+  // can never drift from all_network_kinds().
+  std::string valid;
+  for (NetworkKind kind : all_network_kinds()) {
+    if (!valid.empty()) valid += ", ";
+    valid += network_token(kind);
+  }
   throw std::invalid_argument("parse_network_kind: unknown network \"" +
-                              std::string(name) + '"');
+                              std::string(name) + "\" (valid: " + valid +
+                              ')');
 }
 
 std::vector<perm::IndexPermutation> network_pipid_sequence(NetworkKind kind,

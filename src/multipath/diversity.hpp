@@ -1,0 +1,36 @@
+/// \file diversity.hpp
+/// \brief Surviving path diversity of a multipath fabric under a fault
+/// mask.
+///
+/// The resilience payoff of a multipath fabric is quantifiable before
+/// simulating a single flit: count, for every (source, destination)
+/// pair, how many of the router-usable paths survive the mask, and
+/// report the minimum over all pairs. A unipath banyan scores 1 when
+/// pristine and 0 as soon as any pair loses its only path (exactly the
+/// full-access classification); a Benes/dilated/replicated fabric keeps
+/// a positive minimum until every path of some pair is cut. The sweep
+/// layer emits this as the `min_path_diversity` column next to the
+/// simulated `delivered_fraction`, so structural and behavioral
+/// resilience can be read off the same row.
+
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_mask.hpp"
+#include "multipath/multipath_wiring.hpp"
+
+namespace mineq::multipath {
+
+/// Minimum over all (source terminal, destination terminal) pairs of the
+/// number of distinct router-usable paths of \p fabric that survive
+/// \p mask (nullptr = pristine fabric). "Router-usable" means paths the
+/// simulators' path policies can actually take: any out-port at a free
+/// connection, any arc of the scheduled dilation group at a forced one,
+/// any plane at injection. Saturates at UINT64_MAX. O(logical_cells *
+/// stages * physical links).
+[[nodiscard]] std::uint64_t min_path_diversity(
+    const min::MultiPathWiring& fabric,
+    const fault::FaultMask* mask = nullptr);
+
+}  // namespace mineq::multipath

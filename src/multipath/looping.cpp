@@ -1,0 +1,230 @@
+#include "multipath/looping.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mineq::multipath {
+
+namespace {
+
+constexpr int kNone = -1;
+
+/// Base-r digit \p i of \p value via a precomputed power table.
+unsigned digit_of(std::uint32_t value, int i,
+                  const std::vector<std::uint32_t>& power, unsigned radix) {
+  return (value / power[static_cast<std::size_t>(i)]) % radix;
+}
+
+}  // namespace
+
+LoopingSettings looping_configure(
+    const min::MultiPathWiring& fabric,
+    const std::vector<std::uint32_t>& permutation) {
+  if (fabric.kind() != min::MultiPathKind::kBenes) {
+    throw std::invalid_argument(
+        "looping_configure: the looping algorithm configures Benes fabrics "
+        "only, got " +
+        min::multipath_kind_name(fabric.kind()));
+  }
+  const min::FlatWiring& w = fabric.wiring();
+  const int n = fabric.logical_stages();
+  const int width = n - 1;  // base-r digits in a cell label
+  const auto r = static_cast<unsigned>(fabric.logical_radix());
+  const std::uint32_t cells = fabric.logical_cells();
+  const std::size_t terminals = static_cast<std::size_t>(r) * cells;
+
+  if (permutation.size() != terminals) {
+    throw std::invalid_argument(
+        "looping_configure: permutation has " +
+        std::to_string(permutation.size()) + " entries, fabric has " +
+        std::to_string(terminals) + " logical terminals");
+  }
+  {
+    std::vector<std::uint8_t> seen(terminals, 0);
+    for (const std::uint32_t image : permutation) {
+      if (image >= terminals || seen[image]) {
+        throw std::invalid_argument(
+            "looping_configure: permutation is not a bijection over [0, " +
+            std::to_string(terminals) + ')');
+      }
+      seen[image] = 1;
+    }
+  }
+
+  std::vector<std::uint32_t> power(static_cast<std::size_t>(width) + 1);
+  power[0] = 1;
+  for (int i = 1; i <= width; ++i) {
+    power[static_cast<std::size_t>(i)] =
+        power[static_cast<std::size_t>(i) - 1] * r;
+  }
+
+  LoopingSettings out;
+  out.settings.assign(
+      static_cast<std::size_t>(n - 1),
+      std::vector<std::uint8_t>(static_cast<std::size_t>(cells) * r, 0));
+
+  // The live routes: route t sits at front cell u (stage k, arrived on
+  // input slot su) and must leave the back cell v (stage 2n-2-k).
+  std::vector<std::uint32_t> ru(terminals), rv(terminals);
+  std::vector<std::uint8_t> rslot(terminals);
+  for (std::size_t t = 0; t < terminals; ++t) {
+    ru[t] = static_cast<std::uint32_t>(t) / r;
+    rslot[t] = static_cast<std::uint8_t>(t % r);
+    rv[t] = permutation[t] / r;
+  }
+
+  // Edge-coloring scratch, reused across depths: at_left[u*r + c] is the
+  // route at front cell u currently colored c (kNone if free), and
+  // likewise at_right for back cells.
+  std::vector<int> color(terminals);
+  std::vector<int> at_left(static_cast<std::size_t>(cells) * r);
+  std::vector<int> at_right(static_cast<std::size_t>(cells) * r);
+  std::vector<int> path;
+
+  for (int k = 0; k + 1 < n; ++k) {
+    const int front = k;
+    const int back_conn = 2 * n - 3 - k;  // feeds the back cells (stage b)
+    const int split_digit = width - k - 1;
+
+    // Proper r-edge-coloring of the route multigraph (left = front
+    // cells, right = back cells; both r-regular) by the alternating-path
+    // method: pick a color free at each endpoint, and when they
+    // disagree, flip the unique a/b-alternating path from the right
+    // endpoint so they agree.
+    std::fill(color.begin(), color.end(), kNone);
+    std::fill(at_left.begin(), at_left.end(), kNone);
+    std::fill(at_right.begin(), at_right.end(), kNone);
+    for (std::size_t e = 0; e < terminals; ++e) {
+      const std::uint32_t u = ru[e];
+      const std::uint32_t v = rv[e];
+      unsigned a = 0;
+      while (at_left[static_cast<std::size_t>(u) * r + a] != kNone) ++a;
+      unsigned b = 0;
+      while (at_right[static_cast<std::size_t>(v) * r + b] != kNone) ++b;
+      if (a != b) {
+        // Walk the maximal alternating path from v: follow a, then b,
+        // then a, ... Each node has at most one edge per color, so the
+        // walk is deterministic and simple; it cannot end at u (König).
+        path.clear();
+        std::uint32_t node = v;
+        bool on_right = true;
+        unsigned want = a;
+        while (true) {
+          const int next =
+              (on_right ? at_right : at_left)[static_cast<std::size_t>(node) *
+                                                  r +
+                                              want];
+          if (next == kNone) break;
+          path.push_back(next);
+          node = on_right ? ru[static_cast<std::size_t>(next)]
+                          : rv[static_cast<std::size_t>(next)];
+          on_right = !on_right;
+          want = (want == a) ? b : a;
+        }
+        // Two-phase flip (remove all, then reinsert all) so a path
+        // edge's new slot is never clobbered by a neighbor still
+        // holding its old color.
+        for (const int pe : path) {
+          const auto pi = static_cast<std::size_t>(pe);
+          const auto c_old = static_cast<unsigned>(color[pi]);
+          at_left[static_cast<std::size_t>(ru[pi]) * r + c_old] = kNone;
+          at_right[static_cast<std::size_t>(rv[pi]) * r + c_old] = kNone;
+        }
+        for (const int pe : path) {
+          const auto pi = static_cast<std::size_t>(pe);
+          const unsigned c_new =
+              (static_cast<unsigned>(color[pi]) == a) ? b : a;
+          color[pi] = static_cast<int>(c_new);
+          at_left[static_cast<std::size_t>(ru[pi]) * r + c_new] = pe;
+          at_right[static_cast<std::size_t>(rv[pi]) * r + c_new] = pe;
+        }
+      }
+      color[e] = static_cast<int>(a);
+      at_left[static_cast<std::size_t>(u) * r + a] = static_cast<int>(e);
+      at_right[static_cast<std::size_t>(v) * r + a] = static_cast<int>(e);
+    }
+
+    // Emit the free-stage settings and advance every route one hop
+    // inward on both sides: the front hop takes the colored port; the
+    // back cell retreats to its unique parent in sub-fabric `c` (the
+    // parent whose label has digit `split_digit` equal to c — the
+    // connections strictly inside the sub-fabric never touch digits
+    // this high, so membership is a digit test, no propagation needed).
+    for (std::size_t e = 0; e < terminals; ++e) {
+      const auto c = static_cast<unsigned>(color[e]);
+      const std::uint32_t u = ru[e];
+      out.settings[static_cast<std::size_t>(front)]
+                  [static_cast<std::size_t>(u) * r + rslot[e]] =
+          static_cast<std::uint8_t>(c);
+      ru[e] = w.child(front, u, c);
+      rslot[e] = static_cast<std::uint8_t>(w.slot(front, u, c));
+      std::uint32_t next_v = 0;
+      bool found = false;
+      for (unsigned slot = 0; slot < r; ++slot) {
+        const std::uint32_t parent = w.parent(back_conn, rv[e], slot);
+        if (digit_of(parent, split_digit, power, r) == c) {
+          next_v = parent;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw std::logic_error(
+            "looping_configure: no parent in the colored sub-fabric "
+            "(internal invariant violated)");
+      }
+      rv[e] = next_v;
+    }
+  }
+
+  // The recursion bottoms out at the middle stage: both sides of every
+  // route must have met in the same cell.
+  for (std::size_t e = 0; e < terminals; ++e) {
+    if (ru[e] != rv[e]) {
+      throw std::logic_error(
+          "looping_configure: route fronts and backs did not meet at the "
+          "middle stage (internal invariant violated)");
+    }
+  }
+
+  // Self-verification: replay every terminal through the settings plus
+  // the forced back half and insist on exact delivery with link-disjoint
+  // routes. A LoopingSettings that escapes this function is correct by
+  // construction.
+  const int flat_stages = w.stages();
+  std::vector<std::uint8_t> link_used(
+      static_cast<std::size_t>(flat_stages - 1) * w.links_per_stage(), 0);
+  for (std::size_t t = 0; t < terminals; ++t) {
+    std::uint32_t cell = static_cast<std::uint32_t>(t) / r;
+    unsigned slot = static_cast<unsigned>(t % r);
+    const std::uint32_t dest_cell = permutation[t] / r;
+    for (int s = 0; s + 1 < flat_stages; ++s) {
+      const unsigned port =
+          (s <= n - 2)
+              ? out.settings[static_cast<std::size_t>(s)]
+                            [static_cast<std::size_t>(cell) * r + slot]
+              : digit_of(dest_cell, 2 * n - 3 - s, power, r);
+      const std::size_t link = static_cast<std::size_t>(s) *
+                                   w.links_per_stage() +
+                               static_cast<std::size_t>(cell) * r + port;
+      if (link_used[link]) {
+        throw std::logic_error(
+            "looping_configure: two routes share a physical link "
+            "(self-verification failed)");
+      }
+      link_used[link] = 1;
+      slot = w.slot(s, cell, port);
+      cell = w.child(s, cell, port);
+    }
+    if (cell != dest_cell) {
+      throw std::logic_error(
+          "looping_configure: route for terminal " + std::to_string(t) +
+          " missed its destination cell (self-verification failed)");
+    }
+  }
+  return out;
+}
+
+}  // namespace mineq::multipath

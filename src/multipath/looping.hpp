@@ -1,0 +1,52 @@
+/// \file looping.hpp
+/// \brief The looping (Slepian–Duguid) rearrangement algorithm: configure
+/// a Benes fabric to realize any terminal permutation conflict-free.
+///
+/// A radix-r Benes on N = r^n terminals is rearrangeable: for *every*
+/// permutation pi of the terminals there is a setting of the free front
+/// half (connections 0..n-2) such that all N routes are link-disjoint —
+/// the classic blocking-vs-rearrangeable gap the blocking banyans cannot
+/// close. The construction recurses: at depth k the routes form an
+/// r-regular bipartite multigraph between the front cells (stage k) and
+/// the back cells (stage 2n-2-k); a proper r-edge-coloring (König — found
+/// with the standard alternating-path method) assigns each route a middle
+/// sub-fabric, which becomes its out-port at the free connection k. The
+/// forced back half then needs no settings at all: it consumes
+/// destination-cell digits MSB first, and the recursion invariant
+/// guarantees the forced digits retrace exactly the back cells the
+/// coloring chose.
+///
+/// looping_configure verifies its own output before returning (every
+/// route lands on pi(t) and no physical link is used twice), so a
+/// returned configuration is correct by construction, not by convention.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "multipath/multipath_wiring.hpp"
+
+namespace mineq::multipath {
+
+/// Switch settings for the free front half of a Benes fabric:
+/// settings[s][cell * r + input_slot] is the out-port the packet sitting
+/// at (cell, input_slot) of stage s takes, for the free connections
+/// s = 0..n-2. At injection (stage 0) the input slot of logical terminal
+/// t is t % r, so its first hop is settings[0][t].
+struct LoopingSettings {
+  std::vector<std::vector<std::uint8_t>> settings;
+};
+
+/// Run the looping algorithm: the free-stage settings under which the
+/// Benes fabric \p fabric delivers logical terminal t to permutation[t]
+/// for every t, all routes link-disjoint. Deterministic.
+/// \throws std::invalid_argument if \p fabric is not a Benes, or if
+/// \p permutation is not a bijection over its logical terminals.
+/// \throws std::logic_error if the self-verification pass fails (a bug,
+/// not an input error — rearrangeability guarantees a solution exists).
+[[nodiscard]] LoopingSettings looping_configure(
+    const min::MultiPathWiring& fabric,
+    const std::vector<std::uint32_t>& permutation);
+
+}  // namespace mineq::multipath

@@ -1,0 +1,329 @@
+#include "multipath/multipath_wiring.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "min/kary.hpp"
+
+namespace mineq::min {
+
+namespace {
+
+std::uint64_t pow_u64(std::uint64_t base, int exp) {
+  std::uint64_t value = 1;
+  for (int i = 0; i < exp; ++i) value *= base;
+  return value;
+}
+
+/// The identity digit schedule entry (placeholder for free connections).
+std::vector<unsigned> identity_map(int radix) {
+  std::vector<unsigned> map(static_cast<std::size_t>(radix));
+  for (int v = 0; v < radix; ++v) map[static_cast<std::size_t>(v)] =
+      static_cast<unsigned>(v);
+  return map;
+}
+
+void check_logical_shape(const char* what, int stages, int radix) {
+  if (stages < 2) {
+    throw std::invalid_argument(std::string(what) +
+                                ": need >= 2 logical stages, got " +
+                                std::to_string(stages));
+  }
+  // The kary layer (the source of every base construction and of the
+  // digit-routing conventions) caps the switch radix at 16; multipath
+  // fabrics keep the same logical window.
+  if (radix < 2 || radix > 16) {
+    throw std::invalid_argument(std::string(what) + ": logical radix " +
+                                std::to_string(radix) +
+                                " out of range [2, 16]");
+  }
+}
+
+}  // namespace
+
+const std::vector<MultiPathKind>& all_multipath_kinds() {
+  static const std::vector<MultiPathKind> kinds = {
+      MultiPathKind::kUnipath, MultiPathKind::kBenes, MultiPathKind::kDilated,
+      MultiPathKind::kReplicated};
+  return kinds;
+}
+
+std::string multipath_kind_name(MultiPathKind kind) {
+  switch (kind) {
+    case MultiPathKind::kUnipath:
+      return "unipath";
+    case MultiPathKind::kBenes:
+      return "benes";
+    case MultiPathKind::kDilated:
+      return "dilated";
+    case MultiPathKind::kReplicated:
+      return "replicated";
+  }
+  throw std::invalid_argument("multipath_kind_name: unknown kind");
+}
+
+MultiPathKind parse_multipath_kind(std::string_view name) {
+  for (const MultiPathKind kind : all_multipath_kinds()) {
+    if (multipath_kind_name(kind) == name) return kind;
+  }
+  std::string valid;
+  for (const MultiPathKind kind : all_multipath_kinds()) {
+    if (!valid.empty()) valid += ", ";
+    valid += multipath_kind_name(kind);
+  }
+  throw std::invalid_argument("parse_multipath_kind: unknown fabric \"" +
+                              std::string(name) + "\" (valid: " + valid + ')');
+}
+
+MultiPathWiring MultiPathWiring::unipath(NetworkKind base, int stages,
+                                         int radix) {
+  check_logical_shape("MultiPathWiring::unipath", stages, radix);
+  MultiPathWiring fabric;
+  fabric.kind_ = MultiPathKind::kUnipath;
+  fabric.base_kind_ = base;
+  fabric.wiring_ = FlatWiring::from_kary(build_kary_network(base, stages,
+                                                            radix));
+  fabric.logical_stages_ = stages;
+  fabric.logical_radix_ = radix;
+  fabric.logical_cells_ = fabric.wiring_.cells_per_stage();
+  fabric.schedule_ = kary_network_schedule(base, stages, radix);
+  fabric.free_stage_.assign(static_cast<std::size_t>(stages - 1), 0);
+  return fabric;
+}
+
+MultiPathWiring MultiPathWiring::benes(int stages, int radix) {
+  check_logical_shape("MultiPathWiring::benes", stages, radix);
+  const int n = stages;
+  const int w = n - 1;  // logical cell-label width (base-r digits)
+  const int flat_stages = 2 * n - 1;
+  const std::uint64_t cells64 = pow_u64(static_cast<std::uint64_t>(radix), w);
+  FlatWiring::check_geometry(flat_stages, cells64, radix);
+  const auto cells = static_cast<std::uint32_t>(cells64);
+  const auto r = static_cast<std::uint32_t>(radix);
+
+  // Front half = the radix-r baseline's connections 0..n-2 (closed form:
+  // connection s splits blocks of r^(w-s) cells into r sub-blocks, port
+  // t selecting sub-block t — i.e. it writes destination digit w-s-1).
+  // Back half = their mirror images in reverse order: flat connection
+  // s in [n-1, 2n-3] is the transpose of baseline connection j = 2n-3-s,
+  // which *reads back* digit w-j-1 as the arriving input slot while the
+  // out-port writes digit 0. Together: n-1 free distribution
+  // connections, then a forced half consuming destination-cell digits
+  // MSB first with identity port maps.
+  std::vector<std::vector<std::uint32_t>> child_tables(
+      static_cast<std::size_t>(flat_stages - 1));
+  for (int s = 0; s <= n - 2; ++s) {
+    const std::uint32_t block = static_cast<std::uint32_t>(
+        pow_u64(static_cast<std::uint64_t>(radix), w - s));
+    const std::uint32_t sub = block / r;
+    auto& table = child_tables[static_cast<std::size_t>(s)];
+    table.resize(static_cast<std::size_t>(cells) * r);
+    for (std::uint32_t y = 0; y < cells; ++y) {
+      for (std::uint32_t t = 0; t < r; ++t) {
+        table[static_cast<std::size_t>(r) * y + t] =
+            (y - y % block) + (y % block) / r + t * sub;
+      }
+    }
+  }
+  for (int s = n - 1; s <= 2 * n - 3; ++s) {
+    const int j = 2 * n - 3 - s;
+    const std::uint32_t block = static_cast<std::uint32_t>(
+        pow_u64(static_cast<std::uint64_t>(radix), w - j));
+    const std::uint32_t sub = block / r;
+    auto& table = child_tables[static_cast<std::size_t>(s)];
+    table.resize(static_cast<std::size_t>(cells) * r);
+    for (std::uint32_t z = 0; z < cells; ++z) {
+      for (std::uint32_t i = 0; i < r; ++i) {
+        table[static_cast<std::size_t>(r) * z + i] =
+            (z - z % block) + r * (z % sub) + i;
+      }
+    }
+  }
+
+  MultiPathWiring fabric;
+  fabric.kind_ = MultiPathKind::kBenes;
+  fabric.base_kind_ = NetworkKind::kBaseline;
+  fabric.wiring_ =
+      FlatWiring::from_stage_children(flat_stages, cells, radix, child_tables);
+  fabric.logical_stages_ = n;
+  fabric.logical_radix_ = radix;
+  fabric.logical_cells_ = cells;
+  fabric.paths_available_ = cells64;  // r^(n-1): any middle cell works
+  fabric.schedule_.radix = radix;
+  fabric.schedule_.digit.assign(static_cast<std::size_t>(flat_stages - 1), 0);
+  fabric.schedule_.port_of_value.assign(
+      static_cast<std::size_t>(flat_stages - 1), identity_map(radix));
+  fabric.free_stage_.assign(static_cast<std::size_t>(flat_stages - 1), 0);
+  for (int s = 0; s <= n - 2; ++s) {
+    fabric.free_stage_[static_cast<std::size_t>(s)] = 1;
+  }
+  for (int s = n - 1; s <= 2 * n - 3; ++s) {
+    fabric.schedule_.digit[static_cast<std::size_t>(s)] = 2 * n - 3 - s;
+  }
+  return fabric;
+}
+
+MultiPathWiring MultiPathWiring::dilated(NetworkKind base, int stages,
+                                         int radix, int dilation) {
+  check_logical_shape("MultiPathWiring::dilated", stages, radix);
+  if (dilation < 2) {
+    throw std::invalid_argument(
+        "MultiPathWiring::dilated: dilation must be >= 2, got " +
+        std::to_string(dilation));
+  }
+  const int physical_radix = radix * dilation;
+  if (physical_radix > 64) {
+    throw std::invalid_argument(
+        "MultiPathWiring::dilated: physical radix " +
+        std::to_string(physical_radix) +
+        " (radix * dilation) exceeds the FlatWiring record limit of 64");
+  }
+  const KaryMIDigraph g = build_kary_network(base, stages, radix);
+  const std::uint32_t cells = g.cells_per_stage();
+  const auto r = static_cast<unsigned>(radix);
+  const auto d = static_cast<unsigned>(dilation);
+  const auto rr = static_cast<unsigned>(physical_radix);
+
+  std::vector<std::vector<std::uint32_t>> child_tables(
+      static_cast<std::size_t>(stages - 1));
+  for (int s = 0; s + 1 < stages; ++s) {
+    const KaryConnection& conn = g.connection(s);
+    auto& table = child_tables[static_cast<std::size_t>(s)];
+    table.resize(static_cast<std::size_t>(cells) * rr);
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      for (unsigned p = 0; p < r; ++p) {
+        const std::uint32_t child = conn.child(p, x);
+        for (unsigned k = 0; k < d; ++k) {
+          table[static_cast<std::size_t>(rr) * x + p * d + k] = child;
+        }
+      }
+    }
+  }
+
+  MultiPathWiring fabric;
+  fabric.kind_ = MultiPathKind::kDilated;
+  fabric.base_kind_ = base;
+  fabric.wiring_ =
+      FlatWiring::from_stage_children(stages, cells, physical_radix,
+                                      child_tables);
+  fabric.logical_stages_ = stages;
+  fabric.logical_radix_ = radix;
+  fabric.logical_cells_ = cells;
+  fabric.dilation_ = dilation;
+  fabric.paths_available_ =
+      pow_u64(static_cast<std::uint64_t>(dilation), stages - 1);
+  fabric.schedule_ = kary_network_schedule(base, stages, radix);
+  fabric.free_stage_.assign(static_cast<std::size_t>(stages - 1), 0);
+  return fabric;
+}
+
+MultiPathWiring MultiPathWiring::replicated(NetworkKind base, int stages,
+                                            int radix, int planes) {
+  check_logical_shape("MultiPathWiring::replicated", stages, radix);
+  if (planes < 2) {
+    throw std::invalid_argument(
+        "MultiPathWiring::replicated: planes must be >= 2, got " +
+        std::to_string(planes));
+  }
+  const KaryMIDigraph g = build_kary_network(base, stages, radix);
+  const std::uint32_t plane_cells = g.cells_per_stage();
+  const std::uint64_t cells64 =
+      static_cast<std::uint64_t>(planes) * plane_cells;
+  FlatWiring::check_geometry(stages, cells64, radix);
+  const auto cells = static_cast<std::uint32_t>(cells64);
+  const auto r = static_cast<unsigned>(radix);
+
+  std::vector<std::vector<std::uint32_t>> child_tables(
+      static_cast<std::size_t>(stages - 1));
+  for (int s = 0; s + 1 < stages; ++s) {
+    const KaryConnection& conn = g.connection(s);
+    auto& table = child_tables[static_cast<std::size_t>(s)];
+    table.resize(static_cast<std::size_t>(cells) * r);
+    for (int q = 0; q < planes; ++q) {
+      const std::uint32_t offset = static_cast<std::uint32_t>(q) * plane_cells;
+      for (std::uint32_t x = 0; x < plane_cells; ++x) {
+        for (unsigned t = 0; t < r; ++t) {
+          table[static_cast<std::size_t>(r) * (offset + x) + t] =
+              offset + conn.child(t, x);
+        }
+      }
+    }
+  }
+
+  MultiPathWiring fabric;
+  fabric.kind_ = MultiPathKind::kReplicated;
+  fabric.base_kind_ = base;
+  fabric.wiring_ =
+      FlatWiring::from_stage_children(stages, cells, radix, child_tables);
+  fabric.logical_stages_ = stages;
+  fabric.logical_radix_ = radix;
+  fabric.logical_cells_ = plane_cells;
+  fabric.planes_ = planes;
+  fabric.paths_available_ = static_cast<std::uint64_t>(planes);
+  fabric.schedule_ = kary_network_schedule(base, stages, radix);
+  fabric.free_stage_.assign(static_cast<std::size_t>(stages - 1), 0);
+  return fabric;
+}
+
+int MultiPathWiring::plane_count() const noexcept {
+  switch (kind_) {
+    case MultiPathKind::kUnipath:
+      return 1;
+    case MultiPathKind::kBenes:
+      return 2;
+    case MultiPathKind::kDilated:
+      return dilation_;
+    case MultiPathKind::kReplicated:
+      return planes_;
+  }
+  return 1;
+}
+
+FlatWiring MultiPathWiring::unipath_plane(int index) const {
+  if (index < 0 || index >= plane_count()) {
+    throw std::out_of_range("MultiPathWiring::unipath_plane: plane " +
+                            std::to_string(index) + " out of range [0, " +
+                            std::to_string(plane_count()) + ')');
+  }
+  const int n = logical_stages_;
+  const auto r = static_cast<unsigned>(logical_radix_);
+  const std::uint32_t cells = logical_cells_;
+  std::vector<std::vector<std::uint32_t>> child_tables(
+      static_cast<std::size_t>(n - 1));
+  for (int s = 0; s + 1 < n; ++s) {
+    auto& table = child_tables[static_cast<std::size_t>(s)];
+    table.resize(static_cast<std::size_t>(cells) * r);
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      for (unsigned p = 0; p < r; ++p) {
+        std::uint32_t child = 0;
+        switch (kind_) {
+          case MultiPathKind::kUnipath:
+            child = wiring_.child(s, x, p);
+            break;
+          case MultiPathKind::kBenes:
+            // Plane 0 = the front (baseline) half, plane 1 = the back
+            // (mirror) half; both are n-stage unipath banyans.
+            child = wiring_.child(index == 0 ? s : s + n - 1, x, p);
+            break;
+          case MultiPathKind::kDilated:
+            child = wiring_.child(
+                s, x, p * static_cast<unsigned>(dilation_) +
+                          static_cast<unsigned>(index));
+            break;
+          case MultiPathKind::kReplicated: {
+            const std::uint32_t offset =
+                static_cast<std::uint32_t>(index) * cells;
+            child = wiring_.child(s, offset + x, p) - offset;
+            break;
+          }
+        }
+        table[static_cast<std::size_t>(r) * x + p] = child;
+      }
+    }
+  }
+  return FlatWiring::from_stage_children(n, cells, logical_radix_,
+                                         child_tables);
+}
+
+}  // namespace mineq::min

@@ -1,0 +1,186 @@
+/// \file multipath_wiring.hpp
+/// \brief Multi-path fabrics composed from FlatWiring stage blocks.
+///
+/// The paper characterizes unipath banyans — exactly one path per
+/// (source, destination) pair. Every production fabric built from these
+/// stage blocks is rearrangeable or multipath: the Benes network is
+/// baseline ++ reverse-baseline (2n-1 stages, r^(n-1) paths per pair), a
+/// dilated banyan carries d parallel arcs per logical link (d^(n-1)
+/// paths), and a replicated fabric stacks p independent banyan planes
+/// (p paths). MultiPathWiring is the view that composes those fabrics
+/// out of the existing closed-form stage constructions and flattens them
+/// to a single physical FlatWiring, so the equivalence checks, both
+/// simulator policies, and the fault layer all consume them through the
+/// IR they already speak.
+///
+/// The view carries, next to the physical wiring:
+///   - the *logical* geometry (logical radix r, logical stage count n,
+///     logical cells r^(n-1)): terminals, destination tags, and traffic
+///     patterns all live in logical coordinates;
+///   - a per-connection routing schedule over logical destination-cell
+///     digits, plus a free-stage flag vector: at a free connection (the
+///     distribution half of a Benes) *any* out-port reaches the
+///     destination, at a forced connection the schedule names a group of
+///     `dilation` equivalent out-ports. The simulators' path-selection
+///     policies (hash / adaptive / looping) choose within exactly those
+///     groups, so path diversity never trades away delivery correctness;
+///   - plane extraction (`unipath_plane`): the embedded unipath banyans
+///     as plain FlatWirings, so the paper's min:: checks (Banyan,
+///     baseline equivalence, survivor classification) apply verbatim to
+///     the building blocks of a multipath fabric.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "min/flat_wiring.hpp"
+#include "min/networks.hpp"
+#include "min/routing.hpp"
+
+namespace mineq::min {
+
+/// The supported multi-path fabric families.
+enum class MultiPathKind : std::uint8_t {
+  kUnipath,     ///< a plain banyan wrapped in the view (1 path per pair)
+  kBenes,       ///< baseline ++ reverse-baseline, 2n-1 stages, r^(n-1) paths
+  kDilated,     ///< d parallel arcs per logical link, d^(n-1) paths
+  kReplicated,  ///< p independent banyan planes, p paths
+};
+
+/// All kinds, in declaration order (handy for sweeps and round-trips).
+[[nodiscard]] const std::vector<MultiPathKind>& all_multipath_kinds();
+
+/// Short token for CLIs and CSV columns ("unipath", "benes", "dilated",
+/// "replicated").
+[[nodiscard]] std::string multipath_kind_name(MultiPathKind kind);
+
+/// Inverse of multipath_kind_name. The rejection message enumerates the
+/// valid tokens.
+/// \throws std::invalid_argument on an unknown name.
+[[nodiscard]] MultiPathKind parse_multipath_kind(std::string_view name);
+
+/// A multi-path fabric: one physical FlatWiring plus the logical
+/// geometry and per-connection routing freedom the simulators need.
+class MultiPathWiring {
+ public:
+  /// Wrap a closed-form unipath banyan (paths_available() == 1). Only
+  /// kinds with a k-ary construction are supported (see
+  /// build_kary_network).
+  /// \throws std::invalid_argument for unsupported kinds or geometry.
+  [[nodiscard]] static MultiPathWiring unipath(NetworkKind base, int stages,
+                                               int radix);
+
+  /// The radix-r Benes network on r^stages logical terminals: the
+  /// radix-r baseline's n-1 connections followed by their mirror images
+  /// (2*stages - 1 physical stages). Connections 0..n-2 are free — any
+  /// out-port reaches any destination — and the back half is forced,
+  /// consuming destination-cell digits MSB first. Rearrangeable: the
+  /// looping algorithm (multipath::looping_configure) realizes any
+  /// terminal permutation conflict-free.
+  /// \throws std::invalid_argument unless stages >= 2 and the physical
+  /// geometry is representable.
+  [[nodiscard]] static MultiPathWiring benes(int stages, int radix);
+
+  /// A dilated banyan: the base construction with every logical link
+  /// replaced by `dilation` parallel arcs (physical radix r*dilation).
+  /// Every forced hop offers a group of `dilation` equivalent arcs.
+  /// \throws std::invalid_argument for unsupported base kinds,
+  /// dilation < 2, or r*dilation > 64.
+  [[nodiscard]] static MultiPathWiring dilated(NetworkKind base, int stages,
+                                               int radix, int dilation);
+
+  /// A replicated fabric: `planes` disjoint copies of the base banyan
+  /// side by side (planes * r^(stages-1) physical cells per stage); each
+  /// packet picks a plane at injection.
+  /// \throws std::invalid_argument for unsupported base kinds or
+  /// planes < 2.
+  [[nodiscard]] static MultiPathWiring replicated(NetworkKind base, int stages,
+                                                  int radix, int planes);
+
+  [[nodiscard]] MultiPathKind kind() const noexcept { return kind_; }
+
+  /// The base construction (dilated/replicated/unipath); kBaseline for
+  /// Benes (its front half *is* the radix-r baseline).
+  [[nodiscard]] NetworkKind base_kind() const noexcept { return base_kind_; }
+
+  /// The flattened physical fabric (what the fault layer masks and the
+  /// simulators move flits through).
+  [[nodiscard]] const FlatWiring& wiring() const noexcept { return wiring_; }
+
+  /// Logical geometry: terminals are addressed in base logical_radix()
+  /// with logical_stages() digits, independent of the physical layout.
+  [[nodiscard]] int logical_stages() const noexcept { return logical_stages_; }
+  [[nodiscard]] int logical_radix() const noexcept { return logical_radix_; }
+  [[nodiscard]] std::uint32_t logical_cells() const noexcept {
+    return logical_cells_;
+  }
+  [[nodiscard]] std::uint64_t logical_terminals() const noexcept {
+    return static_cast<std::uint64_t>(logical_radix_) * logical_cells_;
+  }
+
+  /// Injection planes (kReplicated: the plane count; otherwise 1).
+  [[nodiscard]] int planes() const noexcept { return planes_; }
+
+  /// Arcs per logical link (kDilated: d; otherwise 1). The physical
+  /// radix is logical_radix() * dilation().
+  [[nodiscard]] int dilation() const noexcept { return dilation_; }
+
+  /// Distinct router-usable paths per (source, destination) pair in the
+  /// pristine fabric: r^(n-1) (Benes), d^(n-1) (dilated), p
+  /// (replicated), 1 (unipath).
+  [[nodiscard]] std::uint64_t paths_available() const noexcept {
+    return paths_available_;
+  }
+
+  /// Per-connection routing schedule over *logical* destination-cell
+  /// digits (logical_radix() port groups scaled by dilation()). Entries
+  /// at free connections are identity placeholders and must not be
+  /// consulted — check free_stage() first.
+  [[nodiscard]] const DigitSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+
+  /// free_stage()[s] != 0 iff any out-port at connection s reaches any
+  /// destination (the Benes distribution half). One entry per physical
+  /// connection.
+  [[nodiscard]] const std::vector<std::uint8_t>& free_stage() const noexcept {
+    return free_stage_;
+  }
+
+  /// The number of embedded unipath planes extractable below: 2 for
+  /// Benes (front baseline + back mirror), dilation() for dilated,
+  /// planes() for replicated, 1 for unipath.
+  [[nodiscard]] int plane_count() const noexcept;
+
+  /// Extract embedded unipath plane \p index as a plain FlatWiring, so
+  /// the paper's checks (is_banyan, baseline equivalence) apply to the
+  /// multipath fabric's building blocks directly. Benes: plane 0 is the
+  /// front (baseline) half, plane 1 the back (mirror) half. Dilated:
+  /// plane k keeps arc k of every logical link. Replicated: plane q
+  /// relabeled to cells 0..r^(n-1)-1.
+  /// \throws std::out_of_range on a bad index.
+  [[nodiscard]] FlatWiring unipath_plane(int index) const;
+
+  friend bool operator==(const MultiPathWiring&,
+                         const MultiPathWiring&) = default;
+
+ private:
+  MultiPathWiring() = default;
+
+  MultiPathKind kind_ = MultiPathKind::kUnipath;
+  NetworkKind base_kind_ = NetworkKind::kBaseline;
+  FlatWiring wiring_;
+  int logical_stages_ = 1;
+  int logical_radix_ = 2;
+  std::uint32_t logical_cells_ = 1;
+  int planes_ = 1;
+  int dilation_ = 1;
+  std::uint64_t paths_available_ = 1;
+  DigitSchedule schedule_;
+  std::vector<std::uint8_t> free_stage_;
+};
+
+}  // namespace mineq::min

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "multipath/looping.hpp"
 #include "sim/fabric.hpp"
+#include "sim/multipath_select.hpp"
 #include "sim/wormhole.hpp"
 #include "util/bitops.hpp"
 
@@ -50,6 +52,38 @@ ArbitrationPolicy parse_arbitration_policy(std::string_view name) {
   throw std::invalid_argument(
       "parse_arbitration_policy: unknown policy \"" + std::string(name) +
       "\" (expected rr, weighted or priority)");
+}
+
+const std::vector<PathPolicy>& all_path_policies() {
+  static const std::vector<PathPolicy> policies = {
+      PathPolicy::kHash, PathPolicy::kAdaptive, PathPolicy::kLooping};
+  return policies;
+}
+
+std::string path_policy_name(PathPolicy policy) {
+  switch (policy) {
+    case PathPolicy::kHash:
+      return "hash";
+    case PathPolicy::kAdaptive:
+      return "adaptive";
+    case PathPolicy::kLooping:
+      return "looping";
+  }
+  throw std::invalid_argument("path_policy_name: unknown policy");
+}
+
+PathPolicy parse_path_policy(std::string_view name) {
+  for (const PathPolicy policy : all_path_policies()) {
+    if (path_policy_name(policy) == name) return policy;
+  }
+  std::string valid;
+  for (const PathPolicy policy : all_path_policies()) {
+    if (!valid.empty()) valid += ", ";
+    valid += path_policy_name(policy);
+  }
+  throw std::invalid_argument("parse_path_policy: unknown policy \"" +
+                              std::string(name) + "\" (valid: " + valid +
+                              ')');
 }
 
 void CreditConfig::validate(SwitchingMode mode, std::size_t lanes) const {
@@ -129,6 +163,14 @@ void SimConfig::validate() const {
   credits.validate(mode, lanes);
 }
 
+void Engine::finish_unipath_geometry() {
+  terminals_ = static_cast<std::uint64_t>(wiring_.radix()) *
+               wiring_.cells_per_stage();
+  address_digits_ = wiring_.stages();
+  logical_radix_ = wiring_.radix();
+  logical_cells_ = wiring_.cells_per_stage();
+}
+
 Engine::Engine(min::MIDigraph network, min::BitSchedule schedule)
     : network_(std::move(network)), schedule_(std::move(schedule)) {
   if (!network_->is_valid()) {
@@ -138,6 +180,7 @@ Engine::Engine(min::MIDigraph network, min::BitSchedule schedule)
     throw std::invalid_argument("Engine: schedule does not route network");
   }
   wiring_ = min::FlatWiring::from_digraph(*network_);
+  finish_unipath_geometry();
 }
 
 namespace {
@@ -232,6 +275,7 @@ Engine::Engine(const min::KaryMIDigraph& network) {
       schedule_ = derive_schedule(*network_);
     }
     wiring_ = min::FlatWiring::from_digraph(*network_);
+    finish_unipath_geometry();
     return;
   }
   wiring_ = min::FlatWiring::from_kary(network);
@@ -256,8 +300,9 @@ Engine::Engine(const min::KaryMIDigraph& network) {
           " fabric with " + std::to_string(wiring_.cells_per_stage()) +
           " cells per stage exceeds the digit-schedule recovery budget (" +
           std::to_string(kMaxDigitScheduleCells) +
-          " cells); reduce stages or radix, or attach the construction's "
-          "digit schedule (min::KaryMIDigraph::attach_schedule)");
+          " cells); reduce stages or radix, or build the fabric through "
+          "the closed-form min::build_kary_network constructors, which "
+          "attach their digit schedules and skip recovery entirely");
     }
     auto schedule = min::find_digit_schedule(wiring_);
     if (!schedule.has_value()) {
@@ -274,6 +319,38 @@ Engine::Engine(const min::KaryMIDigraph& network) {
     }
     digit_scale_.push_back(scale);
   }
+  finish_unipath_geometry();
+}
+
+Engine::Engine(min::MultiPathWiring fabric)
+    : wiring_(fabric.wiring()), fabric_(std::move(fabric)) {
+  digit_schedule_ = fabric_->schedule();
+  free_stage_ = fabric_->free_stage();
+  terminals_ = fabric_->logical_terminals();
+  address_digits_ = fabric_->logical_stages();
+  logical_radix_ = fabric_->logical_radix();
+  logical_cells_ = fabric_->logical_cells();
+  planes_ = fabric_->planes();
+  dilation_ = fabric_->dilation();
+  // Digit scales in the *logical* radix (identity placeholders at free
+  // connections scale by digit 0, harmlessly — route_group checks the
+  // free flag first).
+  digit_scale_.reserve(digit_schedule_.digit.size());
+  for (const int digit : digit_schedule_.digit) {
+    std::uint32_t scale = 1;
+    for (int i = 0; i < digit; ++i) {
+      scale *= static_cast<std::uint32_t>(logical_radix_);
+    }
+    digit_scale_.push_back(scale);
+  }
+}
+
+const min::MultiPathWiring& Engine::fabric() const {
+  if (!fabric_.has_value()) {
+    throw std::logic_error(
+        "Engine::fabric: this engine was not built from a MultiPathWiring");
+  }
+  return *fabric_;
 }
 
 const min::MIDigraph& Engine::network() const {
@@ -328,11 +405,28 @@ namespace {
 /// latency — plus the pluggable output-port arbitration (round-robin /
 /// quantum-weighted / strict-priority over the SL->VL classes packets
 /// carry).
-template <bool kFaulted, bool kBinary, bool kCredits>
+///
+/// \tparam kMultiPath compile-time multipath switch: the true
+/// instantiation routes *logical* destination addresses over a
+/// MultiPathWiring's physical fabric — every hop selects within the
+/// engine's route_group by the configured PathPolicy (deterministic
+/// hash, least-occupancy adaptive, or looping-precomputed Benes
+/// settings), injection picks a plane on replicated fabrics, and
+/// ejection arbitrates per logical terminal across planes * radix
+/// physical buffers. Faulted multipath runs re-select within the
+/// surviving group members first (path_reroutes) before falling back to
+/// the unipath out-of-group detour (packets_rerouted). Always the
+/// general-radix, credit-less instantiation.
+template <bool kFaulted, bool kBinary, bool kCredits, bool kMultiPath>
 class StoreAndForwardPolicy {
+  static_assert(!(kMultiPath && (kBinary || kCredits)),
+                "multipath instantiations are general-radix and credit-less");
+
  public:
   StoreAndForwardPolicy(FabricCore& core, SimWorkspace& workspace,
-                        [[maybe_unused]] const fault::FaultMask* mask)
+                        [[maybe_unused]] const fault::FaultMask* mask,
+                        [[maybe_unused]] const multipath::LoopingSettings*
+                            looping = nullptr)
       : core_(core),
         radix_(static_cast<unsigned>(core.wiring().radix())),
         length_(core.config().packet_length),
@@ -345,8 +439,19 @@ class StoreAndForwardPolicy {
         eject_busy_until_(core.ports(), 0),
         queue_moved_(core.ports(), 0),
         total_packet_slots_(static_cast<double>(core.stages()) *
-                            static_cast<double>(core.terminals()) *
+                            static_cast<double>(core.ports()) *
                             static_cast<double>(core.config().queue_capacity)) {
+    if constexpr (kMultiPath) {
+      const Engine& engine = core.engine();
+      lradix_ = static_cast<unsigned>(engine.logical_radix());
+      lcells_ = engine.logical_cells();
+      planes_ = static_cast<unsigned>(engine.planes());
+      dilation_ = static_cast<unsigned>(engine.dilation());
+      path_policy_ = core.config().path_policy;
+      looping_ = looping;
+      free_stage_ = engine.fabric().free_stage().data();
+      core.result.paths_available = engine.fabric().paths_available();
+    }
     if constexpr (kFaulted) {
       faulted_ = fault::FaultedWiring(core.wiring(), *mask);
       dead_cells_.resize(static_cast<std::size_t>(core.stages() - 1));
@@ -381,6 +486,10 @@ class StoreAndForwardPolicy {
   /// first each cycle, so the credit ledger's start-of-cycle harvest
   /// lives here.
   void eject(std::uint64_t cycle, bool measuring) {
+    if constexpr (kMultiPath) {
+      eject_multipath(cycle, measuring);
+      return;
+    }
     if constexpr (kCredits) credits_->deliver(cycle);
     const int last = core_.stages() - 1;
     const std::uint32_t cells = core_.cells();
@@ -457,6 +566,10 @@ class StoreAndForwardPolicy {
   /// schedule fields, so an Engine::route_port call in the probe loop
   /// would reload them per probe.
   void advance_stage(int s, std::uint64_t cycle, bool measuring) {
+    if constexpr (kMultiPath) {
+      advance_stage_multipath(s, cycle, measuring);
+      return;
+    }
     const std::uint32_t cells = core_.cells();
     const unsigned r = radix();
     const auto down = core_.wiring().down_stage(s);
@@ -611,6 +724,10 @@ class StoreAndForwardPolicy {
   /// Inject at the first stage: terminal t feeds slot t % r of cell
   /// t / r. A bursty-OFF terminal makes no attempt at all.
   void inject(std::uint64_t cycle, bool measuring) {
+    if constexpr (kMultiPath) {
+      inject_multipath(cycle, measuring);
+      return;
+    }
     for (std::uint64_t t = 0; t < core_.terminals(); ++t) {
       if (!core_.terminal_active(t)) continue;
       if (!core_.gate()) continue;
@@ -685,6 +802,263 @@ class StoreAndForwardPolicy {
   }
 
  private:
+  /// Multipath ejection: logical terminal lx * lr + j arbitrates over
+  /// the planes * radix physical last-stage buffers of its logical cell
+  /// (a packet may arrive on any arc of its dilation group and in any
+  /// plane), per-terminal round-robin so no plane starves.
+  void eject_multipath(std::uint64_t cycle, bool measuring) {
+    const int last = core_.stages() - 1;
+    const unsigned r = radix_;
+    const unsigned candidates = planes_ * r;
+    std::fill(queue_moved_.begin(), queue_moved_.end(), 0);
+    for (std::uint32_t lx = 0; lx < lcells_; ++lx) {
+      for (unsigned j = 0; j < lradix_; ++j) {
+        const std::size_t term =
+            static_cast<std::size_t>(lx) * lradix_ + j;
+        if (eject_busy_until_[term] > cycle) continue;
+        RoundRobin& arb = core_.eject_arbiter(term);
+        for (unsigned probe = 0; probe < candidates; ++probe) {
+          const unsigned c = arb.candidate(probe);
+          const std::uint32_t cell = (c / r) * lcells_ + lx;
+          const unsigned slot = c % r;
+          const std::size_t port_index =
+              static_cast<std::size_t>(cell) * r + slot;
+          const std::size_t q = queue_index(last, port_index);
+          if (queues_.empty(q)) continue;
+          if (queues_.front_arrival(q) > cycle) continue;
+          const std::uint32_t dest = queues_.front_dest(q);
+          if (dest % lradix_ != j) continue;
+          const std::uint64_t inject_cycle = queues_.front_inject(q);
+          queues_.pop(q);
+          eject_busy_until_[term] = cycle + length_;
+          arb.grant(c);
+          queue_moved_[port_index] = 1;
+          if (measuring && inject_cycle >= core_.config().warmup_cycles) {
+            core_.result.flits_delivered += length_;
+            core_.record_packet_delivered(
+                static_cast<double>(cycle - inject_cycle + length_));
+            if constexpr (kFaulted) {
+              if ((dest / lradix_) != lx) {
+                ++core_.result.packets_misdelivered;
+              }
+            }
+          }
+          break;
+        }
+      }
+    }
+    if (measuring) account_blocking(last, cycle);
+  }
+
+  /// Multipath advancement: each head packet resolves one physical
+  /// out-port by selecting within the engine's equivalent-path group
+  /// (select_multipath_port); the rest of the hop — arbitration, link
+  /// serialization, downstream capacity — matches the unipath loop.
+  void advance_stage_multipath(int s, std::uint64_t cycle, bool measuring) {
+    const std::uint32_t cells = core_.cells();
+    const unsigned r = radix_;
+    const auto down = core_.wiring().down_stage(s);
+    const std::size_t link_base =
+        static_cast<std::size_t>(s) * core_.ports();
+    // Per-stage routing constants: the free flag, the forced-group
+    // schedule reads, and the looping settings row (free stages of a
+    // kLooping run only).
+    const bool free = free_stage_[static_cast<std::size_t>(s)] != 0;
+    std::uint32_t digit_scale = 1;
+    const std::uint32_t* port_of_value = nullptr;
+    if (!free) {
+      digit_scale = core_.engine().route_digit_scale(s);
+      port_of_value = core_.engine()
+                          .digit_schedule()
+                          .port_of_value[static_cast<std::size_t>(s)]
+                          .data();
+    }
+    const std::uint8_t* settings =
+        (free && path_policy_ == PathPolicy::kLooping)
+            ? looping_->settings[static_cast<std::size_t>(s)].data()
+            : nullptr;
+    [[maybe_unused]] std::size_t arc_base = 0;
+    [[maybe_unused]] const fault::FaultMask* mask = nullptr;
+    if constexpr (kFaulted) {
+      drain_dead_switches(s, cycle, measuring);
+      arc_base = static_cast<std::size_t>(s) * core_.ports();
+      mask = &faulted_.mask();
+    }
+    std::fill(queue_moved_.begin(), queue_moved_.end(), 0);
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      for (unsigned port = 0; port < r; ++port) {
+        if constexpr (kFaulted) {
+          if (mask->faulted_index(arc_base + x * r + port)) {
+            continue;  // dead link
+          }
+        }
+        if (link_busy_until_[link_base + x * r + port] > cycle) {
+          continue;  // still serializing the previous packet
+        }
+        for (unsigned probe = 0; probe < r; ++probe) {
+          const unsigned slot = arb_candidate(s, x * r + port, probe);
+          const std::size_t q = queue_index(s, x * r + slot);
+          if (queues_.empty(q)) continue;
+          if (queues_.front_arrival(q) > cycle) continue;
+          const std::uint32_t dest = queues_.front_dest(q);
+          unsigned base = 0;
+          unsigned count = r;
+          if (!free) {
+            base = port_of_value[((dest / lradix_) / digit_scale) % lradix_] *
+                   dilation_;
+            count = dilation_;
+          }
+          int reroute_kind = 0;
+          const int chosen = select_multipath_port(
+              s, x, slot, dest, queues_.front_inject(q), base, count,
+              settings, down.data(), mask, arc_base, reroute_kind);
+          if (chosen != static_cast<int>(port)) continue;
+          const std::uint32_t record = down[x * r + port];
+          const std::size_t target = queue_index(s + 1, record);
+          if (queues_.full(target)) continue;
+          const std::uint64_t inject_cycle = queues_.front_inject(q);
+          queues_.push(target, dest, inject_cycle, cycle + length_);
+          queues_.pop(q);
+          queue_moved_[x * r + slot] = 1;
+          link_busy_until_[link_base + x * r + port] = cycle + length_;
+          arb_grant(s, x * r + port, slot, 0);
+          if constexpr (kFaulted) {
+            if (measuring && inject_cycle >= core_.config().warmup_cycles) {
+              if (reroute_kind == 1) ++core_.result.path_reroutes;
+              if (reroute_kind == 2) ++core_.result.packets_rerouted;
+            }
+          }
+          break;
+        }
+      }
+    }
+    if (measuring) account_blocking(s, cycle);
+  }
+
+  /// Multipath injection: logical terminal t feeds physical input slot
+  /// (t % lr) * dilation of its logical cell, choosing a plane by the
+  /// path policy on replicated fabrics (hash of the destination, or the
+  /// emptiest injection FIFO).
+  void inject_multipath(std::uint64_t cycle, bool measuring) {
+    const unsigned r = radix_;
+    for (std::uint64_t t = 0; t < core_.terminals(); ++t) {
+      if (!core_.terminal_active(t)) continue;
+      if (!core_.gate()) continue;
+      if (source_busy_until_[t] > cycle) continue;  // still serializing
+      if (measuring) ++core_.result.offered;
+      const std::uint32_t lcell =
+          static_cast<std::uint32_t>(t) / lradix_;
+      const unsigned slot =
+          (static_cast<unsigned>(t) % lradix_) * dilation_;
+      const std::uint32_t dest =
+          core_.destination(static_cast<std::uint32_t>(t));
+      std::size_t q = 0;
+      bool accepted = false;
+      if (planes_ == 1) {
+        q = queue_index(0, static_cast<std::size_t>(lcell) * r + slot);
+        accepted = !queues_.full(q);
+      } else if (path_policy_ == PathPolicy::kAdaptive) {
+        std::uint32_t best = 0;
+        for (unsigned plane = 0; plane < planes_; ++plane) {
+          const std::size_t candidate = queue_index(
+              0, (static_cast<std::size_t>(plane) * lcells_ + lcell) * r +
+                     slot);
+          if (queues_.full(candidate)) continue;
+          if (!accepted || queues_.count(candidate) < best) {
+            best = queues_.count(candidate);
+            q = candidate;
+            accepted = true;
+          }
+        }
+      } else {
+        const unsigned plane = static_cast<unsigned>(
+            path_mix(dest, cycle, t) % planes_);
+        q = queue_index(
+            0, (static_cast<std::size_t>(plane) * lcells_ + lcell) * r +
+                   slot);
+        accepted = !queues_.full(q);
+      }
+      if (!accepted) continue;  // dropped at source
+      queues_.push(q, dest, cycle, cycle + length_);
+      source_busy_until_[t] = cycle + length_;
+      if (measuring) {
+        ++core_.result.injected;
+        core_.result.flits_injected += length_;
+      }
+    }
+  }
+
+  /// The path-selection seam: the physical out-port the head packet at
+  /// (cell \p x, input slot \p slot) of stage \p s takes, chosen within
+  /// the equivalent-path group [\p base, \p base + \p count) by the
+  /// configured policy. Faulted: a masked choice re-selects among the
+  /// surviving group members (\p reroute_kind = 1); a fully-masked group
+  /// falls back to the unipath out-of-group detour (\p reroute_kind =
+  /// 2); -1 means the switch is dead (no surviving out-arc at all).
+  [[nodiscard]] int select_multipath_port(
+      int s, std::uint32_t x, unsigned slot, std::uint32_t dest,
+      std::uint64_t inject_cycle, unsigned base, unsigned count,
+      const std::uint8_t* settings, const std::uint32_t* down,
+      [[maybe_unused]] const fault::FaultMask* mask,
+      [[maybe_unused]] std::size_t arc_base, int& reroute_kind) {
+    const unsigned r = radix_;
+    reroute_kind = 0;
+    if (path_policy_ == PathPolicy::kAdaptive) {
+      // Least-occupancy: the group member with the emptiest downstream
+      // FIFO (ties to the lowest port). Masked arcs are simply not
+      // candidates — adaptivity subsumes in-group re-selection.
+      int chosen = -1;
+      std::uint32_t best = 0;
+      for (unsigned k = 0; k < count; ++k) {
+        const unsigned p = base + k;
+        if constexpr (kFaulted) {
+          if (mask->faulted_index(arc_base + x * r + p)) continue;
+        }
+        const std::uint32_t occupancy =
+            queues_.count(queue_index(s + 1, down[x * r + p]));
+        if (chosen < 0 || occupancy < best) {
+          best = occupancy;
+          chosen = static_cast<int>(p);
+        }
+      }
+      if (chosen >= 0) return chosen;
+    } else {
+      unsigned desired;
+      if (settings != nullptr) {
+        desired = settings[static_cast<std::size_t>(x) * lradix_ + slot];
+      } else if (count == 1) {
+        desired = base;
+      } else {
+        desired = base + static_cast<unsigned>(
+                             path_mix(dest, inject_cycle,
+                                      static_cast<std::uint64_t>(s)) %
+                             count);
+      }
+      if constexpr (kFaulted) {
+        if (mask->faulted_index(arc_base + x * r + desired)) {
+          const int member = surviving_group_member(*mask, arc_base + x * r,
+                                                    base, count, desired);
+          if (member >= 0) {
+            reroute_kind = 1;
+            return member;
+          }
+        } else {
+          return static_cast<int>(desired);
+        }
+      } else {
+        return static_cast<int>(desired);
+      }
+    }
+    // Whole group masked: out-of-group detour through any surviving
+    // port, exactly the unipath degraded mode.
+    if constexpr (kFaulted) {
+      const int port = usable_port(mask, arc_base + x * r, base);
+      if (port >= 0) reroute_kind = 2;
+      return port;
+    }
+    return static_cast<int>(base);
+  }
+
   /// The radix, folded to the literal 2 in the binary instantiations so
   /// / and % compile to the historic shift/mask code.
   [[nodiscard]] unsigned radix() const noexcept {
@@ -809,20 +1183,28 @@ class StoreAndForwardPolicy {
   CreditLedger* credits_ = nullptr;                  // kCredits only
   WeightedRoundRobin weighted_;                      // kCredits only
   std::size_t service_levels_ = 1;                   // kCredits only
+  unsigned lradix_ = 2;                              // kMultiPath only
+  std::uint32_t lcells_ = 1;                         // kMultiPath only
+  unsigned planes_ = 1;                              // kMultiPath only
+  unsigned dilation_ = 1;                            // kMultiPath only
+  PathPolicy path_policy_ = PathPolicy::kHash;       // kMultiPath only
+  const multipath::LoopingSettings* looping_ = nullptr;  // kMultiPath only
+  const std::uint8_t* free_stage_ = nullptr;         // kMultiPath only
 };
 
 /// Out of line on purpose: inlining all eight instantiations into
 /// Engine::run lets the compiler cross-jump the twin hot loops into
 /// shared blocks, costing the binary instantiation measurable time.
-template <bool kFaulted, bool kBinary, bool kCredits>
+template <bool kFaulted, bool kBinary, bool kCredits, bool kMultiPath>
 #if defined(__GNUC__)
 [[gnu::noinline]]
 #endif
 SimResult
 run_saf(FabricCore& core, SimWorkspace& workspace,
-        const fault::FaultMask* mask) {
-  StoreAndForwardPolicy<kFaulted, kBinary, kCredits> policy(core, workspace,
-                                                            mask);
+        const fault::FaultMask* mask,
+        const multipath::LoopingSettings* looping = nullptr) {
+  StoreAndForwardPolicy<kFaulted, kBinary, kCredits, kMultiPath> policy(
+      core, workspace, mask, looping);
   return run_switched(core, policy);
 }
 
@@ -846,24 +1228,48 @@ SimResult Engine::run(Pattern pattern, const SimConfig& config,
   }
   SimWorkspace local;
   SimWorkspace& ws = workspace != nullptr ? *workspace : local;
+  if (multipath()) {
+    if (config.credits.enabled) {
+      throw std::invalid_argument(
+          "Engine::run: credit-based flow control is not supported on "
+          "multipath fabrics");
+    }
+    // The looping rearrangement runs once up front: it configures every
+    // free connection for the requested permutation, and the policy then
+    // just reads the settings tables.
+    std::optional<multipath::LoopingSettings> looping;
+    if (config.path_policy == PathPolicy::kLooping) {
+      looping = multipath::looping_configure(*fabric_, config.permutation);
+    }
+    const multipath::LoopingSettings* settings =
+        looping.has_value() ? &*looping : nullptr;
+    FabricCore core(*this, pattern, config,
+                    /*arbiter_candidates=*/static_cast<unsigned>(radix()),
+                    /*eject_candidates=*/static_cast<unsigned>(planes_) *
+                        static_cast<unsigned>(radix()));
+    return faulted
+               ? run_saf<true, false, false, true>(core, ws, mask, settings)
+               : run_saf<false, false, false, true>(core, ws, nullptr,
+                                                    settings);
+  }
   FabricCore core(*this, pattern, config,
                   /*arbiter_candidates=*/static_cast<unsigned>(radix()));
   const bool binary = wiring_.radix() == 2;
   const bool credits = config.credits.enabled;
   if (faulted) {
     if (credits) {
-      return binary ? run_saf<true, true, true>(core, ws, mask)
-                    : run_saf<true, false, true>(core, ws, mask);
+      return binary ? run_saf<true, true, true, false>(core, ws, mask)
+                    : run_saf<true, false, true, false>(core, ws, mask);
     }
-    return binary ? run_saf<true, true, false>(core, ws, mask)
-                  : run_saf<true, false, false>(core, ws, mask);
+    return binary ? run_saf<true, true, false, false>(core, ws, mask)
+                  : run_saf<true, false, false, false>(core, ws, mask);
   }
   if (credits) {
-    return binary ? run_saf<false, true, true>(core, ws, nullptr)
-                  : run_saf<false, false, true>(core, ws, nullptr);
+    return binary ? run_saf<false, true, true, false>(core, ws, nullptr)
+                  : run_saf<false, false, true, false>(core, ws, nullptr);
   }
-  return binary ? run_saf<false, true, false>(core, ws, nullptr)
-                : run_saf<false, false, false>(core, ws, nullptr);
+  return binary ? run_saf<false, true, false, false>(core, ws, nullptr)
+                : run_saf<false, false, false, false>(core, ws, nullptr);
 }
 
 }  // namespace mineq::sim

@@ -41,6 +41,7 @@
 #include "min/kary.hpp"
 #include "min/mi_digraph.hpp"
 #include "min/routing.hpp"
+#include "multipath/multipath_wiring.hpp"
 #include "sim/stats.hpp"
 #include "sim/traffic.hpp"
 
@@ -78,6 +79,26 @@ enum class ArbitrationPolicy : std::uint8_t {
 /// \throws std::invalid_argument on an unknown name.
 [[nodiscard]] ArbitrationPolicy parse_arbitration_policy(
     std::string_view name);
+
+/// How a packet chooses among the equivalent paths of a multipath fabric
+/// (unipath fabrics have nothing to choose; the policy is ignored).
+enum class PathPolicy : std::uint8_t {
+  kHash,      ///< deterministic spread: hash(dest, inject cycle, stage)
+  kAdaptive,  ///< least-occupancy: the emptiest downstream buffer wins
+  kLooping,   ///< looping-precomputed permutation routes (Benes +
+              ///< SimConfig::permutation only): provably conflict-free
+};
+
+/// All path policies, in declaration order.
+[[nodiscard]] const std::vector<PathPolicy>& all_path_policies();
+
+/// Short token for CLIs and CSV columns ("hash", "adaptive", "looping").
+[[nodiscard]] std::string path_policy_name(PathPolicy policy);
+
+/// Inverse of path_policy_name. The rejection message enumerates the
+/// valid tokens.
+/// \throws std::invalid_argument on an unknown name.
+[[nodiscard]] PathPolicy parse_path_policy(std::string_view name);
 
 /// Link-level credit flow control + virtual-lane arbitration parameters
 /// (InfiniBand-style). When enabled, every downstream buffer (a
@@ -147,6 +168,12 @@ struct SimConfig {
   /// default, which dispatches to the historic occupancy-probe policy
   /// instantiations byte for byte.
   CreditConfig credits;
+  /// Path selection on multipath fabrics (ignored by unipath engines).
+  PathPolicy path_policy = PathPolicy::kHash;
+  /// The terminal permutation the kLooping policy realizes (size must be
+  /// the logical terminal count). Also consumed as the traffic pattern
+  /// when the pattern is Pattern::kPermutation. Ignored otherwise.
+  std::vector<std::uint32_t> permutation;
 
   /// Reject unusable parameters up front, with a message naming the
   /// offending field and value: lanes, lane_depth, packet_length and
@@ -236,6 +263,17 @@ struct SimResult {
   /// forward drop; per-flit for wormhole worms).
   std::uint64_t flits_dropped_faulted = 0;
 
+  // Multipath counters (meaningful on MultiPathWiring engines; a unipath
+  // run reports paths_available == 1 and path_reroutes == 0).
+  /// Distinct router-usable paths per (source, destination) pair of the
+  /// pristine fabric (min::MultiPathWiring::paths_available()).
+  std::uint64_t paths_available = 1;
+  /// Fault-degraded path re-selections: events where a packet's chosen
+  /// arc was masked but a surviving arc of the same equivalent-path
+  /// group carried it instead (no detour, no misdelivery risk). Distinct
+  /// from packets_rerouted, which counts out-of-group detours.
+  std::uint64_t path_reroutes = 0;
+
   /// Correctly-delivered / injected, the fault-resilience headline
   /// (wrong-terminal ejections of detoured packets are subtracted).
   /// Defined as 0 when nothing was injected — like every other ratio
@@ -271,6 +309,16 @@ class Engine {
   /// \throws std::invalid_argument if the network is invalid or has no
   /// digit schedule.
   explicit Engine(const min::KaryMIDigraph& network);
+
+  /// An engine over a multipath fabric: packets carry *logical* terminal
+  /// addresses while flits traverse the physical wiring, and at every
+  /// hop the discipline chooses among the fabric's equivalent-path group
+  /// (route_group) by the configured SimConfig::path_policy. A
+  /// kUnipath-wrapped fabric behaves exactly like the plain constructor
+  /// over the same banyan.
+  /// \throws std::invalid_argument if the fabric's geometry is out of
+  /// simulator range.
+  explicit Engine(min::MultiPathWiring fabric);
 
   /// Run one simulation with the given traffic and parameters, in the
   /// discipline selected by \p config.mode. With a non-null, non-empty
@@ -312,18 +360,68 @@ class Engine {
     return wiring_;
   }
   /// Switch degree r: ports and input slots per cell, and the terminal
-  /// fan per first/last-stage cell.
+  /// fan per first/last-stage cell. On a multipath engine this is the
+  /// *physical* radix (logical_radix() * dilation() for dilated fabrics).
   [[nodiscard]] int radix() const noexcept { return wiring_.radix(); }
-  /// Terminals: radix * cells_per_stage (= radix^stages).
+  /// Addressable terminals: radix * cells_per_stage (= radix^stages) for
+  /// a unipath engine, the fabric's *logical* terminal count for a
+  /// multipath one (sources, destinations and traffic patterns all live
+  /// in logical coordinates; the physical fabric may be wider).
   [[nodiscard]] std::uint64_t terminals() const noexcept {
-    return static_cast<std::uint64_t>(wiring_.radix()) *
-           wiring_.cells_per_stage();
+    return terminals_;
   }
-  /// Address digits (base radix) of a terminal label: the stage count
-  /// (the accessor formerly named terminals_log2, which stopped being
-  /// log2(terminals) the moment radices other than 2 existed).
+  /// Address digits (base logical_radix()) of a terminal label: the
+  /// stage count for a unipath engine, the *logical* stage count for a
+  /// multipath one (a Benes has 2n-1 physical stages but n-digit
+  /// addresses).
   [[nodiscard]] int address_digits() const noexcept {
-    return wiring_.stages();
+    return address_digits_;
+  }
+
+  /// Is this engine routing over a multipath fabric?
+  [[nodiscard]] bool multipath() const noexcept {
+    return fabric_.has_value();
+  }
+  /// The multipath fabric (multipath engines only).
+  /// \throws std::logic_error on a unipath engine.
+  [[nodiscard]] const min::MultiPathWiring& fabric() const;
+  /// Logical switch radix: the base of terminal addresses (== radix()
+  /// on unipath engines).
+  [[nodiscard]] int logical_radix() const noexcept { return logical_radix_; }
+  /// Logical cells per stage: terminals() / logical_radix().
+  [[nodiscard]] std::uint32_t logical_cells() const noexcept {
+    return logical_cells_;
+  }
+  /// Injection planes (> 1 only for replicated fabrics).
+  [[nodiscard]] int planes() const noexcept { return planes_; }
+  /// Parallel arcs per logical link (> 1 only for dilated fabrics).
+  [[nodiscard]] int dilation() const noexcept { return dilation_; }
+
+  /// The group of equivalent out-ports a packet for logical terminal
+  /// \p dest_terminal may take at physical connection \p stage of a
+  /// multipath fabric: ports base..base+count-1 all reach the
+  /// destination. Free connections return the whole switch
+  /// ({0, radix()}), forced ones the scheduled dilation group. The
+  /// path policies choose *within* this group. Multipath engines only;
+  /// \p stage must be an inner connection (the last stage ejects).
+  struct PortGroup {
+    unsigned base;
+    unsigned count;
+  };
+  [[nodiscard]] PortGroup route_group(int stage,
+                                      std::uint32_t dest_terminal) const {
+    if (free_stage_[static_cast<std::size_t>(stage)] != 0) {
+      return {0U, static_cast<unsigned>(wiring_.radix())};
+    }
+    const auto lr = static_cast<std::uint32_t>(logical_radix_);
+    const std::uint32_t dest_cell = dest_terminal / lr;
+    const std::uint32_t value =
+        (dest_cell / digit_scale_[static_cast<std::size_t>(stage)]) % lr;
+    const unsigned dil = static_cast<unsigned>(dilation_);
+    return {digit_schedule_
+                    .port_of_value[static_cast<std::size_t>(stage)][value] *
+                dil,
+            dil};
   }
 
   /// The out-port a packet for \p dest_terminal takes at \p stage: the
@@ -351,13 +449,28 @@ class Engine {
   /// Digit routing (radix > 2) and the out-of-range throw.
   [[nodiscard]] unsigned route_port_general(int stage,
                                             std::uint32_t dest_terminal) const;
+  /// Copy the physical wiring's shape into the logical-geometry members
+  /// (every unipath constructor's last step).
+  void finish_unipath_geometry();
   std::optional<min::MIDigraph> network_;  ///< radix-2 engines only
   min::BitSchedule schedule_;              ///< radix-2 engines only
-  min::DigitSchedule digit_schedule_;      ///< radix > 2 engines only
+  min::DigitSchedule digit_schedule_;      ///< radix > 2 and multipath
   /// radix^digit_schedule_.digit[s] per stage, so route_port reads the
-  /// scheduled digit with one division.
+  /// scheduled digit with one division (logical radix on multipath
+  /// engines, with identity placeholders at free connections).
   std::vector<std::uint32_t> digit_scale_;
   min::FlatWiring wiring_;
+  std::optional<min::MultiPathWiring> fabric_;  ///< multipath engines only
+  /// Per-connection free flags (multipath engines; empty otherwise).
+  std::vector<std::uint8_t> free_stage_;
+  /// Logical geometry, valid on every engine (== the physical geometry
+  /// for unipath ones) so terminals()/address_digits() are branch-free.
+  std::uint64_t terminals_ = 0;
+  int address_digits_ = 0;
+  int logical_radix_ = 2;
+  std::uint32_t logical_cells_ = 1;
+  int planes_ = 1;
+  int dilation_ = 1;
 };
 
 }  // namespace mineq::sim

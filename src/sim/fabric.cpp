@@ -208,7 +208,8 @@ int LanePool::find_idle_lane(std::size_t first,
 }
 
 FabricCore::FabricCore(const Engine& engine, Pattern pattern,
-                       const SimConfig& config, unsigned arbiter_candidates)
+                       const SimConfig& config, unsigned arbiter_candidates,
+                       unsigned eject_candidates)
     : engine_(engine),
       config_(config),
       stages_(engine.wiring().stages()),
@@ -218,13 +219,21 @@ FabricCore::FabricCore(const Engine& engine, Pattern pattern,
              engine.wiring().cells_per_stage()),
       // RNG stream layout (fixed across both disciplines so a discipline
       // is a pure policy choice): split 0 feeds the traffic source,
-      // split 1 the injection gate, split 2 the bursty modulator.
-      source_(pattern, stages_, engine.radix(),
-              util::SplitMix64(config.seed).split(0)),
+      // split 1 the injection gate, split 2 the bursty modulator. The
+      // source addresses *logical* terminals — identical to the physical
+      // geometry on unipath engines.
+      source_(pattern, engine.address_digits(), engine.logical_radix(),
+              util::SplitMix64(config.seed).split(0),
+              pattern == Pattern::kPermutation
+                  ? config.permutation
+                  : std::vector<std::uint32_t>{}),
       inject_rng_(util::SplitMix64(config.seed).split(1)),
       rate_num_(static_cast<std::uint64_t>(config.injection_rate * 65536.0)),
       arbiters_(static_cast<std::size_t>(stages_) * ports_,
                 RoundRobin(arbiter_candidates)) {
+  if (eject_candidates > 0) {
+    eject_arbiters_.assign(terminals_, RoundRobin(eject_candidates));
+  }
   if (pattern == Pattern::kBursty) {
     burst_.emplace(terminals_, util::SplitMix64(config.seed).split(2),
                    config.burst);
@@ -237,9 +246,11 @@ void FabricCore::finalize(std::uint64_t link_counter) {
         static_cast<double>(result.delivered) /
         (static_cast<double>(config_.measure_cycles) *
          static_cast<double>(terminals_));
+    // Physical links per inter-stage gap is ports_ (== terminals_ on a
+    // unipath fabric, wider on a multipath one).
     result.link_utilization =
         static_cast<double>(link_counter) /
-        (static_cast<double>(stages_ - 1) * static_cast<double>(terminals_) *
+        (static_cast<double>(stages_ - 1) * static_cast<double>(ports_) *
          static_cast<double>(config_.measure_cycles));
   }
   // An idle point (rate 0, all-OFF bursty, dead fabric) offered nothing;

@@ -359,9 +359,14 @@ class FabricCore {
  public:
   /// \p arbiter_candidates is the candidate-ring size of every
   /// output-port arbiter (radix input slots for store-and-forward,
-  /// radix * lanes for wormhole). \p config must already be validated.
+  /// radix * lanes for wormhole). \p eject_candidates, when nonzero,
+  /// additionally allocates one ejection arbiter per *terminal* with
+  /// that ring size — the multipath policies arbitrate ejection per
+  /// logical terminal over planes * radix (* lanes) physical buffers,
+  /// which the per-(cell, port) stage arbiters cannot express. \p config
+  /// must already be validated.
   FabricCore(const Engine& engine, Pattern pattern, const SimConfig& config,
-             unsigned arbiter_candidates);
+             unsigned arbiter_candidates, unsigned eject_candidates = 0);
 
   [[nodiscard]] const Engine& engine() const noexcept { return engine_; }
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
@@ -384,6 +389,12 @@ class FabricCore {
   /// The arbiter of output port / candidate ring \p i at stage \p s.
   [[nodiscard]] RoundRobin& arbiter(int s, std::size_t i) {
     return arbiters_[static_cast<std::size_t>(s) * ports_ + i];
+  }
+
+  /// The ejection arbiter of terminal \p t (only allocated when the
+  /// constructor was given a nonzero eject_candidates ring size).
+  [[nodiscard]] RoundRobin& eject_arbiter(std::size_t t) {
+    return eject_arbiters_[t];
   }
 
   /// One Bernoulli injection draw (16-bit fixed-point gate).
@@ -434,6 +445,7 @@ class FabricCore {
   util::SplitMix64 inject_rng_;
   std::uint64_t rate_num_;
   std::vector<RoundRobin> arbiters_;
+  std::vector<RoundRobin> eject_arbiters_;  ///< per terminal; multipath only
   std::optional<BurstModulator> burst_;
 };
 

@@ -33,6 +33,8 @@ std::string pattern_name(Pattern p) {
       return "hotspot";
     case Pattern::kBursty:
       return "bursty";
+    case Pattern::kPermutation:
+      return "permutation";
   }
   throw std::invalid_argument("pattern_name: unknown pattern");
 }
@@ -41,8 +43,14 @@ Pattern parse_pattern(std::string_view name) {
   for (Pattern p : all_patterns()) {
     if (pattern_name(p) == name) return p;
   }
+  std::string valid;
+  for (Pattern p : all_patterns()) {
+    if (!valid.empty()) valid += ", ";
+    valid += pattern_name(p);
+  }
   throw std::invalid_argument("parse_pattern: unknown pattern \"" +
-                              std::string(name) + '"');
+                              std::string(name) + "\" (valid: " + valid +
+                              ')');
 }
 
 namespace {
@@ -69,6 +77,7 @@ std::uint32_t transform(Pattern p, std::uint32_t src, int n) {
     case Pattern::kUniform:
     case Pattern::kHotSpot:
     case Pattern::kBursty:
+    case Pattern::kPermutation:  // table-driven, not a closed form
       throw std::invalid_argument(
           "transform: pattern is not deterministic");
   }
@@ -115,6 +124,7 @@ std::uint32_t transform_kary(Pattern p, std::uint32_t src, int n, int radix) {
     case Pattern::kUniform:
     case Pattern::kHotSpot:
     case Pattern::kBursty:
+    case Pattern::kPermutation:  // table-driven, not a closed form
       throw std::invalid_argument(
           "transform_kary: pattern is not deterministic");
   }
@@ -125,9 +135,11 @@ std::uint32_t transform_kary(Pattern p, std::uint32_t src, int n, int radix) {
 
 perm::Permutation pattern_permutation(Pattern p, int n) {
   if (p == Pattern::kUniform || p == Pattern::kHotSpot ||
-      p == Pattern::kBursty) {
+      p == Pattern::kBursty || p == Pattern::kPermutation) {
+    // kPermutation *is* a permutation, but the table lives in the
+    // caller's SimConfig, not in the pattern tag.
     throw std::invalid_argument(
-        "pattern_permutation: pattern is not a permutation");
+        "pattern_permutation: pattern is not a derivable permutation");
   }
   const std::size_t size = std::size_t{1} << n;
   std::vector<std::uint32_t> image(size);
@@ -142,7 +154,17 @@ TrafficSource::TrafficSource(Pattern pattern, int n, util::SplitMix64 rng)
 
 TrafficSource::TrafficSource(Pattern pattern, int n, int radix,
                              util::SplitMix64 rng)
-    : pattern_(pattern), n_(n), radix_(radix), terminals_(1), rng_(rng) {
+    : TrafficSource(pattern, n, radix, rng, {}) {}
+
+TrafficSource::TrafficSource(Pattern pattern, int n, int radix,
+                             util::SplitMix64 rng,
+                             std::vector<std::uint32_t> permutation)
+    : pattern_(pattern),
+      n_(n),
+      radix_(radix),
+      terminals_(1),
+      rng_(rng),
+      permutation_(std::move(permutation)) {
   if (n < 1 || n > util::kMaxBits) {
     throw std::invalid_argument("TrafficSource: address digits out of range");
   }
@@ -157,6 +179,23 @@ TrafficSource::TrafficSource(Pattern pattern, int n, int radix,
     if (terminals_ > (std::uint64_t{1} << 32)) {
       throw std::invalid_argument(
           "TrafficSource: radix^n exceeds the 32-bit terminal space");
+    }
+  }
+  if (pattern == Pattern::kPermutation) {
+    if (permutation_.size() != terminals_) {
+      throw std::invalid_argument(
+          "TrafficSource: permutation has " +
+          std::to_string(permutation_.size()) + " entries, fabric has " +
+          std::to_string(terminals_) + " terminals");
+    }
+    std::vector<std::uint8_t> seen(permutation_.size(), 0);
+    for (const std::uint32_t image : permutation_) {
+      if (image >= terminals_ || seen[image]) {
+        throw std::invalid_argument(
+            "TrafficSource: permutation is not a bijection over the "
+            "terminal space");
+      }
+      seen[image] = 1;
     }
   }
 }
@@ -211,6 +250,8 @@ std::uint32_t TrafficSource::destination(std::uint32_t source) {
       // 25% of packets to terminal 0, the rest uniform.
       if (rng_.chance(1, 4)) return 0;
       return static_cast<std::uint32_t>(rng_.below(terminals_));
+    case Pattern::kPermutation:
+      return permutation_[source];
     default:
       // The binary path keeps the historic bit implementation; the
       // digit-wise generalization agrees with it at r = 2.

@@ -34,9 +34,15 @@ enum class Pattern : std::uint8_t {
   kComplement,   ///< d = ~src
   kHotSpot,      ///< biased toward terminal 0 (kHotSpotNumerator/Denominator)
   kBursty,       ///< uniform destinations, two-state Markov on/off injection
+  /// d = an explicit caller-supplied permutation (SimConfig::permutation;
+  /// how the looping tests drive a Benes). Programmatic-only: not listed
+  /// by all_patterns() and not parseable, since a CLI token cannot carry
+  /// the table.
+  kPermutation,
 };
 
-/// All patterns, in declaration order (handy for sweeps and round-trips).
+/// All *nameable* patterns, in declaration order (handy for sweeps and
+/// round-trips; excludes the programmatic-only kPermutation).
 [[nodiscard]] const std::vector<Pattern>& all_patterns();
 
 /// Parse/emit pattern names ("uniform", "bitrev", "shuffle", "transpose",
@@ -111,6 +117,13 @@ class TrafficSource {
   /// digit count with kTranspose.
   TrafficSource(Pattern pattern, int n, int radix, util::SplitMix64 rng);
 
+  /// Full form with an explicit destination table for kPermutation
+  /// (ignored — and allowed empty — for every other pattern).
+  /// \throws std::invalid_argument if \p pattern is kPermutation and
+  /// \p permutation is not a bijection over the r^n terminals.
+  TrafficSource(Pattern pattern, int n, int radix, util::SplitMix64 rng,
+                std::vector<std::uint32_t> permutation);
+
   /// Destination terminal for a packet injected at \p source.
   [[nodiscard]] std::uint32_t destination(std::uint32_t source);
 
@@ -124,6 +137,7 @@ class TrafficSource {
   int radix_;
   std::uint64_t terminals_;
   util::SplitMix64 rng_;
+  std::vector<std::uint32_t> permutation_;  ///< kPermutation only
 };
 
 }  // namespace mineq::sim

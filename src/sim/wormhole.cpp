@@ -1,9 +1,12 @@
 #include "sim/wormhole.hpp"
 
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
+#include "multipath/looping.hpp"
 #include "sim/fabric.hpp"
+#include "sim/multipath_select.hpp"
 
 namespace mineq::sim {
 
@@ -37,12 +40,26 @@ namespace {
 /// configured latency — plus the pluggable output-port arbitration. With
 /// a non-empty SL->VL map, worms travel in their fixed virtual lane
 /// vl_of_sl(sl) at every hop instead of claiming the first idle lane.
-template <bool kFaulted, bool kBinary, bool kCredits>
+///
+/// \tparam kMultiPath compile-time multipath switch: terminals are
+/// *logical* (the engine's MultiPathWiring view), a head resolves its
+/// next out-port by selecting within the fabric's equivalent-path group
+/// (free Benes connection, dilation group, injection plane) under the
+/// configured PathPolicy, and ejection arbitrates the planes * radix *
+/// lanes candidate lanes of each logical terminal. General-radix and
+/// credit-less: the binary and credit specializations never combine
+/// with it.
+template <bool kFaulted, bool kBinary, bool kCredits, bool kMultiPath>
 class WormholePolicy {
+  static_assert(!(kMultiPath && (kBinary || kCredits)),
+                "multipath instantiations are general-radix and credit-less");
+
  public:
   WormholePolicy(FabricCore& core, const EjectObserver& observer,
                  SimWorkspace& workspace,
-                 [[maybe_unused]] const fault::FaultMask* mask)
+                 [[maybe_unused]] const fault::FaultMask* mask,
+                 [[maybe_unused]] const multipath::LoopingSettings* looping =
+                     nullptr)
       : core_(core),
         observer_(observer),
         radix_(static_cast<unsigned>(core.wiring().radix())),
@@ -52,10 +69,23 @@ class WormholePolicy {
             static_cast<std::size_t>(core.stages()) * core.ports() * lanes_,
             core.config().lane_depth)),
         sources_(core.terminals()),
+        // Physical lane slots: ports per stage (== terminals on a
+        // unipath fabric, wider on a multipath one).
         total_flit_slots_(static_cast<double>(core.stages()) *
-                          static_cast<double>(core.terminals()) *
+                          static_cast<double>(core.ports()) *
                           static_cast<double>(lanes_) *
                           static_cast<double>(core.config().lane_depth)) {
+    if constexpr (kMultiPath) {
+      const Engine& engine = core.engine();
+      lradix_ = static_cast<unsigned>(engine.logical_radix());
+      lcells_ = engine.logical_cells();
+      planes_ = static_cast<unsigned>(engine.planes());
+      dilation_ = static_cast<unsigned>(engine.dilation());
+      path_policy_ = core.config().path_policy;
+      looping_ = looping;
+      free_stage_ = engine.fabric().free_stage().data();
+      core.result.paths_available = engine.fabric().paths_available();
+    }
     if constexpr (kFaulted) {
       faulted_ = fault::FaultedWiring(core.wiring(), *mask);
       dropping_.assign(
@@ -82,6 +112,10 @@ class WormholePolicy {
   /// round-robin over the radix*lanes candidate lanes. Ejection links are
   /// terminal attachments, not wiring arcs, so they cannot fault.
   void eject(std::uint64_t cycle, bool measuring) {
+    if constexpr (kMultiPath) {
+      eject_multipath(cycle, measuring);
+      return;
+    }
     if constexpr (kCredits) credits_->deliver(cycle);
     const int last = core_.stages() - 1;
     const std::uint32_t cells = core_.cells();
@@ -155,6 +189,10 @@ class WormholePolicy {
   /// StoreAndForwardPolicy::advance_stage for the aliasing rationale.
   void advance_stage(int s, [[maybe_unused]] std::uint64_t cycle,
                      bool measuring) {
+    if constexpr (kMultiPath) {
+      advance_stage_multipath(s, cycle, measuring);
+      return;
+    }
     const std::uint32_t cells = core_.cells();
     const unsigned r = radix();
     const auto down = core_.wiring().down_stage(s);
@@ -307,6 +345,10 @@ class WormholePolicy {
   /// Bernoulli gate (bursty-OFF terminals skip the attempt) and its head
   /// needs an idle lane or the packet is refused at the source.
   void inject(std::uint64_t cycle, bool measuring) {
+    if constexpr (kMultiPath) {
+      inject_multipath(cycle, measuring);
+      return;
+    }
     const unsigned r = radix();
     for (std::uint64_t t = 0; t < core_.terminals(); ++t) {
       SourceState& src = sources_[t];
@@ -430,6 +472,7 @@ class WormholePolicy {
     std::size_t remaining = 0;
     int lane = -1;
     unsigned sl = 0;  // service level of the serializing packet
+    std::size_t port = 0;  // claimed physical input port (kMultiPath only)
   };
 
   /// The radix, folded to the literal 2 in the binary instantiations.
@@ -439,6 +482,343 @@ class WormholePolicy {
     } else {
       return radix_;
     }
+  }
+
+  /// Multipath ejection: logical terminal lx * lr + j arbitrates over
+  /// the planes * radix * lanes last-stage lanes of its logical cell (a
+  /// worm may arrive on any arc of its dilation group and in any
+  /// plane), one flit per terminal per cycle, per-terminal round-robin
+  /// so no plane starves.
+  void eject_multipath(std::uint64_t cycle, bool measuring) {
+    const int last = core_.stages() - 1;
+    const unsigned r = radix_;
+    const unsigned candidates = static_cast<unsigned>(
+        static_cast<std::size_t>(planes_) * r * lanes_);
+    for (std::uint32_t lx = 0; lx < lcells_; ++lx) {
+      for (unsigned j = 0; j < lradix_; ++j) {
+        const std::size_t term =
+            static_cast<std::size_t>(lx) * lradix_ + j;
+        RoundRobin& arb = core_.eject_arbiter(term);
+        for (unsigned probe = 0; probe < candidates; ++probe) {
+          const unsigned c = arb.candidate(probe);
+          const unsigned per_plane =
+              static_cast<unsigned>(r * lanes_);
+          const std::uint32_t cell =
+              (c / per_plane) * lcells_ + lx;
+          const unsigned slot =
+              (c % per_plane) / static_cast<unsigned>(lanes_);
+          const std::size_t l =
+              lane_index(last, static_cast<std::size_t>(cell) * r + slot,
+                         c % lanes_);
+          if (pool_.empty(l) || pool_.out_port(l) != j) continue;
+          const Flit flit = pool_.pop(l);
+          arb.grant(c);
+          if (observer_) observer_(flit, cycle);
+          if (measuring &&
+              flit.inject_cycle >= core_.config().warmup_cycles) {
+            ++core_.result.flits_delivered;
+            if (flit.is_tail()) {
+              core_.record_packet_delivered(
+                  static_cast<double>(cycle - flit.inject_cycle + 1));
+              if constexpr (kFaulted) {
+                if ((flit.dest_terminal / lradix_) != lx) {
+                  ++core_.result.packets_misdelivered;
+                }
+              }
+            }
+          }
+          break;
+        }
+      }
+    }
+    account_stage(last, measuring);
+  }
+
+  /// Multipath advancement: identical link/lane mechanics to the
+  /// unipath loop, but an advancing head resolves its stage-(s+1)
+  /// out-port by selecting within the fabric's equivalent-path group
+  /// (select_next_port) instead of reading a single scheduled port.
+  void advance_stage_multipath(int s, std::uint64_t cycle, bool measuring) {
+    const std::uint32_t cells = core_.cells();
+    const unsigned r = radix_;
+    const auto down = core_.wiring().down_stage(s);
+    const bool target_ejects = s + 2 == core_.stages();
+    // Routing constants for the target stage s + 1: the free flag, the
+    // forced-group schedule reads, the looping settings row, and (for
+    // the adaptive metric) the stage-(s+1) child records.
+    bool next_free = false;
+    std::uint32_t digit_scale = 1;
+    const std::uint32_t* port_of_value = nullptr;
+    const std::uint8_t* settings = nullptr;
+    const std::uint32_t* down_next = nullptr;
+    if (!target_ejects) {
+      next_free = free_stage_[static_cast<std::size_t>(s + 1)] != 0;
+      if (!next_free) {
+        digit_scale = core_.engine().route_digit_scale(s + 1);
+        port_of_value = core_.engine()
+                            .digit_schedule()
+                            .port_of_value[static_cast<std::size_t>(s + 1)]
+                            .data();
+      } else if (path_policy_ == PathPolicy::kLooping) {
+        settings =
+            looping_->settings[static_cast<std::size_t>(s + 1)].data();
+      }
+      if (path_policy_ == PathPolicy::kAdaptive) {
+        down_next = core_.wiring().down_stage(s + 1).data();
+      }
+    }
+    [[maybe_unused]] std::size_t arc_base = 0;
+    [[maybe_unused]] const fault::FaultMask* mask = nullptr;
+    if constexpr (kFaulted) {
+      drain_dropping(s, cycle, measuring);
+      arc_base = static_cast<std::size_t>(s) * core_.ports();
+      mask = &faulted_.mask();
+    }
+    const unsigned candidates =
+        static_cast<unsigned>(static_cast<std::size_t>(r) * lanes_);
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      for (unsigned port = 0; port < r; ++port) {
+        if constexpr (kFaulted) {
+          if (mask->faulted_index(arc_base + x * r + port)) continue;
+        }
+        for (unsigned probe = 0; probe < candidates; ++probe) {
+          const unsigned c = arb_candidate(s, x * r + port, probe);
+          const std::size_t l = lane_index(s, x * r + c / lanes_, c % lanes_);
+          if (pool_.empty(l) || pool_.out_port(l) != port) continue;
+          const std::uint32_t record = down[x * r + port];
+          const std::size_t target_first = lane_index(s + 1, record, 0);
+          if (pool_.front(l).is_head()) {
+            const int down_lane = pool_.find_idle_lane(target_first, lanes_);
+            if (down_lane < 0) continue;  // blocked: no free lane
+            const Flit flit = pool_.pop(l);
+            if (!flit.is_tail()) pool_.set_downstream(l, down_lane);
+            unsigned desired;
+            int reroute_kind = 0;
+            if (target_ejects) {
+              desired = flit.dest_terminal % lradix_;
+            } else {
+              unsigned base = 0;
+              unsigned count = r;
+              if (!next_free) {
+                base = port_of_value[((flit.dest_terminal / lradix_) /
+                                      digit_scale) %
+                                     lradix_] *
+                       dilation_;
+                count = dilation_;
+              }
+              desired = select_next_port(s + 1, record, flit, base, count,
+                                         settings, down_next, mask,
+                                         reroute_kind);
+            }
+            accept_head(target_first + static_cast<std::size_t>(down_lane),
+                        flit, s + 1, record / r, desired, measuring);
+            if constexpr (kFaulted) {
+              if (reroute_kind == 1 && measuring &&
+                  flit.inject_cycle >= core_.config().warmup_cycles) {
+                ++core_.result.path_reroutes;
+              }
+            }
+          } else {
+            const std::size_t down_l =
+                target_first + static_cast<std::size_t>(pool_.downstream(l));
+            if (!pool_.has_space(down_l)) continue;  // blocked: full
+            pool_.accept(down_l, pool_.pop(l));
+          }
+          arb_grant(s, x * r + port, c, 0);
+          if (measuring) ++link_flit_hops_;
+          break;
+        }
+      }
+    }
+    account_stage(s, measuring);
+  }
+
+  /// Multipath injection: logical terminal t feeds physical input slot
+  /// (t % lr) * dilation of its logical cell, choosing a plane per
+  /// packet on replicated fabrics (hash of the destination, or the
+  /// plane with the emptiest injection lanes) and its first out-port
+  /// through select_next_port. A terminal mid-packet keeps serializing
+  /// into the claimed lane of the claimed physical port.
+  void inject_multipath(std::uint64_t cycle, bool measuring) {
+    const unsigned r = radix_;
+    const bool first_free = free_stage_[0] != 0;
+    std::uint32_t digit_scale = 1;
+    const std::uint32_t* port_of_value = nullptr;
+    const std::uint8_t* settings = nullptr;
+    const std::uint32_t* down_next = nullptr;
+    if (!first_free) {
+      digit_scale = core_.engine().route_digit_scale(0);
+      port_of_value =
+          core_.engine().digit_schedule().port_of_value[0].data();
+    } else if (path_policy_ == PathPolicy::kLooping) {
+      settings = looping_->settings[0].data();
+    }
+    if (path_policy_ == PathPolicy::kAdaptive) {
+      down_next = core_.wiring().down_stage(0).data();
+    }
+    [[maybe_unused]] const fault::FaultMask* mask = nullptr;
+    if constexpr (kFaulted) mask = &faulted_.mask();
+    for (std::uint64_t t = 0; t < core_.terminals(); ++t) {
+      SourceState& src = sources_[t];
+      if (src.remaining > 0) {
+        const std::size_t l =
+            lane_index(0, src.port, static_cast<std::size_t>(src.lane));
+        if (pool_.has_space(l)) {
+          pool_.accept(l, make_flit(src.id, src.dest, src.inject_cycle,
+                                    src.next_index, length_, src.sl));
+          ++src.next_index;
+          --src.remaining;
+          if (measuring) ++core_.result.flits_injected;
+        }
+        continue;  // the source link is busy with the current packet
+      }
+      if (!core_.terminal_active(t)) continue;
+      if (!core_.gate()) continue;
+      if (measuring) ++core_.result.offered;
+      const std::uint32_t dest =
+          core_.destination(static_cast<std::uint32_t>(t));
+      const std::uint32_t lcell =
+          static_cast<std::uint32_t>(t) / lradix_;
+      const unsigned slot =
+          (static_cast<unsigned>(t) % lradix_) * dilation_;
+      std::size_t port_index = 0;
+      int lane = -1;
+      if (planes_ == 1) {
+        port_index = static_cast<std::size_t>(lcell) * r + slot;
+        lane = pool_.find_idle_lane(lane_index(0, port_index, 0), lanes_);
+      } else if (path_policy_ == PathPolicy::kAdaptive) {
+        std::size_t best = 0;
+        for (unsigned plane = 0; plane < planes_; ++plane) {
+          const std::size_t candidate =
+              (static_cast<std::size_t>(plane) * lcells_ + lcell) * r + slot;
+          const int idle =
+              pool_.find_idle_lane(lane_index(0, candidate, 0), lanes_);
+          if (idle < 0) continue;
+          std::size_t occupancy = 0;
+          for (std::size_t ln = 0; ln < lanes_; ++ln) {
+            occupancy += pool_.count(lane_index(0, candidate, ln));
+          }
+          if (lane < 0 || occupancy < best) {
+            best = occupancy;
+            port_index = candidate;
+            lane = idle;
+          }
+        }
+      } else {
+        const unsigned plane = static_cast<unsigned>(
+            path_mix(dest, cycle, t) % planes_);
+        port_index =
+            (static_cast<std::size_t>(plane) * lcells_ + lcell) * r + slot;
+        lane = pool_.find_idle_lane(lane_index(0, port_index, 0), lanes_);
+      }
+      if (lane < 0) continue;  // refused at source
+      const std::uint32_t id = next_packet_id_++;
+      const Flit head = make_flit(id, dest, cycle, 0, length_, 0);
+      int reroute_kind = 0;
+      const unsigned desired = select_next_port(
+          0, static_cast<std::uint32_t>(port_index), head,
+          first_free
+              ? 0U
+              : port_of_value[((dest / lradix_) / digit_scale) % lradix_] *
+                    dilation_,
+          first_free ? r : dilation_, settings, down_next, mask,
+          reroute_kind);
+      accept_head(lane_index(0, port_index, static_cast<std::size_t>(lane)),
+                  head, 0, static_cast<std::uint32_t>(port_index / r),
+                  desired, measuring);
+      if constexpr (kFaulted) {
+        if (reroute_kind == 1 && measuring &&
+            cycle >= core_.config().warmup_cycles) {
+          ++core_.result.path_reroutes;
+        }
+      }
+      src.dest = dest;
+      src.id = id;
+      src.inject_cycle = cycle;
+      src.next_index = 1;
+      src.remaining = length_ - 1;
+      src.lane = lane;
+      src.port = port_index;
+      src.sl = 0;
+      if (measuring) {
+        ++core_.result.injected;
+        ++core_.result.flits_injected;
+      }
+    }
+  }
+
+  /// The path-selection seam: the out-port the head entering stage
+  /// \p next_s on record \p record (cell * r + input slot) will take,
+  /// chosen within the equivalent-path group [\p base, \p base +
+  /// \p count) by the configured policy. Faulted: a masked choice
+  /// re-selects among the surviving group members (\p reroute_kind = 1);
+  /// a fully-masked group returns the scheduled base and lets
+  /// accept_head run the unipath out-of-group detour (or dead-switch
+  /// drop).
+  [[nodiscard]] unsigned select_next_port(
+      int next_s, std::uint32_t record, const Flit& flit, unsigned base,
+      unsigned count, const std::uint8_t* settings,
+      const std::uint32_t* down_next,
+      [[maybe_unused]] const fault::FaultMask* mask, int& reroute_kind) {
+    const unsigned r = radix_;
+    const std::uint32_t y = record / r;
+    reroute_kind = 0;
+    if (path_policy_ == PathPolicy::kAdaptive) {
+      // Least-occupancy: the group member whose downstream lanes hold
+      // the fewest flits (ties to the lowest port). Masked arcs are not
+      // candidates — adaptivity subsumes in-group re-selection.
+      int chosen = -1;
+      std::size_t best = 0;
+      for (unsigned k = 0; k < count; ++k) {
+        const unsigned p = base + k;
+        if constexpr (kFaulted) {
+          if (mask->faulted_index(
+                  static_cast<std::size_t>(next_s) * core_.ports() + y * r +
+                  p)) {
+            continue;
+          }
+        }
+        std::size_t occupancy = 0;
+        const std::size_t down_first =
+            lane_index(next_s + 1, down_next[y * r + p], 0);
+        for (std::size_t ln = 0; ln < lanes_; ++ln) {
+          occupancy += pool_.count(down_first + ln);
+        }
+        if (chosen < 0 || occupancy < best) {
+          best = occupancy;
+          chosen = static_cast<int>(p);
+        }
+      }
+      if (chosen >= 0) return static_cast<unsigned>(chosen);
+      return base;  // whole group masked: accept_head detours or drops
+    }
+    unsigned desired;
+    if (settings != nullptr) {
+      desired = settings[static_cast<std::size_t>(y) * lradix_ +
+                         record % r];
+    } else if (count == 1) {
+      desired = base;
+    } else {
+      desired = base + static_cast<unsigned>(
+                           path_mix(flit.dest_terminal, flit.inject_cycle,
+                                    static_cast<std::uint64_t>(next_s)) %
+                           count);
+    }
+    if constexpr (kFaulted) {
+      if (next_s + 1 < core_.stages() &&
+          mask->faulted_index(static_cast<std::size_t>(next_s) *
+                              core_.ports() +
+                              y * r + desired)) {
+        const int member = surviving_group_member(
+            *mask, static_cast<std::size_t>(next_s) * core_.ports() + y * r,
+            base, count, desired);
+        if (member >= 0) {
+          reroute_kind = 1;
+          return static_cast<unsigned>(member);
+        }
+      }
+    }
+    return desired;
   }
 
   [[nodiscard]] std::size_t lane_index(int s, std::size_t port_index,
@@ -569,18 +949,26 @@ class WormholePolicy {
   WeightedRoundRobin weighted_;                  // kCredits only
   std::size_t service_levels_ = 1;               // kCredits only
   std::vector<std::uint64_t> vl_flits_;          // kCredits only (scratch)
+  unsigned lradix_ = 2;                              // kMultiPath only
+  std::uint32_t lcells_ = 1;                         // kMultiPath only
+  unsigned planes_ = 1;                              // kMultiPath only
+  unsigned dilation_ = 1;                            // kMultiPath only
+  PathPolicy path_policy_ = PathPolicy::kHash;       // kMultiPath only
+  const multipath::LoopingSettings* looping_ = nullptr;  // kMultiPath only
+  const std::uint8_t* free_stage_ = nullptr;         // kMultiPath only
 };
 
 /// Out of line on purpose — see run_saf in engine.cpp.
-template <bool kFaulted, bool kBinary, bool kCredits>
+template <bool kFaulted, bool kBinary, bool kCredits, bool kMultiPath>
 #if defined(__GNUC__)
 [[gnu::noinline]]
 #endif
 SimResult
 run_wormhole(FabricCore& core, const EjectObserver& observer,
-             SimWorkspace& workspace, const fault::FaultMask* mask) {
-  WormholePolicy<kFaulted, kBinary, kCredits> policy(core, observer,
-                                                     workspace, mask);
+             SimWorkspace& workspace, const fault::FaultMask* mask,
+             const multipath::LoopingSettings* looping = nullptr) {
+  WormholePolicy<kFaulted, kBinary, kCredits, kMultiPath> policy(
+      core, observer, workspace, mask, looping);
   return run_switched(core, policy);
 }
 
@@ -608,6 +996,31 @@ SimResult WormholeSimulator::run(Pattern pattern, const SimConfig& config,
   }
   SimWorkspace local;
   SimWorkspace& ws = workspace != nullptr ? *workspace : local;
+  if (engine_.multipath()) {
+    if (config.credits.enabled) {
+      throw std::invalid_argument(
+          "WormholeSimulator::run: credit-based flow control is not "
+          "supported on multipath fabrics");
+    }
+    std::optional<multipath::LoopingSettings> looping;
+    if (config.path_policy == PathPolicy::kLooping) {
+      looping = multipath::looping_configure(engine_.fabric(),
+                                             config.permutation);
+    }
+    const multipath::LoopingSettings* settings =
+        looping.has_value() ? &*looping : nullptr;
+    FabricCore core(
+        engine_, pattern, config,
+        static_cast<unsigned>(static_cast<std::size_t>(engine_.radix()) *
+                              config.lanes),
+        static_cast<unsigned>(static_cast<std::size_t>(engine_.planes()) *
+                              engine_.radix() * config.lanes));
+    return faulted ? run_wormhole<true, false, false, true>(core, observer,
+                                                            ws, mask,
+                                                            settings)
+                   : run_wormhole<false, false, false, true>(
+                         core, observer, ws, nullptr, settings);
+  }
   FabricCore core(
       engine_, pattern, config,
       static_cast<unsigned>(static_cast<std::size_t>(engine_.radix()) *
@@ -616,23 +1029,26 @@ SimResult WormholeSimulator::run(Pattern pattern, const SimConfig& config,
   const bool credits = config.credits.enabled;
   if (faulted) {
     if (credits) {
-      return binary
-                 ? run_wormhole<true, true, true>(core, observer, ws, mask)
-                 : run_wormhole<true, false, true>(core, observer, ws, mask);
+      return binary ? run_wormhole<true, true, true, false>(core, observer,
+                                                            ws, mask)
+                    : run_wormhole<true, false, true, false>(core, observer,
+                                                             ws, mask);
     }
-    return binary
-               ? run_wormhole<true, true, false>(core, observer, ws, mask)
-               : run_wormhole<true, false, false>(core, observer, ws, mask);
+    return binary ? run_wormhole<true, true, false, false>(core, observer,
+                                                           ws, mask)
+                  : run_wormhole<true, false, false, false>(core, observer,
+                                                            ws, mask);
   }
   if (credits) {
-    return binary
-               ? run_wormhole<false, true, true>(core, observer, ws, nullptr)
-               : run_wormhole<false, false, true>(core, observer, ws,
-                                                  nullptr);
+    return binary ? run_wormhole<false, true, true, false>(core, observer,
+                                                           ws, nullptr)
+                  : run_wormhole<false, false, true, false>(core, observer,
+                                                            ws, nullptr);
   }
-  return binary
-             ? run_wormhole<false, true, false>(core, observer, ws, nullptr)
-             : run_wormhole<false, false, false>(core, observer, ws, nullptr);
+  return binary ? run_wormhole<false, true, false, false>(core, observer, ws,
+                                                          nullptr)
+                : run_wormhole<false, false, false, false>(core, observer, ws,
+                                                           nullptr);
 }
 
 }  // namespace mineq::sim

@@ -1,0 +1,175 @@
+/// \file looping_property_test.cpp
+/// \brief Seeded property test of the looping rearrangement algorithm:
+/// every sampled random permutation routes through a Benes fabric
+/// conflict-free, verified by an *independent* route replay (not the
+/// algorithm's own self-check) and cross-checked against the perm::
+/// permutation utilities.
+
+#include "multipath/looping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "multipath/multipath_wiring.hpp"
+#include "perm/permutation.hpp"
+#include "test_seed.hpp"
+
+namespace mineq::multipath {
+namespace {
+
+/// Walk terminal t's route through \p fabric under \p cfg with plain
+/// FlatWiring arithmetic — free connections consult the settings, forced
+/// ones the destination-digit schedule — so correctness does not rest on
+/// looping_configure's internal replay.
+struct Replay {
+  std::vector<std::pair<int, std::uint32_t>> links;  ///< (stage, x*r+port)
+  std::uint32_t arrival = 0;                         ///< terminal reached
+};
+
+Replay replay_route(const min::MultiPathWiring& fabric,
+                    const LoopingSettings& cfg, std::uint32_t t,
+                    std::uint32_t dest) {
+  const min::FlatWiring& w = fabric.wiring();
+  const auto r = static_cast<std::uint32_t>(fabric.logical_radix());
+  const std::uint32_t dest_cell = dest / r;
+  Replay out;
+  std::uint32_t cell = t / r;
+  std::uint32_t slot = t % r;
+  for (int s = 0; s + 1 < w.stages(); ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    std::uint32_t port;
+    if (fabric.free_stage()[si] != 0) {
+      port = cfg.settings[si][cell * r + slot];
+    } else {
+      std::uint32_t scale = 1;
+      for (int i = 0; i < fabric.schedule().digit[si]; ++i) scale *= r;
+      const auto value = static_cast<std::size_t>((dest_cell / scale) % r);
+      port = fabric.schedule().port_of_value[si][value];
+    }
+    out.links.emplace_back(s, cell * r + port);
+    const std::uint32_t next = w.child(s, cell, port);
+    slot = w.slot(s, cell, port);
+    cell = next;
+  }
+  out.arrival = cell * r + dest % r;  // eject slot is the low digit
+  return out;
+}
+
+/// The whole property for one (fabric, permutation) pair: configuration
+/// succeeds, every free-stage switch setting is a bijection, all N
+/// independently replayed routes are pairwise link-disjoint, and each
+/// lands exactly on pi(t).
+void expect_realizes(const min::MultiPathWiring& fabric,
+                     const perm::Permutation& pi) {
+  const auto n = static_cast<std::uint64_t>(fabric.logical_terminals());
+  ASSERT_EQ(pi.size(), n);
+  const LoopingSettings cfg = looping_configure(fabric, pi.image());
+  const auto r = static_cast<std::uint32_t>(fabric.logical_radix());
+
+  // Per-switch legality: at every free connection, each cell's slots map
+  // to distinct out-ports (an r x r crossbar setting).
+  const int free_connections = fabric.logical_stages() - 1;
+  ASSERT_GE(cfg.settings.size(), static_cast<std::size_t>(free_connections));
+  for (int s = 0; s < free_connections; ++s) {
+    const auto& row = cfg.settings[static_cast<std::size_t>(s)];
+    ASSERT_EQ(row.size(), n);
+    for (std::uint32_t cell = 0; cell < n / r; ++cell) {
+      std::set<std::uint8_t> ports;
+      for (std::uint32_t slot = 0; slot < r; ++slot) {
+        ports.insert(row[cell * r + slot]);
+      }
+      EXPECT_EQ(ports.size(), r) << "non-bijective switch at stage " << s
+                                 << " cell " << cell;
+    }
+  }
+
+  // Route replay: conflict-free and delivered to pi(t), for every t.
+  std::set<std::pair<int, std::uint32_t>> used;
+  for (std::uint32_t t = 0; t < n; ++t) {
+    const std::uint32_t dest = pi.apply(t);
+    const Replay route = replay_route(fabric, cfg, t, dest);
+    EXPECT_EQ(route.arrival, dest) << "terminal " << t << " misrouted";
+    for (const auto& link : route.links) {
+      EXPECT_TRUE(used.insert(link).second)
+          << "link conflict at stage " << link.first << " record "
+          << link.second << " (terminal " << t << ')';
+    }
+  }
+}
+
+TEST(LoopingPropertyTest, FixedPermutationsBinary) {
+  for (int n = 2; n <= 4; ++n) {
+    const min::MultiPathWiring fabric = min::MultiPathWiring::benes(n, 2);
+    const auto size = static_cast<std::size_t>(fabric.logical_terminals());
+    expect_realizes(fabric, perm::Permutation(size));  // identity
+    // Full reversal t -> N-1-t: every route crosses the whole fabric.
+    std::vector<std::uint32_t> rev(size);
+    for (std::size_t t = 0; t < size; ++t) {
+      rev[t] = static_cast<std::uint32_t>(size - 1 - t);
+    }
+    expect_realizes(fabric, perm::Permutation(rev));
+  }
+}
+
+TEST(LoopingPropertyTest, RandomPermutationsBinary) {
+  MINEQ_SEEDED_RNG(rng, 0xB15E5);
+  for (int n = 2; n <= 5; ++n) {
+    const min::MultiPathWiring fabric = min::MultiPathWiring::benes(n, 2);
+    const auto size = static_cast<std::size_t>(fabric.logical_terminals());
+    for (int trial = 0; trial < 4; ++trial) {
+      expect_realizes(fabric, perm::Permutation::random(size, rng));
+    }
+  }
+}
+
+TEST(LoopingPropertyTest, RandomPermutationsRadix4) {
+  MINEQ_SEEDED_RNG(rng, 0xB15E4);
+  const min::MultiPathWiring fabric = min::MultiPathWiring::benes(3, 4);
+  const auto size = static_cast<std::size_t>(fabric.logical_terminals());
+  ASSERT_EQ(size, 64U);
+  for (int trial = 0; trial < 3; ++trial) {
+    expect_realizes(fabric, perm::Permutation::random(size, rng));
+  }
+}
+
+TEST(LoopingPropertyTest, InverseAndCompositionCrossCheck) {
+  // Cross-check against the perm:: algebra: configuring for pi and for
+  // pi^-1 both succeed, and replaying pi's routes then applying pi^-1
+  // is the identity on every terminal.
+  MINEQ_SEEDED_RNG(rng, 0xC0FFEE);
+  const min::MultiPathWiring fabric = min::MultiPathWiring::benes(4, 2);
+  const auto size = static_cast<std::size_t>(fabric.logical_terminals());
+  const perm::Permutation pi = perm::Permutation::random(size, rng);
+  const perm::Permutation inv = pi.inverse();
+  ASSERT_TRUE(pi.compose(inv).is_identity());
+  expect_realizes(fabric, inv);
+  const LoopingSettings cfg = looping_configure(fabric, pi.image());
+  for (std::uint32_t t = 0; t < size; ++t) {
+    const Replay route = replay_route(fabric, cfg, t, pi.apply(t));
+    EXPECT_EQ(inv.apply(route.arrival), t);
+  }
+}
+
+TEST(LoopingPropertyTest, RejectsNonBenesAndNonBijections) {
+  const min::MultiPathWiring benes = min::MultiPathWiring::benes(3, 2);
+  const std::vector<std::uint32_t> identity = {0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_THROW(
+      (void)looping_configure(
+          min::MultiPathWiring::unipath(min::NetworkKind::kOmega, 3, 2),
+          identity),
+      std::invalid_argument);
+  // Duplicate image and wrong-size vectors are both non-bijections.
+  EXPECT_THROW(
+      (void)looping_configure(benes, {0, 0, 2, 3, 4, 5, 6, 7}),
+      std::invalid_argument);
+  EXPECT_THROW((void)looping_configure(benes, {0, 1, 2, 3}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mineq::multipath

@@ -16,6 +16,11 @@
 ///   mineq_sweep --networks omega,baseline --radix 2,4 --stages 4
 ///     --fault-kinds none,partial --fault-rates 0.1 --rates 0.3,0.6
 ///
+/// Multipath resilience (Benes / dilated / replicated fabrics next to
+/// their unipath base, with path-diversity columns in the output):
+///   mineq_sweep --networks omega,benes,dilated --paths 2 --path-policy
+///     hash,adaptive --fault-kinds links --fault-rates 0.05 --rates 0.6
+///
 /// Output is byte-identical for any --threads value: every grid point
 /// derives its RNG stream from (seed, grid index), not from scheduling.
 
@@ -37,17 +42,75 @@ namespace {
 using mineq::exp::SweepGrid;
 using mineq::exp::SweepPoint;
 
-constexpr std::string_view kUsage = R"(mineq_sweep — parallel MIN experiment sweeps
+/// Comma-joined registry tokens, so the help text can never drift from
+/// the parsers (which enumerate the same registries in their rejection
+/// messages).
+std::string network_tokens() {
+  std::string out;
+  for (const mineq::min::NetworkKind kind : mineq::min::all_network_kinds()) {
+    if (!out.empty()) out += ',';
+    out += mineq::min::network_token(kind);
+  }
+  return out;
+}
 
-Usage: mineq_sweep [options]
+std::string fabric_tokens() {
+  std::string out;
+  for (const mineq::min::MultiPathKind kind :
+       mineq::min::all_multipath_kinds()) {
+    if (kind == mineq::min::MultiPathKind::kUnipath) continue;
+    if (!out.empty()) out += ',';
+    out += mineq::min::multipath_kind_name(kind);
+  }
+  return out;
+}
 
-Grid axes (comma-separated lists):
-  --networks LIST   omega,flip,cube,mdm,baseline,revbaseline  [omega,baseline]
-  --radix LIST      switch radix r (r x r cells, r^N terminals);
+std::string pattern_tokens() {
+  std::string out;
+  for (const mineq::sim::Pattern pattern : mineq::sim::all_patterns()) {
+    if (!out.empty()) out += ',';
+    out += mineq::sim::pattern_name(pattern);
+  }
+  return out;
+}
+
+std::string path_policy_tokens() {
+  std::string out;
+  for (const mineq::sim::PathPolicy policy : mineq::sim::all_path_policies()) {
+    if (policy == mineq::sim::PathPolicy::kLooping) continue;  // not sweepable
+    if (!out.empty()) out += ',';
+    out += mineq::sim::path_policy_name(policy);
+  }
+  return out;
+}
+
+std::string usage() {
+  return "mineq_sweep — parallel MIN experiment sweeps\n"
+         "\n"
+         "Usage: mineq_sweep [options]\n"
+         "\n"
+         "Grid axes (comma-separated lists):\n"
+         "  --networks LIST   " +
+         network_tokens() +
+         "\n"
+         "                    plus multipath fabrics " +
+         fabric_tokens() +
+         "\n"
+         "                    (composed over omega)        [omega,baseline]\n"
+         R"(  --radix LIST      switch radix r (r x r cells, r^N terminals);
                     radix > 2 needs omega/flip/baseline         [2]
-  --patterns LIST   uniform,bitrev,shuffle,transpose,complement,hotspot,
-                    bursty (two-state Markov on/off sources)    [uniform]
-  --mode LIST       saf,wormhole                               [saf]
+  --patterns LIST   )" +
+         pattern_tokens() +
+         "\n"
+         R"(                    (bursty = two-state Markov on/off)         [uniform]
+  --paths LIST      path multiplicity per multipath fabric:
+                    dilation of dilated, planes of replicated
+                    (a Benes fixes its own)                     [2]
+  --path-policy LIST  multipath path selection: )" +
+         path_policy_tokens() +
+         R"(   [hash]
+  --mode LIST       saf,wormhole                               [saf])"
+         R"(
   --lanes LIST      virtual channels per input port (wormhole
                     only — saf points collapse this axis)      [1]
   --rates SPEC      comma list (0.2,0.5,1.0) or range start:stop:step
@@ -87,6 +150,7 @@ Output:
   --quiet             suppress the summary table
   --help              this text
 )";
+}
 
 [[noreturn]] void fail(const std::string& message) {
   std::cerr << "mineq_sweep: " << message << "\n\nRun with --help for usage.\n";
@@ -149,12 +213,15 @@ std::vector<double> parse_rates(const std::string& spec) {
 
 void print_summary(const mineq::exp::SweepResult& sweep) {
   using mineq::util::fixed;
-  mineq::util::TablePrinter table({"network", "r", "pattern", "mode",
-                                   "lanes", "fault", "frate", "rate",
-                                   "throughput", "accept", "lat mean",
-                                   "lat p99", "dropped", "fullacc", "hol"});
+  mineq::util::TablePrinter table({"network", "fabric", "paths", "r",
+                                   "pattern", "mode", "lanes", "fault",
+                                   "frate", "rate", "throughput", "accept",
+                                   "lat mean", "lat p99", "dropped",
+                                   "fullacc", "mindiv", "hol"});
   for (const SweepPoint& p : sweep.points) {
     table.add_row({mineq::min::network_token(p.network),
+                   mineq::min::multipath_kind_name(p.fabric),
+                   std::to_string(p.result.paths_available),
                    std::to_string(p.radix),
                    mineq::sim::pattern_name(p.pattern),
                    mineq::sim::switching_mode_name(p.mode),
@@ -167,6 +234,7 @@ void print_summary(const mineq::exp::SweepResult& sweep) {
                    fixed(p.result.latency_histogram.quantile(0.99), 0),
                    std::to_string(p.result.packets_dropped_faulted),
                    p.survivor.full_access ? "yes" : "no",
+                   std::to_string(p.min_path_diversity),
                    std::to_string(p.result.hol_blocking_cycles)});
   }
   std::cout << table.str();
@@ -208,6 +276,8 @@ int main(int argc, char** argv) {
   grid.rates = parse_rates("0.1:1.0:0.1");
   grid.base.packet_length = 4;
 
+  std::vector<mineq::min::MultiPathKind> fabric_kinds;
+  std::vector<int> fabric_paths = {2};
   std::vector<mineq::fault::FaultKind> fault_kinds = {
       mineq::fault::FaultKind::kNone};
   std::vector<double> fault_rates = {0.05};
@@ -233,12 +303,33 @@ int main(int argc, char** argv) {
     const std::string_view arg = argv[i];
     try {
       if (arg == "--help" || arg == "-h") {
-        std::cout << kUsage;
+        std::cout << usage();
         return 0;
       } else if (arg == "--networks") {
         grid.networks.clear();
+        fabric_kinds.clear();
         for (const std::string& item : split_list(next_value(i), ',')) {
-          grid.networks.push_back(mineq::min::parse_network_kind(item));
+          // Multipath fabric tokens share the axis with the classic
+          // single-path networks; route them to the fabric axis.
+          if (item == "benes" || item == "dilated" || item == "replicated") {
+            fabric_kinds.push_back(mineq::min::parse_multipath_kind(item));
+          } else {
+            grid.networks.push_back(mineq::min::parse_network_kind(item));
+          }
+        }
+      } else if (arg == "--paths") {
+        fabric_paths.clear();
+        for (const std::string& item : split_list(next_value(i), ',')) {
+          const std::uint64_t paths = parse_u64(item, "path count");
+          if (paths < 2 || paths > 64) {
+            fail("path count must be within [2, 64], got " + item);
+          }
+          fabric_paths.push_back(static_cast<int>(paths));
+        }
+      } else if (arg == "--path-policy" || arg == "--path-policies") {
+        grid.path_policies.clear();
+        for (const std::string& item : split_list(next_value(i), ',')) {
+          grid.path_policies.push_back(mineq::sim::parse_path_policy(item));
         }
       } else if (arg == "--radix" || arg == "--radices") {
         grid.radices.clear();
@@ -375,6 +466,21 @@ int main(int argc, char** argv) {
   for (const double on_off : burst_on_off) {
     for (const double off_on : burst_off_on) {
       grid.bursts.push_back(mineq::sim::BurstParams{on_off, off_on});
+    }
+  }
+  // Cross {fabric kind x paths} into the fabric axis; the Benes fixes
+  // its own multiplicity (radix^(stages-1)), so it contributes one spec
+  // regardless of the --paths list. Dilated/replicated fabrics compose
+  // over the omega base.
+  for (const mineq::min::MultiPathKind kind : fabric_kinds) {
+    if (kind == mineq::min::MultiPathKind::kBenes) {
+      grid.fabrics.push_back(mineq::exp::FabricSpec{
+          kind, mineq::min::NetworkKind::kOmega, 2});
+      continue;
+    }
+    for (const int paths : fabric_paths) {
+      grid.fabrics.push_back(mineq::exp::FabricSpec{
+          kind, mineq::min::NetworkKind::kOmega, paths});
     }
   }
 
