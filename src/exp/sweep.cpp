@@ -1,9 +1,11 @@
 #include "exp/sweep.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "min/kary.hpp"
 #include "multipath/diversity.hpp"
@@ -356,6 +358,18 @@ SweepResult run_sweep(const SweepGrid& grid, std::size_t threads) {
     }
   }
 
+  // Two-level parallelism budget: when each point shards its own cycle
+  // kernels over sim_threads workers (the megafabric driver), the sweep
+  // fan-out must shrink so the product stays within the machine —
+  // otherwise an 8-core host asked for 8 sweep workers x 8 sim threads
+  // would thrash 64 runnable threads. An explicit sweep thread count is
+  // honored as given (the caller owns the budget); only the "0 =
+  // hardware" default is divided by the per-point team size.
+  if (threads == 0 && grid.base.sim_threads > 1) {
+    const std::size_t cores = std::thread::hardware_concurrency();
+    threads = std::max<std::size_t>(
+        1, (cores == 0 ? 1 : cores) / grid.base.sim_threads);
+  }
   util::parallel_for(
       0, tasks.size(),
       [&](std::size_t index) {

@@ -129,7 +129,12 @@ struct SweepResult {
 /// sim::SimWorkspace payload-pool arena across all its points, so no
 /// point pays topology re-derivation or pool re-allocation; each point
 /// derives an independent seed from (grid.base.seed, index), so results
-/// are identical for any thread count.
+/// are identical for any thread count. When grid.base.sim_threads > 1
+/// each point additionally shards its own cycle kernels (still
+/// byte-identical — see SimConfig::sim_threads); the "0 = hardware"
+/// default then divides the sweep fan-out by the per-point team size so
+/// the two levels never oversubscribe the machine, while an explicit
+/// \p threads is honored as given.
 /// \throws std::invalid_argument on an empty axis, an out-of-range rate,
 /// an invalid fault spec or burst parameter set, or a pattern/stage-count
 /// mismatch (transpose needs even stages).

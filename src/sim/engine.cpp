@@ -7,6 +7,7 @@
 #include "multipath/looping.hpp"
 #include "sim/fabric.hpp"
 #include "sim/multipath_select.hpp"
+#include "sim/shard.hpp"
 #include "sim/wormhole.hpp"
 #include "util/bitops.hpp"
 
@@ -158,6 +159,19 @@ void SimConfig::validate() const {
     throw std::invalid_argument(
         "SimConfig: lane_depth must be positive (a lane buffers at least "
         "one flit)");
+  }
+  if (sim_threads == 0) {
+    throw std::invalid_argument(
+        "SimConfig: sim_threads must be positive (1 = serial; > 1 shards "
+        "the simulation across a worker team)");
+  }
+  if (sim_threads > kMaxSimThreads) {
+    throw std::invalid_argument(
+        "SimConfig: sim_threads must be <= " +
+        std::to_string(kMaxSimThreads) + ", got " +
+        std::to_string(sim_threads) +
+        " (the sharded driver clamps to the cell count, but a team this "
+        "large is surely a typo)");
   }
   burst.validate();
   credits.validate(mode, lanes);
@@ -486,16 +500,31 @@ class StoreAndForwardPolicy {
   /// first each cycle, so the credit ledger's start-of-cycle harvest
   /// lives here.
   void eject(std::uint64_t cycle, bool measuring) {
-    if constexpr (kMultiPath) {
-      eject_multipath(cycle, measuring);
-      return;
-    }
     if constexpr (kCredits) credits_->deliver(cycle);
+    if constexpr (kMultiPath) {
+      eject_multipath_impl<false>(cycle, measuring, 0, lcells_, nullptr);
+    } else {
+      eject_impl<false>(cycle, measuring, 0, core_.cells(), nullptr);
+    }
+  }
+
+  /// The eject kernel over cells [\p x0, \p x1): the serial
+  /// instantiation (kShard = false) runs the full range and mutates the
+  /// core result directly — byte-identical to the historic method — and
+  /// the sharded one accumulates order-independent counters into \p wk's
+  /// partial and defers the order-sensitive latency adds into its event
+  /// buffer for worker 0 to replay in range order. Every structure
+  /// touched is owned by the range: last-stage queues, eject pacing,
+  /// arbiters and queue_moved_ slots all index by (cell, port).
+  template <bool kShard>
+  void eject_impl(std::uint64_t cycle, bool measuring, std::uint32_t x0,
+                  std::uint32_t x1, [[maybe_unused]] ShardWorker* wk) {
+    [[maybe_unused]] SimResult& res = shard_result<kShard>(wk);
     const int last = core_.stages() - 1;
-    const std::uint32_t cells = core_.cells();
     const unsigned r = radix();
-    std::fill(queue_moved_.begin(), queue_moved_.end(), 0);
-    for (std::uint32_t x = 0; x < cells; ++x) {
+    std::fill(queue_moved_.begin() + static_cast<std::size_t>(x0) * r,
+              queue_moved_.begin() + static_cast<std::size_t>(x1) * r, 0);
+    for (std::uint32_t x = x0; x < x1; ++x) {
       for (unsigned port = 0; port < r; ++port) {
         if (eject_busy_until_[x * r + port] > cycle) continue;
         // Strict priority scans the ready candidates first: only a
@@ -532,30 +561,37 @@ class StoreAndForwardPolicy {
           const std::uint64_t inject_cycle = queues_.front_inject(q);
           [[maybe_unused]] unsigned sl = 0;
           if constexpr (kCredits) sl = queues_.front_sl(q);
-          queues_.pop(q);
+          shard_pop<kShard>(q, wk);
           if constexpr (kCredits) credits_->give_back(q, cycle);
           eject_busy_until_[x * r + port] = cycle + length_;
           arb_grant(last, x * r + port, slot, vl);
           queue_moved_[x * r + slot] = 1;
           if (measuring && inject_cycle >= core_.config().warmup_cycles) {
-            core_.result.flits_delivered += length_;
-            core_.record_packet_delivered(
-                static_cast<double>(cycle - inject_cycle + length_));
-            if constexpr (kCredits) {
-              core_.result.sl_latency[sl].add(
-                  static_cast<double>(cycle - inject_cycle + length_));
+            res.flits_delivered += length_;
+            const double latency =
+                static_cast<double>(cycle - inject_cycle + length_);
+            if constexpr (kShard) {
+              wk->saf_events.push_back(SafEjectEvent{latency, sl});
+            } else {
+              core_.record_packet_delivered(latency);
+              if constexpr (kCredits) {
+                core_.result.sl_latency[sl].add(latency);
+              }
             }
             if constexpr (kFaulted) {
               // A detoured packet ejects at whatever terminal the
               // surviving route reached; count the miss.
-              if ((dest / r) != x) ++core_.result.packets_misdelivered;
+              if ((dest / r) != x) ++res.packets_misdelivered;
             }
           }
           break;
         }
       }
     }
-    if (measuring) account_blocking(last, cycle);
+    if (measuring) {
+      account_blocking<kShard>(last, cycle, static_cast<std::size_t>(x0) * r,
+                               static_cast<std::size_t>(x1) * r, wk);
+    }
   }
 
   /// Advance one switch stage: round-robin between the r input slots
@@ -567,10 +603,26 @@ class StoreAndForwardPolicy {
   /// would reload them per probe.
   void advance_stage(int s, std::uint64_t cycle, bool measuring) {
     if constexpr (kMultiPath) {
-      advance_stage_multipath(s, cycle, measuring);
-      return;
+      advance_stage_multipath_impl<false>(s, cycle, measuring, 0,
+                                          core_.cells(), nullptr);
+    } else {
+      advance_stage_impl<false>(s, cycle, measuring, 0, core_.cells(),
+                                nullptr);
     }
-    const std::uint32_t cells = core_.cells();
+  }
+
+  /// The advance kernel over cells [\p x0, \p x1). Safe to run on
+  /// disjoint ranges concurrently: a cell pops only its own stage-s
+  /// queues and pushes only through its own down-arcs, and the perfect
+  /// matching makes each stage-(s+1) queue reachable from exactly one
+  /// upstream cell — single-writer without locks. Credit handshakes
+  /// stay range-local too (consume/available index the pushed target,
+  /// give_back the popped queue).
+  template <bool kShard>
+  void advance_stage_impl(int s, std::uint64_t cycle, bool measuring,
+                          std::uint32_t x0, std::uint32_t x1,
+                          [[maybe_unused]] ShardWorker* wk) {
+    [[maybe_unused]] SimResult& res = shard_result<kShard>(wk);
     const unsigned r = radix();
     const auto down = core_.wiring().down_stage(s);
     const std::size_t link_base =
@@ -599,12 +651,13 @@ class StoreAndForwardPolicy {
     [[maybe_unused]] std::size_t arc_base = 0;
     [[maybe_unused]] const fault::FaultMask* mask = nullptr;
     if constexpr (kFaulted) {
-      drain_dead_switches(s, cycle, measuring);
+      drain_dead_switches<kShard>(s, cycle, measuring, x0, x1, wk);
       arc_base = static_cast<std::size_t>(s) * core_.ports();
       mask = &faulted_.mask();
     }
-    std::fill(queue_moved_.begin(), queue_moved_.end(), 0);
-    for (std::uint32_t x = 0; x < cells; ++x) {
+    std::fill(queue_moved_.begin() + static_cast<std::size_t>(x0) * r,
+              queue_moved_.begin() + static_cast<std::size_t>(x1) * r, 0);
+    for (std::uint32_t x = x0; x < x1; ++x) {
       for (unsigned port = 0; port < r; ++port) {
         if constexpr (kFaulted) {
           if (mask->faulted_index(arc_base + x * r + port)) {
@@ -688,7 +741,7 @@ class StoreAndForwardPolicy {
             // (conservation guarantees credits <= free slots; the push
             // below can never overflow).
             if (!credits_->available(target)) {
-              if (measuring) ++core_.result.credit_stall_cycles;
+              if (measuring) ++res.credit_stall_cycles;
               break;
             }
           } else {
@@ -696,14 +749,15 @@ class StoreAndForwardPolicy {
           }
           const std::uint64_t inject_cycle = queues_.front_inject(q);
           if constexpr (kCredits) {
-            queues_.push(target, dest, inject_cycle, cycle + length_,
-                         queues_.front_sl(q));
+            shard_push<kShard>(target, dest, inject_cycle, cycle + length_,
+                               queues_.front_sl(q), wk);
             credits_->consume(target);
-            queues_.pop(q);
+            shard_pop<kShard>(q, wk);
             credits_->give_back(q, cycle);
           } else {
-            queues_.push(target, dest, inject_cycle, cycle + length_);
-            queues_.pop(q);
+            shard_push<kShard>(target, dest, inject_cycle, cycle + length_, 0,
+                               wk);
+            shard_pop<kShard>(q, wk);
           }
           queue_moved_[x * r + slot] = 1;
           link_busy_until_[link_base + x * r + port] = cycle + length_;
@@ -711,14 +765,17 @@ class StoreAndForwardPolicy {
           if constexpr (kFaulted) {
             if (port != desired && measuring &&
                 inject_cycle >= core_.config().warmup_cycles) {
-              ++core_.result.packets_rerouted;
+              ++res.packets_rerouted;
             }
           }
           break;
         }
       }
     }
-    if (measuring) account_blocking(s, cycle);
+    if (measuring) {
+      account_blocking<kShard>(s, cycle, static_cast<std::size_t>(x0) * r,
+                               static_cast<std::size_t>(x1) * r, wk);
+    }
   }
 
   /// Inject at the first stage: terminal t feeds slot t % r of cell
@@ -767,51 +824,235 @@ class StoreAndForwardPolicy {
   /// buffered must equal the capacity exactly, and credits may never
   /// exceed it. Violations are counted, not thrown — a sweep reports
   /// them as data.
-  void sample(std::uint64_t cycle) {
-    for (const std::uint64_t busy_until : link_busy_until_) {
-      if (busy_until > cycle) ++busy_link_cycles_;
+  void sample(std::uint64_t cycle) { sample_impl<false>(cycle, 0, 1, nullptr); }
+
+  /// The sample kernel: worker \p w of \p n audits its share of the
+  /// link-pacing array and (credit runs) the per-link conservation
+  /// invariant; the pool-occupancy series — which needs the pool-wide
+  /// total — is added by the serial instantiation here and by worker 0's
+  /// sample reduce in sharded runs.
+  template <bool kShard>
+  void sample_impl(std::uint64_t cycle, std::size_t w, std::size_t n,
+                   [[maybe_unused]] ShardWorker* wk) {
+    [[maybe_unused]] SimResult& res = shard_result<kShard>(wk);
+    const auto [l0, l1] = shard_range(link_busy_until_.size(), w, n);
+    std::uint64_t busy = 0;
+    for (std::size_t i = l0; i < l1; ++i) {
+      if (link_busy_until_[i] > cycle) ++busy;
     }
-    core_.result.lane_occupancy.add(
-        static_cast<double>(queues_.total_packets()) / total_packet_slots_);
+    if constexpr (kShard) {
+      wk->link_counter += busy;
+    } else {
+      busy_link_cycles_ += busy;
+      core_.result.lane_occupancy.add(
+          static_cast<double>(queues_.total_packets()) / total_packet_slots_);
+    }
     if constexpr (kCredits) {
       const std::size_t links =
           static_cast<std::size_t>(core_.stages()) * core_.ports();
+      const auto [q0, q1] = shard_range(links, w, n);
       const std::uint64_t capacity = credits_->capacity();
-      for (std::size_t q = 0; q < links; ++q) {
+      for (std::size_t q = q0; q < q1; ++q) {
         const std::uint64_t held = credits_->credits(q);
         if (held > capacity ||
             held + credits_->in_flight(q) + queues_.count(q) != capacity) {
-          ++core_.result.credit_violations;
+          ++res.credit_violations;
         }
       }
-      // Store-and-forward has one physical buffer per link, so the
-      // per-VL view collapses to a single lane-0 occupancy series.
-      if (core_.result.vl_occupancy.empty()) {
-        core_.result.vl_occupancy.resize(1);
+      if constexpr (!kShard) {
+        // Store-and-forward has one physical buffer per link, so the
+        // per-VL view collapses to a single lane-0 occupancy series.
+        if (core_.result.vl_occupancy.empty()) {
+          core_.result.vl_occupancy.resize(1);
+        }
+        core_.result.vl_occupancy[0].add(
+            static_cast<double>(queues_.total_packets()) /
+            total_packet_slots_);
       }
-      core_.result.vl_occupancy[0].add(
-          static_cast<double>(queues_.total_packets()) / total_packet_slots_);
     }
   }
 
   [[nodiscard]] std::uint64_t buffered_flits() const {
-    return queues_.total_packets() * length_;
+    // Sharded kernels bypass the pool-wide counter (it would be a data
+    // race); shard_finish folds the per-worker deltas back in here.
+    // Serial runs keep the delta at 0.
+    return static_cast<std::uint64_t>(
+               static_cast<std::int64_t>(queues_.total_packets()) +
+               shard_pool_delta_) *
+           length_;
   }
   [[nodiscard]] std::uint64_t link_counter() const {
     return busy_link_cycles_;
   }
 
+  // --- The sharded-driver interface (run_switched_sharded) -------------
+  // Every kernel below runs the SAME code as its serial phase, templated
+  // on kShard = true: disjoint contiguous ranges, per-worker partial
+  // counters, and deferred order-sensitive statistics (see shard.hpp for
+  // the phase/barrier schedule and the single-writer argument).
+
+  static constexpr bool kShardNeedsDeliver = kCredits;
+
+  /// Credit-harvest phase: the ledger's per-link deliver, partitioned by
+  /// flat link ranges. Must complete before any give_back of the same
+  /// cycle (the harvested ring slot is the one give_back refills), hence
+  /// its own barrier in the driver.
+  void shard_deliver(std::uint64_t cycle, std::size_t w, std::size_t n) {
+    if constexpr (kCredits) {
+      const auto [lo, hi] = shard_range(
+          static_cast<std::size_t>(core_.stages()) * core_.ports(), w, n);
+      credits_->deliver_range(cycle, lo, hi);
+    }
+  }
+
+  void shard_eject(std::uint64_t cycle, bool measuring, std::size_t w,
+                   std::size_t n, ShardWorker& wk) {
+    if constexpr (kMultiPath) {
+      // Multipath ejection arbitrates per LOGICAL terminal across
+      // planes, so the partition is by logical cells; the physical
+      // queues a logical range touches are disjoint per-plane runs.
+      const auto [lx0, lx1] = shard_range(lcells_, w, n);
+      eject_multipath_impl<true>(cycle, measuring,
+                                 static_cast<std::uint32_t>(lx0),
+                                 static_cast<std::uint32_t>(lx1), &wk);
+    } else {
+      const auto [x0, x1] = shard_range(core_.cells(), w, n);
+      eject_impl<true>(cycle, measuring, static_cast<std::uint32_t>(x0),
+                       static_cast<std::uint32_t>(x1), &wk);
+    }
+  }
+
+  void shard_advance(int s, std::uint64_t cycle, bool measuring,
+                     std::size_t w, std::size_t n, ShardWorker& wk) {
+    const auto [x0, x1] = shard_range(core_.cells(), w, n);
+    if constexpr (kMultiPath) {
+      advance_stage_multipath_impl<true>(s, cycle, measuring,
+                                         static_cast<std::uint32_t>(x0),
+                                         static_cast<std::uint32_t>(x1), &wk);
+    } else {
+      advance_stage_impl<true>(s, cycle, measuring,
+                               static_cast<std::uint32_t>(x0),
+                               static_cast<std::uint32_t>(x1), &wk);
+    }
+  }
+
+  /// Worker 0's exclusive phase: replay the cycle's deferred ejection
+  /// statistics in ascending-worker (= ascending-cell = serial) order,
+  /// then run the cycle tail exactly as the serial driver does — burst
+  /// advance and injection consume the shared RNG streams in terminal
+  /// order, so they stay serial by construction.
+  void shard_serial(std::uint64_t cycle, bool measuring,
+                    std::vector<ShardWorker>& workers) {
+    for (ShardWorker& wk : workers) {
+      for (const SafEjectEvent& event : wk.saf_events) {
+        core_.record_packet_delivered(event.latency);
+        if constexpr (kCredits) {
+          core_.result.sl_latency[event.sl].add(event.latency);
+        }
+      }
+      wk.saf_events.clear();
+    }
+    core_.advance_burst();
+    inject(cycle, measuring);
+  }
+
+  void shard_sample(std::uint64_t cycle, std::size_t w, std::size_t n,
+                    ShardWorker& wk) {
+    sample_impl<true>(cycle, w, n, &wk);
+  }
+
+  /// Worker 0 adds the pool-occupancy samples (they need the pool-wide
+  /// total, which sharded runs carry as counter + per-worker deltas).
+  void shard_sample_reduce(std::uint64_t /*cycle*/,
+                           const std::vector<ShardWorker>& workers) {
+    std::int64_t delta = 0;
+    for (const ShardWorker& wk : workers) delta += wk.pool_delta;
+    const double packets = static_cast<double>(
+        static_cast<std::int64_t>(queues_.total_packets()) + delta);
+    core_.result.lane_occupancy.add(packets / total_packet_slots_);
+    if constexpr (kCredits) {
+      if (core_.result.vl_occupancy.empty()) {
+        core_.result.vl_occupancy.resize(1);
+      }
+      core_.result.vl_occupancy[0].add(packets / total_packet_slots_);
+    }
+  }
+
+  /// Sum the order-independent partials into the core result.
+  void shard_finish(const std::vector<ShardWorker>& workers) {
+    for (const ShardWorker& wk : workers) {
+      const SimResult& partial = wk.partial;
+      core_.result.flits_delivered += partial.flits_delivered;
+      core_.result.hol_blocking_cycles += partial.hol_blocking_cycles;
+      core_.result.credit_stall_cycles += partial.credit_stall_cycles;
+      core_.result.credit_violations += partial.credit_violations;
+      core_.result.packets_dropped_faulted += partial.packets_dropped_faulted;
+      core_.result.flits_dropped_faulted += partial.flits_dropped_faulted;
+      core_.result.packets_rerouted += partial.packets_rerouted;
+      core_.result.packets_misdelivered += partial.packets_misdelivered;
+      core_.result.path_reroutes += partial.path_reroutes;
+      busy_link_cycles_ += wk.link_counter;
+      shard_pool_delta_ += wk.pool_delta;
+    }
+  }
+
  private:
+  /// core_.result for the serial instantiations, the worker's partial
+  /// for sharded kernels — so the kernel bodies read identically.
+  template <bool kShard>
+  [[nodiscard]] SimResult& shard_result([[maybe_unused]] ShardWorker* wk) {
+    if constexpr (kShard) {
+      return wk->partial;
+    } else {
+      return core_.result;
+    }
+  }
+
+  /// Pool ops that keep the shared total (serial) or a per-worker delta
+  /// (sharded) — queue state is identical either way.
+  template <bool kShard>
+  void shard_pop(std::size_t q, [[maybe_unused]] ShardWorker* wk) {
+    if constexpr (kShard) {
+      queues_.pop_unc(q);
+      --wk->pool_delta;
+    } else {
+      queues_.pop(q);
+    }
+  }
+  template <bool kShard>
+  void shard_push(std::size_t q, std::uint32_t dest,
+                  std::uint64_t inject_cycle, std::uint64_t arrival,
+                  unsigned sl, [[maybe_unused]] ShardWorker* wk) {
+    if constexpr (kShard) {
+      queues_.push_unc(q, dest, inject_cycle, arrival, sl);
+      ++wk->pool_delta;
+    } else {
+      queues_.push(q, dest, inject_cycle, arrival, sl);
+    }
+  }
   /// Multipath ejection: logical terminal lx * lr + j arbitrates over
   /// the planes * radix physical last-stage buffers of its logical cell
   /// (a packet may arrive on any arc of its dilation group and in any
   /// plane), per-terminal round-robin so no plane starves.
-  void eject_multipath(std::uint64_t cycle, bool measuring) {
+  template <bool kShard>
+  void eject_multipath_impl(std::uint64_t cycle, bool measuring,
+                            std::uint32_t lx0, std::uint32_t lx1,
+                            [[maybe_unused]] ShardWorker* wk) {
+    [[maybe_unused]] SimResult& res = shard_result<kShard>(wk);
     const int last = core_.stages() - 1;
     const unsigned r = radix_;
     const unsigned candidates = planes_ * r;
-    std::fill(queue_moved_.begin(), queue_moved_.end(), 0);
-    for (std::uint32_t lx = 0; lx < lcells_; ++lx) {
+    // A logical-cell range touches one contiguous physical run per plane
+    // (cells plane * lcells + [lx0, lx1)); clear and account exactly
+    // those — disjoint across workers, and the full array at full range.
+    for (unsigned plane = 0; plane < planes_; ++plane) {
+      const std::size_t run =
+          (static_cast<std::size_t>(plane) * lcells_) * r;
+      std::fill(queue_moved_.begin() + run + static_cast<std::size_t>(lx0) * r,
+                queue_moved_.begin() + run + static_cast<std::size_t>(lx1) * r,
+                0);
+    }
+    for (std::uint32_t lx = lx0; lx < lx1; ++lx) {
       for (unsigned j = 0; j < lradix_; ++j) {
         const std::size_t term =
             static_cast<std::size_t>(lx) * lradix_ + j;
@@ -829,17 +1070,22 @@ class StoreAndForwardPolicy {
           const std::uint32_t dest = queues_.front_dest(q);
           if (dest % lradix_ != j) continue;
           const std::uint64_t inject_cycle = queues_.front_inject(q);
-          queues_.pop(q);
+          shard_pop<kShard>(q, wk);
           eject_busy_until_[term] = cycle + length_;
           arb.grant(c);
           queue_moved_[port_index] = 1;
           if (measuring && inject_cycle >= core_.config().warmup_cycles) {
-            core_.result.flits_delivered += length_;
-            core_.record_packet_delivered(
-                static_cast<double>(cycle - inject_cycle + length_));
+            res.flits_delivered += length_;
+            const double latency =
+                static_cast<double>(cycle - inject_cycle + length_);
+            if constexpr (kShard) {
+              wk->saf_events.push_back(SafEjectEvent{latency, 0});
+            } else {
+              core_.record_packet_delivered(latency);
+            }
             if constexpr (kFaulted) {
               if ((dest / lradix_) != lx) {
-                ++core_.result.packets_misdelivered;
+                ++res.packets_misdelivered;
               }
             }
           }
@@ -847,15 +1093,27 @@ class StoreAndForwardPolicy {
         }
       }
     }
-    if (measuring) account_blocking(last, cycle);
+    if (measuring) {
+      for (unsigned plane = 0; plane < planes_; ++plane) {
+        const std::size_t run =
+            (static_cast<std::size_t>(plane) * lcells_) * r;
+        account_blocking<kShard>(last, cycle,
+                                 run + static_cast<std::size_t>(lx0) * r,
+                                 run + static_cast<std::size_t>(lx1) * r, wk);
+      }
+    }
   }
 
   /// Multipath advancement: each head packet resolves one physical
   /// out-port by selecting within the engine's equivalent-path group
   /// (select_multipath_port); the rest of the hop — arbitration, link
   /// serialization, downstream capacity — matches the unipath loop.
-  void advance_stage_multipath(int s, std::uint64_t cycle, bool measuring) {
-    const std::uint32_t cells = core_.cells();
+  template <bool kShard>
+  void advance_stage_multipath_impl(int s, std::uint64_t cycle,
+                                    bool measuring, std::uint32_t x0,
+                                    std::uint32_t x1,
+                                    [[maybe_unused]] ShardWorker* wk) {
+    [[maybe_unused]] SimResult& res = shard_result<kShard>(wk);
     const unsigned r = radix_;
     const auto down = core_.wiring().down_stage(s);
     const std::size_t link_base =
@@ -880,12 +1138,13 @@ class StoreAndForwardPolicy {
     [[maybe_unused]] std::size_t arc_base = 0;
     [[maybe_unused]] const fault::FaultMask* mask = nullptr;
     if constexpr (kFaulted) {
-      drain_dead_switches(s, cycle, measuring);
+      drain_dead_switches<kShard>(s, cycle, measuring, x0, x1, wk);
       arc_base = static_cast<std::size_t>(s) * core_.ports();
       mask = &faulted_.mask();
     }
-    std::fill(queue_moved_.begin(), queue_moved_.end(), 0);
-    for (std::uint32_t x = 0; x < cells; ++x) {
+    std::fill(queue_moved_.begin() + static_cast<std::size_t>(x0) * r,
+              queue_moved_.begin() + static_cast<std::size_t>(x1) * r, 0);
+    for (std::uint32_t x = x0; x < x1; ++x) {
       for (unsigned port = 0; port < r; ++port) {
         if constexpr (kFaulted) {
           if (mask->faulted_index(arc_base + x * r + port)) {
@@ -917,22 +1176,26 @@ class StoreAndForwardPolicy {
           const std::size_t target = queue_index(s + 1, record);
           if (queues_.full(target)) continue;
           const std::uint64_t inject_cycle = queues_.front_inject(q);
-          queues_.push(target, dest, inject_cycle, cycle + length_);
-          queues_.pop(q);
+          shard_push<kShard>(target, dest, inject_cycle, cycle + length_, 0,
+                             wk);
+          shard_pop<kShard>(q, wk);
           queue_moved_[x * r + slot] = 1;
           link_busy_until_[link_base + x * r + port] = cycle + length_;
           arb_grant(s, x * r + port, slot, 0);
           if constexpr (kFaulted) {
             if (measuring && inject_cycle >= core_.config().warmup_cycles) {
-              if (reroute_kind == 1) ++core_.result.path_reroutes;
-              if (reroute_kind == 2) ++core_.result.packets_rerouted;
+              if (reroute_kind == 1) ++res.path_reroutes;
+              if (reroute_kind == 2) ++res.packets_rerouted;
             }
           }
           break;
         }
       }
     }
-    if (measuring) account_blocking(s, cycle);
+    if (measuring) {
+      account_blocking<kShard>(s, cycle, static_cast<std::size_t>(x0) * r,
+                               static_cast<std::size_t>(x1) * r, wk);
+    }
   }
 
   /// Multipath injection: logical terminal t feeds physical input slot
@@ -1134,35 +1397,46 @@ class StoreAndForwardPolicy {
   }
 
   /// Discard every fully-arrived packet queued at a dead switch of stage
-  /// \p s (all out-arcs masked: no degraded route exists). Flits still
-  /// serializing in stay buffered until their arrival completes.
-  void drain_dead_switches(int s, std::uint64_t cycle, bool measuring) {
+  /// \p s whose cell falls in [x0, x1) (all out-arcs masked: no degraded
+  /// route exists). Flits still serializing in stay buffered until their
+  /// arrival completes.
+  template <bool kShard>
+  void drain_dead_switches(int s, std::uint64_t cycle, bool measuring,
+                           std::uint32_t x0, std::uint32_t x1,
+                           ShardWorker* wk) {
     const unsigned r = radix();
+    [[maybe_unused]] SimResult& res = shard_result<kShard>(wk);
     for (const std::uint32_t x : dead_cells_[static_cast<std::size_t>(s)]) {
+      if (x < x0 || x >= x1) continue;
       for (unsigned slot = 0; slot < r; ++slot) {
         const std::size_t q = queue_index(s, x * r + slot);
         while (!queues_.empty(q) && queues_.front_arrival(q) <= cycle) {
           const std::uint64_t inject_cycle = queues_.front_inject(q);
-          queues_.pop(q);
+          shard_pop<kShard>(q, wk);
           // A drained slot returns its credit like any other pop, so
           // the ledger closes exactly even across dead switches.
           if constexpr (kCredits) credits_->give_back(q, cycle);
           if (measuring && inject_cycle >= core_.config().warmup_cycles) {
-            ++core_.result.packets_dropped_faulted;
-            core_.result.flits_dropped_faulted += length_;
+            ++res.packets_dropped_faulted;
+            res.flits_dropped_faulted += length_;
           }
         }
       }
     }
   }
 
-  /// Head-of-line blocking: a fully-arrived head that did not move.
-  void account_blocking(int s, std::uint64_t cycle) {
-    for (std::size_t i = 0; i < core_.ports(); ++i) {
+  /// Head-of-line blocking: a fully-arrived head in [p0, p1) that did
+  /// not move. The port range always matches the caller's writer
+  /// partition of queue_moved_, so sharded totals equal the serial scan.
+  template <bool kShard>
+  void account_blocking(int s, std::uint64_t cycle, std::size_t p0,
+                        std::size_t p1, ShardWorker* wk) {
+    SimResult& res = shard_result<kShard>(wk);
+    for (std::size_t i = p0; i < p1; ++i) {
       const std::size_t q = queue_index(s, i);
       if (!queues_.empty(q) && queues_.front_arrival(q) <= cycle &&
           queue_moved_[i] == 0) {
-        ++core_.result.hol_blocking_cycles;
+        ++res.hol_blocking_cycles;
       }
     }
   }
@@ -1176,6 +1450,7 @@ class StoreAndForwardPolicy {
   std::vector<std::uint64_t> eject_busy_until_;
   std::vector<std::uint8_t> queue_moved_;
   std::uint64_t busy_link_cycles_ = 0;
+  std::int64_t shard_pool_delta_ = 0;  // sharded runs only
   double total_packet_slots_;
   fault::FaultedWiring faulted_;                     // kFaulted only
   std::vector<std::vector<std::uint32_t>> dead_cells_;  // kFaulted only
@@ -1205,6 +1480,8 @@ run_saf(FabricCore& core, SimWorkspace& workspace,
         const multipath::LoopingSettings* looping = nullptr) {
   StoreAndForwardPolicy<kFaulted, kBinary, kCredits, kMultiPath> policy(
       core, workspace, mask, looping);
+  const std::size_t threads = core.config().sim_threads;
+  if (threads > 1) return run_switched_sharded(core, policy, threads);
   return run_switched(core, policy);
 }
 

@@ -174,14 +174,29 @@ struct SimConfig {
   /// the logical terminal count). Also consumed as the traffic pattern
   /// when the pattern is Pattern::kPermutation. Ignored otherwise.
   std::vector<std::uint32_t> permutation;
+  /// Worker threads sharding THIS simulation (megafabric mode): each
+  /// cycle's phases run as range kernels over per-worker cell slices with
+  /// barrier handoffs. Results are byte-identical at every value — 1
+  /// dispatches to the historic serial policy instantiations, > 1 to the
+  /// sharded driver. Thread counts above the stage's cell count are
+  /// clamped (extra workers would own empty ranges). Distinct from the
+  /// sweep-level thread count: exp::run_sweep divides its own pool by
+  /// this value so sweep x sim threads never oversubscribes.
+  std::size_t sim_threads = 1;
+
+  /// Upper bound on SimConfig::sim_threads (a sanity cap, far above any
+  /// real core count — NOT tied to hardware_concurrency, so deterministic
+  /// thread-count pins run anywhere).
+  static constexpr std::size_t kMaxSimThreads = 256;
 
   /// Reject unusable parameters up front, with a message naming the
   /// offending field and value: lanes, lane_depth, packet_length and
   /// queue_capacity must be positive (regardless of mode, so a config is
   /// valid or not independently of the discipline that runs it),
   /// injection_rate must be finite and within [0, 1], the burst
-  /// probabilities must be within (0, 1], and an enabled credit config
-  /// must pass CreditConfig::validate against this mode and lane count.
+  /// probabilities must be within (0, 1], sim_threads must be within
+  /// [1, kMaxSimThreads], and an enabled credit config must pass
+  /// CreditConfig::validate against this mode and lane count.
   /// Called by both simulators and by exp::run_sweep before any work
   /// starts.
   /// \throws std::invalid_argument

@@ -59,9 +59,14 @@ void CreditLedger::give_back(std::size_t link, std::uint64_t cycle) {
 }
 
 void CreditLedger::deliver(std::uint64_t cycle) {
+  deliver_range(cycle, 0, links_);
+}
+
+void CreditLedger::deliver_range(std::uint64_t cycle, std::size_t lo,
+                                 std::size_t hi) {
   if (latency_ == 0) return;
   const std::size_t row = (cycle % latency_) * links_;
-  for (std::size_t link = 0; link < links_; ++link) {
+  for (std::size_t link = lo; link < hi; ++link) {
     const std::uint32_t arrived = ring_[row + link];
     if (arrived == 0) continue;
     credits_[link] += arrived;
@@ -97,9 +102,9 @@ void PacketRing::reset(std::size_t queues, std::size_t capacity) {
   total_ = 0;
 }
 
-void PacketRing::push(std::size_t q, std::uint32_t dest,
-                      std::uint64_t inject_cycle,
-                      std::uint64_t arrival_complete, unsigned sl) {
+void PacketRing::push_unc(std::size_t q, std::uint32_t dest,
+                          std::uint64_t inject_cycle,
+                          std::uint64_t arrival_complete, unsigned sl) {
   if (full(q)) {
     throw std::logic_error("PacketRing: push into a full queue");
   }
@@ -109,15 +114,25 @@ void PacketRing::push(std::size_t q, std::uint32_t dest,
   arrival_[at] = arrival_complete;
   sl_[at] = static_cast<std::uint8_t>(sl);
   ++count_[q];
+}
+
+void PacketRing::push(std::size_t q, std::uint32_t dest,
+                      std::uint64_t inject_cycle,
+                      std::uint64_t arrival_complete, unsigned sl) {
+  push_unc(q, dest, inject_cycle, arrival_complete, sl);
   ++total_;
 }
 
-void PacketRing::pop(std::size_t q) {
+void PacketRing::pop_unc(std::size_t q) {
   if (empty(q)) {
     throw std::logic_error("PacketRing: pop from an empty queue");
   }
   head_[q] = static_cast<std::uint32_t>(wrap(head_[q] + std::size_t{1}));
   --count_[q];
+}
+
+void PacketRing::pop(std::size_t q) {
+  pop_unc(q);
   --total_;
 }
 
@@ -152,8 +167,8 @@ void LanePool::reset(std::size_t lane_count, std::size_t depth) {
   occupied_ = 0;
 }
 
-void LanePool::accept_head(std::size_t l, const Flit& head,
-                           unsigned out_port) {
+void LanePool::accept_head_unc(std::size_t l, const Flit& head,
+                               unsigned out_port) {
   if (busy_[l] != 0 || !head.is_head()) {
     throw std::logic_error(
         "LanePool::accept_head: lane busy or flit not a head");
@@ -164,10 +179,15 @@ void LanePool::accept_head(std::size_t l, const Flit& head,
   downstream_[l] = -1;
   slots_[l * depth_ + wrap(head_[l] + count_[l])] = head;
   ++count_[l];
+}
+
+void LanePool::accept_head(std::size_t l, const Flit& head,
+                           unsigned out_port) {
+  accept_head_unc(l, head, out_port);
   ++occupied_;
 }
 
-void LanePool::accept(std::size_t l, const Flit& flit) {
+void LanePool::accept_unc(std::size_t l, const Flit& flit) {
   if (busy_[l] == 0 || tail_in_[l] != 0 || flit.is_head()) {
     throw std::logic_error(
         "LanePool::accept: flit does not continue the worm");
@@ -178,17 +198,26 @@ void LanePool::accept(std::size_t l, const Flit& flit) {
   tail_in_[l] = flit.is_tail() ? 1 : 0;
   slots_[l * depth_ + wrap(head_[l] + count_[l])] = flit;
   ++count_[l];
+}
+
+void LanePool::accept(std::size_t l, const Flit& flit) {
+  accept_unc(l, flit);
   ++occupied_;
 }
 
 Flit LanePool::pop(std::size_t l) {
+  const Flit flit = pop_unc(l);
+  --occupied_;
+  return flit;
+}
+
+Flit LanePool::pop_unc(std::size_t l) {
   if (count_[l] == 0) {
     throw std::logic_error("LanePool::pop: lane empty");
   }
   const Flit flit = slots_[l * depth_ + head_[l]];
   head_[l] = static_cast<std::uint32_t>(wrap(head_[l] + std::size_t{1}));
   --count_[l];
-  --occupied_;
   moved_[l] = 1;
   if (flit.is_tail()) {
     // The worm has fully left: release the lane and its allocation.

@@ -136,6 +136,11 @@ class CreditLedger {
   /// cycle (the policies call it at the top of eject, the first phase).
   void deliver(std::uint64_t cycle);
 
+  /// deliver() restricted to links [\p lo, \p hi) — the sharded driver's
+  /// harvest phase, partitioned into disjoint ranges across the worker
+  /// team (per-link state is independent, so a range partition is exact).
+  void deliver_range(std::uint64_t cycle, std::size_t lo, std::size_t hi);
+
  private:
   std::uint32_t capacity_ = 0;
   std::uint64_t latency_ = 0;
@@ -192,6 +197,15 @@ class PacketRing {
 
   /// Drop the head-of-line packet; the queue must not be empty.
   void pop(std::size_t q);
+
+  /// push()/pop() variants that leave the pool-wide total_packets()
+  /// counter untouched. The sharded cycle kernels use these: workers
+  /// mutate disjoint queue ranges concurrently, so the shared counter
+  /// would be a data race — each worker tracks its +-delta locally and
+  /// the driver reconciles. Queue state is identical to push()/pop().
+  void push_unc(std::size_t q, std::uint32_t dest, std::uint64_t inject_cycle,
+                std::uint64_t arrival_complete, unsigned sl = 0);
+  void pop_unc(std::size_t q);
 
   /// Packets currently buffered across every queue (O(1)).
   [[nodiscard]] std::size_t total_packets() const noexcept { return total_; }
@@ -265,6 +279,13 @@ class LanePool {
   /// Remove and return the head-of-line flit. Popping the tail resets the
   /// lane to idle (the worm has fully left).
   Flit pop(std::size_t l);
+
+  /// accept_head()/accept()/pop() variants that leave the pool-wide
+  /// occupied_flits() counter untouched — the sharded kernels' race-free
+  /// forms (workers own disjoint lane ranges and track deltas locally).
+  void accept_head_unc(std::size_t l, const Flit& head, unsigned out_port);
+  void accept_unc(std::size_t l, const Flit& flit);
+  Flit pop_unc(std::size_t l);
 
   /// Out-port of the worm currently occupying lane \p l.
   [[nodiscard]] unsigned out_port(std::size_t l) const noexcept {

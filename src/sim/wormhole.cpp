@@ -7,6 +7,7 @@
 #include "multipath/looping.hpp"
 #include "sim/fabric.hpp"
 #include "sim/multipath_select.hpp"
+#include "sim/shard.hpp"
 
 namespace mineq::sim {
 
@@ -113,16 +114,27 @@ class WormholePolicy {
   /// terminal attachments, not wiring arcs, so they cannot fault.
   void eject(std::uint64_t cycle, bool measuring) {
     if constexpr (kMultiPath) {
-      eject_multipath(cycle, measuring);
+      eject_multipath_impl<false>(cycle, measuring, 0, lcells_, nullptr);
       return;
     }
     if constexpr (kCredits) credits_->deliver(cycle);
+    eject_impl<false>(cycle, measuring, 0, core_.cells(), nullptr);
+  }
+
+  /// The eject kernel over cells [x0, x1). Sharded (kShard), every
+  /// order-sensitive sink — the observer call, the Welford latency adds,
+  /// the per-SL latency — defers into the worker's event buffer for the
+  /// serial-phase replay; order-independent counters accumulate into the
+  /// worker's partial.
+  template <bool kShard>
+  void eject_impl(std::uint64_t cycle, bool measuring, std::uint32_t x0,
+                  std::uint32_t x1, ShardWorker* wk) {
     const int last = core_.stages() - 1;
-    const std::uint32_t cells = core_.cells();
     const unsigned r = radix();
+    SimResult& res = shard_result<kShard>(wk);
     const unsigned candidates =
         static_cast<unsigned>(static_cast<std::size_t>(r) * lanes_);
-    for (std::uint32_t x = 0; x < cells; ++x) {
+    for (std::uint32_t x = x0; x < x1; ++x) {
       for (unsigned port = 0; port < r; ++port) {
         // Strict priority scans the ready candidates first: only a worm
         // of the highest ready weight class may win this cycle.
@@ -152,26 +164,34 @@ class WormholePolicy {
               continue;
             }
           }
-          const Flit flit = pool_.pop(l);
+          const Flit flit = shard_pop<kShard>(l, wk);
           if constexpr (kCredits) credits_->give_back(l, cycle);
           arb_grant(last, x * r + port, c, vl);
-          if (observer_) observer_(flit, cycle);
-          if (measuring &&
-              flit.inject_cycle >= core_.config().warmup_cycles) {
-            ++core_.result.flits_delivered;
-            if (flit.is_tail()) {
+          const bool counted =
+              measuring && flit.inject_cycle >= core_.config().warmup_cycles;
+          if (counted) ++res.flits_delivered;
+          if constexpr (kFaulted) {
+            // A detoured worm ejects at whatever terminal the surviving
+            // route reached; count the miss.
+            if (counted && flit.is_tail() &&
+                (flit.dest_terminal / r) != x) {
+              ++res.packets_misdelivered;
+            }
+          }
+          if constexpr (kShard) {
+            // Defer for the replay: every flit if an observer watches,
+            // else just the tails that complete a measured delivery.
+            if (observer_ || (counted && flit.is_tail())) {
+              wk->wh_events.push_back(flit);
+            }
+          } else {
+            if (observer_) observer_(flit, cycle);
+            if (counted && flit.is_tail()) {
               core_.record_packet_delivered(
                   static_cast<double>(cycle - flit.inject_cycle + 1));
               if constexpr (kCredits) {
                 core_.result.sl_latency[static_cast<unsigned>(flit.sl)].add(
                     static_cast<double>(cycle - flit.inject_cycle + 1));
-              }
-              if constexpr (kFaulted) {
-                // A detoured worm ejects at whatever terminal the
-                // surviving route reached; count the miss.
-                if ((flit.dest_terminal / r) != x) {
-                  ++core_.result.packets_misdelivered;
-                }
               }
             }
           }
@@ -179,7 +199,11 @@ class WormholePolicy {
         }
       }
     }
-    account_stage(last, measuring);
+    const std::size_t first = lane_index(last, 0, 0);
+    account_stage<kShard>(measuring,
+                          first + static_cast<std::size_t>(x0) * r * lanes_,
+                          first + static_cast<std::size_t>(x1) * r * lanes_,
+                          wk);
   }
 
   /// Advance one switch stage: one flit per output link per cycle; heads
@@ -190,11 +214,23 @@ class WormholePolicy {
   void advance_stage(int s, [[maybe_unused]] std::uint64_t cycle,
                      bool measuring) {
     if constexpr (kMultiPath) {
-      advance_stage_multipath(s, cycle, measuring);
+      advance_stage_multipath_impl<false>(s, cycle, measuring, 0,
+                                          core_.cells(), nullptr);
       return;
     }
-    const std::uint32_t cells = core_.cells();
+    advance_stage_impl<false>(s, cycle, measuring, 0, core_.cells(), nullptr);
+  }
+
+  /// The advance kernel over cells [x0, x1) of stage \p s. Safe to shard
+  /// by cell ranges: a worker pushes only into stage-(s+1) lanes reached
+  /// through its own cells' arcs, and the perfect-matching property makes
+  /// each of those lanes single-writer for the whole phase.
+  template <bool kShard>
+  void advance_stage_impl(int s, [[maybe_unused]] std::uint64_t cycle,
+                          bool measuring, std::uint32_t x0, std::uint32_t x1,
+                          ShardWorker* wk) {
     const unsigned r = radix();
+    [[maybe_unused]] SimResult& res = shard_result<kShard>(wk);
     const auto down = core_.wiring().down_stage(s);
     // Routing constants for the target stage s + 1, where an advancing
     // head resolves its next out-port (ejection port when s + 1 is the
@@ -232,13 +268,13 @@ class WormholePolicy {
     [[maybe_unused]] std::size_t arc_base = 0;
     [[maybe_unused]] const fault::FaultMask* mask = nullptr;
     if constexpr (kFaulted) {
-      drain_dropping(s, cycle, measuring);
+      drain_dropping<kShard>(s, cycle, measuring, x0, x1, wk);
       arc_base = static_cast<std::size_t>(s) * core_.ports();
       mask = &faulted_.mask();
     }
     const unsigned candidates =
         static_cast<unsigned>(static_cast<std::size_t>(r) * lanes_);
-    for (std::uint32_t x = 0; x < cells; ++x) {
+    for (std::uint32_t x = x0; x < x1; ++x) {
       for (unsigned port = 0; port < r; ++port) {
         if constexpr (kFaulted) {
           // A dead link transmits nothing (no worm ever resolves its
@@ -296,19 +332,20 @@ class WormholePolicy {
               if (!credits_->available(
                       target_first + static_cast<std::size_t>(down_lane))) {
                 // Lane is free but its credits have not returned yet.
-                if (measuring) ++core_.result.credit_stall_cycles;
+                if (measuring) ++res.credit_stall_cycles;
                 continue;
               }
             } else {
               down_lane = pool_.find_idle_lane(target_first, lanes_);
               if (down_lane < 0) continue;  // blocked: no free lane
             }
-            const Flit flit = pool_.pop(l);
+            const Flit flit = shard_pop<kShard>(l, wk);
             if constexpr (kCredits) credits_->give_back(l, cycle);
             if (!flit.is_tail()) pool_.set_downstream(l, down_lane);
-            accept_head(target_first + static_cast<std::size_t>(down_lane),
-                        flit, s + 1, record / r,
-                        route_next(flit.dest_terminal), measuring);
+            accept_head<kShard>(
+                target_first + static_cast<std::size_t>(down_lane), flit,
+                s + 1, record / r, route_next(flit.dest_terminal), measuring,
+                wk);
             if constexpr (kCredits) {
               credits_->consume(target_first +
                                 static_cast<std::size_t>(down_lane));
@@ -319,24 +356,28 @@ class WormholePolicy {
                 target_first + static_cast<std::size_t>(pool_.downstream(l));
             if constexpr (kCredits) {
               if (!credits_->available(down_l)) {
-                if (measuring) ++core_.result.credit_stall_cycles;
+                if (measuring) ++res.credit_stall_cycles;
                 continue;
               }
-              pool_.accept(down_l, pool_.pop(l));
+              shard_accept<kShard>(down_l, shard_pop<kShard>(l, wk), wk);
               credits_->give_back(l, cycle);
               credits_->consume(down_l);
             } else {
               if (!pool_.has_space(down_l)) continue;  // blocked: full
-              pool_.accept(down_l, pool_.pop(l));
+              shard_accept<kShard>(down_l, shard_pop<kShard>(l, wk), wk);
             }
           }
           arb_grant(s, x * r + port, c, vl);
-          if (measuring) ++link_flit_hops_;
+          if (measuring) shard_link_counter<kShard>(wk);
           break;
         }
       }
     }
-    account_stage(s, measuring);
+    const std::size_t first = lane_index(s, 0, 0);
+    account_stage<kShard>(measuring,
+                          first + static_cast<std::size_t>(x0) * r * lanes_,
+                          first + static_cast<std::size_t>(x1) * r * lanes_,
+                          wk);
   }
 
   /// Inject at the first stage: terminal t feeds slot t % r of cell
@@ -401,10 +442,11 @@ class WormholePolicy {
       const std::uint32_t dest =
           core_.destination(static_cast<std::uint32_t>(t));
       const std::uint32_t id = next_packet_id_++;
-      accept_head(lane_index(0, t, static_cast<std::size_t>(lane)),
-                  make_flit(id, dest, cycle, 0, length_, sl), 0,
-                  static_cast<std::uint32_t>(t / r),
-                  core_.engine().route_port(0, dest), measuring);
+      accept_head<false>(lane_index(0, t, static_cast<std::size_t>(lane)),
+                         make_flit(id, dest, cycle, 0, length_, sl), 0,
+                         static_cast<std::uint32_t>(t / r),
+                         core_.engine().route_port(0, dest), measuring,
+                         nullptr);
       if constexpr (kCredits) {
         credits_->consume(lane_index(0, t, static_cast<std::size_t>(lane)));
       }
@@ -427,40 +469,245 @@ class WormholePolicy {
   /// credits held + credit messages in flight + flits buffered must
   /// equal the lane depth exactly — and sample occupancy per virtual
   /// lane so weighted/priority sweeps can see the VL partition directly.
-  void sample(std::uint64_t /*cycle*/) {
-    core_.result.lane_occupancy.add(
-        static_cast<double>(pool_.occupied_flits()) / total_flit_slots_);
+  void sample(std::uint64_t cycle) { sample_impl<false>(cycle, 0, 1, nullptr); }
+
+  /// The sample kernel over worker \p w's share of the lane links.
+  /// Sharded, the occupancy adds (order-sensitive Welford updates over
+  /// the pool-wide totals) are left to shard_sample_reduce; this only
+  /// audits the credit invariant and counts per-VL flits into the
+  /// worker's buffers.
+  template <bool kShard>
+  void sample_impl(std::uint64_t /*cycle*/, [[maybe_unused]] std::size_t w,
+                   [[maybe_unused]] std::size_t n,
+                   [[maybe_unused]] ShardWorker* wk) {
+    if constexpr (!kShard) {
+      core_.result.lane_occupancy.add(
+          static_cast<double>(pool_.occupied_flits()) / total_flit_slots_);
+    }
     if constexpr (kCredits) {
       const std::size_t lane_links =
           static_cast<std::size_t>(core_.stages()) * core_.ports() * lanes_;
       const std::uint64_t depth = credits_->capacity();
-      if (core_.result.vl_occupancy.empty()) {
-        core_.result.vl_occupancy.resize(lanes_);
+      if constexpr (!kShard) {
+        // Sharded runs defer this lazy resize to shard_sample_reduce —
+        // a shared-vector write has no place in a parallel phase.
+        if (core_.result.vl_occupancy.empty()) {
+          core_.result.vl_occupancy.resize(lanes_);
+        }
       }
-      vl_flits_.assign(lanes_, 0);
-      for (std::size_t l = 0; l < lane_links; ++l) {
+      std::size_t lo = 0;
+      std::size_t hi = lane_links;
+      std::vector<std::uint64_t>* vl_flits = &vl_flits_;
+      if constexpr (kShard) {
+        const auto range = shard_range(lane_links, w, n);
+        lo = range.first;
+        hi = range.second;
+        vl_flits = &wk->vl_flits;
+      }
+      SimResult& res = shard_result<kShard>(wk);
+      vl_flits->assign(lanes_, 0);
+      for (std::size_t l = lo; l < hi; ++l) {
         const std::uint64_t held = credits_->credits(l);
         if (held > depth ||
             held + credits_->in_flight(l) + pool_.count(l) != depth) {
-          ++core_.result.credit_violations;
+          ++res.credit_violations;
         }
-        vl_flits_[l % lanes_] += pool_.count(l);
+        (*vl_flits)[l % lanes_] += pool_.count(l);
       }
-      const double slots_per_vl = total_flit_slots_ /
-                                  static_cast<double>(lanes_);
-      for (std::size_t vl = 0; vl < lanes_; ++vl) {
-        core_.result.vl_occupancy[vl].add(
-            static_cast<double>(vl_flits_[vl]) / slots_per_vl);
+      if constexpr (!kShard) {
+        const double slots_per_vl = total_flit_slots_ /
+                                    static_cast<double>(lanes_);
+        for (std::size_t vl = 0; vl < lanes_; ++vl) {
+          core_.result.vl_occupancy[vl].add(
+              static_cast<double>(vl_flits_[vl]) / slots_per_vl);
+        }
       }
     }
   }
 
   [[nodiscard]] std::uint64_t buffered_flits() const {
-    return pool_.occupied_flits();
+    return static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(pool_.occupied_flits()) +
+        shard_pool_delta_);
   }
   [[nodiscard]] std::uint64_t link_counter() const { return link_flit_hops_; }
 
+  // ------------------------------------------------ sharded-driver seam
+  // (see run_switched_sharded in shard.hpp for the phase schedule)
+
+  /// Credit runs harvest the return ring as a dedicated phase: give_back
+  /// writes the very slot deliver reads for the same cycle, so harvest
+  /// must finish fabric-wide before any kernel returns a credit.
+  static constexpr bool kShardNeedsDeliver = kCredits;
+
+  void shard_deliver(std::uint64_t cycle, std::size_t w, std::size_t n) {
+    if constexpr (kCredits) {
+      const std::size_t lane_links =
+          static_cast<std::size_t>(core_.stages()) * core_.ports() * lanes_;
+      const auto range = shard_range(lane_links, w, n);
+      credits_->deliver_range(cycle, range.first, range.second);
+    }
+  }
+
+  void shard_eject(std::uint64_t cycle, bool measuring, std::size_t w,
+                   std::size_t n, ShardWorker& wk) {
+    if constexpr (kMultiPath) {
+      const auto range = shard_range(lcells_, w, n);
+      eject_multipath_impl<true>(cycle, measuring,
+                                 static_cast<std::uint32_t>(range.first),
+                                 static_cast<std::uint32_t>(range.second),
+                                 &wk);
+    } else {
+      const auto range = shard_range(core_.cells(), w, n);
+      eject_impl<true>(cycle, measuring,
+                       static_cast<std::uint32_t>(range.first),
+                       static_cast<std::uint32_t>(range.second), &wk);
+    }
+  }
+
+  void shard_advance(int s, std::uint64_t cycle, bool measuring,
+                     std::size_t w, std::size_t n, ShardWorker& wk) {
+    const auto range = shard_range(core_.cells(), w, n);
+    if constexpr (kMultiPath) {
+      advance_stage_multipath_impl<true>(
+          s, cycle, measuring, static_cast<std::uint32_t>(range.first),
+          static_cast<std::uint32_t>(range.second), &wk);
+    } else {
+      advance_stage_impl<true>(s, cycle, measuring,
+                               static_cast<std::uint32_t>(range.first),
+                               static_cast<std::uint32_t>(range.second),
+                               &wk);
+    }
+  }
+
+  /// Worker 0 only: replay the deferred ejections in ascending-worker
+  /// order (== ascending cell order == the serial iteration order), then
+  /// run the inherently serial injection front end.
+  void shard_serial(std::uint64_t cycle, bool measuring,
+                    std::vector<ShardWorker>& workers) {
+    for (ShardWorker& wk : workers) {
+      for (const Flit& flit : wk.wh_events) {
+        if (observer_) observer_(flit, cycle);
+        if (measuring &&
+            flit.inject_cycle >= core_.config().warmup_cycles &&
+            flit.is_tail()) {
+          core_.record_packet_delivered(
+              static_cast<double>(cycle - flit.inject_cycle + 1));
+          if constexpr (kCredits) {
+            core_.result.sl_latency[static_cast<unsigned>(flit.sl)].add(
+                static_cast<double>(cycle - flit.inject_cycle + 1));
+          }
+        }
+      }
+      wk.wh_events.clear();
+    }
+    core_.advance_burst();
+    inject(cycle, measuring);
+  }
+
+  void shard_sample(std::uint64_t cycle, std::size_t w, std::size_t n,
+                    ShardWorker& wk) {
+    sample_impl<true>(cycle, w, n, &wk);
+  }
+
+  /// Worker 0 only: the order-sensitive occupancy adds over pool-wide
+  /// totals reconciled from the workers' deltas and per-VL counts.
+  void shard_sample_reduce(std::uint64_t /*cycle*/,
+                           std::vector<ShardWorker>& workers) {
+    std::int64_t delta = 0;
+    for (const ShardWorker& wk : workers) delta += wk.pool_delta;
+    core_.result.lane_occupancy.add(
+        static_cast<double>(
+            static_cast<std::int64_t>(pool_.occupied_flits()) + delta) /
+        total_flit_slots_);
+    if constexpr (kCredits) {
+      if (core_.result.vl_occupancy.empty()) {
+        core_.result.vl_occupancy.resize(lanes_);
+      }
+      const double slots_per_vl =
+          total_flit_slots_ / static_cast<double>(lanes_);
+      for (std::size_t vl = 0; vl < lanes_; ++vl) {
+        std::uint64_t flits = 0;
+        for (const ShardWorker& wk : workers) flits += wk.vl_flits[vl];
+        core_.result.vl_occupancy[vl].add(static_cast<double>(flits) /
+                                          slots_per_vl);
+      }
+    }
+  }
+
+  /// Sum every worker's order-independent partial into the core result.
+  void shard_finish(std::vector<ShardWorker>& workers) {
+    for (const ShardWorker& wk : workers) {
+      const SimResult& p = wk.partial;
+      core_.result.flits_delivered += p.flits_delivered;
+      core_.result.hol_blocking_cycles += p.hol_blocking_cycles;
+      core_.result.credit_stall_cycles += p.credit_stall_cycles;
+      core_.result.credit_violations += p.credit_violations;
+      core_.result.packets_dropped_faulted += p.packets_dropped_faulted;
+      core_.result.flits_dropped_faulted += p.flits_dropped_faulted;
+      core_.result.packets_rerouted += p.packets_rerouted;
+      core_.result.packets_misdelivered += p.packets_misdelivered;
+      core_.result.path_reroutes += p.path_reroutes;
+      link_flit_hops_ += wk.link_counter;
+      shard_pool_delta_ += wk.pool_delta;
+    }
+  }
+
  private:
+  /// The destination of every order-independent counter: the worker's
+  /// partial when sharded, the core result when serial.
+  template <bool kShard>
+  [[nodiscard]] SimResult& shard_result(ShardWorker* wk) {
+    if constexpr (kShard) {
+      return wk->partial;
+    } else {
+      return core_.result;
+    }
+  }
+
+  /// Pool mutations: uncounted + per-worker delta when sharded (the
+  /// occupied_ total would be a shared write on the hot path), the
+  /// counted originals — byte-identical codegen — when serial.
+  template <bool kShard>
+  Flit shard_pop(std::size_t l, ShardWorker* wk) {
+    if constexpr (kShard) {
+      --wk->pool_delta;
+      return pool_.pop_unc(l);
+    } else {
+      return pool_.pop(l);
+    }
+  }
+
+  template <bool kShard>
+  void shard_accept(std::size_t l, const Flit& flit, ShardWorker* wk) {
+    if constexpr (kShard) {
+      ++wk->pool_delta;
+      pool_.accept_unc(l, flit);
+    } else {
+      pool_.accept(l, flit);
+    }
+  }
+
+  template <bool kShard>
+  void shard_accept_head(std::size_t l, const Flit& head, unsigned out_port,
+                         ShardWorker* wk) {
+    if constexpr (kShard) {
+      ++wk->pool_delta;
+      pool_.accept_head_unc(l, head, out_port);
+    } else {
+      pool_.accept_head(l, head, out_port);
+    }
+  }
+
+  /// Measured flit-hops: the worker's share when sharded.
+  template <bool kShard>
+  void shard_link_counter(ShardWorker* wk) {
+    if constexpr (kShard) {
+      ++wk->link_counter;
+    } else {
+      ++link_flit_hops_;
+    }
+  }
   /// Per-terminal injection state: the packet currently serializing into
   /// the first stage (flits are materialized on the fly) and the lane
   /// that worm claimed.
@@ -489,12 +736,20 @@ class WormholePolicy {
   /// worm may arrive on any arc of its dilation group and in any
   /// plane), one flit per terminal per cycle, per-terminal round-robin
   /// so no plane starves.
-  void eject_multipath(std::uint64_t cycle, bool measuring) {
+  /// The multipath eject kernel over logical cells [lx0, lx1): a logical
+  /// cell's candidate lanes live at the same offset of every plane, so a
+  /// logical-cell range owns planes_ disjoint physical runs — still
+  /// single-writer under sharding.
+  template <bool kShard>
+  void eject_multipath_impl(std::uint64_t cycle, bool measuring,
+                            std::uint32_t lx0, std::uint32_t lx1,
+                            ShardWorker* wk) {
     const int last = core_.stages() - 1;
     const unsigned r = radix_;
     const unsigned candidates = static_cast<unsigned>(
         static_cast<std::size_t>(planes_) * r * lanes_);
-    for (std::uint32_t lx = 0; lx < lcells_; ++lx) {
+    [[maybe_unused]] SimResult& res = shard_result<kShard>(wk);
+    for (std::uint32_t lx = lx0; lx < lx1; ++lx) {
       for (unsigned j = 0; j < lradix_; ++j) {
         const std::size_t term =
             static_cast<std::size_t>(lx) * lradix_ + j;
@@ -511,36 +766,54 @@ class WormholePolicy {
               lane_index(last, static_cast<std::size_t>(cell) * r + slot,
                          c % lanes_);
           if (pool_.empty(l) || pool_.out_port(l) != j) continue;
-          const Flit flit = pool_.pop(l);
+          const Flit flit = shard_pop<kShard>(l, wk);
           arb.grant(c);
-          if (observer_) observer_(flit, cycle);
-          if (measuring &&
-              flit.inject_cycle >= core_.config().warmup_cycles) {
-            ++core_.result.flits_delivered;
-            if (flit.is_tail()) {
+          const bool counted =
+              measuring && flit.inject_cycle >= core_.config().warmup_cycles;
+          if (counted) ++res.flits_delivered;
+          if constexpr (kFaulted) {
+            if (counted && flit.is_tail() &&
+                (flit.dest_terminal / lradix_) != lx) {
+              ++res.packets_misdelivered;
+            }
+          }
+          if constexpr (kShard) {
+            if (observer_ || (counted && flit.is_tail())) {
+              wk->wh_events.push_back(flit);
+            }
+          } else {
+            if (observer_) observer_(flit, cycle);
+            if (counted && flit.is_tail()) {
               core_.record_packet_delivered(
                   static_cast<double>(cycle - flit.inject_cycle + 1));
-              if constexpr (kFaulted) {
-                if ((flit.dest_terminal / lradix_) != lx) {
-                  ++core_.result.packets_misdelivered;
-                }
-              }
             }
           }
           break;
         }
       }
     }
-    account_stage(last, measuring);
+    // The per-plane physical runs this logical range owns.
+    const std::size_t first = lane_index(last, 0, 0);
+    for (unsigned plane = 0; plane < planes_; ++plane) {
+      const std::size_t run =
+          static_cast<std::size_t>(plane) * lcells_ * r * lanes_;
+      account_stage<kShard>(
+          measuring,
+          first + run + static_cast<std::size_t>(lx0) * r * lanes_,
+          first + run + static_cast<std::size_t>(lx1) * r * lanes_, wk);
+    }
   }
 
   /// Multipath advancement: identical link/lane mechanics to the
   /// unipath loop, but an advancing head resolves its stage-(s+1)
   /// out-port by selecting within the fabric's equivalent-path group
   /// (select_next_port) instead of reading a single scheduled port.
-  void advance_stage_multipath(int s, std::uint64_t cycle, bool measuring) {
-    const std::uint32_t cells = core_.cells();
+  template <bool kShard>
+  void advance_stage_multipath_impl(int s, std::uint64_t cycle,
+                                    bool measuring, std::uint32_t x0,
+                                    std::uint32_t x1, ShardWorker* wk) {
     const unsigned r = radix_;
+    [[maybe_unused]] SimResult& res = shard_result<kShard>(wk);
     const auto down = core_.wiring().down_stage(s);
     const bool target_ejects = s + 2 == core_.stages();
     // Routing constants for the target stage s + 1: the free flag, the
@@ -570,13 +843,13 @@ class WormholePolicy {
     [[maybe_unused]] std::size_t arc_base = 0;
     [[maybe_unused]] const fault::FaultMask* mask = nullptr;
     if constexpr (kFaulted) {
-      drain_dropping(s, cycle, measuring);
+      drain_dropping<kShard>(s, cycle, measuring, x0, x1, wk);
       arc_base = static_cast<std::size_t>(s) * core_.ports();
       mask = &faulted_.mask();
     }
     const unsigned candidates =
         static_cast<unsigned>(static_cast<std::size_t>(r) * lanes_);
-    for (std::uint32_t x = 0; x < cells; ++x) {
+    for (std::uint32_t x = x0; x < x1; ++x) {
       for (unsigned port = 0; port < r; ++port) {
         if constexpr (kFaulted) {
           if (mask->faulted_index(arc_base + x * r + port)) continue;
@@ -590,7 +863,7 @@ class WormholePolicy {
           if (pool_.front(l).is_head()) {
             const int down_lane = pool_.find_idle_lane(target_first, lanes_);
             if (down_lane < 0) continue;  // blocked: no free lane
-            const Flit flit = pool_.pop(l);
+            const Flit flit = shard_pop<kShard>(l, wk);
             if (!flit.is_tail()) pool_.set_downstream(l, down_lane);
             unsigned desired;
             int reroute_kind = 0;
@@ -610,27 +883,32 @@ class WormholePolicy {
                                          settings, down_next, mask,
                                          reroute_kind);
             }
-            accept_head(target_first + static_cast<std::size_t>(down_lane),
-                        flit, s + 1, record / r, desired, measuring);
+            accept_head<kShard>(
+                target_first + static_cast<std::size_t>(down_lane), flit,
+                s + 1, record / r, desired, measuring, wk);
             if constexpr (kFaulted) {
               if (reroute_kind == 1 && measuring &&
                   flit.inject_cycle >= core_.config().warmup_cycles) {
-                ++core_.result.path_reroutes;
+                ++res.path_reroutes;
               }
             }
           } else {
             const std::size_t down_l =
                 target_first + static_cast<std::size_t>(pool_.downstream(l));
             if (!pool_.has_space(down_l)) continue;  // blocked: full
-            pool_.accept(down_l, pool_.pop(l));
+            shard_accept<kShard>(down_l, shard_pop<kShard>(l, wk), wk);
           }
           arb_grant(s, x * r + port, c, 0);
-          if (measuring) ++link_flit_hops_;
+          if (measuring) shard_link_counter<kShard>(wk);
           break;
         }
       }
     }
-    account_stage(s, measuring);
+    const std::size_t first = lane_index(s, 0, 0);
+    account_stage<kShard>(measuring,
+                          first + static_cast<std::size_t>(x0) * r * lanes_,
+                          first + static_cast<std::size_t>(x1) * r * lanes_,
+                          wk);
   }
 
   /// Multipath injection: logical terminal t feeds physical input slot
@@ -723,9 +1001,10 @@ class WormholePolicy {
                     dilation_,
           first_free ? r : dilation_, settings, down_next, mask,
           reroute_kind);
-      accept_head(lane_index(0, port_index, static_cast<std::size_t>(lane)),
-                  head, 0, static_cast<std::uint32_t>(port_index / r),
-                  desired, measuring);
+      accept_head<false>(
+          lane_index(0, port_index, static_cast<std::size_t>(lane)), head, 0,
+          static_cast<std::uint32_t>(port_index / r), desired, measuring,
+          nullptr);
       if constexpr (kFaulted) {
         if (reroute_kind == 1 && measuring &&
             cycle >= core_.config().warmup_cycles) {
@@ -871,62 +1150,75 @@ class WormholePolicy {
   /// dead switch, which puts the lane in dropping mode so the worm
   /// drains into the fault counters. Last-stage out-ports are ejection
   /// ports and cannot fault.
+  template <bool kShard>
   void accept_head(std::size_t l, const Flit& head, int s, std::uint32_t y,
-                   unsigned desired, [[maybe_unused]] bool measuring) {
+                   unsigned desired, [[maybe_unused]] bool measuring,
+                   [[maybe_unused]] ShardWorker* wk) {
     if constexpr (kFaulted) {
       if (s + 1 < core_.stages()) {
         const int port = faulted_.usable_port(s, y, desired);
         if (port < 0) {
           // Dead switch: park the worm in dropping mode; drain_dropping
           // discards it (and its following flits) next cycle.
-          pool_.accept_head(l, head, 0);
+          shard_accept_head<kShard>(l, head, 0, wk);
           dropping_[l] = 1;
           return;
         }
         if (static_cast<unsigned>(port) != desired && measuring &&
             head.inject_cycle >= core_.config().warmup_cycles) {
-          ++core_.result.packets_rerouted;
+          ++shard_result<kShard>(wk).packets_rerouted;
         }
-        pool_.accept_head(l, head, static_cast<unsigned>(port));
+        shard_accept_head<kShard>(l, head, static_cast<unsigned>(port), wk);
         return;
       }
     }
-    pool_.accept_head(l, head, desired);
+    shard_accept_head<kShard>(l, head, desired, wk);
   }
 
-  /// Discard every buffered flit of the dropping-mode lanes of stage
-  /// \p s. Popping the tail resets the lane to idle (via LanePool) and
-  /// ends dropping mode; until then, flits still following the worm's
-  /// reservation keep arriving and are drained on their next turn.
+  /// Discard every buffered flit of the dropping-mode lanes of cells
+  /// [x0, x1) of stage \p s. Popping the tail resets the lane to idle
+  /// (via LanePool) and ends dropping mode; until then, flits still
+  /// following the worm's reservation keep arriving and are drained on
+  /// their next turn. Dropping flags for a lane are set by the upstream
+  /// arc's owner in an earlier (barriered) phase and cleared here by the
+  /// lane's owner, so sharding never races on them.
+  template <bool kShard>
   void drain_dropping(int s, [[maybe_unused]] std::uint64_t cycle,
-                      bool measuring) {
+                      bool measuring, std::uint32_t x0, std::uint32_t x1,
+                      ShardWorker* wk) {
     const std::size_t first = lane_index(s, 0, 0);
-    const std::size_t count = core_.ports() * lanes_;
-    for (std::size_t l = first; l < first + count; ++l) {
+    const std::size_t lo = first + static_cast<std::size_t>(x0) * radix() *
+                                       lanes_;
+    const std::size_t hi = first + static_cast<std::size_t>(x1) * radix() *
+                                       lanes_;
+    [[maybe_unused]] SimResult& res = shard_result<kShard>(wk);
+    for (std::size_t l = lo; l < hi; ++l) {
       if (dropping_[l] == 0) continue;
       while (!pool_.empty(l)) {
-        const Flit flit = pool_.pop(l);
+        const Flit flit = shard_pop<kShard>(l, wk);
         // A drained flit returns its credit like any other pop, so the
         // ledger closes exactly even across dead switches.
         if constexpr (kCredits) credits_->give_back(l, cycle);
         if (measuring && flit.inject_cycle >= core_.config().warmup_cycles) {
-          ++core_.result.flits_dropped_faulted;
-          if (flit.is_head()) ++core_.result.packets_dropped_faulted;
+          ++res.flits_dropped_faulted;
+          if (flit.is_head()) ++res.packets_dropped_faulted;
         }
         if (flit.is_tail()) dropping_[l] = 0;
       }
     }
   }
 
-  /// Count stalled worms of one stage and reset per-cycle movement
-  /// flags. Called right after the stage had its switching (or ejection)
-  /// opportunity, before upstream pushes refill it.
-  void account_stage(int s, bool measuring) {
-    const std::size_t first = lane_index(s, 0, 0);
-    const std::size_t count = core_.ports() * lanes_;
-    for (std::size_t l = first; l < first + count; ++l) {
+  /// Count stalled worms over the lane range [lo, hi) and reset its
+  /// per-cycle movement flags. Called right after the stage had its
+  /// switching (or ejection) opportunity, before upstream pushes refill
+  /// it; sharded callers pass exactly their writer partition.
+  template <bool kShard>
+  void account_stage(bool measuring, std::size_t lo, std::size_t hi,
+                     ShardWorker* wk) {
+    SimResult& res = shard_result<kShard>(wk);
+    for (std::size_t l = lo; l < hi; ++l) {
       if (measuring && !pool_.empty(l) && !pool_.moved(l)) {
-        ++core_.result.hol_blocking_cycles;
+        ++res.hol_blocking_cycles;
       }
       pool_.clear_moved(l);
     }
@@ -941,6 +1233,7 @@ class WormholePolicy {
   std::vector<SourceState> sources_;
   std::uint32_t next_packet_id_ = 0;
   std::uint64_t link_flit_hops_ = 0;
+  std::int64_t shard_pool_delta_ = 0;  // sharded runs only
   double total_flit_slots_;
   fault::FaultedWiring faulted_;        // kFaulted only
   std::vector<std::uint8_t> dropping_;  // kFaulted only
@@ -969,6 +1262,8 @@ run_wormhole(FabricCore& core, const EjectObserver& observer,
              const multipath::LoopingSettings* looping = nullptr) {
   WormholePolicy<kFaulted, kBinary, kCredits, kMultiPath> policy(
       core, observer, workspace, mask, looping);
+  const std::size_t threads = core.config().sim_threads;
+  if (threads > 1) return run_switched_sharded(core, policy, threads);
   return run_switched(core, policy);
 }
 

@@ -22,6 +22,12 @@ ThreadPool::~ThreadPool() {
   }
   work_available_.notify_all();
   for (auto& worker : workers_) worker.join();
+  {
+    std::unique_lock lock(team_mutex_);
+    team_stopping_ = true;
+  }
+  team_wake_.notify_all();
+  for (auto& member : team_) member.join();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -36,6 +42,68 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::run_team(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n <= 1) {
+    fn(0, 1);
+    return;
+  }
+  // Grow the team lazily; threads persist across calls. A call with a
+  // smaller n than a previous one leaves the extra threads parked — they
+  // wake on the epoch, see index >= team_size_, and report done without
+  // running the body. Each new thread is handed the pre-bump epoch so it
+  // participates in this call's round no matter how late it starts.
+  if (team_.size() + 1 < n) {
+    std::uint64_t start_epoch;
+    {
+      std::unique_lock lock(team_mutex_);
+      start_epoch = team_epoch_;
+    }
+    while (team_.size() + 1 < n) {
+      const std::size_t index = team_.size();
+      team_.emplace_back(
+          [this, index, start_epoch] { team_member_loop(index, start_epoch); });
+    }
+  }
+  const std::size_t members = team_.size();
+  {
+    std::unique_lock lock(team_mutex_);
+    team_fn_ = &fn;
+    team_size_ = n;
+    team_done_ = 0;
+    ++team_epoch_;
+  }
+  team_wake_.notify_all();
+  fn(0, n);
+  {
+    std::unique_lock lock(team_mutex_);
+    team_done_cv_.wait(lock, [&] { return team_done_ == members; });
+    team_fn_ = nullptr;
+  }
+}
+
+void ThreadPool::team_member_loop(std::size_t index, std::uint64_t seen) {
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t size = 0;
+    {
+      std::unique_lock lock(team_mutex_);
+      team_wake_.wait(lock,
+                      [&] { return team_stopping_ || team_epoch_ != seen; });
+      if (team_stopping_) return;
+      seen = team_epoch_;
+      fn = team_fn_;
+      size = team_size_;
+    }
+    if (index + 1 < size) (*fn)(index + 1, size);
+    {
+      std::unique_lock lock(team_mutex_);
+      ++team_done_;
+    }
+    team_done_cv_.notify_one();
+  }
 }
 
 void ThreadPool::worker_loop() {

@@ -143,6 +143,10 @@ Fixed parameters:
   --measure N         measured cycles                          [2000]
   --seed N            base seed                                [1]
   --threads N         worker threads (0 = hardware)            [0]
+  --sim-threads N     shard each simulation over N threads     [1]
+                      (byte-identical to serial; the default
+                      sweep fan-out divides itself by N so the
+                      two levels never oversubscribe)
 
 Output:
   --csv FILE          write CSV ("-" = stdout, implies --quiet)
@@ -423,6 +427,9 @@ int main(int argc, char** argv) {
         grid.base.seed = parse_u64(next_value(i), "seed");
       } else if (arg == "--threads") {
         threads = parse_u64(next_value(i), "thread count");
+      } else if (arg == "--sim-threads") {
+        grid.base.sim_threads =
+            parse_u64(next_value(i), "per-simulation thread count");
       } else if (arg == "--csv") {
         csv_path = next_value(i);
       } else if (arg == "--json") {
