@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON document emitted by the obs:: layer.
+
+Checks, per document:
+  - top-level schema: {"traceEvents": [...]} with well-formed events
+    (required keys per phase: M metadata, B/E duration slices, i instants);
+  - per (pid, tid) track: timestamps are monotone non-decreasing in
+    document order (the emission-order contract of obs::sort_trace);
+  - per track: B/E events nest — every E closes the innermost open B of
+    the same name, and instants only occur inside the packet slice.
+Tracks whose packet was still in flight at the end of the run may leave
+slices open; that is legal and reported only with --strict.
+
+Usage: trace_validate.py FILE... [--strict]
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+REQUIRED_COMMON = {"ph", "pid"}
+DURATION_KEYS = {"name", "ts", "tid"}
+
+
+def fail(errors, path, message):
+    errors.append(f"{path}: {message}")
+
+
+def validate_event(event, index, path, errors):
+    """Schema check for one event; returns its phase or None."""
+    if not isinstance(event, dict):
+        fail(errors, path, f"event {index} is not an object")
+        return None
+    missing = REQUIRED_COMMON - event.keys()
+    if missing:
+        fail(errors, path, f"event {index} missing keys {sorted(missing)}")
+        return None
+    ph = event["ph"]
+    if ph == "M":
+        if event.get("name") != "process_name":
+            fail(errors, path, f"event {index}: unexpected metadata {event}")
+        return ph
+    if ph in ("B", "E", "i"):
+        missing = DURATION_KEYS - event.keys()
+        if missing:
+            fail(errors, path,
+                 f"event {index} ({ph}) missing keys {sorted(missing)}")
+            return None
+        if not isinstance(event["ts"], int) or event["ts"] < 0:
+            fail(errors, path, f"event {index}: bad ts {event['ts']!r}")
+        if ph == "i" and event.get("s") != "t":
+            fail(errors, path, f"event {index}: instant without thread scope")
+        return ph
+    fail(errors, path, f"event {index}: unknown phase {ph!r}")
+    return None
+
+
+def validate_track(key, events, path, errors, strict):
+    """Monotonicity and B/E nesting for one (pid, tid) track."""
+    last_ts = -1
+    stack = []  # open slice names, innermost last
+    for event in events:
+        ts = event["ts"]
+        if ts < last_ts:
+            fail(errors, path,
+                 f"track {key}: ts runs backwards ({ts} after {last_ts})")
+        last_ts = ts
+        ph = event["ph"]
+        if ph == "B":
+            if event["name"] != "pkt" and not stack:
+                fail(errors, path,
+                     f"track {key}: '{event['name']}' opened outside pkt")
+            stack.append(event["name"])
+        elif ph == "E":
+            if not stack:
+                fail(errors, path,
+                     f"track {key}: E '{event['name']}' with nothing open")
+            elif stack[-1] != event["name"]:
+                fail(errors, path,
+                     f"track {key}: E '{event['name']}' closes "
+                     f"'{stack[-1]}'")
+            else:
+                stack.pop()
+        elif ph == "i":
+            if not stack:
+                fail(errors, path,
+                     f"track {key}: instant '{event['name']}' outside pkt")
+    if stack and strict:
+        fail(errors, path, f"track {key}: unclosed slices {stack}")
+
+
+def validate_file(path, errors, strict):
+    try:
+        with open(path, encoding="utf-8") as f:
+            document = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(errors, path, f"cannot load: {error}")
+        return
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        fail(errors, path, "missing top-level traceEvents array")
+        return
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        fail(errors, path, "traceEvents is not an array")
+        return
+
+    tracks = {}
+    n_slices = 0
+    for index, event in enumerate(events):
+        ph = validate_event(event, index, path, errors)
+        if ph in ("B", "E", "i"):
+            tracks.setdefault((event["pid"], event["tid"]), []).append(event)
+            n_slices += ph in ("B", "E")
+    for key, track in sorted(tracks.items()):
+        validate_track(key, track, path, errors, strict)
+    print(f"{path}: {len(events)} events, {len(tracks)} packet tracks, "
+          f"{n_slices} slice endpoints")
+
+
+def main(argv):
+    strict = "--strict" in argv
+    paths = [a for a in argv if a != "--strict"]
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    errors = []
+    for path in paths:
+        validate_file(path, errors, strict)
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

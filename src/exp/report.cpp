@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/format.hpp"
 
 namespace mineq::exp {
@@ -97,6 +98,23 @@ std::vector<std::pair<std::string, std::string>> point_fields(
       {"full_access", p.survivor.full_access ? "1" : "0"},
       {"survivor_banyan", p.survivor.banyan ? "1" : "0"},
       {"surviving_arcs", std::to_string(p.survivor.surviving_arcs)},
+      // Observability outputs. The stall split sums exactly to
+      // hol_blocking_cycles on kObs runs and is all-zero otherwise;
+      // stall_top_cause is a cause token (never numeric, so the JSON
+      // emitter quotes it without an exception entry; "top", not
+      // "dominant" — that word contains the literal "nan" the artifact
+      // poison checks reject). flow_worst_p99 is 0 unless per-flow
+      // recording ran.
+      {"stall_lost_arb", std::to_string(r.stall_lost_arbitration)},
+      {"stall_downstream_full", std::to_string(r.stall_downstream_full)},
+      {"stall_no_free_lane", std::to_string(r.stall_no_free_lane)},
+      {"stall_zero_credits", std::to_string(r.stall_zero_credits)},
+      {"stall_masked_arc", std::to_string(r.stall_masked_arc)},
+      {"stall_top_cause", obs::stall_cause_name(r.dominant_stall_cause())},
+      {"latency_overflow_fraction",
+       util::fixed(r.latency_overflow_fraction(), 6)},
+      {"flow_count", std::to_string(r.flows.flows.size())},
+      {"flow_worst_p99", util::fixed(r.flows.worst_p99, 1)},
   };
 }
 

@@ -20,14 +20,21 @@ namespace mineq::exp {
 /// latency_p99,latency_max,flits_injected,flits_delivered,flits_in_flight,
 /// link_utilization,lane_occupancy,hol_blocking_cycles,
 /// packets_dropped_faulted,packets_rerouted,packets_misdelivered,
-/// flits_dropped_faulted,full_access,survivor_banyan,surviving_arcs —
+/// flits_dropped_faulted,full_access,survivor_banyan,surviving_arcs,
+/// stall_lost_arb,stall_downstream_full,stall_no_free_lane,
+/// stall_zero_credits,stall_masked_arc,stall_top_cause,
+/// latency_overflow_fraction,flow_count,flow_worst_p99 —
 /// latency_p99 and hol_blocking_cycles make tail behavior visible in
 /// sweep artifacts; flits_in_flight (+ flits_dropped_faulted under
 /// faults) closes the flit conservation ledger per point; the
 /// fault-resilience block (delivered_fraction = correctly-delivered /
 /// injected, drop/reroute/misdelivery counters, full_access and
 /// surviving_arcs from the survivor-topology classification) reports
-/// degradation next to what is structurally left of the fabric.
+/// degradation next to what is structurally left of the fabric. The
+/// observability block (PR 9) splits hol_blocking_cycles by cause — the
+/// five stall_* counters sum exactly to it on instrumented runs —
+/// names the dominant cause, reports the clamped-latency fraction of
+/// the histogram, and surfaces the per-flow recorder's worst p99.
 [[nodiscard]] std::string sweep_csv(const SweepResult& sweep);
 
 /// A JSON object {"stages": ..., "points": [...]} with one object per

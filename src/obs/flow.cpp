@@ -1,0 +1,132 @@
+#include "obs/flow.hpp"
+
+#include <cstdio>
+
+namespace mineq::obs {
+
+namespace {
+
+void append_double(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out += buffer;
+}
+
+void append_stat_row(std::string& out, const char* kind,
+                     const FlowStat& stat) {
+  out += kind;
+  out += ',';
+  out += std::to_string(stat.src);
+  out += ',';
+  out += std::to_string(stat.dst);
+  out += ',';
+  out += std::to_string(stat.count);
+  out += ',';
+  append_double(out, stat.mean);
+  out += ',';
+  append_double(out, stat.p50);
+  out += ',';
+  append_double(out, stat.p99);
+  out += ',';
+  append_double(out, stat.p999);
+  out += '\n';
+}
+
+/// Same quantile convention as sim::Histogram: the upper edge of the
+/// first bucket whose cumulative count reaches q * total; overflow mass
+/// reports the sentinel edge just past the covered range.
+double hist_quantile(const std::vector<std::uint32_t>& hist,
+                     std::uint32_t overflow, std::uint64_t total,
+                     std::size_t buckets, double q) {
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < hist.size(); ++b) {
+    cumulative += hist[b];
+    if (static_cast<double>(cumulative) >= target) {
+      return static_cast<double>(b + 1);
+    }
+  }
+  if (overflow == 0 && !hist.empty()) {
+    return static_cast<double>(hist.size());
+  }
+  return static_cast<double>(buckets + 1);
+}
+
+}  // namespace
+
+std::string FlowSummary::csv() const {
+  std::string out =
+      "kind,src,dst,count,latency_mean,latency_p50,latency_p99,"
+      "latency_p999\n";
+  for (const FlowStat& stat : flows) append_stat_row(out, "flow", stat);
+  for (const FlowStat& stat : per_sl) append_stat_row(out, "sl", stat);
+  return out;
+}
+
+void FlowRecorder::reset(std::uint32_t terminals, std::size_t buckets,
+                         std::size_t service_levels) {
+  terminals_ = terminals;
+  buckets_ = buckets;
+  flows_.assign(static_cast<std::size_t>(terminals) * terminals, Acc{});
+  sls_.assign(service_levels, Acc{});
+}
+
+void FlowRecorder::add(Acc& acc, double latency) {
+  ++acc.count;
+  acc.sum += latency;
+  const auto bucket = static_cast<std::size_t>(latency);
+  if (bucket >= buckets_) {
+    ++acc.overflow;
+    return;
+  }
+  if (acc.hist.empty()) acc.hist.assign(buckets_, 0);
+  ++acc.hist[bucket];
+}
+
+void FlowRecorder::record(std::uint32_t src, std::uint32_t dst, unsigned sl,
+                          double latency) {
+  add(flows_[static_cast<std::size_t>(src) * terminals_ + dst], latency);
+  if (sl < sls_.size()) add(sls_[sl], latency);
+}
+
+FlowStat FlowRecorder::stat_of(const Acc& acc) const {
+  FlowStat stat;
+  stat.count = acc.count;
+  stat.mean = acc.count == 0 ? 0.0 : acc.sum / static_cast<double>(acc.count);
+  stat.p50 = hist_quantile(acc.hist, acc.overflow, acc.count, buckets_, 0.5);
+  stat.p99 = hist_quantile(acc.hist, acc.overflow, acc.count, buckets_, 0.99);
+  stat.p999 =
+      hist_quantile(acc.hist, acc.overflow, acc.count, buckets_, 0.999);
+  return stat;
+}
+
+FlowSummary FlowRecorder::summary() const {
+  FlowSummary out;
+  out.terminals = terminals_;
+  for (std::uint32_t src = 0; src < terminals_; ++src) {
+    for (std::uint32_t dst = 0; dst < terminals_; ++dst) {
+      const Acc& acc = flows_[static_cast<std::size_t>(src) * terminals_ + dst];
+      if (acc.count == 0) continue;
+      FlowStat stat = stat_of(acc);
+      stat.src = src;
+      stat.dst = dst;
+      if (stat.p99 > out.worst_p99) {
+        out.worst_p99 = stat.p99;
+        out.worst_src = src;
+        out.worst_dst = dst;
+      }
+      out.flows.push_back(stat);
+    }
+  }
+  for (std::uint32_t sl = 0; sl < sls_.size(); ++sl) {
+    const Acc& acc = sls_[sl];
+    if (acc.count == 0) continue;
+    FlowStat stat = stat_of(acc);
+    stat.src = sl;
+    out.per_sl.push_back(stat);
+  }
+  return out;
+}
+
+}  // namespace mineq::obs

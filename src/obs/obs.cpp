@@ -1,0 +1,34 @@
+#include "obs/obs.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace mineq::obs {
+
+const char* stall_cause_name(StallCause cause) noexcept {
+  switch (cause) {
+    case StallCause::kLostArbitration:
+      return "lost_arb";
+    case StallCause::kDownstreamFull:
+      return "downstream_full";
+    case StallCause::kNoFreeLane:
+      return "no_free_lane";
+    case StallCause::kZeroCredits:
+      return "zero_credits";
+    case StallCause::kMaskedArc:
+      return "masked_arc";
+  }
+  return "unknown";
+}
+
+void ObsConfig::validate(std::uint64_t terminals) const {
+  if (flow_stats && terminals > kMaxFlowTerminals) {
+    throw std::invalid_argument(
+        "ObsConfig: flow_stats keeps a terminals^2 flow table and supports "
+        "at most " +
+        std::to_string(kMaxFlowTerminals) + " terminals, got " +
+        std::to_string(terminals));
+  }
+}
+
+}  // namespace mineq::obs

@@ -1,0 +1,123 @@
+#include "obs/observer.hpp"
+
+#include <algorithm>
+
+namespace mineq::obs {
+
+Observer::Observer(const ObsConfig& config, int stages, std::uint32_t cells,
+                   std::size_t ports, std::uint32_t terminals,
+                   std::uint64_t warmup, std::uint64_t measure,
+                   std::size_t workers, std::size_t latency_buckets,
+                   std::size_t service_levels, double slots_per_stage)
+    : config_(config),
+      probes_on_(config.probe_stride > 0),
+      flows_on_(config.flow_stats),
+      trace_on_(config.trace_sample > 0),
+      stages_(stages),
+      ports_(ports),
+      warmup_(warmup),
+      slots_per_stage_(slots_per_stage) {
+  logs_.resize(std::max<std::size_t>(workers, 1));
+  const auto stage_count = static_cast<std::size_t>(stages);
+  for (WorkerLog& log : logs_) {
+    log.hol.assign(stage_count, 0);
+    log.credit.assign(stage_count, 0);
+    log.reroute.assign(stage_count, 0);
+    log.hops.assign(stage_count, 0);
+  }
+  if (probes_on_) {
+    probes_.stride = config.probe_stride;
+    probes_.stages = stages;
+    probes_.cells = cells;
+    // One ring slot per complete probe window of the measured phase;
+    // windows shorter than the stride never sample, so this capacity is
+    // exact (the ring-wrap path is a guard, not the expected case).
+    probes_.capacity =
+        std::max<std::size_t>(1, measure / config.probe_stride);
+    const std::size_t flat = probes_.capacity * stage_count;
+    probes_.cycle.assign(probes_.capacity, 0);
+    probes_.occupancy.assign(flat, 0.0);
+    probes_.link_utilization.assign(flat, 0.0);
+    probes_.hol_stalls.assign(flat, 0);
+    probes_.credit_stalls.assign(flat, 0);
+    probes_.reroutes.assign(flat, 0);
+    probes_.heatmap.assign(stage_count * cells, 0.0);
+    last_hol_.assign(stage_count, 0);
+    last_credit_.assign(stage_count, 0);
+    last_reroute_.assign(stage_count, 0);
+    last_hops_.assign(stage_count, 0);
+    occ_scratch_.assign(stage_count * cells, 0);
+    heat_sum_.assign(stage_count * cells, 0.0);
+  }
+  if (flows_on_) {
+    recorder_.reset(terminals, latency_buckets, service_levels);
+  }
+}
+
+void Observer::commit_probe(std::uint64_t cycle) {
+  const auto stage_count = static_cast<std::size_t>(stages_);
+  const std::size_t slot = probes_.samples % probes_.capacity;
+  probes_.cycle[slot] = cycle;
+  const double window = static_cast<double>(config_.probe_stride);
+  const double link_cycles = static_cast<double>(ports_) * window;
+  const double slots_per_cell =
+      slots_per_stage_ / static_cast<double>(probes_.cells);
+  for (std::size_t s = 0; s < stage_count; ++s) {
+    std::uint64_t hol = 0;
+    std::uint64_t credit = 0;
+    std::uint64_t reroute = 0;
+    std::uint64_t hops = 0;
+    for (const WorkerLog& log : logs_) {
+      hol += log.hol[s];
+      credit += log.credit[s];
+      reroute += log.reroute[s];
+      hops += log.hops[s];
+    }
+    std::uint64_t occupied = 0;
+    for (std::uint32_t x = 0; x < probes_.cells; ++x) {
+      const std::uint32_t cell = occ_scratch_[s * probes_.cells + x];
+      occupied += cell;
+      heat_sum_[s * probes_.cells + x] +=
+          static_cast<double>(cell) / slots_per_cell;
+    }
+    const std::size_t at = slot * stage_count + s;
+    probes_.occupancy[at] =
+        static_cast<double>(occupied) / slots_per_stage_;
+    probes_.link_utilization[at] =
+        static_cast<double>(hops - last_hops_[s]) / link_cycles;
+    probes_.hol_stalls[at] = hol - last_hol_[s];
+    probes_.credit_stalls[at] = credit - last_credit_[s];
+    probes_.reroutes[at] = reroute - last_reroute_[s];
+    last_hol_[s] = hol;
+    last_credit_[s] = credit;
+    last_reroute_[s] = reroute;
+    last_hops_[s] = hops;
+  }
+  ++probes_.samples;
+  std::fill(occ_scratch_.begin(), occ_scratch_.end(), 0U);
+}
+
+ProbeSeries Observer::take_probes() {
+  if (probes_on_ && probes_.samples > 0) {
+    const double n = static_cast<double>(probes_.samples);
+    for (std::size_t i = 0; i < heat_sum_.size(); ++i) {
+      probes_.heatmap[i] = heat_sum_[i] / n;
+    }
+  }
+  return std::move(probes_);
+}
+
+std::vector<TraceEvent> Observer::take_trace() {
+  std::vector<TraceEvent> events;
+  std::size_t total = 0;
+  for (const WorkerLog& log : logs_) total += log.events.size();
+  events.reserve(total);
+  for (WorkerLog& log : logs_) {
+    events.insert(events.end(), log.events.begin(), log.events.end());
+    log.events.clear();
+  }
+  sort_trace(events);
+  return events;
+}
+
+}  // namespace mineq::obs

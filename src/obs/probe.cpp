@@ -1,0 +1,66 @@
+#include "obs/probe.hpp"
+
+#include <cstdio>
+
+namespace mineq::obs {
+
+namespace {
+
+/// Shortest round-trip double rendering, the same convention the exp::
+/// reports use, so identical series render identical bytes.
+void append_double(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out += buffer;
+}
+
+}  // namespace
+
+std::string ProbeSeries::csv() const {
+  std::string out =
+      "cycle,stage,occupancy,link_utilization,hol_stalls,credit_stalls,"
+      "reroutes\n";
+  const std::size_t rows = filled();
+  // Ring order: when wrapped, the oldest retained slot is samples %
+  // capacity; until then slot order is write order.
+  const std::size_t first = samples > capacity ? samples % capacity : 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t slot = (first + i) % capacity;
+    for (int s = 0; s < stages; ++s) {
+      const std::size_t at = slot * static_cast<std::size_t>(stages) +
+                             static_cast<std::size_t>(s);
+      out += std::to_string(cycle[slot]);
+      out += ',';
+      out += std::to_string(s);
+      out += ',';
+      append_double(out, occupancy[at]);
+      out += ',';
+      append_double(out, link_utilization[at]);
+      out += ',';
+      out += std::to_string(hol_stalls[at]);
+      out += ',';
+      out += std::to_string(credit_stalls[at]);
+      out += ',';
+      out += std::to_string(reroutes[at]);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string ProbeSeries::heatmap_csv() const {
+  std::string out = "stage,cell,occupancy\n";
+  for (int s = 0; s < stages; ++s) {
+    for (std::uint32_t x = 0; x < cells; ++x) {
+      out += std::to_string(s);
+      out += ',';
+      out += std::to_string(x);
+      out += ',';
+      append_double(out, heatmap[static_cast<std::size_t>(s) * cells + x]);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace mineq::obs

@@ -1,0 +1,134 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace mineq::obs {
+
+namespace {
+
+/// Track id: a packet's unique (source, inject-cycle) identity folded
+/// into one integer. src rides in the high bits; 2^32 cycles of inject
+/// headroom keeps every supported run unambiguous while the product
+/// stays below 2^53 (exact in JSON doubles) for every supported fabric.
+std::uint64_t track_id(const TraceEvent& event) {
+  return (static_cast<std::uint64_t>(event.src) << 32) |
+         (event.inject_cycle & 0xFFFFFFFFULL);
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  out += std::to_string(value);
+}
+
+void append_common(std::string& out, const TraceEvent& event,
+                   std::uint32_t pid) {
+  out += "\"ts\":";
+  append_u64(out, event.cycle);
+  out += ",\"pid\":";
+  append_u64(out, pid);
+  out += ",\"tid\":";
+  append_u64(out, track_id(event));
+}
+
+void append_event(std::string& out, const TraceEvent& event,
+                  std::uint32_t pid) {
+  switch (event.kind) {
+    case TraceEventKind::kPacketBegin:
+      out += "{\"name\":\"pkt\",\"cat\":\"packet\",\"ph\":\"B\",";
+      append_common(out, event, pid);
+      out += ",\"args\":{\"src\":";
+      append_u64(out, event.src);
+      out += ",\"dst\":";
+      append_u64(out, event.dst);
+      out += "}}";
+      return;
+    case TraceEventKind::kPacketEnd:
+      out += "{\"name\":\"pkt\",\"cat\":\"packet\",\"ph\":\"E\",";
+      append_common(out, event, pid);
+      out += '}';
+      return;
+    case TraceEventKind::kStageBegin:
+    case TraceEventKind::kStageEnd:
+      out += "{\"name\":\"stage ";
+      append_u64(out, event.stage);
+      out += "\",\"cat\":\"hop\",\"ph\":\"";
+      out += event.kind == TraceEventKind::kStageBegin ? 'B' : 'E';
+      out += "\",";
+      append_common(out, event, pid);
+      out += '}';
+      return;
+    case TraceEventKind::kStall:
+      out += "{\"name\":\"stall ";
+      out += stall_cause_name(static_cast<StallCause>(event.cause));
+      out += "\",\"cat\":\"stall\",\"ph\":\"i\",\"s\":\"t\",";
+      append_common(out, event, pid);
+      out += ",\"args\":{\"stage\":";
+      append_u64(out, event.stage);
+      out += "}}";
+      return;
+    case TraceEventKind::kReroute:
+      out += "{\"name\":\"reroute\",\"cat\":\"route\",\"ph\":\"i\","
+             "\"s\":\"t\",";
+      append_common(out, event, pid);
+      out += ",\"args\":{\"stage\":";
+      append_u64(out, event.stage);
+      out += "}}";
+      return;
+    case TraceEventKind::kDrop:
+      out += "{\"name\":\"drop\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",";
+      append_common(out, event, pid);
+      out += ",\"args\":{\"stage\":";
+      append_u64(out, event.stage);
+      out += "}}";
+      return;
+  }
+}
+
+void append_process(std::string& out, std::string_view name,
+                    const std::vector<TraceEvent>& events, std::uint32_t pid,
+                    bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+  append_u64(out, pid);
+  out += ",\"tid\":0,\"args\":{\"name\":\"";
+  out += name;
+  out += "\"}}";
+  for (const TraceEvent& event : events) {
+    out += ",\n";
+    append_event(out, event, pid);
+  }
+}
+
+}  // namespace
+
+void sort_trace(std::vector<TraceEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.cycle != b.cycle) return a.cycle < b.cycle;
+                     return a.phase < b.phase;
+                   });
+}
+
+std::string trace_json(const std::vector<TraceEvent>& events,
+                       std::uint32_t pid, std::string_view process_name) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  append_process(out, process_name, events, pid, first);
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string trace_json_multi(
+    const std::vector<std::pair<std::string, const std::vector<TraceEvent>*>>&
+        processes) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (std::uint32_t pid = 0; pid < processes.size(); ++pid) {
+    append_process(out, processes[pid].first, *processes[pid].second, pid,
+                   first);
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+}  // namespace mineq::obs

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "multipath/looping.hpp"
+#include "obs/observer.hpp"
 #include "sim/fabric.hpp"
 #include "sim/multipath_select.hpp"
 #include "sim/shard.hpp"
@@ -85,6 +86,25 @@ PathPolicy parse_path_policy(std::string_view name) {
   throw std::invalid_argument("parse_path_policy: unknown policy \"" +
                               std::string(name) + "\" (valid: " + valid +
                               ')');
+}
+
+std::size_t latency_histogram_buckets(const SimConfig& config,
+                                      int stages) noexcept {
+  if (config.latency_histogram_buckets > 0) {
+    return config.latency_histogram_buckets;
+  }
+  // Auto-scale: 1-cycle buckets covering ~64 full-traversal serialization
+  // delays, clamped to the run length (a delivered latency can never
+  // exceed total cycles plus the tail's serialization) and to
+  // [1024, 65536] — the floor keeps every historic config's histogram
+  // shape (and therefore its pinned quantiles) exactly as it was.
+  std::uint64_t want = 64ULL * static_cast<std::uint64_t>(stages) *
+                       static_cast<std::uint64_t>(config.packet_length);
+  const std::uint64_t total = config.warmup_cycles + config.measure_cycles;
+  if (want > total + 2) want = total + 2;
+  if (want < 1024) want = 1024;
+  if (want > 65536) want = 65536;
+  return static_cast<std::size_t>(want);
 }
 
 void CreditConfig::validate(SwitchingMode mode, std::size_t lanes) const {
@@ -431,7 +451,19 @@ namespace {
 /// surviving group members first (path_reroutes) before falling back to
 /// the unipath out-of-group detour (packets_rerouted). Always the
 /// general-radix, credit-less instantiation.
-template <bool kFaulted, bool kBinary, bool kCredits, bool kMultiPath>
+///
+/// \tparam kObs compile-time observability switch: the false
+/// instantiation carries no telemetry code at all — an all-disabled
+/// ObsConfig dispatches there, so observability support costs plain runs
+/// nothing (pinned by the golden tests). The true instantiation feeds an
+/// obs::Observer: per-stage probe counters and trace events go to the
+/// per-worker WorkerLogs (order-independent sums / (cycle, phase)
+/// sort keys keep sharded runs byte-identical to serial), flow records
+/// ride the worker-0 eject replay, and every HOL-blocked head-cycle is
+/// attributed to exactly one StallCause in the same scan that counts
+/// hol_blocking_cycles — so the per-cause counters always sum to it.
+template <bool kFaulted, bool kBinary, bool kCredits, bool kMultiPath,
+          bool kObs>
 class StoreAndForwardPolicy {
   static_assert(!(kMultiPath && (kBinary || kCredits)),
                 "multipath instantiations are general-radix and credit-less");
@@ -439,6 +471,7 @@ class StoreAndForwardPolicy {
  public:
   StoreAndForwardPolicy(FabricCore& core, SimWorkspace& workspace,
                         [[maybe_unused]] const fault::FaultMask* mask,
+                        [[maybe_unused]] obs::Observer* obs,
                         [[maybe_unused]] const multipath::LoopingSettings*
                             looping = nullptr)
       : core_(core),
@@ -491,6 +524,10 @@ class StoreAndForwardPolicy {
       }
       core.result.sl_latency.resize(service_levels_);
     }
+    if constexpr (kObs) {
+      obs_ = obs;
+      stall_cause_.assign(core.ports(), 0);
+    }
   }
 
   /// Eject at the last stage: each terminal link (cell x, port d % r)
@@ -524,6 +561,12 @@ class StoreAndForwardPolicy {
     const unsigned r = radix();
     std::fill(queue_moved_.begin() + static_cast<std::size_t>(x0) * r,
               queue_moved_.begin() + static_cast<std::size_t>(x1) * r, 0);
+    if constexpr (kObs) {
+      // Stall causes default to lost-arbitration; the probe loops below
+      // overwrite the specific causes they detect.
+      std::fill(stall_cause_.begin() + static_cast<std::size_t>(x0) * r,
+                stall_cause_.begin() + static_cast<std::size_t>(x1) * r, 0);
+    }
     for (std::uint32_t x = x0; x < x1; ++x) {
       for (unsigned port = 0; port < r; ++port) {
         if (eject_busy_until_[x * r + port] > cycle) continue;
@@ -559,6 +602,8 @@ class StoreAndForwardPolicy {
           }
           const std::uint32_t dest = queues_.front_dest(q);
           const std::uint64_t inject_cycle = queues_.front_inject(q);
+          [[maybe_unused]] std::uint32_t src = 0;
+          if constexpr (kObs) src = queues_.front_src(q);
           [[maybe_unused]] unsigned sl = 0;
           if constexpr (kCredits) sl = queues_.front_sl(q);
           shard_pop<kShard>(q, wk);
@@ -566,16 +611,37 @@ class StoreAndForwardPolicy {
           eject_busy_until_[x * r + port] = cycle + length_;
           arb_grant(last, x * r + port, slot, vl);
           queue_moved_[x * r + slot] = 1;
+          if constexpr (kObs) {
+            if (measuring) {
+              obs_log<kShard>(wk).hops[static_cast<std::size_t>(last)] +=
+                  length_;
+            }
+            if (inject_cycle >= core_.config().warmup_cycles &&
+                obs_->traced(src, inject_cycle)) {
+              trace_push<kShard>(wk, cycle, inject_cycle, src, dest,
+                                 obs::TraceEventKind::kStageEnd,
+                                 static_cast<std::uint8_t>(last), 0,
+                                 kEjectPhase);
+              trace_push<kShard>(wk, cycle, inject_cycle, src, dest,
+                                 obs::TraceEventKind::kPacketEnd, 0, 0,
+                                 kEjectPhase);
+            }
+          }
           if (measuring && inject_cycle >= core_.config().warmup_cycles) {
             res.flits_delivered += length_;
             const double latency =
                 static_cast<double>(cycle - inject_cycle + length_);
             if constexpr (kShard) {
-              wk->saf_events.push_back(SafEjectEvent{latency, sl});
+              wk->saf_events.push_back(SafEjectEvent{latency, sl, src, dest});
             } else {
               core_.record_packet_delivered(latency);
               if constexpr (kCredits) {
                 core_.result.sl_latency[sl].add(latency);
+              }
+              if constexpr (kObs) {
+                if (obs_->flows_on()) {
+                  obs_->record_flow(src, dest, sl, latency);
+                }
               }
             }
             if constexpr (kFaulted) {
@@ -590,7 +656,8 @@ class StoreAndForwardPolicy {
     }
     if (measuring) {
       account_blocking<kShard>(last, cycle, static_cast<std::size_t>(x0) * r,
-                               static_cast<std::size_t>(x1) * r, wk);
+                               static_cast<std::size_t>(x1) * r, wk,
+                               eject_stall_phase(0));
     }
   }
 
@@ -657,6 +724,12 @@ class StoreAndForwardPolicy {
     }
     std::fill(queue_moved_.begin() + static_cast<std::size_t>(x0) * r,
               queue_moved_.begin() + static_cast<std::size_t>(x1) * r, 0);
+    if constexpr (kObs) {
+      // Stall causes default to lost-arbitration; the probe loops below
+      // overwrite the specific causes they detect.
+      std::fill(stall_cause_.begin() + static_cast<std::size_t>(x0) * r,
+                stall_cause_.begin() + static_cast<std::size_t>(x1) * r, 0);
+    }
     for (std::uint32_t x = x0; x < x1; ++x) {
       for (unsigned port = 0; port < r; ++port) {
         if constexpr (kFaulted) {
@@ -742,30 +815,69 @@ class StoreAndForwardPolicy {
             // below can never overflow).
             if (!credits_->available(target)) {
               if (measuring) ++res.credit_stall_cycles;
+              if constexpr (kObs) {
+                stall_cause_[x * r + slot] = static_cast<std::uint8_t>(
+                    obs::StallCause::kZeroCredits);
+                if (measuring) {
+                  ++obs_log<kShard>(wk).credit[static_cast<std::size_t>(s)];
+                }
+              }
               break;
             }
           } else {
-            if (queues_.full(target)) continue;
+            if (queues_.full(target)) {
+              if constexpr (kObs) {
+                stall_cause_[x * r + slot] = static_cast<std::uint8_t>(
+                    obs::StallCause::kDownstreamFull);
+              }
+              continue;
+            }
           }
           const std::uint64_t inject_cycle = queues_.front_inject(q);
+          const std::uint32_t src = queues_.front_src(q);
           if constexpr (kCredits) {
-            shard_push<kShard>(target, dest, inject_cycle, cycle + length_,
-                               queues_.front_sl(q), wk);
+            shard_push<kShard>(target, dest, src, inject_cycle,
+                               cycle + length_, queues_.front_sl(q), wk);
             credits_->consume(target);
             shard_pop<kShard>(q, wk);
             credits_->give_back(q, cycle);
           } else {
-            shard_push<kShard>(target, dest, inject_cycle, cycle + length_, 0,
-                               wk);
+            shard_push<kShard>(target, dest, src, inject_cycle,
+                               cycle + length_, 0, wk);
             shard_pop<kShard>(q, wk);
           }
           queue_moved_[x * r + slot] = 1;
           link_busy_until_[link_base + x * r + port] = cycle + length_;
           arb_grant(s, x * r + port, slot, vl);
+          if constexpr (kObs) {
+            if (measuring) {
+              obs_log<kShard>(wk).hops[static_cast<std::size_t>(s)] += length_;
+            }
+            if (inject_cycle >= core_.config().warmup_cycles &&
+                obs_->traced(src, inject_cycle)) {
+              trace_push<kShard>(wk, cycle, inject_cycle, src, dest,
+                                 obs::TraceEventKind::kStageEnd,
+                                 static_cast<std::uint8_t>(s), 0,
+                                 advance_phase(s));
+              trace_push<kShard>(wk, cycle, inject_cycle, src, dest,
+                                 obs::TraceEventKind::kStageBegin,
+                                 static_cast<std::uint8_t>(s + 1), 0,
+                                 advance_phase(s));
+            }
+          }
           if constexpr (kFaulted) {
             if (port != desired && measuring &&
                 inject_cycle >= core_.config().warmup_cycles) {
               ++res.packets_rerouted;
+              if constexpr (kObs) {
+                ++obs_log<kShard>(wk).reroute[static_cast<std::size_t>(s)];
+                if (obs_->traced(src, inject_cycle)) {
+                  trace_push<kShard>(wk, cycle, inject_cycle, src, dest,
+                                     obs::TraceEventKind::kReroute,
+                                     static_cast<std::uint8_t>(s), 0,
+                                     advance_phase(s));
+                }
+              }
             }
           }
           break;
@@ -773,8 +885,15 @@ class StoreAndForwardPolicy {
       }
     }
     if (measuring) {
+      if constexpr (kObs && kFaulted) {
+        refine_masked_arc_stalls(s, cycle, static_cast<std::size_t>(x0) * r,
+                                 static_cast<std::size_t>(x1) * r, mask,
+                                 arc_base, bit_shift, bit_invert, digit_scale,
+                                 port_of_value);
+      }
       account_blocking<kShard>(s, cycle, static_cast<std::size_t>(x0) * r,
-                               static_cast<std::size_t>(x1) * r, wk);
+                               static_cast<std::size_t>(x1) * r, wk,
+                               stall_phase(s));
     }
   }
 
@@ -795,7 +914,10 @@ class StoreAndForwardPolicy {
         // The terminal's injection link runs the same credit handshake
         // as the internal links: no credit, no attempt consumed.
         if (!credits_->available(q)) {
-          if (measuring) ++core_.result.credit_stall_cycles;
+          if (measuring) {
+            ++core_.result.credit_stall_cycles;
+            if constexpr (kObs) ++obs_->log(0).credit[0];
+          }
           continue;
         }
       } else {
@@ -803,17 +925,30 @@ class StoreAndForwardPolicy {
       }
       const std::uint32_t dest =
           core_.destination(static_cast<std::uint32_t>(t));
+      const auto src = static_cast<std::uint32_t>(t);
       if constexpr (kCredits) {
-        queues_.push(q, dest, cycle, cycle + length_,
+        queues_.push(q, dest, src, cycle, cycle + length_,
                      static_cast<unsigned>(t % service_levels_));
         credits_->consume(q);
       } else {
-        queues_.push(q, dest, cycle, cycle + length_);
+        queues_.push(q, dest, src, cycle, cycle + length_);
       }
       source_busy_until_[t] = cycle + length_;
       if (measuring) {
         ++core_.result.injected;
         core_.result.flits_injected += length_;
+        if constexpr (kObs) {
+          // Injection is always a serial phase: log 0 is the sink in
+          // both drivers, keeping trace bytes thread-count invariant.
+          if (obs_->traced(src, cycle)) {
+            trace_push<false>(nullptr, cycle, cycle, src, dest,
+                              obs::TraceEventKind::kPacketBegin, 0, 0,
+                              inject_phase());
+            trace_push<false>(nullptr, cycle, cycle, src, dest,
+                              obs::TraceEventKind::kStageBegin, 0, 0,
+                              inject_phase());
+          }
+        }
       }
     }
   }
@@ -870,6 +1005,9 @@ class StoreAndForwardPolicy {
             total_packet_slots_);
       }
     }
+    if constexpr (kObs && !kShard) {
+      if (obs_->want_probe(cycle)) commit_probe_window(cycle);
+    }
   }
 
   [[nodiscard]] std::uint64_t buffered_flits() const {
@@ -907,6 +1045,7 @@ class StoreAndForwardPolicy {
 
   void shard_eject(std::uint64_t cycle, bool measuring, std::size_t w,
                    std::size_t n, ShardWorker& wk) {
+    if constexpr (kObs) wk.obs_log = &obs_->log(w);
     if constexpr (kMultiPath) {
       // Multipath ejection arbitrates per LOGICAL terminal across
       // planes, so the partition is by logical cells; the physical
@@ -949,6 +1088,11 @@ class StoreAndForwardPolicy {
         if constexpr (kCredits) {
           core_.result.sl_latency[event.sl].add(event.latency);
         }
+        if constexpr (kObs) {
+          if (obs_->flows_on()) {
+            obs_->record_flow(event.src, event.dst, event.sl, event.latency);
+          }
+        }
       }
       wk.saf_events.clear();
     }
@@ -963,7 +1107,7 @@ class StoreAndForwardPolicy {
 
   /// Worker 0 adds the pool-occupancy samples (they need the pool-wide
   /// total, which sharded runs carry as counter + per-worker deltas).
-  void shard_sample_reduce(std::uint64_t /*cycle*/,
+  void shard_sample_reduce(std::uint64_t cycle,
                            const std::vector<ShardWorker>& workers) {
     std::int64_t delta = 0;
     for (const ShardWorker& wk : workers) delta += wk.pool_delta;
@@ -975,6 +1119,9 @@ class StoreAndForwardPolicy {
         core_.result.vl_occupancy.resize(1);
       }
       core_.result.vl_occupancy[0].add(packets / total_packet_slots_);
+    }
+    if constexpr (kObs) {
+      if (obs_->want_probe(cycle)) commit_probe_window(cycle);
     }
   }
 
@@ -991,6 +1138,11 @@ class StoreAndForwardPolicy {
       core_.result.packets_rerouted += partial.packets_rerouted;
       core_.result.packets_misdelivered += partial.packets_misdelivered;
       core_.result.path_reroutes += partial.path_reroutes;
+      core_.result.stall_lost_arbitration += partial.stall_lost_arbitration;
+      core_.result.stall_downstream_full += partial.stall_downstream_full;
+      core_.result.stall_no_free_lane += partial.stall_no_free_lane;
+      core_.result.stall_zero_credits += partial.stall_zero_credits;
+      core_.result.stall_masked_arc += partial.stall_masked_arc;
       busy_link_cycles_ += wk.link_counter;
       shard_pool_delta_ += wk.pool_delta;
     }
@@ -1020,14 +1172,14 @@ class StoreAndForwardPolicy {
     }
   }
   template <bool kShard>
-  void shard_push(std::size_t q, std::uint32_t dest,
+  void shard_push(std::size_t q, std::uint32_t dest, std::uint32_t src,
                   std::uint64_t inject_cycle, std::uint64_t arrival,
                   unsigned sl, [[maybe_unused]] ShardWorker* wk) {
     if constexpr (kShard) {
-      queues_.push_unc(q, dest, inject_cycle, arrival, sl);
+      queues_.push_unc(q, dest, src, inject_cycle, arrival, sl);
       ++wk->pool_delta;
     } else {
-      queues_.push(q, dest, inject_cycle, arrival, sl);
+      queues_.push(q, dest, src, inject_cycle, arrival, sl);
     }
   }
   /// Multipath ejection: logical terminal lx * lr + j arbitrates over
@@ -1051,6 +1203,11 @@ class StoreAndForwardPolicy {
       std::fill(queue_moved_.begin() + run + static_cast<std::size_t>(lx0) * r,
                 queue_moved_.begin() + run + static_cast<std::size_t>(lx1) * r,
                 0);
+      if constexpr (kObs) {
+        std::fill(
+            stall_cause_.begin() + run + static_cast<std::size_t>(lx0) * r,
+            stall_cause_.begin() + run + static_cast<std::size_t>(lx1) * r, 0);
+      }
     }
     for (std::uint32_t lx = lx0; lx < lx1; ++lx) {
       for (unsigned j = 0; j < lradix_; ++j) {
@@ -1070,18 +1227,41 @@ class StoreAndForwardPolicy {
           const std::uint32_t dest = queues_.front_dest(q);
           if (dest % lradix_ != j) continue;
           const std::uint64_t inject_cycle = queues_.front_inject(q);
+          [[maybe_unused]] std::uint32_t src = 0;
+          if constexpr (kObs) src = queues_.front_src(q);
           shard_pop<kShard>(q, wk);
           eject_busy_until_[term] = cycle + length_;
           arb.grant(c);
           queue_moved_[port_index] = 1;
+          if constexpr (kObs) {
+            if (measuring) {
+              obs_log<kShard>(wk).hops[static_cast<std::size_t>(last)] +=
+                  length_;
+            }
+            if (inject_cycle >= core_.config().warmup_cycles &&
+                obs_->traced(src, inject_cycle)) {
+              trace_push<kShard>(wk, cycle, inject_cycle, src, dest,
+                                 obs::TraceEventKind::kStageEnd,
+                                 static_cast<std::uint8_t>(last), 0,
+                                 kEjectPhase);
+              trace_push<kShard>(wk, cycle, inject_cycle, src, dest,
+                                 obs::TraceEventKind::kPacketEnd, 0, 0,
+                                 kEjectPhase);
+            }
+          }
           if (measuring && inject_cycle >= core_.config().warmup_cycles) {
             res.flits_delivered += length_;
             const double latency =
                 static_cast<double>(cycle - inject_cycle + length_);
             if constexpr (kShard) {
-              wk->saf_events.push_back(SafEjectEvent{latency, 0});
+              wk->saf_events.push_back(SafEjectEvent{latency, 0, src, dest});
             } else {
               core_.record_packet_delivered(latency);
+              if constexpr (kObs) {
+                if (obs_->flows_on()) {
+                  obs_->record_flow(src, dest, 0, latency);
+                }
+              }
             }
             if constexpr (kFaulted) {
               if ((dest / lradix_) != lx) {
@@ -1099,7 +1279,8 @@ class StoreAndForwardPolicy {
             (static_cast<std::size_t>(plane) * lcells_) * r;
         account_blocking<kShard>(last, cycle,
                                  run + static_cast<std::size_t>(lx0) * r,
-                                 run + static_cast<std::size_t>(lx1) * r, wk);
+                                 run + static_cast<std::size_t>(lx1) * r, wk,
+                                 eject_stall_phase(plane));
       }
     }
   }
@@ -1144,6 +1325,12 @@ class StoreAndForwardPolicy {
     }
     std::fill(queue_moved_.begin() + static_cast<std::size_t>(x0) * r,
               queue_moved_.begin() + static_cast<std::size_t>(x1) * r, 0);
+    if constexpr (kObs) {
+      // Stall causes default to lost-arbitration; the probe loops below
+      // overwrite the specific causes they detect.
+      std::fill(stall_cause_.begin() + static_cast<std::size_t>(x0) * r,
+                stall_cause_.begin() + static_cast<std::size_t>(x1) * r, 0);
+    }
     for (std::uint32_t x = x0; x < x1; ++x) {
       for (unsigned port = 0; port < r; ++port) {
         if constexpr (kFaulted) {
@@ -1174,18 +1361,52 @@ class StoreAndForwardPolicy {
           if (chosen != static_cast<int>(port)) continue;
           const std::uint32_t record = down[x * r + port];
           const std::size_t target = queue_index(s + 1, record);
-          if (queues_.full(target)) continue;
+          if (queues_.full(target)) {
+            if constexpr (kObs) {
+              stall_cause_[x * r + slot] = static_cast<std::uint8_t>(
+                  obs::StallCause::kDownstreamFull);
+            }
+            continue;
+          }
           const std::uint64_t inject_cycle = queues_.front_inject(q);
-          shard_push<kShard>(target, dest, inject_cycle, cycle + length_, 0,
-                             wk);
+          const std::uint32_t src = queues_.front_src(q);
+          shard_push<kShard>(target, dest, src, inject_cycle, cycle + length_,
+                             0, wk);
           shard_pop<kShard>(q, wk);
           queue_moved_[x * r + slot] = 1;
           link_busy_until_[link_base + x * r + port] = cycle + length_;
           arb_grant(s, x * r + port, slot, 0);
+          if constexpr (kObs) {
+            if (measuring) {
+              obs_log<kShard>(wk).hops[static_cast<std::size_t>(s)] += length_;
+            }
+            if (inject_cycle >= core_.config().warmup_cycles &&
+                obs_->traced(src, inject_cycle)) {
+              trace_push<kShard>(wk, cycle, inject_cycle, src, dest,
+                                 obs::TraceEventKind::kStageEnd,
+                                 static_cast<std::uint8_t>(s), 0,
+                                 advance_phase(s));
+              trace_push<kShard>(wk, cycle, inject_cycle, src, dest,
+                                 obs::TraceEventKind::kStageBegin,
+                                 static_cast<std::uint8_t>(s + 1), 0,
+                                 advance_phase(s));
+            }
+          }
           if constexpr (kFaulted) {
             if (measuring && inject_cycle >= core_.config().warmup_cycles) {
               if (reroute_kind == 1) ++res.path_reroutes;
               if (reroute_kind == 2) ++res.packets_rerouted;
+              if constexpr (kObs) {
+                if (reroute_kind != 0) {
+                  ++obs_log<kShard>(wk).reroute[static_cast<std::size_t>(s)];
+                  if (obs_->traced(src, inject_cycle)) {
+                    trace_push<kShard>(wk, cycle, inject_cycle, src, dest,
+                                       obs::TraceEventKind::kReroute,
+                                       static_cast<std::uint8_t>(s), 0,
+                                       advance_phase(s));
+                  }
+                }
+              }
             }
           }
           break;
@@ -1193,8 +1414,15 @@ class StoreAndForwardPolicy {
       }
     }
     if (measuring) {
+      if constexpr (kObs && kFaulted) {
+        refine_masked_group_stalls(s, cycle, static_cast<std::size_t>(x0) * r,
+                                   static_cast<std::size_t>(x1) * r, mask,
+                                   arc_base, free, digit_scale,
+                                   port_of_value);
+      }
       account_blocking<kShard>(s, cycle, static_cast<std::size_t>(x0) * r,
-                               static_cast<std::size_t>(x1) * r, wk);
+                               static_cast<std::size_t>(x1) * r, wk,
+                               stall_phase(s));
     }
   }
 
@@ -1242,11 +1470,22 @@ class StoreAndForwardPolicy {
         accepted = !queues_.full(q);
       }
       if (!accepted) continue;  // dropped at source
-      queues_.push(q, dest, cycle, cycle + length_);
+      const auto src = static_cast<std::uint32_t>(t);
+      queues_.push(q, dest, src, cycle, cycle + length_);
       source_busy_until_[t] = cycle + length_;
       if (measuring) {
         ++core_.result.injected;
         core_.result.flits_injected += length_;
+        if constexpr (kObs) {
+          if (obs_->traced(src, cycle)) {
+            trace_push<false>(nullptr, cycle, cycle, src, dest,
+                              obs::TraceEventKind::kPacketBegin, 0, 0,
+                              inject_phase());
+            trace_push<false>(nullptr, cycle, cycle, src, dest,
+                              obs::TraceEventKind::kStageBegin, 0, 0,
+                              inject_phase());
+          }
+        }
       }
     }
   }
@@ -1412,6 +1651,24 @@ class StoreAndForwardPolicy {
         const std::size_t q = queue_index(s, x * r + slot);
         while (!queues_.empty(q) && queues_.front_arrival(q) <= cycle) {
           const std::uint64_t inject_cycle = queues_.front_inject(q);
+          if constexpr (kObs) {
+            if (inject_cycle >= core_.config().warmup_cycles) {
+              const std::uint32_t src = queues_.front_src(q);
+              if (obs_->traced(src, inject_cycle)) {
+                const std::uint32_t dest = queues_.front_dest(q);
+                const std::uint8_t phase = drain_phase(s);
+                trace_push<kShard>(wk, cycle, inject_cycle, src, dest,
+                                   obs::TraceEventKind::kDrop,
+                                   static_cast<std::uint8_t>(s), 0, phase);
+                trace_push<kShard>(wk, cycle, inject_cycle, src, dest,
+                                   obs::TraceEventKind::kStageEnd,
+                                   static_cast<std::uint8_t>(s), 0, phase);
+                trace_push<kShard>(wk, cycle, inject_cycle, src, dest,
+                                   obs::TraceEventKind::kPacketEnd, 0, 0,
+                                   phase);
+              }
+            }
+          }
           shard_pop<kShard>(q, wk);
           // A drained slot returns its credit like any other pop, so
           // the ledger closes exactly even across dead switches.
@@ -1428,17 +1685,207 @@ class StoreAndForwardPolicy {
   /// Head-of-line blocking: a fully-arrived head in [p0, p1) that did
   /// not move. The port range always matches the caller's writer
   /// partition of queue_moved_, so sharded totals equal the serial scan.
+  /// kObs: the same scan charges each blocked head to its recorded
+  /// StallCause, so the per-cause counters partition
+  /// hol_blocking_cycles exactly — no separate bookkeeping to drift.
   template <bool kShard>
   void account_blocking(int s, std::uint64_t cycle, std::size_t p0,
-                        std::size_t p1, ShardWorker* wk) {
+                        std::size_t p1, ShardWorker* wk,
+                        [[maybe_unused]] std::uint8_t phase) {
     SimResult& res = shard_result<kShard>(wk);
     for (std::size_t i = p0; i < p1; ++i) {
       const std::size_t q = queue_index(s, i);
       if (!queues_.empty(q) && queues_.front_arrival(q) <= cycle &&
           queue_moved_[i] == 0) {
         ++res.hol_blocking_cycles;
+        if constexpr (kObs) {
+          attribute_stall<kShard>(s, cycle, i, q, wk, phase);
+        }
       }
     }
+  }
+
+  /// kObs only: one blocked head-cycle's telemetry — the per-cause
+  /// SimResult counter, the per-stage probe counter, and a stall instant
+  /// for traced packets.
+  template <bool kShard>
+  void attribute_stall(int s, std::uint64_t cycle, std::size_t i,
+                       std::size_t q, ShardWorker* wk, std::uint8_t phase) {
+    SimResult& res = shard_result<kShard>(wk);
+    const auto cause = static_cast<obs::StallCause>(stall_cause_[i]);
+    switch (cause) {
+      case obs::StallCause::kLostArbitration:
+        ++res.stall_lost_arbitration;
+        break;
+      case obs::StallCause::kDownstreamFull:
+        ++res.stall_downstream_full;
+        break;
+      case obs::StallCause::kNoFreeLane:
+        ++res.stall_no_free_lane;
+        break;
+      case obs::StallCause::kZeroCredits:
+        ++res.stall_zero_credits;
+        break;
+      case obs::StallCause::kMaskedArc:
+        ++res.stall_masked_arc;
+        break;
+    }
+    ++obs_log<kShard>(wk).hol[static_cast<std::size_t>(s)];
+    if (obs_->trace_on()) {
+      const std::uint64_t ic = queues_.front_inject(q);
+      const std::uint32_t src = queues_.front_src(q);
+      if (ic >= core_.config().warmup_cycles && obs_->traced(src, ic)) {
+        trace_push<kShard>(wk, cycle, ic, src, queues_.front_dest(q),
+                           obs::TraceEventKind::kStall,
+                           static_cast<std::uint8_t>(s),
+                           static_cast<std::uint8_t>(cause), phase);
+      }
+    }
+  }
+
+  /// kObs && kFaulted: re-attribute still-unexplained blocked heads whose
+  /// scheduled arc is fault-masked — they stall waiting on detour
+  /// capacity, which is a fault symptom, not plain congestion. Runs just
+  /// before account_blocking with the stage's hoisted routing registers.
+  void refine_masked_arc_stalls(int s, std::uint64_t cycle, std::size_t p0,
+                                std::size_t p1, const fault::FaultMask* mask,
+                                std::size_t arc_base, unsigned bit_shift,
+                                unsigned bit_invert, std::uint32_t digit_scale,
+                                const std::uint32_t* port_of_value) {
+    const unsigned r = radix();
+    for (std::size_t i = p0; i < p1; ++i) {
+      if (queue_moved_[i] != 0 || stall_cause_[i] != 0) continue;
+      const std::size_t q = queue_index(s, i);
+      if (queues_.empty(q) || queues_.front_arrival(q) > cycle) continue;
+      const std::uint32_t dest = queues_.front_dest(q);
+      unsigned desired;
+      if constexpr (kBinary) {
+        desired = (((dest >> 1) >> bit_shift) & 1U) ^ bit_invert;
+      } else {
+        desired = port_of_value[((dest / r) / digit_scale) % r];
+      }
+      if (mask->faulted_index(arc_base + (i / r) * r + desired)) {
+        stall_cause_[i] =
+            static_cast<std::uint8_t>(obs::StallCause::kMaskedArc);
+      }
+    }
+  }
+
+  /// The multipath counterpart: masked-arc only when the head's entire
+  /// equivalent-path group is masked (a surviving member would have been
+  /// a normal candidate — that is congestion, not a fault stall).
+  void refine_masked_group_stalls(int s, std::uint64_t cycle, std::size_t p0,
+                                  std::size_t p1, const fault::FaultMask* mask,
+                                  std::size_t arc_base, bool free,
+                                  std::uint32_t digit_scale,
+                                  const std::uint32_t* port_of_value) {
+    const unsigned r = radix_;
+    for (std::size_t i = p0; i < p1; ++i) {
+      if (queue_moved_[i] != 0 || stall_cause_[i] != 0) continue;
+      const std::size_t q = queue_index(s, i);
+      if (queues_.empty(q) || queues_.front_arrival(q) > cycle) continue;
+      unsigned base = 0;
+      unsigned count = r;
+      if (!free) {
+        const std::uint32_t dest = queues_.front_dest(q);
+        base = port_of_value[((dest / lradix_) / digit_scale) % lradix_] *
+               dilation_;
+        count = dilation_;
+      }
+      bool all_masked = true;
+      for (unsigned k = 0; k < count; ++k) {
+        if (!mask->faulted_index(arc_base + (i / r) * r + base + k)) {
+          all_masked = false;
+          break;
+        }
+      }
+      if (all_masked) {
+        stall_cause_[i] =
+            static_cast<std::uint8_t>(obs::StallCause::kMaskedArc);
+      }
+    }
+  }
+
+  // --- Observability helpers (kObs instantiations only) ----------------
+
+  /// The WorkerLog the current kernel writes: the worker's own sink on
+  /// sharded runs (shard_eject re-binds it every cycle), log 0 serially.
+  template <bool kShard>
+  [[nodiscard]] obs::WorkerLog& obs_log([[maybe_unused]] ShardWorker* wk) {
+    if constexpr (kShard) {
+      return *wk->obs_log;
+    } else {
+      return obs_->log(0);
+    }
+  }
+
+  /// Append one trace event to the current worker's buffer, tagged with
+  /// its (cycle, phase) sort key. Callers have already checked
+  /// Observer::traced for the packet.
+  template <bool kShard>
+  void trace_push(ShardWorker* wk, std::uint64_t cycle,
+                  std::uint64_t inject_cycle, std::uint32_t src,
+                  std::uint32_t dst, obs::TraceEventKind kind,
+                  std::uint8_t stage, std::uint8_t cause,
+                  std::uint8_t phase) {
+    obs::TraceEvent event;
+    event.cycle = cycle;
+    event.inject_cycle = inject_cycle;
+    event.src = src;
+    event.dst = dst;
+    event.kind = kind;
+    event.stage = stage;
+    event.cause = cause;
+    event.phase = phase;
+    obs_log<kShard>(wk).events.push_back(event);
+  }
+
+  // Phase ordinals (TraceEvent::phase): the serial sub-phases of one
+  // cycle numbered in execution order — eject moves, the per-plane eject
+  // HOL scans, then per advance stage s (walked S-2 down to 0) a
+  // drain / moves / HOL-scan triple, and injection last — so the sharded
+  // (cycle, phase) stable sort reproduces the serial emission order.
+  static constexpr std::uint8_t kEjectPhase = 0;
+  [[nodiscard]] std::uint8_t eject_stall_phase(unsigned plane) const noexcept {
+    return static_cast<std::uint8_t>(1 + plane);
+  }
+  [[nodiscard]] std::uint8_t advance_base(int s) const noexcept {
+    return static_cast<std::uint8_t>(
+        1 + planes_ +
+        3 * static_cast<unsigned>(core_.stages() - 2 - s));
+  }
+  [[nodiscard]] std::uint8_t drain_phase(int s) const noexcept {
+    return advance_base(s);
+  }
+  [[nodiscard]] std::uint8_t advance_phase(int s) const noexcept {
+    return static_cast<std::uint8_t>(advance_base(s) + 1);
+  }
+  [[nodiscard]] std::uint8_t stall_phase(int s) const noexcept {
+    return static_cast<std::uint8_t>(advance_base(s) + 2);
+  }
+  [[nodiscard]] std::uint8_t inject_phase() const noexcept {
+    return static_cast<std::uint8_t>(
+        1 + planes_ + 3 * static_cast<unsigned>(core_.stages() - 1));
+  }
+
+  /// Close a probe window (serial sample phase / worker 0's sample
+  /// reduce): fill the observer's scratch with the per-(stage, cell)
+  /// buffered packet counts and commit.
+  void commit_probe_window(std::uint64_t cycle) {
+    std::vector<std::uint32_t>& scratch = obs_->occupancy_scratch();
+    const unsigned r = radix();
+    const int stages = core_.stages();
+    const std::uint32_t cells = core_.cells();
+    for (int s = 0; s < stages; ++s) {
+      for (std::uint32_t x = 0; x < cells; ++x) {
+        std::uint32_t occupied = 0;
+        for (unsigned slot = 0; slot < r; ++slot) {
+          occupied += queues_.count(queue_index(s, x * r + slot));
+        }
+        scratch[static_cast<std::size_t>(s) * cells + x] = occupied;
+      }
+    }
+    obs_->commit_probe(cycle);
   }
 
   FabricCore& core_;
@@ -1465,24 +1912,51 @@ class StoreAndForwardPolicy {
   PathPolicy path_policy_ = PathPolicy::kHash;       // kMultiPath only
   const multipath::LoopingSettings* looping_ = nullptr;  // kMultiPath only
   const std::uint8_t* free_stage_ = nullptr;         // kMultiPath only
+  obs::Observer* obs_ = nullptr;                     // kObs only
+  /// Per-(port, cycle) StallCause scratch, written by the probe loops
+  /// and read by account_blocking's attribution — same writer partition
+  /// as queue_moved_.
+  std::vector<std::uint8_t> stall_cause_;            // kObs only
 };
 
-/// Out of line on purpose: inlining all eight instantiations into
+/// Out of line on purpose: inlining all the instantiations into
 /// Engine::run lets the compiler cross-jump the twin hot loops into
 /// shared blocks, costing the binary instantiation measurable time.
-template <bool kFaulted, bool kBinary, bool kCredits, bool kMultiPath>
+template <bool kFaulted, bool kBinary, bool kCredits, bool kMultiPath,
+          bool kObs>
 #if defined(__GNUC__)
 [[gnu::noinline]]
 #endif
 SimResult
-run_saf(FabricCore& core, SimWorkspace& workspace,
-        const fault::FaultMask* mask,
-        const multipath::LoopingSettings* looping = nullptr) {
-  StoreAndForwardPolicy<kFaulted, kBinary, kCredits, kMultiPath> policy(
-      core, workspace, mask, looping);
+run_saf_impl(FabricCore& core, SimWorkspace& workspace,
+             const fault::FaultMask* mask, obs::Observer* obs,
+             const multipath::LoopingSettings* looping) {
+  StoreAndForwardPolicy<kFaulted, kBinary, kCredits, kMultiPath, kObs>
+      policy(core, workspace, mask, obs, looping);
   const std::size_t threads = core.config().sim_threads;
-  if (threads > 1) return run_switched_sharded(core, policy, threads);
-  return run_switched(core, policy);
+  SimResult result = threads > 1 ? run_switched_sharded(core, policy, threads)
+                                 : run_switched(core, policy);
+  if constexpr (kObs) {
+    result.probes = obs->take_probes();
+    if (obs->flows_on()) result.flows = obs->flow_summary();
+    result.trace = obs->take_trace();
+  }
+  return result;
+}
+
+/// The obs fork: an absent observer dispatches to the kObs=false
+/// instantiation — byte for byte the pre-observability policy, the same
+/// pattern the kFaulted/kCredits fast paths use.
+template <bool kFaulted, bool kBinary, bool kCredits, bool kMultiPath>
+SimResult run_saf(FabricCore& core, SimWorkspace& workspace,
+                  const fault::FaultMask* mask, obs::Observer* obs,
+                  const multipath::LoopingSettings* looping = nullptr) {
+  if (obs != nullptr) {
+    return run_saf_impl<kFaulted, kBinary, kCredits, kMultiPath, true>(
+        core, workspace, mask, obs, looping);
+  }
+  return run_saf_impl<kFaulted, kBinary, kCredits, kMultiPath, false>(
+      core, workspace, mask, nullptr, looping);
 }
 
 }  // namespace
@@ -1505,6 +1979,30 @@ SimResult Engine::run(Pattern pattern, const SimConfig& config,
   }
   SimWorkspace local;
   SimWorkspace& ws = workspace != nullptr ? *workspace : local;
+  // The observer outlives the policy: constructed up front (so its
+  // worker-log count matches the shard team the driver will clamp to)
+  // and harvested into the result by run_saf_impl.
+  std::optional<obs::Observer> observer;
+  if (config.obs.any()) {
+    config.obs.validate(terminals_);
+    const std::size_t workers =
+        config.sim_threads > 1
+            ? std::min<std::size_t>(
+                  config.sim_threads,
+                  std::max<std::uint32_t>(1, wiring_.cells_per_stage()))
+            : 1;
+    const std::size_t ports = static_cast<std::size_t>(wiring_.radix()) *
+                              wiring_.cells_per_stage();
+    observer.emplace(
+        config.obs, wiring_.stages(), wiring_.cells_per_stage(), ports,
+        static_cast<std::uint32_t>(terminals_), config.warmup_cycles,
+        config.measure_cycles, workers,
+        latency_histogram_buckets(config, wiring_.stages()),
+        config.credits.enabled ? config.credits.service_levels() : 1,
+        static_cast<double>(ports) *
+            static_cast<double>(config.queue_capacity));
+  }
+  obs::Observer* obs = observer.has_value() ? &*observer : nullptr;
   if (multipath()) {
     if (config.credits.enabled) {
       throw std::invalid_argument(
@@ -1524,10 +2022,10 @@ SimResult Engine::run(Pattern pattern, const SimConfig& config,
                     /*arbiter_candidates=*/static_cast<unsigned>(radix()),
                     /*eject_candidates=*/static_cast<unsigned>(planes_) *
                         static_cast<unsigned>(radix()));
-    return faulted
-               ? run_saf<true, false, false, true>(core, ws, mask, settings)
-               : run_saf<false, false, false, true>(core, ws, nullptr,
-                                                    settings);
+    return faulted ? run_saf<true, false, false, true>(core, ws, mask, obs,
+                                                       settings)
+                   : run_saf<false, false, false, true>(core, ws, nullptr,
+                                                        obs, settings);
   }
   FabricCore core(*this, pattern, config,
                   /*arbiter_candidates=*/static_cast<unsigned>(radix()));
@@ -1535,18 +2033,19 @@ SimResult Engine::run(Pattern pattern, const SimConfig& config,
   const bool credits = config.credits.enabled;
   if (faulted) {
     if (credits) {
-      return binary ? run_saf<true, true, true, false>(core, ws, mask)
-                    : run_saf<true, false, true, false>(core, ws, mask);
+      return binary ? run_saf<true, true, true, false>(core, ws, mask, obs)
+                    : run_saf<true, false, true, false>(core, ws, mask, obs);
     }
-    return binary ? run_saf<true, true, false, false>(core, ws, mask)
-                  : run_saf<true, false, false, false>(core, ws, mask);
+    return binary ? run_saf<true, true, false, false>(core, ws, mask, obs)
+                  : run_saf<true, false, false, false>(core, ws, mask, obs);
   }
   if (credits) {
-    return binary ? run_saf<false, true, true, false>(core, ws, nullptr)
-                  : run_saf<false, false, true, false>(core, ws, nullptr);
+    return binary ? run_saf<false, true, true, false>(core, ws, nullptr, obs)
+                  : run_saf<false, false, true, false>(core, ws, nullptr,
+                                                       obs);
   }
-  return binary ? run_saf<false, true, false, false>(core, ws, nullptr)
-                : run_saf<false, false, false, false>(core, ws, nullptr);
+  return binary ? run_saf<false, true, false, false>(core, ws, nullptr, obs)
+                : run_saf<false, false, false, false>(core, ws, nullptr, obs);
 }
 
 }  // namespace mineq::sim

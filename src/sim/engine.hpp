@@ -42,6 +42,10 @@
 #include "min/mi_digraph.hpp"
 #include "min/routing.hpp"
 #include "multipath/multipath_wiring.hpp"
+#include "obs/flow.hpp"
+#include "obs/obs.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "sim/stats.hpp"
 #include "sim/traffic.hpp"
 
@@ -183,6 +187,20 @@ struct SimConfig {
   /// sweep-level thread count: exp::run_sweep divides its own pool by
   /// this value so sweep x sim threads never oversubscribes.
   std::size_t sim_threads = 1;
+  /// Observability collectors (obs/obs.hpp). All-defaults means "off"
+  /// and dispatches to the kObs=false policy instantiations — byte for
+  /// byte the historic code, pinned by the golden tests. Enabling any
+  /// collector is passive: simulation results are bit-identical either
+  /// way; the run additionally carries probes/flows/trace payloads and
+  /// the stall-cause split of hol_blocking_cycles.
+  obs::ObsConfig obs;
+  /// Latency-histogram bucket count (1-cycle buckets); 0 auto-scales
+  /// from the fabric depth: clamp(64 * stages * packet_length, 1024,
+  /// 65536), never more than the run is long. Runs whose latencies fit
+  /// the historic fixed 1024-bucket ceiling keep identical quantiles;
+  /// deeper runs stop clamping p99 at the overflow edge (check
+  /// SimResult::latency_overflow_fraction()).
+  std::size_t latency_histogram_buckets = 0;
 
   /// Upper bound on SimConfig::sim_threads (a sanity cap, far above any
   /// real core count — NOT tied to hardware_concurrency, so deterministic
@@ -209,8 +227,11 @@ struct SimResult {
   std::uint64_t injected = 0;   ///< packets accepted into the first stage
   std::uint64_t delivered = 0;  ///< packets ejected at the last stage
   RunningStats latency;         ///< cycles from injection to tail delivery
-  /// Latency distribution, 1-cycle buckets (overflow above 1024 cycles);
-  /// use latency_histogram.quantile(0.99) for tail latency.
+  /// Latency distribution, 1-cycle buckets; use
+  /// latency_histogram.quantile(0.99) for tail latency. FabricCore
+  /// re-shapes this per run (SimConfig::latency_histogram_buckets /
+  /// latency_histogram_buckets()); check latency_overflow_fraction() to
+  /// see whether tail quantiles clamped at the covered range.
   Histogram latency_histogram{1.0, 1024};
   /// delivered / (measure_cycles * terminals): normalized throughput.
   double throughput = 0.0;
@@ -289,6 +310,51 @@ struct SimResult {
   /// from packets_rerouted, which counts out-of-group detours.
   std::uint64_t path_reroutes = 0;
 
+  // Observability outputs (populated only when SimConfig::obs enables a
+  // collector; all-zero / empty otherwise). The stall counters split
+  // hol_blocking_cycles by cause: every blocked (buffer, cycle) pair is
+  // attributed to exactly one StallCause in the same accounting scan
+  // that increments hol_blocking_cycles, so the five counters sum to it
+  // exactly — congestion (lost arbitration, downstream full, no free
+  // lane), flow control (zero credits) and faults (masked arc) become
+  // distinguishable.
+  std::uint64_t stall_lost_arbitration = 0;
+  std::uint64_t stall_downstream_full = 0;
+  std::uint64_t stall_no_free_lane = 0;
+  std::uint64_t stall_zero_credits = 0;
+  std::uint64_t stall_masked_arc = 0;
+  /// Per-stage time series + occupancy heatmap (probe_stride > 0).
+  obs::ProbeSeries probes;
+  /// Per-(source, destination) and per-SL latency summary (flow_stats).
+  obs::FlowSummary flows;
+  /// Sampled packet events in serial emission order (trace_sample > 0);
+  /// serialize with obs::trace_json.
+  std::vector<obs::TraceEvent> trace;
+
+  /// Sum of the five stall-cause counters; equals hol_blocking_cycles on
+  /// every obs-enabled run (asserted by tests and the CI sweep smoke).
+  [[nodiscard]] std::uint64_t stall_attributed() const noexcept {
+    return stall_lost_arbitration + stall_downstream_full +
+           stall_no_free_lane + stall_zero_credits + stall_masked_arc;
+  }
+  /// The largest stall-cause counter (ties break toward the earlier
+  /// enum value; kLostArbitration when nothing stalled).
+  [[nodiscard]] obs::StallCause dominant_stall_cause() const noexcept {
+    const std::uint64_t counts[obs::kStallCauseCount] = {
+        stall_lost_arbitration, stall_downstream_full, stall_no_free_lane,
+        stall_zero_credits, stall_masked_arc};
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < obs::kStallCauseCount; ++c) {
+      if (counts[c] > counts[best]) best = c;
+    }
+    return static_cast<obs::StallCause>(best);
+  }
+  /// Fraction of delivered latencies past the histogram's covered range
+  /// (quantiles clamp there; see SimConfig::latency_histogram_buckets).
+  [[nodiscard]] double latency_overflow_fraction() const noexcept {
+    return latency_histogram.overflow_fraction();
+  }
+
   /// Correctly-delivered / injected, the fault-resilience headline
   /// (wrong-terminal ejections of detoured packets are subtracted).
   /// Defined as 0 when nothing was injected — like every other ratio
@@ -301,6 +367,15 @@ struct SimResult {
            static_cast<double>(injected);
   }
 };
+
+/// The latency-histogram bucket count FabricCore shapes a run's
+/// SimResult::latency_histogram with: the explicit
+/// SimConfig::latency_histogram_buckets when nonzero, else the
+/// auto-scale clamp(64 * stages * packet_length, 1024, 65536) capped at
+/// the run length + 2 (a latency cannot exceed the run) but never below
+/// the historic 1024 floor.
+[[nodiscard]] std::size_t latency_histogram_buckets(const SimConfig& config,
+                                                    int stages) noexcept;
 
 /// The simulator. Construction flattens the network into the stage-packed
 /// min::FlatWiring IR shared by both disciplines (and by the equivalence

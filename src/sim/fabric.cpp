@@ -80,6 +80,7 @@ PacketRing::PacketRing(std::size_t queues, std::size_t capacity)
       head_(queues, 0),
       count_(queues, 0),
       dest_(queues * capacity, 0),
+      src_(queues * capacity, 0),
       inject_(queues * capacity, 0),
       arrival_(queues * capacity, 0),
       sl_(queues * capacity, 0) {
@@ -96,13 +97,14 @@ void PacketRing::reset(std::size_t queues, std::size_t capacity) {
   head_.assign(queues, 0);
   count_.assign(queues, 0);
   dest_.assign(queues * capacity, 0);
+  src_.assign(queues * capacity, 0);
   inject_.assign(queues * capacity, 0);
   arrival_.assign(queues * capacity, 0);
   sl_.assign(queues * capacity, 0);
   total_ = 0;
 }
 
-void PacketRing::push_unc(std::size_t q, std::uint32_t dest,
+void PacketRing::push_unc(std::size_t q, std::uint32_t dest, std::uint32_t src,
                           std::uint64_t inject_cycle,
                           std::uint64_t arrival_complete, unsigned sl) {
   if (full(q)) {
@@ -110,16 +112,17 @@ void PacketRing::push_unc(std::size_t q, std::uint32_t dest,
   }
   const std::size_t at = q * capacity_ + wrap(head_[q] + count_[q]);
   dest_[at] = dest;
+  src_[at] = src;
   inject_[at] = inject_cycle;
   arrival_[at] = arrival_complete;
   sl_[at] = static_cast<std::uint8_t>(sl);
   ++count_[q];
 }
 
-void PacketRing::push(std::size_t q, std::uint32_t dest,
+void PacketRing::push(std::size_t q, std::uint32_t dest, std::uint32_t src,
                       std::uint64_t inject_cycle,
                       std::uint64_t arrival_complete, unsigned sl) {
-  push_unc(q, dest, inject_cycle, arrival_complete, sl);
+  push_unc(q, dest, src, inject_cycle, arrival_complete, sl);
   ++total_;
 }
 
@@ -267,6 +270,13 @@ FabricCore::FabricCore(const Engine& engine, Pattern pattern,
     burst_.emplace(terminals_, util::SplitMix64(config.seed).split(2),
                    config.burst);
   }
+  // Shape the latency histogram to this run instead of the historic
+  // fixed 1024-cycle ceiling, which deep or credit-throttled fabrics
+  // saturate (silently clamping p99 at the overflow edge). Bucket width
+  // stays 1 cycle; runs whose latencies fit the old ceiling keep the old
+  // shape, so their quantiles are unchanged.
+  result.latency_histogram =
+      Histogram(1.0, latency_histogram_buckets(config, stages_));
 }
 
 void FabricCore::finalize(std::uint64_t link_counter) {

@@ -177,13 +177,18 @@ class PacketRing {
   }
 
   /// Append a packet; the queue must not be full. \p sl is the packet's
-  /// service level (0 outside credit-mode runs).
-  void push(std::size_t q, std::uint32_t dest, std::uint64_t inject_cycle,
-            std::uint64_t arrival_complete, unsigned sl = 0);
+  /// service level (0 outside credit-mode runs), \p src its source
+  /// terminal (carried for flow attribution and packet tracing).
+  void push(std::size_t q, std::uint32_t dest, std::uint32_t src,
+            std::uint64_t inject_cycle, std::uint64_t arrival_complete,
+            unsigned sl = 0);
 
   /// Head-of-line packet fields; the queue must not be empty.
   [[nodiscard]] std::uint32_t front_dest(std::size_t q) const {
     return dest_[front_slot(q)];
+  }
+  [[nodiscard]] std::uint32_t front_src(std::size_t q) const {
+    return src_[front_slot(q)];
   }
   [[nodiscard]] std::uint64_t front_inject(std::size_t q) const {
     return inject_[front_slot(q)];
@@ -203,8 +208,9 @@ class PacketRing {
   /// mutate disjoint queue ranges concurrently, so the shared counter
   /// would be a data race — each worker tracks its +-delta locally and
   /// the driver reconciles. Queue state is identical to push()/pop().
-  void push_unc(std::size_t q, std::uint32_t dest, std::uint64_t inject_cycle,
-                std::uint64_t arrival_complete, unsigned sl = 0);
+  void push_unc(std::size_t q, std::uint32_t dest, std::uint32_t src,
+                std::uint64_t inject_cycle, std::uint64_t arrival_complete,
+                unsigned sl = 0);
   void pop_unc(std::size_t q);
 
   /// Packets currently buffered across every queue (O(1)).
@@ -225,6 +231,7 @@ class PacketRing {
   std::vector<std::uint32_t> head_;
   std::vector<std::uint32_t> count_;
   std::vector<std::uint32_t> dest_;
+  std::vector<std::uint32_t> src_;
   std::vector<std::uint64_t> inject_;
   std::vector<std::uint64_t> arrival_;
   std::vector<std::uint8_t> sl_;

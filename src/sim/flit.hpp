@@ -15,18 +15,23 @@
 namespace mineq::sim {
 
 /// One flow-control unit. Plain data; 16 bytes. The service level (sl)
-/// rides in bits carved out of the cycle counter: packets carry it from
-/// injection to ejection so credit-mode runs can report per-SL latency
-/// and map worms onto their virtual lane (see SimConfig::credits).
+/// and source terminal ride in bits carved out of the cycle counter:
+/// packets carry them from injection to ejection so credit-mode runs can
+/// report per-SL latency, worms map onto their virtual lane (see
+/// SimConfig::credits), and the observability layer can attribute
+/// delivered latency to its (source, destination) flow. 34 cycle bits
+/// bound runs at 2^34 cycles, 22 source bits at 2^22 terminals — both
+/// far past anything the simulators accept.
 struct Flit {
   std::uint32_t packet_id = 0;     ///< unique per injected packet
   std::uint32_t dest_terminal = 0; ///< copied from the packet
-  std::uint64_t inject_cycle : 56; ///< head's injection cycle
+  std::uint64_t inject_cycle : 34; ///< head's injection cycle
+  std::uint64_t src : 22;          ///< source (logical) terminal
   std::uint64_t sl : 6;            ///< service level (0 without credits)
   std::uint64_t head : 1;          ///< first flit of its packet
   std::uint64_t tail : 1;          ///< last flit of its packet
 
-  constexpr Flit() : inject_cycle(0), sl(0), head(0), tail(0) {}
+  constexpr Flit() : inject_cycle(0), src(0), sl(0), head(0), tail(0) {}
 
   [[nodiscard]] constexpr bool is_head() const noexcept { return head != 0; }
   [[nodiscard]] constexpr bool is_tail() const noexcept { return tail != 0; }
@@ -35,6 +40,7 @@ struct Flit {
 /// The \p index-th flit (0-based) of a packet of \p length flits.
 [[nodiscard]] constexpr Flit make_flit(std::uint32_t packet_id,
                                        std::uint32_t dest_terminal,
+                                       std::uint32_t src_terminal,
                                        std::uint64_t inject_cycle,
                                        std::size_t index,
                                        std::size_t length,
@@ -42,7 +48,8 @@ struct Flit {
   Flit flit;
   flit.packet_id = packet_id;
   flit.dest_terminal = dest_terminal;
-  flit.inject_cycle = inject_cycle & ((std::uint64_t{1} << 56) - 1);
+  flit.inject_cycle = inject_cycle & ((std::uint64_t{1} << 34) - 1);
+  flit.src = src_terminal & ((std::uint32_t{1} << 22) - 1);
   flit.sl = sl & 0x3FU;
   flit.head = index == 0 ? 1 : 0;
   flit.tail = index + 1 == length ? 1 : 0;

@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/observer.hpp"
 #include "sim/engine.hpp"
 #include "sim/fabric.hpp"
 #include "sim/flit.hpp"
@@ -48,6 +49,10 @@ namespace mineq::sim {
 struct SafEjectEvent {
   double latency = 0.0;
   unsigned sl = 0;  ///< service level (0 outside credit runs)
+  /// Flow identity for the observability recorders (0 when obs is off;
+  /// the replay only reads them on kObs instantiations).
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
 };
 
 /// Per-worker shard state, cache-line aligned so neighbouring workers'
@@ -72,6 +77,10 @@ struct alignas(64) ShardWorker {
   std::vector<Flit> wh_events;
   /// Wormhole per-VL buffered-flit partial (sample phase).
   std::vector<std::uint64_t> vl_flits;
+  /// This worker's observability sink (kObs instantiations only): set by
+  /// the policy's shard_eject each cycle, so the kernels never need the
+  /// worker index threaded through.
+  obs::WorkerLog* obs_log = nullptr;
 };
 
 /// The contiguous slice of \p total owned by worker \p w of \p n:

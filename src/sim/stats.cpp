@@ -70,6 +70,18 @@ void Histogram::add(double x) {
   }
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.bucket_width_ != bucket_width_ ||
+      other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: shape mismatch");
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 double Histogram::quantile(double q) const {
   if (q < 0.0 || q > 1.0) {
     throw std::invalid_argument("Histogram::quantile: q outside [0,1]");

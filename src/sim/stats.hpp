@@ -47,6 +47,20 @@ class Histogram {
     return counts_;
   }
   [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] double bucket_width() const noexcept { return bucket_width_; }
+  /// Fraction of the recorded mass past the covered range (0 when
+  /// empty) — the "did my quantiles clamp?" signal.
+  [[nodiscard]] double overflow_fraction() const noexcept {
+    return total_ == 0
+               ? 0.0
+               : static_cast<double>(overflow_) / static_cast<double>(total_);
+  }
+
+  /// Merge another histogram of identical shape into this one
+  /// (parallel-friendly; overflow mass merges too).
+  /// \throws std::invalid_argument on a bucket-width or bucket-count
+  /// mismatch.
+  void merge(const Histogram& other);
 
   /// Smallest x with cumulative fraction >= q (bucket upper edge).
   [[nodiscard]] double quantile(double q) const;

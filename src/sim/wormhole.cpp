@@ -1,10 +1,12 @@
 #include "sim/wormhole.hpp"
 
+#include <algorithm>
 #include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "multipath/looping.hpp"
+#include "obs/observer.hpp"
 #include "sim/fabric.hpp"
 #include "sim/multipath_select.hpp"
 #include "sim/shard.hpp"
@@ -50,7 +52,16 @@ namespace {
 /// lanes candidate lanes of each logical terminal. General-radix and
 /// credit-less: the binary and credit specializations never combine
 /// with it.
-template <bool kFaulted, bool kBinary, bool kCredits, bool kMultiPath>
+///
+/// \tparam kObs compile-time observability switch — same contract as
+/// StoreAndForwardPolicy (engine.cpp): the false instantiation carries
+/// no telemetry code at all, the true one feeds an obs::Observer with
+/// per-stage probe counters (per-flit hops here), trace events keyed by
+/// (cycle, intra-cycle phase), flow records at tail ejection, and a
+/// StallCause per blocked lane-cycle attributed in the same account
+/// scan that counts hol_blocking_cycles.
+template <bool kFaulted, bool kBinary, bool kCredits, bool kMultiPath,
+          bool kObs>
 class WormholePolicy {
   static_assert(!(kMultiPath && (kBinary || kCredits)),
                 "multipath instantiations are general-radix and credit-less");
@@ -59,6 +70,7 @@ class WormholePolicy {
   WormholePolicy(FabricCore& core, const EjectObserver& observer,
                  SimWorkspace& workspace,
                  [[maybe_unused]] const fault::FaultMask* mask,
+                 [[maybe_unused]] obs::Observer* obs,
                  [[maybe_unused]] const multipath::LoopingSettings* looping =
                      nullptr)
       : core_(core),
@@ -106,6 +118,14 @@ class WormholePolicy {
                                   lanes_));
       }
       core.result.sl_latency.resize(service_levels_);
+    }
+    if constexpr (kObs) {
+      obs_ = obs;
+      // One StallCause slot per physical lane; advance kernels re-zero
+      // exactly the source-stage ranges they probe each cycle (last-stage
+      // lanes only ever stall on lost eject arbitration, cause 0).
+      stall_cause_.assign(
+          static_cast<std::size_t>(core.stages()) * core.ports() * lanes_, 0);
     }
   }
 
@@ -170,6 +190,32 @@ class WormholePolicy {
           const bool counted =
               measuring && flit.inject_cycle >= core_.config().warmup_cycles;
           if (counted) ++res.flits_delivered;
+          if constexpr (kObs) {
+            if (measuring) {
+              ++obs_log<kShard>(wk).hops[static_cast<std::size_t>(last)];
+            }
+            if (flit.inject_cycle >= core_.config().warmup_cycles &&
+                obs_->traced(static_cast<std::uint32_t>(flit.src),
+                             flit.inject_cycle)) {
+              // Follow the head: its eject closes the last stage slice;
+              // the tail's eject completes the packet.
+              if (flit.is_head()) {
+                trace_push<kShard>(wk, cycle, flit.inject_cycle,
+                                   static_cast<std::uint32_t>(flit.src),
+                                   flit.dest_terminal,
+                                   obs::TraceEventKind::kStageEnd,
+                                   static_cast<std::uint8_t>(last), 0,
+                                   kEjectPhase);
+              }
+              if (flit.is_tail()) {
+                trace_push<kShard>(wk, cycle, flit.inject_cycle,
+                                   static_cast<std::uint32_t>(flit.src),
+                                   flit.dest_terminal,
+                                   obs::TraceEventKind::kPacketEnd, 0, 0,
+                                   kEjectPhase);
+              }
+            }
+          }
           if constexpr (kFaulted) {
             // A detoured worm ejects at whatever terminal the surviving
             // route reached; count the miss.
@@ -187,11 +233,19 @@ class WormholePolicy {
           } else {
             if (observer_) observer_(flit, cycle);
             if (counted && flit.is_tail()) {
-              core_.record_packet_delivered(
-                  static_cast<double>(cycle - flit.inject_cycle + 1));
+              const double latency =
+                  static_cast<double>(cycle - flit.inject_cycle + 1);
+              core_.record_packet_delivered(latency);
               if constexpr (kCredits) {
                 core_.result.sl_latency[static_cast<unsigned>(flit.sl)].add(
-                    static_cast<double>(cycle - flit.inject_cycle + 1));
+                    latency);
+              }
+              if constexpr (kObs) {
+                if (obs_->flows_on()) {
+                  obs_->record_flow(static_cast<std::uint32_t>(flit.src),
+                                    flit.dest_terminal,
+                                    static_cast<unsigned>(flit.sl), latency);
+                }
               }
             }
           }
@@ -200,10 +254,10 @@ class WormholePolicy {
       }
     }
     const std::size_t first = lane_index(last, 0, 0);
-    account_stage<kShard>(measuring,
+    account_stage<kShard>(cycle, measuring,
                           first + static_cast<std::size_t>(x0) * r * lanes_,
                           first + static_cast<std::size_t>(x1) * r * lanes_,
-                          wk);
+                          wk, last, eject_stall_phase(0));
   }
 
   /// Advance one switch stage: one flit per output link per cycle; heads
@@ -272,6 +326,17 @@ class WormholePolicy {
       arc_base = static_cast<std::size_t>(s) * core_.ports();
       mask = &faulted_.mask();
     }
+    if constexpr (kObs) {
+      // Stall causes default to lost-arbitration; the probe loop below
+      // overwrites the specific causes it detects.
+      const std::size_t sfirst = lane_index(s, 0, 0);
+      std::fill(
+          stall_cause_.begin() + sfirst + static_cast<std::size_t>(x0) * r *
+                                              lanes_,
+          stall_cause_.begin() + sfirst + static_cast<std::size_t>(x1) * r *
+                                              lanes_,
+          0);
+    }
     const unsigned candidates =
         static_cast<unsigned>(static_cast<std::size_t>(r) * lanes_);
     for (std::uint32_t x = x0; x < x1; ++x) {
@@ -323,21 +388,46 @@ class WormholePolicy {
                 down_lane = static_cast<int>(vl);
                 if (!pool_.idle(target_first +
                                 static_cast<std::size_t>(down_lane))) {
+                  if constexpr (kObs) {
+                    stall_cause_[l] = static_cast<std::uint8_t>(
+                        obs::StallCause::kNoFreeLane);
+                  }
                   continue;  // blocked: its lane is held by another worm
                 }
               } else {
                 down_lane = pool_.find_idle_lane(target_first, lanes_);
-                if (down_lane < 0) continue;  // blocked: no free lane
+                if (down_lane < 0) {
+                  if constexpr (kObs) {
+                    stall_cause_[l] = static_cast<std::uint8_t>(
+                        obs::StallCause::kNoFreeLane);
+                  }
+                  continue;  // blocked: no free lane
+                }
               }
               if (!credits_->available(
                       target_first + static_cast<std::size_t>(down_lane))) {
                 // Lane is free but its credits have not returned yet.
-                if (measuring) ++res.credit_stall_cycles;
+                if (measuring) {
+                  ++res.credit_stall_cycles;
+                  if constexpr (kObs) {
+                    ++obs_log<kShard>(wk).credit[static_cast<std::size_t>(s)];
+                  }
+                }
+                if constexpr (kObs) {
+                  stall_cause_[l] = static_cast<std::uint8_t>(
+                      obs::StallCause::kZeroCredits);
+                }
                 continue;
               }
             } else {
               down_lane = pool_.find_idle_lane(target_first, lanes_);
-              if (down_lane < 0) continue;  // blocked: no free lane
+              if (down_lane < 0) {
+                if constexpr (kObs) {
+                  stall_cause_[l] = static_cast<std::uint8_t>(
+                      obs::StallCause::kNoFreeLane);
+                }
+                continue;  // blocked: no free lane
+              }
             }
             const Flit flit = shard_pop<kShard>(l, wk);
             if constexpr (kCredits) credits_->give_back(l, cycle);
@@ -345,7 +435,25 @@ class WormholePolicy {
             accept_head<kShard>(
                 target_first + static_cast<std::size_t>(down_lane), flit,
                 s + 1, record / r, route_next(flit.dest_terminal), measuring,
-                wk);
+                wk, cycle, advance_phase(s));
+            if constexpr (kObs) {
+              if (flit.inject_cycle >= core_.config().warmup_cycles &&
+                  obs_->traced(static_cast<std::uint32_t>(flit.src),
+                               flit.inject_cycle)) {
+                trace_push<kShard>(wk, cycle, flit.inject_cycle,
+                                   static_cast<std::uint32_t>(flit.src),
+                                   flit.dest_terminal,
+                                   obs::TraceEventKind::kStageEnd,
+                                   static_cast<std::uint8_t>(s), 0,
+                                   advance_phase(s));
+                trace_push<kShard>(wk, cycle, flit.inject_cycle,
+                                   static_cast<std::uint32_t>(flit.src),
+                                   flit.dest_terminal,
+                                   obs::TraceEventKind::kStageBegin,
+                                   static_cast<std::uint8_t>(s + 1), 0,
+                                   advance_phase(s));
+              }
+            }
             if constexpr (kCredits) {
               credits_->consume(target_first +
                                 static_cast<std::size_t>(down_lane));
@@ -356,28 +464,48 @@ class WormholePolicy {
                 target_first + static_cast<std::size_t>(pool_.downstream(l));
             if constexpr (kCredits) {
               if (!credits_->available(down_l)) {
-                if (measuring) ++res.credit_stall_cycles;
+                if (measuring) {
+                  ++res.credit_stall_cycles;
+                  if constexpr (kObs) {
+                    ++obs_log<kShard>(wk).credit[static_cast<std::size_t>(s)];
+                  }
+                }
+                if constexpr (kObs) {
+                  stall_cause_[l] = static_cast<std::uint8_t>(
+                      obs::StallCause::kZeroCredits);
+                }
                 continue;
               }
               shard_accept<kShard>(down_l, shard_pop<kShard>(l, wk), wk);
               credits_->give_back(l, cycle);
               credits_->consume(down_l);
             } else {
-              if (!pool_.has_space(down_l)) continue;  // blocked: full
+              if (!pool_.has_space(down_l)) {
+                if constexpr (kObs) {
+                  stall_cause_[l] = static_cast<std::uint8_t>(
+                      obs::StallCause::kDownstreamFull);
+                }
+                continue;  // blocked: full
+              }
               shard_accept<kShard>(down_l, shard_pop<kShard>(l, wk), wk);
             }
           }
           arb_grant(s, x * r + port, c, vl);
-          if (measuring) shard_link_counter<kShard>(wk);
+          if (measuring) {
+            shard_link_counter<kShard>(wk);
+            if constexpr (kObs) {
+              ++obs_log<kShard>(wk).hops[static_cast<std::size_t>(s)];
+            }
+          }
           break;
         }
       }
     }
     const std::size_t first = lane_index(s, 0, 0);
-    account_stage<kShard>(measuring,
+    account_stage<kShard>(cycle, measuring,
                           first + static_cast<std::size_t>(x0) * r * lanes_,
                           first + static_cast<std::size_t>(x1) * r * lanes_,
-                          wk);
+                          wk, s, stall_phase(s));
   }
 
   /// Inject at the first stage: terminal t feeds slot t % r of cell
@@ -399,13 +527,18 @@ class WormholePolicy {
         bool room;
         if constexpr (kCredits) {
           room = credits_->available(l);
-          if (!room && measuring) ++core_.result.credit_stall_cycles;
+          if (!room && measuring) {
+            ++core_.result.credit_stall_cycles;
+            if constexpr (kObs) ++obs_->log(0).credit[0];
+          }
         } else {
           room = pool_.has_space(l);
         }
         if (room) {
-          pool_.accept(l, make_flit(src.id, src.dest, src.inject_cycle,
-                                    src.next_index, length_, src.sl));
+          pool_.accept(l, make_flit(src.id, src.dest,
+                                    static_cast<std::uint32_t>(t),
+                                    src.inject_cycle, src.next_index, length_,
+                                    src.sl));
           if constexpr (kCredits) credits_->consume(l);
           ++src.next_index;
           --src.remaining;
@@ -432,7 +565,10 @@ class WormholePolicy {
         }
         if (!credits_->available(
                 lane_index(0, t, static_cast<std::size_t>(lane)))) {
-          if (measuring) ++core_.result.credit_stall_cycles;
+          if (measuring) {
+            ++core_.result.credit_stall_cycles;
+            if constexpr (kObs) ++obs_->log(0).credit[0];
+          }
           continue;  // lane free, credits not returned yet
         }
       } else {
@@ -443,10 +579,11 @@ class WormholePolicy {
           core_.destination(static_cast<std::uint32_t>(t));
       const std::uint32_t id = next_packet_id_++;
       accept_head<false>(lane_index(0, t, static_cast<std::size_t>(lane)),
-                         make_flit(id, dest, cycle, 0, length_, sl), 0,
-                         static_cast<std::uint32_t>(t / r),
+                         make_flit(id, dest, static_cast<std::uint32_t>(t),
+                                   cycle, 0, length_, sl),
+                         0, static_cast<std::uint32_t>(t / r),
                          core_.engine().route_port(0, dest), measuring,
-                         nullptr);
+                         nullptr, cycle, inject_phase());
       if constexpr (kCredits) {
         credits_->consume(lane_index(0, t, static_cast<std::size_t>(lane)));
       }
@@ -460,6 +597,20 @@ class WormholePolicy {
       if (measuring) {
         ++core_.result.injected;
         ++core_.result.flits_injected;
+        if constexpr (kObs) {
+          // Injection is always a serial phase: log 0 is the sink in
+          // both drivers, keeping trace bytes thread-count invariant.
+          if (obs_->traced(static_cast<std::uint32_t>(t), cycle)) {
+            trace_push<false>(nullptr, cycle, cycle,
+                              static_cast<std::uint32_t>(t), dest,
+                              obs::TraceEventKind::kPacketBegin, 0, 0,
+                              inject_phase());
+            trace_push<false>(nullptr, cycle, cycle,
+                              static_cast<std::uint32_t>(t), dest,
+                              obs::TraceEventKind::kStageBegin, 0, 0,
+                              inject_phase());
+          }
+        }
       }
     }
   }
@@ -477,7 +628,8 @@ class WormholePolicy {
   /// audits the credit invariant and counts per-VL flits into the
   /// worker's buffers.
   template <bool kShard>
-  void sample_impl(std::uint64_t /*cycle*/, [[maybe_unused]] std::size_t w,
+  void sample_impl([[maybe_unused]] std::uint64_t cycle,
+                   [[maybe_unused]] std::size_t w,
                    [[maybe_unused]] std::size_t n,
                    [[maybe_unused]] ShardWorker* wk) {
     if constexpr (!kShard) {
@@ -523,6 +675,9 @@ class WormholePolicy {
         }
       }
     }
+    if constexpr (kObs && !kShard) {
+      if (obs_->want_probe(cycle)) commit_probe_window(cycle);
+    }
   }
 
   [[nodiscard]] std::uint64_t buffered_flits() const {
@@ -551,6 +706,7 @@ class WormholePolicy {
 
   void shard_eject(std::uint64_t cycle, bool measuring, std::size_t w,
                    std::size_t n, ShardWorker& wk) {
+    if constexpr (kObs) wk.obs_log = &obs_->log(w);
     if constexpr (kMultiPath) {
       const auto range = shard_range(lcells_, w, n);
       eject_multipath_impl<true>(cycle, measuring,
@@ -591,11 +747,19 @@ class WormholePolicy {
         if (measuring &&
             flit.inject_cycle >= core_.config().warmup_cycles &&
             flit.is_tail()) {
-          core_.record_packet_delivered(
-              static_cast<double>(cycle - flit.inject_cycle + 1));
+          const double latency =
+              static_cast<double>(cycle - flit.inject_cycle + 1);
+          core_.record_packet_delivered(latency);
           if constexpr (kCredits) {
             core_.result.sl_latency[static_cast<unsigned>(flit.sl)].add(
-                static_cast<double>(cycle - flit.inject_cycle + 1));
+                latency);
+          }
+          if constexpr (kObs) {
+            if (obs_->flows_on()) {
+              obs_->record_flow(static_cast<std::uint32_t>(flit.src),
+                                flit.dest_terminal,
+                                static_cast<unsigned>(flit.sl), latency);
+            }
           }
         }
       }
@@ -612,7 +776,7 @@ class WormholePolicy {
 
   /// Worker 0 only: the order-sensitive occupancy adds over pool-wide
   /// totals reconciled from the workers' deltas and per-VL counts.
-  void shard_sample_reduce(std::uint64_t /*cycle*/,
+  void shard_sample_reduce([[maybe_unused]] std::uint64_t cycle,
                            std::vector<ShardWorker>& workers) {
     std::int64_t delta = 0;
     for (const ShardWorker& wk : workers) delta += wk.pool_delta;
@@ -633,6 +797,9 @@ class WormholePolicy {
                                           slots_per_vl);
       }
     }
+    if constexpr (kObs) {
+      if (obs_->want_probe(cycle)) commit_probe_window(cycle);
+    }
   }
 
   /// Sum every worker's order-independent partial into the core result.
@@ -648,6 +815,11 @@ class WormholePolicy {
       core_.result.packets_rerouted += p.packets_rerouted;
       core_.result.packets_misdelivered += p.packets_misdelivered;
       core_.result.path_reroutes += p.path_reroutes;
+      core_.result.stall_lost_arbitration += p.stall_lost_arbitration;
+      core_.result.stall_downstream_full += p.stall_downstream_full;
+      core_.result.stall_no_free_lane += p.stall_no_free_lane;
+      core_.result.stall_zero_credits += p.stall_zero_credits;
+      core_.result.stall_masked_arc += p.stall_masked_arc;
       link_flit_hops_ += wk.link_counter;
       shard_pool_delta_ += wk.pool_delta;
     }
@@ -771,6 +943,30 @@ class WormholePolicy {
           const bool counted =
               measuring && flit.inject_cycle >= core_.config().warmup_cycles;
           if (counted) ++res.flits_delivered;
+          if constexpr (kObs) {
+            if (measuring) {
+              ++obs_log<kShard>(wk).hops[static_cast<std::size_t>(last)];
+            }
+            if (flit.inject_cycle >= core_.config().warmup_cycles &&
+                obs_->traced(static_cast<std::uint32_t>(flit.src),
+                             flit.inject_cycle)) {
+              if (flit.is_head()) {
+                trace_push<kShard>(wk, cycle, flit.inject_cycle,
+                                   static_cast<std::uint32_t>(flit.src),
+                                   flit.dest_terminal,
+                                   obs::TraceEventKind::kStageEnd,
+                                   static_cast<std::uint8_t>(last), 0,
+                                   kEjectPhase);
+              }
+              if (flit.is_tail()) {
+                trace_push<kShard>(wk, cycle, flit.inject_cycle,
+                                   static_cast<std::uint32_t>(flit.src),
+                                   flit.dest_terminal,
+                                   obs::TraceEventKind::kPacketEnd, 0, 0,
+                                   kEjectPhase);
+              }
+            }
+          }
           if constexpr (kFaulted) {
             if (counted && flit.is_tail() &&
                 (flit.dest_terminal / lradix_) != lx) {
@@ -784,8 +980,15 @@ class WormholePolicy {
           } else {
             if (observer_) observer_(flit, cycle);
             if (counted && flit.is_tail()) {
-              core_.record_packet_delivered(
-                  static_cast<double>(cycle - flit.inject_cycle + 1));
+              const double latency =
+                  static_cast<double>(cycle - flit.inject_cycle + 1);
+              core_.record_packet_delivered(latency);
+              if constexpr (kObs) {
+                if (obs_->flows_on()) {
+                  obs_->record_flow(static_cast<std::uint32_t>(flit.src),
+                                    flit.dest_terminal, 0, latency);
+                }
+              }
             }
           }
           break;
@@ -798,9 +1001,10 @@ class WormholePolicy {
       const std::size_t run =
           static_cast<std::size_t>(plane) * lcells_ * r * lanes_;
       account_stage<kShard>(
-          measuring,
+          cycle, measuring,
           first + run + static_cast<std::size_t>(lx0) * r * lanes_,
-          first + run + static_cast<std::size_t>(lx1) * r * lanes_, wk);
+          first + run + static_cast<std::size_t>(lx1) * r * lanes_, wk, last,
+          eject_stall_phase(plane));
     }
   }
 
@@ -847,6 +1051,15 @@ class WormholePolicy {
       arc_base = static_cast<std::size_t>(s) * core_.ports();
       mask = &faulted_.mask();
     }
+    if constexpr (kObs) {
+      const std::size_t sfirst = lane_index(s, 0, 0);
+      std::fill(
+          stall_cause_.begin() + sfirst + static_cast<std::size_t>(x0) * r *
+                                              lanes_,
+          stall_cause_.begin() + sfirst + static_cast<std::size_t>(x1) * r *
+                                              lanes_,
+          0);
+    }
     const unsigned candidates =
         static_cast<unsigned>(static_cast<std::size_t>(r) * lanes_);
     for (std::uint32_t x = x0; x < x1; ++x) {
@@ -862,7 +1075,13 @@ class WormholePolicy {
           const std::size_t target_first = lane_index(s + 1, record, 0);
           if (pool_.front(l).is_head()) {
             const int down_lane = pool_.find_idle_lane(target_first, lanes_);
-            if (down_lane < 0) continue;  // blocked: no free lane
+            if (down_lane < 0) {
+              if constexpr (kObs) {
+                stall_cause_[l] = static_cast<std::uint8_t>(
+                    obs::StallCause::kNoFreeLane);
+              }
+              continue;  // blocked: no free lane
+            }
             const Flit flit = shard_pop<kShard>(l, wk);
             if (!flit.is_tail()) pool_.set_downstream(l, down_lane);
             unsigned desired;
@@ -885,30 +1104,72 @@ class WormholePolicy {
             }
             accept_head<kShard>(
                 target_first + static_cast<std::size_t>(down_lane), flit,
-                s + 1, record / r, desired, measuring, wk);
+                s + 1, record / r, desired, measuring, wk, cycle,
+                advance_phase(s));
+            if constexpr (kObs) {
+              if (flit.inject_cycle >= core_.config().warmup_cycles &&
+                  obs_->traced(static_cast<std::uint32_t>(flit.src),
+                               flit.inject_cycle)) {
+                trace_push<kShard>(wk, cycle, flit.inject_cycle,
+                                   static_cast<std::uint32_t>(flit.src),
+                                   flit.dest_terminal,
+                                   obs::TraceEventKind::kStageEnd,
+                                   static_cast<std::uint8_t>(s), 0,
+                                   advance_phase(s));
+                trace_push<kShard>(wk, cycle, flit.inject_cycle,
+                                   static_cast<std::uint32_t>(flit.src),
+                                   flit.dest_terminal,
+                                   obs::TraceEventKind::kStageBegin,
+                                   static_cast<std::uint8_t>(s + 1), 0,
+                                   advance_phase(s));
+              }
+            }
             if constexpr (kFaulted) {
               if (reroute_kind == 1 && measuring &&
                   flit.inject_cycle >= core_.config().warmup_cycles) {
                 ++res.path_reroutes;
+                if constexpr (kObs) {
+                  ++obs_log<kShard>(wk).reroute[static_cast<std::size_t>(s)];
+                  if (obs_->traced(static_cast<std::uint32_t>(flit.src),
+                                   flit.inject_cycle)) {
+                    trace_push<kShard>(wk, cycle, flit.inject_cycle,
+                                       static_cast<std::uint32_t>(flit.src),
+                                       flit.dest_terminal,
+                                       obs::TraceEventKind::kReroute,
+                                       static_cast<std::uint8_t>(s), 0,
+                                       advance_phase(s));
+                  }
+                }
               }
             }
           } else {
             const std::size_t down_l =
                 target_first + static_cast<std::size_t>(pool_.downstream(l));
-            if (!pool_.has_space(down_l)) continue;  // blocked: full
+            if (!pool_.has_space(down_l)) {
+              if constexpr (kObs) {
+                stall_cause_[l] = static_cast<std::uint8_t>(
+                    obs::StallCause::kDownstreamFull);
+              }
+              continue;  // blocked: full
+            }
             shard_accept<kShard>(down_l, shard_pop<kShard>(l, wk), wk);
           }
           arb_grant(s, x * r + port, c, 0);
-          if (measuring) shard_link_counter<kShard>(wk);
+          if (measuring) {
+            shard_link_counter<kShard>(wk);
+            if constexpr (kObs) {
+              ++obs_log<kShard>(wk).hops[static_cast<std::size_t>(s)];
+            }
+          }
           break;
         }
       }
     }
     const std::size_t first = lane_index(s, 0, 0);
-    account_stage<kShard>(measuring,
+    account_stage<kShard>(cycle, measuring,
                           first + static_cast<std::size_t>(x0) * r * lanes_,
                           first + static_cast<std::size_t>(x1) * r * lanes_,
-                          wk);
+                          wk, s, stall_phase(s));
   }
 
   /// Multipath injection: logical terminal t feeds physical input slot
@@ -942,8 +1203,10 @@ class WormholePolicy {
         const std::size_t l =
             lane_index(0, src.port, static_cast<std::size_t>(src.lane));
         if (pool_.has_space(l)) {
-          pool_.accept(l, make_flit(src.id, src.dest, src.inject_cycle,
-                                    src.next_index, length_, src.sl));
+          pool_.accept(l, make_flit(src.id, src.dest,
+                                    static_cast<std::uint32_t>(t),
+                                    src.inject_cycle, src.next_index, length_,
+                                    src.sl));
           ++src.next_index;
           --src.remaining;
           if (measuring) ++core_.result.flits_injected;
@@ -991,7 +1254,8 @@ class WormholePolicy {
       }
       if (lane < 0) continue;  // refused at source
       const std::uint32_t id = next_packet_id_++;
-      const Flit head = make_flit(id, dest, cycle, 0, length_, 0);
+      const Flit head = make_flit(id, dest, static_cast<std::uint32_t>(t),
+                                  cycle, 0, length_, 0);
       int reroute_kind = 0;
       const unsigned desired = select_next_port(
           0, static_cast<std::uint32_t>(port_index), head,
@@ -1004,11 +1268,20 @@ class WormholePolicy {
       accept_head<false>(
           lane_index(0, port_index, static_cast<std::size_t>(lane)), head, 0,
           static_cast<std::uint32_t>(port_index / r), desired, measuring,
-          nullptr);
+          nullptr, cycle, inject_phase());
       if constexpr (kFaulted) {
         if (reroute_kind == 1 && measuring &&
             cycle >= core_.config().warmup_cycles) {
           ++core_.result.path_reroutes;
+          if constexpr (kObs) {
+            ++obs_->log(0).reroute[0];
+            if (obs_->traced(static_cast<std::uint32_t>(t), cycle)) {
+              trace_push<false>(nullptr, cycle, cycle,
+                                static_cast<std::uint32_t>(t), dest,
+                                obs::TraceEventKind::kReroute, 0, 0,
+                                inject_phase());
+            }
+          }
         }
       }
       src.dest = dest;
@@ -1022,6 +1295,18 @@ class WormholePolicy {
       if (measuring) {
         ++core_.result.injected;
         ++core_.result.flits_injected;
+        if constexpr (kObs) {
+          if (obs_->traced(static_cast<std::uint32_t>(t), cycle)) {
+            trace_push<false>(nullptr, cycle, cycle,
+                              static_cast<std::uint32_t>(t), dest,
+                              obs::TraceEventKind::kPacketBegin, 0, 0,
+                              inject_phase());
+            trace_push<false>(nullptr, cycle, cycle,
+                              static_cast<std::uint32_t>(t), dest,
+                              obs::TraceEventKind::kStageBegin, 0, 0,
+                              inject_phase());
+          }
+        }
       }
     }
   }
@@ -1153,7 +1438,9 @@ class WormholePolicy {
   template <bool kShard>
   void accept_head(std::size_t l, const Flit& head, int s, std::uint32_t y,
                    unsigned desired, [[maybe_unused]] bool measuring,
-                   [[maybe_unused]] ShardWorker* wk) {
+                   [[maybe_unused]] ShardWorker* wk,
+                   [[maybe_unused]] std::uint64_t cycle,
+                   [[maybe_unused]] std::uint8_t phase) {
     if constexpr (kFaulted) {
       if (s + 1 < core_.stages()) {
         const int port = faulted_.usable_port(s, y, desired);
@@ -1167,6 +1454,19 @@ class WormholePolicy {
         if (static_cast<unsigned>(port) != desired && measuring &&
             head.inject_cycle >= core_.config().warmup_cycles) {
           ++shard_result<kShard>(wk).packets_rerouted;
+          if constexpr (kObs) {
+            // Charged to the stage whose out-port detoured (the one the
+            // head just entered); the trace event carries the same stage.
+            ++obs_log<kShard>(wk).reroute[static_cast<std::size_t>(s)];
+            if (obs_->traced(static_cast<std::uint32_t>(head.src),
+                             head.inject_cycle)) {
+              trace_push<kShard>(wk, cycle, head.inject_cycle,
+                                 static_cast<std::uint32_t>(head.src),
+                                 head.dest_terminal,
+                                 obs::TraceEventKind::kReroute,
+                                 static_cast<std::uint8_t>(s), 0, phase);
+            }
+          }
         }
         shard_accept_head<kShard>(l, head, static_cast<unsigned>(port), wk);
         return;
@@ -1202,6 +1502,26 @@ class WormholePolicy {
         if (measuring && flit.inject_cycle >= core_.config().warmup_cycles) {
           ++res.flits_dropped_faulted;
           if (flit.is_head()) ++res.packets_dropped_faulted;
+          if constexpr (kObs) {
+            if (flit.is_head() &&
+                obs_->traced(static_cast<std::uint32_t>(flit.src),
+                             flit.inject_cycle)) {
+              const std::uint8_t phase = drain_phase(s);
+              const auto src = static_cast<std::uint32_t>(flit.src);
+              trace_push<kShard>(wk, cycle, flit.inject_cycle, src,
+                                 flit.dest_terminal,
+                                 obs::TraceEventKind::kStageEnd,
+                                 static_cast<std::uint8_t>(s), 0, phase);
+              trace_push<kShard>(wk, cycle, flit.inject_cycle, src,
+                                 flit.dest_terminal,
+                                 obs::TraceEventKind::kDrop,
+                                 static_cast<std::uint8_t>(s), 0, phase);
+              trace_push<kShard>(wk, cycle, flit.inject_cycle, src,
+                                 flit.dest_terminal,
+                                 obs::TraceEventKind::kPacketEnd, 0, 0,
+                                 phase);
+            }
+          }
         }
         if (flit.is_tail()) dropping_[l] = 0;
       }
@@ -1212,16 +1532,147 @@ class WormholePolicy {
   /// per-cycle movement flags. Called right after the stage had its
   /// switching (or ejection) opportunity, before upstream pushes refill
   /// it; sharded callers pass exactly their writer partition.
+  /// kObs: the same scan charges each stalled lane-cycle to its recorded
+  /// StallCause, so the per-cause counters partition hol_blocking_cycles
+  /// exactly — no separate bookkeeping to drift.
   template <bool kShard>
-  void account_stage(bool measuring, std::size_t lo, std::size_t hi,
-                     ShardWorker* wk) {
+  void account_stage([[maybe_unused]] std::uint64_t cycle, bool measuring,
+                     std::size_t lo, std::size_t hi, ShardWorker* wk,
+                     [[maybe_unused]] int stage,
+                     [[maybe_unused]] std::uint8_t phase) {
     SimResult& res = shard_result<kShard>(wk);
     for (std::size_t l = lo; l < hi; ++l) {
       if (measuring && !pool_.empty(l) && !pool_.moved(l)) {
         ++res.hol_blocking_cycles;
+        if constexpr (kObs) {
+          attribute_stall<kShard>(stage, cycle, l, wk, phase);
+        }
       }
       pool_.clear_moved(l);
     }
+  }
+
+  /// kObs only: one stalled lane-cycle's telemetry — the per-cause
+  /// SimResult counter, the per-stage probe counter, and a stall instant
+  /// for traced packets.
+  template <bool kShard>
+  void attribute_stall(int s, std::uint64_t cycle, std::size_t l,
+                       ShardWorker* wk, std::uint8_t phase) {
+    SimResult& res = shard_result<kShard>(wk);
+    const auto cause = static_cast<obs::StallCause>(stall_cause_[l]);
+    switch (cause) {
+      case obs::StallCause::kLostArbitration:
+        ++res.stall_lost_arbitration;
+        break;
+      case obs::StallCause::kDownstreamFull:
+        ++res.stall_downstream_full;
+        break;
+      case obs::StallCause::kNoFreeLane:
+        ++res.stall_no_free_lane;
+        break;
+      case obs::StallCause::kZeroCredits:
+        ++res.stall_zero_credits;
+        break;
+      case obs::StallCause::kMaskedArc:
+        ++res.stall_masked_arc;
+        break;
+    }
+    ++obs_log<kShard>(wk).hol[static_cast<std::size_t>(s)];
+    if (obs_->trace_on()) {
+      const Flit& flit = pool_.front(l);
+      const auto ic = static_cast<std::uint64_t>(flit.inject_cycle);
+      const auto src = static_cast<std::uint32_t>(flit.src);
+      if (ic >= core_.config().warmup_cycles && obs_->traced(src, ic)) {
+        trace_push<kShard>(wk, cycle, ic, src, flit.dest_terminal,
+                           obs::TraceEventKind::kStall,
+                           static_cast<std::uint8_t>(s),
+                           static_cast<std::uint8_t>(cause), phase);
+      }
+    }
+  }
+
+  // --- Observability helpers (kObs instantiations only) ----------------
+
+  /// The WorkerLog the current kernel writes: the worker's own sink on
+  /// sharded runs (shard_eject re-binds it every cycle), log 0 serially.
+  template <bool kShard>
+  [[nodiscard]] obs::WorkerLog& obs_log([[maybe_unused]] ShardWorker* wk) {
+    if constexpr (kShard) {
+      return *wk->obs_log;
+    } else {
+      return obs_->log(0);
+    }
+  }
+
+  /// Append one trace event to the current worker's buffer, tagged with
+  /// its (cycle, phase) sort key. Callers have already checked
+  /// Observer::traced for the packet.
+  template <bool kShard>
+  void trace_push(ShardWorker* wk, std::uint64_t cycle,
+                  std::uint64_t inject_cycle, std::uint32_t src,
+                  std::uint32_t dst, obs::TraceEventKind kind,
+                  std::uint8_t stage, std::uint8_t cause,
+                  std::uint8_t phase) {
+    obs::TraceEvent event;
+    event.cycle = cycle;
+    event.inject_cycle = inject_cycle;
+    event.src = src;
+    event.dst = dst;
+    event.kind = kind;
+    event.stage = stage;
+    event.cause = cause;
+    event.phase = phase;
+    obs_log<kShard>(wk).events.push_back(event);
+  }
+
+  // Phase ordinals (TraceEvent::phase) — the same numbering as
+  // StoreAndForwardPolicy (engine.cpp): eject moves, the per-plane eject
+  // HOL scans, then per advance stage s (walked S-2 down to 0) a
+  // drain / moves / HOL-scan triple, and injection last — so the sharded
+  // (cycle, phase) stable sort reproduces the serial emission order.
+  static constexpr std::uint8_t kEjectPhase = 0;
+  [[nodiscard]] std::uint8_t eject_stall_phase(unsigned plane) const noexcept {
+    return static_cast<std::uint8_t>(1 + plane);
+  }
+  [[nodiscard]] std::uint8_t advance_base(int s) const noexcept {
+    return static_cast<std::uint8_t>(
+        1 + planes_ +
+        3 * static_cast<unsigned>(core_.stages() - 2 - s));
+  }
+  [[nodiscard]] std::uint8_t drain_phase(int s) const noexcept {
+    return advance_base(s);
+  }
+  [[nodiscard]] std::uint8_t advance_phase(int s) const noexcept {
+    return static_cast<std::uint8_t>(advance_base(s) + 1);
+  }
+  [[nodiscard]] std::uint8_t stall_phase(int s) const noexcept {
+    return static_cast<std::uint8_t>(advance_base(s) + 2);
+  }
+  [[nodiscard]] std::uint8_t inject_phase() const noexcept {
+    return static_cast<std::uint8_t>(
+        1 + planes_ + 3 * static_cast<unsigned>(core_.stages() - 1));
+  }
+
+  /// Close a probe window (serial sample phase / worker 0's sample
+  /// reduce): fill the observer's scratch with the per-(stage, cell)
+  /// buffered flit counts and commit.
+  void commit_probe_window(std::uint64_t cycle) {
+    std::vector<std::uint32_t>& scratch = obs_->occupancy_scratch();
+    const unsigned r = radix();
+    const int stages = core_.stages();
+    const std::uint32_t cells = core_.cells();
+    for (int s = 0; s < stages; ++s) {
+      for (std::uint32_t x = 0; x < cells; ++x) {
+        std::uint32_t occupied = 0;
+        for (unsigned slot = 0; slot < r; ++slot) {
+          for (std::size_t ln = 0; ln < lanes_; ++ln) {
+            occupied += pool_.count(lane_index(s, x * r + slot, ln));
+          }
+        }
+        scratch[static_cast<std::size_t>(s) * cells + x] = occupied;
+      }
+    }
+    obs_->commit_probe(cycle);
   }
 
   FabricCore& core_;
@@ -1249,22 +1700,50 @@ class WormholePolicy {
   PathPolicy path_policy_ = PathPolicy::kHash;       // kMultiPath only
   const multipath::LoopingSettings* looping_ = nullptr;  // kMultiPath only
   const std::uint8_t* free_stage_ = nullptr;         // kMultiPath only
+  obs::Observer* obs_ = nullptr;                     // kObs only
+  /// Per-lane StallCause scratch, written by the advance probe loops and
+  /// read by account_stage's attribution — same writer partition as the
+  /// lanes themselves.
+  std::vector<std::uint8_t> stall_cause_;            // kObs only
 };
 
 /// Out of line on purpose — see run_saf in engine.cpp.
-template <bool kFaulted, bool kBinary, bool kCredits, bool kMultiPath>
+template <bool kFaulted, bool kBinary, bool kCredits, bool kMultiPath,
+          bool kObs>
 #if defined(__GNUC__)
 [[gnu::noinline]]
 #endif
 SimResult
-run_wormhole(FabricCore& core, const EjectObserver& observer,
-             SimWorkspace& workspace, const fault::FaultMask* mask,
-             const multipath::LoopingSettings* looping = nullptr) {
-  WormholePolicy<kFaulted, kBinary, kCredits, kMultiPath> policy(
-      core, observer, workspace, mask, looping);
+run_wormhole_impl(FabricCore& core, const EjectObserver& observer,
+                  SimWorkspace& workspace, const fault::FaultMask* mask,
+                  obs::Observer* obs,
+                  const multipath::LoopingSettings* looping) {
+  WormholePolicy<kFaulted, kBinary, kCredits, kMultiPath, kObs> policy(
+      core, observer, workspace, mask, obs, looping);
   const std::size_t threads = core.config().sim_threads;
-  if (threads > 1) return run_switched_sharded(core, policy, threads);
-  return run_switched(core, policy);
+  SimResult result = threads > 1 ? run_switched_sharded(core, policy, threads)
+                                 : run_switched(core, policy);
+  if constexpr (kObs) {
+    result.probes = obs->take_probes();
+    if (obs->flows_on()) result.flows = obs->flow_summary();
+    result.trace = obs->take_trace();
+  }
+  return result;
+}
+
+/// The obs fork: an absent observer dispatches to the kObs=false
+/// instantiation — byte for byte the pre-observability policy.
+template <bool kFaulted, bool kBinary, bool kCredits, bool kMultiPath>
+SimResult run_wormhole(FabricCore& core, const EjectObserver& observer,
+                       SimWorkspace& workspace, const fault::FaultMask* mask,
+                       obs::Observer* obs,
+                       const multipath::LoopingSettings* looping = nullptr) {
+  if (obs != nullptr) {
+    return run_wormhole_impl<kFaulted, kBinary, kCredits, kMultiPath, true>(
+        core, observer, workspace, mask, obs, looping);
+  }
+  return run_wormhole_impl<kFaulted, kBinary, kCredits, kMultiPath, false>(
+      core, observer, workspace, mask, nullptr, looping);
 }
 
 }  // namespace
@@ -1291,6 +1770,31 @@ SimResult WormholeSimulator::run(Pattern pattern, const SimConfig& config,
   }
   SimWorkspace local;
   SimWorkspace& ws = workspace != nullptr ? *workspace : local;
+  // The observer outlives the policy — same construction as Engine::run
+  // (worker-log count matches the shard team clamp; flit slots per stage
+  // replace packet slots in the occupancy normalization).
+  std::optional<obs::Observer> observer_state;
+  if (config.obs.any()) {
+    config.obs.validate(engine_.terminals());
+    const auto& wiring = engine_.wiring();
+    const std::size_t workers =
+        config.sim_threads > 1
+            ? std::min<std::size_t>(
+                  config.sim_threads,
+                  std::max<std::uint32_t>(1, wiring.cells_per_stage()))
+            : 1;
+    const std::size_t ports = static_cast<std::size_t>(wiring.radix()) *
+                              wiring.cells_per_stage();
+    observer_state.emplace(
+        config.obs, wiring.stages(), wiring.cells_per_stage(), ports,
+        static_cast<std::uint32_t>(engine_.terminals()), config.warmup_cycles,
+        config.measure_cycles, workers,
+        latency_histogram_buckets(config, wiring.stages()),
+        config.credits.enabled ? config.credits.service_levels() : 1,
+        static_cast<double>(ports) * static_cast<double>(config.lanes) *
+            static_cast<double>(config.lane_depth));
+  }
+  obs::Observer* obs = observer_state.has_value() ? &*observer_state : nullptr;
   if (engine_.multipath()) {
     if (config.credits.enabled) {
       throw std::invalid_argument(
@@ -1311,10 +1815,10 @@ SimResult WormholeSimulator::run(Pattern pattern, const SimConfig& config,
         static_cast<unsigned>(static_cast<std::size_t>(engine_.planes()) *
                               engine_.radix() * config.lanes));
     return faulted ? run_wormhole<true, false, false, true>(core, observer,
-                                                            ws, mask,
+                                                            ws, mask, obs,
                                                             settings)
                    : run_wormhole<false, false, false, true>(
-                         core, observer, ws, nullptr, settings);
+                         core, observer, ws, nullptr, obs, settings);
   }
   FabricCore core(
       engine_, pattern, config,
@@ -1325,25 +1829,25 @@ SimResult WormholeSimulator::run(Pattern pattern, const SimConfig& config,
   if (faulted) {
     if (credits) {
       return binary ? run_wormhole<true, true, true, false>(core, observer,
-                                                            ws, mask)
+                                                            ws, mask, obs)
                     : run_wormhole<true, false, true, false>(core, observer,
-                                                             ws, mask);
+                                                             ws, mask, obs);
     }
     return binary ? run_wormhole<true, true, false, false>(core, observer,
-                                                           ws, mask)
+                                                           ws, mask, obs)
                   : run_wormhole<true, false, false, false>(core, observer,
-                                                            ws, mask);
+                                                            ws, mask, obs);
   }
   if (credits) {
     return binary ? run_wormhole<false, true, true, false>(core, observer,
-                                                           ws, nullptr)
+                                                           ws, nullptr, obs)
                   : run_wormhole<false, false, true, false>(core, observer,
-                                                            ws, nullptr);
+                                                            ws, nullptr, obs);
   }
   return binary ? run_wormhole<false, true, false, false>(core, observer, ws,
-                                                          nullptr)
-                : run_wormhole<false, false, false, false>(core, observer, ws,
-                                                           nullptr);
+                                                          nullptr, obs)
+                : run_wormhole<false, false, false, false>(
+                      core, observer, ws, nullptr, obs);
 }
 
 }  // namespace mineq::sim

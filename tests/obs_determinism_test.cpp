@@ -1,0 +1,186 @@
+/// \file obs_determinism_test.cpp
+/// \brief Observability under the megafabric: every rendered artifact —
+/// probe series, heatmap, flow table, trace JSON — and every stall
+/// counter must be byte-identical at any sim_threads, for both switching
+/// disciplines and every policy instantiation. The comparisons are
+/// string-equality on the rendered bytes, the strongest form of the
+/// determinism contract.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "fault/fault_model.hpp"
+#include "min/networks.hpp"
+#include "multipath/multipath_wiring.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace mineq::sim {
+namespace {
+
+using fault::FaultKind;
+using fault::FaultMask;
+using fault::FaultSpec;
+using min::MultiPathWiring;
+using min::NetworkKind;
+
+constexpr std::size_t kThreadCounts[] = {2, 5, 8};
+
+/// Every observability artifact of one run, rendered to bytes.
+struct ObsArtifacts {
+  std::string probes;
+  std::string heatmap;
+  std::string flows;
+  std::string trace;
+  std::uint64_t hol = 0;
+  std::uint64_t lost_arb = 0;
+  std::uint64_t downstream_full = 0;
+  std::uint64_t no_free_lane = 0;
+  std::uint64_t zero_credits = 0;
+  std::uint64_t masked_arc = 0;
+};
+
+[[nodiscard]] ObsArtifacts render(const SimResult& result) {
+  ObsArtifacts a;
+  a.probes = result.probes.csv();
+  a.heatmap = result.probes.heatmap_csv();
+  a.flows = result.flows.csv();
+  a.trace = obs::trace_json(result.trace, 0, "determinism");
+  a.hol = result.hol_blocking_cycles;
+  a.lost_arb = result.stall_lost_arbitration;
+  a.downstream_full = result.stall_downstream_full;
+  a.no_free_lane = result.stall_no_free_lane;
+  a.zero_credits = result.stall_zero_credits;
+  a.masked_arc = result.stall_masked_arc;
+  return a;
+}
+
+/// Run \p config serially and at each thread count; the rendered
+/// artifacts must match byte for byte and the stall split must stay an
+/// exact partition throughout.
+void expect_obs_identical(const Engine& engine, Pattern pattern,
+                          SimConfig config,
+                          const FaultMask* mask = nullptr) {
+  config.obs.probe_stride = 25;
+  config.obs.flow_stats = true;
+  config.obs.trace_sample = 4;
+  config.sim_threads = 1;
+  const ObsArtifacts serial = render(engine.run(pattern, config, mask));
+  EXPECT_FALSE(serial.probes.empty());
+  EXPECT_FALSE(serial.flows.empty());
+  EXPECT_EQ(serial.lost_arb + serial.downstream_full + serial.no_free_lane +
+                serial.zero_credits + serial.masked_arc,
+            serial.hol);
+  for (const std::size_t threads : kThreadCounts) {
+    SCOPED_TRACE(testing::Message() << "sim_threads = " << threads);
+    config.sim_threads = threads;
+    const ObsArtifacts sharded = render(engine.run(pattern, config, mask));
+    EXPECT_EQ(serial.probes, sharded.probes);
+    EXPECT_EQ(serial.heatmap, sharded.heatmap);
+    EXPECT_EQ(serial.flows, sharded.flows);
+    EXPECT_EQ(serial.trace, sharded.trace);
+    EXPECT_EQ(serial.hol, sharded.hol);
+    EXPECT_EQ(serial.lost_arb, sharded.lost_arb);
+    EXPECT_EQ(serial.downstream_full, sharded.downstream_full);
+    EXPECT_EQ(serial.no_free_lane, sharded.no_free_lane);
+    EXPECT_EQ(serial.zero_credits, sharded.zero_credits);
+    EXPECT_EQ(serial.masked_arc, sharded.masked_arc);
+  }
+}
+
+[[nodiscard]] SimConfig base_config(SwitchingMode mode) {
+  SimConfig config;
+  config.mode = mode;
+  config.injection_rate = 0.7;
+  config.warmup_cycles = 50;
+  config.measure_cycles = 250;
+  config.seed = 4242;
+  config.packet_length = 3;
+  config.queue_capacity = 2;
+  config.lanes = 2;
+  config.lane_depth = 2;
+  return config;
+}
+
+// ------------------------------------------------------- store-and-forward
+
+TEST(ObsDeterminismSafTest, Pristine) {
+  const Engine engine(min::build_network(NetworkKind::kOmega, 5));
+  expect_obs_identical(engine, Pattern::kBitReversal,
+                       base_config(SwitchingMode::kStoreAndForward));
+}
+
+TEST(ObsDeterminismSafTest, Faulted) {
+  const Engine engine(min::build_network(NetworkKind::kOmega, 5));
+  const FaultMask mask = fault::build_fault_mask(
+      engine.wiring(), FaultSpec{FaultKind::kRandomLinks, 0.08, 7});
+  expect_obs_identical(engine, Pattern::kUniform,
+                       base_config(SwitchingMode::kStoreAndForward), &mask);
+}
+
+TEST(ObsDeterminismSafTest, Credits) {
+  const Engine engine(min::build_network(NetworkKind::kOmega, 5));
+  SimConfig config = base_config(SwitchingMode::kStoreAndForward);
+  config.credits.enabled = true;
+  config.credits.return_latency = 4;
+  config.credits.sl_map = {0, 1};
+  config.credits.weights = {3, 1};
+  config.credits.arbitration = ArbitrationPolicy::kWeighted;
+  expect_obs_identical(engine, Pattern::kUniform, config);
+}
+
+TEST(ObsDeterminismSafTest, Multipath) {
+  const Engine engine{MultiPathWiring::benes(4, 2)};
+  SimConfig config = base_config(SwitchingMode::kStoreAndForward);
+  config.path_policy = PathPolicy::kAdaptive;
+  expect_obs_identical(engine, Pattern::kUniform, config);
+}
+
+TEST(ObsDeterminismSafTest, MultipathFaulted) {
+  const Engine engine{MultiPathWiring::replicated(NetworkKind::kOmega, 4, 2,
+                                                  2)};
+  SimConfig config = base_config(SwitchingMode::kStoreAndForward);
+  config.path_policy = PathPolicy::kHash;
+  const FaultMask mask = fault::build_fault_mask(
+      engine.wiring(), FaultSpec{FaultKind::kRandomLinks, 0.1, 11});
+  expect_obs_identical(engine, Pattern::kUniform, config, &mask);
+}
+
+// ---------------------------------------------------------------- wormhole
+
+TEST(ObsDeterminismWormholeTest, Pristine) {
+  const Engine engine(min::build_network(NetworkKind::kOmega, 5));
+  expect_obs_identical(engine, Pattern::kBitReversal,
+                       base_config(SwitchingMode::kWormhole));
+}
+
+TEST(ObsDeterminismWormholeTest, Faulted) {
+  const Engine engine(min::build_network(NetworkKind::kBaseline, 5));
+  const FaultMask mask = fault::build_fault_mask(
+      engine.wiring(), FaultSpec{FaultKind::kSwitchKills, 0.08, 7});
+  expect_obs_identical(engine, Pattern::kUniform,
+                       base_config(SwitchingMode::kWormhole), &mask);
+}
+
+TEST(ObsDeterminismWormholeTest, Credits) {
+  const Engine engine(min::build_network(NetworkKind::kOmega, 5));
+  SimConfig config = base_config(SwitchingMode::kWormhole);
+  config.credits.enabled = true;
+  config.credits.return_latency = 3;
+  config.credits.sl_map = {0, 1};
+  config.credits.weights = {3, 1};
+  config.credits.arbitration = ArbitrationPolicy::kWeighted;
+  expect_obs_identical(engine, Pattern::kUniform, config);
+}
+
+TEST(ObsDeterminismWormholeTest, Multipath) {
+  const Engine engine{MultiPathWiring::benes(4, 2)};
+  SimConfig config = base_config(SwitchingMode::kWormhole);
+  config.path_policy = PathPolicy::kAdaptive;
+  expect_obs_identical(engine, Pattern::kUniform, config);
+}
+
+}  // namespace
+}  // namespace mineq::sim

@@ -147,6 +147,71 @@ TEST(HistogramTest, AllOverflowQuantileBeyondLastEdge) {
   EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0 * 4);
 }
 
+TEST(HistogramTest, MergeMatchesSequential) {
+  Histogram all(1.0, 8);
+  Histogram left(1.0, 8);
+  Histogram right(1.0, 8);
+  for (int i = 0; i < 60; ++i) {
+    const double x = static_cast<double>((i * 7) % 12);  // some overflow
+    all.add(x);
+    (i % 3 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.total(), all.total());
+  EXPECT_EQ(left.overflow(), all.overflow());
+  EXPECT_EQ(left.buckets(), all.buckets());
+  EXPECT_DOUBLE_EQ(left.quantile(0.5), all.quantile(0.5));
+  EXPECT_DOUBLE_EQ(left.quantile(0.99), all.quantile(0.99));
+}
+
+TEST(HistogramTest, MergeEmptyOperands) {
+  Histogram a(1.0, 4);
+  Histogram empty(1.0, 4);
+  a.add(0.5);
+  a.add(10.0);  // overflow
+  a.merge(empty);  // empty right operand: no change
+  EXPECT_EQ(a.total(), 2U);
+  EXPECT_EQ(a.overflow(), 1U);
+  empty.merge(a);  // empty left operand: adopts the mass
+  EXPECT_EQ(empty.total(), 2U);
+  EXPECT_EQ(empty.overflow(), 1U);
+  EXPECT_EQ(empty.buckets()[0], 1U);
+  Histogram e1(1.0, 4);
+  Histogram e2(1.0, 4);
+  e1.merge(e2);  // both empty stays empty
+  EXPECT_EQ(e1.total(), 0U);
+  EXPECT_DOUBLE_EQ(e1.overflow_fraction(), 0.0);
+}
+
+TEST(HistogramTest, MergeAccumulatesOverflowMass) {
+  Histogram a(2.0, 3);
+  Histogram b(2.0, 3);
+  for (int i = 0; i < 4; ++i) a.add(100.0);
+  b.add(1.0);
+  b.add(50.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 6U);
+  EXPECT_EQ(a.overflow(), 5U);
+  EXPECT_NEAR(a.overflow_fraction(), 5.0 / 6.0, 1e-12);
+}
+
+TEST(HistogramTest, MergeRejectsShapeMismatch) {
+  Histogram a(1.0, 4);
+  Histogram width(2.0, 4);
+  Histogram count(1.0, 8);
+  EXPECT_THROW(a.merge(width), std::invalid_argument);
+  EXPECT_THROW(a.merge(count), std::invalid_argument);
+}
+
+TEST(HistogramTest, OverflowFraction) {
+  Histogram h(1.0, 4);
+  EXPECT_DOUBLE_EQ(h.overflow_fraction(), 0.0);  // empty: defined as 0
+  h.add(0.5);
+  EXPECT_DOUBLE_EQ(h.overflow_fraction(), 0.0);
+  h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.overflow_fraction(), 0.5);
+}
+
 TEST(HistogramTest, Validation) {
   EXPECT_THROW((void)Histogram(0.0, 4), std::invalid_argument);
   EXPECT_THROW((void)Histogram(1.0, 0), std::invalid_argument);

@@ -35,6 +35,8 @@
 
 #include "exp/report.hpp"
 #include "exp/sweep.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "util/format.hpp"
 
 namespace {
@@ -80,6 +82,16 @@ std::string path_policy_tokens() {
     if (policy == mineq::sim::PathPolicy::kLooping) continue;  // not sweepable
     if (!out.empty()) out += ',';
     out += mineq::sim::path_policy_name(policy);
+  }
+  return out;
+}
+
+std::string stall_cause_tokens() {
+  std::string out;
+  for (std::size_t i = 0; i < mineq::obs::kStallCauseCount; ++i) {
+    if (!out.empty()) out += ',';
+    out +=
+        mineq::obs::stall_cause_name(static_cast<mineq::obs::StallCause>(i));
   }
   return out;
 }
@@ -147,6 +159,23 @@ Fixed parameters:
                       (byte-identical to serial; the default
                       sweep fan-out divides itself by N so the
                       two levels never oversubscribe)
+
+Observability (any flag enables the instrumented simulator
+  instantiations; all off = the uninstrumented fast path):
+  --probe-stride N    sample per-stage occupancy / utilization /
+                      stall / reroute time series every N measured
+                      cycles (0 = off)                         [0]
+  --flow-stats        record exact per-(src,dst) and per-SL latency
+                      histograms; adds worst-p99 summary columns
+  --trace-sample N    trace the deterministic 1-in-N packet subset
+                      (0 = off)                                [0]
+  --trace-out FILE    write traced packet events as Chrome
+                      trace-event JSON (open in Perfetto); implies
+                      --trace-sample 64 when no rate is given
+  Any observability flag also splits hol_blocking_cycles exactly by
+  cause into the stall_* CSV/JSON columns; causes:
+    )" + stall_cause_tokens() +
+         R"(
 
 Output:
   --csv FILE          write CSV ("-" = stdout, implies --quiet)
@@ -217,31 +246,56 @@ std::vector<double> parse_rates(const std::string& spec) {
 
 void print_summary(const mineq::exp::SweepResult& sweep) {
   using mineq::util::fixed;
-  mineq::util::TablePrinter table({"network", "fabric", "paths", "r",
-                                   "pattern", "mode", "lanes", "fault",
-                                   "frate", "rate", "throughput", "accept",
-                                   "lat mean", "lat p99", "dropped",
-                                   "fullacc", "mindiv", "hol"});
+  // The observability columns (dominant stall cause, per-flow worst p99)
+  // only appear when a collector ran — an uninstrumented sweep keeps the
+  // familiar narrow table.
+  const bool obs_on = sweep.grid.base.obs.any();
+  std::vector<std::string> headers = {
+      "network", "fabric", "paths", "r", "pattern", "mode", "lanes",
+      "fault", "frate", "rate", "throughput", "accept", "lat mean",
+      "lat p99", "dropped", "fullacc", "mindiv", "hol"};
+  if (obs_on) {
+    headers.push_back("stall cause");
+    headers.push_back("flow p99");
+  }
+  mineq::util::TablePrinter table(std::move(headers));
   for (const SweepPoint& p : sweep.points) {
-    table.add_row({mineq::min::network_token(p.network),
-                   mineq::min::multipath_kind_name(p.fabric),
-                   std::to_string(p.result.paths_available),
-                   std::to_string(p.radix),
-                   mineq::sim::pattern_name(p.pattern),
-                   mineq::sim::switching_mode_name(p.mode),
-                   std::to_string(p.lanes),
-                   mineq::fault::fault_kind_name(p.fault.kind),
-                   fixed(p.fault.rate, 2), fixed(p.rate, 2),
-                   fixed(p.result.throughput, 3),
-                   fixed(p.result.acceptance, 3),
-                   fixed(p.result.latency.mean(), 1),
-                   fixed(p.result.latency_histogram.quantile(0.99), 0),
-                   std::to_string(p.result.packets_dropped_faulted),
-                   p.survivor.full_access ? "yes" : "no",
-                   std::to_string(p.min_path_diversity),
-                   std::to_string(p.result.hol_blocking_cycles)});
+    std::vector<std::string> row = {
+        mineq::min::network_token(p.network),
+        mineq::min::multipath_kind_name(p.fabric),
+        std::to_string(p.result.paths_available),
+        std::to_string(p.radix),
+        mineq::sim::pattern_name(p.pattern),
+        mineq::sim::switching_mode_name(p.mode),
+        std::to_string(p.lanes),
+        mineq::fault::fault_kind_name(p.fault.kind),
+        fixed(p.fault.rate, 2), fixed(p.rate, 2),
+        fixed(p.result.throughput, 3),
+        fixed(p.result.acceptance, 3),
+        fixed(p.result.latency.mean(), 1),
+        fixed(p.result.latency_histogram.quantile(0.99), 0),
+        std::to_string(p.result.packets_dropped_faulted),
+        p.survivor.full_access ? "yes" : "no",
+        std::to_string(p.min_path_diversity),
+        std::to_string(p.result.hol_blocking_cycles)};
+    if (obs_on) {
+      row.emplace_back(
+          mineq::obs::stall_cause_name(p.result.dominant_stall_cause()));
+      row.push_back(fixed(p.result.flows.worst_p99, 0));
+    }
+    table.add_row(std::move(row));
   }
   std::cout << table.str();
+}
+
+/// Process-track label of one traced sweep point in the merged
+/// Perfetto document.
+std::string trace_label(const SweepPoint& p) {
+  return mineq::min::network_token(p.network) + '/' +
+         std::string(mineq::min::multipath_kind_name(p.fabric)) + '/' +
+         std::string(mineq::sim::pattern_name(p.pattern)) + '/' +
+         std::string(mineq::sim::switching_mode_name(p.mode)) +
+         " rate=" + mineq::util::fixed(p.rate, 2);
 }
 
 /// Cross {kinds x rates x seeds} into the fault axis; "none" collapses
@@ -297,6 +351,7 @@ int main(int argc, char** argv) {
   std::size_t threads = 0;
   std::string csv_path;
   std::string json_path;
+  std::string trace_path;
   bool quiet = false;
 
   const auto next_value = [&](int& i) -> std::string {
@@ -430,6 +485,15 @@ int main(int argc, char** argv) {
       } else if (arg == "--sim-threads") {
         grid.base.sim_threads =
             parse_u64(next_value(i), "per-simulation thread count");
+      } else if (arg == "--probe-stride") {
+        grid.base.obs.probe_stride = parse_u64(next_value(i), "probe stride");
+      } else if (arg == "--flow-stats") {
+        grid.base.obs.flow_stats = true;
+      } else if (arg == "--trace-sample") {
+        grid.base.obs.trace_sample =
+            parse_u64(next_value(i), "trace sample rate");
+      } else if (arg == "--trace-out") {
+        trace_path = next_value(i);
       } else if (arg == "--csv") {
         csv_path = next_value(i);
       } else if (arg == "--json") {
@@ -447,6 +511,13 @@ int main(int argc, char** argv) {
   // A machine-readable stream on stdout must not be polluted by the
   // summary table.
   if (csv_path == "-" || json_path == "-") quiet = true;
+
+  // --trace-out without an explicit sampling rate traces the 1-in-64
+  // deterministic packet subset — dense enough to see structure, sparse
+  // enough that the document stays loadable.
+  if (!trace_path.empty() && grid.base.obs.trace_sample == 0) {
+    grid.base.obs.trace_sample = 64;
+  }
 
   grid.faults = cross_fault_axis(fault_kinds, fault_rates, fault_seeds);
   if (credits_requested) {
@@ -521,6 +592,20 @@ int main(int argc, char** argv) {
       } else {
         mineq::exp::write_text_file(json_path, json);
       }
+    }
+    if (!trace_path.empty()) {
+      // One merged Perfetto document, one process track per traced grid
+      // point (points whose sampled subset ejected nothing contribute no
+      // track).
+      std::vector<
+          std::pair<std::string, const std::vector<mineq::obs::TraceEvent>*>>
+          processes;
+      for (const SweepPoint& p : sweep.points) {
+        if (p.result.trace.empty()) continue;
+        processes.emplace_back(trace_label(p), &p.result.trace);
+      }
+      mineq::exp::write_text_file(trace_path,
+                                  mineq::obs::trace_json_multi(processes));
     }
   } catch (const std::exception& error) {
     fail(error.what());
