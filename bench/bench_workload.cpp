@@ -1,0 +1,166 @@
+/// \file bench_workload.cpp
+/// \brief Workload-seam overhead: the open-loop path must stay at the
+/// pre-seam cost (the devirtualized SyntheticSource fast path reaches
+/// the same instantiations the goldens pin — BENCH_sim/BENCH_wormhole
+/// track that), and the closed-loop / trace-replay sources' costs are
+/// measured per discipline here.
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "min/networks.hpp"
+#include "sim/engine.hpp"
+#include "util/format.hpp"
+#include "workload/spec.hpp"
+
+#include "bench_main.hpp"
+
+namespace {
+
+using mineq::sim::Engine;
+using mineq::sim::Pattern;
+using mineq::sim::SimConfig;
+using mineq::sim::SwitchingMode;
+namespace workload = mineq::workload;
+
+SimConfig bench_config(SwitchingMode mode) {
+  SimConfig config;
+  config.mode = mode;
+  config.injection_rate = 0.7;
+  config.warmup_cycles = 50;
+  config.measure_cycles = 400;
+  config.seed = 21;
+  config.packet_length = 3;
+  config.lanes = 2;
+  config.lane_depth = 2;
+  return config;
+}
+
+/// Record one open-loop run's accepted injections so the trace-replay
+/// rows drive the fabric with a realistic (contention-shaped) load.
+std::shared_ptr<const workload::TraceData> recorded_trace(
+    const Engine& engine, SwitchingMode mode) {
+  SimConfig config = bench_config(mode);
+  config.workload.record = true;
+  auto trace = std::make_shared<workload::TraceData>();
+  trace->records = engine.run(Pattern::kUniform, config).workload_trace;
+  return trace;
+}
+
+SimConfig workload_config(SwitchingMode mode, const workload::Spec& spec) {
+  SimConfig config = bench_config(mode);
+  config.workload = spec;
+  return config;
+}
+
+double time_ms(const Engine& engine, const SimConfig& config, int reps) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t sink = 0;
+  for (int i = 0; i < reps; ++i) {
+    sink += engine.run(Pattern::kUniform, config).delivered;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(sink);
+  return std::chrono::duration<double, std::milli>(t1 - t0).count() /
+         static_cast<double>(reps);
+}
+
+}  // namespace
+
+void print_report() {
+  using namespace mineq;
+  std::cout << "=== Workload-source overhead (omega n=8, per kind) ===\n\n";
+  util::TablePrinter table({"mode", "workload", "ms/run", "vs open"});
+  const Engine engine(min::build_network(min::NetworkKind::kOmega, 8));
+  constexpr int kReps = 5;
+  for (const SwitchingMode mode :
+       {SwitchingMode::kStoreAndForward, SwitchingMode::kWormhole}) {
+    workload::Spec open;  // kOpen defaults
+    workload::Spec closed;
+    closed.kind = workload::Kind::kClosedLoop;
+    closed.rr_window = 4;
+    workload::Spec trace;
+    trace.kind = workload::Kind::kTrace;
+    trace.trace = recorded_trace(engine, mode);
+    workload::Spec record = open;
+    record.record = true;
+    const std::pair<const char*, workload::Spec> rows[] = {
+        {"open", open},
+        {"closedloop", closed},
+        {"trace", trace},
+        {"open+record", record},
+    };
+    double open_ms = 0.0;
+    for (const auto& [label, spec] : rows) {
+      const double ms =
+          time_ms(engine, workload_config(mode, spec), kReps);
+      if (std::string(label) == "open") open_ms = ms;
+      table.add_row({sim::switching_mode_name(mode), label,
+                     util::fixed(ms, 2),
+                     util::fixed(open_ms > 0.0 ? ms / open_ms : 1.0, 3)});
+    }
+  }
+  std::cout << table.str()
+            << "\n(\"open\" rides the devirtualized SyntheticSource fast "
+               "path — the pre-seam cost gate is checked by "
+               "bench_compare.py against BENCH_sim/BENCH_wormhole)\n\n";
+}
+
+// The tracked entries: one closed-loop and one trace-replay run per
+// discipline, for bench_compare.py against the committed baselines.
+static void BM_SafClosedLoop(benchmark::State& state) {
+  const Engine engine(
+      mineq::min::build_network(mineq::min::NetworkKind::kOmega,
+                                static_cast<int>(state.range(0))));
+  SimConfig config = bench_config(SwitchingMode::kStoreAndForward);
+  config.workload.kind = workload::Kind::kClosedLoop;
+  config.workload.rr_window = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(Pattern::kUniform, config));
+  }
+}
+BENCHMARK(BM_SafClosedLoop)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
+
+static void BM_WormholeClosedLoop(benchmark::State& state) {
+  const Engine engine(
+      mineq::min::build_network(mineq::min::NetworkKind::kOmega,
+                                static_cast<int>(state.range(0))));
+  SimConfig config = bench_config(SwitchingMode::kWormhole);
+  config.workload.kind = workload::Kind::kClosedLoop;
+  config.workload.rr_window = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(Pattern::kUniform, config));
+  }
+}
+BENCHMARK(BM_WormholeClosedLoop)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
+
+static void BM_SafTraceReplay(benchmark::State& state) {
+  const Engine engine(
+      mineq::min::build_network(mineq::min::NetworkKind::kOmega,
+                                static_cast<int>(state.range(0))));
+  SimConfig config = bench_config(SwitchingMode::kStoreAndForward);
+  config.workload.kind = workload::Kind::kTrace;
+  config.workload.trace =
+      recorded_trace(engine, SwitchingMode::kStoreAndForward);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(Pattern::kUniform, config));
+  }
+}
+BENCHMARK(BM_SafTraceReplay)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
+
+static void BM_WormholeTraceReplay(benchmark::State& state) {
+  const Engine engine(
+      mineq::min::build_network(mineq::min::NetworkKind::kOmega,
+                                static_cast<int>(state.range(0))));
+  SimConfig config = bench_config(SwitchingMode::kWormhole);
+  config.workload.kind = workload::Kind::kTrace;
+  config.workload.trace = recorded_trace(engine, SwitchingMode::kWormhole);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(Pattern::kUniform, config));
+  }
+}
+BENCHMARK(BM_WormholeTraceReplay)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Validate a Chrome trace-event JSON document emitted by the obs:: layer.
+"""Validate trace files emitted by the simulator.
 
-Checks, per document:
+Default mode — Chrome trace-event JSON from the obs:: layer:
   - top-level schema: {"traceEvents": [...]} with well-formed events
     (required keys per phase: M metadata, B/E duration slices, i instants);
   - per (pid, tid) track: timestamps are monotone non-decreasing in
@@ -11,7 +11,15 @@ Checks, per document:
 Tracks whose packet was still in flight at the end of the run may leave
 slices open; that is legal and reported only with --strict.
 
+--workload mode — workload trace text (`cycle src dst size [tag]` per
+line, the format src/workload parse_trace reads and write_trace emits):
+  - every non-comment line has 4 or 5 unsigned-integer fields, size > 0,
+    tag in {0, 1, 2};
+  - cycles are monotone non-decreasing in file order;
+  - with --terminals N, every src/dst is in [0, N).
+
 Usage: trace_validate.py FILE... [--strict]
+       trace_validate.py --workload [--terminals N] FILE...
 Exit status: 0 when every file validates, 1 otherwise.
 """
 
@@ -117,15 +125,83 @@ def validate_file(path, errors, strict):
           f"{n_slices} slice endpoints")
 
 
+def validate_workload_file(path, terminals, errors):
+    """Line format, cycle monotonicity, and terminal range for one
+    workload trace text file."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.readlines()
+    except OSError as error:
+        fail(errors, path, f"cannot load: {error}")
+        return
+    records = 0
+    last_cycle = -1
+    for number, raw in enumerate(lines, start=1):
+        text = raw.split("#", 1)[0].strip()
+        if not text:
+            continue
+        fields = text.split()
+        if len(fields) not in (4, 5):
+            fail(errors, path,
+                 f"line {number}: expected `cycle src dst size [tag]`, "
+                 f"got {len(fields)} fields")
+            continue
+        try:
+            values = [int(field) for field in fields]
+        except ValueError:
+            fail(errors, path,
+                 f"line {number}: non-integer field in {fields}")
+            continue
+        if any(value < 0 for value in values):
+            fail(errors, path, f"line {number}: negative field in {fields}")
+            continue
+        cycle, src, dst, size = values[:4]
+        tag = values[4] if len(values) == 5 else 0
+        if size == 0:
+            fail(errors, path, f"line {number}: size must be positive")
+        if tag not in (0, 1, 2):
+            fail(errors, path,
+                 f"line {number}: tag {tag} is not 0 (none), 1 (request) "
+                 f"or 2 (reply)")
+        if cycle < last_cycle:
+            fail(errors, path,
+                 f"line {number}: cycle {cycle} runs backwards (previous "
+                 f"record was at cycle {last_cycle})")
+        last_cycle = max(last_cycle, cycle)
+        if terminals is not None:
+            for role, terminal in (("src", src), ("dst", dst)):
+                if terminal >= terminals:
+                    fail(errors, path,
+                         f"line {number}: {role} {terminal} out of range "
+                         f"(fabric has {terminals} terminals)")
+        records += 1
+    print(f"{path}: {records} workload records"
+          + (f", terminals < {terminals}" if terminals is not None else ""))
+
+
 def main(argv):
     strict = "--strict" in argv
-    paths = [a for a in argv if a != "--strict"]
+    workload = "--workload" in argv
+    args = [a for a in argv if a not in ("--strict", "--workload")]
+    terminals = None
+    if "--terminals" in args:
+        at = args.index("--terminals")
+        try:
+            terminals = int(args[at + 1])
+        except (IndexError, ValueError):
+            print("error: --terminals needs an integer", file=sys.stderr)
+            return 1
+        del args[at:at + 2]
+    paths = args
     if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 1
     errors = []
     for path in paths:
-        validate_file(path, errors, strict)
+        if workload:
+            validate_workload_file(path, terminals, errors)
+        else:
+            validate_file(path, errors, strict)
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
     if errors:

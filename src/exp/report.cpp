@@ -8,6 +8,7 @@
 
 #include "obs/obs.hpp"
 #include "util/format.hpp"
+#include "workload/spec.hpp"
 
 namespace mineq::exp {
 
@@ -115,6 +116,17 @@ std::vector<std::pair<std::string, std::string>> point_fields(
        util::fixed(r.latency_overflow_fraction(), 6)},
       {"flow_count", std::to_string(r.flows.flows.size())},
       {"flow_worst_p99", util::fixed(r.flows.worst_p99, 1)},
+      // Workload block: the source kind driving injection and its
+      // request–reply window, then the attempt rate the source ACTUALLY
+      // presented — offered_rate_effective dropping below the configured
+      // rate with window_stall_cycles > 0 is the closed-loop
+      // self-throttling signature — and the request→reply service tail.
+      {"workload", workload::kind_name(p.workload.kind)},
+      {"rr_window", std::to_string(p.workload.rr_window)},
+      {"offered_rate_effective", util::fixed(r.offered_rate_effective, 6)},
+      {"reply_latency_p99",
+       util::fixed(r.reply_latency_histogram.quantile(0.99), 1)},
+      {"window_stall_cycles", std::to_string(r.window_stall_cycles)},
   };
 }
 

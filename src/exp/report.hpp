@@ -23,7 +23,9 @@ namespace mineq::exp {
 /// flits_dropped_faulted,full_access,survivor_banyan,surviving_arcs,
 /// stall_lost_arb,stall_downstream_full,stall_no_free_lane,
 /// stall_zero_credits,stall_masked_arc,stall_top_cause,
-/// latency_overflow_fraction,flow_count,flow_worst_p99 —
+/// latency_overflow_fraction,flow_count,flow_worst_p99,workload,
+/// rr_window,offered_rate_effective,reply_latency_p99,
+/// window_stall_cycles —
 /// latency_p99 and hol_blocking_cycles make tail behavior visible in
 /// sweep artifacts; flits_in_flight (+ flits_dropped_faulted under
 /// faults) closes the flit conservation ledger per point; the
@@ -34,7 +36,12 @@ namespace mineq::exp {
 /// observability block (PR 9) splits hol_blocking_cycles by cause — the
 /// five stall_* counters sum exactly to it on instrumented runs —
 /// names the dominant cause, reports the clamped-latency fraction of
-/// the histogram, and surfaces the per-flow recorder's worst p99.
+/// the histogram, and surfaces the per-flow recorder's worst p99. The
+/// workload block (PR 10) names the source driving injection and its
+/// request–reply window, and reports the honesty metrics of the seam:
+/// offered_rate_effective below the configured rate with
+/// window_stall_cycles > 0 is a closed-loop client self-throttling under
+/// congestion, and reply_latency_p99 is the request→reply service tail.
 [[nodiscard]] std::string sweep_csv(const SweepResult& sweep);
 
 /// A JSON object {"stages": ..., "points": [...]} with one object per

@@ -39,7 +39,8 @@ std::size_t SweepGrid::size() const noexcept {
       fabrics.size() * radices.size() * pattern_burst_variants *
       mode_lane_variants * path_policies.size() * faults.size() *
       rates.size();
-  return unipath_points + fabric_points;
+  // The workload axis is outermost: the whole grid repeats per value.
+  return (unipath_points + fabric_points) * workloads.size();
 }
 
 namespace {
@@ -50,8 +51,12 @@ void validate_grid(const SweepGrid& grid) {
   if ((grid.networks.empty() && grid.fabrics.empty()) ||
       grid.radices.empty() || grid.patterns.empty() || grid.modes.empty() ||
       grid.lane_counts.empty() || grid.faults.empty() ||
-      grid.bursts.empty() || grid.credits.empty() || grid.rates.empty()) {
+      grid.bursts.empty() || grid.credits.empty() || grid.rates.empty() ||
+      grid.workloads.empty()) {
     throw std::invalid_argument("run_sweep: every grid axis needs >= 1 value");
+  }
+  for (const workload::Spec& spec : grid.workloads) {
+    spec.validate();
   }
   if (grid.stages < 2) {
     throw std::invalid_argument("run_sweep: need at least 2 stages");
@@ -255,44 +260,54 @@ SweepResult run_sweep(const SweepGrid& grid, std::size_t threads) {
   std::vector<Task> tasks;
   tasks.reserve(grid.size());
   const util::SplitMix64 seed_root(grid.base.seed);
-  for (std::size_t ni = 0; ni < grid.networks.size(); ++ni) {
-    for (std::size_t ri = 0; ri < radix_count; ++ri) {
-      for (const sim::Pattern pattern : grid.patterns) {
-        // Only the bursty pattern consumes the modulator parameters;
-        // other patterns run once, recorded with the first burst variant.
-        const std::size_t burst_variants =
-            pattern == sim::Pattern::kBursty ? grid.bursts.size() : 1;
-        for (std::size_t bi = 0; bi < burst_variants; ++bi) {
-          for (const sim::SwitchingMode mode : grid.modes) {
-            // Lanes only shape the wormhole discipline; store-and-forward
-            // points run once, recorded with the first lane count.
-            const std::size_t lane_variants =
-                mode == sim::SwitchingMode::kStoreAndForward
-                    ? 1
-                    : grid.lane_counts.size();
-            for (std::size_t li = 0; li < lane_variants; ++li) {
-              for (const sim::CreditConfig& cc : grid.credits) {
-                for (std::size_t fi = 0; fi < grid.faults.size(); ++fi) {
-                  for (const double rate : grid.rates) {
-                    Task task;
-                    task.engine_index = ni * radix_count + ri;
-                    task.fault_index = fi;
-                    task.point.network = grid.networks[ni];
-                    task.point.radix = grid.radices[ri];
-                    task.point.pattern = pattern;
-                    task.point.mode = mode;
-                    task.point.lanes = grid.lane_counts[li];
-                    task.point.fault = grid.faults[fi];
-                    task.point.burst = grid.bursts[bi];
-                    task.point.credits = cc;
-                    task.point.rate = rate;
-                    task.point.stages = grid.stages;
-                    task.point.seed = seed_root.split(tasks.size()).next();
-                    task.point.survivor =
-                        faults[task.engine_index][fi].survivor;
-                    task.point.min_path_diversity =
-                        faults[task.engine_index][fi].diversity;
-                    tasks.push_back(std::move(task));
+  // The workload axis is OUTERMOST: the whole grid of workloads[0] — the
+  // unipath block followed by its fabric block — is enumerated before
+  // any point of workloads[1], so appending a workload value leaves the
+  // task indices (and with them the derived seeds and output bytes) of
+  // the existing prefix untouched.
+  for (const workload::Spec& wl : grid.workloads) {
+    for (std::size_t ni = 0; ni < grid.networks.size(); ++ni) {
+      for (std::size_t ri = 0; ri < radix_count; ++ri) {
+        for (const sim::Pattern pattern : grid.patterns) {
+          // Only the bursty pattern consumes the modulator parameters;
+          // other patterns run once, recorded with the first burst
+          // variant.
+          const std::size_t burst_variants =
+              pattern == sim::Pattern::kBursty ? grid.bursts.size() : 1;
+          for (std::size_t bi = 0; bi < burst_variants; ++bi) {
+            for (const sim::SwitchingMode mode : grid.modes) {
+              // Lanes only shape the wormhole discipline;
+              // store-and-forward points run once, recorded with the
+              // first lane count.
+              const std::size_t lane_variants =
+                  mode == sim::SwitchingMode::kStoreAndForward
+                      ? 1
+                      : grid.lane_counts.size();
+              for (std::size_t li = 0; li < lane_variants; ++li) {
+                for (const sim::CreditConfig& cc : grid.credits) {
+                  for (std::size_t fi = 0; fi < grid.faults.size(); ++fi) {
+                    for (const double rate : grid.rates) {
+                      Task task;
+                      task.engine_index = ni * radix_count + ri;
+                      task.fault_index = fi;
+                      task.point.network = grid.networks[ni];
+                      task.point.radix = grid.radices[ri];
+                      task.point.pattern = pattern;
+                      task.point.mode = mode;
+                      task.point.lanes = grid.lane_counts[li];
+                      task.point.fault = grid.faults[fi];
+                      task.point.burst = grid.bursts[bi];
+                      task.point.credits = cc;
+                      task.point.rate = rate;
+                      task.point.stages = grid.stages;
+                      task.point.seed = seed_root.split(tasks.size()).next();
+                      task.point.workload = wl;
+                      task.point.survivor =
+                          faults[task.engine_index][fi].survivor;
+                      task.point.min_path_diversity =
+                          faults[task.engine_index][fi].diversity;
+                      tasks.push_back(std::move(task));
+                    }
                   }
                 }
               }
@@ -301,53 +316,54 @@ SweepResult run_sweep(const SweepGrid& grid, std::size_t threads) {
         }
       }
     }
-  }
-  // The multipath-fabric block rides strictly after the unipath grid:
-  // unipath task indices — and with them the per-point seeds and every
-  // byte of the unipath output — are unchanged by adding fabrics.
-  for (std::size_t si = 0; si < grid.fabrics.size(); ++si) {
-    const FabricSpec& spec = grid.fabrics[si];
-    for (std::size_t ri = 0; ri < radix_count; ++ri) {
-      for (const sim::Pattern pattern : grid.patterns) {
-        const std::size_t burst_variants =
-            pattern == sim::Pattern::kBursty ? grid.bursts.size() : 1;
-        for (std::size_t bi = 0; bi < burst_variants; ++bi) {
-          for (const sim::SwitchingMode mode : grid.modes) {
-            const std::size_t lane_variants =
-                mode == sim::SwitchingMode::kStoreAndForward
-                    ? 1
-                    : grid.lane_counts.size();
-            for (std::size_t li = 0; li < lane_variants; ++li) {
-              for (const sim::PathPolicy policy : grid.path_policies) {
-                for (std::size_t fi = 0; fi < grid.faults.size(); ++fi) {
-                  for (const double rate : grid.rates) {
-                    Task task;
-                    task.engine_index =
-                        unipath_engines + si * radix_count + ri;
-                    task.fault_index = fi;
-                    // Record the base banyan the fabric composes (the
-                    // Benes' front half is the radix-r baseline).
-                    task.point.network =
-                        spec.kind == min::MultiPathKind::kBenes
-                            ? min::NetworkKind::kBaseline
-                            : spec.base;
-                    task.point.radix = grid.radices[ri];
-                    task.point.pattern = pattern;
-                    task.point.mode = mode;
-                    task.point.lanes = grid.lane_counts[li];
-                    task.point.fault = grid.faults[fi];
-                    task.point.burst = grid.bursts[bi];
-                    task.point.rate = rate;
-                    task.point.stages = grid.stages;
-                    task.point.seed = seed_root.split(tasks.size()).next();
-                    task.point.fabric = spec.kind;
-                    task.point.paths = spec.paths;
-                    task.point.path_policy = policy;
-                    task.point.survivor =
-                        faults[task.engine_index][fi].survivor;
-                    task.point.min_path_diversity =
-                        faults[task.engine_index][fi].diversity;
-                    tasks.push_back(std::move(task));
+    // The multipath-fabric block rides strictly after the unipath grid:
+    // unipath task indices — and with them the per-point seeds and every
+    // byte of the unipath output — are unchanged by adding fabrics.
+    for (std::size_t si = 0; si < grid.fabrics.size(); ++si) {
+      const FabricSpec& spec = grid.fabrics[si];
+      for (std::size_t ri = 0; ri < radix_count; ++ri) {
+        for (const sim::Pattern pattern : grid.patterns) {
+          const std::size_t burst_variants =
+              pattern == sim::Pattern::kBursty ? grid.bursts.size() : 1;
+          for (std::size_t bi = 0; bi < burst_variants; ++bi) {
+            for (const sim::SwitchingMode mode : grid.modes) {
+              const std::size_t lane_variants =
+                  mode == sim::SwitchingMode::kStoreAndForward
+                      ? 1
+                      : grid.lane_counts.size();
+              for (std::size_t li = 0; li < lane_variants; ++li) {
+                for (const sim::PathPolicy policy : grid.path_policies) {
+                  for (std::size_t fi = 0; fi < grid.faults.size(); ++fi) {
+                    for (const double rate : grid.rates) {
+                      Task task;
+                      task.engine_index =
+                          unipath_engines + si * radix_count + ri;
+                      task.fault_index = fi;
+                      // Record the base banyan the fabric composes (the
+                      // Benes' front half is the radix-r baseline).
+                      task.point.network =
+                          spec.kind == min::MultiPathKind::kBenes
+                              ? min::NetworkKind::kBaseline
+                              : spec.base;
+                      task.point.radix = grid.radices[ri];
+                      task.point.pattern = pattern;
+                      task.point.mode = mode;
+                      task.point.lanes = grid.lane_counts[li];
+                      task.point.fault = grid.faults[fi];
+                      task.point.burst = grid.bursts[bi];
+                      task.point.rate = rate;
+                      task.point.stages = grid.stages;
+                      task.point.seed = seed_root.split(tasks.size()).next();
+                      task.point.workload = wl;
+                      task.point.fabric = spec.kind;
+                      task.point.paths = spec.paths;
+                      task.point.path_policy = policy;
+                      task.point.survivor =
+                          faults[task.engine_index][fi].survivor;
+                      task.point.min_path_diversity =
+                          faults[task.engine_index][fi].diversity;
+                      tasks.push_back(std::move(task));
+                    }
                   }
                 }
               }
@@ -385,6 +401,7 @@ SweepResult run_sweep(const SweepGrid& grid, std::size_t threads) {
         config.burst = task.point.burst;
         config.credits = task.point.credits;
         config.path_policy = task.point.path_policy;
+        config.workload = task.point.workload;
         config.seed = task.point.seed;
         const fault::FaultMask& mask =
             faults[task.engine_index][task.fault_index].mask;

@@ -25,6 +25,7 @@
 #include "min/networks.hpp"
 #include "multipath/multipath_wiring.hpp"
 #include "sim/engine.hpp"
+#include "workload/spec.hpp"
 
 namespace mineq::exp {
 
@@ -75,13 +76,22 @@ struct SweepGrid {
   /// path choice and ignore it). PathPolicy::kLooping needs a fixed
   /// permutation and is rejected here — sweeps run random patterns.
   std::vector<sim::PathPolicy> path_policies = {sim::PathPolicy::kHash};
+  /// Workload axis (workload/spec.hpp): open-loop synthetic, closed-loop
+  /// request–reply, or trace replay. The default single open spec
+  /// reproduces the pre-workload sweep bit for bit, and the axis is the
+  /// OUTERMOST enumeration level: the entire grid of workloads[0] (the
+  /// unipath block and its fabric block) is emitted before any point of
+  /// workloads[1], so appending a workload value never perturbs the task
+  /// indices, per-point seeds or output bytes of the existing prefix.
+  std::vector<workload::Spec> workloads = {workload::Spec{}};
   int stages = 6;
   sim::SimConfig base;
 
   /// Number of grid points: the product of the axis sizes, except that
   /// a store-and-forward mode contributes one lane variant (lanes only
   /// shape the wormhole discipline) and a non-bursty pattern contributes
-  /// one burst variant; plus the appended multipath-fabric block.
+  /// one burst variant; plus the appended multipath-fabric block; the
+  /// whole grid repeated once per workload-axis value.
   [[nodiscard]] std::size_t size() const noexcept;
 };
 
@@ -104,6 +114,8 @@ struct SweepPoint {
   /// The FabricSpec::paths parameter simulated (1 on unipath points).
   int paths = 1;
   sim::PathPolicy path_policy = sim::PathPolicy::kHash;
+  /// The workload-axis value simulated (kOpen on the historic points).
+  workload::Spec workload;
   /// Worst-case surviving path count over all (source, dest) pairs under
   /// this point's fault mask (multipath::min_path_diversity). Unipath
   /// points report full_access ? 1 : 0.

@@ -1,5 +1,6 @@
 #include "obs/flow.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace mineq::obs {
@@ -61,6 +62,7 @@ std::string FlowSummary::csv() const {
       "latency_p999\n";
   for (const FlowStat& stat : flows) append_stat_row(out, "flow", stat);
   for (const FlowStat& stat : per_sl) append_stat_row(out, "sl", stat);
+  for (const FlowStat& stat : services) append_stat_row(out, "service", stat);
   return out;
 }
 
@@ -88,6 +90,16 @@ void FlowRecorder::record(std::uint32_t src, std::uint32_t dst, unsigned sl,
                           double latency) {
   add(flows_[static_cast<std::size_t>(src) * terminals_ + dst], latency);
   if (sl < sls_.size()) add(sls_[sl], latency);
+}
+
+void FlowRecorder::record_service(std::uint32_t client, std::uint32_t server,
+                                  double latency) {
+  if (services_.empty()) {
+    services_.assign(static_cast<std::size_t>(terminals_) * terminals_,
+                     Acc{});
+  }
+  add(services_[static_cast<std::size_t>(client) * terminals_ + server],
+      latency);
 }
 
 FlowStat FlowRecorder::stat_of(const Acc& acc) const {
@@ -125,6 +137,20 @@ FlowSummary FlowRecorder::summary() const {
     FlowStat stat = stat_of(acc);
     stat.src = sl;
     out.per_sl.push_back(stat);
+  }
+  if (!services_.empty()) {
+    for (std::uint32_t client = 0; client < terminals_; ++client) {
+      for (std::uint32_t server = 0; server < terminals_; ++server) {
+        const Acc& acc =
+            services_[static_cast<std::size_t>(client) * terminals_ + server];
+        if (acc.count == 0) continue;
+        FlowStat stat = stat_of(acc);
+        stat.src = client;
+        stat.dst = server;
+        out.worst_service_p99 = std::max(out.worst_service_p99, stat.p99);
+        out.services.push_back(stat);
+      }
+    }
   }
   return out;
 }

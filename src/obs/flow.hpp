@@ -32,20 +32,27 @@ struct FlowStat {
 };
 
 /// The rendered flow table: every flow that delivered at least one
-/// measured packet, in (src, dst) ascending order.
+/// measured packet, in (src, dst) ascending order. Closed-loop workload
+/// runs additionally carry a service table — request->reply end-to-end
+/// latency per (client, server) pair — in `services`, populated through
+/// record_service; worst_p99 keeps its historic flows-only meaning.
 struct FlowSummary {
   std::uint32_t terminals = 0;
   std::vector<FlowStat> flows;
   std::vector<FlowStat> per_sl;  ///< src = service level, dst unused
+  /// src = client, dst = server; request injection to reply ejection.
+  std::vector<FlowStat> services;
   double worst_p99 = 0.0;        ///< max p99 over flows
   std::uint32_t worst_src = 0;   ///< source of the worst-p99 flow
   std::uint32_t worst_dst = 0;   ///< destination of the worst-p99 flow
+  double worst_service_p99 = 0.0;  ///< max p99 over services
 
   [[nodiscard]] bool empty() const noexcept {
-    return flows.empty() && per_sl.empty();
+    return flows.empty() && per_sl.empty() && services.empty();
   }
   /// CSV export: kind,src,dst,count,latency_mean,latency_p50,
-  /// latency_p99,latency_p999 — flow rows then sl rows.
+  /// latency_p99,latency_p999 — flow rows, then sl rows, then service
+  /// rows (closed-loop runs only).
   [[nodiscard]] std::string csv() const;
 };
 
@@ -65,6 +72,12 @@ class FlowRecorder {
   void record(std::uint32_t src, std::uint32_t dst, unsigned sl,
               double latency);
 
+  /// Request->reply end-to-end latency for one completed exchange
+  /// (closed-loop workloads). The service grid allocates on first use,
+  /// so open-loop runs pay nothing for the channel's existence.
+  void record_service(std::uint32_t client, std::uint32_t server,
+                      double latency);
+
   /// Render the summary (pure; the recorder keeps accumulating).
   [[nodiscard]] FlowSummary summary() const;
 
@@ -81,8 +94,9 @@ class FlowRecorder {
 
   std::uint32_t terminals_ = 0;
   std::size_t buckets_ = 0;
-  std::vector<Acc> flows_;  ///< [src * terminals_ + dst]
-  std::vector<Acc> sls_;    ///< [service level]
+  std::vector<Acc> flows_;     ///< [src * terminals_ + dst]
+  std::vector<Acc> sls_;       ///< [service level]
+  std::vector<Acc> services_;  ///< [client * terminals_ + server], lazy
 };
 
 }  // namespace mineq::obs

@@ -96,6 +96,11 @@ class Observer {
   [[nodiscard]] FlowSummary flow_summary() const {
     return recorder_.summary();
   }
+  /// The recorder itself, for the workload layer's request->reply
+  /// service channel; null when flow stats are off.
+  [[nodiscard]] FlowRecorder* flow_recorder() noexcept {
+    return flows_on_ ? &recorder_ : nullptr;
+  }
   /// Concatenate the per-worker trace buffers in worker order and
   /// stable-sort by (cycle, phase) — the serial emission order.
   [[nodiscard]] std::vector<TraceEvent> take_trace();

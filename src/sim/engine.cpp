@@ -195,6 +195,7 @@ void SimConfig::validate() const {
   }
   burst.validate();
   credits.validate(mode, lanes);
+  workload.validate();
 }
 
 void Engine::finish_unipath_geometry() {
@@ -602,8 +603,8 @@ class StoreAndForwardPolicy {
           }
           const std::uint32_t dest = queues_.front_dest(q);
           const std::uint64_t inject_cycle = queues_.front_inject(q);
-          [[maybe_unused]] std::uint32_t src = 0;
-          if constexpr (kObs) src = queues_.front_src(q);
+          const std::uint32_t src = queues_.front_src(q);
+          const unsigned tag = queues_.front_tag(q);
           [[maybe_unused]] unsigned sl = 0;
           if constexpr (kCredits) sl = queues_.front_sl(q);
           shard_pop<kShard>(q, wk);
@@ -611,6 +612,20 @@ class StoreAndForwardPolicy {
           eject_busy_until_[x * r + port] = cycle + length_;
           arb_grant(last, x * r + port, slot, vl);
           queue_moved_[x * r + slot] = 1;
+          if (core_.wants_deliveries()) {
+            // Every delivery feeds the source, warmup included (see
+            // workload::Delivery); eject_cycle counts the serialization
+            // tail so reply latencies match the packet-latency clock.
+            const workload::Delivery delivery{
+                src, dest, x * r + port, inject_cycle, cycle + length_,
+                static_cast<std::uint8_t>(tag),
+                measuring && inject_cycle >= core_.config().warmup_cycles};
+            if constexpr (kShard) {
+              wk->wl_events.push_back(delivery);
+            } else {
+              core_.workload_delivered(delivery);
+            }
+          }
           if constexpr (kObs) {
             if (measuring) {
               obs_log<kShard>(wk).hops[static_cast<std::size_t>(last)] +=
@@ -835,15 +850,16 @@ class StoreAndForwardPolicy {
           }
           const std::uint64_t inject_cycle = queues_.front_inject(q);
           const std::uint32_t src = queues_.front_src(q);
+          const unsigned tag = queues_.front_tag(q);
           if constexpr (kCredits) {
             shard_push<kShard>(target, dest, src, inject_cycle,
-                               cycle + length_, queues_.front_sl(q), wk);
+                               cycle + length_, queues_.front_sl(q), tag, wk);
             credits_->consume(target);
             shard_pop<kShard>(q, wk);
             credits_->give_back(q, cycle);
           } else {
             shard_push<kShard>(target, dest, src, inject_cycle,
-                               cycle + length_, 0, wk);
+                               cycle + length_, 0, tag, wk);
             shard_pop<kShard>(q, wk);
           }
           queue_moved_[x * r + slot] = 1;
@@ -898,15 +914,15 @@ class StoreAndForwardPolicy {
   }
 
   /// Inject at the first stage: terminal t feeds slot t % r of cell
-  /// t / r. A bursty-OFF terminal makes no attempt at all.
+  /// t / r. A terminal whose source declines (bursty-OFF, gate miss,
+  /// closed window, no due trace record) makes no attempt at all.
   void inject(std::uint64_t cycle, bool measuring) {
     if constexpr (kMultiPath) {
       inject_multipath(cycle, measuring);
       return;
     }
     for (std::uint64_t t = 0; t < core_.terminals(); ++t) {
-      if (!core_.terminal_active(t)) continue;
-      if (!core_.gate()) continue;
+      if (!core_.attempt(cycle, static_cast<std::uint32_t>(t))) continue;
       if (source_busy_until_[t] > cycle) continue;  // still serializing
       if (measuring) ++core_.result.offered;
       const std::size_t q = queue_index(0, t);
@@ -923,16 +939,18 @@ class StoreAndForwardPolicy {
       } else {
         if (queues_.full(q)) continue;  // dropped at source
       }
-      const std::uint32_t dest =
-          core_.destination(static_cast<std::uint32_t>(t));
+      const workload::Injection packet =
+          core_.draw(cycle, static_cast<std::uint32_t>(t));
+      const std::uint32_t dest = packet.dest;
       const auto src = static_cast<std::uint32_t>(t);
       if constexpr (kCredits) {
         queues_.push(q, dest, src, cycle, cycle + length_,
-                     static_cast<unsigned>(t % service_levels_));
+                     static_cast<unsigned>(t % service_levels_), packet.tag);
         credits_->consume(q);
       } else {
-        queues_.push(q, dest, src, cycle, cycle + length_);
+        queues_.push(q, dest, src, cycle, cycle + length_, 0, packet.tag);
       }
+      core_.commit(cycle, static_cast<std::uint32_t>(t), packet);
       source_busy_until_[t] = cycle + length_;
       if (measuring) {
         ++core_.result.injected;
@@ -1076,10 +1094,11 @@ class StoreAndForwardPolicy {
   }
 
   /// Worker 0's exclusive phase: replay the cycle's deferred ejection
-  /// statistics in ascending-worker (= ascending-cell = serial) order,
-  /// then run the cycle tail exactly as the serial driver does — burst
-  /// advance and injection consume the shared RNG streams in terminal
-  /// order, so they stay serial by construction.
+  /// statistics and workload deliveries in ascending-worker
+  /// (= ascending-cell = serial) order, then run the cycle tail exactly
+  /// as the serial driver does — the workload tick and injection consume
+  /// the source's RNG streams in terminal order, so they stay serial by
+  /// construction and byte-deterministic at any thread count.
   void shard_serial(std::uint64_t cycle, bool measuring,
                     std::vector<ShardWorker>& workers) {
     for (ShardWorker& wk : workers) {
@@ -1095,8 +1114,12 @@ class StoreAndForwardPolicy {
         }
       }
       wk.saf_events.clear();
+      for (const workload::Delivery& delivery : wk.wl_events) {
+        core_.workload_delivered(delivery);
+      }
+      wk.wl_events.clear();
     }
-    core_.advance_burst();
+    core_.workload_tick(cycle, measuring);
     inject(cycle, measuring);
   }
 
@@ -1174,12 +1197,12 @@ class StoreAndForwardPolicy {
   template <bool kShard>
   void shard_push(std::size_t q, std::uint32_t dest, std::uint32_t src,
                   std::uint64_t inject_cycle, std::uint64_t arrival,
-                  unsigned sl, [[maybe_unused]] ShardWorker* wk) {
+                  unsigned sl, unsigned tag, [[maybe_unused]] ShardWorker* wk) {
     if constexpr (kShard) {
-      queues_.push_unc(q, dest, src, inject_cycle, arrival, sl);
+      queues_.push_unc(q, dest, src, inject_cycle, arrival, sl, tag);
       ++wk->pool_delta;
     } else {
-      queues_.push(q, dest, src, inject_cycle, arrival, sl);
+      queues_.push(q, dest, src, inject_cycle, arrival, sl, tag);
     }
   }
   /// Multipath ejection: logical terminal lx * lr + j arbitrates over
@@ -1227,12 +1250,23 @@ class StoreAndForwardPolicy {
           const std::uint32_t dest = queues_.front_dest(q);
           if (dest % lradix_ != j) continue;
           const std::uint64_t inject_cycle = queues_.front_inject(q);
-          [[maybe_unused]] std::uint32_t src = 0;
-          if constexpr (kObs) src = queues_.front_src(q);
+          const std::uint32_t src = queues_.front_src(q);
+          const unsigned tag = queues_.front_tag(q);
           shard_pop<kShard>(q, wk);
           eject_busy_until_[term] = cycle + length_;
           arb.grant(c);
           queue_moved_[port_index] = 1;
+          if (core_.wants_deliveries()) {
+            const workload::Delivery delivery{
+                src, dest, static_cast<std::uint32_t>(term), inject_cycle,
+                cycle + length_, static_cast<std::uint8_t>(tag),
+                measuring && inject_cycle >= core_.config().warmup_cycles};
+            if constexpr (kShard) {
+              wk->wl_events.push_back(delivery);
+            } else {
+              core_.workload_delivered(delivery);
+            }
+          }
           if constexpr (kObs) {
             if (measuring) {
               obs_log<kShard>(wk).hops[static_cast<std::size_t>(last)] +=
@@ -1371,7 +1405,7 @@ class StoreAndForwardPolicy {
           const std::uint64_t inject_cycle = queues_.front_inject(q);
           const std::uint32_t src = queues_.front_src(q);
           shard_push<kShard>(target, dest, src, inject_cycle, cycle + length_,
-                             0, wk);
+                             0, queues_.front_tag(q), wk);
           shard_pop<kShard>(q, wk);
           queue_moved_[x * r + slot] = 1;
           link_busy_until_[link_base + x * r + port] = cycle + length_;
@@ -1433,16 +1467,18 @@ class StoreAndForwardPolicy {
   void inject_multipath(std::uint64_t cycle, bool measuring) {
     const unsigned r = radix_;
     for (std::uint64_t t = 0; t < core_.terminals(); ++t) {
-      if (!core_.terminal_active(t)) continue;
-      if (!core_.gate()) continue;
+      if (!core_.attempt(cycle, static_cast<std::uint32_t>(t))) continue;
       if (source_busy_until_[t] > cycle) continue;  // still serializing
       if (measuring) ++core_.result.offered;
       const std::uint32_t lcell =
           static_cast<std::uint32_t>(t) / lradix_;
       const unsigned slot =
           (static_cast<unsigned>(t) % lradix_) * dilation_;
-      const std::uint32_t dest =
-          core_.destination(static_cast<std::uint32_t>(t));
+      // Drawn before the plane pick (the hashed policy keys on the
+      // destination); a refused attempt discards the draw, historically.
+      const workload::Injection packet =
+          core_.draw(cycle, static_cast<std::uint32_t>(t));
+      const std::uint32_t dest = packet.dest;
       std::size_t q = 0;
       bool accepted = false;
       if (planes_ == 1) {
@@ -1471,7 +1507,8 @@ class StoreAndForwardPolicy {
       }
       if (!accepted) continue;  // dropped at source
       const auto src = static_cast<std::uint32_t>(t);
-      queues_.push(q, dest, src, cycle, cycle + length_);
+      queues_.push(q, dest, src, cycle, cycle + length_, 0, packet.tag);
+      core_.commit(cycle, static_cast<std::uint32_t>(t), packet);
       source_busy_until_[t] = cycle + length_;
       if (measuring) {
         ++core_.result.injected;
@@ -1933,6 +1970,11 @@ run_saf_impl(FabricCore& core, SimWorkspace& workspace,
              const multipath::LoopingSettings* looping) {
   StoreAndForwardPolicy<kFaulted, kBinary, kCredits, kMultiPath, kObs>
       policy(core, workspace, mask, obs, looping);
+  if constexpr (kObs) {
+    // Closed-loop sources route request->reply latencies into the flow
+    // recorder's service channel (null and ignored when flows are off).
+    core.set_service_recorder(obs->flow_recorder());
+  }
   const std::size_t threads = core.config().sim_threads;
   SimResult result = threads > 1 ? run_switched_sharded(core, policy, threads)
                                  : run_switched(core, policy);

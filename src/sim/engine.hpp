@@ -48,6 +48,7 @@
 #include "obs/trace.hpp"
 #include "sim/stats.hpp"
 #include "sim/traffic.hpp"
+#include "workload/spec.hpp"
 
 namespace mineq::sim {
 
@@ -194,6 +195,12 @@ struct SimConfig {
   /// way; the run additionally carries probes/flows/trace payloads and
   /// the stall-cause split of hol_blocking_cycles.
   obs::ObsConfig obs;
+  /// The workload driving injection (workload/spec.hpp): the open-loop
+  /// synthetic patterns (the default — byte-identical to the historic
+  /// hardwired engine), closed-loop request–reply clients, or trace
+  /// replay; any of them optionally recording accepted injections back
+  /// into the trace format.
+  workload::Spec workload;
   /// Latency-histogram bucket count (1-cycle buckets); 0 auto-scales
   /// from the fabric depth: clamp(64 * stages * packet_length, 1024,
   /// 65536), never more than the run is long. Runs whose latencies fit
@@ -213,8 +220,9 @@ struct SimConfig {
   /// valid or not independently of the discipline that runs it),
   /// injection_rate must be finite and within [0, 1], the burst
   /// probabilities must be within (0, 1], sim_threads must be within
-  /// [1, kMaxSimThreads], and an enabled credit config must pass
-  /// CreditConfig::validate against this mode and lane count.
+  /// [1, kMaxSimThreads], an enabled credit config must pass
+  /// CreditConfig::validate against this mode and lane count, and the
+  /// workload spec must pass workload::Spec::validate.
   /// Called by both simulators and by exp::run_sweep before any work
   /// starts.
   /// \throws std::invalid_argument
@@ -239,6 +247,33 @@ struct SimResult {
   /// nothing was offered, so idle points never report nan or a vacuous
   /// 1.0).
   double acceptance = 0.0;
+  /// offered / (measure_cycles * terminals): the injection-attempt rate
+  /// the workload ACTUALLY presented. Open-loop sources track the
+  /// configured rate; a closed-loop client at its window suppresses the
+  /// attempt entirely, so this field dropping below the configured rate
+  /// (with window_stall_cycles > 0) is the self-throttling signature.
+  double offered_rate_effective = 0.0;
+
+  // Workload-source counters (nonzero only for closed-loop runs; see
+  // workload::ClosedLoopSource).
+  /// (terminal, cycle) pairs where a client passed its injection gate
+  /// but sat at its outstanding-request window (measured cycles).
+  std::uint64_t window_stall_cycles = 0;
+  /// Request/reply packets that could not complete their exchange
+  /// (faulted misdeliveries of tagged packets).
+  std::uint64_t reply_orphans = 0;
+  /// Request→reply end-to-end latency per completed exchange: reply
+  /// ejection cycle minus the ORIGINAL request's injection cycle
+  /// (measured exchanges only).
+  RunningStats reply_latency;
+  /// reply_latency distribution; quantile(0.99) is the sweep's
+  /// reply_latency_p99 column.
+  Histogram reply_latency_histogram{1.0, 1024};
+  /// Every accepted injection of the run in trace format, captured when
+  /// SimConfig::workload.record is set (workload::write_trace
+  /// serializes it; replaying it through a TraceSource reproduces the
+  /// run's delivered/latency counters exactly).
+  std::vector<workload::TraceRecord> workload_trace;
 
   // Flit-level counters (a store-and-forward packet counts as
   // packet_length flits moving as one unit).

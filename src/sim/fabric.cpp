@@ -83,7 +83,8 @@ PacketRing::PacketRing(std::size_t queues, std::size_t capacity)
       src_(queues * capacity, 0),
       inject_(queues * capacity, 0),
       arrival_(queues * capacity, 0),
-      sl_(queues * capacity, 0) {
+      sl_(queues * capacity, 0),
+      tag_(queues * capacity, 0) {
   if (capacity == 0) {
     throw std::invalid_argument("PacketRing: capacity must be positive");
   }
@@ -101,12 +102,14 @@ void PacketRing::reset(std::size_t queues, std::size_t capacity) {
   inject_.assign(queues * capacity, 0);
   arrival_.assign(queues * capacity, 0);
   sl_.assign(queues * capacity, 0);
+  tag_.assign(queues * capacity, 0);
   total_ = 0;
 }
 
 void PacketRing::push_unc(std::size_t q, std::uint32_t dest, std::uint32_t src,
                           std::uint64_t inject_cycle,
-                          std::uint64_t arrival_complete, unsigned sl) {
+                          std::uint64_t arrival_complete, unsigned sl,
+                          unsigned tag) {
   if (full(q)) {
     throw std::logic_error("PacketRing: push into a full queue");
   }
@@ -116,13 +119,15 @@ void PacketRing::push_unc(std::size_t q, std::uint32_t dest, std::uint32_t src,
   inject_[at] = inject_cycle;
   arrival_[at] = arrival_complete;
   sl_[at] = static_cast<std::uint8_t>(sl);
+  tag_[at] = static_cast<std::uint8_t>(tag);
   ++count_[q];
 }
 
 void PacketRing::push(std::size_t q, std::uint32_t dest, std::uint32_t src,
                       std::uint64_t inject_cycle,
-                      std::uint64_t arrival_complete, unsigned sl) {
-  push_unc(q, dest, src, inject_cycle, arrival_complete, sl);
+                      std::uint64_t arrival_complete, unsigned sl,
+                      unsigned tag) {
+  push_unc(q, dest, src, inject_cycle, arrival_complete, sl, tag);
   ++total_;
 }
 
@@ -249,27 +254,34 @@ FabricCore::FabricCore(const Engine& engine, Pattern pattern,
       terminals_(engine.terminals()),
       ports_(static_cast<std::size_t>(engine.wiring().radix()) *
              engine.wiring().cells_per_stage()),
-      // RNG stream layout (fixed across both disciplines so a discipline
-      // is a pure policy choice): split 0 feeds the traffic source,
-      // split 1 the injection gate, split 2 the bursty modulator. The
-      // source addresses *logical* terminals — identical to the physical
-      // geometry on unipath engines.
-      source_(pattern, engine.address_digits(), engine.logical_radix(),
-              util::SplitMix64(config.seed).split(0),
-              pattern == Pattern::kPermutation
-                  ? config.permutation
-                  : std::vector<std::uint32_t>{}),
-      inject_rng_(util::SplitMix64(config.seed).split(1)),
-      rate_num_(static_cast<std::uint64_t>(config.injection_rate * 65536.0)),
       arbiters_(static_cast<std::size_t>(stages_) * ports_,
                 RoundRobin(arbiter_candidates)) {
   if (eject_candidates > 0) {
     eject_arbiters_.assign(terminals_, RoundRobin(eject_candidates));
   }
-  if (pattern == Pattern::kBursty) {
-    burst_.emplace(terminals_, util::SplitMix64(config.seed).split(2),
-                   config.burst);
+  // Injection is delegated to a workload source (src/workload/). The
+  // historic RNG stream layout — split 0 feeds the traffic source,
+  // split 1 the injection gate, split 2 the bursty modulator — now
+  // lives inside the sources, byte-identical for the open-loop kind.
+  // Sources address *logical* terminals — identical to the physical
+  // geometry on unipath engines. The dominant open-loop case is
+  // devirtualized AND stored inline: the hot inject loop checks one
+  // predicted pointer and finds the gate state in this object's own
+  // cache lines, matching the pre-seam direct-member cost.
+  if (config.workload.kind == workload::Kind::kOpen) {
+    synthetic_ = &synthetic_store_.emplace(pattern, engine.address_digits(),
+                                           engine.logical_radix(), config,
+                                           engine.terminals());
+    workload_ = synthetic_;
+  } else {
+    owned_workload_ = workload::make_source(
+        pattern, config, engine.address_digits(), engine.logical_radix(),
+        engine.terminals(),
+        latency_histogram_buckets(config, engine.wiring().stages()));
+    workload_ = owned_workload_.get();
   }
+  wants_deliveries_ = workload_->wants_deliveries();
+  recording_ = config.workload.record;
   // Shape the latency histogram to this run instead of the historic
   // fixed 1024-cycle ceiling, which deep or credit-throttled fabrics
   // saturate (silently clamping p99 at the overflow edge). Bucket width
@@ -300,6 +312,23 @@ void FabricCore::finalize(std::uint64_t link_counter) {
           ? 0.0
           : static_cast<double>(result.injected) /
                 static_cast<double>(result.offered);
+  if (config_.measure_cycles > 0) {
+    // The rate the workload actually asked for, per terminal per cycle.
+    // Open-loop sources pin this at the configured rate; a closed-loop
+    // source at saturation offers *less* (its window throttles it), which
+    // is the self-throttling signature the sweep reports surface.
+    result.offered_rate_effective =
+        static_cast<double>(result.offered) /
+        (static_cast<double>(config_.measure_cycles) *
+         static_cast<double>(terminals_));
+  }
+  // Let the source contribute its own counters (reply latency, window
+  // stalls, orphans) before the result is read out.
+  workload_->finish(result);
+  if (recording_) {
+    result.workload_trace = std::move(recorded_);
+    recorded_.clear();
+  }
 }
 
 }  // namespace mineq::sim

@@ -4,9 +4,9 @@
 /// Store-and-forward and wormhole switching differ only in how payload
 /// advances through a switch; everything else — the stage-packed wiring
 /// (min::FlatWiring), the per-output-port round-robin arbiters, the
-/// injection gate and traffic source, the bursty on/off modulator, the
-/// result counters and their finalization — is one substrate, owned by
-/// FabricCore. Each discipline is a *policy* (engine.cpp, wormhole.cpp)
+/// pluggable workload source behind the attempt/draw/commit seam
+/// (workload/workload.hpp), the result counters and their finalization —
+/// is one substrate, owned by FabricCore. Each discipline is a *policy* (engine.cpp, wormhole.cpp)
 /// that implements the four per-cycle phases over the core; the driver
 /// loop run_switched() sequences them identically for both:
 ///
@@ -28,6 +28,7 @@
 #include "sim/flit.hpp"
 #include "sim/traffic.hpp"
 #include "util/rng.hpp"
+#include "workload/workload.hpp"
 
 namespace mineq::sim {
 
@@ -178,10 +179,11 @@ class PacketRing {
 
   /// Append a packet; the queue must not be full. \p sl is the packet's
   /// service level (0 outside credit-mode runs), \p src its source
-  /// terminal (carried for flow attribution and packet tracing).
+  /// terminal (carried for flow attribution and packet tracing), \p tag
+  /// its workload tag (request/reply; 0 outside closed-loop runs).
   void push(std::size_t q, std::uint32_t dest, std::uint32_t src,
             std::uint64_t inject_cycle, std::uint64_t arrival_complete,
-            unsigned sl = 0);
+            unsigned sl = 0, unsigned tag = 0);
 
   /// Head-of-line packet fields; the queue must not be empty.
   [[nodiscard]] std::uint32_t front_dest(std::size_t q) const {
@@ -199,6 +201,9 @@ class PacketRing {
   [[nodiscard]] unsigned front_sl(std::size_t q) const {
     return sl_[front_slot(q)];
   }
+  [[nodiscard]] unsigned front_tag(std::size_t q) const {
+    return tag_[front_slot(q)];
+  }
 
   /// Drop the head-of-line packet; the queue must not be empty.
   void pop(std::size_t q);
@@ -210,7 +215,7 @@ class PacketRing {
   /// the driver reconciles. Queue state is identical to push()/pop().
   void push_unc(std::size_t q, std::uint32_t dest, std::uint32_t src,
                 std::uint64_t inject_cycle, std::uint64_t arrival_complete,
-                unsigned sl = 0);
+                unsigned sl = 0, unsigned tag = 0);
   void pop_unc(std::size_t q);
 
   /// Packets currently buffered across every queue (O(1)).
@@ -235,6 +240,7 @@ class PacketRing {
   std::vector<std::uint64_t> inject_;
   std::vector<std::uint64_t> arrival_;
   std::vector<std::uint8_t> sl_;
+  std::vector<std::uint8_t> tag_;
   std::size_t total_ = 0;
 };
 
@@ -425,25 +431,72 @@ class FabricCore {
     return eject_arbiters_[t];
   }
 
-  /// One Bernoulli injection draw (16-bit fixed-point gate).
-  [[nodiscard]] bool gate() {
-    return (inject_rng_.next() & 0xFFFF) < rate_num_;
+  // --- The workload seam (workload/workload.hpp). Injection decisions
+  // --- live behind WorkloadSource; the open-loop SyntheticSource is
+  // --- devirtualized through a concrete fast-path pointer, so the
+  // --- historic hot loops pay one predicted branch per call, not a
+  // --- virtual dispatch. Every call below runs in the serial (worker-0)
+  // --- phase of the cycle.
+
+  /// Does terminal \p t want to inject this cycle? (Replaces the
+  /// historic `terminal_active(t) && gate()` pair, draw for draw.)
+  [[nodiscard]] bool attempt(std::uint64_t cycle, std::uint32_t t) {
+    if (synthetic_ != nullptr) [[likely]] {
+      return synthetic_->attempt_fast(t);
+    }
+    return workload_->attempt(cycle, t);
   }
 
-  /// Destination of the next packet injected at terminal \p t.
-  [[nodiscard]] std::uint32_t destination(std::uint32_t t) {
-    return source_.destination(t);
+  /// Destination + tag of the packet terminal \p t would inject. No
+  /// source state changes yet — the policy may still refuse the packet.
+  [[nodiscard]] workload::Injection draw(std::uint64_t cycle,
+                                         std::uint32_t t) {
+    if (synthetic_ != nullptr) [[likely]] {
+      return synthetic_->draw_fast(t);
+    }
+    return workload_->draw(cycle, t);
   }
 
-  /// False only while a kBursty run has terminal \p t in its OFF state.
-  [[nodiscard]] bool terminal_active(std::size_t t) const {
-    return !burst_.has_value() || burst_->on(t);
+  /// The policy accepted the drawn packet: commit source state and, when
+  /// recording, capture the injection into the trace.
+  void commit(std::uint64_t cycle, std::uint32_t t,
+              const workload::Injection& injection) {
+    if (recording_) [[unlikely]] {
+      recorded_.push_back({cycle, t, injection.dest,
+                           static_cast<std::uint32_t>(config_.packet_length),
+                           injection.tag, 0});
+    }
+    if (synthetic_ == nullptr) workload_->commit(cycle, t, injection);
   }
 
-  /// Advance the bursty modulator by one cycle (no-op for other
-  /// patterns, so their RNG streams are untouched).
-  void advance_burst() {
-    if (burst_.has_value()) burst_->advance();
+  /// Advance per-cycle workload state (bursty modulator, all-to-all
+  /// phase, closed-loop measurement flag); runs once per cycle before
+  /// injection. (Replaces the historic advance_burst().)
+  void workload_tick(std::uint64_t cycle, bool measuring) {
+    if (synthetic_ != nullptr) [[likely]] {
+      synthetic_->tick_fast();
+      return;
+    }
+    workload_->tick(cycle, measuring);
+  }
+
+  /// Does the workload need delivery callbacks? Cached so the policies'
+  /// ejection paths pay one predictable branch when it is off.
+  [[nodiscard]] bool wants_deliveries() const noexcept {
+    return wants_deliveries_;
+  }
+
+  /// Feed one delivered packet back into the workload (closed-loop
+  /// replies depend on it). Call for every tail ejection — warmup
+  /// included — in serial ejection order.
+  void workload_delivered(const workload::Delivery& delivery) {
+    workload_->deliver(delivery);
+  }
+
+  /// Route closed-loop request→reply latencies into the observability
+  /// flow recorder's service channel (kObs + flow_stats runs only).
+  void set_service_recorder(obs::FlowRecorder* recorder) {
+    workload_->set_service_recorder(recorder);
   }
 
   /// delivered += 1 plus the latency statistics, shared by both
@@ -469,12 +522,26 @@ class FabricCore {
   std::uint32_t cells_;
   std::uint64_t terminals_;
   std::size_t ports_;
-  TrafficSource source_;
-  util::SplitMix64 inject_rng_;
-  std::uint64_t rate_num_;
+  /// Open-loop runs store the SyntheticSource INLINE so the per-attempt
+  /// gate state (RNG cursor, rate) lives in FabricCore's own cache
+  /// lines — the locality the pre-seam direct members had; other kinds
+  /// are heap-owned. FabricCore is a stack local for the duration of a
+  /// run and never moves, so the aliasing pointers below stay valid.
+  std::optional<workload::SyntheticSource> synthetic_store_;
+  std::unique_ptr<workload::WorkloadSource> owned_workload_;
+  /// The run's workload source (never null after construction; points
+  /// at synthetic_store_ or owned_workload_).
+  workload::WorkloadSource* workload_ = nullptr;
+  /// Devirtualization fast path: non-null exactly when the workload is
+  /// the open-loop SyntheticSource (aliases workload_).
+  workload::SyntheticSource* synthetic_ = nullptr;
+  bool wants_deliveries_ = false;
+  bool recording_ = false;
+  /// Accepted injections captured when SimConfig::workload.record is set
+  /// (moved into SimResult::workload_trace by finalize()).
+  std::vector<workload::TraceRecord> recorded_;
   std::vector<RoundRobin> arbiters_;
   std::vector<RoundRobin> eject_arbiters_;  ///< per terminal; multipath only
-  std::optional<BurstModulator> burst_;
 };
 
 /// The common cycle loop. A Policy implements the four phases plus the
@@ -495,7 +562,7 @@ SimResult run_switched(FabricCore& core, Policy& policy) {
     for (int s = core.stages() - 2; s >= 0; --s) {
       policy.advance_stage(s, cycle, measuring);
     }
-    core.advance_burst();
+    core.workload_tick(cycle, measuring);
     policy.inject(cycle, measuring);
     if (measuring) policy.sample(cycle);
   }

@@ -15,7 +15,7 @@
 ///   eject                 cell ranges            barrier
 ///   advance s = S-2 .. 0  cell ranges            barrier each
 ///   serial phase          worker 0 only          barrier
-///     (eject-event replay -> burst advance -> inject)
+///     (eject-event replay -> workload tick -> inject)
 ///   [measuring] sample    link ranges            barrier
 ///   [measuring] reduce    worker 0 only          barrier
 ///
@@ -41,6 +41,7 @@
 #include "sim/fabric.hpp"
 #include "sim/flit.hpp"
 #include "util/parallel.hpp"
+#include "workload/spec.hpp"
 
 namespace mineq::sim {
 
@@ -75,6 +76,11 @@ struct alignas(64) ShardWorker {
   /// Wormhole eject replay buffer (cleared every cycle): ejected flits in
   /// this worker's range order; latency/SL are recomputed from the flit.
   std::vector<Flit> wh_events;
+  /// Workload delivery replay buffer (cleared every cycle). Separate
+  /// from the statistics buffers because deliveries span warmup too
+  /// (closed-loop windows must drain before measurement starts) and are
+  /// buffered only when the run's source wants them.
+  std::vector<workload::Delivery> wl_events;
   /// Wormhole per-VL buffered-flit partial (sample phase).
   std::vector<std::uint64_t> vl_flits;
   /// This worker's observability sink (kObs instantiations only): set by
@@ -108,7 +114,7 @@ inline util::ThreadPool& sim_team_pool() {
 ///   void shard_eject(cycle, measuring, w, n, ShardWorker&);
 ///   void shard_advance(s, cycle, measuring, w, n, ShardWorker&);
 ///   void shard_serial(cycle, measuring, workers);   // worker 0 only:
-///       // event replay -> core.advance_burst() -> inject
+///       // event replay -> core.workload_tick() -> inject
 ///   void shard_sample(cycle, w, n, ShardWorker&);   // measured cycles
 ///   void shard_sample_reduce(cycle, workers);       // worker 0 only
 ///   void shard_finish(workers);  // sum partials into the core result

@@ -9,10 +9,13 @@
 namespace mineq::sim {
 
 const std::vector<Pattern>& all_patterns() {
+  // New patterns append so the historic registry prefix (and every
+  // sweep/CLI enumeration derived from it) keeps its order.
   static const std::vector<Pattern> patterns = {
-      Pattern::kUniform,    Pattern::kBitReversal, Pattern::kShuffle,
-      Pattern::kTranspose,  Pattern::kComplement,  Pattern::kHotSpot,
-      Pattern::kBursty,
+      Pattern::kUniform,    Pattern::kBitReversal,   Pattern::kShuffle,
+      Pattern::kTranspose,  Pattern::kComplement,    Pattern::kHotSpot,
+      Pattern::kBursty,     Pattern::kTornado,       Pattern::kDigitNeighbor,
+      Pattern::kAllToAll,
   };
   return patterns;
 }
@@ -35,6 +38,12 @@ std::string pattern_name(Pattern p) {
       return "bursty";
     case Pattern::kPermutation:
       return "permutation";
+    case Pattern::kTornado:
+      return "tornado";
+    case Pattern::kDigitNeighbor:
+      return "digitneighbor";
+    case Pattern::kAllToAll:
+      return "alltoall";
   }
   throw std::invalid_argument("pattern_name: unknown pattern");
 }
@@ -55,6 +64,15 @@ Pattern parse_pattern(std::string_view name) {
 
 namespace {
 
+/// The offending-value error satellite: every constraint rejection names
+/// the pattern, the constraint AND the value that broke it.
+[[noreturn]] void reject_odd_transpose(int n) {
+  throw std::invalid_argument(
+      "transpose traffic needs an even digit count (it swaps the "
+      "high/low address halves), got n = " +
+      std::to_string(n));
+}
+
 std::uint32_t transform(Pattern p, std::uint32_t src, int n) {
   const auto mask = static_cast<std::uint32_t>(util::low_mask(n));
   switch (p) {
@@ -63,9 +81,7 @@ std::uint32_t transform(Pattern p, std::uint32_t src, int n) {
     case Pattern::kShuffle:
       return static_cast<std::uint32_t>(util::rotl1(src, n));
     case Pattern::kTranspose: {
-      if (n % 2 != 0) {
-        throw std::invalid_argument("transpose traffic needs even n");
-      }
+      if (n % 2 != 0) reject_odd_transpose(n);
       const int half = n / 2;
       const std::uint32_t low = src & static_cast<std::uint32_t>(
                                           util::low_mask(half));
@@ -74,10 +90,19 @@ std::uint32_t transform(Pattern p, std::uint32_t src, int n) {
     }
     case Pattern::kComplement:
       return ~src & mask;
+    case Pattern::kTornado: {
+      // Half-spin adversary: d = (s + ceil(N/2) - 1) mod N.
+      const std::uint32_t terminals = mask + 1;
+      return (src + terminals / 2 - 1) & mask;
+    }
+    case Pattern::kDigitNeighbor:
+      // Digit-wise +1 mod r is bit-wise complement at r = 2.
+      return ~src & mask;
     case Pattern::kUniform:
     case Pattern::kHotSpot:
     case Pattern::kBursty:
     case Pattern::kPermutation:  // table-driven, not a closed form
+    case Pattern::kAllToAll:     // phase-driven, handled in destination()
       throw std::invalid_argument(
           "transform: pattern is not deterministic");
   }
@@ -107,9 +132,7 @@ std::uint32_t transform_kary(Pattern p, std::uint32_t src, int n, int radix) {
       return (src % top_scale) * r + src / top_scale;
     }
     case Pattern::kTranspose: {
-      if (n % 2 != 0) {
-        throw std::invalid_argument("transpose traffic needs even n");
-      }
+      if (n % 2 != 0) reject_odd_transpose(n);
       std::uint32_t half_scale = 1;
       for (int i = 0; i < n / 2; ++i) half_scale *= r;
       return (src % half_scale) * half_scale + src / half_scale;
@@ -121,10 +144,29 @@ std::uint32_t transform_kary(Pattern p, std::uint32_t src, int n, int radix) {
       for (int i = 0; i < n; ++i) all *= r;
       return (all - 1) - src;
     }
+    case Pattern::kTornado: {
+      // Half-spin adversary: d = (s + ceil(N/2) - 1) mod N.
+      std::uint32_t all = 1;
+      for (int i = 0; i < n; ++i) all *= r;
+      return (src + (all + 1) / 2 - 1) % all;
+    }
+    case Pattern::kDigitNeighbor: {
+      // Digit-wise +1 mod r; agrees with the binary complement at r = 2.
+      std::uint32_t value = src;
+      std::uint32_t out = 0;
+      std::uint32_t scale = 1;
+      for (int i = 0; i < n; ++i) {
+        out += ((value % r + 1) % r) * scale;
+        value /= r;
+        scale *= r;
+      }
+      return out;
+    }
     case Pattern::kUniform:
     case Pattern::kHotSpot:
     case Pattern::kBursty:
     case Pattern::kPermutation:  // table-driven, not a closed form
+    case Pattern::kAllToAll:     // phase-driven, handled in destination()
       throw std::invalid_argument(
           "transform_kary: pattern is not deterministic");
   }
@@ -135,11 +177,15 @@ std::uint32_t transform_kary(Pattern p, std::uint32_t src, int n, int radix) {
 
 perm::Permutation pattern_permutation(Pattern p, int n) {
   if (p == Pattern::kUniform || p == Pattern::kHotSpot ||
-      p == Pattern::kBursty || p == Pattern::kPermutation) {
+      p == Pattern::kBursty || p == Pattern::kPermutation ||
+      p == Pattern::kAllToAll) {
     // kPermutation *is* a permutation, but the table lives in the
-    // caller's SimConfig, not in the pattern tag.
+    // caller's SimConfig, not in the pattern tag; kAllToAll is a
+    // *different* permutation every cycle.
     throw std::invalid_argument(
-        "pattern_permutation: pattern is not a derivable permutation");
+        "pattern_permutation: pattern \"" + pattern_name(p) +
+        "\" is not a derivable permutation (random, table-driven and "
+        "phase-driven patterns have no single closed form)");
   }
   const std::size_t size = std::size_t{1} << n;
   std::vector<std::uint32_t> image(size);
@@ -172,7 +218,10 @@ TrafficSource::TrafficSource(Pattern pattern, int n, int radix,
     throw std::invalid_argument("TrafficSource: radix must be >= 2");
   }
   if (pattern == Pattern::kTranspose && n % 2 != 0) {
-    throw std::invalid_argument("TrafficSource: transpose needs even n");
+    throw std::invalid_argument(
+        "TrafficSource: transpose traffic needs an even digit count (it "
+        "swaps the high/low address halves), got n = " +
+        std::to_string(n));
   }
   for (int i = 0; i < n; ++i) {
     terminals_ *= static_cast<std::uint64_t>(radix);
@@ -252,6 +301,10 @@ std::uint32_t TrafficSource::destination(std::uint32_t source) {
       return static_cast<std::uint32_t>(rng_.below(terminals_));
     case Pattern::kPermutation:
       return permutation_[source];
+    case Pattern::kAllToAll:
+      // Phase-shift collective: everyone sends to (s + phase) mod N;
+      // tick() advances the phase once per cycle.
+      return static_cast<std::uint32_t>((source + phase_) % terminals_);
     default:
       // The binary path keeps the historic bit implementation; the
       // digit-wise generalization agrees with it at r = 2.

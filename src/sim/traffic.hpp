@@ -39,6 +39,15 @@ enum class Pattern : std::uint8_t {
   /// by all_patterns() and not parseable, since a CLI token cannot carry
   /// the table.
   kPermutation,
+  // Appended after kPermutation so the historic enum values (and every
+  // serialized artifact carrying them) stay stable.
+  kTornado,        ///< d = (s + ceil(N/2) - 1) mod N, the half-spin adversary
+  kDigitNeighbor,  ///< d = digit-wise (s_i + 1) mod r (complement at r = 2)
+  /// All-to-all collective phases: at phase p every terminal s sends to
+  /// (s + p) mod N; the phase advances once per cycle through 1..N-1
+  /// (via TrafficSource::tick), so each cycle is a conflict-light shift
+  /// permutation and a full sweep touches every partner once.
+  kAllToAll,
 };
 
 /// All *nameable* patterns, in declaration order (handy for sweeps and
@@ -46,7 +55,8 @@ enum class Pattern : std::uint8_t {
 [[nodiscard]] const std::vector<Pattern>& all_patterns();
 
 /// Parse/emit pattern names ("uniform", "bitrev", "shuffle", "transpose",
-/// "complement", "hotspot", "bursty").
+/// "complement", "hotspot", "bursty", "tornado", "digitneighbor",
+/// "alltoall").
 [[nodiscard]] std::string pattern_name(Pattern p);
 
 /// Inverse of pattern_name.
@@ -54,8 +64,9 @@ enum class Pattern : std::uint8_t {
 [[nodiscard]] Pattern parse_pattern(std::string_view name);
 
 /// The deterministic patterns as explicit terminal permutations.
-/// \throws std::invalid_argument for kUniform/kHotSpot/kBursty (not
-/// permutations) or kTranspose with odd n.
+/// \throws std::invalid_argument for kUniform/kHotSpot/kBursty/kAllToAll
+/// (random or phase-driven, no single permutation) or kTranspose with
+/// odd n; messages name the pattern / offending n.
 [[nodiscard]] perm::Permutation pattern_permutation(Pattern p, int n);
 
 /// The two-state Markov transition probabilities of the bursty on/off
@@ -127,6 +138,16 @@ class TrafficSource {
   /// Destination terminal for a packet injected at \p source.
   [[nodiscard]] std::uint32_t destination(std::uint32_t source);
 
+  /// Advance per-cycle pattern state: the kAllToAll collective steps to
+  /// its next phase permutation. A no-op (and no RNG draw) for every
+  /// other pattern, so their streams are untouched.
+  void tick() noexcept {
+    if (pattern_ == Pattern::kAllToAll) {
+      ++phase_;
+      if (phase_ >= terminals_) phase_ = 1;
+    }
+  }
+
   [[nodiscard]] Pattern pattern() const noexcept { return pattern_; }
   [[nodiscard]] int address_bits() const noexcept { return n_; }
   [[nodiscard]] int radix() const noexcept { return radix_; }
@@ -137,6 +158,7 @@ class TrafficSource {
   int radix_;
   std::uint64_t terminals_;
   util::SplitMix64 rng_;
+  std::uint64_t phase_ = 1;  ///< kAllToAll: current shift, 1 .. N-1
   std::vector<std::uint32_t> permutation_;  ///< kPermutation only
 };
 

@@ -224,6 +224,21 @@ class WormholePolicy {
               ++res.packets_misdelivered;
             }
           }
+          if (flit.is_tail() && core_.wants_deliveries()) {
+            // Tail ejection completes the packet: feed the workload
+            // source, warmup included (see workload::Delivery). Built
+            // here because the ejection terminal is not derivable from
+            // the flit alone on faulted detours.
+            const workload::Delivery delivery{
+                static_cast<std::uint32_t>(flit.src), flit.dest_terminal,
+                x * r + port, flit.inject_cycle, cycle + 1,
+                static_cast<std::uint8_t>(flit.tag), counted};
+            if constexpr (kShard) {
+              wk->wl_events.push_back(delivery);
+            } else {
+              core_.workload_delivered(delivery);
+            }
+          }
           if constexpr (kShard) {
             // Defer for the replay: every flit if an observer watches,
             // else just the tails that complete a measured delivery.
@@ -538,7 +553,7 @@ class WormholePolicy {
           pool_.accept(l, make_flit(src.id, src.dest,
                                     static_cast<std::uint32_t>(t),
                                     src.inject_cycle, src.next_index, length_,
-                                    src.sl));
+                                    src.sl, src.tag));
           if constexpr (kCredits) credits_->consume(l);
           ++src.next_index;
           --src.remaining;
@@ -546,8 +561,7 @@ class WormholePolicy {
         }
         continue;  // the source link is busy with the current packet
       }
-      if (!core_.terminal_active(t)) continue;
-      if (!core_.gate()) continue;
+      if (!core_.attempt(cycle, static_cast<std::uint32_t>(t))) continue;
       if (measuring) ++core_.result.offered;
       [[maybe_unused]] unsigned sl = 0;
       int lane;
@@ -575,18 +589,20 @@ class WormholePolicy {
         lane = pool_.find_idle_lane(lane_index(0, t, 0), lanes_);
         if (lane < 0) continue;  // refused at source
       }
-      const std::uint32_t dest =
-          core_.destination(static_cast<std::uint32_t>(t));
+      const workload::Injection packet =
+          core_.draw(cycle, static_cast<std::uint32_t>(t));
+      const std::uint32_t dest = packet.dest;
       const std::uint32_t id = next_packet_id_++;
       accept_head<false>(lane_index(0, t, static_cast<std::size_t>(lane)),
                          make_flit(id, dest, static_cast<std::uint32_t>(t),
-                                   cycle, 0, length_, sl),
+                                   cycle, 0, length_, sl, packet.tag),
                          0, static_cast<std::uint32_t>(t / r),
                          core_.engine().route_port(0, dest), measuring,
                          nullptr, cycle, inject_phase());
       if constexpr (kCredits) {
         credits_->consume(lane_index(0, t, static_cast<std::size_t>(lane)));
       }
+      core_.commit(cycle, static_cast<std::uint32_t>(t), packet);
       src.dest = dest;
       src.id = id;
       src.inject_cycle = cycle;
@@ -594,6 +610,7 @@ class WormholePolicy {
       src.remaining = length_ - 1;
       src.lane = lane;
       src.sl = sl;
+      src.tag = packet.tag;
       if (measuring) {
         ++core_.result.injected;
         ++core_.result.flits_injected;
@@ -764,8 +781,12 @@ class WormholePolicy {
         }
       }
       wk.wh_events.clear();
+      for (const workload::Delivery& delivery : wk.wl_events) {
+        core_.workload_delivered(delivery);
+      }
+      wk.wl_events.clear();
     }
-    core_.advance_burst();
+    core_.workload_tick(cycle, measuring);
     inject(cycle, measuring);
   }
 
@@ -891,6 +912,7 @@ class WormholePolicy {
     std::size_t remaining = 0;
     int lane = -1;
     unsigned sl = 0;  // service level of the serializing packet
+    unsigned tag = 0;  // workload tag carried by every flit of the packet
     std::size_t port = 0;  // claimed physical input port (kMultiPath only)
   };
 
@@ -971,6 +993,17 @@ class WormholePolicy {
             if (counted && flit.is_tail() &&
                 (flit.dest_terminal / lradix_) != lx) {
               ++res.packets_misdelivered;
+            }
+          }
+          if (flit.is_tail() && core_.wants_deliveries()) {
+            const workload::Delivery delivery{
+                static_cast<std::uint32_t>(flit.src), flit.dest_terminal,
+                static_cast<std::uint32_t>(term), flit.inject_cycle,
+                cycle + 1, static_cast<std::uint8_t>(flit.tag), counted};
+            if constexpr (kShard) {
+              wk->wl_events.push_back(delivery);
+            } else {
+              core_.workload_delivered(delivery);
             }
           }
           if constexpr (kShard) {
@@ -1206,18 +1239,20 @@ class WormholePolicy {
           pool_.accept(l, make_flit(src.id, src.dest,
                                     static_cast<std::uint32_t>(t),
                                     src.inject_cycle, src.next_index, length_,
-                                    src.sl));
+                                    src.sl, src.tag));
           ++src.next_index;
           --src.remaining;
           if (measuring) ++core_.result.flits_injected;
         }
         continue;  // the source link is busy with the current packet
       }
-      if (!core_.terminal_active(t)) continue;
-      if (!core_.gate()) continue;
+      if (!core_.attempt(cycle, static_cast<std::uint32_t>(t))) continue;
       if (measuring) ++core_.result.offered;
-      const std::uint32_t dest =
-          core_.destination(static_cast<std::uint32_t>(t));
+      // Drawn before the plane pick (the hashed policy keys on the
+      // destination); a refused attempt discards the draw, historically.
+      const workload::Injection packet =
+          core_.draw(cycle, static_cast<std::uint32_t>(t));
+      const std::uint32_t dest = packet.dest;
       const std::uint32_t lcell =
           static_cast<std::uint32_t>(t) / lradix_;
       const unsigned slot =
@@ -1255,7 +1290,7 @@ class WormholePolicy {
       if (lane < 0) continue;  // refused at source
       const std::uint32_t id = next_packet_id_++;
       const Flit head = make_flit(id, dest, static_cast<std::uint32_t>(t),
-                                  cycle, 0, length_, 0);
+                                  cycle, 0, length_, 0, packet.tag);
       int reroute_kind = 0;
       const unsigned desired = select_next_port(
           0, static_cast<std::uint32_t>(port_index), head,
@@ -1284,6 +1319,7 @@ class WormholePolicy {
           }
         }
       }
+      core_.commit(cycle, static_cast<std::uint32_t>(t), packet);
       src.dest = dest;
       src.id = id;
       src.inject_cycle = cycle;
@@ -1292,6 +1328,7 @@ class WormholePolicy {
       src.lane = lane;
       src.port = port_index;
       src.sl = 0;
+      src.tag = packet.tag;
       if (measuring) {
         ++core_.result.injected;
         ++core_.result.flits_injected;
@@ -1720,6 +1757,11 @@ run_wormhole_impl(FabricCore& core, const EjectObserver& observer,
                   const multipath::LoopingSettings* looping) {
   WormholePolicy<kFaulted, kBinary, kCredits, kMultiPath, kObs> policy(
       core, observer, workspace, mask, obs, looping);
+  if constexpr (kObs) {
+    // Closed-loop sources route request->reply latencies into the flow
+    // recorder's service channel (null and ignored when flows are off).
+    core.set_service_recorder(obs->flow_recorder());
+  }
   const std::size_t threads = core.config().sim_threads;
   SimResult result = threads > 1 ? run_switched_sharded(core, policy, threads)
                                  : run_switched(core, policy);

@@ -1,0 +1,135 @@
+/// \file spec.hpp
+/// \brief Workload selection and trace-record types, dependency-light so
+/// SimConfig can embed a workload::Spec without pulling the sources in.
+///
+/// The workload layer decides WHEN a terminal wants to inject and WHERE
+/// the packet goes; the switching policies decide whether the fabric can
+/// accept it. Three kinds ride behind one seam (workload.hpp):
+///   - kOpen:       the historic synthetic patterns — Bernoulli gate +
+///                  Pattern address transform (+ bursty modulator),
+///                  byte-identical to the pre-seam engine;
+///   - kClosedLoop: request–reply clients with a bounded
+///                  outstanding-request window, so offered load
+///                  self-throttles under congestion;
+///   - kTrace:      replay of a recorded trace (see TraceRecord for the
+///                  line format), optionally time-compressed.
+/// Any run can additionally RECORD its accepted injections back into the
+/// trace format (Spec::record), so record -> replay round-trips.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mineq::workload {
+
+/// Which source feeds the fabric. Parsed/printed via kind_name() —
+/// the CLI and sweep tokens derive from this registry.
+enum class Kind : std::uint8_t {
+  kOpen,        ///< open-loop synthetic patterns (the historic engine)
+  kClosedLoop,  ///< request–reply clients, bounded outstanding window
+  kTrace,       ///< trace replay (Spec::trace must be loaded)
+};
+
+/// All workload kinds, in declaration order (CLI token registry).
+[[nodiscard]] const std::vector<Kind>& all_kinds();
+
+/// Short token for CLIs and CSV columns ("open", "closedloop", "trace").
+[[nodiscard]] std::string kind_name(Kind kind);
+
+/// Inverse of kind_name. The rejection message enumerates the valid
+/// tokens, so new kinds can never drift from the CLI docs.
+/// \throws std::invalid_argument on an unknown name.
+[[nodiscard]] Kind parse_kind(std::string_view name);
+
+// Packet tags, carried from injection to ejection (2 bits in the flit /
+// packet-ring payload) so the closed-loop source can tell a delivered
+// request from a delivered reply.
+inline constexpr std::uint8_t kTagNone = 0;
+inline constexpr std::uint8_t kTagRequest = 1;
+inline constexpr std::uint8_t kTagReply = 2;
+
+/// One trace line: `cycle src dst size [tag]` — injection cycle, source
+/// and destination terminal, packet length in flits, and an optional tag
+/// (0 none / 1 request / 2 reply, defaulting to 0). Lines are
+/// whitespace-separated; blank lines and `#` comments are skipped.
+/// Cycles must be non-decreasing in file order.
+struct TraceRecord {
+  std::uint64_t cycle = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t size = 1;
+  std::uint8_t tag = kTagNone;
+  /// 1-based source line (filled by parse_trace; 0 for recorded runs).
+  std::uint32_t line = 0;
+
+  /// Payload equality only — `line` is provenance bookkeeping, so a
+  /// recorded run (line 0) compares equal to its parsed round trip.
+  friend bool operator==(const TraceRecord& a, const TraceRecord& b) {
+    return a.cycle == b.cycle && a.src == b.src && a.dst == b.dst &&
+           a.size == b.size && a.tag == b.tag;
+  }
+};
+
+/// A parsed trace, shared immutably across sweep points so a grid can
+/// replay one loaded file from many tasks without copying it.
+struct TraceData {
+  std::vector<TraceRecord> records;
+};
+
+/// Parse the trace text format into records.
+/// \throws std::invalid_argument naming the offending 1-based line on a
+/// malformed field or a cycle that runs backwards.
+[[nodiscard]] TraceData parse_trace(std::string_view text);
+
+/// Serialize records back into the line format parse_trace reads (a
+/// format-spec comment header, then one line per record; tag emitted
+/// only when nonzero). parse_trace(write_trace(r)).records == r.
+[[nodiscard]] std::string write_trace(const std::vector<TraceRecord>& records);
+
+/// The workload a run drives its injection with (SimConfig::workload).
+struct Spec {
+  Kind kind = Kind::kOpen;
+  /// kClosedLoop: max outstanding (un-replied) requests per client.
+  unsigned rr_window = 4;
+  /// kTrace: replay record cycles divided by this factor (1 = as-is).
+  std::uint64_t time_compression = 1;
+  /// kTrace: the loaded trace to replay.
+  std::shared_ptr<const TraceData> trace;
+  /// Record every accepted injection into SimResult::workload_trace
+  /// (works with any kind; the capture replays byte-identically).
+  bool record = false;
+
+  /// Reject unusable parameters with a message naming the field: the
+  /// window and compression factor must be positive, and kTrace needs a
+  /// loaded trace.
+  /// \throws std::invalid_argument
+  void validate() const;
+};
+
+/// What a source asks the fabric to inject: destination terminal plus
+/// the request/reply tag the packet carries to ejection.
+struct Injection {
+  std::uint32_t dest = 0;
+  std::uint8_t tag = kTagNone;
+};
+
+/// One delivered packet, fed back into the source (closed-loop replies
+/// depend on it). Reported for EVERY tail ejection, warmup included —
+/// a closed-loop client whose warmup requests never completed would
+/// deadlock its window before measurement starts.
+struct Delivery {
+  std::uint32_t src = 0;       ///< injecting terminal
+  std::uint32_t dest = 0;      ///< intended destination terminal
+  std::uint32_t terminal = 0;  ///< actual ejection terminal (faulted
+                               ///< detours can misdeliver; == dest otherwise)
+  std::uint64_t inject_cycle = 0;
+  std::uint64_t eject_cycle = 0;
+  std::uint8_t tag = kTagNone;
+  bool measured = false;  ///< measuring && injected after warmup
+};
+
+}  // namespace mineq::workload

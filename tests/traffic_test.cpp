@@ -19,13 +19,21 @@ TEST(TrafficTest, PatternNames) {
   EXPECT_EQ(pattern_name(Pattern::kComplement), "complement");
   EXPECT_EQ(pattern_name(Pattern::kHotSpot), "hotspot");
   EXPECT_EQ(pattern_name(Pattern::kBursty), "bursty");
+  EXPECT_EQ(pattern_name(Pattern::kTornado), "tornado");
+  EXPECT_EQ(pattern_name(Pattern::kDigitNeighbor), "digitneighbor");
+  EXPECT_EQ(pattern_name(Pattern::kAllToAll), "alltoall");
 }
 
 TEST(TrafficTest, ParsePatternRoundTripsEveryName) {
-  EXPECT_EQ(all_patterns().size(), 7U);
+  EXPECT_EQ(all_patterns().size(), 10U);
   for (const Pattern p : all_patterns()) {
     EXPECT_EQ(parse_pattern(pattern_name(p)), p) << pattern_name(p);
   }
+  // The registry prefix is load-bearing: sweeps and CLIs enumerate it in
+  // order, so new patterns must append, never reorder.
+  EXPECT_EQ(all_patterns()[0], Pattern::kUniform);
+  EXPECT_EQ(all_patterns()[6], Pattern::kBursty);
+  EXPECT_EQ(all_patterns()[7], Pattern::kTornado);
 }
 
 TEST(TrafficTest, ParsePatternRejectsUnknownNames) {
@@ -53,6 +61,72 @@ TEST(TrafficTest, TransposeSwapsHalves) {
     EXPECT_EQ(t(s), (low << 3) | high);
   }
   EXPECT_THROW((void)pattern_permutation(Pattern::kTranspose, 5),
+               std::invalid_argument);
+}
+
+// Constraint rejections must name the offending value and the constraint
+// itself, so a failing sweep log is diagnosable without a debugger.
+TEST(TrafficTest, TransposeRejectionNamesOffendingDigitCount) {
+  try {
+    (void)pattern_permutation(Pattern::kTranspose, 5);
+    FAIL() << "odd digit count must be rejected";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_STREQ(error.what(),
+                 "transpose traffic needs an even digit count (it swaps the "
+                 "high/low address halves), got n = 5");
+  }
+  try {
+    (void)TrafficSource(Pattern::kTranspose, 3, util::SplitMix64(1));
+    FAIL() << "odd digit count must be rejected";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_STREQ(error.what(),
+                 "TrafficSource: transpose traffic needs an even digit count "
+                 "(it swaps the high/low address halves), got n = 3");
+  }
+}
+
+TEST(TrafficTest, TornadoShiftsHalfSpin) {
+  // d = (s + ceil(N/2) - 1) mod N; at N = 16 that is s + 7 mod 16.
+  const auto t = pattern_permutation(Pattern::kTornado, 4);
+  for (std::uint32_t s = 0; s < 16; ++s) {
+    EXPECT_EQ(t(s), (s + 7) % 16);
+  }
+  // k-ary agreement at r = 3, n = 2: N = 9, shift = ceil(9/2) - 1 = 4.
+  TrafficSource src(Pattern::kTornado, 2, 3, util::SplitMix64(1));
+  for (std::uint32_t s = 0; s < 9; ++s) {
+    EXPECT_EQ(src.destination(s), (s + 4) % 9);
+  }
+}
+
+TEST(TrafficTest, DigitNeighborIncrementsEveryDigit) {
+  // Binary: +1 mod 2 per bit is the complement.
+  const auto t = pattern_permutation(Pattern::kDigitNeighbor, 4);
+  for (std::uint32_t s = 0; s < 16; ++s) {
+    EXPECT_EQ(t(s), ~s & 0xFU);
+  }
+  // Base 3, 2 digits: each digit advances independently mod 3.
+  TrafficSource src(Pattern::kDigitNeighbor, 2, 3, util::SplitMix64(1));
+  EXPECT_EQ(src.destination(0), 4U);   // 00 -> 11
+  EXPECT_EQ(src.destination(8), 0U);   // 22 -> 00
+  EXPECT_EQ(src.destination(5), 6U);   // 12 -> 20
+}
+
+TEST(TrafficTest, AllToAllPhasesThroughEveryPartner) {
+  // The phase-shift collective: at phase p everyone sends to s + p, and
+  // tick() advances p cyclically through 1..N-1 (never self).
+  TrafficSource src(Pattern::kAllToAll, 3, util::SplitMix64(1));
+  std::set<std::uint32_t> partners;
+  for (int round = 0; round < 7; ++round) {
+    const std::uint32_t d = src.destination(2);
+    EXPECT_NE(d, 2U) << "a terminal never sends to itself";
+    partners.insert(d);
+    src.tick();
+  }
+  EXPECT_EQ(partners.size(), 7U) << "7 phases cover all 7 partners";
+  // Phase wraps back to 1 after N - 1 ticks.
+  EXPECT_EQ(src.destination(2), (2U + 1U) % 8U);
+  // Not derivable as a single permutation (a different one every cycle).
+  EXPECT_THROW((void)pattern_permutation(Pattern::kAllToAll, 3),
                std::invalid_argument);
 }
 

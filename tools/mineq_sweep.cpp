@@ -21,6 +21,13 @@
 ///   mineq_sweep --networks omega,benes,dilated --paths 2 --path-policy
 ///     hash,adaptive --fault-kinds links --fault-rates 0.05 --rates 0.6
 ///
+/// Workload axis (open-loop vs closed-loop honesty check, then record a
+/// run as a trace and replay it):
+///   mineq_sweep --networks omega --workload open,closedloop --rr-window 8
+///     --rates 0.6 --csv rr.csv
+///   mineq_sweep --networks omega --rates 0.6 --trace-out-workload run.trace
+///   mineq_sweep --networks omega --rates 0.6 --trace-in run.trace
+///
 /// Output is byte-identical for any --threads value: every grid point
 /// derives its RNG stream from (seed, grid index), not from scheduling.
 
@@ -33,11 +40,16 @@
 #include <string_view>
 #include <vector>
 
+#include <fstream>
+#include <memory>
+#include <sstream>
+
 #include "exp/report.hpp"
 #include "exp/sweep.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "util/format.hpp"
+#include "workload/spec.hpp"
 
 namespace {
 
@@ -82,6 +94,15 @@ std::string path_policy_tokens() {
     if (policy == mineq::sim::PathPolicy::kLooping) continue;  // not sweepable
     if (!out.empty()) out += ',';
     out += mineq::sim::path_policy_name(policy);
+  }
+  return out;
+}
+
+std::string workload_tokens() {
+  std::string out;
+  for (const mineq::workload::Kind kind : mineq::workload::all_kinds()) {
+    if (!out.empty()) out += ',';
+    out += mineq::workload::kind_name(kind);
   }
   return out;
 }
@@ -145,6 +166,11 @@ std::string usage() {
   --sl-map LIST       service-level -> virtual-lane map; defines
                     SL count = list length (packets carry
                     SL = terminal % count)                     [all->0]
+  --workload LIST   injection source: )" +
+         workload_tokens() +
+         R"( — the whole
+                    grid repeats per value, appended after the
+                    prefix (trace needs --trace-in)            [open]
 
 Fixed parameters:
   --stages N          stages (terminals = radix^N)             [6]
@@ -159,6 +185,17 @@ Fixed parameters:
                       (byte-identical to serial; the default
                       sweep fan-out divides itself by N so the
                       two levels never oversubscribe)
+  --rr-window N       closed-loop: max outstanding (un-replied)
+                      requests per client                      [4]
+  --trace-in FILE     workload trace to replay (line format:
+                      cycle src dst size [tag]); implies a
+                      "trace" workload value when none listed
+  --time-compression N  divide replayed trace cycles by N      [1]
+  --trace-out-workload FILE  record the FIRST grid point's
+                      accepted injections as a workload trace
+                      (replayable through --trace-in; the
+                      replay reproduces the run's delivered and
+                      latency counters exactly)
 
 Observability (any flag enables the instrumented simulator
   instantiations; all off = the uninstrumented fast path):
@@ -250,10 +287,24 @@ void print_summary(const mineq::exp::SweepResult& sweep) {
   // only appear when a collector ran — an uninstrumented sweep keeps the
   // familiar narrow table.
   const bool obs_on = sweep.grid.base.obs.any();
+  // Likewise the workload columns: they only appear when the grid swept
+  // a non-open source (effective rate vs configured rate is the
+  // closed-loop self-throttling readout).
+  const bool wl_on = std::any_of(
+      sweep.grid.workloads.begin(), sweep.grid.workloads.end(),
+      [](const mineq::workload::Spec& spec) {
+        return spec.kind != mineq::workload::Kind::kOpen;
+      });
   std::vector<std::string> headers = {
       "network", "fabric", "paths", "r", "pattern", "mode", "lanes",
       "fault", "frate", "rate", "throughput", "accept", "lat mean",
       "lat p99", "dropped", "fullacc", "mindiv", "hol"};
+  if (wl_on) {
+    headers.push_back("workload");
+    headers.push_back("eff rate");
+    headers.push_back("reply p99");
+    headers.push_back("wstall");
+  }
   if (obs_on) {
     headers.push_back("stall cause");
     headers.push_back("flow p99");
@@ -278,6 +329,13 @@ void print_summary(const mineq::exp::SweepResult& sweep) {
         p.survivor.full_access ? "yes" : "no",
         std::to_string(p.min_path_diversity),
         std::to_string(p.result.hol_blocking_cycles)};
+    if (wl_on) {
+      row.push_back(mineq::workload::kind_name(p.workload.kind));
+      row.push_back(fixed(p.result.offered_rate_effective, 3));
+      row.push_back(
+          fixed(p.result.reply_latency_histogram.quantile(0.99), 0));
+      row.push_back(std::to_string(p.result.window_stall_cycles));
+    }
     if (obs_on) {
       row.emplace_back(
           mineq::obs::stall_cause_name(p.result.dominant_stall_cause()));
@@ -347,6 +405,11 @@ int main(int argc, char** argv) {
   std::vector<unsigned> vl_weights;
   std::vector<unsigned> sl_map;
   bool credits_requested = false;
+  std::vector<mineq::workload::Kind> workload_kinds;
+  unsigned rr_window = mineq::workload::Spec{}.rr_window;
+  std::uint64_t time_compression = 1;
+  std::string trace_in_path;
+  std::string trace_out_workload_path;
 
   std::size_t threads = 0;
   std::string csv_path;
@@ -485,6 +548,21 @@ int main(int argc, char** argv) {
       } else if (arg == "--sim-threads") {
         grid.base.sim_threads =
             parse_u64(next_value(i), "per-simulation thread count");
+      } else if (arg == "--workload" || arg == "--workloads") {
+        workload_kinds.clear();
+        for (const std::string& item : split_list(next_value(i), ',')) {
+          workload_kinds.push_back(mineq::workload::parse_kind(item));
+        }
+      } else if (arg == "--rr-window") {
+        rr_window = static_cast<unsigned>(
+            parse_u64(next_value(i), "request-reply window"));
+      } else if (arg == "--time-compression") {
+        time_compression =
+            parse_u64(next_value(i), "trace time-compression factor");
+      } else if (arg == "--trace-in") {
+        trace_in_path = next_value(i);
+      } else if (arg == "--trace-out-workload") {
+        trace_out_workload_path = next_value(i);
       } else if (arg == "--probe-stride") {
         grid.base.obs.probe_stride = parse_u64(next_value(i), "probe stride");
       } else if (arg == "--flow-stats") {
@@ -546,6 +624,45 @@ int main(int argc, char** argv) {
       grid.bursts.push_back(mineq::sim::BurstParams{on_off, off_on});
     }
   }
+  // The workload axis. A loaded --trace-in implies a trace workload
+  // value when none was listed, so a bare replay needs only the file.
+  std::shared_ptr<const mineq::workload::TraceData> trace_data;
+  if (!trace_in_path.empty()) {
+    std::ifstream in(trace_in_path, std::ios::binary);
+    if (!in) fail("cannot open trace file " + trace_in_path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      trace_data = std::make_shared<const mineq::workload::TraceData>(
+          mineq::workload::parse_trace(buffer.str()));
+    } catch (const std::invalid_argument& error) {
+      fail(trace_in_path + ": " + error.what());
+    }
+    if (std::find(workload_kinds.begin(), workload_kinds.end(),
+                  mineq::workload::Kind::kTrace) == workload_kinds.end()) {
+      workload_kinds.push_back(mineq::workload::Kind::kTrace);
+    }
+  }
+  if (!workload_kinds.empty()) {
+    grid.workloads.clear();
+    for (const mineq::workload::Kind kind : workload_kinds) {
+      mineq::workload::Spec spec;
+      spec.kind = kind;
+      if (kind == mineq::workload::Kind::kTrace) {
+        if (!trace_data) fail("--workload trace needs --trace-in FILE");
+        spec.trace = trace_data;
+      }
+      grid.workloads.push_back(std::move(spec));
+    }
+  }
+  for (mineq::workload::Spec& spec : grid.workloads) {
+    spec.rr_window = rr_window;
+    spec.time_compression = time_compression;
+    // Recording works with any kind: every grid repeat captures its
+    // injections; the first grid point's capture is what gets written.
+    spec.record = !trace_out_workload_path.empty();
+  }
+
   // Cross {fabric kind x paths} into the fabric axis; the Benes fixes
   // its own multiplicity (radix^(stages-1)), so it contributes one spec
   // regardless of the --paths list. Dilated/replicated fabrics compose
@@ -592,6 +709,13 @@ int main(int argc, char** argv) {
       } else {
         mineq::exp::write_text_file(json_path, json);
       }
+    }
+    if (!trace_out_workload_path.empty()) {
+      if (sweep.points.empty()) fail("nothing simulated, no trace to write");
+      mineq::exp::write_text_file(
+          trace_out_workload_path,
+          mineq::workload::write_trace(
+              sweep.points.front().result.workload_trace));
     }
     if (!trace_path.empty()) {
       // One merged Perfetto document, one process track per traced grid
